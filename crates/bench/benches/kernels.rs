@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the hot kernels underneath every experiment:
+//! event-queue churn, PRNG draw, route-table construction, max-min rate
+//! recomputation, and single EFT queries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use continuum_core::prelude::*;
+use continuum_model::standard_fleet;
+use continuum_net::{FlowNetwork, RouteTable};
+use continuum_placement::Estimator;
+use continuum_sim::{EventQueue, Rng as SimRng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        let mut rng = SimRng::new(1);
+        let times: Vec<u64> = (0..10_000).map(|_| rng.below(1_000_000)).collect();
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule_at(SimTime(t), i);
+            }
+            let mut acc = 0usize;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng_next_u64_x1000", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_routes(c: &mut Criterion) {
+    let built = Scenario::default_continuum().build();
+    c.bench_function("route_table_build_48_nodes", |b| {
+        b.iter(|| black_box(RouteTable::build(&built.topology)))
+    });
+}
+
+fn bench_flow_rates(c: &mut Criterion) {
+    let built = Scenario::default_continuum().build();
+    let routes = RouteTable::build(&built.topology);
+    let paths: Vec<_> = built
+        .sensors
+        .iter()
+        .map(|&s| routes.path(&built.topology, s, built.clouds[0]).expect("path"))
+        .collect();
+    c.bench_function("flow_network_32_concurrent_flows", |b| {
+        b.iter_batched(
+            || FlowNetwork::new(&built.topology),
+            |mut fnw| {
+                for p in &paths {
+                    fnw.start(SimTime::ZERO, p, 1 << 20);
+                }
+                black_box(fnw.next_completion())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_eft_query(c: &mut Criterion) {
+    let built = Scenario::default_continuum().build();
+    let env = continuum_placement::Env::new(built.topology.clone(), standard_fleet(&built));
+    let mut rng = SimRng::new(3);
+    let dag = layered_random(&mut rng, &LayeredSpec { tasks: 100, ..Default::default() });
+    c.bench_function("estimator_eft_scan_all_devices", |b| {
+        let est = Estimator::new(&env, &dag);
+        let sources = dag.sources();
+        let t = sources[0];
+        b.iter(|| {
+            let mut best = SimTime::MAX;
+            for d in env.fleet.devices() {
+                let (_, fin) = est.eft(t, d.id, true);
+                best = best.min(fin);
+            }
+            black_box(best)
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_queue, bench_rng, bench_routes, bench_flow_rates, bench_eft_query
+}
+criterion_main!(kernels);

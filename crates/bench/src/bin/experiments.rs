@@ -1,0 +1,140 @@
+//! Regenerate every table and figure of the reproduction.
+//!
+//! ```sh
+//! cargo run --release -p continuum-bench --bin experiments            # all
+//! cargo run --release -p continuum-bench --bin experiments -- f1 f4  # some
+//! cargo run --release -p continuum-bench --bin experiments -- --json f1
+//! ```
+
+use continuum_bench::experiments as exp;
+use continuum_bench::Table;
+
+struct Args {
+    json: bool,
+    which: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut json = false;
+    let mut which = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [--json] [t1 t4 t5 f1 f2 f3 f4 f5 f6 t2 f7 t3 f8 f9 f10 f11 f12 f13 ablations]"
+                );
+                std::process::exit(0);
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    Args { json, which }
+}
+
+fn emit(args: &Args, tables: &[Table], json_rows: serde_json::Value) {
+    if args.json {
+        println!("{json_rows}");
+    } else {
+        for t in tables {
+            println!("{}", t.render());
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let all = [
+        "t1", "t4", "t5", "f1", "f2", "f3", "f4", "f5", "f6", "t2", "f7", "t3", "f8", "f9", "f10", "f11", "f12", "f13", "ablations",
+    ];
+    let which: Vec<&str> = if args.which.is_empty() {
+        all.to_vec()
+    } else {
+        args.which.iter().map(String::as_str).collect()
+    };
+
+    for w in which {
+        match w {
+            "t1" => {
+                let t = exp::t1::run();
+                emit(&args, std::slice::from_ref(&t), serde_json::json!({"id": "t1"}));
+            }
+            "t4" => {
+                let (t, rows) = exp::t4::run();
+                emit(&args, &[t], serde_json::json!({"id": "t4", "rows": rows}));
+            }
+            "t5" => {
+                let (t, rows) = exp::t5::run();
+                emit(&args, &[t], serde_json::json!({"id": "t5", "rows": rows}));
+            }
+            "f1" => {
+                let (t, rows) = exp::f1::run();
+                emit(&args, &[t], serde_json::json!({"id": "f1", "rows": rows}));
+            }
+            "f2" => {
+                let (t, rows) = exp::f2::run();
+                emit(&args, &[t], serde_json::json!({"id": "f2", "rows": rows}));
+            }
+            "f3" => {
+                let (t, rows) = exp::f3::run();
+                emit(&args, &[t], serde_json::json!({"id": "f3", "rows": rows}));
+            }
+            "f4" => {
+                let (t, rows) = exp::f4::run();
+                emit(&args, &[t], serde_json::json!({"id": "f4", "rows": rows}));
+            }
+            "f5" => {
+                let (ts, rows) = exp::f5::run();
+                emit(&args, &ts, serde_json::json!({"id": "f5", "rows": rows}));
+            }
+            "f6" => {
+                let (t, rows) = exp::f6::run();
+                emit(&args, &[t], serde_json::json!({"id": "f6", "rows": rows}));
+            }
+            "t2" => {
+                let (t, rows) = exp::t2::run();
+                emit(&args, &[t], serde_json::json!({"id": "t2", "rows": rows}));
+            }
+            "f7" => {
+                let (t, rows) = exp::f7::run();
+                emit(&args, &[t], serde_json::json!({"id": "f7", "rows": rows}));
+            }
+            "t3" => {
+                let (t, rows) = exp::t3::run();
+                emit(&args, &[t], serde_json::json!({"id": "t3", "rows": rows}));
+            }
+            "f8" => {
+                let (t, rows) = exp::f8::run();
+                emit(&args, &[t], serde_json::json!({"id": "f8", "rows": rows}));
+            }
+            "f9" => {
+                let (t, rows) = exp::f9::run();
+                emit(&args, &[t], serde_json::json!({"id": "f9", "rows": rows}));
+            }
+            "f10" => {
+                let (t, rows) = exp::f10::run();
+                emit(&args, &[t], serde_json::json!({"id": "f10", "rows": rows}));
+            }
+            "f11" => {
+                let (t, rows) = exp::f11::run();
+                emit(&args, &[t], serde_json::json!({"id": "f11", "rows": rows}));
+            }
+            "f12" => {
+                let (t, rows) = exp::f12::run();
+                emit(&args, &[t], serde_json::json!({"id": "f12", "rows": rows}));
+            }
+            "f13" => {
+                let (t, rows) = exp::f13::run();
+                emit(&args, &[t], serde_json::json!({"id": "f13", "rows": rows}));
+            }
+            "ablations" => {
+                let (ts, rows) = exp::ablations::run();
+                emit(&args, &ts, serde_json::json!({"id": "ablations", "rows": rows}));
+            }
+            other => {
+                eprintln!("unknown experiment '{other}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

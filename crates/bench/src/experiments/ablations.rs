@@ -1,0 +1,246 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! - **A1 — insertion-based slots:** HEFT with and without
+//!   insertion-based slot search, on DAGs wide enough that gaps matter.
+//! - **A2 — flow model:** the contention factor (simulated / estimated
+//!   makespan) on a shuffle-heavy workload. The factor is exactly the
+//!   error a naive bottleneck-only transfer model would make: if it is
+//!   far above 1, modeling link sharing (max-min fairness) matters.
+
+use crate::report::{f, Table};
+use continuum_core::prelude::*;
+use continuum_placement::evaluate;
+use serde::Serialize;
+
+/// One ablation result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Which ablation.
+    pub ablation: String,
+    /// Configuration label.
+    pub config: String,
+    /// Measured value (makespan seconds for A1, factor for A2).
+    pub value: f64,
+}
+
+/// A lean environment: one edge gateway (where the data is born) and one
+/// fog server across a metro link. Tasks carry a 16 GB memory floor, so
+/// the 64 GB fog server is the only feasible device — the single-machine
+/// saturation regime where slot search matters.
+fn lean_env() -> continuum_placement::Env {
+    use continuum_model::Fleet;
+    use continuum_net::Topology;
+    use continuum_sim::SimDuration;
+    let mut topo = Topology::new();
+    let e = topo.add_node("edge", Tier::Edge);
+    let f_node = topo.add_node("fog", Tier::Fog);
+    topo.add_link(e, f_node, SimDuration::from_millis(5), 1.25e8);
+    let mut fleet = Fleet::new();
+    fleet.add_class(e, DeviceClass::EdgeGateway);
+    fleet.add_class(f_node, DeviceClass::FogServer);
+    continuum_placement::Env::new(topo, fleet)
+}
+
+/// Staggered fan-out + join: `n` near-uniform (~0.3 s) tasks whose inputs
+/// arrive over a window of a couple of seconds, all joined at the end.
+fn staggered_fanout(n: usize, seed: u64) -> Dag {
+    use continuum_workflow::Constraints;
+    let edge_node = continuum_net::NodeId(0);
+    let mut rng = Rng::new(seed);
+    let mut g = Dag::new("staggered-fanout");
+    let mem = Constraints { min_mem_bytes: 16 << 30, ..Default::default() };
+    let mut outs = Vec::with_capacity(n);
+    for i in 0..n {
+        let bytes = rng.range_u64(1, 80) * (4 << 20);
+        let inp = g.add_input(format!("in{i}"), bytes, edge_node);
+        let out = g.add_item(format!("o{i}"), 1024);
+        g.add_task_full(
+            format!("b{i}"),
+            rng.lognormal((1e10f64).ln(), 0.3),
+            1,
+            vec![inp],
+            vec![out],
+            mem.clone(),
+        );
+        outs.push(out);
+    }
+    let fin = g.add_item("final", 1024);
+    g.add_task_full("join", 1e9, 1, outs, vec![fin], mem);
+    g
+}
+
+/// Run both ablations.
+pub fn run() -> (Vec<Table>, Vec<Row>) {
+    let world = Continuum::build(&Scenario::default_continuum());
+    let mut rows = Vec::new();
+
+    // --- A1: insertion vs append ----------------------------------------
+    // Insertion pays off in a specific, well-defined regime: a *saturated*
+    // device whose timeline has bubbles left by staggered data arrivals.
+    // (On the 49-device default continuum, or with heavy-tailed task
+    // durations where one straggler pins the makespan, the two variants
+    // tie — a scan over those regimes is in `examples/a1scan.rs`.) The
+    // ablation therefore uses the textbook shape: a wide fan-out of
+    // near-uniform tasks with staggered input transfers, joined at the
+    // end, on a single feasible 16-core fog server. The honest metric is
+    // each variant's own internal schedule (the simulator's FIFO dispatch
+    // cannot honor back-filled slots).
+    let lean = lean_env();
+    let mut t1 = Table::new(
+        "A1 — HEFT slot search: insertion vs append (mean estimated makespan, s)",
+        &["config", "makespan (s)"],
+    );
+    let mut mean_ins = 0.0;
+    let mut mean_app = 0.0;
+    const REPS: u64 = 6;
+    for rep in 0..REPS {
+        let dag = staggered_fanout(160, 0xA1_000 + rep);
+        let s_ins = HeftPlacer { insertion: true }.schedule(&lean, &dag);
+        let s_app = HeftPlacer { insertion: false }.schedule(&lean, &dag);
+        mean_ins += s_ins.makespan().as_secs_f64();
+        mean_app += s_app.makespan().as_secs_f64();
+    }
+    mean_ins /= REPS as f64;
+    mean_app /= REPS as f64;
+    t1.row(vec!["insertion".into(), f(mean_ins)]);
+    t1.row(vec!["append-only".into(), f(mean_app)]);
+    rows.push(Row { ablation: "slot-search".into(), config: "insertion".into(), value: mean_ins });
+    rows.push(Row { ablation: "slot-search".into(), config: "append-only".into(), value: mean_app });
+
+    // --- A2: how much does link sharing matter? --------------------------
+    let mut t2 = Table::new(
+        "A2 — contention factor (simulated / bottleneck-only estimate)",
+        &["workload", "estimate (s)", "simulated (s)", "factor"],
+    );
+    let workloads: Vec<(String, Dag)> = vec![
+        (
+            "shuffle-heavy".into(),
+            map_reduce(world.sensors()[0], 8, 4, 16 << 20, 10.0),
+        ),
+        (
+            "pipeline (no contention)".into(),
+            analytics_pipeline(&PipelineSpec {
+                source: world.sensors()[0],
+                input_bytes: 16 << 20,
+                ..Default::default()
+            }),
+        ),
+    ];
+    for (name, dag) in workloads {
+        let placement = world.place(&dag, &HeftPlacer::default());
+        let (_, est) = evaluate(world.env(), &dag, &placement);
+        let sim = world.run(&dag, &HeftPlacer::default()).simulated;
+        let factor = sim.makespan_s / est.makespan_s;
+        t2.row(vec![name.clone(), f(est.makespan_s), f(sim.makespan_s), format!("{factor:.3}")]);
+        rows.push(Row { ablation: "flow-model".into(), config: name, value: factor });
+    }
+
+    // --- A3: serverless cold starts ---------------------------------------
+    // The fabric tax: a 1 s cold boot per endpoint, at a sparse (2 req/s)
+    // and a busy (100 req/s) arrival rate, with short and long keep-warm
+    // windows. Sparse traffic keeps re-paying the boot unless the window
+    // is long; busy traffic amortizes it away.
+    let mut t3 = Table::new(
+        "A3 — fabric cold starts: p95 latency (s); sparse (0.05/s) vs busy (100/s)",
+        &["rate (/s)", "no cold start", "cold 1s / warm 10s", "cold 1s / warm 600s"],
+    );
+    {
+        use continuum_fabric::{
+            endpoints_on, run_fabric_cfg, ColdStart, FunctionRegistry, Invocation, RoutingPolicy,
+        };
+        let mut registry = FunctionRegistry::new();
+        let infer = registry.register("infer", 5e9, 200 << 10, 1 << 10);
+        let endpoints = endpoints_on(world.env(), &world.env().fleet.in_tier(Tier::Cloud));
+        for rate in [0.05f64, 100.0] {
+            let mut rng = Rng::new(0xA3);
+            let mut t = 0.0;
+            let n_inv = if rate < 1.0 { 150 } else { 600 };
+            let invocations: Vec<Invocation> = (0..n_inv)
+                .map(|i| {
+                    t += rng.exp(rate);
+                    Invocation {
+                        arrival: SimTime::from_secs_f64(t),
+                        origin: world.sensors()[i % world.sensors().len()],
+                        function: infer,
+                    }
+                })
+                .collect();
+            let p95 = |cold: Option<ColdStart>| {
+                let rep = run_fabric_cfg(
+                    world.env(),
+                    &registry,
+                    &endpoints,
+                    &invocations,
+                    RoutingPolicy::LeastOutstanding,
+                    cold,
+                );
+                rep.latency_percentiles().1
+            };
+            let none = p95(None);
+            let short = p95(Some(ColdStart {
+                cold_time: SimDuration::from_secs(1),
+                keep_warm: SimDuration::from_secs(10),
+            }));
+            let long = p95(Some(ColdStart {
+                cold_time: SimDuration::from_secs(1),
+                keep_warm: SimDuration::from_secs(600),
+            }));
+            t3.row(vec![f(rate), f(none), f(short), f(long)]);
+            for (cfg, v) in
+                [("none", none), ("cold1-warm10", short), ("cold1-warm600", long)]
+            {
+                rows.push(Row {
+                    ablation: "cold-start".into(),
+                    config: format!("{cfg}@{rate}"),
+                    value: v,
+                });
+            }
+        }
+    }
+
+    (vec![t1, t2, t3], rows)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ablations_sane() {
+        let (_, rows) = super::run();
+        let val = |abl: &str, cfg: &str| {
+            rows.iter()
+                .find(|r| r.ablation == abl && r.config.starts_with(cfg))
+                .map(|r| r.value)
+                .expect("row")
+        };
+        // In the saturated-device regime insertion wins clearly.
+        assert!(
+            val("slot-search", "insertion") < val("slot-search", "append-only") * 0.95,
+            "insertion gave no benefit: {} vs {}",
+            val("slot-search", "insertion"),
+            val("slot-search", "append-only")
+        );
+        // The shuffle workload shows real contention; the chain pipeline
+        // shows almost none.
+        let shuffle = val("flow-model", "shuffle-heavy");
+        let chain = val("flow-model", "pipeline");
+        assert!(shuffle >= chain * 0.99, "shuffle {shuffle} vs chain {chain}");
+        assert!(chain < 1.2, "chain should be contention-free: {chain}");
+        // Cold starts: the sparse stream feels them hard with a short
+        // keep-warm window, and a long window recovers most of the loss.
+        let sparse_none = val("cold-start", "none@0.05");
+        let sparse_short = val("cold-start", "cold1-warm10@0.05");
+        let sparse_long = val("cold-start", "cold1-warm600@0.05");
+        assert!(
+            sparse_short > sparse_none + 0.5,
+            "cold start invisible: {sparse_short} vs {sparse_none}"
+        );
+        assert!(sparse_long < sparse_short, "keep-warm did not help");
+        // Busy traffic amortizes the boot.
+        let busy_none = val("cold-start", "none@100");
+        let busy_short = val("cold-start", "cold1-warm10@100");
+        assert!(
+            busy_short < busy_none + 0.5,
+            "busy stream should amortize cold starts: {busy_short} vs {busy_none}"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! F1 — the edge/cloud crossover (Q1: "where should I compute?").
+//!
+//! An analytics pipeline born at a sensor is swept from 1 KB to 1 GB of
+//! input. Edge-only keeps work near the data; cloud-only ships everything
+//! upstream; the continuum-aware policies decide per task. The expected
+//! shape: edge wins below the crossover (~tens of KB at default
+//! parameters, where WAN latency outweighs edge compute), cloud wins far
+//! above it, and HEFT tracks the lower envelope throughout.
+
+use crate::report::{bytes, f, Table};
+use continuum_core::prelude::*;
+use serde::Serialize;
+
+/// One measured point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Pipeline input size, bytes.
+    pub input_bytes: u64,
+    /// Policy name.
+    pub policy: String,
+    /// Simulated makespan, seconds.
+    pub makespan_s: f64,
+    /// Bytes that crossed links.
+    pub bytes_moved: u64,
+}
+
+/// Input sizes swept (log-spaced, 1 KB → 1 GB).
+pub fn sizes() -> Vec<u64> {
+    vec![
+        1 << 10,
+        8 << 10,
+        64 << 10,
+        512 << 10,
+        4 << 20,
+        32 << 20,
+        256 << 20,
+        1 << 30,
+    ]
+}
+
+/// Run the sweep.
+pub fn run() -> (Table, Vec<Row>) {
+    let world = Continuum::build(&Scenario::default_continuum());
+    let policies: Vec<Box<dyn Placer>> = vec![
+        Box::new(TierPlacer::edge_only()),
+        Box::new(TierPlacer::cloud_only()),
+        Box::new(GreedyEftPlacer::default()),
+        Box::new(DataAwarePlacer),
+        Box::new(HeftPlacer::default()),
+    ];
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "F1 — pipeline makespan (s) vs input size: the edge/cloud crossover",
+        &["input", "edge-only", "cloud-only", "greedy-eft", "data-aware", "heft", "winner"],
+    );
+    for &size in &sizes() {
+        let dag = analytics_pipeline(&PipelineSpec {
+            source: world.sensors()[0],
+            input_bytes: size,
+            ..Default::default()
+        });
+        let mut cells = vec![bytes(size)];
+        let mut best: Option<(f64, String)> = None;
+        for p in &policies {
+            let report = world.run(&dag, p.as_ref());
+            let m = report.simulated;
+            cells.push(f(m.makespan_s));
+            if best.as_ref().map(|(b, _)| m.makespan_s < *b).unwrap_or(true) {
+                best = Some((m.makespan_s, p.name().to_string()));
+            }
+            rows.push(Row {
+                input_bytes: size,
+                policy: p.name().to_string(),
+                makespan_s: m.makespan_s,
+                bytes_moved: m.bytes_moved,
+            });
+        }
+        cells.push(best.expect("at least one policy").1);
+        table.row(cells);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn f1_shape_holds() {
+        let (_, rows) = super::run();
+        let get = |size: u64, policy: &str| {
+            rows.iter()
+                .find(|r| r.input_bytes == size && r.policy == policy)
+                .map(|r| r.makespan_s)
+                .expect("row present")
+        };
+        // Small input: edge beats cloud. Large input: cloud beats edge.
+        assert!(get(1 << 10, "edge-only") < get(1 << 10, "cloud-only"));
+        assert!(get(1 << 30, "cloud-only") < get(1 << 30, "edge-only"));
+        // HEFT tracks the lower envelope at the extremes.
+        assert!(get(1 << 10, "heft") <= get(1 << 10, "edge-only") * 1.01);
+        assert!(get(1 << 30, "heft") <= get(1 << 30, "cloud-only") * 1.01);
+    }
+}

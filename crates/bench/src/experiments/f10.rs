@@ -1,0 +1,95 @@
+//! F10 — DVFS: race fast or crawl efficiently? (energy-aware Q3)
+//!
+//! The whole fleet is re-rated at relative frequencies from 0.3 to 1.0
+//! (throughput × f, dynamic power × f³, static power unchanged) and a
+//! core-saturating workload is placed and executed at each point.
+//!
+//! Expected shape: makespan falls monotonically with frequency, while
+//! energy is U-shaped — `E(f) ≈ static/f + dynamic·f²` — with its minimum
+//! strictly inside the sweep. Neither "race to idle" (f = 1) nor "crawl"
+//! (f = 0.3) is energy-optimal; the continuum's frequency question has a
+//! real answer in between.
+
+use crate::report::{f, Table};
+use continuum_core::prelude::*;
+use continuum_model::{fleet_at_frequency, standard_fleet};
+use serde::Serialize;
+
+/// One measured point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Relative frequency.
+    pub freq: f64,
+    /// Simulated makespan, seconds.
+    pub makespan_s: f64,
+    /// Simulated energy, joules.
+    pub energy_j: f64,
+}
+
+/// Frequencies swept.
+pub fn freqs() -> Vec<f64> {
+    vec![0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+}
+
+/// Run the sweep.
+pub fn run() -> (Table, Vec<Row>) {
+    let scenario = Scenario::default_continuum();
+    let built = scenario.build();
+    let base_fleet = standard_fleet(&built);
+
+    // Core-saturating workload: wide layered DAG keeping devices busy so
+    // dynamic energy dominates at f = 1.
+    let mut rng = Rng::new(0xF10);
+    let dag = layered_random(
+        &mut rng,
+        &LayeredSpec { tasks: 300, width: 32, ..Default::default() },
+    );
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "F10 — DVFS sweep: makespan and energy vs relative frequency",
+        &["freq", "makespan (s)", "energy (J)"],
+    );
+    for &fr in &freqs() {
+        let fleet = fleet_at_frequency(&base_fleet, fr);
+        let world = Continuum::from_parts(built.clone(), fleet);
+        let report = world.run(&dag, &HeftPlacer::default());
+        let row = Row {
+            freq: fr,
+            makespan_s: report.simulated.makespan_s,
+            energy_j: report.simulated.energy_j,
+        };
+        table.row(vec![f(fr), f(row.makespan_s), f(row.energy_j)]);
+        rows.push(row);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn makespan_monotone_energy_u_shaped() {
+        let (_, rows) = super::run();
+        // Makespan strictly improves with frequency.
+        for w in rows.windows(2) {
+            assert!(
+                w[1].makespan_s < w[0].makespan_s * 1.001,
+                "makespan not decreasing: {} -> {}",
+                w[0].makespan_s,
+                w[1].makespan_s
+            );
+        }
+        // Energy minimum is strictly inside the sweep.
+        let min_idx = rows
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.energy_j.partial_cmp(&b.1.energy_j).expect("no NaN"))
+            .map(|(i, _)| i)
+            .expect("rows");
+        assert!(
+            min_idx != 0 && min_idx != rows.len() - 1,
+            "energy not U-shaped: min at index {min_idx} of {:?}",
+            rows.iter().map(|r| r.energy_j).collect::<Vec<_>>()
+        );
+    }
+}

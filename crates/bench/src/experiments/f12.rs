@@ -1,0 +1,152 @@
+//! F12 — deadline-aware placement: meet the SLO, spend the minimum tier.
+//!
+//! Streaming inference with a 400 ms latency SLO. The *eager* online
+//! policy always chases the minimum predicted latency — burning fog and
+//! cloud capacity on requests the edge could have served within the SLO.
+//! The *deadline-aware* policy escalates up the continuum only as far as
+//! the SLO requires. Both are executed in the contended simulator; we
+//! report the measured SLO miss fraction and the fraction of (unpinned)
+//! tasks placed off the edge.
+//!
+//! Expected shape: below saturation both policies miss nothing, but the
+//! deadline-aware policy keeps all unpinned work at the edge where the
+//! eager policy ships all of it upstream; past saturation (400 req/s on
+//! this scenario's 2-gateway edge) both miss heavily — overload is
+//! overload — and the deadline-aware policy visibly escalates part of its
+//! traffic off the edge. "Where should I compute?" answered with *no
+//! further than necessary*.
+
+use crate::report::{f, Table};
+use continuum_core::prelude::*;
+use continuum_net::Tier as NetTier;
+use serde::Serialize;
+
+/// One measured point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Offered rate, requests/second.
+    pub rate_hz: f64,
+    /// Policy label.
+    pub policy: String,
+    /// Fraction of requests whose simulated latency exceeded the SLO.
+    pub miss_fraction: f64,
+    /// Fraction of unpinned tasks placed at fog tier or above.
+    pub off_edge_fraction: f64,
+}
+
+/// The latency SLO.
+pub fn slo() -> SimDuration {
+    SimDuration::from_millis(400)
+}
+
+/// Arrival rates swept, requests/second.
+pub fn rates() -> Vec<f64> {
+    vec![10.0, 50.0, 150.0, 300.0]
+}
+
+/// Requests per run.
+pub const REQUESTS: usize = 400;
+
+/// Run the comparison.
+pub fn run() -> (Table, Vec<Row>) {
+    let world = Continuum::build(&crate::experiments::f4::scenario());
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "F12 — SLO misses and tier footprint: eager vs deadline-aware",
+        &["rate (/s)", "policy", "miss frac", "off-edge frac"],
+    );
+    for &rate in &rates() {
+        let mut rng = Rng::new(0xF12);
+        let stream = inference_stream(
+            &mut rng,
+            &StreamSpec {
+                sensors: world.sensors().to_vec(),
+                requests: REQUESTS,
+                rate_hz: rate,
+                frame_bytes: 200 << 10,
+                infer_flops: 1e8,
+            },
+        );
+        for deadline_aware in [false, true] {
+            let mut placer = OnlinePlacer::continuum(world.env());
+            let mut off_edge = 0usize;
+            let mut unpinned = 0usize;
+            let placed: Vec<_> = stream
+                .requests
+                .iter()
+                .map(|(arrival, dag)| {
+                    let placement = if deadline_aware {
+                        placer.place_request_deadline(world.env(), dag, *arrival, slo()).0
+                    } else {
+                        placer.place_request(world.env(), dag, *arrival).0
+                    };
+                    for task in dag.tasks() {
+                        if task.constraints.pinned_node.is_none() {
+                            unpinned += 1;
+                            let tier =
+                                world.env().fleet.device(placement.device(task.id)).spec.tier;
+                            if tier >= NetTier::Fog {
+                                off_edge += 1;
+                            }
+                        }
+                    }
+                    (*arrival, dag.clone(), placement)
+                })
+                .collect();
+            let trace = world.run_stream(placed);
+            let slo_s = slo().as_secs_f64();
+            let lats = trace.latencies_s();
+            let misses = lats.iter().filter(|&&l| l > slo_s).count();
+            let row = Row {
+                rate_hz: rate,
+                policy: if deadline_aware { "deadline-aware" } else { "eager" }.into(),
+                miss_fraction: misses as f64 / lats.len() as f64,
+                off_edge_fraction: off_edge as f64 / unpinned as f64,
+            };
+            table.row(vec![
+                f(rate),
+                row.policy.clone(),
+                format!("{:.1}%", row.miss_fraction * 100.0),
+                f(row.off_edge_fraction),
+            ]);
+            rows.push(row);
+        }
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn deadline_awareness_saves_tier_without_blowing_slo() {
+        let (_, rows) = super::run();
+        let get = |rate: f64, policy: &str| {
+            rows.iter()
+                .find(|r| r.rate_hz == rate && r.policy == policy)
+                .expect("row present")
+        };
+        for &rate in &super::rates() {
+            let eager = get(rate, "eager");
+            let aware = get(rate, "deadline-aware");
+            // The SLO holds (or nearly holds) under both policies at the
+            // swept loads.
+            assert!(aware.miss_fraction <= eager.miss_fraction + 0.05,
+                "deadline-aware misses more at {rate}/s: {} vs {}",
+                aware.miss_fraction, eager.miss_fraction);
+            // The footprint saving is the point.
+            assert!(
+                aware.off_edge_fraction <= eager.off_edge_fraction,
+                "no tier saving at {rate}/s: {} vs {}",
+                aware.off_edge_fraction,
+                eager.off_edge_fraction
+            );
+        }
+        // At the lowest rate the saving is substantial.
+        let low = super::rates()[0];
+        assert!(
+            get(low, "deadline-aware").off_edge_fraction
+                < get(low, "eager").off_edge_fraction - 0.2,
+            "saving too small at low rate"
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! F2 — the Gilder sweep (claim C1: "the machine disintegrates").
+//!
+//! Every link bandwidth in the continuum is scaled by a factor swept over
+//! six orders of magnitude, moving the mean Gilder ratio (bits/s of access
+//! bandwidth per flop/s of compute) from deep network-starved territory to
+//! network-as-fast-as-memory. For each point, HEFT places a batch of
+//! sensor-born pipelines and we record what fraction of the work leaves
+//! the edge — the *disintegration fraction* — plus the makespan.
+//!
+//! Expected shape: a sigmoid. With slow networks all work hugs the data
+//! (fraction ≈ pinned-only); past a knee the optimal placement spreads
+//! across fog/cloud/HPC (fraction → 1) and the makespan collapses.
+
+use crate::report::{f, Table};
+use continuum_core::prelude::*;
+use continuum_model::standard_fleet;
+use continuum_net::{mean_gilder_ratio, Tier};
+use serde::Serialize;
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Bandwidth multiplier applied to every link.
+    pub bandwidth_scale: f64,
+    /// Mean Gilder ratio (bits per flop) over compute devices.
+    pub gilder_ratio: f64,
+    /// Fraction of unpinned tasks placed off the edge (tier >= fog).
+    pub off_edge_fraction: f64,
+    /// Simulated makespan of the workload, seconds.
+    pub makespan_s: f64,
+}
+
+/// Bandwidth scale factors swept (finer steps around the knee).
+pub fn scales() -> Vec<f64> {
+    vec![0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 1.0, 10.0, 100.0, 1000.0]
+}
+
+/// Run the sweep.
+pub fn run() -> (Table, Vec<Row>) {
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "F2 — Gilder sweep: off-edge placement fraction vs network:compute ratio",
+        &["bw scale", "gilder (bit/flop)", "off-edge frac", "makespan (s)"],
+    );
+    for &scale in &scales() {
+        let scenario = Scenario::default_continuum();
+        let mut built = scenario.build();
+        built.topology.scale_bandwidth(scale);
+        let fleet = standard_fleet(&built);
+        let world = Continuum::from_parts(built.clone(), fleet);
+
+        // Workload: heterogeneous layered DAGs born at the edge gateways.
+        // Task work and data sizes span two log-normal decades, so each
+        // task has its own break-even bandwidth and the off-edge fraction
+        // climbs gradually as the network speeds up.
+        let mut dags = Vec::new();
+        let mut rng = continuum_sim::Rng::new(0xF2);
+        for (i, &e) in built.edges.iter().enumerate() {
+            if i % 2 == 0 {
+                dags.push(layered_random(
+                    &mut rng,
+                    &LayeredSpec {
+                        tasks: 30,
+                        width: 6,
+                        work_sigma: 1.5,
+                        bytes_sigma: 1.5,
+                        source: e,
+                        // Allow every tier: the question is where work goes.
+                        min_mem_bytes: 0,
+                        ..Default::default()
+                    },
+                ));
+            }
+        }
+
+        let gilder = {
+            let compute_nodes: Vec<_> =
+                world.env().fleet.devices().iter().map(|d| d.node).collect();
+            mean_gilder_ratio(world.topology(), &compute_nodes, |n| {
+                world
+                    .env()
+                    .fleet
+                    .at_node(n)
+                    .first()
+                    .map(|&d| world.env().fleet.device(d).spec.flops)
+                    .unwrap_or(1.0)
+            })
+        };
+
+        let mut off_edge = 0usize;
+        let mut unpinned = 0usize;
+        let mut makespan: f64 = 0.0;
+        for dag in &dags {
+            let report = world.run(dag, &HeftPlacer::default());
+            makespan = makespan.max(report.simulated.makespan_s);
+            for task in dag.tasks() {
+                if task.constraints.pinned_node.is_none() {
+                    unpinned += 1;
+                    let dev = report.placement.device(task.id);
+                    if world.env().fleet.device(dev).spec.tier >= Tier::Fog {
+                        off_edge += 1;
+                    }
+                }
+            }
+        }
+        let row = Row {
+            bandwidth_scale: scale,
+            gilder_ratio: gilder,
+            off_edge_fraction: off_edge as f64 / unpinned as f64,
+            makespan_s: makespan,
+        };
+        table.row(vec![
+            format!("{scale}"),
+            f(row.gilder_ratio),
+            f(row.off_edge_fraction),
+            f(row.makespan_s),
+        ]);
+        rows.push(row);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn disintegration_is_monotone_ish() {
+        let (_, rows) = super::run();
+        let first = rows.first().expect("rows");
+        let last = rows.last().expect("rows");
+        // Slow network keeps work local; fast network disintegrates it.
+        assert!(
+            last.off_edge_fraction > first.off_edge_fraction + 0.3,
+            "no disintegration: {} -> {}",
+            first.off_edge_fraction,
+            last.off_edge_fraction
+        );
+        // Faster networks never hurt the makespan.
+        assert!(last.makespan_s <= first.makespan_s);
+        // The Gilder ratio itself scales linearly with bandwidth.
+        assert!(last.gilder_ratio > first.gilder_ratio * 1e5);
+    }
+}

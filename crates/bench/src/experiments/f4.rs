@@ -1,0 +1,150 @@
+//! F4 — streaming inference latency under load (Q2: latency-sensitive
+//! workloads).
+//!
+//! A camera fleet issues `capture -> preprocess -> infer` requests with
+//! Poisson arrivals. Three *online* policies place each request as it
+//! arrives: edge-only, cloud-only, and the continuum policy that decides
+//! per request from live queue estimates. The placed stream is then
+//! executed in the contended simulator.
+//!
+//! Expected shape: at low rates the edge wins (no WAN round-trip); as the
+//! rate approaches the edge tier's service capacity its queues blow up and
+//! the cloud wins; the continuum policy tracks the lower envelope and
+//! degrades gracefully by spilling excess load upstream.
+
+use crate::report::{f, Table};
+use continuum_core::prelude::*;
+use continuum_sim::Percentiles;
+use serde::Serialize;
+
+/// One measured point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Offered arrival rate, requests/second.
+    pub rate_hz: f64,
+    /// Policy name.
+    pub policy: String,
+    /// Median latency, seconds.
+    pub p50_s: f64,
+    /// 95th percentile latency, seconds.
+    pub p95_s: f64,
+    /// 99th percentile latency, seconds.
+    pub p99_s: f64,
+}
+
+/// The F4 scenario: a lean edge tier (2 gateways) a long WAN away from a
+/// capable cloud — the regime where "where should I compute?" flips with
+/// load.
+pub fn scenario() -> Scenario {
+    use continuum_net::{ContinuumSpec, LinkSpec};
+    use continuum_sim::SimDuration;
+    Scenario {
+        name: "f4-streaming",
+        spec: ContinuumSpec {
+            fogs: 1,
+            edges_per_fog: 2,
+            sensors_per_edge: 8,
+            clouds: 2,
+            hpcs: 0,
+            fog_cloud: LinkSpec::new(SimDuration::from_millis(50), 1.25e9),
+            ..ContinuumSpec::default()
+        },
+    }
+}
+
+/// Arrival rates swept, requests/second.
+pub fn rates() -> Vec<f64> {
+    vec![20.0, 100.0, 400.0]
+}
+
+/// Requests per run.
+pub const REQUESTS: usize = 600;
+
+/// Light inference: ~33 ms on an edge-gateway core, sub-ms in the cloud.
+pub const INFER_FLOPS: f64 = 1e8;
+
+/// Run the sweep.
+pub fn run() -> (Table, Vec<Row>) {
+    let world = Continuum::build(&scenario());
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "F4 — streaming p99 latency (s) vs arrival rate",
+        &["rate (req/s)", "policy", "p50 (s)", "p95 (s)", "p99 (s)"],
+    );
+    for &rate in &rates() {
+        let mut rng = Rng::new(0xF4);
+        let stream = inference_stream(
+            &mut rng,
+            &StreamSpec {
+                sensors: world.sensors().to_vec(),
+                requests: REQUESTS,
+                rate_hz: rate,
+                frame_bytes: 200 << 10,
+                infer_flops: INFER_FLOPS,
+            },
+        );
+        for placer in [
+            OnlinePlacer::edge_only(world.env()),
+            OnlinePlacer::cloud_only(world.env()),
+            OnlinePlacer::continuum(world.env()),
+        ] {
+            let name = placer.name().to_string();
+            let mut p = placer;
+            let placed: Vec<_> = stream
+                .requests
+                .iter()
+                .map(|(arrival, dag)| {
+                    let (placement, _) = p.place_request(world.env(), dag, *arrival);
+                    (*arrival, dag.clone(), placement)
+                })
+                .collect();
+            let trace = world.run_stream(placed);
+            let mut perc = Percentiles::new();
+            for l in trace.latencies_s() {
+                perc.push(l);
+            }
+            let (p50, p95, p99) = perc.p50_p95_p99().expect("non-empty stream");
+            table.row(vec![f(rate), name.clone(), f(p50), f(p95), f(p99)]);
+            rows.push(Row { rate_hz: rate, policy: name, p50_s: p50, p95_s: p95, p99_s: p99 });
+        }
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn crossover_with_load() {
+        let (_, rows) = super::run();
+        let get = |rate: f64, policy: &str| {
+            rows.iter()
+                .find(|r| r.rate_hz == rate && r.policy == policy)
+                .map(|r| r.p99_s)
+                .expect("row present")
+        };
+        let low = super::rates()[0];
+        let high = *super::rates().last().expect("rates");
+        // Low rate: the edge's locality beats the cloud's WAN round-trip.
+        assert!(
+            get(low, "online-edge") < get(low, "online-cloud"),
+            "edge {} !< cloud {} at low rate",
+            get(low, "online-edge"),
+            get(low, "online-cloud")
+        );
+        // High rate: the edge saturates; the cloud absorbs the load.
+        assert!(
+            get(high, "online-cloud") < get(high, "online-edge"),
+            "cloud {} !< edge {} at high rate",
+            get(high, "online-cloud"),
+            get(high, "online-edge")
+        );
+        // The continuum tracks the lower envelope (with scheduling slack).
+        for &rate in &super::rates() {
+            let best = get(rate, "online-edge").min(get(rate, "online-cloud"));
+            assert!(
+                get(rate, "online-continuum") <= best * 1.5,
+                "continuum off envelope at rate {rate}"
+            );
+        }
+    }
+}

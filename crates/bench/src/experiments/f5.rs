@@ -1,0 +1,104 @@
+//! F5 — placement-engine scalability (a systems check on the engine
+//! itself).
+//!
+//! Two questions: (a) how fast does HEFT construct schedules as the DAG
+//! grows (tasks/second of scheduling throughput), and (b) how well does
+//! the annealing refiner scale across rayon threads (its restarts are
+//! embarrassingly parallel)?
+
+use crate::report::{f, Table};
+use continuum_core::prelude::*;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// `"heft-throughput"` or `"anneal-speedup"`.
+    pub kind: String,
+    /// DAG size (throughput) or thread count (speedup).
+    pub param: usize,
+    /// Wall seconds for the measured operation.
+    pub seconds: f64,
+    /// Tasks/s (throughput) or speedup vs 1 thread (speedup).
+    pub value: f64,
+}
+
+/// DAG sizes for throughput measurement.
+pub fn sizes() -> Vec<usize> {
+    vec![100, 200, 400, 800, 1600]
+}
+
+/// Thread counts for the annealing-speedup measurement.
+pub fn threads() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    [1usize, 2, 4, 8].into_iter().filter(|&t| t <= max.max(1)).collect()
+}
+
+/// Run both measurements. Returns two tables (throughput, speedup).
+pub fn run() -> (Vec<Table>, Vec<Row>) {
+    let world = Continuum::build(&Scenario::default_continuum());
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "F5a — HEFT schedule-construction throughput",
+        &["tasks", "time (s)", "tasks/s"],
+    );
+    for &n in &sizes() {
+        let mut rng = Rng::new(0xF5);
+        let dag = layered_random(
+            &mut rng,
+            &LayeredSpec { tasks: n, width: 16, ..Default::default() },
+        );
+        let t0 = Instant::now();
+        let placement = world.place(&dag, &HeftPlacer::default());
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(placement.assignment.len(), n);
+        let thpt = n as f64 / secs;
+        table.row(vec![n.to_string(), f(secs), f(thpt)]);
+        rows.push(Row { kind: "heft-throughput".into(), param: n, seconds: secs, value: thpt });
+    }
+
+    let mut table_b = Table::new(
+        "F5b — annealing restart speedup vs rayon threads",
+        &["threads", "time (s)", "speedup"],
+    );
+    let mut rng = Rng::new(0xF5B);
+    let dag = layered_random(
+        &mut rng,
+        &LayeredSpec { tasks: 120, width: 8, ..Default::default() },
+    );
+    let annealer = AnnealingPlacer { iters: 150, restarts: 8, ..Default::default() };
+    let mut base = None;
+    for &t in &threads() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("rayon pool");
+        let t0 = Instant::now();
+        pool.install(|| {
+            let _ = annealer.place(world.env(), &dag);
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        let base_secs = *base.get_or_insert(secs);
+        let speedup = base_secs / secs;
+        table_b.row(vec![t.to_string(), f(secs), format!("{speedup:.2}x")]);
+        rows.push(Row { kind: "anneal-speedup".into(), param: t, seconds: secs, value: speedup });
+    }
+
+    (vec![table, table_b], rows)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn throughput_positive_and_speedup_sane() {
+        let (_, rows) = super::run();
+        for r in &rows {
+            assert!(r.seconds > 0.0);
+            assert!(r.value > 0.0);
+        }
+        // The engine should schedule at least hundreds of tasks/second.
+        let thpt: Vec<_> = rows.iter().filter(|r| r.kind == "heft-throughput").collect();
+        assert!(thpt.iter().any(|r| r.value > 100.0));
+    }
+}

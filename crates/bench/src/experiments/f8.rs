@@ -1,0 +1,173 @@
+//! F8 — facility design: "where should I place my computers?" (Q3).
+//!
+//! A fixed budget of machines is split between edge gateways and cloud
+//! VMs across five deployments, from cloud-heavy (1 gateway per fog,
+//! 7 VMs) to edge-heavy (8 gateways per fog, 1 VM). The fog tier carries
+//! no compute in this experiment (pure aggregation), and the WAN is
+//! expensive (100 ms, 20 MB/s) — the regime in which the split matters.
+//!
+//! The workload has both of the keynote's demand shapes: a latency-
+//! sensitive inference stream (wants edge capacity) and throughput batch
+//! fork-joins (want fast cloud cores). The facility objective combines
+//! them; the expected shape is a U: both extremes lose, a mixed build
+//! wins.
+
+use crate::report::{f, Table};
+use continuum_core::prelude::*;
+use continuum_model::Fleet;
+use continuum_net::ContinuumSpec;
+use continuum_sim::Percentiles;
+use serde::Serialize;
+
+/// One deployment point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Edge gateways per fog site.
+    pub edges_per_fog: usize,
+    /// Cloud VM count.
+    pub clouds: usize,
+    /// Worst batch makespan, seconds.
+    pub batch_makespan_s: f64,
+    /// Stream p95 latency, seconds.
+    pub stream_p95_s: f64,
+    /// Combined facility objective: batch + 10 × stream p95.
+    pub score: f64,
+}
+
+/// The capacity splits swept: (edges_per_fog, clouds).
+pub fn splits() -> Vec<(usize, usize)> {
+    vec![(1, 7), (2, 5), (4, 4), (6, 2), (8, 1)]
+}
+
+/// Stream arrival rate, requests/second.
+pub const STREAM_RATE: f64 = 150.0;
+/// Stream requests per run.
+pub const STREAM_REQUESTS: usize = 450;
+/// Inference work per request, flops (~33 ms on an edge-gateway core).
+pub const INFER_FLOPS: f64 = 1e8;
+
+fn build_world(epf: usize, clouds: usize) -> Continuum {
+    use continuum_net::LinkSpec;
+    use continuum_sim::SimDuration;
+    let scenario = Scenario {
+        name: "f8",
+        spec: ContinuumSpec {
+            fogs: 2,
+            edges_per_fog: epf,
+            sensors_per_edge: (16 / epf).max(1),
+            clouds,
+            hpcs: 0,
+            // Expensive WAN: 100 ms, 20 MB/s.
+            fog_cloud: LinkSpec::new(SimDuration::from_millis(100), 2e7),
+            ..ContinuumSpec::default()
+        },
+    };
+    let built = scenario.build();
+    // Custom fleet: fogs are pure aggregation switches (no compute), every
+    // cloud node is a plain CloudVm — the capacity story is edge vs cloud.
+    let mut fleet = Fleet::new();
+    for &s in &built.sensors {
+        fleet.add_class(s, DeviceClass::SensorMote);
+    }
+    for &e in &built.edges {
+        fleet.add_class(e, DeviceClass::EdgeGateway);
+    }
+    for &c in &built.clouds {
+        fleet.add_class(c, DeviceClass::CloudVm);
+    }
+    Continuum::from_parts(built, fleet)
+}
+
+/// Run the sweep.
+pub fn run() -> (Table, Vec<Row>) {
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "F8 — facility design: shifting capacity between edge and cloud",
+        &["edges/fog", "clouds", "batch makespan (s)", "stream p95 (s)", "score"],
+    );
+    for &(epf, clouds) in &splits() {
+        let world = build_world(epf, clouds);
+
+        // Batch: one wide fork-join per fog region (compute-heavy, light
+        // data, so cloud cores are what it wants).
+        let mut batch: f64 = 0.0;
+        for f_i in 0..2usize {
+            let sensor = world.sensors()[f_i * world.sensors().len() / 2];
+            let dag = fork_join(sensor, 32, 2 << 20, 2e10, 64 << 10);
+            batch = batch.max(world.run(&dag, &HeftPlacer::default()).simulated.makespan_s);
+        }
+
+        // Stream: light inference at a rate that saturates a thin edge.
+        let mut rng = Rng::new(0xF8);
+        let stream = inference_stream(
+            &mut rng,
+            &StreamSpec {
+                sensors: world.sensors().to_vec(),
+                requests: STREAM_REQUESTS,
+                rate_hz: STREAM_RATE,
+                frame_bytes: 200 << 10,
+                infer_flops: INFER_FLOPS,
+            },
+        );
+        let mut placer = OnlinePlacer::continuum(world.env());
+        let placed: Vec<_> = stream
+            .requests
+            .into_iter()
+            .map(|(arrival, dag)| {
+                let (p, _) = placer.place_request(world.env(), &dag, arrival);
+                (arrival, dag, p)
+            })
+            .collect();
+        let trace = world.run_stream(placed);
+        let mut perc = Percentiles::new();
+        for l in trace.latencies_s() {
+            perc.push(l);
+        }
+        let p95 = perc.quantile(0.95).expect("non-empty");
+
+        let score = batch + 10.0 * p95;
+        table.row(vec![
+            epf.to_string(),
+            clouds.to_string(),
+            f(batch),
+            f(p95),
+            f(score),
+        ]);
+        rows.push(Row {
+            edges_per_fog: epf,
+            clouds,
+            batch_makespan_s: batch,
+            stream_p95_s: p95,
+            score,
+        });
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn extremes_do_not_win() {
+        let (_, rows) = super::run();
+        let best = rows
+            .iter()
+            .min_by(|a, b| a.score.partial_cmp(&b.score).expect("no NaN"))
+            .expect("rows");
+        let first = rows.first().expect("rows");
+        let last = rows.last().expect("rows");
+        assert!(best.score <= first.score && best.score <= last.score);
+        assert!(
+            best.score < first.score.max(last.score) * 0.999,
+            "flat facility landscape: best {} vs extremes {} / {}",
+            best.score,
+            first.score,
+            last.score
+        );
+        // The two demand shapes pull in opposite directions somewhere in
+        // the sweep: batch prefers cloud-rich, stream prefers edge-rich.
+        assert!(
+            last.batch_makespan_s > first.batch_makespan_s,
+            "batch insensitive to cloud capacity"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! F9 — resilience under task failures.
+//!
+//! The continuum's devices are not a machine room: edge gear loses power,
+//! preemptible VMs vanish, wireless drops. The executor injects per-attempt
+//! task failures (the burned work is still charged) with same-device retry
+//! after a delay; this experiment sweeps the failure probability and
+//! reports makespan inflation, retries, and the energy overhead of wasted
+//! attempts.
+//!
+//! Expected shape: inflation grows monotonically (roughly like
+//! `1/(1-p)` plus retry-delay and critical-path effects), and failure
+//! energy overhead tracks the number of retries.
+
+use crate::report::{f, Table};
+use continuum_core::prelude::*;
+use continuum_runtime::{simulate_stream_with_faults, FaultSpec, StreamRequest};
+use serde::Serialize;
+
+/// One measured point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Per-attempt failure probability.
+    pub fail_prob: f64,
+    /// Simulated makespan, seconds.
+    pub makespan_s: f64,
+    /// Makespan relative to the fault-free run.
+    pub inflation: f64,
+    /// Failed attempts across the workflow.
+    pub retries: u64,
+    /// Energy relative to the fault-free run.
+    pub energy_overhead: f64,
+}
+
+/// Failure probabilities swept.
+pub fn probs() -> Vec<f64> {
+    vec![0.0, 0.01, 0.05, 0.10, 0.20, 0.35]
+}
+
+/// Run the sweep.
+pub fn run() -> (Table, Vec<Row>) {
+    let world = Continuum::build(&Scenario::default_continuum());
+    let mut rng = Rng::new(0xF9);
+    let dag = layered_random(&mut rng, &LayeredSpec { tasks: 120, ..Default::default() });
+    let placement = world.place(&dag, &HeftPlacer::default());
+    let reqs = [StreamRequest {
+        arrival: SimTime::ZERO,
+        dag: dag.clone(),
+        placement,
+    }];
+
+    let mut rows = Vec::new();
+    let mut baseline: Option<(f64, f64)> = None;
+    let mut table = Table::new(
+        "F9 — makespan inflation vs per-attempt task failure probability",
+        &["fail prob", "makespan (s)", "inflation", "retries", "energy overhead"],
+    );
+    for &p in &probs() {
+        let faults = FaultSpec {
+            fail_prob: p,
+            retry_delay: SimDuration::from_millis(500),
+            ..Default::default()
+        };
+        let out = simulate_stream_with_faults(world.env(), &reqs, Some(&faults));
+        let (base_mk, base_en) =
+            *baseline.get_or_insert((out.metrics.makespan_s, out.metrics.energy_j));
+        let row = Row {
+            fail_prob: p,
+            makespan_s: out.metrics.makespan_s,
+            inflation: out.metrics.makespan_s / base_mk,
+            retries: out.trace.failed_attempts,
+            energy_overhead: out.metrics.energy_j / base_en,
+        };
+        table.row(vec![
+            f(p),
+            f(row.makespan_s),
+            format!("{:.2}x", row.inflation),
+            row.retries.to_string(),
+            format!("{:.2}x", row.energy_overhead),
+        ]);
+        rows.push(row);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn inflation_monotone_ish_and_baseline_clean() {
+        let (_, rows) = super::run();
+        assert_eq!(rows[0].fail_prob, 0.0);
+        assert_eq!(rows[0].retries, 0);
+        assert!((rows[0].inflation - 1.0).abs() < 1e-12);
+        let last = rows.last().expect("rows");
+        assert!(last.retries > 10, "too few failures injected: {}", last.retries);
+        assert!(last.inflation > 1.1, "failures did not hurt: {}", last.inflation);
+        assert!(last.energy_overhead > 1.05);
+        // Weak monotonicity across the sweep (allowing one local dip from
+        // discrete retry timing).
+        let dips = rows
+            .windows(2)
+            .filter(|w| w[1].inflation < w[0].inflation * 0.98)
+            .count();
+        assert!(dips <= 1, "inflation not increasing: {rows:?}");
+    }
+}

@@ -1,0 +1,21 @@
+//! The experiment suite: one module per table/figure of EXPERIMENTS.md.
+
+pub mod ablations;
+pub mod f1;
+pub mod f2;
+pub mod f3;
+pub mod f4;
+pub mod f5;
+pub mod f6;
+pub mod f7;
+pub mod f8;
+pub mod f9;
+pub mod f10;
+pub mod f11;
+pub mod f12;
+pub mod f13;
+pub mod t1;
+pub mod t2;
+pub mod t3;
+pub mod t4;
+pub mod t5;

@@ -1,0 +1,39 @@
+//! T1 — device-class characterization table.
+//!
+//! Answers Q2 ("for what workloads should I design computers?") by laying
+//! out the five-orders-of-magnitude compute range of the continuum, with
+//! the network tier, power, and billing context each class lives in.
+
+use crate::report::{bytes, f, Table};
+use continuum_model::catalog;
+
+/// Build the T1 table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "T1 — device catalog (the continuum's hardware classes)",
+        &["class", "tier", "cores", "Gflop/s", "memory", "idle W", "busy W", "$/h", "egress $/GB"],
+    );
+    for spec in catalog::all() {
+        t.row(vec![
+            spec.class.label().to_string(),
+            spec.tier.label().to_string(),
+            spec.cores.to_string(),
+            f(spec.flops / 1e9),
+            bytes(spec.mem_bytes),
+            f(spec.idle_watts),
+            f(spec.busy_watts),
+            f(spec.usd_per_hour),
+            f(spec.egress_usd_per_gb),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t1_has_all_classes() {
+        let t = super::run();
+        assert_eq!(t.rows.len(), continuum_model::DeviceClass::ALL.len());
+    }
+}

@@ -1,0 +1,108 @@
+//! T3 — validation: are the estimator's schedules realizable?
+//!
+//! The same placed workflow is (a) predicted by the analytic estimator,
+//! (b) executed in the contended simulator, and (c) executed by the real
+//! multi-threaded executor with scaled wall-clock duration. We report the
+//! relative error of (c) against (a) — the claim being validated is that
+//! the schedules the placement engine reasons about can actually be run
+//! by a concurrent runtime with the predicted timing — and the
+//! contention factor (b)/(a) as context.
+
+use crate::report::{f, Table};
+use continuum_core::prelude::*;
+use continuum_placement::evaluate;
+use serde::Serialize;
+
+/// One validated workflow.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Workflow label.
+    pub workflow: String,
+    /// Tasks in the DAG.
+    pub tasks: usize,
+    /// Estimated makespan, virtual seconds.
+    pub estimated_s: f64,
+    /// Simulated (contended) makespan, virtual seconds.
+    pub simulated_s: f64,
+    /// Real-executor makespan converted to virtual seconds.
+    pub real_s: f64,
+    /// |real − estimated| / estimated.
+    pub real_vs_estimate_err: f64,
+}
+
+/// Wall seconds of emulation per virtual second — large enough that OS
+/// jitter (~1 ms per scheduling hop) stays a small fraction of each
+/// emulated interval.
+pub const TIME_SCALE: f64 = 0.3;
+
+/// Run the validation suite.
+pub fn run() -> (Table, Vec<Row>) {
+    let world = Continuum::build(&Scenario::default_continuum());
+    let mut rng = Rng::new(0x73);
+    let workloads: Vec<(String, Dag)> = vec![
+        (
+            "pipeline".into(),
+            analytics_pipeline(&PipelineSpec {
+                source: world.sensors()[0],
+                input_bytes: 4 << 20,
+                ..Default::default()
+            }),
+        ),
+        ("fork-join".into(), fork_join(world.sensors()[1], 8, 1 << 20, 4e10, 1 << 16)),
+        (
+            "layered".into(),
+            layered_random(&mut rng, &LayeredSpec { tasks: 40, ..Default::default() }),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "T3 — estimator vs simulator vs real executor",
+        &["workflow", "tasks", "estimate (s)", "simulated (s)", "real (s)", "real err"],
+    );
+    for (name, dag) in workloads {
+        let placement = world.place(&dag, &HeftPlacer::default());
+        let (_, est) = evaluate(world.env(), &dag, &placement);
+        let sim = world.run(&dag, &HeftPlacer::default()).simulated;
+        let real = RealExecutor { time_scale: TIME_SCALE }
+            .execute(world.env(), &dag, &placement);
+        let err = (real.virtual_makespan_s - est.makespan_s).abs() / est.makespan_s;
+        table.row(vec![
+            name.clone(),
+            dag.len().to_string(),
+            f(est.makespan_s),
+            f(sim.makespan_s),
+            f(real.virtual_makespan_s),
+            format!("{:.1}%", err * 100.0),
+        ]);
+        rows.push(Row {
+            workflow: name,
+            tasks: dag.len(),
+            estimated_s: est.makespan_s,
+            simulated_s: sim.makespan_s,
+            real_s: real.virtual_makespan_s,
+            real_vs_estimate_err: err,
+        });
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn real_executor_tracks_estimates() {
+        let (_, rows) = super::run();
+        for r in &rows {
+            assert!(
+                r.real_vs_estimate_err < 0.30,
+                "{}: real {} vs est {} (err {:.1}%)",
+                r.workflow,
+                r.real_s,
+                r.estimated_s,
+                r.real_vs_estimate_err * 100.0
+            );
+            // Simulation includes contention, so it can only be >= estimate.
+            assert!(r.simulated_s >= r.estimated_s * 0.98);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! T4 — scenario characterization (the facility designer's datasheet).
+//!
+//! One row per built-in scenario: graph size, latency diameter, mean
+//! sensor-to-cloud latency, aggregate link bandwidth, fleet compute, and
+//! the resulting mean Gilder ratio. The table grounds every other
+//! experiment: when F4 says "the cloud pays a WAN round-trip", this is
+//! where that number lives.
+
+use crate::report::{f, Table};
+use continuum_core::prelude::*;
+use continuum_model::standard_fleet;
+use continuum_net::{mean_gilder_ratio, topology_stats, RouteTable};
+use serde::Serialize;
+
+/// One scenario's characterization.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Scenario name.
+    pub scenario: String,
+    /// Nodes in the topology.
+    pub nodes: usize,
+    /// Links in the topology.
+    pub links: usize,
+    /// Latency diameter, milliseconds.
+    pub diameter_ms: f64,
+    /// Mean sensor-to-nearest-cloud latency, milliseconds.
+    pub sensor_to_cloud_ms: f64,
+    /// Total fleet compute, Tflop/s.
+    pub fleet_tflops: f64,
+    /// Mean Gilder ratio over compute devices, bits/flop.
+    pub gilder: f64,
+}
+
+/// Run the characterization.
+pub fn run() -> (Table, Vec<Row>) {
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "T4 — scenario characterization",
+        &["scenario", "nodes", "links", "diameter (ms)", "sensor→cloud (ms)", "Tflop/s", "gilder (bit/flop)"],
+    );
+    for scenario in [
+        Scenario::default_continuum(),
+        Scenario::smart_city(),
+        Scenario::science_campus(),
+    ] {
+        let built = scenario.build();
+        let fleet = standard_fleet(&built);
+        let routes = RouteTable::build(&built.topology);
+        let st = topology_stats(&built.topology, &routes);
+        let nodes_with_devices: Vec<_> = fleet.devices().iter().map(|d| d.node).collect();
+        let gilder = mean_gilder_ratio(&built.topology, &nodes_with_devices, |n| {
+            fleet
+                .at_node(n)
+                .first()
+                .map(|&d| fleet.device(d).spec.flops)
+                .unwrap_or(1.0)
+        });
+        let row = Row {
+            scenario: scenario.name.to_string(),
+            nodes: st.nodes,
+            links: st.links,
+            diameter_ms: st.diameter.as_secs_f64() * 1e3,
+            sensor_to_cloud_ms: st.mean_sensor_to_cloud.as_secs_f64() * 1e3,
+            fleet_tflops: fleet.total_flops() / 1e12,
+            gilder,
+        };
+        table.row(vec![
+            row.scenario.clone(),
+            row.nodes.to_string(),
+            row.links.to_string(),
+            f(row.diameter_ms),
+            f(row.sensor_to_cloud_ms),
+            f(row.fleet_tflops),
+            f(row.gilder),
+        ]);
+        rows.push(row);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn characterization_consistent() {
+        let (_, rows) = super::run();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.nodes > 0 && r.links > 0);
+            assert!(r.diameter_ms > 0.0);
+            assert!(r.fleet_tflops > 0.0);
+            assert!(r.gilder > 0.0);
+        }
+        let by = |n: &str| rows.iter().find(|r| r.scenario == n).expect("scenario row");
+        // The smart city is the biggest graph; the campus is the fastest
+        // sensor-to-cloud path and the biggest iron.
+        assert!(by("smart-city").nodes > by("default").nodes);
+        assert!(by("science-campus").sensor_to_cloud_ms < by("default").sensor_to_cloud_ms);
+        assert!(by("science-campus").fleet_tflops > by("smart-city").fleet_tflops);
+    }
+}

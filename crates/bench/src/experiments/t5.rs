@@ -1,0 +1,137 @@
+//! T5 — estimator fidelity: how wrong is the model the policies trust?
+//!
+//! Every placement decision in this repository is made against the
+//! contention-free analytic estimator; the contended simulator then
+//! delivers the truth. This experiment measures the distribution of the
+//! contention factor (simulated / estimated makespan) across many random
+//! workloads of three shapes, for HEFT placements.
+//!
+//! Expected shape: chains predict almost perfectly (no concurrency to
+//! contend); layered DAGs sit close to 1 with a small tail; shuffle-heavy
+//! map-reduces mispredict worst (concurrent transfers share links). This
+//! is the quantitative case for why the simulator — not the estimator —
+//! is the arbiter in every other experiment.
+
+use crate::report::Table;
+use continuum_core::prelude::*;
+use continuum_placement::evaluate;
+use continuum_sim::Percentiles;
+use serde::Serialize;
+
+/// Fidelity summary for one workload family.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Workload family.
+    pub family: String,
+    /// Samples measured.
+    pub samples: usize,
+    /// Median contention factor.
+    pub p50: f64,
+    /// 95th-percentile contention factor.
+    pub p95: f64,
+    /// Maximum observed factor.
+    pub max: f64,
+}
+
+/// Samples per family.
+pub const SAMPLES: usize = 20;
+
+/// Run the fidelity study.
+pub fn run() -> (Table, Vec<Row>) {
+    let world = Continuum::build(&Scenario::default_continuum());
+    let mut rows = Vec::new();
+
+    /// A seeded workload constructor.
+    type Family<'a> = (&'a str, Box<dyn Fn(u64) -> Dag>);
+    let sensor = world.sensors()[0];
+    let edge = world.edges()[0];
+    let families: Vec<Family> = vec![
+        (
+            "chain",
+            Box::new(move |seed| {
+                let mut rng = Rng::new(seed);
+                let mut g = Dag::new("chain");
+                let src = edge;
+                let mut prev = g.add_input("in", 1 << 20, src);
+                for i in 0..12 {
+                    let out = g.add_item(format!("d{i}"), rng.range_u64(1, 4) << 20);
+                    g.add_task(format!("t{i}"), rng.lognormal((1e10f64).ln(), 0.5), vec![prev], vec![out]);
+                    prev = out;
+                }
+                g
+            }),
+        ),
+        (
+            "layered",
+            Box::new(move |seed| {
+                let mut rng = Rng::new(seed);
+                layered_random(
+                    &mut rng,
+                    &LayeredSpec { tasks: 60, source: edge, ..Default::default() },
+                )
+            }),
+        ),
+        (
+            "map-reduce",
+            Box::new(move |seed| {
+                let mut rng = Rng::new(seed);
+                let mappers = 4 + rng.index(6);
+                map_reduce(sensor, mappers, 3, rng.range_u64(4, 32) << 20, 20.0)
+            }),
+        ),
+    ];
+
+    let mut table = Table::new(
+        "T5 — estimator fidelity: contention factor (simulated / estimated)",
+        &["family", "samples", "p50", "p95", "max"],
+    );
+    for (family, gen) in &families {
+        let mut perc = Percentiles::new();
+        let mut max = 0.0f64;
+        for s in 0..SAMPLES as u64 {
+            let dag = gen(0x75_000 + s);
+            let placement = world.place(&dag, &HeftPlacer::default());
+            let (_, est) = evaluate(world.env(), &dag, &placement);
+            let sim = continuum_runtime::simulate(world.env(), &dag, &placement).metrics;
+            let factor = sim.makespan_s / est.makespan_s;
+            perc.push(factor);
+            max = max.max(factor);
+        }
+        let row = Row {
+            family: family.to_string(),
+            samples: SAMPLES,
+            p50: perc.quantile(0.5).expect("non-empty"),
+            p95: perc.quantile(0.95).expect("non-empty"),
+            max,
+        };
+        table.row(vec![
+            row.family.clone(),
+            row.samples.to_string(),
+            format!("{:.3}", row.p50),
+            format!("{:.3}", row.p95),
+            format!("{:.3}", row.max),
+        ]);
+        rows.push(row);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn chains_faithful_shuffles_not() {
+        let (_, rows) = super::run();
+        let by = |n: &str| rows.iter().find(|r| r.family == n).expect("family row");
+        let chain = by("chain");
+        let shuffle = by("map-reduce");
+        // Chains: essentially perfect prediction.
+        assert!(chain.p95 < 1.05, "chain p95 {}", chain.p95);
+        assert!(chain.p50 > 0.90);
+        // Shuffles: substantial, systematic underestimation.
+        assert!(shuffle.p50 > 1.5, "shuffle p50 {}", shuffle.p50);
+        assert!(shuffle.max >= shuffle.p50);
+        // Ordering across families.
+        assert!(by("layered").p50 >= chain.p50 * 0.95);
+        assert!(shuffle.p95 > by("layered").p95);
+    }
+}

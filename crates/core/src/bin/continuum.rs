@@ -1,0 +1,188 @@
+//! `continuum` — run a workload on a scenario under a policy, from the
+//! command line.
+//!
+//! ```sh
+//! continuum run --scenario smart-city --workload pipeline --policy heft
+//! continuum run --workload montage --policy cpop --gantt
+//! continuum compare --workload layered --seed 7
+//! continuum list
+//! ```
+
+use continuum_core::prelude::*;
+use continuum_placement::standard_lineup;
+
+fn scenario_by_name(name: &str) -> Option<Scenario> {
+    match name {
+        "default" => Some(Scenario::default_continuum()),
+        "smart-city" => Some(Scenario::smart_city()),
+        "science-campus" => Some(Scenario::science_campus()),
+        _ => None,
+    }
+}
+
+fn policy_by_name(name: &str) -> Option<Box<dyn Placer>> {
+    Some(match name {
+        "random" => Box::new(RandomPlacer::new(0xC11)),
+        "round-robin" => Box::new(RoundRobinPlacer),
+        "edge-only" => Box::new(TierPlacer::edge_only()),
+        "cloud-only" => Box::new(TierPlacer::cloud_only()),
+        "greedy-eft" => Box::new(GreedyEftPlacer::default()),
+        "data-aware" => Box::new(DataAwarePlacer),
+        "min-min" => Box::new(MinMinPlacer),
+        "max-min" => Box::new(MaxMinPlacer),
+        "cpop" => Box::new(CpopPlacer),
+        "peft" => Box::new(PeftPlacer),
+        "heft" => Box::new(HeftPlacer::default()),
+        "anneal" => Box::new(AnnealingPlacer::default()),
+        _ => return None,
+    })
+}
+
+fn workload_by_name(world: &Continuum, name: &str, input_mb: u64, seed: u64) -> Option<Dag> {
+    let src = world.sensors()[0];
+    Some(match name {
+        "pipeline" => analytics_pipeline(&PipelineSpec {
+            source: src,
+            input_bytes: input_mb << 20,
+            ..Default::default()
+        }),
+        "montage" => montage_like(src, 12, (input_mb.max(1) << 20) / 12),
+        "map-reduce" => map_reduce(src, 8, 4, (input_mb.max(1) << 20) / 8, 50.0),
+        "fork-join" => fork_join(src, 16, input_mb << 20, 1e10, 1 << 16),
+        "broadcast-reduce" => broadcast_reduce(src, 16, 4, input_mb << 20, 5e9, 1 << 16),
+        "stencil" => stencil(src, 8, 6, (input_mb << 20) / 8, 1 << 14, 5e9),
+        "layered" => {
+            let mut rng = Rng::new(seed);
+            layered_random(
+                &mut rng,
+                &LayeredSpec { tasks: 120, source: world.edges()[0], ..Default::default() },
+            )
+        }
+        _ => return None,
+    })
+}
+
+const SCENARIOS: [&str; 3] = ["default", "smart-city", "science-campus"];
+const WORKLOADS: [&str; 7] =
+    ["pipeline", "montage", "map-reduce", "fork-join", "broadcast-reduce", "stencil", "layered"];
+const POLICIES: [&str; 12] = [
+    "random", "round-robin", "edge-only", "cloud-only", "greedy-eft", "data-aware", "min-min",
+    "max-min", "cpop", "peft", "heft", "anneal",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  continuum run [--scenario S] [--workload W] [--policy P] \
+         [--input-mb N] [--seed N] [--gantt]\n  continuum compare [--scenario S] \
+         [--workload W] [--input-mb N] [--seed N]\n  continuum list\n\n\
+         scenarios: {SCENARIOS:?}\n workloads: {WORKLOADS:?}\n policies:  {POLICIES:?}"
+    );
+    std::process::exit(2);
+}
+
+struct Opts {
+    scenario: String,
+    workload: String,
+    policy: String,
+    input_mb: u64,
+    seed: u64,
+    gantt: bool,
+}
+
+fn parse(args: &[String]) -> Opts {
+    let mut o = Opts {
+        scenario: "default".into(),
+        workload: "pipeline".into(),
+        policy: "heft".into(),
+        input_mb: 16,
+        seed: 42,
+        gantt: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--scenario" => o.scenario = take(&mut i),
+            "--workload" => o.workload = take(&mut i),
+            "--policy" => o.policy = take(&mut i),
+            "--input-mb" => o.input_mb = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => o.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--gantt" => o.gantt = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    o
+}
+
+fn print_report(policy: &str, report: &RunReport) {
+    let m = &report.simulated;
+    println!(
+        "{policy:<12} makespan {:>10.4}s   energy {:>10.1}J   cost ${:>8.4}   moved {:>8.2}MB   contention {:>5.2}x",
+        m.makespan_s,
+        m.energy_j,
+        m.cost_usd,
+        m.bytes_moved as f64 / 1e6,
+        report.contention_factor(),
+    );
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else { usage() };
+    match cmd.as_str() {
+        "list" => {
+            println!("scenarios: {SCENARIOS:?}");
+            println!("workloads: {WORKLOADS:?}");
+            println!("policies:  {POLICIES:?}");
+        }
+        "run" => {
+            let o = parse(rest);
+            let scenario = scenario_by_name(&o.scenario).unwrap_or_else(|| usage());
+            let world = Continuum::build(&scenario);
+            let dag = workload_by_name(&world, &o.workload, o.input_mb, o.seed)
+                .unwrap_or_else(|| usage());
+            let policy = policy_by_name(&o.policy).unwrap_or_else(|| usage());
+            println!(
+                "scenario '{}': {} nodes / {} devices; workload '{}': {} tasks, {:.1} Gflop",
+                scenario.name,
+                world.topology().node_count(),
+                world.env().fleet.len(),
+                dag.name,
+                dag.len(),
+                dag.total_work() / 1e9,
+            );
+            let report = world.run(&dag, policy.as_ref());
+            print_report(policy.name(), &report);
+            if o.gantt {
+                let names: Vec<String> = world
+                    .env()
+                    .fleet
+                    .devices()
+                    .iter()
+                    .map(|d| format!("{}@{}", d.spec.class.label(), d.node))
+                    .collect();
+                println!("\n{}", report.trace.gantt(&names, 72));
+            }
+        }
+        "compare" => {
+            let o = parse(rest);
+            let scenario = scenario_by_name(&o.scenario).unwrap_or_else(|| usage());
+            let world = Continuum::build(&scenario);
+            let dag = workload_by_name(&world, &o.workload, o.input_mb, o.seed)
+                .unwrap_or_else(|| usage());
+            println!(
+                "workload '{}' on '{}' — every policy in the standard line-up:",
+                dag.name, scenario.name
+            );
+            for p in standard_lineup() {
+                let report = world.run(&dag, p.as_ref());
+                print_report(p.name(), &report);
+            }
+        }
+        _ => usage(),
+    }
+}

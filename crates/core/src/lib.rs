@@ -1,0 +1,42 @@
+//! # continuum-core
+//!
+//! The public face of the `coding-the-continuum` reproduction: build a
+//! continuum ([`Scenario`] → [`Continuum`]), hand it a workflow, pick a
+//! placement policy, and run — estimated and simulated outcomes come back
+//! in one [`RunReport`].
+//!
+//! The heavy lifting lives in the member crates this facade re-exports:
+//! `continuum-sim` (virtual time), `continuum-net` (topologies, routing,
+//! fair-shared flows), `continuum-model` (devices, energy, dollars),
+//! `continuum-workflow` (DAGs and generators), `continuum-placement`
+//! (policies), `continuum-runtime` (executors), `continuum-fabric`
+//! (function-as-a-service), and `continuum-data` (replica catalog,
+//! caching, staging).
+
+#![warn(missing_docs)]
+
+pub mod continuum;
+pub mod scenario;
+
+pub use continuum::{Continuum, RunReport};
+
+pub use scenario::Scenario;
+
+/// Convenient re-exports of the types most programs need.
+pub mod prelude {
+    pub use crate::{Continuum, RunReport, Scenario};
+    pub use continuum_model::{DeviceClass, DeviceId, Fleet};
+    pub use continuum_net::{ContinuumSpec, LinkSpec, NodeId, Tier, Topology};
+    pub use continuum_placement::{
+        AnnealingPlacer, CpopPlacer, DataAwarePlacer, Env, GreedyEftPlacer, HeftPlacer,
+        MaxMinPlacer, Metrics, MinMinPlacer, OnlinePlacer, PeftPlacer, Placement, Placer, RandomPlacer,
+        RoundRobinPlacer, TierPlacer, WeightedObjective,
+    };
+    pub use continuum_runtime::{simulate, simulate_stream, RealExecutor, StreamRequest};
+    pub use continuum_sim::{Rng, SimDuration, SimTime};
+    pub use continuum_workflow::{
+        analytics_pipeline, broadcast_reduce, fork_join, inference_stream, layered_random,
+        map_reduce, montage_like, stencil, Constraints, Dag, LayeredSpec, PipelineSpec,
+        StreamSpec, Task, TaskId,
+    };
+}

@@ -1,0 +1,94 @@
+//! Scenario presets: ready-made continuum deployments.
+//!
+//! Each scenario bundles a topology shape and the fleet deployed on it.
+//! They correspond to the settings the keynote motivates: a city-scale
+//! sensing deployment, a science campus feeding an HPC facility, and the
+//! balanced default used by most experiments.
+
+use continuum_net::{BuiltContinuum, ContinuumSpec, LinkSpec};
+use continuum_sim::SimDuration;
+
+/// A named continuum deployment spec.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (used in reports).
+    pub name: &'static str,
+    /// Topology shape and link parameters.
+    pub spec: ContinuumSpec,
+}
+
+impl Scenario {
+    /// The balanced default: 2 fog sites, 8 edges, 32 sensors, 4 clouds,
+    /// 2 HPC nodes.
+    pub fn default_continuum() -> Scenario {
+        Scenario { name: "default", spec: ContinuumSpec::default() }
+    }
+
+    /// City-scale sensing: many sensors and edge gateways, thin uplinks, a
+    /// small cloud.
+    pub fn smart_city() -> Scenario {
+        Scenario {
+            name: "smart-city",
+            spec: ContinuumSpec {
+                fogs: 4,
+                edges_per_fog: 8,
+                sensors_per_edge: 8,
+                clouds: 2,
+                hpcs: 0,
+                // Thin metro uplinks are the defining constraint.
+                edge_fog: LinkSpec::new(SimDuration::from_millis(8), 5e7),
+                ..ContinuumSpec::default()
+            },
+        }
+    }
+
+    /// Science campus: few but fat instruments (modeled as sensors),
+    /// generous networking, and an HPC center that dominates compute.
+    pub fn science_campus() -> Scenario {
+        Scenario {
+            name: "science-campus",
+            spec: ContinuumSpec {
+                fogs: 1,
+                edges_per_fog: 2,
+                sensors_per_edge: 2,
+                clouds: 2,
+                hpcs: 4,
+                // Instruments stream over a fast campus LAN.
+                sensor_edge: LinkSpec::new(SimDuration::from_micros(500), 1.25e8),
+                edge_fog: LinkSpec::new(SimDuration::from_millis(1), 1.25e9),
+                ..ContinuumSpec::default()
+            },
+        }
+    }
+
+    /// Build the topology.
+    pub fn build(&self) -> BuiltContinuum {
+        continuum_net::continuum(&self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_build_connected() {
+        for s in [
+            Scenario::default_continuum(),
+            Scenario::smart_city(),
+            Scenario::science_campus(),
+        ] {
+            let built = s.build();
+            assert!(built.topology.is_connected(), "{}", s.name);
+            assert!(!built.sensors.is_empty(), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn smart_city_is_sensor_heavy() {
+        let city = Scenario::smart_city().build();
+        let campus = Scenario::science_campus().build();
+        assert!(city.sensors.len() > campus.sensors.len() * 4);
+        assert!(campus.hpcs.len() > city.hpcs.len());
+    }
+}

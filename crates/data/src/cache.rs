@@ -1,0 +1,225 @@
+//! Per-site LRU caches, capacity-bounded in bytes.
+
+use crate::catalog::DataKey;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A byte-capacity LRU cache of data objects at one site.
+///
+/// Recency is tracked with a monotonic counter; eviction removes the least
+/// recently used entries until the new object fits. Objects larger than the
+/// whole cache are rejected (never cached).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteCache {
+    capacity: u64,
+    used: u64,
+    tick: u64,
+    entries: HashMap<DataKey, CacheEntry>,
+    /// Statistics.
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct CacheEntry {
+    bytes: u64,
+    last_used: u64,
+    pinned: bool,
+}
+
+impl SiteCache {
+    /// Cache with the given byte capacity.
+    pub fn new(capacity: u64) -> Self {
+        SiteCache {
+            capacity,
+            used: 0,
+            tick: 0,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up `key`, updating recency and hit/miss counters.
+    pub fn get(&mut self, key: DataKey) -> bool {
+        self.tick += 1;
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.hits += 1;
+                true
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Check presence without touching recency or counters.
+    pub fn contains(&self, key: DataKey) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Insert an object, evicting LRU *unpinned* entries as needed.
+    /// Returns the keys evicted. Objects larger than the capacity, or
+    /// that cannot fit without evicting pinned entries, are not cached
+    /// (empty eviction list, nothing inserted).
+    pub fn put(&mut self, key: DataKey, bytes: u64) -> Vec<DataKey> {
+        self.tick += 1;
+        if bytes > self.capacity {
+            return Vec::new();
+        }
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.last_used = self.tick;
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        while self.used + bytes > self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .filter(|(_, e)| !e.pinned)
+                .min_by_key(|(k, e)| (e.last_used, k.0))
+                .map(|(&k, _)| k);
+            let Some(lru) = lru else {
+                // Only pinned entries remain: there is no room; refuse to
+                // cache the new object. (Any unpinned entries evicted on
+                // the way stay evicted — they were LRU regardless.)
+                return evicted;
+            };
+            let e = self.entries.remove(&lru).expect("just found");
+            self.used -= e.bytes;
+            self.evictions += 1;
+            evicted.push(lru);
+        }
+        self.entries.insert(key, CacheEntry { bytes, last_used: self.tick, pinned: false });
+        self.used += bytes;
+        evicted
+    }
+
+    /// Pin an object: it will never be evicted until unpinned. Returns
+    /// `false` if the key is not cached.
+    pub fn pin(&mut self, key: DataKey) -> bool {
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.pinned = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Unpin an object. Returns `false` if the key is not cached.
+    pub fn unpin(&mut self, key: DataKey) -> bool {
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.pinned = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Bytes held by pinned entries.
+    pub fn pinned_bytes(&self) -> u64 {
+        self.entries.values().filter(|e| e.pinned).map(|e| e.bytes).sum()
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses, evictions) counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Hit rate in `[0, 1]` (0 if no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_put() {
+        let mut c = SiteCache::new(100);
+        assert!(!c.get(DataKey(1)));
+        c.put(DataKey(1), 40);
+        assert!(c.get(DataKey(1)));
+        assert_eq!(c.stats(), (1, 1, 0));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_lru_first() {
+        let mut c = SiteCache::new(100);
+        c.put(DataKey(1), 40);
+        c.put(DataKey(2), 40);
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.get(DataKey(1)));
+        let evicted = c.put(DataKey(3), 40);
+        assert_eq!(evicted, vec![DataKey(2)]);
+        assert!(c.contains(DataKey(1)));
+        assert!(c.contains(DataKey(3)));
+        assert_eq!(c.used_bytes(), 80);
+    }
+
+    #[test]
+    fn evicts_multiple_for_large_object() {
+        let mut c = SiteCache::new(100);
+        c.put(DataKey(1), 30);
+        c.put(DataKey(2), 30);
+        c.put(DataKey(3), 30);
+        // 90 bytes cached; fitting 80 more requires evicting all three.
+        let evicted = c.put(DataKey(4), 80);
+        assert_eq!(evicted.len(), 3);
+        assert!(c.contains(DataKey(4)));
+        assert!(c.used_bytes() <= 100);
+    }
+
+    #[test]
+    fn oversized_object_rejected() {
+        let mut c = SiteCache::new(100);
+        let evicted = c.put(DataKey(1), 200);
+        assert!(evicted.is_empty());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_updates_recency_not_size() {
+        let mut c = SiteCache::new(100);
+        c.put(DataKey(1), 50);
+        c.put(DataKey(2), 50);
+        c.put(DataKey(1), 50); // refresh 1
+        let evicted = c.put(DataKey(3), 50);
+        assert_eq!(evicted, vec![DataKey(2)]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Replica catalog: which nodes hold which data, and how big it is.
+
+use continuum_net::{NodeId, RouteTable, Topology};
+use continuum_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Key identifying a logical data object across the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DataKey(pub u64);
+
+impl fmt::Display for DataKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// The expected checksum of a data object — a pure function of the key, so
+/// any party can verify a transfer without a side channel.
+pub fn expected_checksum(key: DataKey) -> u64 {
+    // SplitMix64 finalizer over the key.
+    let mut z = key.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One physical copy of a data object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Replica {
+    /// Node holding the copy.
+    pub node: NodeId,
+    /// Object size in bytes.
+    pub bytes: u64,
+}
+
+/// The catalog of all registered replicas.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReplicaCatalog {
+    replicas: HashMap<DataKey, Vec<Replica>>,
+}
+
+impl ReplicaCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        ReplicaCatalog::default()
+    }
+
+    /// Register a replica. Duplicate (key, node) registrations are ignored.
+    pub fn register(&mut self, key: DataKey, node: NodeId, bytes: u64) {
+        let list = self.replicas.entry(key).or_default();
+        if !list.iter().any(|r| r.node == node) {
+            list.push(Replica { node, bytes });
+        }
+    }
+
+    /// Remove a replica (e.g. after cache eviction). Returns `true` if it
+    /// existed.
+    pub fn unregister(&mut self, key: DataKey, node: NodeId) -> bool {
+        if let Some(list) = self.replicas.get_mut(&key) {
+            let before = list.len();
+            list.retain(|r| r.node != node);
+            return list.len() != before;
+        }
+        false
+    }
+
+    /// All replicas of a key.
+    pub fn replicas(&self, key: DataKey) -> &[Replica] {
+        self.replicas.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// True if the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// The replica whose analytic transfer to `dst` is cheapest.
+    ///
+    /// Returns `(replica, transfer_time)`; `None` if the key has no replica
+    /// or none is reachable. A replica already at `dst` costs zero.
+    pub fn best_replica(
+        &self,
+        topo: &Topology,
+        routes: &RouteTable,
+        key: DataKey,
+        dst: NodeId,
+    ) -> Option<(Replica, SimDuration)> {
+        self.replicas(key)
+            .iter()
+            .filter_map(|r| {
+                let path = routes.path(topo, r.node, dst)?;
+                Some((*r, path.transfer_time(r.bytes)))
+            })
+            .min_by(|a, b| a.1.cmp(&b.1).then(a.0.node.cmp(&b.0.node)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use continuum_net::{LinkSpec, Tier};
+
+    fn line() -> (Topology, RouteTable, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Edge);
+        let b = t.add_node("b", Tier::Fog);
+        let c = t.add_node("c", Tier::Cloud);
+        let l = LinkSpec::new(SimDuration::from_millis(5), 1e6);
+        t.add_link(a, b, l.latency, l.bandwidth_bps);
+        t.add_link(b, c, l.latency, l.bandwidth_bps);
+        let rt = RouteTable::build(&t);
+        (t, rt, vec![a, b, c])
+    }
+
+    #[test]
+    fn register_dedupes() {
+        let (_, _, n) = line();
+        let mut cat = ReplicaCatalog::new();
+        cat.register(DataKey(1), n[0], 100);
+        cat.register(DataKey(1), n[0], 100);
+        assert_eq!(cat.replicas(DataKey(1)).len(), 1);
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn best_replica_prefers_near() {
+        let (t, rt, n) = line();
+        let mut cat = ReplicaCatalog::new();
+        cat.register(DataKey(7), n[0], 1_000_000); // two hops from c
+        cat.register(DataKey(7), n[1], 1_000_000); // one hop from c
+        let (best, time) = cat.best_replica(&t, &rt, DataKey(7), n[2]).unwrap();
+        assert_eq!(best.node, n[1]);
+        assert!(time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn local_replica_costs_zero() {
+        let (t, rt, n) = line();
+        let mut cat = ReplicaCatalog::new();
+        cat.register(DataKey(7), n[2], 1_000_000);
+        cat.register(DataKey(7), n[0], 1_000_000);
+        let (best, time) = cat.best_replica(&t, &rt, DataKey(7), n[2]).unwrap();
+        assert_eq!(best.node, n[2]);
+        assert_eq!(time, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let (_, _, n) = line();
+        let mut cat = ReplicaCatalog::new();
+        cat.register(DataKey(1), n[0], 10);
+        assert!(cat.unregister(DataKey(1), n[0]));
+        assert!(!cat.unregister(DataKey(1), n[0]));
+        assert!(cat.replicas(DataKey(1)).is_empty());
+    }
+
+    #[test]
+    fn missing_key_no_replica() {
+        let (t, rt, n) = line();
+        let cat = ReplicaCatalog::new();
+        assert!(cat.best_replica(&t, &rt, DataKey(9), n[0]).is_none());
+    }
+
+    #[test]
+    fn checksum_stable_and_distinct() {
+        assert_eq!(expected_checksum(DataKey(1)), expected_checksum(DataKey(1)));
+        assert_ne!(expected_checksum(DataKey(1)), expected_checksum(DataKey(2)));
+    }
+}

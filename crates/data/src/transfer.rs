@@ -1,0 +1,210 @@
+//! Transfer manager: integrity-checked, retrying point-to-point moves.
+//!
+//! Transfers use the analytic path model (propagation latency plus
+//! serialization at the bottleneck). Each transfer is checksum-verified on
+//! arrival; a configurable corruption probability injects failures, which
+//! are retried up to a bound — the behaviour a production transfer fabric
+//! (our Globus stand-in) must exhibit.
+
+use crate::catalog::{expected_checksum, DataKey};
+use continuum_net::{NodeId, RouteTable, Topology};
+use continuum_sim::{Rng, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one logical transfer (including retries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// Object moved.
+    pub key: DataKey,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Object size, bytes.
+    pub bytes: u64,
+    /// Attempts made (1 = clean first try).
+    pub attempts: u32,
+    /// When the verified copy was available at `dst`.
+    pub completed_at: SimTime,
+}
+
+/// Error from [`TransferManager::transfer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransferError {
+    /// No route between the endpoints.
+    Unreachable,
+    /// Every attempt failed the integrity check.
+    IntegrityExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferError::Unreachable => write!(f, "no route between endpoints"),
+            TransferError::IntegrityExhausted { attempts } => {
+                write!(f, "integrity check failed {attempts} times")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
+/// Executes transfers and accumulates fabric-wide statistics.
+#[derive(Debug)]
+pub struct TransferManager {
+    corruption_prob: f64,
+    max_attempts: u32,
+    rng: Rng,
+    /// Total payload bytes that crossed the network (includes retries).
+    pub bytes_on_wire: u64,
+    /// Completed logical transfers.
+    pub completed: u64,
+    /// Total retry attempts beyond the first.
+    pub retries: u64,
+}
+
+impl TransferManager {
+    /// Manager with a corruption probability per attempt and a retry bound.
+    pub fn new(seed: u64, corruption_prob: f64, max_attempts: u32) -> Self {
+        assert!((0.0..1.0).contains(&corruption_prob));
+        assert!(max_attempts >= 1);
+        TransferManager {
+            corruption_prob,
+            max_attempts,
+            rng: Rng::new(seed),
+            bytes_on_wire: 0,
+            completed: 0,
+            retries: 0,
+        }
+    }
+
+    /// Reliable manager: no injected corruption.
+    pub fn reliable(seed: u64) -> Self {
+        Self::new(seed, 0.0, 1)
+    }
+
+    /// Move `key` (`bytes` long) from `src` to `dst`, starting at `now`.
+    ///
+    /// Returns the completed record, or an error if unroutable / retries
+    /// exhausted. A same-node transfer completes instantly and skips the
+    /// integrity machinery.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer(
+        &mut self,
+        topo: &Topology,
+        routes: &RouteTable,
+        now: SimTime,
+        key: DataKey,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> Result<TransferRecord, TransferError> {
+        if src == dst {
+            return Ok(TransferRecord { key, src, dst, bytes, attempts: 0, completed_at: now });
+        }
+        let path = routes.path(topo, src, dst).ok_or(TransferError::Unreachable)?;
+        let one_attempt: SimDuration = path.transfer_time(bytes);
+        let mut t = now;
+        for attempt in 1..=self.max_attempts {
+            t += one_attempt;
+            self.bytes_on_wire += bytes;
+            // Simulated integrity check: the receiver recomputes the
+            // checksum; corruption flips it.
+            let received = if self.rng.chance(self.corruption_prob) {
+                expected_checksum(key) ^ 0xDEAD_BEEF
+            } else {
+                expected_checksum(key)
+            };
+            if received == expected_checksum(key) {
+                self.completed += 1;
+                self.retries += (attempt - 1) as u64;
+                return Ok(TransferRecord {
+                    key,
+                    src,
+                    dst,
+                    bytes,
+                    attempts: attempt,
+                    completed_at: t,
+                });
+            }
+        }
+        Err(TransferError::IntegrityExhausted { attempts: self.max_attempts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use continuum_net::Tier;
+
+    fn pair() -> (Topology, RouteTable, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Edge);
+        let b = t.add_node("b", Tier::Cloud);
+        t.add_link(a, b, SimDuration::from_millis(10), 1e6);
+        let rt = RouteTable::build(&t);
+        (t, rt, a, b)
+    }
+
+    #[test]
+    fn clean_transfer_time() {
+        let (t, rt, a, b) = pair();
+        let mut tm = TransferManager::reliable(1);
+        let rec = tm.transfer(&t, &rt, SimTime::ZERO, DataKey(1), a, b, 1_000_000).unwrap();
+        assert_eq!(rec.attempts, 1);
+        // 10ms + 1s serialization.
+        assert!((rec.completed_at.as_secs_f64() - 1.01).abs() < 1e-6);
+        assert_eq!(tm.bytes_on_wire, 1_000_000);
+    }
+
+    #[test]
+    fn same_node_is_free() {
+        let (t, rt, a, _) = pair();
+        let mut tm = TransferManager::reliable(1);
+        let rec = tm.transfer(&t, &rt, SimTime::from_secs(5), DataKey(1), a, a, 123).unwrap();
+        assert_eq!(rec.completed_at, SimTime::from_secs(5));
+        assert_eq!(tm.bytes_on_wire, 0);
+    }
+
+    #[test]
+    fn corruption_forces_retries() {
+        let (t, rt, a, b) = pair();
+        let mut tm = TransferManager::new(7, 0.5, 20);
+        let mut total_attempts = 0;
+        for k in 0..50 {
+            let rec =
+                tm.transfer(&t, &rt, SimTime::ZERO, DataKey(k), a, b, 1000).unwrap();
+            total_attempts += rec.attempts;
+        }
+        // Expected ~2 attempts per transfer at p=0.5.
+        assert!(total_attempts > 60, "attempts {total_attempts}");
+        assert!(tm.retries > 0);
+        assert_eq!(tm.completed, 50);
+    }
+
+    #[test]
+    fn retry_pays_time() {
+        let (t, rt, a, b) = pair();
+        // Corruption certain on every attempt except we allow 3 attempts;
+        // use p close to 1 but deterministic via seed scan: simpler —
+        // p=0.9999 will essentially always exhaust.
+        let mut tm = TransferManager::new(3, 0.999, 3);
+        let err = tm.transfer(&t, &rt, SimTime::ZERO, DataKey(1), a, b, 1000);
+        assert_eq!(err, Err(TransferError::IntegrityExhausted { attempts: 3 }));
+    }
+
+    #[test]
+    fn unreachable_detected() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Edge);
+        let b = t.add_node("b", Tier::Edge);
+        let rt = RouteTable::build(&t);
+        let mut tm = TransferManager::reliable(1);
+        let err = tm.transfer(&t, &rt, SimTime::ZERO, DataKey(1), a, b, 1);
+        assert_eq!(err, Err(TransferError::Unreachable));
+    }
+}

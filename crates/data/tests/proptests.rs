@@ -1,0 +1,113 @@
+//! Property-based tests for the data fabric.
+
+use continuum_data::{DataKey, ReplicaCatalog, SiteCache, StagingConfig, StagingService};
+use continuum_net::{LinkSpec, RouteTable};
+use continuum_sim::{Rng, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Under arbitrary get/put/pin/unpin sequences the cache never exceeds
+    /// capacity, never evicts a pinned entry, and its byte accounting is
+    /// exact.
+    #[test]
+    fn cache_invariants(
+        capacity in 1u64..10_000,
+        ops in proptest::collection::vec((0u8..4, 0u64..50, 1u64..4_000), 1..200),
+    ) {
+        let mut cache = SiteCache::new(capacity);
+        let mut pinned: std::collections::HashSet<DataKey> = Default::default();
+        for &(op, key, bytes) in &ops {
+            let key = DataKey(key);
+            match op {
+                0 => {
+                    let evicted = cache.put(key, bytes);
+                    for e in &evicted {
+                        prop_assert!(!pinned.contains(e), "pinned entry {e} evicted");
+                    }
+                }
+                1 => {
+                    let _ = cache.get(key);
+                }
+                2 => {
+                    if cache.pin(key) {
+                        pinned.insert(key);
+                    }
+                }
+                _ => {
+                    if cache.unpin(key) {
+                        pinned.remove(&key);
+                    }
+                }
+            }
+            prop_assert!(cache.used_bytes() <= capacity,
+                "over capacity: {} > {capacity}", cache.used_bytes());
+            prop_assert!(cache.pinned_bytes() <= cache.used_bytes());
+        }
+        // Pinned set consistent: every tracked pin still cached.
+        for k in &pinned {
+            prop_assert!(cache.contains(*k), "pinned {k} vanished");
+        }
+    }
+
+    /// Staging always produces a usable object no earlier than requested,
+    /// hit-rate stays in [0,1], and bytes-on-wire only grows.
+    #[test]
+    fn staging_monotone_accounting(
+        seed in any::<u64>(),
+        accesses in 1usize..120,
+        cache_kb in 0u64..512,
+    ) {
+        let (topo, hub, spokes) =
+            continuum_net::star(4, LinkSpec::new(SimDuration::from_millis(5), 1e6));
+        let routes = RouteTable::build(&topo);
+        let mut catalog = ReplicaCatalog::new();
+        for k in 0..20u64 {
+            catalog.register(DataKey(k), hub, 10_000);
+        }
+        let cfg = StagingConfig { cache_bytes: cache_kb << 10, ..Default::default() };
+        let mut svc = StagingService::new(catalog, cfg, seed);
+        let mut rng = Rng::new(seed);
+        let mut last_wire = 0;
+        let mut now = SimTime::ZERO;
+        for i in 0..accesses {
+            let key = DataKey(rng.below(20));
+            let dst = spokes[i % spokes.len()];
+            let out = svc.stage(&topo, &routes, now, key, dst).expect("reachable");
+            prop_assert!(out.ready_at >= now);
+            prop_assert!(out.hit == (out.source.is_none()));
+            prop_assert!(svc.bytes_on_wire() >= last_wire);
+            last_wire = svc.bytes_on_wire();
+            let rate = svc.hit_rate();
+            prop_assert!((0.0..=1.0).contains(&rate));
+            now = out.ready_at;
+        }
+        prop_assert_eq!(svc.requests, accesses as u64);
+    }
+
+    /// With corruption injected, every successful transfer still verifies,
+    /// and the retry count matches attempts beyond the first.
+    #[test]
+    fn integrity_retries_accounted(seed in any::<u64>(), p in 0.0f64..0.6) {
+        use continuum_data::TransferManager;
+        let (topo, hub, spokes) =
+            continuum_net::star(2, LinkSpec::new(SimDuration::from_millis(1), 1e6));
+        let routes = RouteTable::build(&topo);
+        let mut tm = TransferManager::new(seed, p, 50);
+        let mut total_attempts = 0u64;
+        let mut completed = 0u64;
+        for k in 0..30u64 {
+            if let Ok(rec) =
+                tm.transfer(&topo, &routes, SimTime::ZERO, DataKey(k), hub, spokes[0], 500)
+            {
+                total_attempts += rec.attempts as u64;
+                completed += 1;
+                prop_assert!(rec.attempts >= 1);
+                prop_assert!(rec.completed_at > SimTime::ZERO);
+            }
+        }
+        prop_assert_eq!(tm.completed, completed);
+        prop_assert_eq!(tm.retries, total_attempts - completed);
+    }
+}

@@ -1,0 +1,682 @@
+//! The fabric broker: routes invocations to endpoints and simulates their
+//! execution.
+//!
+//! An *endpoint* is a worker pool pinned to a fleet device (our funcX
+//! analogue). Invocations arrive over time from origin nodes; the broker
+//! picks an endpoint under a [`RoutingPolicy`], the request payload moves
+//! to the endpoint, executes when a slot frees, and the response moves
+//! back. Experiment F7 reports throughput, latency percentiles, and
+//! endpoint load balance (Jain index) under each policy.
+
+use crate::registry::{FunctionId, FunctionRegistry};
+use continuum_model::DeviceId;
+use continuum_net::NodeId;
+use continuum_placement::Env;
+use continuum_sim::{jain_fairness, EventQueue, Percentiles, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EndpointId(pub u32);
+
+impl fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+/// A worker pool on one device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// This endpoint's id.
+    pub id: EndpointId,
+    /// Device hosting the workers.
+    pub device: DeviceId,
+    /// Concurrent invocation slots (usually the device's core count).
+    pub slots: u32,
+}
+
+/// How the broker chooses an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Cycle through endpoints.
+    RoundRobin,
+    /// Fewest outstanding (queued + running) invocations; id breaks ties.
+    LeastOutstanding,
+    /// Minimum predicted completion: request transfer + queue estimate +
+    /// execution + response transfer. The continuum-aware policy.
+    Locality,
+}
+
+impl RoutingPolicy {
+    /// Label for experiment rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round-robin",
+            RoutingPolicy::LeastOutstanding => "least-outstanding",
+            RoutingPolicy::Locality => "locality",
+        }
+    }
+}
+
+/// One function invocation entering the fabric.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Invocation {
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Node issuing the call (payloads move from/to here).
+    pub origin: NodeId,
+    /// Function to run.
+    pub function: FunctionId,
+}
+
+/// Aggregate result of a fabric run.
+#[derive(Debug, Clone)]
+pub struct FabricReport {
+    /// Completed invocations.
+    pub completed: u64,
+    /// End-to-end latency per invocation, seconds, in completion order.
+    pub latencies_s: Vec<f64>,
+    /// Completions per endpoint.
+    pub per_endpoint: Vec<u64>,
+    /// Completions per wall-clock second of the run.
+    pub throughput_hz: f64,
+    /// Jain fairness of per-endpoint completions.
+    pub jain: f64,
+    /// Virtual time when the last response arrived.
+    pub end_time: SimTime,
+    /// Integral of active slots over the run (slot-seconds) — the
+    /// provisioning cost. With static provisioning this is
+    /// `total slots × end_time`.
+    pub slot_seconds: f64,
+}
+
+impl FabricReport {
+    /// (p50, p95, p99) latency, seconds.
+    pub fn latency_percentiles(&self) -> (f64, f64, f64) {
+        let mut p = Percentiles::new();
+        for &l in &self.latencies_s {
+            p.push(l);
+        }
+        p.p50_p95_p99().unwrap_or((0.0, 0.0, 0.0))
+    }
+}
+
+/// Elastic provisioning of endpoint slots.
+///
+/// Each endpoint starts with `min_slots` active workers, grows one slot at
+/// a time (up to its declared `slots`) whenever work is waiting and every
+/// active slot is busy, and shrinks back toward `min_slots` whenever its
+/// queue drains. The [`FabricReport::slot_seconds`] integral measures the
+/// provisioning cost this saves versus static peak capacity.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Autoscale {
+    /// Slots an endpoint always keeps active.
+    pub min_slots: u32,
+}
+
+/// Cold-start behaviour of endpoint workers (the funcX/serverless tax).
+///
+/// An endpoint whose last activity ended more than `keep_warm` ago pays
+/// `cold_time` before the next invocation executes (container pull,
+/// runtime boot, model load). Activity refreshes the warm window.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ColdStart {
+    /// Extra latency paid by an invocation that finds the endpoint cold.
+    pub cold_time: continuum_sim::SimDuration,
+    /// How long after its last activity an endpoint stays warm.
+    pub keep_warm: continuum_sim::SimDuration,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrive(usize),
+    InputReady { ep: usize, inv: usize },
+    ExecDone { ep: usize, inv: usize },
+    ResponseBack { inv: usize },
+}
+
+/// Run a set of invocations through the fabric.
+///
+/// Transfers use the analytic path model (no cross-invocation link
+/// contention — the fabric experiment isolates endpoint queueing; the DAG
+/// executor in `continuum-runtime` covers link contention).
+pub fn run_fabric(
+    env: &Env,
+    registry: &FunctionRegistry,
+    endpoints: &[Endpoint],
+    invocations: &[Invocation],
+    policy: RoutingPolicy,
+) -> FabricReport {
+    run_fabric_cfg(env, registry, endpoints, invocations, policy, None)
+}
+
+/// [`run_fabric`] with optional cold-start modeling.
+pub fn run_fabric_cfg(
+    env: &Env,
+    registry: &FunctionRegistry,
+    endpoints: &[Endpoint],
+    invocations: &[Invocation],
+    policy: RoutingPolicy,
+    cold: Option<ColdStart>,
+) -> FabricReport {
+    run_fabric_elastic(env, registry, endpoints, invocations, policy, cold, None)
+}
+
+/// [`run_fabric_cfg`] with optional elastic slot provisioning.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fabric_elastic(
+    env: &Env,
+    registry: &FunctionRegistry,
+    endpoints: &[Endpoint],
+    invocations: &[Invocation],
+    policy: RoutingPolicy,
+    cold: Option<ColdStart>,
+    autoscale: Option<Autoscale>,
+) -> FabricReport {
+    assert!(!endpoints.is_empty(), "no endpoints");
+    let n_ep = endpoints.len();
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let mut scale: Vec<ScaleState> = endpoints
+        .iter()
+        .map(|e| ScaleState {
+            active: match autoscale {
+                Some(a) => a.min_slots.min(e.slots).max(1),
+                None => e.slots,
+            },
+            busy: 0,
+            slot_seconds: 0.0,
+            last_change: SimTime::ZERO,
+        })
+        .collect();
+    let mut waiting: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_ep];
+    let mut outstanding: Vec<u32> = vec![0; n_ep];
+    // SimTime::ZERO means "cold since the beginning": the first touch of
+    // every endpoint pays the cold-start tax.
+    let mut warm_until: Vec<SimTime> = vec![SimTime::ZERO; n_ep];
+    // Per-endpoint slot-availability estimates for the Locality policy.
+    let mut lane_est: Vec<Vec<SimTime>> =
+        endpoints.iter().map(|e| vec![SimTime::ZERO; e.slots as usize]).collect();
+    let mut rr_next = 0usize;
+
+    let mut assigned_ep: Vec<usize> = vec![usize::MAX; invocations.len()];
+    let mut done_at: Vec<Option<SimTime>> = vec![None; invocations.len()];
+    let mut per_endpoint: Vec<u64> = vec![0; n_ep];
+    let mut latencies: Vec<f64> = Vec::with_capacity(invocations.len());
+
+    for (i, inv) in invocations.iter().enumerate() {
+        queue.schedule_at(inv.arrival, Ev::Arrive(i));
+    }
+
+    while let Some((now, ev)) = queue.pop() {
+        match ev {
+            Ev::Arrive(i) => {
+                let inv = &invocations[i];
+                let spec = registry.get(inv.function);
+                // Choose an endpoint.
+                let ep = match policy {
+                    RoutingPolicy::RoundRobin => {
+                        let ep = rr_next % n_ep;
+                        rr_next += 1;
+                        ep
+                    }
+                    RoutingPolicy::LeastOutstanding => (0..n_ep)
+                        .min_by_key(|&e| (outstanding[e], e))
+                        .expect("endpoints non-empty"),
+                    RoutingPolicy::Locality => (0..n_ep)
+                        .map(|e| {
+                            let dev = &env.fleet.device(endpoints[e].device);
+                            let ep_node = dev.node;
+                            let tin = env
+                                .path(inv.origin, ep_node)
+                                .expect("disconnected topology")
+                                .transfer_time(spec.in_bytes);
+                            let tout = env
+                                .path(ep_node, inv.origin)
+                                .expect("disconnected topology")
+                                .transfer_time(spec.out_bytes);
+                            let exec = dev
+                                .spec
+                                .compute_time_parallel(spec.work_flops, spec.parallelism);
+                            let mut lanes = lane_est[e].clone();
+                            lanes.sort_unstable();
+                            let start = (now + tin).max(lanes[0]);
+                            (start + exec + tout, e)
+                        })
+                        .min()
+                        .expect("endpoints non-empty")
+                        .1,
+                };
+                assigned_ep[i] = ep;
+                outstanding[ep] += 1;
+                // Update the locality estimate for the chosen endpoint.
+                let dev = &env.fleet.device(endpoints[ep].device);
+                let exec =
+                    dev.spec.compute_time_parallel(spec.work_flops, spec.parallelism);
+                let tin = env
+                    .path(inv.origin, dev.node)
+                    .expect("disconnected topology")
+                    .transfer_time(spec.in_bytes);
+                {
+                    let lanes = &mut lane_est[ep];
+                    let (k, _) = lanes
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(i, t)| (*t, i))
+                        .expect("non-empty lanes");
+                    lanes[k] = (now + tin).max(lanes[k]) + exec;
+                }
+                queue.schedule_at(now + tin, Ev::InputReady { ep, inv: i });
+            }
+            Ev::InputReady { ep, inv } => {
+                waiting[ep].push_back(inv);
+                // Elastic scale-up: queued work and every slot busy.
+                if autoscale.is_some() {
+                    let st = &mut scale[ep];
+                    if st.busy >= st.active && st.active < endpoints[ep].slots {
+                        st.grow(now);
+                    }
+                }
+                try_start(
+                    env, registry, endpoints, &mut queue, &mut scale, &mut waiting, ep, now,
+                    invocations, cold, &mut warm_until,
+                );
+            }
+            Ev::ExecDone { ep, inv } => {
+                scale[ep].busy -= 1;
+                let i = inv;
+                let spec = registry.get(invocations[i].function);
+                let ep_node = env.fleet.device(endpoints[ep].device).node;
+                let tout = env
+                    .path(ep_node, invocations[i].origin)
+                    .expect("disconnected topology")
+                    .transfer_time(spec.out_bytes);
+                queue.schedule_at(now + tout, Ev::ResponseBack { inv: i });
+                try_start(
+                    env, registry, endpoints, &mut queue, &mut scale, &mut waiting, ep, now,
+                    invocations, cold, &mut warm_until,
+                );
+                // Elastic scale-down: queue drained, spare slots idle.
+                if let Some(a) = autoscale {
+                    let st = &mut scale[ep];
+                    if waiting[ep].is_empty() {
+                        let floor = a.min_slots.min(endpoints[ep].slots).max(1);
+                        st.shrink_to(st.busy.max(floor), now);
+                    }
+                }
+            }
+            Ev::ResponseBack { inv } => {
+                let ep = assigned_ep[inv];
+                outstanding[ep] -= 1;
+                per_endpoint[ep] += 1;
+                done_at[inv] = Some(now);
+                latencies.push(now.since(invocations[inv].arrival).as_secs_f64());
+            }
+        }
+    }
+
+    let end_time = done_at.iter().flatten().copied().max().unwrap_or(SimTime::ZERO);
+    let completed = latencies.len() as u64;
+    let span = end_time.as_secs_f64();
+    let slot_seconds: f64 = scale
+        .iter_mut()
+        .map(|st| {
+            st.settle(end_time);
+            st.slot_seconds
+        })
+        .sum();
+    FabricReport {
+        completed,
+        throughput_hz: if span > 0.0 { completed as f64 / span } else { 0.0 },
+        jain: jain_fairness(&per_endpoint.iter().map(|&c| c as f64).collect::<Vec<_>>()),
+        per_endpoint,
+        latencies_s: latencies,
+        end_time,
+        slot_seconds,
+    }
+}
+
+/// Per-endpoint elastic slot accounting.
+#[derive(Debug, Clone, Copy)]
+struct ScaleState {
+    active: u32,
+    busy: u32,
+    slot_seconds: f64,
+    last_change: SimTime,
+}
+
+impl ScaleState {
+    fn settle(&mut self, now: SimTime) {
+        self.slot_seconds += self.active as f64 * now.since(self.last_change).as_secs_f64();
+        self.last_change = now;
+    }
+
+    fn grow(&mut self, now: SimTime) {
+        self.settle(now);
+        self.active += 1;
+    }
+
+    fn shrink_to(&mut self, target: u32, now: SimTime) {
+        if target < self.active {
+            self.settle(now);
+            self.active = target;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_start(
+    env: &Env,
+    registry: &FunctionRegistry,
+    endpoints: &[Endpoint],
+    queue: &mut EventQueue<Ev>,
+    scale: &mut [ScaleState],
+    waiting: &mut [VecDeque<usize>],
+    ep: usize,
+    now: SimTime,
+    invocations: &[Invocation],
+    cold: Option<ColdStart>,
+    warm_until: &mut [SimTime],
+) {
+    while scale[ep].busy < scale[ep].active {
+        let Some(inv) = waiting[ep].pop_front() else { break };
+        scale[ep].busy += 1;
+        let spec = registry.get(invocations[inv].function);
+        let dev = &env.fleet.device(endpoints[ep].device);
+        let mut exec = dev.spec.compute_time_parallel(spec.work_flops, spec.parallelism);
+        if let Some(cs) = cold {
+            // Endpoint-level warmth: one cold boot warms the whole pool.
+            if now > warm_until[ep] {
+                exec += cs.cold_time;
+            }
+            warm_until[ep] = (now + exec) + cs.keep_warm;
+        }
+        queue.schedule_at(now + exec, Ev::ExecDone { ep, inv });
+    }
+}
+
+/// Build one endpoint per device of the given tier(s), slots = cores.
+pub fn endpoints_on(env: &Env, devices: &[DeviceId]) -> Vec<Endpoint> {
+    devices
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| Endpoint {
+            id: EndpointId(i as u32),
+            device: d,
+            slots: env.fleet.device(d).spec.cores,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use continuum_model::standard_fleet;
+    use continuum_net::{continuum, ContinuumSpec, Tier};
+    use continuum_sim::Rng;
+
+    fn setup() -> (Env, FunctionRegistry, Vec<Endpoint>, Vec<Invocation>) {
+        let built = continuum(&ContinuumSpec::default());
+        let env = Env::new(built.topology.clone(), standard_fleet(&built));
+        let mut reg = FunctionRegistry::new();
+        let f = reg.register("infer", 5e9, 200 << 10, 1 << 10);
+        let eps = endpoints_on(&env, &env.fleet.in_tier(Tier::Cloud));
+        let mut rng = Rng::new(77);
+        let mut t = 0.0;
+        let invocations: Vec<Invocation> = (0..200)
+            .map(|i| {
+                t += rng.exp(50.0);
+                Invocation {
+                    arrival: SimTime::from_secs_f64(t),
+                    origin: built.sensors[i % built.sensors.len()],
+                    function: f,
+                }
+            })
+            .collect();
+        (env, reg, eps, invocations)
+    }
+
+    #[test]
+    fn all_policies_complete_everything() {
+        let (env, reg, eps, invs) = setup();
+        for policy in [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::LeastOutstanding,
+            RoutingPolicy::Locality,
+        ] {
+            let rep = run_fabric(&env, &reg, &eps, &invs, policy);
+            assert_eq!(rep.completed, invs.len() as u64, "{}", policy.label());
+            assert_eq!(
+                rep.per_endpoint.iter().sum::<u64>(),
+                invs.len() as u64,
+                "{}",
+                policy.label()
+            );
+            assert!(rep.throughput_hz > 0.0);
+            let (p50, p95, p99) = rep.latency_percentiles();
+            assert!(p50 <= p95 && p95 <= p99);
+        }
+    }
+
+    #[test]
+    fn round_robin_is_perfectly_balanced() {
+        let (env, reg, eps, invs) = setup();
+        let rep = run_fabric(&env, &reg, &eps, &invs, RoutingPolicy::RoundRobin);
+        assert!(rep.jain > 0.99, "jain {}", rep.jain);
+    }
+
+    #[test]
+    fn latency_exceeds_bare_service_time() {
+        let (env, reg, eps, invs) = setup();
+        let rep = run_fabric(&env, &reg, &eps, &invs, RoutingPolicy::Locality);
+        // Minimum possible latency: transfer in + exec + transfer out > 0.
+        for &l in &rep.latencies_s {
+            assert!(l > 0.0);
+        }
+    }
+
+    #[test]
+    fn single_endpoint_queues() {
+        let built = continuum(&ContinuumSpec::default());
+        let env = Env::new(built.topology.clone(), standard_fleet(&built));
+        let mut reg = FunctionRegistry::new();
+        // Heavy function: 60 Gflop on a CloudVm core (3.75e10 f/s) ~ 1.6s.
+        let f = reg.register("heavy", 6e10, 1 << 10, 1 << 10);
+        let cloud = env.fleet.in_tier(Tier::Cloud);
+        let eps = endpoints_on(&env, &cloud[..1]);
+        let invs: Vec<Invocation> = (0..64)
+            .map(|_| Invocation {
+                arrival: SimTime::ZERO,
+                origin: built.edges[0],
+                function: f,
+            })
+            .collect();
+        let rep = run_fabric(&env, &reg, &eps, &invs, RoutingPolicy::RoundRobin);
+        assert_eq!(rep.completed, 64);
+        let (p50, _, p99) = rep.latency_percentiles();
+        // With more work than slots, late invocations wait: p99 >> p50.
+        assert!(p99 > p50 * 1.5, "no queueing visible: p50={p50} p99={p99}");
+    }
+}
+
+#[cfg(test)]
+mod cold_tests {
+    use super::*;
+    use continuum_model::standard_fleet;
+    use continuum_net::{continuum, ContinuumSpec, Tier};
+    use continuum_sim::SimDuration;
+
+    fn setup() -> (Env, FunctionRegistry, Vec<Endpoint>) {
+        let built = continuum(&ContinuumSpec::default());
+        let env = Env::new(built.topology.clone(), standard_fleet(&built));
+        let mut reg = FunctionRegistry::new();
+        reg.register("f", 1e9, 1 << 10, 1 << 10);
+        let eps = endpoints_on(&env, &env.fleet.in_tier(Tier::Cloud));
+        (env, reg, eps)
+    }
+
+    fn sparse_invocations(env: &Env, gap_s: f64, n: usize) -> Vec<Invocation> {
+        let origin = env.fleet.devices()[0].node;
+        (0..n)
+            .map(|i| Invocation {
+                arrival: SimTime::from_secs_f64(i as f64 * gap_s),
+                origin,
+                function: FunctionId(0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cold_start_adds_latency_to_sparse_traffic() {
+        let (env, reg, eps) = setup();
+        let invs = sparse_invocations(&env, 30.0, 10);
+        let warm = run_fabric(&env, &reg, &eps, &invs, RoutingPolicy::RoundRobin);
+        let cold = run_fabric_cfg(
+            &env,
+            &reg,
+            &eps,
+            &invs,
+            RoutingPolicy::RoundRobin,
+            Some(ColdStart {
+                cold_time: SimDuration::from_secs(2),
+                keep_warm: SimDuration::from_secs(5),
+            }),
+        );
+        // 30 s gaps with a 5 s keep-warm: every invocation boots cold.
+        let (w50, _, _) = warm.latency_percentiles();
+        let (c50, _, _) = cold.latency_percentiles();
+        assert!((c50 - w50 - 2.0).abs() < 0.01, "warm {w50} cold {c50}");
+    }
+
+    #[test]
+    fn keep_warm_amortizes_bursts() {
+        let (env, reg, eps) = setup();
+        // A tight burst: only the first invocation per endpoint boots.
+        let invs = sparse_invocations(&env, 0.01, 20);
+        let cold = run_fabric_cfg(
+            &env,
+            &reg,
+            &eps,
+            &invs,
+            RoutingPolicy::RoundRobin,
+            Some(ColdStart {
+                cold_time: SimDuration::from_secs(2),
+                keep_warm: SimDuration::from_secs(60),
+            }),
+        );
+        let boots = cold
+            .latencies_s
+            .iter()
+            .filter(|&&l| l > 2.0)
+            .count();
+        // At most one boot per endpoint touched.
+        assert!(boots <= eps.len(), "boots {boots} > endpoints {}", eps.len());
+        assert!(boots >= 1);
+    }
+}
+
+#[cfg(test)]
+mod autoscale_tests {
+    use super::*;
+    use continuum_model::standard_fleet;
+    use continuum_net::{continuum, ContinuumSpec, Tier};
+    use continuum_sim::Rng;
+
+    fn setup() -> (Env, FunctionRegistry, Vec<Endpoint>) {
+        let built = continuum(&ContinuumSpec::default());
+        let env = Env::new(built.topology.clone(), standard_fleet(&built));
+        let mut reg = FunctionRegistry::new();
+        reg.register("f", 2e10, 100 << 10, 1 << 10);
+        let eps = endpoints_on(&env, &env.fleet.in_tier(Tier::Cloud));
+        (env, reg, eps)
+    }
+
+    fn bursty(env: &Env, n: usize, seed: u64) -> Vec<Invocation> {
+        // Three dense bursts separated by long idle gaps.
+        let origin = env.fleet.devices()[0].node;
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|i| {
+                let burst = i / (n / 3).max(1);
+                let t = burst as f64 * 120.0 + rng.range_f64(0.0, 2.0);
+                Invocation {
+                    arrival: SimTime::from_secs_f64(t),
+                    origin,
+                    function: FunctionId(0),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn autoscaling_cuts_provisioning_cost() {
+        let (env, reg, eps) = setup();
+        let invs = bursty(&env, 90, 5);
+        let fixed = run_fabric(&env, &reg, &eps, &invs, RoutingPolicy::LeastOutstanding);
+        let elastic = run_fabric_elastic(
+            &env,
+            &reg,
+            &eps,
+            &invs,
+            RoutingPolicy::LeastOutstanding,
+            None,
+            Some(Autoscale { min_slots: 1 }),
+        );
+        assert_eq!(elastic.completed, invs.len() as u64);
+        // Bursty-idle traffic: elastic provisioning uses a fraction of the
+        // static slot-seconds.
+        assert!(
+            elastic.slot_seconds < fixed.slot_seconds * 0.5,
+            "elastic {} vs fixed {}",
+            elastic.slot_seconds,
+            fixed.slot_seconds
+        );
+        // And the latency price is bounded (slots grow one arrival at a
+        // time, so bursts queue briefly).
+        let (_, _, p99_fixed) = fixed.latency_percentiles();
+        let (_, _, p99_elastic) = elastic.latency_percentiles();
+        assert!(
+            p99_elastic < p99_fixed * 10.0,
+            "elastic latency blew up: {p99_elastic} vs {p99_fixed}"
+        );
+    }
+
+    #[test]
+    fn static_slot_seconds_equals_capacity_times_span() {
+        let (env, reg, eps) = setup();
+        let invs = bursty(&env, 30, 7);
+        let rep = run_fabric(&env, &reg, &eps, &invs, RoutingPolicy::RoundRobin);
+        let total_slots: u32 = eps.iter().map(|e| e.slots).sum();
+        let expected = total_slots as f64 * rep.end_time.as_secs_f64();
+        assert!((rep.slot_seconds - expected).abs() < 1e-6 * expected);
+    }
+
+    #[test]
+    fn elastic_never_exceeds_declared_slots() {
+        let (env, reg, eps) = setup();
+        // Overload one endpoint hard.
+        let invs: Vec<Invocation> = (0..200)
+            .map(|_| Invocation {
+                arrival: SimTime::ZERO,
+                origin: env.fleet.devices()[0].node,
+                function: FunctionId(0),
+            })
+            .collect();
+        let one = vec![eps[0].clone()];
+        let rep = run_fabric_elastic(
+            &env,
+            &reg,
+            &one,
+            &invs,
+            RoutingPolicy::RoundRobin,
+            None,
+            Some(Autoscale { min_slots: 1 }),
+        );
+        assert_eq!(rep.completed, 200);
+        // The integral cannot exceed full provisioning of the one endpoint.
+        let cap = eps[0].slots as f64 * rep.end_time.as_secs_f64();
+        assert!(rep.slot_seconds <= cap * (1.0 + 1e-9));
+    }
+}

@@ -1,0 +1,21 @@
+//! # continuum-fabric
+//!
+//! Federated function-as-a-service fabric — the funcX analogue of the
+//! `coding-the-continuum` reproduction. Functions are registered once with
+//! a resource profile ([`FunctionRegistry`]); *endpoints* (worker pools on
+//! fleet devices) execute them; the broker routes each invocation under a
+//! [`RoutingPolicy`] and simulates queueing and payload movement.
+//!
+//! Experiment F7 measures throughput, latency percentiles, and endpoint
+//! load balance for each routing policy.
+
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod registry;
+
+pub use broker::{
+    endpoints_on, run_fabric, run_fabric_cfg, run_fabric_elastic, Autoscale, ColdStart,
+    Endpoint, EndpointId, FabricReport, Invocation, RoutingPolicy,
+};
+pub use registry::{FunctionId, FunctionRegistry, FunctionSpec};

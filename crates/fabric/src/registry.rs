@@ -1,0 +1,120 @@
+//! Function registry: named, size-annotated callables of the fabric.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a registered function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FunctionId(pub u32);
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Resource profile of a registered function.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FunctionSpec {
+    /// This function's id.
+    pub id: FunctionId,
+    /// Unique name.
+    pub name: String,
+    /// Work per invocation, flops.
+    pub work_flops: f64,
+    /// Request payload size, bytes.
+    pub in_bytes: u64,
+    /// Response payload size, bytes.
+    pub out_bytes: u64,
+    /// Cores one invocation uses.
+    pub parallelism: u32,
+}
+
+/// The registry: append-only, name-unique.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FunctionRegistry {
+    functions: Vec<FunctionSpec>,
+}
+
+impl FunctionRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        FunctionRegistry::default()
+    }
+
+    /// Register a function.
+    ///
+    /// # Panics
+    /// If the name is already taken.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        work_flops: f64,
+        in_bytes: u64,
+        out_bytes: u64,
+    ) -> FunctionId {
+        let name = name.into();
+        assert!(
+            self.by_name(&name).is_none(),
+            "function '{name}' already registered"
+        );
+        let id = FunctionId(self.functions.len() as u32);
+        self.functions.push(FunctionSpec {
+            id,
+            name,
+            work_flops,
+            in_bytes,
+            out_bytes,
+            parallelism: 1,
+        });
+        id
+    }
+
+    /// Function by id.
+    pub fn get(&self, id: FunctionId) -> &FunctionSpec {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Function by name.
+    pub fn by_name(&self, name: &str) -> Option<&FunctionSpec> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// True if no functions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// All functions.
+    pub fn functions(&self) -> &[FunctionSpec] {
+        &self.functions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = FunctionRegistry::new();
+        let id = r.register("detect", 2e9, 1 << 20, 256);
+        assert_eq!(r.get(id).name, "detect");
+        assert_eq!(r.by_name("detect").unwrap().id, id);
+        assert!(r.by_name("missing").is_none());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_name_panics() {
+        let mut r = FunctionRegistry::new();
+        r.register("f", 1.0, 1, 1);
+        r.register("f", 2.0, 2, 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the function fabric.
+
+use continuum_fabric::{endpoints_on, run_fabric, FunctionRegistry, Invocation, RoutingPolicy};
+use continuum_model::standard_fleet;
+use continuum_net::{continuum, ContinuumSpec, Tier};
+use continuum_placement::Env;
+use continuum_sim::{Rng, SimTime};
+use proptest::prelude::*;
+
+fn world() -> (Env, Vec<continuum_net::NodeId>) {
+    let built = continuum(&ContinuumSpec::default());
+    let sensors = built.sensors.clone();
+    (Env::new(built.topology.clone(), standard_fleet(&built)), sensors)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Conservation and sanity: every invocation completes exactly once,
+    /// latencies are positive, per-endpoint counts sum to the total, and
+    /// Jain stays within its bounds — for every policy, any load.
+    #[test]
+    fn fabric_conservation(
+        seed in any::<u64>(),
+        n in 1usize..200,
+        rate in 1.0f64..500.0,
+        policy_idx in 0usize..3,
+        work_exp in 8.0f64..10.5,
+    ) {
+        let (env, sensors) = world();
+        let mut registry = FunctionRegistry::new();
+        let f = registry.register("f", 10f64.powf(work_exp), 10 << 10, 1 << 10);
+        let endpoints = endpoints_on(&env, &env.fleet.in_tier(Tier::Cloud));
+        let mut rng = Rng::new(seed);
+        let mut t = 0.0;
+        let invocations: Vec<Invocation> = (0..n)
+            .map(|i| {
+                t += rng.exp(rate);
+                Invocation {
+                    arrival: SimTime::from_secs_f64(t),
+                    origin: sensors[i % sensors.len()],
+                    function: f,
+                }
+            })
+            .collect();
+        let policy = [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::LeastOutstanding,
+            RoutingPolicy::Locality,
+        ][policy_idx];
+        let rep = run_fabric(&env, &registry, &endpoints, &invocations, policy);
+        prop_assert_eq!(rep.completed, n as u64);
+        prop_assert_eq!(rep.latencies_s.len(), n);
+        prop_assert_eq!(rep.per_endpoint.iter().sum::<u64>(), n as u64);
+        for &l in &rep.latencies_s {
+            prop_assert!(l > 0.0, "non-positive latency {l}");
+        }
+        let lo = 1.0 / endpoints.len() as f64;
+        prop_assert!(rep.jain >= lo - 1e-9 && rep.jain <= 1.0 + 1e-9, "jain {}", rep.jain);
+        prop_assert!(rep.end_time >= invocations.last().expect("n >= 1").arrival);
+    }
+
+    /// Latency lower bound: no invocation beats the bare transfer+exec
+    /// time of the fastest endpoint.
+    #[test]
+    fn latency_lower_bounded(seed in any::<u64>(), n in 1usize..60) {
+        let (env, sensors) = world();
+        let mut registry = FunctionRegistry::new();
+        let f = registry.register("f", 5e9, 200 << 10, 1 << 10);
+        let endpoints = endpoints_on(&env, &env.fleet.in_tier(Tier::Cloud));
+        // Fastest possible execution anywhere.
+        let min_exec = endpoints
+            .iter()
+            .map(|e| {
+                env.fleet
+                    .device(e.device)
+                    .spec
+                    .compute_time_parallel(5e9, 1)
+                    .as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min);
+        let mut rng = Rng::new(seed);
+        let invocations: Vec<Invocation> = (0..n)
+            .map(|i| Invocation {
+                arrival: SimTime::from_secs_f64(rng.range_f64(0.0, 10.0)),
+                origin: sensors[i % sensors.len()],
+                function: f,
+            })
+            .collect();
+        let rep = run_fabric(&env, &registry, &endpoints, &invocations, RoutingPolicy::Locality);
+        for &l in &rep.latencies_s {
+            prop_assert!(l >= min_exec, "latency {l} below bare exec {min_exec}");
+        }
+    }
+}

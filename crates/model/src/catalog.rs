@@ -1,0 +1,166 @@
+//! The built-in device catalog (experiment table T1).
+//!
+//! Order-of-magnitude figures for 2019-era hardware, chosen so that the
+//! *ratios* between classes are realistic (≈5 orders of magnitude of
+//! compute between a sensor mote and an HPC node); experiments sweep around
+//! these values rather than depending on any one of them.
+
+use crate::device::{DeviceClass, DeviceSpec};
+use continuum_net::Tier;
+
+/// Canonical spec for a device class.
+pub fn spec(class: DeviceClass) -> DeviceSpec {
+    match class {
+        DeviceClass::SensorMote => DeviceSpec {
+            class,
+            tier: Tier::Sensor,
+            cores: 1,
+            flops: 5e7, // 50 Mflop/s
+            mem_bytes: 256 << 10,
+            idle_watts: 0.05,
+            busy_watts: 0.35,
+            usd_per_hour: 0.0,
+            egress_usd_per_gb: 0.0,
+        },
+        DeviceClass::Microcontroller => DeviceSpec {
+            class,
+            tier: Tier::Sensor,
+            cores: 1,
+            flops: 5e8, // 500 Mflop/s (Cortex-M7 class)
+            mem_bytes: 2 << 20,
+            idle_watts: 0.1,
+            busy_watts: 0.8,
+            usd_per_hour: 0.0,
+            egress_usd_per_gb: 0.0,
+        },
+        DeviceClass::EdgeGateway => DeviceSpec {
+            class,
+            tier: Tier::Edge,
+            cores: 4,
+            flops: 1.2e10, // 12 Gflop/s (RPi-4 class)
+            mem_bytes: 4 << 30,
+            idle_watts: 2.7,
+            busy_watts: 7.0,
+            usd_per_hour: 0.0,
+            egress_usd_per_gb: 0.0,
+        },
+        DeviceClass::FogServer => DeviceSpec {
+            class,
+            tier: Tier::Fog,
+            cores: 16,
+            flops: 5e11, // 500 Gflop/s (Xeon-D class)
+            mem_bytes: 64 << 30,
+            idle_watts: 60.0,
+            busy_watts: 200.0,
+            usd_per_hour: 0.0,
+            egress_usd_per_gb: 0.0,
+        },
+        DeviceClass::CloudVm => DeviceSpec {
+            class,
+            tier: Tier::Cloud,
+            cores: 16,
+            flops: 6e11, // 600 Gflop/s (c5.4xlarge class)
+            mem_bytes: 32 << 30,
+            idle_watts: 90.0,
+            busy_watts: 250.0,
+            usd_per_hour: 0.68,
+            egress_usd_per_gb: 0.09,
+        },
+        DeviceClass::CloudVmLarge => DeviceSpec {
+            class,
+            tier: Tier::Cloud,
+            cores: 48,
+            flops: 2e12, // 2 Tflop/s
+            mem_bytes: 96 << 30,
+            idle_watts: 150.0,
+            busy_watts: 450.0,
+            usd_per_hour: 2.04,
+            egress_usd_per_gb: 0.09,
+        },
+        DeviceClass::HpcNode => DeviceSpec {
+            class,
+            tier: Tier::Hpc,
+            cores: 128,
+            flops: 4e13, // 40 Tflop/s (GPU-dense node)
+            mem_bytes: 512 << 30,
+            idle_watts: 400.0,
+            busy_watts: 2_200.0,
+            usd_per_hour: 0.0, // allocation-funded
+            egress_usd_per_gb: 0.0,
+        },
+        DeviceClass::GpuAccelerator => DeviceSpec {
+            class,
+            tier: Tier::Cloud,
+            cores: 8, // task slots (MIG-style partitions)
+            flops: 7e12, // 7 Tflop/s FP64 (V100 class)
+            mem_bytes: 32 << 30,
+            idle_watts: 50.0,
+            busy_watts: 300.0,
+            usd_per_hour: 3.06,
+            egress_usd_per_gb: 0.09,
+        },
+    }
+}
+
+/// The full catalog in class order — the rows of table T1.
+pub fn all() -> Vec<DeviceSpec> {
+    DeviceClass::ALL.iter().map(|&c| spec(c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_spans_orders_of_magnitude() {
+        let mote = spec(DeviceClass::SensorMote).flops;
+        let hpc = spec(DeviceClass::HpcNode).flops;
+        assert!(hpc / mote > 1e5, "continuum should span >= 5 orders of magnitude");
+    }
+
+    #[test]
+    fn monotone_compute_up_the_continuum() {
+        let order = [
+            DeviceClass::SensorMote,
+            DeviceClass::Microcontroller,
+            DeviceClass::EdgeGateway,
+            DeviceClass::FogServer,
+            DeviceClass::CloudVm,
+            DeviceClass::CloudVmLarge,
+            DeviceClass::HpcNode,
+        ];
+        for w in order.windows(2) {
+            assert!(
+                spec(w[0]).flops < spec(w[1]).flops,
+                "{} !< {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn busy_exceeds_idle_power() {
+        for s in all() {
+            assert!(s.busy_watts > s.idle_watts, "{}", s.class);
+        }
+    }
+
+    #[test]
+    fn tiers_consistent() {
+        assert_eq!(spec(DeviceClass::SensorMote).tier, Tier::Sensor);
+        assert_eq!(spec(DeviceClass::EdgeGateway).tier, Tier::Edge);
+        assert_eq!(spec(DeviceClass::FogServer).tier, Tier::Fog);
+        assert_eq!(spec(DeviceClass::CloudVm).tier, Tier::Cloud);
+        assert_eq!(spec(DeviceClass::HpcNode).tier, Tier::Hpc);
+    }
+
+    #[test]
+    fn only_cloud_bills() {
+        for s in all() {
+            if s.usd_per_hour > 0.0 {
+                assert_eq!(s.tier, Tier::Cloud, "{} bills but is not cloud", s.class);
+            }
+        }
+    }
+}

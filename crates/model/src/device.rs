@@ -1,0 +1,181 @@
+//! Device classes and per-device specifications.
+//!
+//! A *device* is a compute resource attached to one node of the network
+//! topology. Its spec captures the handful of properties the placement
+//! engine and the executors need: sustained compute speed, core count,
+//! memory, power draw, and billing rates.
+
+use continuum_net::Tier;
+use continuum_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The broad hardware classes of the continuum (table T1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// Battery-powered instrument or camera node.
+    SensorMote,
+    /// Microcontroller-class gateway (Cortex-M).
+    Microcontroller,
+    /// Single-board edge gateway (Raspberry-Pi class).
+    EdgeGateway,
+    /// Metro/fog rack server (Xeon-D class).
+    FogServer,
+    /// General-purpose cloud VM.
+    CloudVm,
+    /// Large compute-optimized cloud VM.
+    CloudVmLarge,
+    /// Supercomputer node (CPU + accelerators).
+    HpcNode,
+    /// Discrete GPU accelerator appliance.
+    GpuAccelerator,
+}
+
+impl DeviceClass {
+    /// All classes, small to large.
+    pub const ALL: [DeviceClass; 8] = [
+        DeviceClass::SensorMote,
+        DeviceClass::Microcontroller,
+        DeviceClass::EdgeGateway,
+        DeviceClass::FogServer,
+        DeviceClass::CloudVm,
+        DeviceClass::CloudVmLarge,
+        DeviceClass::HpcNode,
+        DeviceClass::GpuAccelerator,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceClass::SensorMote => "sensor-mote",
+            DeviceClass::Microcontroller => "microcontroller",
+            DeviceClass::EdgeGateway => "edge-gateway",
+            DeviceClass::FogServer => "fog-server",
+            DeviceClass::CloudVm => "cloud-vm",
+            DeviceClass::CloudVmLarge => "cloud-vm-large",
+            DeviceClass::HpcNode => "hpc-node",
+            DeviceClass::GpuAccelerator => "gpu-accelerator",
+        }
+    }
+}
+
+impl fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Static description of one device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Hardware class.
+    pub class: DeviceClass,
+    /// Continuum tier this class normally sits in.
+    pub tier: Tier,
+    /// Number of independent task slots (cores).
+    pub cores: u32,
+    /// Sustained aggregate compute speed, flop/s (all cores together).
+    pub flops: f64,
+    /// Installed memory, bytes.
+    pub mem_bytes: u64,
+    /// Power draw when idle, watts.
+    pub idle_watts: f64,
+    /// Power draw when all cores are busy, watts.
+    pub busy_watts: f64,
+    /// Billing rate, US dollars per hour of occupancy (0 for owned gear).
+    pub usd_per_hour: f64,
+    /// Data egress price, US dollars per GB leaving this device's site.
+    pub egress_usd_per_gb: f64,
+}
+
+impl DeviceSpec {
+    /// Compute speed available to one task occupying one core.
+    pub fn flops_per_core(&self) -> f64 {
+        self.flops / self.cores as f64
+    }
+
+    /// Time for one single-core task of `work` flops.
+    ///
+    /// # Panics
+    /// If `work` is negative.
+    pub fn compute_time(&self, work: f64) -> SimDuration {
+        assert!(work >= 0.0, "negative work");
+        SimDuration::from_secs_f64(work / self.flops_per_core())
+    }
+
+    /// Time for a task of `work` flops using up to `parallelism` cores,
+    /// clamped to the device's core count (perfect intra-task scaling is
+    /// assumed up to the clamp — an intentional simplification noted in
+    /// DESIGN.md).
+    pub fn compute_time_parallel(&self, work: f64, parallelism: u32) -> SimDuration {
+        let p = parallelism.clamp(1, self.cores);
+        SimDuration::from_secs_f64(work / (self.flops_per_core() * p as f64))
+    }
+
+    /// Marginal power of keeping one core busy, watts.
+    pub fn watts_per_busy_core(&self) -> f64 {
+        (self.busy_watts - self.idle_watts) / self.cores as f64
+    }
+}
+
+/// A device instance placed at a topology node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Device {
+    /// Index within the owning [`crate::fleet::Fleet`].
+    pub id: DeviceId,
+    /// Topology node this device is attached to.
+    pub node: continuum_net::NodeId,
+    /// Static specification.
+    pub spec: DeviceSpec,
+}
+
+/// Index of a device within a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn compute_time_scales_with_work() {
+        let spec = catalog::spec(DeviceClass::EdgeGateway);
+        let t1 = spec.compute_time(1e9);
+        let t2 = spec.compute_time(2e9);
+        // Nanosecond ceil-rounding allows a couple of ns of slack.
+        assert!((t2.as_secs_f64() / t1.as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_clamps_to_cores() {
+        let spec = catalog::spec(DeviceClass::EdgeGateway);
+        let serial = spec.compute_time(1e9);
+        let max_par = spec.compute_time_parallel(1e9, u32::MAX);
+        assert!((serial.as_secs_f64() / max_par.as_secs_f64() - spec.cores as f64).abs() < 1e-6);
+        // parallelism=1 equals the serial time.
+        assert_eq!(spec.compute_time_parallel(1e9, 1), serial);
+    }
+
+    #[test]
+    fn busy_core_power_positive() {
+        for c in DeviceClass::ALL {
+            let s = catalog::spec(c);
+            assert!(s.watts_per_busy_core() > 0.0, "{c}");
+        }
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<_> = DeviceClass::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), DeviceClass::ALL.len());
+    }
+}

@@ -1,0 +1,95 @@
+//! Dynamic voltage/frequency scaling (DVFS).
+//!
+//! The standard first-order model: running a core at relative frequency
+//! `f ∈ (0, 1]` scales its throughput by `f` and its *dynamic* power by
+//! `f³` (frequency × voltage², with voltage tracking frequency); idle
+//! (static) power is unchanged. Scaling down therefore reduces energy per
+//! flop quadratically while stretching the makespan — until static power
+//! integrated over the longer run wins, which is what experiment F10
+//! measures.
+
+use crate::device::DeviceSpec;
+use crate::fleet::Fleet;
+
+/// A device spec re-rated at relative frequency `f`.
+///
+/// # Panics
+/// If `f` is not in `(0, 1]`.
+pub fn spec_at_frequency(spec: &DeviceSpec, f: f64) -> DeviceSpec {
+    assert!(f > 0.0 && f <= 1.0, "frequency scale {f} outside (0, 1]");
+    let mut s = spec.clone();
+    s.flops *= f;
+    s.busy_watts = s.idle_watts + (spec.busy_watts - spec.idle_watts) * f * f * f;
+    s
+}
+
+/// A whole fleet re-rated at relative frequency `f` (same devices, same
+/// nodes, scaled specs).
+pub fn fleet_at_frequency(fleet: &Fleet, f: f64) -> Fleet {
+    let mut out = Fleet::new();
+    for d in fleet.devices() {
+        out.add(d.node, spec_at_frequency(&d.spec, f));
+    }
+    out
+}
+
+/// Dynamic energy per flop at frequency `f`, relative to `f = 1`.
+///
+/// `e(f) = P_dyn(f) / rate(f) = f³ / f = f²` — the quadratic saving that
+/// motivates racing slowly, opposed by static power over the longer run.
+pub fn relative_energy_per_flop(f: f64) -> f64 {
+    assert!(f > 0.0 && f <= 1.0);
+    f * f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::device::DeviceClass;
+
+    #[test]
+    fn scaling_laws() {
+        let base = catalog::spec(DeviceClass::FogServer);
+        let half = spec_at_frequency(&base, 0.5);
+        assert!((half.flops - base.flops * 0.5).abs() < 1e-9);
+        // Idle unchanged; dynamic power scaled by 1/8.
+        assert_eq!(half.idle_watts, base.idle_watts);
+        let dyn_base = base.busy_watts - base.idle_watts;
+        let dyn_half = half.busy_watts - half.idle_watts;
+        assert!((dyn_half - dyn_base / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_frequency_is_identity() {
+        let base = catalog::spec(DeviceClass::CloudVm);
+        let same = spec_at_frequency(&base, 1.0);
+        assert_eq!(same.flops, base.flops);
+        assert_eq!(same.busy_watts, base.busy_watts);
+    }
+
+    #[test]
+    fn energy_per_flop_quadratic() {
+        assert!((relative_energy_per_flop(0.5) - 0.25).abs() < 1e-12);
+        assert_eq!(relative_energy_per_flop(1.0), 1.0);
+    }
+
+    #[test]
+    fn fleet_rescaled_in_place() {
+        let mut topo = continuum_net::Topology::new();
+        let n = topo.add_node("x", continuum_net::Tier::Fog);
+        let mut fleet = Fleet::new();
+        fleet.add_class(n, DeviceClass::FogServer);
+        let scaled = fleet_at_frequency(&fleet, 0.6);
+        assert_eq!(scaled.len(), 1);
+        assert_eq!(scaled.device(crate::DeviceId(0)).node, n);
+        assert!(scaled.device(crate::DeviceId(0)).spec.flops < fleet.device(crate::DeviceId(0)).spec.flops);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn overclocking_rejected() {
+        let base = catalog::spec(DeviceClass::CloudVm);
+        spec_at_frequency(&base, 1.5);
+    }
+}

@@ -1,0 +1,171 @@
+//! A fleet: the set of devices deployed onto a topology.
+//!
+//! The fleet is the placement engine's universe of candidate execution
+//! sites. Devices are dense-indexed ([`DeviceId`]) and cross-referenced to
+//! topology nodes; at most one device per node (the common deployment in
+//! this reproduction) is *not* assumed — a big cloud node may host several
+//! VM devices.
+
+use crate::catalog;
+use crate::device::{Device, DeviceClass, DeviceId, DeviceSpec};
+use continuum_net::{BuiltContinuum, NodeId, Tier};
+use serde::{Deserialize, Serialize};
+
+/// All devices deployed across the continuum.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Fleet {
+    devices: Vec<Device>,
+    by_node: Vec<Vec<DeviceId>>, // indexed by NodeId
+}
+
+impl Fleet {
+    /// Empty fleet.
+    pub fn new() -> Self {
+        Fleet::default()
+    }
+
+    /// Deploy a device with `spec` at topology node `node`.
+    pub fn add(&mut self, node: NodeId, spec: DeviceSpec) -> DeviceId {
+        let id = DeviceId(self.devices.len() as u32);
+        self.devices.push(Device { id, node, spec });
+        let ni = node.0 as usize;
+        if self.by_node.len() <= ni {
+            self.by_node.resize_with(ni + 1, Vec::new);
+        }
+        self.by_node[ni].push(id);
+        id
+    }
+
+    /// Deploy the catalog spec of `class` at `node`.
+    pub fn add_class(&mut self, node: NodeId, class: DeviceClass) -> DeviceId {
+        self.add(node, catalog::spec(class))
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True if no devices are deployed.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Device by id.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.0 as usize]
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Devices attached to a node.
+    pub fn at_node(&self, node: NodeId) -> &[DeviceId] {
+        self.by_node.get(node.0 as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Devices whose spec tier equals `tier`.
+    pub fn in_tier(&self, tier: Tier) -> Vec<DeviceId> {
+        self.devices.iter().filter(|d| d.spec.tier == tier).map(|d| d.id).collect()
+    }
+
+    /// Devices whose spec tier is `<= tier` (e.g. "edge or closer").
+    pub fn at_or_below(&self, tier: Tier) -> Vec<DeviceId> {
+        self.devices.iter().filter(|d| d.spec.tier <= tier).map(|d| d.id).collect()
+    }
+
+    /// Total fleet compute speed, flop/s.
+    pub fn total_flops(&self) -> f64 {
+        self.devices.iter().map(|d| d.spec.flops).sum()
+    }
+
+    /// Total task slots (sum of cores).
+    pub fn total_cores(&self) -> u64 {
+        self.devices.iter().map(|d| d.spec.cores as u64).sum()
+    }
+}
+
+/// The standard deployment used throughout the experiments: one catalog
+/// device per continuum node, classes chosen by tier (sensors get motes,
+/// edges get gateways, fogs get fog servers, clouds get VMs — the first
+/// cloud node gets a large VM and a GPU — and HPC nodes get HPC nodes).
+pub fn standard_fleet(built: &BuiltContinuum) -> Fleet {
+    let mut fleet = Fleet::new();
+    for &s in &built.sensors {
+        fleet.add_class(s, DeviceClass::SensorMote);
+    }
+    for &e in &built.edges {
+        fleet.add_class(e, DeviceClass::EdgeGateway);
+    }
+    for &f in &built.fogs {
+        fleet.add_class(f, DeviceClass::FogServer);
+    }
+    for (i, &c) in built.clouds.iter().enumerate() {
+        if i == 0 {
+            fleet.add_class(c, DeviceClass::CloudVmLarge);
+            fleet.add_class(c, DeviceClass::GpuAccelerator);
+        } else {
+            fleet.add_class(c, DeviceClass::CloudVm);
+        }
+    }
+    for &h in &built.hpcs {
+        fleet.add_class(h, DeviceClass::HpcNode);
+    }
+    fleet
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use continuum_net::ContinuumSpec;
+
+    #[test]
+    fn standard_fleet_covers_all_tiers() {
+        let built = continuum_net::continuum(&ContinuumSpec::default());
+        let fleet = standard_fleet(&built);
+        for tier in Tier::ALL {
+            assert!(!fleet.in_tier(tier).is_empty(), "no devices in {}", tier.label());
+        }
+        // One device per node, plus the extra GPU on cloud0.
+        assert_eq!(fleet.len(), built.topology.node_count() + 1);
+    }
+
+    #[test]
+    fn at_node_cross_reference() {
+        let built = continuum_net::continuum(&ContinuumSpec::default());
+        let fleet = standard_fleet(&built);
+        for d in fleet.devices() {
+            assert!(fleet.at_node(d.node).contains(&d.id));
+        }
+        // cloud0 hosts two devices.
+        assert_eq!(fleet.at_node(built.clouds[0]).len(), 2);
+    }
+
+    #[test]
+    fn tier_filters() {
+        let built = continuum_net::continuum(&ContinuumSpec::default());
+        let fleet = standard_fleet(&built);
+        let edge_or_less = fleet.at_or_below(Tier::Edge);
+        assert_eq!(
+            edge_or_less.len(),
+            fleet.in_tier(Tier::Sensor).len() + fleet.in_tier(Tier::Edge).len()
+        );
+    }
+
+    #[test]
+    fn totals_positive() {
+        let built = continuum_net::continuum(&ContinuumSpec::default());
+        let fleet = standard_fleet(&built);
+        assert!(fleet.total_flops() > 0.0);
+        assert!(fleet.total_cores() > 0);
+    }
+
+    #[test]
+    fn empty_node_has_no_devices() {
+        let fleet = Fleet::new();
+        assert!(fleet.at_node(NodeId(42)).is_empty());
+        assert!(fleet.is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! # continuum-model
+//!
+//! Resource substrate for the `coding-the-continuum` reproduction: the
+//! device classes that populate the continuum (sensor motes through HPC
+//! nodes), the fleets deployed onto network topologies, and the energy and
+//! dollar-cost models the multi-objective experiments optimize against.
+//!
+//! This crate substitutes for the physical hardware fleet the keynote's
+//! experiments would need. The catalog ([`catalog::all`], table T1) uses
+//! order-of-magnitude 2019 figures; experiments depend on the *ratios*
+//! between classes, which are realistic, not on absolute numbers.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod cost;
+pub mod device;
+pub mod dvfs;
+pub mod energy;
+pub mod fleet;
+
+pub use cost::{CostMeter, BYTES_PER_GB};
+pub use device::{Device, DeviceClass, DeviceId, DeviceSpec};
+pub use dvfs::{fleet_at_frequency, relative_energy_per_flop, spec_at_frequency};
+pub use energy::EnergyMeter;
+pub use fleet::{standard_fleet, Fleet};

@@ -1,0 +1,263 @@
+//! Topology presets: the tiered continuum, plus small shapes for tests.
+//!
+//! The default [`ContinuumSpec`] parameters are order-of-magnitude figures
+//! for 2019-era infrastructure: sensors reach their edge gateway over
+//! short-range wireless, edge boxes uplink to a metro fog site, fog sites
+//! cross a WAN to the cloud, and the cloud peers with an HPC facility over
+//! a fat research network.
+
+use crate::topology::{NodeId, Tier, Topology};
+use continuum_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Latency/bandwidth of one class of link.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+    /// Capacity in bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl LinkSpec {
+    /// Convenience constructor.
+    pub fn new(latency: SimDuration, bandwidth_bps: f64) -> Self {
+        LinkSpec { latency, bandwidth_bps }
+    }
+}
+
+/// Shape and link parameters of a tiered continuum topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContinuumSpec {
+    /// Number of fog sites.
+    pub fogs: usize,
+    /// Edge gateways attached to each fog site.
+    pub edges_per_fog: usize,
+    /// Sensors attached to each edge gateway.
+    pub sensors_per_edge: usize,
+    /// Cloud nodes (fully meshed with each other).
+    pub clouds: usize,
+    /// HPC nodes (attached to the first cloud node).
+    pub hpcs: usize,
+    /// Sensor ↔ edge links (short-range wireless).
+    pub sensor_edge: LinkSpec,
+    /// Edge ↔ fog links (access uplink).
+    pub edge_fog: LinkSpec,
+    /// Fog ↔ cloud links (WAN).
+    pub fog_cloud: LinkSpec,
+    /// Cloud ↔ cloud links (intra-DC fabric).
+    pub cloud_cloud: LinkSpec,
+    /// Cloud ↔ HPC links (research network).
+    pub cloud_hpc: LinkSpec,
+}
+
+impl Default for ContinuumSpec {
+    fn default() -> Self {
+        ContinuumSpec {
+            fogs: 2,
+            edges_per_fog: 4,
+            sensors_per_edge: 4,
+            clouds: 4,
+            hpcs: 2,
+            // ~BLE/WiFi uplink: 2 ms, 3 MB/s.
+            sensor_edge: LinkSpec::new(SimDuration::from_millis(2), 3e6),
+            // Metro uplink: 5 ms, 125 MB/s (1 Gb/s).
+            edge_fog: LinkSpec::new(SimDuration::from_millis(5), 1.25e8),
+            // WAN: 20 ms, 1.25 GB/s (10 Gb/s).
+            fog_cloud: LinkSpec::new(SimDuration::from_millis(20), 1.25e9),
+            // Intra-DC: 0.5 ms, 12.5 GB/s (100 Gb/s).
+            cloud_cloud: LinkSpec::new(SimDuration::from_micros(500), 1.25e10),
+            // Research network: 10 ms, 12.5 GB/s.
+            cloud_hpc: LinkSpec::new(SimDuration::from_millis(10), 1.25e10),
+        }
+    }
+}
+
+/// A built continuum topology with per-tier node indices.
+#[derive(Debug, Clone)]
+pub struct BuiltContinuum {
+    /// The graph itself.
+    pub topology: Topology,
+    /// Sensor node ids, grouped in edge order.
+    pub sensors: Vec<NodeId>,
+    /// Edge gateway ids, grouped in fog order.
+    pub edges: Vec<NodeId>,
+    /// Fog site ids.
+    pub fogs: Vec<NodeId>,
+    /// Cloud node ids.
+    pub clouds: Vec<NodeId>,
+    /// HPC node ids.
+    pub hpcs: Vec<NodeId>,
+}
+
+impl BuiltContinuum {
+    /// The edge gateway a sensor is attached to.
+    pub fn edge_of_sensor(&self, sensor_index: usize, spec: &ContinuumSpec) -> NodeId {
+        self.edges[sensor_index / spec.sensors_per_edge]
+    }
+
+    /// All node ids across all tiers.
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        self.topology.nodes().iter().map(|n| n.id).collect()
+    }
+}
+
+/// Build the tiered continuum described by `spec`.
+pub fn continuum(spec: &ContinuumSpec) -> BuiltContinuum {
+    let mut t = Topology::new();
+    let mut fogs = Vec::with_capacity(spec.fogs);
+    let mut edges = Vec::new();
+    let mut sensors = Vec::new();
+
+    let clouds: Vec<NodeId> =
+        (0..spec.clouds).map(|i| t.add_node(format!("cloud{i}"), Tier::Cloud)).collect();
+    for i in 0..spec.clouds {
+        for j in (i + 1)..spec.clouds {
+            t.add_link(clouds[i], clouds[j], spec.cloud_cloud.latency, spec.cloud_cloud.bandwidth_bps);
+        }
+    }
+
+    let hpcs: Vec<NodeId> =
+        (0..spec.hpcs).map(|i| t.add_node(format!("hpc{i}"), Tier::Hpc)).collect();
+    for &h in &hpcs {
+        if let Some(&c0) = clouds.first() {
+            t.add_link(h, c0, spec.cloud_hpc.latency, spec.cloud_hpc.bandwidth_bps);
+        }
+    }
+
+    for f in 0..spec.fogs {
+        let fog = t.add_node(format!("fog{f}"), Tier::Fog);
+        fogs.push(fog);
+        // Each fog connects to every cloud node (multi-homed WAN).
+        for &c in &clouds {
+            t.add_link(fog, c, spec.fog_cloud.latency, spec.fog_cloud.bandwidth_bps);
+        }
+        for e in 0..spec.edges_per_fog {
+            let edge = t.add_node(format!("edge{f}_{e}"), Tier::Edge);
+            edges.push(edge);
+            t.add_link(edge, fog, spec.edge_fog.latency, spec.edge_fog.bandwidth_bps);
+            for s in 0..spec.sensors_per_edge {
+                let sensor = t.add_node(format!("sensor{f}_{e}_{s}"), Tier::Sensor);
+                sensors.push(sensor);
+                t.add_link(sensor, edge, spec.sensor_edge.latency, spec.sensor_edge.bandwidth_bps);
+            }
+        }
+    }
+
+    BuiltContinuum { topology: t, sensors, edges, fogs, clouds, hpcs }
+}
+
+/// A star: one hub and `leaves` spokes with identical links. For tests.
+pub fn star(leaves: usize, link: LinkSpec) -> (Topology, NodeId, Vec<NodeId>) {
+    let mut t = Topology::new();
+    let hub = t.add_node("hub", Tier::Fog);
+    let spokes = (0..leaves)
+        .map(|i| {
+            let n = t.add_node(format!("leaf{i}"), Tier::Edge);
+            t.add_link(hub, n, link.latency, link.bandwidth_bps);
+            n
+        })
+        .collect();
+    (t, hub, spokes)
+}
+
+/// A dumbbell: `left` nodes and `right` nodes joined by one shared trunk.
+/// The classic congestion shape. For tests and the flow-model ablation.
+pub fn dumbbell(
+    left: usize,
+    right: usize,
+    access: LinkSpec,
+    trunk: LinkSpec,
+) -> (Topology, Vec<NodeId>, Vec<NodeId>) {
+    let mut t = Topology::new();
+    let l_hub = t.add_node("lhub", Tier::Fog);
+    let r_hub = t.add_node("rhub", Tier::Fog);
+    t.add_link(l_hub, r_hub, trunk.latency, trunk.bandwidth_bps);
+    let lefts = (0..left)
+        .map(|i| {
+            let n = t.add_node(format!("L{i}"), Tier::Edge);
+            t.add_link(n, l_hub, access.latency, access.bandwidth_bps);
+            n
+        })
+        .collect();
+    let rights = (0..right)
+        .map(|i| {
+            let n = t.add_node(format!("R{i}"), Tier::Cloud);
+            t.add_link(n, r_hub, access.latency, access.bandwidth_bps);
+            n
+        })
+        .collect();
+    (t, lefts, rights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RouteTable;
+
+    #[test]
+    fn default_continuum_is_connected() {
+        let spec = ContinuumSpec::default();
+        let built = continuum(&spec);
+        assert!(built.topology.is_connected());
+        assert_eq!(built.fogs.len(), spec.fogs);
+        assert_eq!(built.edges.len(), spec.fogs * spec.edges_per_fog);
+        assert_eq!(built.sensors.len(), spec.fogs * spec.edges_per_fog * spec.sensors_per_edge);
+        assert_eq!(built.clouds.len(), spec.clouds);
+        assert_eq!(built.hpcs.len(), spec.hpcs);
+    }
+
+    #[test]
+    fn tier_counts_match() {
+        let spec = ContinuumSpec::default();
+        let built = continuum(&spec);
+        let t = &built.topology;
+        assert_eq!(t.nodes_in_tier(Tier::Sensor).len(), built.sensors.len());
+        assert_eq!(t.nodes_in_tier(Tier::Edge).len(), built.edges.len());
+        assert_eq!(t.nodes_in_tier(Tier::Fog).len(), built.fogs.len());
+        assert_eq!(t.nodes_in_tier(Tier::Cloud).len(), built.clouds.len());
+        assert_eq!(t.nodes_in_tier(Tier::Hpc).len(), built.hpcs.len());
+    }
+
+    #[test]
+    fn sensor_routes_climb_tiers() {
+        let spec = ContinuumSpec::default();
+        let built = continuum(&spec);
+        let rt = RouteTable::build(&built.topology);
+        let s = built.sensors[0];
+        let c = built.clouds[0];
+        let p = rt.path(&built.topology, s, c).unwrap();
+        // sensor -> edge -> fog -> cloud = 3 hops.
+        assert_eq!(p.hops(), 3);
+        // Bottleneck is the sensor uplink.
+        assert_eq!(p.bottleneck_bps, spec.sensor_edge.bandwidth_bps);
+        let expected_latency = spec.sensor_edge.latency + spec.edge_fog.latency + spec.fog_cloud.latency;
+        assert_eq!(p.latency, expected_latency);
+    }
+
+    #[test]
+    fn edge_of_sensor_is_adjacent() {
+        let spec = ContinuumSpec::default();
+        let built = continuum(&spec);
+        for (i, &s) in built.sensors.iter().enumerate() {
+            let e = built.edge_of_sensor(i, &spec);
+            assert!(built.topology.neighbors(s).iter().any(|&(n, _)| n == e));
+        }
+    }
+
+    #[test]
+    fn star_and_dumbbell_shapes() {
+        let ls = LinkSpec::new(SimDuration::from_millis(1), 1e6);
+        let (t, hub, spokes) = star(5, ls);
+        assert_eq!(t.node_count(), 6);
+        assert_eq!(t.neighbors(hub).len(), 5);
+        assert_eq!(spokes.len(), 5);
+
+        let (t2, l, r) = dumbbell(3, 2, ls, ls);
+        assert_eq!(t2.node_count(), 2 + 3 + 2);
+        assert!(t2.is_connected());
+        let rt = RouteTable::build(&t2);
+        let p = rt.path(&t2, l[0], r[0]).unwrap();
+        assert_eq!(p.hops(), 3); // access + trunk + access
+    }
+}

@@ -1,0 +1,343 @@
+//! Max-min fair bandwidth sharing for concurrent transfers.
+//!
+//! The simulated executor charges transfers their *contended* time: all
+//! active flows crossing a link share its capacity max-min fairly
+//! (progressive filling). The [`FlowNetwork`] tracks active flows, their
+//! fair rates, and remaining bytes; the caller (an event loop) asks for the
+//! next completion time and advances the network to event timestamps.
+//!
+//! An ablation experiment compares this model against the naive
+//! "bottleneck-only" estimate of [`crate::routing::Path::transfer_time`].
+
+use crate::routing::Path;
+use crate::topology::{LinkId, Topology};
+use continuum_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Identifier of an active flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+#[derive(Debug, Clone)]
+struct Flow {
+    links: Vec<LinkId>,
+    remaining: f64, // bytes
+    rate: f64,      // bytes/s, max-min fair share
+}
+
+/// Concurrent flows sharing link capacity max-min fairly.
+///
+/// ```
+/// use continuum_net::{FlowNetwork, RouteTable, Tier, Topology};
+/// use continuum_sim::{SimDuration, SimTime};
+///
+/// let mut topo = Topology::new();
+/// let a = topo.add_node("a", Tier::Edge);
+/// let b = topo.add_node("b", Tier::Cloud);
+/// topo.add_link(a, b, SimDuration::from_millis(1), 1e6); // 1 MB/s
+/// let routes = RouteTable::build(&topo);
+/// let path = routes.path(&topo, a, b).unwrap();
+///
+/// let mut net = FlowNetwork::new(&topo);
+/// let f1 = net.start(SimTime::ZERO, &path, 1_000_000).unwrap();
+/// let f2 = net.start(SimTime::ZERO, &path, 1_000_000).unwrap();
+/// // Two flows share the megabyte-per-second link fairly.
+/// assert_eq!(net.rate(f1), Some(5e5));
+/// assert_eq!(net.rate(f2), Some(5e5));
+/// ```
+///
+/// Local (zero-hop) flows complete instantaneously and are never registered.
+/// Usage protocol, driven by an external event loop:
+///
+/// 1. [`FlowNetwork::start`] a flow when its transfer begins (after the
+///    path's propagation latency, if the caller models it).
+/// 2. [`FlowNetwork::next_completion`] to learn which flow finishes next
+///    and when; schedule an event for it.
+/// 3. On any event that changes the flow set, first [`FlowNetwork::advance`]
+///    to the event time, then apply the change; previously scheduled
+///    completion events that no longer match should be discarded by the
+///    caller (compare against `next_completion` again).
+#[derive(Debug)]
+pub struct FlowNetwork {
+    capacity: Vec<f64>,
+    flows: HashMap<FlowId, Flow>,
+    next_id: u64,
+    clock: SimTime,
+}
+
+impl FlowNetwork {
+    /// Build over the links of `topo` (captures current capacities).
+    pub fn new(topo: &Topology) -> FlowNetwork {
+        FlowNetwork {
+            capacity: topo.links().iter().map(|l| l.bandwidth_bps).collect(),
+            flows: HashMap::new(),
+            next_id: 0,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// Current internal clock (last `advance` / `start` time).
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of active flows.
+    pub fn active(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Start a flow of `bytes` along `path` at time `now`.
+    ///
+    /// Returns `None` if the path is local (zero hops) — such transfers are
+    /// free under this model and complete immediately.
+    ///
+    /// # Panics
+    /// If `now` is earlier than the network's clock.
+    pub fn start(&mut self, now: SimTime, path: &Path, bytes: u64) -> Option<FlowId> {
+        if path.links.is_empty() {
+            return None;
+        }
+        self.advance(now);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow { links: path.links.clone(), remaining: bytes.max(1) as f64, rate: 0.0 },
+        );
+        self.recompute_rates();
+        Some(id)
+    }
+
+    /// Remove a flow (completion or cancellation) at time `now`.
+    pub fn remove(&mut self, now: SimTime, id: FlowId) {
+        self.advance(now);
+        self.flows.remove(&id);
+        self.recompute_rates();
+    }
+
+    /// The earliest (time, flow) completion under current rates, if any
+    /// flows are active.
+    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
+        self.flows
+            .iter()
+            .map(|(&id, f)| {
+                let dt = if f.rate > 0.0 { f.remaining / f.rate } else { f64::INFINITY };
+                (self.clock + SimDuration::from_secs_f64(dt.min(1e18)), id)
+            })
+            .min()
+    }
+
+    /// Advance the clock to `now`, draining `rate * dt` bytes per flow.
+    ///
+    /// # Panics
+    /// Debug-asserts that time does not move backwards.
+    pub fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.clock, "flow network time went backwards");
+        if now <= self.clock {
+            return;
+        }
+        let dt = now.since(self.clock).as_secs_f64();
+        for f in self.flows.values_mut() {
+            f.remaining = (f.remaining - f.rate * dt).max(0.0);
+        }
+        self.clock = now;
+    }
+
+    /// The current max-min fair rate of a flow (bytes/s).
+    pub fn rate(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.rate)
+    }
+
+    /// Remaining bytes of a flow.
+    pub fn remaining(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.remaining)
+    }
+
+    /// Progressive filling: repeatedly saturate the most constrained link.
+    fn recompute_rates(&mut self) {
+        // Residual capacity per link and number of unfrozen flows on it.
+        let mut residual = self.capacity.clone();
+        let mut count = vec![0u32; self.capacity.len()];
+        for f in self.flows.values() {
+            for &l in &f.links {
+                count[l.0 as usize] += 1;
+            }
+        }
+        let mut frozen: HashMap<FlowId, f64> = HashMap::with_capacity(self.flows.len());
+        let mut unfrozen: Vec<FlowId> = self.flows.keys().copied().collect();
+        unfrozen.sort_unstable(); // determinism
+        while !unfrozen.is_empty() {
+            // Fair share of the most constrained link among links carrying
+            // unfrozen flows.
+            let mut best: Option<(f64, usize)> = None;
+            for (li, (&res, &cnt)) in residual.iter().zip(count.iter()).enumerate() {
+                if cnt > 0 {
+                    let share = res / cnt as f64;
+                    if best.map(|(s, _)| share < s).unwrap_or(true) {
+                        best = Some((share, li));
+                    }
+                }
+            }
+            let Some((share, bottleneck)) = best else { break };
+            // Freeze every unfrozen flow crossing the bottleneck at `share`.
+            let mut still = Vec::with_capacity(unfrozen.len());
+            for id in unfrozen.drain(..) {
+                let f = &self.flows[&id];
+                if f.links.iter().any(|l| l.0 as usize == bottleneck) {
+                    frozen.insert(id, share);
+                    for &l in &f.links {
+                        residual[l.0 as usize] -= share;
+                        count[l.0 as usize] -= 1;
+                    }
+                } else {
+                    still.push(id);
+                }
+            }
+            unfrozen = still;
+            // Numerical hygiene: clamp tiny negative residuals.
+            for r in &mut residual {
+                if *r < 0.0 {
+                    *r = 0.0;
+                }
+            }
+        }
+        for (id, f) in self.flows.iter_mut() {
+            f.rate = frozen.get(id).copied().unwrap_or(0.0);
+        }
+    }
+
+    /// Sum of rates crossing each link; used by conservation tests.
+    pub fn link_loads(&self) -> Vec<f64> {
+        let mut loads = vec![0.0; self.capacity.len()];
+        for f in self.flows.values() {
+            for &l in &f.links {
+                loads[l.0 as usize] += f.rate;
+            }
+        }
+        loads
+    }
+
+    /// Link capacities this network was built with.
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RouteTable;
+    use crate::topology::{NodeId, Tier, Topology};
+    use continuum_sim::SimDuration;
+
+    /// Linear chain a - b - c with 1e6 B/s links, negligible latency.
+    fn chain() -> (Topology, RouteTable) {
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Edge);
+        let b = t.add_node("b", Tier::Fog);
+        let c = t.add_node("c", Tier::Cloud);
+        t.add_link(a, b, SimDuration::from_micros(1), 1e6);
+        t.add_link(b, c, SimDuration::from_micros(1), 1e6);
+        let rt = RouteTable::build(&t);
+        (t, rt)
+    }
+
+    #[test]
+    fn single_flow_full_rate() {
+        let (t, rt) = chain();
+        let mut fnw = FlowNetwork::new(&t);
+        let p = rt.path(&t, NodeId(0), NodeId(2)).unwrap();
+        let id = fnw.start(SimTime::ZERO, &p, 1_000_000).unwrap();
+        assert_eq!(fnw.rate(id), Some(1e6));
+        let (tc, fid) = fnw.next_completion().unwrap();
+        assert_eq!(fid, id);
+        assert!((tc.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        let (t, rt) = chain();
+        let mut fnw = FlowNetwork::new(&t);
+        let p = rt.path(&t, NodeId(0), NodeId(2)).unwrap();
+        let f1 = fnw.start(SimTime::ZERO, &p, 1_000_000).unwrap();
+        let f2 = fnw.start(SimTime::ZERO, &p, 1_000_000).unwrap();
+        assert_eq!(fnw.rate(f1), Some(5e5));
+        assert_eq!(fnw.rate(f2), Some(5e5));
+    }
+
+    #[test]
+    fn completion_frees_bandwidth() {
+        let (t, rt) = chain();
+        let mut fnw = FlowNetwork::new(&t);
+        let p = rt.path(&t, NodeId(0), NodeId(2)).unwrap();
+        let f1 = fnw.start(SimTime::ZERO, &p, 500_000).unwrap();
+        let f2 = fnw.start(SimTime::ZERO, &p, 1_500_000).unwrap();
+        // Both run at 0.5e6 B/s; f1 finishes at t=1s.
+        let (t1, done) = fnw.next_completion().unwrap();
+        assert_eq!(done, f1);
+        assert!((t1.as_secs_f64() - 1.0).abs() < 1e-6);
+        fnw.remove(t1, f1);
+        // f2 has 1e6 bytes left and now gets the full 1e6 B/s.
+        assert_eq!(fnw.rate(f2), Some(1e6));
+        let (t2, done2) = fnw.next_completion().unwrap();
+        assert_eq!(done2, f2);
+        assert!((t2.as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_min_not_proportional() {
+        // Two links: a-b (cap 10), b-c (cap 4).
+        // Flow 1 crosses a-b only; flow 2 crosses a-b-c.
+        // Max-min: flow 2 limited to 4 by b-c; flow 1 takes remaining 6.
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Edge);
+        let b = t.add_node("b", Tier::Fog);
+        let c = t.add_node("c", Tier::Cloud);
+        t.add_link(a, b, SimDuration::from_micros(1), 10.0);
+        t.add_link(b, c, SimDuration::from_micros(1), 4.0);
+        let rt = RouteTable::build(&t);
+        let mut fnw = FlowNetwork::new(&t);
+        let p_ab = rt.path(&t, a, b).unwrap();
+        let p_ac = rt.path(&t, a, c).unwrap();
+        let f2 = fnw.start(SimTime::ZERO, &p_ac, 100).unwrap();
+        let f1 = fnw.start(SimTime::ZERO, &p_ab, 100).unwrap();
+        assert!((fnw.rate(f2).unwrap() - 4.0).abs() < 1e-9);
+        assert!((fnw.rate(f1).unwrap() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_path_is_free() {
+        let (t, rt) = chain();
+        let mut fnw = FlowNetwork::new(&t);
+        let p = rt.path(&t, NodeId(0), NodeId(0)).unwrap();
+        assert!(fnw.start(SimTime::ZERO, &p, 1 << 40).is_none());
+    }
+
+    #[test]
+    fn no_link_oversubscribed() {
+        let (t, rt) = chain();
+        let mut fnw = FlowNetwork::new(&t);
+        let p02 = rt.path(&t, NodeId(0), NodeId(2)).unwrap();
+        let p01 = rt.path(&t, NodeId(0), NodeId(1)).unwrap();
+        let p12 = rt.path(&t, NodeId(1), NodeId(2)).unwrap();
+        for _ in 0..3 {
+            fnw.start(SimTime::ZERO, &p02, 1_000_000);
+            fnw.start(SimTime::ZERO, &p01, 1_000_000);
+            fnw.start(SimTime::ZERO, &p12, 1_000_000);
+        }
+        for (load, cap) in fnw.link_loads().iter().zip(fnw.capacities()) {
+            assert!(load <= &(cap * (1.0 + 1e-9)), "load {load} > cap {cap}");
+        }
+    }
+
+    #[test]
+    fn advance_drains_bytes() {
+        let (t, rt) = chain();
+        let mut fnw = FlowNetwork::new(&t);
+        let p = rt.path(&t, NodeId(0), NodeId(2)).unwrap();
+        let id = fnw.start(SimTime::ZERO, &p, 1_000_000).unwrap();
+        fnw.advance(SimTime::from_millis(500));
+        let rem = fnw.remaining(id).unwrap();
+        assert!((rem - 500_000.0).abs() < 1.0, "rem {rem}");
+    }
+}

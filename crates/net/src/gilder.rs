@@ -1,0 +1,96 @@
+//! The Gilder ratio: how fast is the network relative to the computers?
+//!
+//! The keynote's framing quotes George Gilder (2001): *"when the network is
+//! as fast as the computer's internal links, the machine disintegrates
+//! across the net into a set of special purpose appliances."* We
+//! operationalize "as fast as" with a dimensionless ratio:
+//!
+//! ```text
+//! gilder_ratio = access bandwidth (bits/s) / compute speed (flop/s)
+//! ```
+//!
+//! A ratio of 1 bit/flop means a node can stream operands in as fast as it
+//! consumes them — the regime where remote execution stops being penalized
+//! and placement "disintegrates" (experiment F2 sweeps this ratio).
+
+use crate::topology::{NodeId, Topology};
+
+/// Ratio of a link bandwidth to a compute speed, in bits per flop.
+pub fn gilder_ratio(bandwidth_bps: f64, flops: f64) -> f64 {
+    assert!(flops > 0.0);
+    bandwidth_bps * 8.0 / flops
+}
+
+/// Best (highest-bandwidth) access link of a node, in bytes/s.
+///
+/// Returns `None` for isolated nodes.
+pub fn access_bandwidth(topo: &Topology, node: NodeId) -> Option<f64> {
+    topo.neighbors(node)
+        .iter()
+        .map(|&(_, l)| topo.link(l).bandwidth_bps)
+        .max_by(|a, b| a.partial_cmp(b).expect("NaN bandwidth"))
+}
+
+/// Mean Gilder ratio over a set of nodes, given each node's compute speed.
+///
+/// `flops_of` maps a node to its flop/s; nodes with no links are skipped.
+pub fn mean_gilder_ratio<F: Fn(NodeId) -> f64>(
+    topo: &Topology,
+    nodes: &[NodeId],
+    flops_of: F,
+) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u32;
+    for &id in nodes {
+        if let Some(bw) = access_bandwidth(topo, id) {
+            sum += gilder_ratio(bw, flops_of(id));
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Tier;
+    use continuum_sim::SimDuration;
+
+    #[test]
+    fn ratio_units() {
+        // 1 GB/s link feeding a 8 Gflop/s machine: 8 Gb/s / 8 Gflop/s = 1.
+        assert!((gilder_ratio(1e9, 8e9) - 1.0).abs() < 1e-12);
+        // Slow network vs fast machine -> tiny ratio.
+        assert!(gilder_ratio(1e6, 1e12) < 1e-4);
+    }
+
+    #[test]
+    fn access_bandwidth_picks_best_link() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Edge);
+        let b = t.add_node("b", Tier::Fog);
+        let c = t.add_node("c", Tier::Cloud);
+        t.add_link(a, b, SimDuration::from_millis(1), 1e6);
+        t.add_link(a, c, SimDuration::from_millis(1), 5e6);
+        assert_eq!(access_bandwidth(&t, a), Some(5e6));
+        let lonely = t.add_node("lonely", Tier::Edge);
+        assert_eq!(access_bandwidth(&t, lonely), None);
+    }
+
+    #[test]
+    fn mean_ratio_scales_with_bandwidth() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Edge);
+        let b = t.add_node("b", Tier::Fog);
+        t.add_link(a, b, SimDuration::from_millis(1), 1e9);
+        let nodes = [a, b];
+        let before = mean_gilder_ratio(&t, &nodes, |_| 1e10);
+        t.scale_bandwidth(10.0);
+        let after = mean_gilder_ratio(&t, &nodes, |_| 1e10);
+        assert!((after / before - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,28 @@
+//! # continuum-net
+//!
+//! Network substrate for the `coding-the-continuum` reproduction: tiered
+//! continuum topologies, latency-shortest routing, analytic transfer
+//! estimates, and max-min fair bandwidth sharing for the simulated
+//! executor.
+//!
+//! This crate substitutes for the physical networks (wireless access, metro
+//! aggregation, WAN, data-center fabric, research backbone) that the
+//! keynote's experiments would run over. Link parameters in
+//! [`builders::ContinuumSpec`] are order-of-magnitude 2019 figures and are
+//! swept by the experiments rather than treated as ground truth.
+
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod flow;
+pub mod gilder;
+pub mod routing;
+pub mod stats;
+pub mod topology;
+
+pub use builders::{continuum, dumbbell, star, BuiltContinuum, ContinuumSpec, LinkSpec};
+pub use flow::{FlowId, FlowNetwork};
+pub use gilder::{access_bandwidth, gilder_ratio, mean_gilder_ratio};
+pub use routing::{Path, RouteTable};
+pub use stats::{topology_stats, TopologyStats};
+pub use topology::{Link, LinkId, Node, NodeId, Tier, Topology};

@@ -1,0 +1,366 @@
+//! Latency-shortest-path routing with an all-pairs route table.
+//!
+//! Routes are computed with Dijkstra over link latency (ties broken by hop
+//! count, then lowest node index, so routing is deterministic). For the
+//! topology sizes in this repository (tens to a few thousand nodes) a
+//! precomputed route table per source is affordable and makes path lookup
+//! O(path length).
+
+use crate::topology::{LinkId, NodeId, Topology};
+use continuum_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A routed path between two nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Path {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Links traversed, in order from `src` to `dst`. Empty iff `src == dst`.
+    pub links: Vec<LinkId>,
+    /// Sum of link latencies.
+    pub latency: SimDuration,
+    /// Minimum bandwidth along the path (bytes/s). `f64::INFINITY` for the
+    /// trivial self-path.
+    pub bottleneck_bps: f64,
+}
+
+impl Path {
+    /// The zero-length path from a node to itself.
+    pub fn trivial(node: NodeId) -> Path {
+        Path {
+            src: node,
+            dst: node,
+            links: Vec::new(),
+            latency: SimDuration::ZERO,
+            bottleneck_bps: f64::INFINITY,
+        }
+    }
+
+    /// Number of hops.
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Analytic, contention-free transfer time for `bytes` over this path:
+    /// propagation latency plus serialization at the bottleneck.
+    ///
+    /// Placement algorithms use this estimate; the simulated executor then
+    /// charges the *actual* time under max-min fair sharing.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        if self.links.is_empty() {
+            return SimDuration::ZERO; // local: no copy cost modeled
+        }
+        let ser = bytes as f64 / self.bottleneck_bps;
+        self.latency + SimDuration::from_secs_f64(ser)
+    }
+
+    /// Absolute arrival time of a transfer started at `start`.
+    pub fn arrival(&self, start: SimTime, bytes: u64) -> SimTime {
+        start + self.transfer_time(bytes)
+    }
+}
+
+/// Precomputed latency-shortest routes for one topology, with all
+/// equal-cost predecessors retained for ECMP spreading.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    /// `prev[src][node]` = every (previous node, link) achieving the
+    /// shortest latency from `src` to `node`, sorted for determinism.
+    prev: Vec<Vec<Vec<(NodeId, LinkId)>>>,
+    /// `dist[src][node]` = shortest latency. `None` if unreachable.
+    dist: Vec<Vec<Option<SimDuration>>>,
+}
+
+impl RouteTable {
+    /// Run Dijkstra from every node.
+    pub fn build(topo: &Topology) -> RouteTable {
+        let n = topo.node_count();
+        let mut prev = Vec::with_capacity(n);
+        let mut dist = Vec::with_capacity(n);
+        for src in 0..n {
+            let (d, p) = dijkstra(topo, NodeId(src as u32));
+            dist.push(d);
+            prev.push(p);
+        }
+        RouteTable { prev, dist }
+    }
+
+    /// Shortest-latency distance, `None` if unreachable.
+    pub fn distance(&self, src: NodeId, dst: NodeId) -> Option<SimDuration> {
+        self.dist[src.0 as usize][dst.0 as usize]
+    }
+
+    /// Materialize the canonical shortest path from `src` to `dst`
+    /// (deterministic: the lowest-id choice at every equal-cost split).
+    ///
+    /// Returns `None` if `dst` is unreachable from `src`.
+    pub fn path(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<Path> {
+        self.path_ecmp(topo, src, dst, 0)
+    }
+
+    /// Materialize *one of* the equal-cost shortest paths, selected by
+    /// hashing `salt` at every split (equal-cost multi-path). Different
+    /// salts spread different flows across parallel links; the same salt
+    /// always yields the same path. `salt = 0` is the canonical path.
+    pub fn path_ecmp(
+        &self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        salt: u64,
+    ) -> Option<Path> {
+        if src == dst {
+            return Some(Path::trivial(src));
+        }
+        self.dist[src.0 as usize][dst.0 as usize]?;
+        let mut links_rev = Vec::new();
+        let mut cur = dst;
+        let mut bottleneck = f64::INFINITY;
+        let mut latency = SimDuration::ZERO;
+        while cur != src {
+            let choices = &self.prev[src.0 as usize][cur.0 as usize];
+            debug_assert!(!choices.is_empty(), "reachable node missing predecessor");
+            let pick = if choices.len() == 1 || salt == 0 {
+                0
+            } else {
+                // Mix salt with the current node so one flow doesn't make
+                // correlated choices at successive splits.
+                (splitmix(salt ^ (cur.0 as u64).wrapping_mul(0x9E37_79B9)) % choices.len() as u64)
+                    as usize
+            };
+            let (p, l) = choices[pick];
+            links_rev.push(l);
+            let link = topo.link(l);
+            bottleneck = bottleneck.min(link.bandwidth_bps);
+            latency += link.latency;
+            cur = p;
+        }
+        links_rev.reverse();
+        Some(Path { src, dst, links: links_rev, latency, bottleneck_bps: bottleneck })
+    }
+
+    /// Number of equal-cost (pred, link) choices into `dst` from `src`'s
+    /// tree — 1 means a unique shortest path at the last hop.
+    pub fn ecmp_width(&self, src: NodeId, dst: NodeId) -> usize {
+        self.prev[src.0 as usize][dst.0 as usize].len()
+    }
+}
+
+#[inline]
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Equal-cost predecessor lists per node.
+type PredLists = Vec<Vec<(NodeId, LinkId)>>;
+
+/// Single-source Dijkstra over link latency, retaining every equal-cost
+/// predecessor.
+///
+/// Returns `(dist, prev)` indexed by node.
+fn dijkstra(topo: &Topology, src: NodeId) -> (Vec<Option<SimDuration>>, PredLists) {
+    let n = topo.node_count();
+    let mut dist: Vec<Option<SimDuration>> = vec![None; n];
+    let mut prev: Vec<Vec<(NodeId, LinkId)>> = vec![Vec::new(); n];
+    let mut heap = BinaryHeap::new();
+    dist[src.0 as usize] = Some(SimDuration::ZERO);
+    heap.push(Reverse((SimDuration::ZERO, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if dist[u.0 as usize] != Some(d) {
+            continue; // stale entry
+        }
+        for &(v, l) in topo.neighbors(u) {
+            let nd = d + topo.link(l).latency;
+            match dist[v.0 as usize] {
+                None => {
+                    dist[v.0 as usize] = Some(nd);
+                    prev[v.0 as usize] = vec![(u, l)];
+                    heap.push(Reverse((nd, v)));
+                }
+                Some(old) if nd < old => {
+                    dist[v.0 as usize] = Some(nd);
+                    prev[v.0 as usize] = vec![(u, l)];
+                    heap.push(Reverse((nd, v)));
+                }
+                Some(old) if nd == old && !prev[v.0 as usize].contains(&(u, l)) => {
+                    prev[v.0 as usize].push((u, l));
+                }
+                _ => {}
+            }
+        }
+    }
+    // Deterministic choice order at every split.
+    for p in &mut prev {
+        p.sort_unstable();
+    }
+    (dist, prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Tier;
+
+    /// a --1ms/1GBs-- b --10ms/1GBs-- c, plus a direct a--c at 50ms/100MBs.
+    fn triangle() -> Topology {
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Edge);
+        let b = t.add_node("b", Tier::Fog);
+        let c = t.add_node("c", Tier::Cloud);
+        t.add_link(a, b, SimDuration::from_millis(1), 1e9);
+        t.add_link(b, c, SimDuration::from_millis(10), 1e9);
+        t.add_link(a, c, SimDuration::from_millis(50), 1e8);
+        t
+    }
+
+    #[test]
+    fn shortest_by_latency_not_hops() {
+        let t = triangle();
+        let rt = RouteTable::build(&t);
+        // a->c via b is 11ms (two hops) vs direct 50ms (one hop).
+        let p = rt.path(&t, NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(p.hops(), 2);
+        assert_eq!(p.latency, SimDuration::from_millis(11));
+        assert_eq!(p.bottleneck_bps, 1e9);
+        assert_eq!(rt.distance(NodeId(0), NodeId(2)), Some(SimDuration::from_millis(11)));
+    }
+
+    #[test]
+    fn trivial_path() {
+        let t = triangle();
+        let rt = RouteTable::build(&t);
+        let p = rt.path(&t, NodeId(1), NodeId(1)).unwrap();
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.transfer_time(1 << 30), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transfer_time_latency_plus_serialization() {
+        let t = triangle();
+        let rt = RouteTable::build(&t);
+        let p = rt.path(&t, NodeId(0), NodeId(1)).unwrap();
+        // 1e9 bytes over 1e9 B/s = 1s, plus 1ms latency.
+        let tt = p.transfer_time(1_000_000_000);
+        assert_eq!(tt, SimDuration::from_millis(1) + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Edge);
+        let b = t.add_node("b", Tier::Edge);
+        let c = t.add_node("c", Tier::Edge);
+        t.add_link(a, b, SimDuration::from_millis(1), 1e9);
+        let rt = RouteTable::build(&t);
+        assert!(rt.path(&t, a, c).is_none());
+        assert_eq!(rt.distance(a, c), None);
+        assert!(rt.path(&t, a, b).is_some());
+    }
+
+    #[test]
+    fn routes_are_symmetric_in_latency() {
+        let t = triangle();
+        let rt = RouteTable::build(&t);
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                assert_eq!(
+                    rt.distance(NodeId(i), NodeId(j)),
+                    rt.distance(NodeId(j), NodeId(i))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_links_are_contiguous() {
+        let t = triangle();
+        let rt = RouteTable::build(&t);
+        let p = rt.path(&t, NodeId(0), NodeId(2)).unwrap();
+        // Walk the links and verify they chain src -> dst.
+        let mut cur = p.src;
+        for &l in &p.links {
+            let link = t.link(l);
+            cur = if link.a == cur { link.b } else { link.a };
+        }
+        assert_eq!(cur, p.dst);
+    }
+}
+
+#[cfg(test)]
+mod ecmp_tests {
+    use super::*;
+    use crate::topology::{Tier, Topology};
+
+    /// Two parallel equal-latency links between a and b (multigraph).
+    fn parallel_pair() -> Topology {
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Fog);
+        let b = t.add_node("b", Tier::Cloud);
+        t.add_link(a, b, SimDuration::from_millis(10), 1e8);
+        t.add_link(a, b, SimDuration::from_millis(10), 1e8);
+        t
+    }
+
+    #[test]
+    fn ecmp_width_counts_parallel_links() {
+        let t = parallel_pair();
+        let rt = RouteTable::build(&t);
+        assert_eq!(rt.ecmp_width(NodeId(0), NodeId(1)), 2);
+    }
+
+    #[test]
+    fn salts_spread_across_links() {
+        let t = parallel_pair();
+        let rt = RouteTable::build(&t);
+        let mut used = std::collections::HashSet::new();
+        for salt in 1..100u64 {
+            let p = rt.path_ecmp(&t, NodeId(0), NodeId(1), salt).unwrap();
+            assert_eq!(p.hops(), 1);
+            assert_eq!(p.latency, SimDuration::from_millis(10));
+            used.insert(p.links[0]);
+        }
+        assert_eq!(used.len(), 2, "ECMP never used the second link");
+    }
+
+    #[test]
+    fn same_salt_same_path() {
+        let t = parallel_pair();
+        let rt = RouteTable::build(&t);
+        let p1 = rt.path_ecmp(&t, NodeId(0), NodeId(1), 42).unwrap();
+        let p2 = rt.path_ecmp(&t, NodeId(0), NodeId(1), 42).unwrap();
+        assert_eq!(p1.links, p2.links);
+    }
+
+    #[test]
+    fn salt_zero_is_canonical() {
+        let t = parallel_pair();
+        let rt = RouteTable::build(&t);
+        let canon = rt.path(&t, NodeId(0), NodeId(1)).unwrap();
+        let zero = rt.path_ecmp(&t, NodeId(0), NodeId(1), 0).unwrap();
+        assert_eq!(canon.links, zero.links);
+        assert_eq!(canon.links[0], LinkId(0));
+    }
+
+    #[test]
+    fn unequal_cost_paths_not_mixed() {
+        // Second link strictly slower: never chosen.
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Fog);
+        let b = t.add_node("b", Tier::Cloud);
+        t.add_link(a, b, SimDuration::from_millis(10), 1e8);
+        t.add_link(a, b, SimDuration::from_millis(20), 1e8);
+        let rt = RouteTable::build(&t);
+        assert_eq!(rt.ecmp_width(a, b), 1);
+        for salt in 0..50u64 {
+            let p = rt.path_ecmp(&t, a, b, salt).unwrap();
+            assert_eq!(p.links[0], LinkId(0));
+        }
+    }
+}

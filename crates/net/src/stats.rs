@@ -1,0 +1,122 @@
+//! Topology characterization: the numbers a facility designer looks at.
+
+use crate::routing::RouteTable;
+use crate::topology::{Tier, Topology};
+use continuum_sim::SimDuration;
+
+/// Aggregate shape statistics of one topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyStats {
+    /// Nodes in the graph.
+    pub nodes: usize,
+    /// Links in the graph.
+    pub links: usize,
+    /// Longest shortest-path latency between any reachable pair.
+    pub diameter: SimDuration,
+    /// Mean shortest-path latency over all ordered reachable pairs.
+    pub mean_latency: SimDuration,
+    /// Mean latency from sensor-tier nodes to their nearest cloud node
+    /// (zero if either tier is empty).
+    pub mean_sensor_to_cloud: SimDuration,
+    /// Sum of all link capacities, bytes/s (an upper bound on aggregate
+    /// throughput).
+    pub total_bandwidth_bps: f64,
+}
+
+/// Compute [`TopologyStats`] (builds a route table internally if not given).
+pub fn topology_stats(topo: &Topology, routes: &RouteTable) -> TopologyStats {
+    let n = topo.node_count();
+    let mut diameter = SimDuration::ZERO;
+    let mut sum = 0u128;
+    let mut pairs = 0u128;
+    for a in topo.nodes() {
+        for b in topo.nodes() {
+            if a.id == b.id {
+                continue;
+            }
+            if let Some(d) = routes.distance(a.id, b.id) {
+                diameter = diameter.max(d);
+                sum += d.as_nanos() as u128;
+                pairs += 1;
+            }
+        }
+    }
+    let mean_latency = sum
+        .checked_div(pairs)
+        .map(|m| SimDuration::from_nanos(m as u64))
+        .unwrap_or(SimDuration::ZERO);
+
+    let sensors = topo.nodes_in_tier(Tier::Sensor);
+    let clouds = topo.nodes_in_tier(Tier::Cloud);
+    let mean_sensor_to_cloud = if sensors.is_empty() || clouds.is_empty() {
+        SimDuration::ZERO
+    } else {
+        let mut total = 0u128;
+        let mut counted = 0u128;
+        for &s in &sensors {
+            if let Some(best) = clouds.iter().filter_map(|&c| routes.distance(s, c)).min() {
+                total += best.as_nanos() as u128;
+                counted += 1;
+            }
+        }
+        total
+            .checked_div(counted)
+            .map(|m| SimDuration::from_nanos(m as u64))
+            .unwrap_or(SimDuration::ZERO)
+    };
+
+    TopologyStats {
+        nodes: n,
+        links: topo.link_count(),
+        diameter,
+        mean_latency,
+        mean_sensor_to_cloud,
+        total_bandwidth_bps: topo.links().iter().map(|l| l.bandwidth_bps).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{continuum, ContinuumSpec};
+
+    #[test]
+    fn default_continuum_stats_sane() {
+        let built = continuum(&ContinuumSpec::default());
+        let routes = RouteTable::build(&built.topology);
+        let st = topology_stats(&built.topology, &routes);
+        assert_eq!(st.nodes, built.topology.node_count());
+        assert_eq!(st.links, built.topology.link_count());
+        assert!(st.diameter >= st.mean_latency);
+        assert!(st.mean_latency > SimDuration::ZERO);
+        // Sensor -> cloud = 2 + 5 + 20 ms across the default tiers.
+        assert_eq!(st.mean_sensor_to_cloud, SimDuration::from_millis(27));
+        assert!(st.total_bandwidth_bps > 0.0);
+    }
+
+    #[test]
+    fn chain_diameter() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Edge);
+        let b = t.add_node("b", Tier::Fog);
+        let c = t.add_node("c", Tier::Cloud);
+        t.add_link(a, b, SimDuration::from_millis(3), 1e6);
+        t.add_link(b, c, SimDuration::from_millis(4), 1e6);
+        let routes = RouteTable::build(&t);
+        let st = topology_stats(&t, &routes);
+        assert_eq!(st.diameter, SimDuration::from_millis(7));
+        // Pairs: (a,b)=3, (a,c)=7, (b,c)=4 each both directions: mean = 14/3.
+        assert_eq!(st.mean_latency, SimDuration::from_nanos(14_000_000 / 3));
+    }
+
+    #[test]
+    fn empty_tiers_give_zero() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Fog);
+        let b = t.add_node("b", Tier::Fog);
+        t.add_link(a, b, SimDuration::from_millis(1), 1e6);
+        let routes = RouteTable::build(&t);
+        let st = topology_stats(&t, &routes);
+        assert_eq!(st.mean_sensor_to_cloud, SimDuration::ZERO);
+    }
+}

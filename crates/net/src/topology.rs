@@ -1,0 +1,345 @@
+//! Continuum topology: nodes, tiers, and links.
+//!
+//! A topology is an undirected multigraph. Nodes are tagged with the
+//! continuum [`Tier`] they sit in (sensor → edge → fog → cloud → HPC);
+//! links carry a propagation latency and a bandwidth. All identifiers are
+//! dense `u32` newtypes so adjacency and capacity tables are plain `Vec`s.
+
+use continuum_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Index of a link in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Where in the continuum a node sits.
+///
+/// The ordering is "distance from the data source": `Sensor < Edge < Fog <
+/// Cloud < Hpc`. Several placement policies use this ordering (e.g.
+/// edge-only keeps work at `<= Edge`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Tier {
+    /// Data-producing devices: cameras, instruments, IoT sensors.
+    Sensor,
+    /// Gateways and near-data micro-servers.
+    Edge,
+    /// Metro/aggregation servers between edge and cloud.
+    Fog,
+    /// Data-center virtual machines.
+    Cloud,
+    /// Supercomputer / large accelerator nodes.
+    Hpc,
+}
+
+impl Tier {
+    /// All tiers in source-to-core order.
+    pub const ALL: [Tier; 5] = [Tier::Sensor, Tier::Edge, Tier::Fog, Tier::Cloud, Tier::Hpc];
+
+    /// Short lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Sensor => "sensor",
+            Tier::Edge => "edge",
+            Tier::Fog => "fog",
+            Tier::Cloud => "cloud",
+            Tier::Hpc => "hpc",
+        }
+    }
+}
+
+/// A node of the continuum graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// This node's index.
+    pub id: NodeId,
+    /// Human-readable name (unique by convention, not enforced).
+    pub name: String,
+    /// Continuum tier.
+    pub tier: Tier,
+}
+
+/// An undirected link between two nodes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    /// This link's index.
+    pub id: LinkId,
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+    /// Capacity in bytes per second, shared by all flows crossing the link.
+    pub bandwidth_bps: f64,
+}
+
+/// The continuum network graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// adjacency: per node, (neighbor, link) pairs.
+    adj: Vec<Vec<(NodeId, LinkId)>>,
+}
+
+impl Topology {
+    /// Empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>, tier: Tier) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { id, name: name.into(), tier });
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Add an undirected link; returns its id.
+    ///
+    /// # Panics
+    /// If either endpoint is out of range, the endpoints coincide, or the
+    /// bandwidth is not strictly positive.
+    pub fn add_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        latency: SimDuration,
+        bandwidth_bps: f64,
+    ) -> LinkId {
+        assert!(a != b, "self-loop link");
+        assert!((a.0 as usize) < self.nodes.len() && (b.0 as usize) < self.nodes.len());
+        assert!(bandwidth_bps > 0.0 && bandwidth_bps.is_finite(), "non-positive bandwidth");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link { id, a, b, latency, bandwidth_bps });
+        self.adj[a.0 as usize].push((b, id));
+        self.adj[b.0 as usize].push((a, id));
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Link by id.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Neighbors of a node as (neighbor, link) pairs.
+    pub fn neighbors(&self, id: NodeId) -> &[(NodeId, LinkId)] {
+        &self.adj[id.0 as usize]
+    }
+
+    /// All node ids of a given tier.
+    pub fn nodes_in_tier(&self, tier: Tier) -> Vec<NodeId> {
+        self.nodes.iter().filter(|n| n.tier == tier).map(|n| n.id).collect()
+    }
+
+    /// Multiply every link's bandwidth by `factor` (Gilder-ratio sweeps).
+    pub fn scale_bandwidth(&mut self, factor: f64) {
+        assert!(factor > 0.0 && factor.is_finite());
+        for l in &mut self.links {
+            l.bandwidth_bps *= factor;
+        }
+    }
+
+    /// Multiply every link's latency by `factor`.
+    pub fn scale_latency(&mut self, factor: f64) {
+        assert!(factor > 0.0 && factor.is_finite());
+        for l in &mut self.links {
+            l.latency = l.latency.mul_f64(factor);
+        }
+    }
+
+    /// A copy of this topology with the given links removed (failed).
+    ///
+    /// Link ids are re-assigned densely in the copy; node ids are
+    /// unchanged. Used by the resilience experiments to model link
+    /// failures: rebuild the route table over the degraded copy and
+    /// re-place.
+    pub fn without_links(&self, failed: &[LinkId]) -> Topology {
+        let mut out = Topology::new();
+        for n in &self.nodes {
+            out.add_node(n.name.clone(), n.tier);
+        }
+        for l in &self.links {
+            if !failed.contains(&l.id) {
+                out.add_link(l.a, l.b, l.latency, l.bandwidth_bps);
+            }
+        }
+        out
+    }
+
+    /// Links whose two endpoints sit in the given tiers (either order) —
+    /// e.g. the WAN links between fog and cloud.
+    pub fn links_between(&self, a: Tier, b: Tier) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .filter(|l| {
+                let (ta, tb) = (self.node(l.a).tier, self.node(l.b).tier);
+                (ta == a && tb == b) || (ta == b && tb == a)
+            })
+            .map(|l| l.id)
+            .collect()
+    }
+
+    /// True if every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for &(m, _) in self.neighbors(n) {
+                if !seen[m.0 as usize] {
+                    seen[m.0 as usize] = true;
+                    count += 1;
+                    stack.push(m);
+                }
+            }
+        }
+        count == self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Topology {
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Edge);
+        let b = t.add_node("b", Tier::Fog);
+        let c = t.add_node("c", Tier::Cloud);
+        t.add_link(a, b, SimDuration::from_millis(1), 1e9);
+        t.add_link(b, c, SimDuration::from_millis(10), 1e9);
+        t.add_link(a, c, SimDuration::from_millis(50), 1e8);
+        t
+    }
+
+    #[test]
+    fn build_and_query() {
+        let t = triangle();
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.link_count(), 3);
+        assert_eq!(t.node(NodeId(1)).tier, Tier::Fog);
+        assert_eq!(t.neighbors(NodeId(0)).len(), 2);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn tier_ordering() {
+        assert!(Tier::Sensor < Tier::Edge);
+        assert!(Tier::Edge < Tier::Fog);
+        assert!(Tier::Fog < Tier::Cloud);
+        assert!(Tier::Cloud < Tier::Hpc);
+    }
+
+    #[test]
+    fn nodes_in_tier_filters() {
+        let t = triangle();
+        assert_eq!(t.nodes_in_tier(Tier::Fog), vec![NodeId(1)]);
+        assert!(t.nodes_in_tier(Tier::Sensor).is_empty());
+    }
+
+    #[test]
+    fn scale_bandwidth_multiplies() {
+        let mut t = triangle();
+        let before = t.link(LinkId(0)).bandwidth_bps;
+        t.scale_bandwidth(4.0);
+        assert_eq!(t.link(LinkId(0)).bandwidth_bps, before * 4.0);
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let mut t = Topology::new();
+        t.add_node("a", Tier::Edge);
+        t.add_node("b", Tier::Edge);
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn without_links_removes_and_reindexes() {
+        let t = triangle();
+        let degraded = t.without_links(&[LinkId(1)]);
+        assert_eq!(degraded.node_count(), 3);
+        assert_eq!(degraded.link_count(), 2);
+        // Still connected via the remaining two edges of the triangle.
+        assert!(degraded.is_connected());
+        // Ids re-densified: the surviving links are l0 and l1.
+        assert_eq!(degraded.link(LinkId(1)).a, NodeId(0));
+        // Removing two disconnects node b.
+        let cut = t.without_links(&[LinkId(0), LinkId(1)]);
+        assert!(!cut.is_connected());
+    }
+
+    #[test]
+    fn links_between_tiers() {
+        let t = triangle();
+        let ef = t.links_between(Tier::Edge, Tier::Fog);
+        assert_eq!(ef, vec![LinkId(0)]);
+        let fc = t.links_between(Tier::Cloud, Tier::Fog);
+        assert_eq!(fc, vec![LinkId(1)]);
+        assert!(t.links_between(Tier::Sensor, Tier::Hpc).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Edge);
+        t.add_link(a, a, SimDuration::ZERO, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive bandwidth")]
+    fn zero_bandwidth_panics() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Edge);
+        let b = t.add_node("b", Tier::Edge);
+        t.add_link(a, b, SimDuration::ZERO, 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the network substrate.
+
+use continuum_net::{
+    continuum, ContinuumSpec, FlowNetwork, LinkSpec, NodeId, RouteTable, Tier, Topology,
+};
+use continuum_sim::{Rng, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Build a random connected topology: a spanning chain plus extra edges.
+fn random_topology(seed: u64, n: usize, extra: usize) -> Topology {
+    let mut rng = Rng::new(seed);
+    let mut t = Topology::new();
+    for i in 0..n {
+        t.add_node(format!("n{i}"), Tier::Fog);
+    }
+    for i in 1..n {
+        t.add_link(
+            NodeId(i as u32),
+            NodeId(rng.below(i as u64) as u32),
+            SimDuration::from_micros(rng.range_u64(100, 10_000)),
+            rng.range_f64(1e6, 1e9),
+        );
+    }
+    for _ in 0..extra {
+        let a = rng.below(n as u64) as u32;
+        let b = rng.below(n as u64) as u32;
+        if a != b {
+            t.add_link(
+                NodeId(a),
+                NodeId(b),
+                SimDuration::from_micros(rng.range_u64(100, 10_000)),
+                rng.range_f64(1e6, 1e9),
+            );
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Dijkstra's distances satisfy the triangle inequality over any
+    /// random connected topology, and every materialized path's latency
+    /// equals its reported distance.
+    #[test]
+    fn routing_invariants(seed in any::<u64>(), n in 3usize..30, extra in 0usize..20) {
+        let t = random_topology(seed, n, extra);
+        prop_assert!(t.is_connected());
+        let rt = RouteTable::build(&t);
+        let mut rng = Rng::new(seed ^ 1);
+        for _ in 0..10 {
+            let a = NodeId(rng.below(n as u64) as u32);
+            let b = NodeId(rng.below(n as u64) as u32);
+            let c = NodeId(rng.below(n as u64) as u32);
+            let dab = rt.distance(a, b).expect("connected");
+            let dbc = rt.distance(b, c).expect("connected");
+            let dac = rt.distance(a, c).expect("connected");
+            prop_assert!(dac <= dab + dbc, "triangle violated");
+            let p = rt.path(&t, a, b).expect("connected");
+            prop_assert_eq!(p.latency, dab);
+            // Path is contiguous a -> b.
+            let mut cur = a;
+            for &l in &p.links {
+                let link = t.link(l);
+                prop_assert!(link.a == cur || link.b == cur);
+                cur = if link.a == cur { link.b } else { link.a };
+            }
+            prop_assert_eq!(cur, b);
+        }
+    }
+
+    /// ECMP paths are always shortest paths (same latency as canonical),
+    /// regardless of the salt.
+    #[test]
+    fn ecmp_paths_are_shortest(seed in any::<u64>(), salt in any::<u64>()) {
+        let t = random_topology(seed, 15, 10);
+        let rt = RouteTable::build(&t);
+        let mut rng = Rng::new(seed ^ 2);
+        for _ in 0..10 {
+            let a = NodeId(rng.below(15) as u32);
+            let b = NodeId(rng.below(15) as u32);
+            let canon = rt.path(&t, a, b).expect("connected");
+            let ecmp = rt.path_ecmp(&t, a, b, salt).expect("connected");
+            prop_assert_eq!(ecmp.latency, canon.latency);
+        }
+    }
+
+    /// Max-min fairness conserves capacity (no link oversubscribed) and
+    /// wastes none when a single bottleneck is shared (rates sum to its
+    /// capacity when all flows cross it).
+    #[test]
+    fn flow_conservation(seed in any::<u64>(), n_flows in 1usize..20, bytes in 1u64..1_000_000) {
+        let built = continuum(&ContinuumSpec::default());
+        let rt = RouteTable::build(&built.topology);
+        let mut fnw = FlowNetwork::new(&built.topology);
+        let mut rng = Rng::new(seed);
+        for _ in 0..n_flows {
+            let s = built.sensors[rng.index(built.sensors.len())];
+            let c = built.clouds[rng.index(built.clouds.len())];
+            let p = rt.path(&built.topology, s, c).expect("connected");
+            fnw.start(SimTime::ZERO, &p, bytes);
+        }
+        for (load, cap) in fnw.link_loads().iter().zip(fnw.capacities()) {
+            prop_assert!(load <= &(cap * (1.0 + 1e-6)), "oversubscribed: {load} > {cap}");
+        }
+        // Every active flow makes progress.
+        prop_assert!(fnw.next_completion().is_some());
+        let (t, _) = fnw.next_completion().expect("flows active");
+        prop_assert!(t > SimTime::ZERO);
+    }
+
+    /// The dumbbell trunk is never oversubscribed and is fully used when
+    /// enough flows cross it.
+    #[test]
+    fn dumbbell_trunk_saturates(pairs in 1usize..8) {
+        let access = LinkSpec::new(SimDuration::from_millis(1), 1e9);
+        let trunk = LinkSpec::new(SimDuration::from_millis(5), 1e6);
+        let (t, left, right) = continuum_net::dumbbell(pairs, pairs, access, trunk);
+        let rt = RouteTable::build(&t);
+        let mut fnw = FlowNetwork::new(&t);
+        for i in 0..pairs {
+            let p = rt.path(&t, left[i], right[i]).expect("connected");
+            fnw.start(SimTime::ZERO, &p, 1 << 20);
+        }
+        let loads = fnw.link_loads();
+        // Trunk is link 0 by construction.
+        prop_assert!((loads[0] - 1e6).abs() < 1.0, "trunk load {}", loads[0]);
+    }
+}

@@ -1,0 +1,189 @@
+//! The placement environment: topology + routes + fleet, bundled.
+
+use continuum_model::{DeviceId, Fleet};
+use continuum_net::{NodeId, Path, RouteTable, Topology};
+use continuum_workflow::Task;
+
+/// Everything a placement policy may consult: the network, precomputed
+/// routes, and the device fleet.
+#[derive(Debug)]
+pub struct Env {
+    /// The continuum network.
+    pub topology: Topology,
+    /// All-pairs latency-shortest routes over `topology`.
+    pub routes: RouteTable,
+    /// Devices deployed on the topology.
+    pub fleet: Fleet,
+}
+
+impl Env {
+    /// Bundle a topology and fleet, computing the route table.
+    ///
+    /// # Panics
+    /// If any device references a node outside the topology.
+    pub fn new(topology: Topology, fleet: Fleet) -> Env {
+        for d in fleet.devices() {
+            assert!(
+                (d.node.0 as usize) < topology.node_count(),
+                "device {} at unknown node {}",
+                d.id,
+                d.node
+            );
+        }
+        let routes = RouteTable::build(&topology);
+        Env { topology, routes, fleet }
+    }
+
+    /// The node a device sits at.
+    pub fn node_of(&self, device: DeviceId) -> NodeId {
+        self.fleet.device(device).node
+    }
+
+    /// Canonical shortest path between two nodes (`None` if disconnected).
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<Path> {
+        self.routes.path(&self.topology, src, dst)
+    }
+
+    /// One of the equal-cost shortest paths, chosen by `salt` (ECMP). The
+    /// executors use per-flow salts to spread concurrent transfers across
+    /// parallel links; the estimator sticks to the canonical path, exactly
+    /// as a real scheduler that cannot predict flow hashing would.
+    pub fn path_ecmp(&self, src: NodeId, dst: NodeId, salt: u64) -> Option<Path> {
+        self.routes.path_ecmp(&self.topology, src, dst, salt)
+    }
+
+    /// Devices on which `task` may legally run: honors pinning, tier range,
+    /// and memory floor.
+    ///
+    /// # Panics
+    /// If no device satisfies the constraints — that is a workload/fleet
+    /// mismatch the caller should fix, not a schedulable state.
+    pub fn feasible_devices(&self, task: &Task) -> Vec<DeviceId> {
+        let c = &task.constraints;
+        let out: Vec<DeviceId> = self
+            .fleet
+            .devices()
+            .iter()
+            .filter(|d| {
+                if let Some(pin) = c.pinned_node {
+                    if d.node != pin {
+                        return false;
+                    }
+                }
+                if let Some((lo, hi)) = c.tier_range {
+                    if d.spec.tier < lo || d.spec.tier > hi {
+                        return false;
+                    }
+                }
+                d.spec.mem_bytes >= c.min_mem_bytes
+            })
+            .map(|d| d.id)
+            .collect();
+        assert!(
+            !out.is_empty(),
+            "task '{}' has no feasible device (pin={:?}, tiers={:?}, mem>={})",
+            task.name,
+            c.pinned_node,
+            c.tier_range,
+            c.min_mem_bytes
+        );
+        out
+    }
+
+    /// Mean per-core compute speed across the fleet (flop/s), used by
+    /// rank computations.
+    pub fn mean_core_flops(&self) -> f64 {
+        let fleet = &self.fleet;
+        let total: f64 = fleet.devices().iter().map(|d| d.spec.flops_per_core()).sum();
+        total / fleet.len() as f64
+    }
+
+    /// Mean link bandwidth across the topology (bytes/s).
+    pub fn mean_bandwidth(&self) -> f64 {
+        let links = self.topology.links();
+        if links.is_empty() {
+            return f64::INFINITY;
+        }
+        links.iter().map(|l| l.bandwidth_bps).sum::<f64>() / links.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use continuum_model::standard_fleet;
+    use continuum_net::{continuum, ContinuumSpec, Tier};
+    use continuum_workflow::{Constraints, TaskId};
+
+    fn small_env() -> Env {
+        let built = continuum(&ContinuumSpec::default());
+        let fleet = standard_fleet(&built);
+        Env::new(built.topology, fleet)
+    }
+
+    fn task_with(constraints: Constraints) -> Task {
+        Task {
+            id: TaskId(0),
+            name: "t".into(),
+            work_flops: 1.0,
+            parallelism: 1,
+            inputs: vec![],
+            outputs: vec![],
+            constraints,
+        }
+    }
+
+    #[test]
+    fn unconstrained_task_runs_anywhere() {
+        let env = small_env();
+        let t = task_with(Constraints::none());
+        assert_eq!(env.feasible_devices(&t).len(), env.fleet.len());
+    }
+
+    #[test]
+    fn tier_range_filters() {
+        let env = small_env();
+        let t = task_with(Constraints::tiers(Tier::Cloud, Tier::Cloud));
+        let devs = env.feasible_devices(&t);
+        assert!(!devs.is_empty());
+        for d in devs {
+            assert_eq!(env.fleet.device(d).spec.tier, Tier::Cloud);
+        }
+    }
+
+    #[test]
+    fn memory_floor_filters_motes() {
+        let env = small_env();
+        let t = task_with(Constraints { min_mem_bytes: 1 << 30, ..Default::default() });
+        let devs = env.feasible_devices(&t);
+        for d in devs {
+            assert!(env.fleet.device(d).spec.mem_bytes >= 1 << 30);
+        }
+    }
+
+    #[test]
+    fn pinned_task_stays_home() {
+        let env = small_env();
+        let node = env.fleet.devices()[0].node;
+        let t = task_with(Constraints::pinned(node));
+        let devs = env.feasible_devices(&t);
+        for d in devs {
+            assert_eq!(env.node_of(d), node);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no feasible device")]
+    fn infeasible_task_panics() {
+        let env = small_env();
+        let t = task_with(Constraints { min_mem_bytes: u64::MAX, ..Default::default() });
+        env.feasible_devices(&t);
+    }
+
+    #[test]
+    fn means_positive() {
+        let env = small_env();
+        assert!(env.mean_core_flops() > 0.0);
+        assert!(env.mean_bandwidth() > 0.0);
+    }
+}

@@ -1,0 +1,377 @@
+//! Schedule estimation: the contention-free performance model shared by
+//! every placement policy.
+//!
+//! The estimator maintains a capacity profile per device (busy intervals ×
+//! cores) and the location/availability of every data item, and answers
+//! earliest-finish-time queries. Policies use it to *choose* placements;
+//! [`crate::objective::evaluate`] uses it to score a fixed placement; the
+//! simulated executor in `continuum-runtime` then charges the *contended*
+//! truth (link sharing, queueing) for the chosen placement.
+
+use crate::env::Env;
+use continuum_model::DeviceId;
+use continuum_sim::{SimDuration, SimTime};
+use continuum_workflow::{Dag, DataId, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// A placement: one device per task, indexed by `TaskId`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// `assignment[t]` is the device task `t` runs on.
+    pub assignment: Vec<DeviceId>,
+}
+
+impl Placement {
+    /// Device assigned to a task.
+    pub fn device(&self, t: TaskId) -> DeviceId {
+        self.assignment[t.0 as usize]
+    }
+}
+
+/// One reserved busy interval on a device.
+#[derive(Debug, Clone, Copy)]
+struct Busy {
+    start: SimTime,
+    end: SimTime,
+    cores: u32,
+}
+
+/// Capacity profile of one device.
+#[derive(Debug, Clone)]
+pub struct DeviceTimeline {
+    cores: u32,
+    busy: Vec<Busy>, // kept sorted by start
+}
+
+impl DeviceTimeline {
+    /// Empty timeline for a device with `cores` cores.
+    pub fn new(cores: u32) -> Self {
+        DeviceTimeline { cores, busy: Vec::new() }
+    }
+
+    /// Maximum concurrent core usage over the window `[t, t + dur)`.
+    fn peak_usage(&self, t: SimTime, dur: SimDuration) -> u32 {
+        let end = t + dur;
+        // Usage is piecewise constant; peaks occur at window start or at an
+        // interval start inside the window.
+        let mut points: Vec<SimTime> = vec![t];
+        for b in &self.busy {
+            if b.start > t && b.start < end {
+                points.push(b.start);
+            }
+        }
+        let mut peak = 0;
+        for &p in &points {
+            let usage: u32 = self
+                .busy
+                .iter()
+                .filter(|b| b.start <= p && b.end > p)
+                .map(|b| b.cores)
+                .sum();
+            peak = peak.max(usage);
+        }
+        peak
+    }
+
+    /// Maximum concurrent usage anywhere in `[t, ∞)`.
+    fn peak_usage_from(&self, t: SimTime) -> u32 {
+        let mut peak = 0;
+        for b in &self.busy {
+            if b.end > t {
+                let p = b.start.max(t);
+                let usage: u32 = self
+                    .busy
+                    .iter()
+                    .filter(|x| x.start <= p && x.end > p)
+                    .map(|x| x.cores)
+                    .sum();
+                peak = peak.max(usage);
+            }
+        }
+        peak
+    }
+
+    /// Earliest start `>= ready` at which `need` cores are free for `dur`.
+    ///
+    /// With `insertion`, gaps between reserved intervals are considered;
+    /// without it, the task is appended after the last time the device is
+    /// too busy (classic list scheduling, the ablation baseline).
+    pub fn earliest_slot(
+        &self,
+        ready: SimTime,
+        dur: SimDuration,
+        need: u32,
+        insertion: bool,
+    ) -> SimTime {
+        let need = need.min(self.cores);
+        if insertion {
+            let mut candidates: Vec<SimTime> = vec![ready];
+            for b in &self.busy {
+                if b.end > ready {
+                    candidates.push(b.end);
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            for c in candidates {
+                if self.peak_usage(c, dur) + need <= self.cores {
+                    return c;
+                }
+            }
+            unreachable!("a slot always exists after the last busy interval");
+        } else {
+            // Append mode (classic list scheduling, no back-filling): the
+            // earliest start from which the device can *permanently* spare
+            // `need` cores — i.e. no gap between existing reservations is
+            // ever used.
+            let mut candidates: Vec<SimTime> = vec![ready];
+            for b in &self.busy {
+                if b.end > ready {
+                    candidates.push(b.end);
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            for c in candidates {
+                if self.peak_usage_from(c) + need <= self.cores {
+                    return c;
+                }
+            }
+            unreachable!("the device is idle after its last reservation");
+        }
+    }
+
+    /// Reserve `need` cores over `[start, start + dur)`.
+    pub fn reserve(&mut self, start: SimTime, dur: SimDuration, need: u32) {
+        let need = need.min(self.cores);
+        debug_assert!(
+            self.peak_usage(start, dur) + need <= self.cores,
+            "over-reserving device"
+        );
+        let b = Busy { start, end: start + dur, cores: need };
+        let pos = self.busy.partition_point(|x| x.start <= start);
+        self.busy.insert(pos, b);
+    }
+
+    /// Total reserved core-seconds.
+    pub fn busy_core_seconds(&self) -> f64 {
+        self.busy.iter().map(|b| b.end.since(b.start).as_secs_f64() * b.cores as f64).sum()
+    }
+
+    /// End of the last reservation (time zero if none).
+    pub fn horizon(&self) -> SimTime {
+        self.busy.iter().map(|b| b.end).max().unwrap_or(SimTime::ZERO)
+    }
+}
+
+/// A fully committed estimated schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EstimatedSchedule {
+    /// The placement that was scheduled.
+    pub placement: Placement,
+    /// Start time per task.
+    pub start: Vec<SimTime>,
+    /// Finish time per task.
+    pub finish: Vec<SimTime>,
+}
+
+impl EstimatedSchedule {
+    /// Latest finish across tasks (zero for an empty DAG).
+    pub fn makespan(&self) -> SimDuration {
+        self.finish.iter().copied().max().unwrap_or(SimTime::ZERO).since(SimTime::ZERO)
+    }
+
+    /// Check that the schedule respects dependencies: every task starts at
+    /// or after each predecessor's finish. Used by tests.
+    pub fn respects_dependencies(&self, dag: &Dag) -> bool {
+        dag.tasks().iter().all(|t| {
+            dag.preds(t.id)
+                .iter()
+                .all(|p| self.finish[p.0 as usize] <= self.start[t.id.0 as usize])
+        })
+    }
+}
+
+/// Incremental schedule builder over an environment and DAG.
+pub struct Estimator<'e> {
+    env: &'e Env,
+    dag: &'e Dag,
+    timelines: Vec<DeviceTimeline>,
+    assigned: Vec<Option<DeviceId>>,
+    start: Vec<SimTime>,
+    finish: Vec<Option<SimTime>>,
+}
+
+impl<'e> Estimator<'e> {
+    /// Fresh estimator: all devices idle, no tasks placed.
+    pub fn new(env: &'e Env, dag: &'e Dag) -> Self {
+        Estimator {
+            env,
+            dag,
+            timelines: env
+                .fleet
+                .devices()
+                .iter()
+                .map(|d| DeviceTimeline::new(d.spec.cores))
+                .collect(),
+            assigned: vec![None; dag.len()],
+            start: vec![SimTime::ZERO; dag.len()],
+            finish: vec![None; dag.len()],
+        }
+    }
+
+    /// When data item `d` can be fully present at node `dst`, given current
+    /// commitments. External items are available at their home at time 0.
+    ///
+    /// # Panics
+    /// If the item's producer has not been committed yet, or no route
+    /// exists.
+    pub fn data_arrival(&self, d: DataId, dst: continuum_net::NodeId) -> SimTime {
+        let item = self.dag.data(d);
+        let (src, avail) = match self.dag.producer(d) {
+            None => {
+                let home = item.home.expect("validated DAG has homes for external items");
+                (home, SimTime::ZERO)
+            }
+            Some(p) => {
+                let dev = self.assigned[p.0 as usize].expect("producer not committed");
+                let f = self.finish[p.0 as usize].expect("producer not committed");
+                (self.env.node_of(dev), f)
+            }
+        };
+        let path = self.env.path(src, dst).expect("disconnected topology");
+        path.arrival(avail, item.bytes)
+    }
+
+    /// Earliest time all inputs of `t` can be present at `device`'s node.
+    pub fn ready_time(&self, t: TaskId, device: DeviceId) -> SimTime {
+        let node = self.env.node_of(device);
+        self.dag
+            .task(t)
+            .inputs
+            .iter()
+            .map(|&d| self.data_arrival(d, node))
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Execution time of `t` on `device`.
+    pub fn exec_time(&self, t: TaskId, device: DeviceId) -> SimDuration {
+        let task = self.dag.task(t);
+        let spec = &self.env.fleet.device(device).spec;
+        spec.compute_time_parallel(task.work_flops, task.parallelism)
+    }
+
+    /// Hypothetical (start, finish) of `t` on `device` without committing.
+    pub fn eft(&self, t: TaskId, device: DeviceId, insertion: bool) -> (SimTime, SimTime) {
+        let ready = self.ready_time(t, device);
+        let dur = self.exec_time(t, device);
+        let task = self.dag.task(t);
+        let need = task.occupancy(self.env.fleet.device(device).spec.cores);
+        let start = self.timelines[device.0 as usize].earliest_slot(ready, dur, need, insertion);
+        (start, start + dur)
+    }
+
+    /// Commit `t` to `device`; returns (start, finish).
+    ///
+    /// # Panics
+    /// If any predecessor of `t` is uncommitted.
+    pub fn commit(&mut self, t: TaskId, device: DeviceId, insertion: bool) -> (SimTime, SimTime) {
+        let (start, fin) = self.eft(t, device, insertion);
+        let dur = self.exec_time(t, device);
+        let need =
+            self.dag.task(t).occupancy(self.env.fleet.device(device).spec.cores);
+        self.timelines[device.0 as usize].reserve(start, dur, need);
+        self.assigned[t.0 as usize] = Some(device);
+        self.start[t.0 as usize] = start;
+        self.finish[t.0 as usize] = Some(fin);
+        (start, fin)
+    }
+
+    /// Finalize into a schedule.
+    ///
+    /// # Panics
+    /// If any task is uncommitted.
+    pub fn into_schedule(self) -> EstimatedSchedule {
+        let assignment: Vec<DeviceId> =
+            self.assigned.into_iter().map(|a| a.expect("uncommitted task")).collect();
+        let finish: Vec<SimTime> =
+            self.finish.into_iter().map(|f| f.expect("uncommitted task")).collect();
+        EstimatedSchedule { placement: Placement { assignment }, start: self.start, finish }
+    }
+
+    /// Busy core-seconds accumulated so far per device.
+    pub fn busy_core_seconds(&self) -> Vec<f64> {
+        self.timelines.iter().map(|t| t.busy_core_seconds()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use continuum_sim::SimDuration;
+
+    #[test]
+    fn timeline_single_core_serializes() {
+        let mut tl = DeviceTimeline::new(1);
+        let d = SimDuration::from_secs(10);
+        let s1 = tl.earliest_slot(SimTime::ZERO, d, 1, true);
+        assert_eq!(s1, SimTime::ZERO);
+        tl.reserve(s1, d, 1);
+        let s2 = tl.earliest_slot(SimTime::ZERO, d, 1, true);
+        assert_eq!(s2, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn timeline_multicore_overlaps() {
+        let mut tl = DeviceTimeline::new(4);
+        let d = SimDuration::from_secs(10);
+        for _ in 0..4 {
+            let s = tl.earliest_slot(SimTime::ZERO, d, 1, true);
+            assert_eq!(s, SimTime::ZERO);
+            tl.reserve(s, d, 1);
+        }
+        // Fifth task must wait.
+        let s = tl.earliest_slot(SimTime::ZERO, d, 1, true);
+        assert_eq!(s, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn insertion_finds_gap_append_does_not() {
+        let mut tl = DeviceTimeline::new(1);
+        // Busy [0, 10) and [20, 30): a 10s gap at [10, 20).
+        tl.reserve(SimTime::ZERO, SimDuration::from_secs(10), 1);
+        tl.reserve(SimTime::from_secs(20), SimDuration::from_secs(10), 1);
+        let gap = tl.earliest_slot(SimTime::ZERO, SimDuration::from_secs(5), 1, true);
+        assert_eq!(gap, SimTime::from_secs(10));
+        let append = tl.earliest_slot(SimTime::ZERO, SimDuration::from_secs(5), 1, false);
+        assert_eq!(append, SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn insertion_skips_too_small_gap() {
+        let mut tl = DeviceTimeline::new(1);
+        tl.reserve(SimTime::ZERO, SimDuration::from_secs(10), 1);
+        tl.reserve(SimTime::from_secs(12), SimDuration::from_secs(10), 1);
+        // 2s gap cannot fit 5s task.
+        let s = tl.earliest_slot(SimTime::ZERO, SimDuration::from_secs(5), 1, true);
+        assert_eq!(s, SimTime::from_secs(22));
+    }
+
+    #[test]
+    fn need_clamped_to_cores() {
+        let mut tl = DeviceTimeline::new(2);
+        let s = tl.earliest_slot(SimTime::ZERO, SimDuration::from_secs(1), 100, true);
+        assert_eq!(s, SimTime::ZERO);
+        tl.reserve(s, SimDuration::from_secs(1), 100);
+        assert!((tl.busy_core_seconds() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn horizon_tracks_latest_end() {
+        let mut tl = DeviceTimeline::new(2);
+        assert_eq!(tl.horizon(), SimTime::ZERO);
+        tl.reserve(SimTime::from_secs(5), SimDuration::from_secs(3), 1);
+        assert_eq!(tl.horizon(), SimTime::from_secs(8));
+    }
+}

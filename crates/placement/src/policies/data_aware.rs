@@ -1,0 +1,90 @@
+//! Data-gravity placement: run work where *data arrival + compute* is
+//! cheapest, ignoring queues.
+//!
+//! For each task (topological order) the policy ranks feasible devices by
+//! `ready_time + execution_time` — the completion a task would see on an
+//! idle device — and breaks ties by true earliest finish time. Unlike
+//! greedy EFT it is blind to backlog, so on wide DAGs it piles work onto
+//! the device nearest the data; on data-intensive workflows it matches
+//! HEFT at a fraction of the decision cost. Experiment F1/F3 show both
+//! sides of that trade-off.
+
+use super::Placer;
+use crate::env::Env;
+use crate::estimate::{Estimator, Placement};
+use continuum_workflow::Dag;
+
+/// The data-gravity policy.
+#[derive(Debug, Clone, Default)]
+pub struct DataAwarePlacer;
+
+impl Placer for DataAwarePlacer {
+    fn name(&self) -> &'static str {
+        "data-aware"
+    }
+
+    fn place(&self, env: &Env, dag: &Dag) -> Placement {
+        let mut est = Estimator::new(env, dag);
+        for t in dag.topo_order() {
+            let feas = env.feasible_devices(dag.task(t));
+            let best = feas
+                .into_iter()
+                .map(|d| {
+                    // Queue-blind completion: data arrival plus compute on
+                    // an idle device.
+                    let idle_finish = est.ready_time(t, d) + est.exec_time(t, d);
+                    let (_, finish) = est.eft(t, d, true);
+                    (idle_finish, finish, d)
+                })
+                .min()
+                .expect("feasible set non-empty")
+                .2;
+            est.commit(t, best, true);
+        }
+        est.into_schedule().placement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::evaluate;
+    use crate::policies::RandomPlacer;
+    use continuum_model::standard_fleet;
+    use continuum_net::{continuum, ContinuumSpec};
+    use continuum_workflow::{analytics_pipeline, PipelineSpec};
+
+    #[test]
+    fn data_aware_moves_fewer_bytes_than_random() {
+        let built = continuum(&ContinuumSpec::default());
+        let env = Env::new(built.topology.clone(), standard_fleet(&built));
+        // Data-heavy, compute-light pipeline.
+        let dag = analytics_pipeline(&PipelineSpec {
+            source: built.sensors[0],
+            input_bytes: 500 << 20,
+            work_per_byte: 1.0,
+            ..Default::default()
+        });
+        let (_, m_da) = evaluate(&env, &dag, &DataAwarePlacer.place(&env, &dag));
+        let (_, m_rand) = evaluate(&env, &dag, &RandomPlacer::new(5).place(&env, &dag));
+        assert!(
+            m_da.bytes_moved <= m_rand.bytes_moved,
+            "data-aware {} vs random {}",
+            m_da.bytes_moved,
+            m_rand.bytes_moved
+        );
+    }
+
+    #[test]
+    fn schedule_valid() {
+        let built = continuum(&ContinuumSpec::default());
+        let env = Env::new(built.topology.clone(), standard_fleet(&built));
+        let dag = analytics_pipeline(&PipelineSpec {
+            source: built.sensors[0],
+            ..Default::default()
+        });
+        let placement = DataAwarePlacer.place(&env, &dag);
+        let (sched, _) = evaluate(&env, &dag, &placement);
+        assert!(sched.respects_dependencies(&dag));
+    }
+}

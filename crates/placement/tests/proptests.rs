@@ -1,0 +1,92 @@
+//! Property-based tests for the placement engine's core structures.
+
+use continuum_model::standard_fleet;
+use continuum_net::{continuum, ContinuumSpec};
+use continuum_placement::{
+    evaluate, DeviceTimeline, Env, GreedyEftPlacer, HeftPlacer, Placement, Placer,
+};
+use continuum_sim::{Rng, SimDuration, SimTime};
+use continuum_workflow::{layered_random, LayeredSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// A DeviceTimeline never oversubscribes: any sequence of
+    /// earliest_slot + reserve keeps the peak at or below the core count,
+    /// in both insertion and append modes.
+    #[test]
+    fn timeline_never_oversubscribes(
+        cores in 1u32..16,
+        jobs in proptest::collection::vec((0u64..1000, 1u64..500, 1u32..8, any::<bool>()), 1..60),
+    ) {
+        let mut tl = DeviceTimeline::new(cores);
+        for &(ready, dur_ms, need, insertion) in &jobs {
+            let ready = SimTime::from_millis(ready);
+            let dur = SimDuration::from_millis(dur_ms);
+            let start = tl.earliest_slot(ready, dur, need, insertion);
+            prop_assert!(start >= ready);
+            // reserve() debug-asserts the capacity invariant internally.
+            tl.reserve(start, dur, need);
+        }
+        // Accounting is exact.
+        let expected: f64 = jobs
+            .iter()
+            .map(|&(_, d, n, _)| d as f64 / 1000.0 * n.min(cores) as f64)
+            .sum();
+        prop_assert!((tl.busy_core_seconds() - expected).abs() < 1e-6);
+    }
+
+    /// Insertion never starts later than append for the same query on the
+    /// same timeline state.
+    #[test]
+    fn insertion_dominates_append(
+        cores in 1u32..8,
+        setup in proptest::collection::vec((0u64..500, 1u64..200, 1u32..4), 0..25),
+        query in (0u64..500, 1u64..200, 1u32..4),
+    ) {
+        let mut tl = DeviceTimeline::new(cores);
+        for &(ready, dur, need) in &setup {
+            let s = tl.earliest_slot(SimTime::from_millis(ready), SimDuration::from_millis(dur), need, true);
+            tl.reserve(s, SimDuration::from_millis(dur), need);
+        }
+        let (ready, dur, need) = query;
+        let ins = tl.earliest_slot(SimTime::from_millis(ready), SimDuration::from_millis(dur), need, true);
+        let app = tl.earliest_slot(SimTime::from_millis(ready), SimDuration::from_millis(dur), need, false);
+        prop_assert!(ins <= app, "insertion {ins:?} later than append {app:?}");
+    }
+
+    /// Every placement a policy emits is feasible (each task's device
+    /// satisfies its constraints) and evaluates to a dependency-respecting
+    /// schedule whose makespan is at least the biggest single task's
+    /// execution time.
+    #[test]
+    fn policies_emit_feasible_schedules(seed in any::<u64>(), greedy in any::<bool>()) {
+        let built = continuum(&ContinuumSpec::default());
+        let env = Env::new(built.topology.clone(), standard_fleet(&built));
+        let mut rng = Rng::new(seed);
+        let dag = layered_random(&mut rng, &LayeredSpec { tasks: 40, ..Default::default() });
+        let placement: Placement = if greedy {
+            GreedyEftPlacer::default().place(&env, &dag)
+        } else {
+            HeftPlacer::default().place(&env, &dag)
+        };
+        for task in dag.tasks() {
+            let dev = placement.device(task.id);
+            let feas = env.feasible_devices(task);
+            prop_assert!(feas.contains(&dev), "infeasible device for {}", task.name);
+        }
+        let (sched, metrics) = evaluate(&env, &dag, &placement);
+        prop_assert!(sched.respects_dependencies(&dag));
+        // Lower bound: the slowest committed task alone.
+        let mut longest = 0.0f64;
+        for task in dag.tasks() {
+            let dev = placement.device(task.id);
+            let spec = &env.fleet.device(dev).spec;
+            longest = longest.max(
+                spec.compute_time_parallel(task.work_flops, task.parallelism).as_secs_f64(),
+            );
+        }
+        prop_assert!(metrics.makespan_s >= longest * 0.999);
+    }
+}

@@ -1,0 +1,248 @@
+//! A Parsl-style dataflow API: write ordinary Rust closures, get a placed,
+//! concurrently executed workflow.
+//!
+//! [`AppBuilder`] assembles a DAG as you declare inputs and tasks; each
+//! task is an ordinary closure from input payloads to an output payload.
+//! [`AppBuilder::run`] places the DAG with any [`Placer`] and executes it
+//! on the real multi-threaded executor — dependencies, per-device
+//! capacity, and emulated transfer/compute delays included — then hands
+//! back every task's actual output bytes.
+//!
+//! ```
+//! use continuum_model::{standard_fleet};
+//! use continuum_net::{continuum, ContinuumSpec};
+//! use continuum_placement::{Env, HeftPlacer};
+//! use continuum_runtime::app::AppBuilder;
+//!
+//! let built = continuum(&ContinuumSpec::default());
+//! let sensor = built.sensors[0];
+//! let env = Env::new(built.topology.clone(), standard_fleet(&built));
+//!
+//! let mut app = AppBuilder::new("word-stats");
+//! let text = app.input_data("text", bytes::Bytes::from("one two three"), sensor);
+//! let count = app.task("count", 1e6, &[text], 8, |ins| {
+//!     let words = ins[0].split(|&b| b == b' ').count() as u64;
+//!     bytes::Bytes::copy_from_slice(&words.to_le_bytes())
+//! });
+//! let outcome = app.run(&env, &HeftPlacer::default(), 1e-4);
+//! let out = outcome.output(count).expect("task ran");
+//! assert_eq!(u64::from_le_bytes(out[..8].try_into().unwrap()), 3);
+//! ```
+
+use crate::exec::{RealExecutor, RealTrace};
+use bytes::Bytes;
+use continuum_net::NodeId;
+use continuum_placement::{Env, Placement, Placer};
+use continuum_workflow::{Dag, DataId, TaskId};
+use parking_lot::Mutex;
+
+type TaskFn = Box<dyn FnOnce(&[Bytes]) -> Bytes + Send>;
+
+/// Handle to a declared task (and its output item).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppHandle {
+    /// The underlying task.
+    pub task: TaskId,
+    /// The task's output data item — pass to downstream [`AppBuilder::task`]
+    /// calls as an input.
+    pub out: DataId,
+}
+
+/// Builder for a closure-backed workflow.
+pub struct AppBuilder {
+    dag: Dag,
+    closures: Vec<Option<TaskFn>>,
+    input_payloads: Vec<(DataId, Bytes)>,
+}
+
+/// Everything a run produced.
+pub struct AppOutcome {
+    /// The workflow that ran.
+    pub dag: Dag,
+    /// Where each task ran.
+    pub placement: Placement,
+    /// Wall-clock trace from the real executor.
+    pub trace: RealTrace,
+    outputs: Vec<Option<Bytes>>, // per data id
+}
+
+impl AppOutcome {
+    /// The payload a task produced.
+    pub fn output(&self, h: AppHandle) -> Option<&Bytes> {
+        self.outputs[h.out.0 as usize].as_ref()
+    }
+}
+
+impl AppBuilder {
+    /// Start a new application.
+    pub fn new(name: impl Into<String>) -> AppBuilder {
+        AppBuilder { dag: Dag::new(name), closures: Vec::new(), input_payloads: Vec::new() }
+    }
+
+    /// Declare an external input with an actual payload, born at `home`.
+    pub fn input_data(&mut self, name: impl Into<String>, data: Bytes, home: NodeId) -> DataId {
+        let id = self.dag.add_input(name, data.len() as u64, home);
+        self.input_payloads.push((id, data));
+        id
+    }
+
+    /// Declare a task: a closure from its inputs' payloads (in `inputs`
+    /// order) to its output payload. `work_hint` (flops) is what the
+    /// placement engine will assume the closure costs; `out_bytes_hint`
+    /// sizes the emulated transfer of the output.
+    pub fn task(
+        &mut self,
+        name: impl Into<String>,
+        work_hint: f64,
+        inputs: &[DataId],
+        out_bytes_hint: u64,
+        f: impl FnOnce(&[Bytes]) -> Bytes + Send + 'static,
+    ) -> AppHandle {
+        let out = self.dag.add_item(format!("{}_out", self.closures.len()), out_bytes_hint);
+        let task = self.dag.add_task(name, work_hint, inputs.to_vec(), vec![out]);
+        self.closures.push(Some(Box::new(f)));
+        AppHandle { task, out }
+    }
+
+    /// Number of declared tasks.
+    pub fn len(&self) -> usize {
+        self.dag.len()
+    }
+
+    /// True if no tasks are declared.
+    pub fn is_empty(&self) -> bool {
+        self.dag.is_empty()
+    }
+
+    /// Place with `placer` and execute on the real executor.
+    ///
+    /// `time_scale` is wall seconds per virtual second for the emulated
+    /// transfer/compute delays (use something tiny like `1e-4` when the
+    /// closures' real runtime is what matters).
+    ///
+    /// # Panics
+    /// If the assembled DAG fails validation.
+    pub fn run(mut self, env: &Env, placer: &dyn Placer, time_scale: f64) -> AppOutcome {
+        self.dag.validate().expect("invalid app DAG");
+        let placement = placer.place(env, &self.dag);
+
+        let n_items = self.dag.data_items().len();
+        let store: Mutex<Vec<Option<Bytes>>> = Mutex::new(vec![None; n_items]);
+        {
+            let mut s = store.lock();
+            for (id, data) in self.input_payloads.drain(..) {
+                s[id.0 as usize] = Some(data);
+            }
+        }
+        let closures: Vec<Mutex<Option<TaskFn>>> =
+            self.closures.into_iter().map(Mutex::new).collect();
+        let dag = &self.dag;
+
+        let exec = RealExecutor { time_scale };
+        let trace = exec.execute_custom(env, dag, &placement, &|t: TaskId| {
+            let f = closures[t.0 as usize]
+                .lock()
+                .take()
+                .expect("task executed twice");
+            let task = dag.task(t);
+            let ins: Vec<Bytes> = {
+                let s = store.lock();
+                task.inputs
+                    .iter()
+                    .map(|&d| s[d.0 as usize].clone().expect("dependency payload present"))
+                    .collect()
+            };
+            let out = f(&ins);
+            let mut s = store.lock();
+            for &o in &task.outputs {
+                s[o.0 as usize] = Some(out.clone());
+            }
+        });
+
+        AppOutcome { placement, trace, outputs: store.into_inner(), dag: self.dag }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use continuum_model::standard_fleet;
+    use continuum_net::{continuum, ContinuumSpec};
+    use continuum_placement::HeftPlacer;
+
+    fn env() -> (Env, NodeId) {
+        let built = continuum(&ContinuumSpec::default());
+        let sensor = built.sensors[0];
+        (Env::new(built.topology.clone(), standard_fleet(&built)), sensor)
+    }
+
+    #[test]
+    fn diamond_dataflow_produces_correct_values() {
+        let (env, sensor) = env();
+        let mut app = AppBuilder::new("arith");
+        let x = app.input_data("x", Bytes::copy_from_slice(&7u64.to_le_bytes()), sensor);
+        let double = app.task("double", 1e6, &[x], 8, |ins| {
+            let v = u64::from_le_bytes(ins[0][..8].try_into().expect("8 bytes"));
+            Bytes::copy_from_slice(&(v * 2).to_le_bytes())
+        });
+        let square = app.task("square", 1e6, &[x], 8, |ins| {
+            let v = u64::from_le_bytes(ins[0][..8].try_into().expect("8 bytes"));
+            Bytes::copy_from_slice(&(v * v).to_le_bytes())
+        });
+        let sum = app.task("sum", 1e6, &[double.out, square.out], 8, |ins| {
+            let a = u64::from_le_bytes(ins[0][..8].try_into().expect("8 bytes"));
+            let b = u64::from_le_bytes(ins[1][..8].try_into().expect("8 bytes"));
+            Bytes::copy_from_slice(&(a + b).to_le_bytes())
+        });
+        let outcome = app.run(&env, &HeftPlacer::default(), 1e-5);
+        let v = |h: AppHandle| {
+            u64::from_le_bytes(outcome.output(h).expect("ran")[..8].try_into().expect("8"))
+        };
+        assert_eq!(v(double), 14);
+        assert_eq!(v(square), 49);
+        assert_eq!(v(sum), 63);
+        assert_eq!(outcome.placement.assignment.len(), 3);
+    }
+
+    #[test]
+    fn wide_fanout_runs_all_closures() {
+        let (env, sensor) = env();
+        let mut app = AppBuilder::new("fanout");
+        let seed = app.input_data("seed", Bytes::from_static(b"\x01"), sensor);
+        let handles: Vec<AppHandle> = (0..20)
+            .map(|i| {
+                app.task(format!("w{i}"), 1e6, &[seed], 1, move |ins| {
+                    Bytes::copy_from_slice(&[ins[0][0] + i as u8])
+                })
+            })
+            .collect();
+        let collect_inputs: Vec<DataId> = handles.iter().map(|h| h.out).collect();
+        let total = app.task("total", 1e6, &collect_inputs, 1, |ins| {
+            let s: u8 = ins.iter().map(|b| b[0]).sum();
+            Bytes::copy_from_slice(&[s])
+        });
+        let outcome = app.run(&env, &HeftPlacer::default(), 1e-5);
+        // sum over i of (1 + i) for i in 0..20 = 20 + 190 = 210.
+        assert_eq!(outcome.output(total).expect("ran")[0], 210);
+    }
+
+    #[test]
+    fn chained_apps_reuse_payloads_not_hints() {
+        // The byte-size *hint* and the actual payload length may differ;
+        // downstream closures must see the actual payload.
+        let (env, sensor) = env();
+        let mut app = AppBuilder::new("hint-vs-payload");
+        let x = app.input_data("x", Bytes::from_static(b"abcdef"), sensor);
+        let head = app.task("head", 1e6, &[x], 1024 /* over-hinted */, |ins| {
+            ins[0].slice(0..3)
+        });
+        let len = app.task("len", 1e6, &[head.out], 8, |ins| {
+            Bytes::copy_from_slice(&(ins[0].len() as u64).to_le_bytes())
+        });
+        let outcome = app.run(&env, &HeftPlacer::default(), 1e-5);
+        let v = u64::from_le_bytes(
+            outcome.output(len).expect("ran")[..8].try_into().expect("8"),
+        );
+        assert_eq!(v, 3);
+    }
+}

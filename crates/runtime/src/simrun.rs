@@ -1,0 +1,762 @@
+//! The simulated continuum executor.
+//!
+//! Executes placed workflows over virtual time with the effects the
+//! analytic estimator ignores: FIFO queueing for device cores and max-min
+//! fair link sharing for concurrent transfers. This is the "ground truth"
+//! that every experiment reports; placement policies only ever see the
+//! contention-free estimates, exactly as a real scheduler would.
+//!
+//! Transfer model: an item moving `src -> dst` waits the path's propagation
+//! latency, then streams its bytes as a flow in the shared
+//! [`FlowNetwork`]; co-located consumers receive items instantly; repeated
+//! deliveries of the same item to the same node are deduplicated.
+
+use crate::trace::{ExecutionTrace, TaskRecord};
+use continuum_model::{CostMeter, EnergyMeter};
+use continuum_net::{FlowId, FlowNetwork, NodeId};
+use continuum_placement::{Env, Metrics, Placement};
+use continuum_sim::{EventId, EventQueue, SimTime};
+use continuum_workflow::{Dag, DataId, TaskId};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+/// One timed, placed workflow instance.
+#[derive(Debug, Clone)]
+pub struct StreamRequest {
+    /// When the request enters the system.
+    pub arrival: SimTime,
+    /// The workflow.
+    pub dag: Dag,
+    /// One device per task of `dag`.
+    pub placement: Placement,
+}
+
+/// Result of a simulated execution.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Per-task and per-request timings.
+    pub trace: ExecutionTrace,
+    /// Aggregate metrics in the same shape the estimator reports, so
+    /// estimated and simulated runs compare directly.
+    pub metrics: Metrics,
+}
+
+/// Execute a single workflow arriving at time zero.
+pub fn simulate(env: &Env, dag: &Dag, placement: &Placement) -> SimOutcome {
+    simulate_stream(
+        env,
+        &[StreamRequest { arrival: SimTime::ZERO, dag: dag.clone(), placement: placement.clone() }],
+    )
+}
+
+/// Fault-injection configuration for the simulated executor.
+///
+/// Each task *attempt* fails independently with `fail_prob` at the moment
+/// it would complete (the work it burned — cores, energy, dollars — is
+/// still charged, as on real hardware). Failed attempts are retried on the
+/// same device after `retry_delay`, up to `max_attempts` total tries.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Probability that one attempt fails.
+    pub fail_prob: f64,
+    /// Delay before a failed task re-enters its device queue.
+    pub retry_delay: continuum_sim::SimDuration,
+    /// Total attempts allowed per task (>= 1).
+    pub max_attempts: u32,
+    /// RNG seed for the fault process.
+    pub seed: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            fail_prob: 0.0,
+            retry_delay: continuum_sim::SimDuration::from_millis(100),
+            max_attempts: 100,
+            seed: 0xFA_17,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrival(usize),
+    /// Propagation delay elapsed; begin streaming bytes.
+    StartFlow { req: usize, item: DataId, dst: NodeId },
+    /// The flow the executor predicted to finish first has finished.
+    FlowDone(FlowId),
+    TaskFinished { req: usize, task: TaskId },
+    /// A failed task's retry delay elapsed; requeue it.
+    RetryTask { req: usize, task: TaskId },
+}
+
+/// Per-flow ECMP salt: stable for a (request, item) pair, never zero so
+/// concurrent transfers spread across parallel equal-cost links.
+#[inline]
+fn xfer_salt(req: usize, item: DataId) -> u64 {
+    ((req as u64) << 32) | (item.0 as u64) | (1 << 63)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ItemState {
+    InFlight,
+    Present,
+}
+
+struct ReqState {
+    /// Distinct input items still missing, per task.
+    missing: Vec<u32>,
+    /// Tasks not yet finished.
+    unfinished: usize,
+    /// Item presence per destination node.
+    items: HashMap<(DataId, NodeId), ItemState>,
+    /// Tasks waiting on (item, node).
+    waiters: HashMap<(DataId, NodeId), Vec<TaskId>>,
+    started: Vec<bool>,
+}
+
+/// Execute a set of placed requests over the shared network and fleet.
+///
+/// # Panics
+/// On workload/placement mismatches (wrong assignment length, disconnected
+/// topology, unplaced producers) — programming errors, not runtime states.
+pub fn simulate_stream(env: &Env, requests: &[StreamRequest]) -> SimOutcome {
+    simulate_stream_with_faults(env, requests, None)
+}
+
+/// [`simulate_stream`] with optional fault injection.
+pub fn simulate_stream_with_faults(
+    env: &Env,
+    requests: &[StreamRequest],
+    faults: Option<&FaultSpec>,
+) -> SimOutcome {
+    let mut fault_rng = faults.map(|f| {
+        assert!((0.0..1.0).contains(&f.fail_prob), "fail_prob must be in [0,1)");
+        assert!(f.max_attempts >= 1);
+        continuum_sim::Rng::new(f.seed)
+    });
+    // attempts[(req, task)] -> tries so far.
+    let mut attempts: HashMap<(usize, u32), u32> = HashMap::new();
+    for r in requests {
+        assert_eq!(
+            r.placement.assignment.len(),
+            r.dag.len(),
+            "placement does not match dag '{}'",
+            r.dag.name
+        );
+    }
+
+    let n_dev = env.fleet.len();
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let mut network = FlowNetwork::new(&env.topology);
+    let mut free_cores: Vec<u32> =
+        env.fleet.devices().iter().map(|d| d.spec.cores).collect();
+    let mut device_q: Vec<VecDeque<(usize, TaskId)>> = vec![VecDeque::new(); n_dev];
+    let mut flow_dest: HashMap<FlowId, (usize, DataId, NodeId)> = HashMap::new();
+    let mut pending_completion: Option<(EventId, FlowId)> = None;
+
+    let mut states: Vec<ReqState> = requests
+        .iter()
+        .map(|r| {
+            let missing = r
+                .dag
+                .tasks()
+                .iter()
+                .map(|t| {
+                    let mut d: Vec<DataId> = t.inputs.clone();
+                    d.sort_unstable();
+                    d.dedup();
+                    d.len() as u32
+                })
+                .collect();
+            ReqState {
+                missing,
+                unfinished: r.dag.len(),
+                items: HashMap::new(),
+                waiters: HashMap::new(),
+                started: vec![false; r.dag.len()],
+            }
+        })
+        .collect();
+
+    let mut trace = ExecutionTrace {
+        request_arrival: requests.iter().map(|r| r.arrival).collect(),
+        request_finish: vec![SimTime::ZERO; requests.len()],
+        ..Default::default()
+    };
+    // (source node, bytes) of every non-local transfer, for egress billing.
+    let mut egress_log: Vec<(NodeId, u64)> = Vec::new();
+    let mut energy = EnergyMeter::new(&env.fleet);
+    let mut cost = CostMeter::new(&env.fleet);
+
+    for (i, r) in requests.iter().enumerate() {
+        queue.schedule_at(r.arrival, Ev::Arrival(i));
+    }
+
+    // --- helpers as closures are painful with the borrow checker; use a
+    // macro-free, explicit work-list style instead. Pending "item became
+    // present" notifications and "try dispatch device" requests are drained
+    // after each event.
+    while let Some((now, ev)) = queue.pop() {
+        // Work lists produced by this event.
+        let mut made_present: Vec<(usize, DataId, NodeId)> = Vec::new();
+        let mut dispatch_devices: Vec<usize> = Vec::new();
+        let mut network_changed = false;
+
+        match ev {
+            Ev::Arrival(req) => {
+                let r = &requests[req];
+                // Request external item deliveries and seed ready tasks.
+                let mut to_deliver: Vec<(DataId, NodeId, NodeId)> = Vec::new();
+                {
+                    let st = &mut states[req];
+                    for t in r.dag.tasks() {
+                        let dst = env.node_of(r.placement.device(t.id));
+                        let mut ins = t.inputs.clone();
+                        ins.sort_unstable();
+                        ins.dedup();
+                        for d in ins {
+                            if r.dag.producer(d).is_none() {
+                                let home =
+                                    r.dag.data(d).home.expect("validated dag: external has home");
+                                match st.items.entry((d, dst)) {
+                                    Entry::Occupied(_) => {}
+                                    Entry::Vacant(v) => {
+                                        v.insert(ItemState::InFlight);
+                                        to_deliver.push((d, home, dst));
+                                    }
+                                }
+                                st.waiters.entry((d, dst)).or_default().push(t.id);
+                            } else {
+                                // Produced later; register interest.
+                                st.waiters.entry((d, dst)).or_default().push(t.id);
+                            }
+                        }
+                    }
+                }
+                for (d, src, dst) in to_deliver {
+                    if src == dst {
+                        made_present.push((req, d, dst));
+                    } else {
+                        let path = env
+                            .path_ecmp(src, dst, xfer_salt(req, d))
+                            .expect("disconnected topology");
+                        egress_log.push((src, requests[req].dag.data(d).bytes));
+                        queue.schedule_at(now + path.latency, Ev::StartFlow { req, item: d, dst });
+                    }
+                }
+                // Tasks with no inputs are immediately ready.
+                for t in r.dag.tasks() {
+                    if states[req].missing[t.id.0 as usize] == 0 {
+                        let dev = r.placement.device(t.id);
+                        device_q[dev.0 as usize].push_back((req, t.id));
+                        dispatch_devices.push(dev.0 as usize);
+                    }
+                }
+            }
+            Ev::StartFlow { req, item, dst } => {
+                let r = &requests[req];
+                let bytes = r.dag.data(item).bytes;
+                // Source: home or producer's node — only needed for the
+                // path; recompute from whichever is set.
+                let src = match r.dag.producer(item) {
+                    None => r.dag.data(item).home.expect("external item has home"),
+                    Some(p) => env.node_of(r.placement.device(p)),
+                };
+                let path = env
+                    .path_ecmp(src, dst, xfer_salt(req, item))
+                    .expect("disconnected topology");
+                match network.start(now, &path, bytes) {
+                    Some(fid) => {
+                        flow_dest.insert(fid, (req, item, dst));
+                        network_changed = true;
+                    }
+                    None => made_present.push((req, item, dst)),
+                }
+            }
+            Ev::FlowDone(fid) => {
+                // Only the currently pending completion is live; stale
+                // events were cancelled.
+                debug_assert_eq!(pending_completion.map(|(_, f)| f), Some(fid));
+                pending_completion = None;
+                network.remove(now, fid);
+                let (req, item, dst) = flow_dest.remove(&fid).expect("unknown flow");
+                made_present.push((req, item, dst));
+                network_changed = true;
+            }
+            Ev::TaskFinished { req, task } => {
+                let r = &requests[req];
+                let dev = r.placement.device(task);
+                let spec = &env.fleet.device(dev).spec;
+                let need = r.dag.task(task).occupancy(spec.cores);
+                free_cores[dev.0 as usize] += need;
+
+                // Fault injection: this attempt may fail at completion.
+                if let (Some(fs), Some(rng)) = (faults, fault_rng.as_mut()) {
+                    let tries = attempts.entry((req, task.0)).or_insert(1);
+                    if rng.chance(fs.fail_prob) {
+                        assert!(
+                            *tries < fs.max_attempts,
+                            "task {} of request {req} exhausted {} attempts",
+                            task,
+                            fs.max_attempts
+                        );
+                        *tries += 1;
+                        trace.failed_attempts += 1;
+                        states[req].started[task.0 as usize] = false;
+                        queue.schedule_at(now + fs.retry_delay, Ev::RetryTask { req, task });
+                        // Cores were already freed above; dispatch waiting
+                        // work on this device.
+                        dispatch_devices.push(dev.0 as usize);
+                        // Fall through to the dispatch drain below without
+                        // publishing outputs.
+                        dispatch_devices.sort_unstable();
+                        dispatch_devices.dedup();
+                        for di in dispatch_devices.drain(..) {
+                            dispatch_queue(
+                                env, requests, &mut states, &mut device_q, &mut free_cores,
+                                &mut trace, &mut energy, &mut cost, &mut queue, di, now,
+                            );
+                        }
+                        continue;
+                    }
+                }
+
+                let st = &mut states[req];
+                st.unfinished -= 1;
+                if st.unfinished == 0 {
+                    trace.request_finish[req] = now;
+                }
+                // Publish outputs to their consumers.
+                let my_node = env.node_of(dev);
+                let mut to_deliver: Vec<(DataId, NodeId)> = Vec::new();
+                for &out in &r.dag.task(task).outputs {
+                    // All nodes that registered interest in this item.
+                    let dests: Vec<NodeId> = st
+                        .waiters
+                        .keys()
+                        .filter(|(d, _)| *d == out)
+                        .map(|&(_, n)| n)
+                        .collect();
+                    for dst in dests {
+                        match st.items.entry((out, dst)) {
+                            Entry::Occupied(_) => {}
+                            Entry::Vacant(v) => {
+                                v.insert(ItemState::InFlight);
+                                to_deliver.push((out, dst));
+                            }
+                        }
+                    }
+                }
+                for (d, dst) in to_deliver {
+                    if dst == my_node {
+                        made_present.push((req, d, dst));
+                    } else {
+                        let path = env
+                            .path_ecmp(my_node, dst, xfer_salt(req, d))
+                            .expect("disconnected topology");
+                        egress_log.push((my_node, r.dag.data(d).bytes));
+                        queue.schedule_at(now + path.latency, Ev::StartFlow { req, item: d, dst });
+                    }
+                }
+            }
+            Ev::RetryTask { req, task } => {
+                let dev = requests[req].placement.device(task);
+                device_q[dev.0 as usize].push_back((req, task));
+                dispatch_devices.push(dev.0 as usize);
+            }
+        }
+
+        // Drain presence notifications -> may ready tasks.
+        for (req, item, node) in made_present {
+            let r = &requests[req];
+            let st = &mut states[req];
+            st.items.insert((item, node), ItemState::Present);
+            if let Some(waiters) = st.waiters.remove(&(item, node)) {
+                for t in waiters {
+                    // A waiter only counts if this task actually runs here.
+                    let dev = r.placement.device(t);
+                    if env.node_of(dev) != node {
+                        continue;
+                    }
+                    let m = &mut st.missing[t.0 as usize];
+                    debug_assert!(*m > 0);
+                    *m -= 1;
+                    if *m == 0 {
+                        device_q[dev.0 as usize].push_back((req, t));
+                        dispatch_devices.push(dev.0 as usize);
+                    }
+                }
+            }
+        }
+
+        // Dispatch: first-fit scan of each touched device queue, plus any
+        // device that just freed cores.
+        if let Ev::TaskFinished { req, task } = &ev {
+            let dev = requests[*req].placement.device(*task);
+            dispatch_devices.push(dev.0 as usize);
+        }
+        dispatch_devices.sort_unstable();
+        dispatch_devices.dedup();
+        for di in dispatch_devices {
+            dispatch_queue(
+                env, requests, &mut states, &mut device_q, &mut free_cores, &mut trace,
+                &mut energy, &mut cost, &mut queue, di, now,
+            );
+        }
+
+        // Re-arm the single pending flow-completion event.
+        if network_changed {
+            if let Some((eid, _)) = pending_completion.take() {
+                queue.cancel(eid);
+            }
+            if let Some((t, fid)) = network.next_completion() {
+                let eid = queue.schedule_at(t.max(now), Ev::FlowDone(fid));
+                pending_completion = Some((eid, fid));
+            }
+        }
+    }
+
+    for st in &states {
+        assert_eq!(st.unfinished, 0, "deadlock: tasks never became ready");
+    }
+
+    // Aggregate metrics.
+    let mut bytes_moved = 0u64;
+    for &(src, bytes) in &egress_log {
+        bytes_moved += bytes;
+        if let Some(&dev) = env.fleet.at_node(src).first() {
+            cost.record_egress(&env.fleet, dev, bytes);
+        }
+    }
+    trace.bytes_moved = bytes_moved;
+    trace.transfers = egress_log.len() as u64;
+    let makespan = trace.makespan();
+    let metrics = Metrics {
+        makespan_s: makespan.as_secs_f64(),
+        energy_j: energy.used_devices_joules(&env.fleet, makespan),
+        cost_usd: cost.total_usd(),
+        bytes_moved,
+    };
+    SimOutcome { trace, metrics }
+}
+
+/// First-fit scan of one device's ready queue: start every queued task
+/// that fits in the currently free cores.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_queue(
+    env: &Env,
+    requests: &[StreamRequest],
+    states: &mut [ReqState],
+    device_q: &mut [VecDeque<(usize, TaskId)>],
+    free_cores: &mut [u32],
+    trace: &mut ExecutionTrace,
+    energy: &mut EnergyMeter,
+    cost: &mut CostMeter,
+    queue: &mut EventQueue<Ev>,
+    di: usize,
+    now: SimTime,
+) {
+    let spec = &env.fleet.devices()[di].spec;
+    let mut i = 0;
+    while i < device_q[di].len() {
+        let (req, t) = device_q[di][i];
+        let task = requests[req].dag.task(t);
+        let need = task.occupancy(spec.cores);
+        if need <= free_cores[di] && !states[req].started[t.0 as usize] {
+            device_q[di].remove(i);
+            free_cores[di] -= need;
+            states[req].started[t.0 as usize] = true;
+            let dur = spec.compute_time_parallel(task.work_flops, task.parallelism);
+            let dev_id = requests[req].placement.device(t);
+            trace.records.push(TaskRecord {
+                request: req,
+                task: t,
+                device: dev_id,
+                cores: need,
+                start: now,
+                finish: now + dur,
+            });
+            energy.record_busy(&env.fleet, dev_id, need, dur);
+            cost.record_occupancy(&env.fleet, dev_id, need, dur);
+            queue.schedule_at(now + dur, Ev::TaskFinished { req, task: t });
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use continuum_model::{standard_fleet, DeviceClass, Fleet};
+    use continuum_net::{continuum, ContinuumSpec, Tier, Topology};
+    use continuum_placement::{evaluate, HeftPlacer, Placer};
+    use continuum_sim::SimDuration;
+
+    /// Two-node world: edge (slow) and cloud (fast) joined by one link.
+    fn two_node(bandwidth: f64) -> (Env, NodeId, NodeId) {
+        let mut topo = Topology::new();
+        let e = topo.add_node("edge", Tier::Edge);
+        let c = topo.add_node("cloud", Tier::Cloud);
+        topo.add_link(e, c, SimDuration::from_millis(10), bandwidth);
+        let mut fleet = Fleet::new();
+        fleet.add_class(e, DeviceClass::EdgeGateway);
+        fleet.add_class(c, DeviceClass::CloudVm);
+        (Env::new(topo, fleet), e, c)
+    }
+
+    fn local_task_dag(node: NodeId, work: f64) -> Dag {
+        let mut g = Dag::new("one");
+        let input = g.add_input("in", 1000, node);
+        let out = g.add_item("out", 10);
+        g.add_task("t", work, vec![input], vec![out]);
+        g
+    }
+
+    #[test]
+    fn single_local_task_time_matches_spec() {
+        let (env, e, _) = two_node(1e9);
+        let dag = local_task_dag(e, 1.2e10);
+        let placement = Placement { assignment: vec![continuum_model::DeviceId(0)] };
+        let out = simulate(&env, &dag, &placement);
+        let spec = &env.fleet.device(continuum_model::DeviceId(0)).spec;
+        let expected = spec.compute_time(1.2e10).as_secs_f64();
+        assert!((out.metrics.makespan_s - expected).abs() < 1e-6);
+        assert_eq!(out.trace.bytes_moved, 0);
+    }
+
+    #[test]
+    fn remote_task_pays_latency_and_bandwidth() {
+        let (env, e, _c) = two_node(1e6);
+        let dag = local_task_dag(e, 6e11);
+        // Run on the cloud device (index 1): the 1000-byte input must move.
+        let placement = Placement { assignment: vec![continuum_model::DeviceId(1)] };
+        let out = simulate(&env, &dag, &placement);
+        let spec = &env.fleet.device(continuum_model::DeviceId(1)).spec;
+        let expected =
+            0.010 + 1000.0 / 1e6 + spec.compute_time(6e11).as_secs_f64();
+        assert!(
+            (out.metrics.makespan_s - expected).abs() < 1e-3,
+            "got {} want {}",
+            out.metrics.makespan_s,
+            expected
+        );
+        assert_eq!(out.trace.bytes_moved, 1000);
+        assert_eq!(out.trace.transfers, 1);
+    }
+
+    #[test]
+    fn queueing_serializes_beyond_core_count() {
+        let (env, e, _) = two_node(1e9);
+        // 9 independent 1-core tasks on the 4-core edge gateway.
+        let mut g = Dag::new("fanout");
+        let input = g.add_input("in", 10, e);
+        for i in 0..9 {
+            let out = g.add_item(format!("o{i}"), 1);
+            g.add_task(format!("t{i}"), 3e9, vec![input], vec![out]);
+        }
+        let placement =
+            Placement { assignment: vec![continuum_model::DeviceId(0); 9] };
+        let out = simulate(&env, &g, &placement);
+        let one = env.fleet.device(continuum_model::DeviceId(0)).spec.compute_time(3e9);
+        // 9 tasks on 4 cores -> 3 waves.
+        let expected = one.as_secs_f64() * 3.0;
+        assert!(
+            (out.metrics.makespan_s - expected).abs() < 1e-6,
+            "got {} want {}",
+            out.metrics.makespan_s,
+            expected
+        );
+    }
+
+    #[test]
+    fn concurrent_transfers_share_the_link() {
+        let (env, e, _c) = two_node(1e6);
+        // Two tasks in the cloud, each pulling a distinct 1 MB input from
+        // the edge: fair sharing doubles the serialization time.
+        let mut g = Dag::new("contend");
+        let i1 = g.add_input("i1", 1_000_000, e);
+        let i2 = g.add_input("i2", 1_000_000, e);
+        let o1 = g.add_item("o1", 1);
+        let o2 = g.add_item("o2", 1);
+        g.add_task("t1", 1e6, vec![i1], vec![o1]);
+        g.add_task("t2", 1e6, vec![i2], vec![o2]);
+        let placement = Placement {
+            assignment: vec![continuum_model::DeviceId(1), continuum_model::DeviceId(1)],
+        };
+        let out = simulate(&env, &g, &placement);
+        // Both transfers share 1e6 B/s: each effectively 0.5e6 B/s -> 2s,
+        // plus 10ms latency, plus ~1.7ms compute.
+        assert!(
+            out.metrics.makespan_s > 2.0,
+            "contention not modeled: {}",
+            out.metrics.makespan_s
+        );
+        assert!(out.metrics.makespan_s < 2.1);
+    }
+
+    #[test]
+    fn same_item_to_same_node_transfers_once() {
+        let (env, e, _c) = two_node(1e6);
+        let mut g = Dag::new("dedupe");
+        let input = g.add_input("in", 1_000_000, e);
+        let o1 = g.add_item("o1", 1);
+        let o2 = g.add_item("o2", 1);
+        g.add_task("t1", 1e6, vec![input], vec![o1]);
+        g.add_task("t2", 1e6, vec![input], vec![o2]);
+        let placement = Placement {
+            assignment: vec![continuum_model::DeviceId(1), continuum_model::DeviceId(1)],
+        };
+        let out = simulate(&env, &g, &placement);
+        assert_eq!(out.trace.transfers, 1);
+        assert_eq!(out.trace.bytes_moved, 1_000_000);
+    }
+
+    #[test]
+    fn dependencies_respected_on_real_workflow() {
+        let built = continuum(&ContinuumSpec::default());
+        let env = Env::new(built.topology.clone(), standard_fleet(&built));
+        let mut rng = continuum_sim::Rng::new(19);
+        let dag = continuum_workflow::layered_random(
+            &mut rng,
+            &continuum_workflow::LayeredSpec { tasks: 80, ..Default::default() },
+        );
+        let placement = HeftPlacer::default().place(&env, &dag);
+        let out = simulate(&env, &dag, &placement);
+        assert!(out.trace.respects_dependencies(&[&dag]));
+        assert_eq!(out.trace.records.len(), dag.len());
+    }
+
+    #[test]
+    fn simulation_close_to_estimate_without_contention() {
+        // A chain has no concurrent transfers or queueing, so the simulated
+        // makespan must match the analytic estimate almost exactly.
+        let (env, e, _) = two_node(1e8);
+        let mut g = Dag::new("chain");
+        let mut prev = g.add_input("in", 1 << 20, e);
+        for i in 0..5 {
+            let out = g.add_item(format!("d{i}"), 1 << 20);
+            g.add_task(format!("t{i}"), 1e10, vec![prev], vec![out]);
+            prev = out;
+        }
+        let placement = HeftPlacer::default().place(&env, &g);
+        let (sched, est) = evaluate(&env, &g, &placement);
+        let sim = simulate(&env, &g, &placement);
+        assert!(sched.respects_dependencies(&g));
+        let rel = (sim.metrics.makespan_s - est.makespan_s).abs() / est.makespan_s;
+        assert!(rel < 0.01, "sim {} vs est {}", sim.metrics.makespan_s, est.makespan_s);
+    }
+
+    #[test]
+    fn stream_requests_tracked_independently() {
+        let (env, e, _) = two_node(1e9);
+        let mk = |arr: u64| StreamRequest {
+            arrival: SimTime::from_secs(arr),
+            dag: local_task_dag(e, 1.2e10),
+            placement: Placement { assignment: vec![continuum_model::DeviceId(0)] },
+        };
+        let out = simulate_stream(&env, &[mk(0), mk(10)]);
+        let lats = out.trace.latencies_s();
+        assert_eq!(lats.len(), 2);
+        // Both requests see an idle device: equal latency.
+        assert!((lats[0] - lats[1]).abs() < 1e-9);
+        assert!(out.trace.request_finish[1] > SimTime::from_secs(10));
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use continuum_model::{standard_fleet, DeviceClass, Fleet};
+    use continuum_net::{Tier, Topology};
+    use continuum_placement::{HeftPlacer, Placer};
+    use continuum_sim::SimDuration;
+
+    fn world() -> (Env, Dag, Placement) {
+        let built = continuum_net::continuum(&continuum_net::ContinuumSpec::default());
+        let env = Env::new(built.topology.clone(), standard_fleet(&built));
+        let mut rng = continuum_sim::Rng::new(99);
+        let dag = continuum_workflow::layered_random(
+            &mut rng,
+            &continuum_workflow::LayeredSpec { tasks: 50, ..Default::default() },
+        );
+        let placement = HeftPlacer::default().place(&env, &dag);
+        (env, dag, placement)
+    }
+
+    fn run_with(env: &Env, dag: &Dag, placement: &Placement, prob: f64) -> SimOutcome {
+        let reqs = [StreamRequest {
+            arrival: SimTime::ZERO,
+            dag: dag.clone(),
+            placement: placement.clone(),
+        }];
+        let faults = FaultSpec { fail_prob: prob, ..Default::default() };
+        simulate_stream_with_faults(env, &reqs, Some(&faults))
+    }
+
+    #[test]
+    fn zero_prob_matches_fault_free() {
+        let (env, dag, placement) = world();
+        let clean = simulate(&env, &dag, &placement);
+        let zero = run_with(&env, &dag, &placement, 0.0);
+        assert_eq!(zero.trace.failed_attempts, 0);
+        assert_eq!(clean.metrics.makespan_s, zero.metrics.makespan_s);
+    }
+
+    #[test]
+    fn failures_inflate_makespan_and_are_counted() {
+        let (env, dag, placement) = world();
+        let clean = simulate(&env, &dag, &placement);
+        let faulty = run_with(&env, &dag, &placement, 0.25);
+        assert!(faulty.trace.failed_attempts > 0);
+        assert!(
+            faulty.metrics.makespan_s > clean.metrics.makespan_s,
+            "faulty {} !> clean {}",
+            faulty.metrics.makespan_s,
+            clean.metrics.makespan_s
+        );
+        // Retried work burns more energy.
+        assert!(faulty.metrics.energy_j > clean.metrics.energy_j);
+        // All tasks still complete exactly once (final records).
+        assert!(faulty.trace.respects_dependencies(&[&dag]));
+        assert_eq!(
+            faulty.trace.records.len(),
+            dag.len() + faulty.trace.failed_attempts as usize
+        );
+    }
+
+    #[test]
+    fn faults_deterministic_for_seed() {
+        let (env, dag, placement) = world();
+        let a = run_with(&env, &dag, &placement, 0.2);
+        let b = run_with(&env, &dag, &placement, 0.2);
+        assert_eq!(a.trace.failed_attempts, b.trace.failed_attempts);
+        assert_eq!(a.metrics.makespan_s, b.metrics.makespan_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn attempt_limit_enforced() {
+        // Single-task DAG on one device with certain-ish failure and a
+        // limit of 2 attempts.
+        let mut topo = Topology::new();
+        let n = topo.add_node("x", Tier::Edge);
+        let mut fleet = Fleet::new();
+        fleet.add_class(n, DeviceClass::EdgeGateway);
+        let env = Env::new(topo, fleet);
+        let mut dag = Dag::new("one");
+        let input = dag.add_input("in", 1, n);
+        let out = dag.add_item("out", 1);
+        dag.add_task("t", 1e9, vec![input], vec![out]);
+        let placement = Placement { assignment: vec![continuum_model::DeviceId(0)] };
+        let reqs = [StreamRequest { arrival: SimTime::ZERO, dag, placement }];
+        let faults = FaultSpec {
+            fail_prob: 0.999999,
+            retry_delay: SimDuration::from_millis(1),
+            max_attempts: 2,
+            seed: 1,
+        };
+        simulate_stream_with_faults(&env, &reqs, Some(&faults));
+    }
+}

@@ -1,0 +1,247 @@
+//! Execution traces: what actually happened, per task and per request.
+
+use continuum_model::DeviceId;
+use continuum_sim::{SimDuration, SimTime};
+use continuum_workflow::TaskId;
+use serde::{Deserialize, Serialize};
+
+/// One executed task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Index of the request this task belonged to (0 for single-DAG runs).
+    pub request: usize,
+    /// Task id within its request's DAG.
+    pub task: TaskId,
+    /// Device the task ran on.
+    pub device: DeviceId,
+    /// Cores occupied.
+    pub cores: u32,
+    /// Execution start (after data arrival and queueing).
+    pub start: SimTime,
+    /// Execution finish.
+    pub finish: SimTime,
+}
+
+impl TaskRecord {
+    /// Busy duration.
+    pub fn duration(&self) -> SimDuration {
+        self.finish.since(self.start)
+    }
+}
+
+/// The result of executing one or more requests.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    /// Per-task records, in completion order.
+    pub records: Vec<TaskRecord>,
+    /// Arrival time of each request.
+    pub request_arrival: Vec<SimTime>,
+    /// Completion time of each request (last task finish).
+    pub request_finish: Vec<SimTime>,
+    /// Total bytes that crossed at least one link.
+    pub bytes_moved: u64,
+    /// Number of non-local transfers performed.
+    pub transfers: u64,
+    /// Task attempts that failed and were retried (0 without fault
+    /// injection).
+    pub failed_attempts: u64,
+}
+
+impl ExecutionTrace {
+    /// End-to-end makespan: last finish across all requests.
+    pub fn makespan(&self) -> SimDuration {
+        self.request_finish
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .since(SimTime::ZERO)
+    }
+
+    /// Per-request latencies (finish − arrival), seconds.
+    pub fn latencies_s(&self) -> Vec<f64> {
+        self.request_arrival
+            .iter()
+            .zip(&self.request_finish)
+            .map(|(a, f)| f.since(*a).as_secs_f64())
+            .collect()
+    }
+
+    /// Busy core-seconds per device id (dense vector sized to max id + 1).
+    pub fn busy_core_seconds(&self, n_devices: usize) -> Vec<f64> {
+        let mut busy = vec![0.0; n_devices];
+        for r in &self.records {
+            busy[r.device.0 as usize] += r.duration().as_secs_f64() * r.cores as f64;
+        }
+        busy
+    }
+
+    /// Mean utilization per device over the makespan: busy core-seconds
+    /// divided by `cores × makespan`. Devices that ran nothing report 0.
+    pub fn mean_utilization(&self, device_cores: &[u32]) -> Vec<f64> {
+        let span = self.makespan().as_secs_f64();
+        if span <= 0.0 {
+            return vec![0.0; device_cores.len()];
+        }
+        let busy = self.busy_core_seconds(device_cores.len());
+        busy.iter()
+            .zip(device_cores)
+            .map(|(b, &c)| if c == 0 { 0.0 } else { b / (c as f64 * span) })
+            .collect()
+    }
+
+    /// Render an ASCII Gantt chart: one row per device that ran anything,
+    /// time flowing left to right over `width` columns. Each cell shows
+    /// how many tasks occupied the device in that time slice (`.` idle,
+    /// `1`-`9` count, `+` for ten or more).
+    pub fn gantt(&self, device_names: &[String], width: usize) -> String {
+        assert!(width >= 10);
+        let end = self.makespan().as_secs_f64();
+        if end <= 0.0 || self.records.is_empty() {
+            return String::from("(empty trace)\n");
+        }
+        let n_dev = device_names.len();
+        let mut grid = vec![vec![0u32; width]; n_dev];
+        for r in &self.records {
+            let di = r.device.0 as usize;
+            let a = (r.start.as_secs_f64() / end * width as f64) as usize;
+            let b = ((r.finish.as_secs_f64() / end * width as f64).ceil() as usize).min(width);
+            for cell in grid[di].iter_mut().take(b.max(a + 1)).skip(a) {
+                *cell += 1;
+            }
+        }
+        let label_w = device_names.iter().map(String::len).max().unwrap_or(0).min(24);
+        let mut out = String::new();
+        for (di, row) in grid.iter().enumerate() {
+            if row.iter().all(|&c| c == 0) {
+                continue;
+            }
+            let name: String = device_names[di].chars().take(label_w).collect();
+            out.push_str(&format!("{name:>label_w$} |"));
+            for &c in row {
+                out.push(match c {
+                    0 => '.',
+                    1..=9 => char::from_digit(c, 10).expect("single digit"),
+                    _ => '+',
+                });
+            }
+            out.push_str("|\n");
+        }
+        out.push_str(&format!(
+            "{:>label_w$}  0{:>width$.3}s\n",
+            "t =",
+            end,
+            label_w = label_w,
+            width = width - 1
+        ));
+        out
+    }
+
+    /// Sanity check used by tests: within one request, every task's *final*
+    /// record starts no earlier than the finish of each predecessor's
+    /// final record. (With fault injection a task may have several
+    /// records; only the last — successful — attempt is checked, since
+    /// failed attempts of a successor may legitimately overlap retries of
+    /// an unrelated task.)
+    pub fn respects_dependencies(&self, dags: &[&continuum_workflow::Dag]) -> bool {
+        // Index records by (request, task); later inserts (later attempts)
+        // overwrite earlier ones because records are pushed in start order.
+        use std::collections::HashMap;
+        let mut by_key: HashMap<(usize, TaskId), &TaskRecord> = HashMap::new();
+        for r in &self.records {
+            by_key.insert((r.request, r.task), r);
+        }
+        by_key.values().all(|r| {
+            let dag = dags[r.request];
+            dag.preds(r.task).iter().all(|p| {
+                by_key
+                    .get(&(r.request, *p))
+                    .map(|pr| pr.finish <= r.start)
+                    .unwrap_or(false)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_and_latency() {
+        let tr = ExecutionTrace {
+            request_arrival: vec![SimTime::ZERO, SimTime::from_secs(5)],
+            request_finish: vec![SimTime::from_secs(2), SimTime::from_secs(9)],
+            ..Default::default()
+        };
+        assert_eq!(tr.makespan(), SimDuration::from_secs(9));
+        assert_eq!(tr.latencies_s(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut tr = ExecutionTrace {
+            request_arrival: vec![SimTime::ZERO],
+            request_finish: vec![SimTime::from_secs(10)],
+            ..Default::default()
+        };
+        tr.records.push(TaskRecord {
+            request: 0,
+            task: TaskId(0),
+            device: DeviceId(0),
+            cores: 2,
+            start: SimTime::ZERO,
+            finish: SimTime::from_secs(5),
+        });
+        // 10 core-seconds busy on a 4-core device over 10 s = 0.25.
+        let u = tr.mean_utilization(&[4, 8]);
+        assert!((u[0] - 0.25).abs() < 1e-12);
+        assert_eq!(u[1], 0.0);
+    }
+
+    #[test]
+    fn gantt_renders_occupancy() {
+        let mut tr = ExecutionTrace {
+            request_arrival: vec![SimTime::ZERO],
+            request_finish: vec![SimTime::from_secs(10)],
+            ..Default::default()
+        };
+        // Two overlapping tasks on device 0 in the first half.
+        for _ in 0..2 {
+            tr.records.push(TaskRecord {
+                request: 0,
+                task: TaskId(0),
+                device: DeviceId(0),
+                cores: 1,
+                start: SimTime::ZERO,
+                finish: SimTime::from_secs(5),
+            });
+        }
+        let names = vec!["dev0".to_string(), "dev1".to_string()];
+        let g = tr.gantt(&names, 10);
+        assert!(g.contains("dev0 |22222.....|"), "gantt:\n{g}");
+        // Idle device omitted.
+        assert!(!g.contains("dev1"));
+    }
+
+    #[test]
+    fn gantt_empty_trace() {
+        let tr = ExecutionTrace::default();
+        assert_eq!(tr.gantt(&[], 20), "(empty trace)\n");
+    }
+
+    #[test]
+    fn busy_accumulates() {
+        let mut tr = ExecutionTrace::default();
+        tr.records.push(TaskRecord {
+            request: 0,
+            task: TaskId(0),
+            device: DeviceId(1),
+            cores: 2,
+            start: SimTime::ZERO,
+            finish: SimTime::from_secs(3),
+        });
+        let busy = tr.busy_core_seconds(3);
+        assert_eq!(busy, vec![0.0, 6.0, 0.0]);
+    }
+}

@@ -1,0 +1,124 @@
+//! A minimal driver loop over [`EventQueue`].
+//!
+//! Subsystems that want full control (the continuum runtime, the data
+//! fabric) drive their own `while let Some(..) = queue.pop()` loops; this
+//! module provides the common scaffolding for the simple case: a model type
+//! that reacts to events and schedules more.
+
+use crate::events::EventQueue;
+use crate::time::SimTime;
+
+/// A reactive simulation model: consumes events, may schedule new ones.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Handle one event at virtual time `now`. New events may be scheduled
+    /// on `queue`; scheduling into the past is a logic error.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Outcome of a [`run_until`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of events dispatched.
+    pub events: u64,
+    /// Virtual time when the run stopped.
+    pub end_time: SimTime,
+    /// True if the run stopped because the calendar drained (vs. deadline).
+    pub drained: bool,
+}
+
+/// Dispatch events until the calendar drains or the next event would fire
+/// after `deadline`. Events exactly at `deadline` are dispatched.
+pub fn run_until<M: Model>(
+    model: &mut M,
+    queue: &mut EventQueue<M::Event>,
+    deadline: SimTime,
+) -> RunStats {
+    let mut events = 0;
+    loop {
+        match queue.peek_time() {
+            None => {
+                return RunStats { events, end_time: queue.now(), drained: true };
+            }
+            Some(t) if t > deadline => {
+                return RunStats { events, end_time: queue.now(), drained: false };
+            }
+            Some(_) => {
+                let (now, ev) = queue.pop().expect("peeked event vanished");
+                model.handle(now, ev, queue);
+                events += 1;
+            }
+        }
+    }
+}
+
+/// Dispatch events until the calendar drains.
+pub fn run_to_completion<M: Model>(model: &mut M, queue: &mut EventQueue<M::Event>) -> RunStats {
+    run_until(model, queue, SimTime::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A ping-pong model: each Ping schedules a Pong and vice versa, for a
+    /// fixed number of rounds.
+    struct PingPong {
+        remaining: u32,
+        log: Vec<&'static str>,
+    }
+
+    #[derive(Debug)]
+    enum Ev {
+        Ping,
+        Pong,
+    }
+
+    impl Model for PingPong {
+        type Event = Ev;
+        fn handle(&mut self, _now: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
+            match ev {
+                Ev::Ping => {
+                    self.log.push("ping");
+                    if self.remaining > 0 {
+                        q.schedule_in(SimDuration::from_millis(1), Ev::Pong);
+                    }
+                }
+                Ev::Pong => {
+                    self.log.push("pong");
+                    self.remaining -= 1;
+                    if self.remaining > 0 {
+                        q.schedule_in(SimDuration::from_millis(1), Ev::Ping);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_drains() {
+        let mut m = PingPong { remaining: 3, log: vec![] };
+        let mut q = EventQueue::new();
+        q.schedule_now(Ev::Ping);
+        let stats = run_to_completion(&mut m, &mut q);
+        assert!(stats.drained);
+        assert_eq!(m.log, vec!["ping", "pong", "ping", "pong", "ping", "pong"]);
+        assert_eq!(stats.events, 6);
+        // 5 hops of 1ms after the initial immediate ping.
+        assert_eq!(stats.end_time, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn deadline_stops_early() {
+        let mut m = PingPong { remaining: 1000, log: vec![] };
+        let mut q = EventQueue::new();
+        q.schedule_now(Ev::Ping);
+        let stats = run_until(&mut m, &mut q, SimTime::from_millis(10));
+        assert!(!stats.drained);
+        assert!(stats.end_time <= SimTime::from_millis(10));
+        assert!(!q.is_empty());
+    }
+}

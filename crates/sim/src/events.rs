@@ -1,0 +1,244 @@
+//! The event calendar: a cancellable priority queue over virtual time.
+//!
+//! Events are ordered by `(time, sequence)` — the sequence number breaks
+//! ties in insertion order, which makes simulations deterministic even when
+//! many events share a timestamp. Cancellation is *lazy*: a cancelled event
+//! stays in the heap and is skipped on pop, which keeps `cancel` O(1)
+//! (amortized against the eventual pop).
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub u64);
+
+struct Entry<E> {
+    at: SimTime,
+    id: EventId,
+    payload: E,
+}
+
+// Min-heap ordering on (time, id) by inverting the comparison.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.id).cmp(&(self.at, self.id))
+    }
+}
+
+/// A calendar of pending events of type `E`.
+///
+/// The calendar owns the simulation clock: popping an event advances `now`
+/// to that event's timestamp. Scheduling into the past is a logic error and
+/// panics in debug builds (it silently clamps to `now` in release builds,
+/// which preserves causality).
+///
+/// ```
+/// use continuum_sim::{EventQueue, SimDuration, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_at(SimTime::from_secs(2), "timeout");
+/// let cancelled = q.schedule_at(SimTime::from_secs(1), "never");
+/// q.cancel(cancelled);
+/// q.schedule_in(SimDuration::from_millis(500), "first");
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(500), "first")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "timeout")));
+/// assert_eq!(q.pop(), None);
+/// assert_eq!(q.now(), SimTime::from_secs(2));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty calendar at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) events still pending.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Entry { at, id, payload });
+        id
+    }
+
+    /// Schedule `payload` after a relative delay.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Schedule `payload` to fire immediately (at the current time, after
+    /// any events already scheduled for the current time).
+    pub fn schedule_now(&mut self, payload: E) -> EventId {
+        self.schedule_at(self.now, payload)
+    }
+
+    /// Cancel a pending event. Returns `true` if the event was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Timestamp of the next live event, if any, without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_cancelled();
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some((entry.at, entry.payload))
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.id) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Drop all pending events and reset the clock to zero.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.now = SimTime::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(3), "c");
+        q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_at(SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_at(SimTime::from_secs(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a)); // already cancelled
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q = EventQueue::<()>::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(5), "first");
+        q.pop();
+        q.schedule_in(SimDuration::from_secs(2), "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(4), "x");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(4), "x");
+        q.pop();
+        q.schedule_in(SimDuration::from_secs(1), "y");
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn len_excludes_cancelled() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..5).map(|i| q.schedule_at(SimTime::from_secs(i), i)).collect();
+        q.cancel(ids[1]);
+        q.cancel(ids[3]);
+        assert_eq!(q.len(), 3);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the simulation kernel's core invariants.
+
+use continuum_sim::{jain_fairness, EventQueue, OnlineStats, Percentiles, Rng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, regardless of the
+    /// insertion order, and equal-time events pop in insertion order.
+    #[test]
+    fn event_queue_ordering(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut popped = 0;
+        while let Some((t, idx)) = q.pop() {
+            prop_assert_eq!(SimTime(times[idx]), t);
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(idx > lidx, "tie not in insertion order");
+                }
+            }
+            last = Some((t, idx));
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn event_queue_cancellation(
+        times in proptest::collection::vec(0u64..1000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times.iter().map(|&t| q.schedule_at(SimTime(t), t)).collect();
+        let mut expected = 0usize;
+        for (i, id) in ids.iter().enumerate() {
+            let cancel = *cancel_mask.get(i).unwrap_or(&false);
+            if cancel {
+                prop_assert!(q.cancel(*id));
+            } else {
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(q.len(), expected);
+        let mut seen = 0;
+        while q.pop().is_some() {
+            seen += 1;
+        }
+        prop_assert_eq!(seen, expected);
+    }
+
+    /// Merging split OnlineStats equals accumulating the whole stream.
+    #[test]
+    fn online_stats_merge(xs in proptest::collection::vec(-1e6f64..1e6, 2..300), split in 0usize..300) {
+        let split = split.min(xs.len());
+        let mut whole = OnlineStats::new();
+        for &x in &xs { whole.push(x); }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..split] { a.push(x); }
+        for &x in &xs[split..] { b.push(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() <= 1e-4 * (1.0 + whole.variance().abs()));
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_monotone(xs in proptest::collection::vec(-1e9f64..1e9, 1..200)) {
+        let mut p = Percentiles::new();
+        for &x in &xs { p.push(x); }
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut prev = lo;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = p.quantile(q).unwrap();
+            prop_assert!(v >= prev - 1e-9);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            prev = v;
+        }
+    }
+
+    /// Jain's index is always in [1/n, 1] for non-negative non-zero loads.
+    #[test]
+    fn jain_in_bounds(xs in proptest::collection::vec(0.0f64..1e6, 1..100)) {
+        let j = jain_fairness(&xs);
+        let n = xs.len() as f64;
+        prop_assert!(j <= 1.0 + 1e-9);
+        prop_assert!(j >= 1.0 / n - 1e-9);
+    }
+
+    /// Lemire bounded sampling stays in range for arbitrary bounds.
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), n in 1u64..u64::MAX) {
+        let mut r = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(r.below(n) < n);
+        }
+    }
+
+    /// Shuffle always yields a permutation.
+    #[test]
+    fn shuffle_permutes(seed in any::<u64>(), len in 0usize..200) {
+        let mut r = Rng::new(seed);
+        let mut v: Vec<usize> = (0..len).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<usize>>());
+    }
+}

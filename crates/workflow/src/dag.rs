@@ -1,0 +1,470 @@
+//! Workflow DAGs: tasks linked by the data items they exchange.
+//!
+//! Dependencies are *data-driven*: task `B` depends on task `A` iff `B`
+//! consumes an item `A` produces. The builder enforces single-producer
+//! items; [`Dag::validate`] checks acyclicity and referential integrity and
+//! is run by every generator and test.
+
+use crate::data::{DataId, DataItem};
+use crate::task::{Constraints, Task, TaskId};
+use continuum_net::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A complete workflow: tasks, data items, and the derived dependency graph.
+///
+/// ```
+/// use continuum_net::NodeId;
+/// use continuum_workflow::Dag;
+///
+/// // in --(decode)--> frames --(detect)--> labels
+/// let mut g = Dag::new("detect");
+/// let input = g.add_input("in", 10 << 20, NodeId(0)); // born at node 0
+/// let frames = g.add_item("frames", 8 << 20);
+/// let labels = g.add_item("labels", 4 << 10);
+/// let decode = g.add_task("decode", 1e9, vec![input], vec![frames]);
+/// let detect = g.add_task("detect", 2e10, vec![frames], vec![labels]);
+///
+/// assert!(g.validate().is_ok());
+/// assert_eq!(g.preds(detect), &[decode]);
+/// assert_eq!(g.topo_order(), vec![decode, detect]);
+/// assert_eq!(g.critical_path_work(), 2.1e10);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dag {
+    /// Workflow name (for reports).
+    pub name: String,
+    tasks: Vec<Task>,
+    data: Vec<DataItem>,
+    /// Producer task of each data item (None for external inputs).
+    producer: Vec<Option<TaskId>>,
+    /// Task-level adjacency, derived, deduplicated.
+    succs: Vec<Vec<TaskId>>,
+    preds: Vec<Vec<TaskId>>,
+}
+
+/// Errors detected by [`Dag::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// A data item is produced by more than one task.
+    MultipleProducers(DataId),
+    /// A consumed data item has neither a producer nor a home node.
+    OrphanInput(TaskId, DataId),
+    /// The dependency graph contains a cycle.
+    Cycle,
+    /// A task references an out-of-range data id.
+    BadDataRef(TaskId),
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::MultipleProducers(d) => write!(f, "data item {d} has multiple producers"),
+            DagError::OrphanInput(t, d) => {
+                write!(f, "task {t} consumes {d} which has no producer and no home")
+            }
+            DagError::Cycle => write!(f, "dependency graph contains a cycle"),
+            DagError::BadDataRef(t) => write!(f, "task {t} references out-of-range data id"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+impl Dag {
+    /// Empty workflow.
+    pub fn new(name: impl Into<String>) -> Self {
+        Dag { name: name.into(), ..Default::default() }
+    }
+
+    /// Add an external input item born at `home`.
+    pub fn add_input(&mut self, name: impl Into<String>, bytes: u64, home: NodeId) -> DataId {
+        self.push_data(name, bytes, Some(home))
+    }
+
+    /// Add an intermediate/output item (produced by some task).
+    pub fn add_item(&mut self, name: impl Into<String>, bytes: u64) -> DataId {
+        self.push_data(name, bytes, None)
+    }
+
+    fn push_data(&mut self, name: impl Into<String>, bytes: u64, home: Option<NodeId>) -> DataId {
+        let id = DataId(self.data.len() as u32);
+        self.data.push(DataItem { id, name: name.into(), bytes, home });
+        self.producer.push(None);
+        id
+    }
+
+    /// Add a task. Returns its id.
+    ///
+    /// # Panics
+    /// If an output item already has a producer (single-assignment).
+    pub fn add_task(
+        &mut self,
+        name: impl Into<String>,
+        work_flops: f64,
+        inputs: Vec<DataId>,
+        outputs: Vec<DataId>,
+    ) -> TaskId {
+        self.add_task_full(name, work_flops, 1, inputs, outputs, Constraints::none())
+    }
+
+    /// Add a task with explicit parallelism and constraints.
+    pub fn add_task_full(
+        &mut self,
+        name: impl Into<String>,
+        work_flops: f64,
+        parallelism: u32,
+        inputs: Vec<DataId>,
+        outputs: Vec<DataId>,
+        constraints: Constraints,
+    ) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        for &o in &outputs {
+            let slot = &mut self.producer[o.0 as usize];
+            assert!(slot.is_none(), "data item {o} already has a producer");
+            *slot = Some(id);
+        }
+        self.tasks.push(Task {
+            id,
+            name: name.into(),
+            work_flops,
+            parallelism: parallelism.max(1),
+            inputs,
+            outputs,
+            constraints,
+        });
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        self.rebuild_edges_for(id);
+        id
+    }
+
+    /// Recompute the dedup'd task adjacency contributed by task `t`'s inputs.
+    fn rebuild_edges_for(&mut self, t: TaskId) {
+        let mut ps: Vec<TaskId> = self.tasks[t.0 as usize]
+            .inputs
+            .iter()
+            .filter_map(|d| self.producer[d.0 as usize])
+            .collect();
+        ps.sort_unstable();
+        ps.dedup();
+        for &p in &ps {
+            self.succs[p.0 as usize].push(t);
+        }
+        self.preds[t.0 as usize] = ps;
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if the workflow has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Task by id.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0 as usize]
+    }
+
+    /// All tasks.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Data item by id.
+    pub fn data(&self, id: DataId) -> &DataItem {
+        &self.data[id.0 as usize]
+    }
+
+    /// All data items.
+    pub fn data_items(&self) -> &[DataItem] {
+        &self.data
+    }
+
+    /// Producer task of a data item (`None` for external inputs).
+    pub fn producer(&self, id: DataId) -> Option<TaskId> {
+        self.producer[id.0 as usize]
+    }
+
+    /// Direct predecessors of a task (dedup'd).
+    pub fn preds(&self, id: TaskId) -> &[TaskId] {
+        &self.preds[id.0 as usize]
+    }
+
+    /// Direct successors of a task (dedup'd per input edge contribution).
+    pub fn succs(&self, id: TaskId) -> &[TaskId] {
+        &self.succs[id.0 as usize]
+    }
+
+    /// Tasks with no predecessors.
+    pub fn sources(&self) -> Vec<TaskId> {
+        self.tasks.iter().filter(|t| self.preds(t.id).is_empty()).map(|t| t.id).collect()
+    }
+
+    /// Tasks with no successors.
+    pub fn sinks(&self) -> Vec<TaskId> {
+        self.tasks.iter().filter(|t| self.succs(t.id).is_empty()).map(|t| t.id).collect()
+    }
+
+    /// Total work across all tasks, flops.
+    pub fn total_work(&self) -> f64 {
+        self.tasks.iter().map(|t| t.work_flops).sum()
+    }
+
+    /// Total bytes across all data items.
+    pub fn total_bytes(&self) -> u64 {
+        self.data.iter().map(|d| d.bytes).sum()
+    }
+
+    /// Absorb `other` as a disjoint sub-workflow (multi-tenant batches run
+    /// as one simulation). Returns the (task, data) id offsets: a task
+    /// `t` of `other` becomes `TaskId(t.0 + task_off)` here, and likewise
+    /// for data ids.
+    pub fn absorb(&mut self, other: &Dag) -> (u32, u32) {
+        let task_off = self.tasks.len() as u32;
+        let data_off = self.data.len() as u32;
+        for item in &other.data {
+            self.push_data(item.name.clone(), item.bytes, item.home);
+        }
+        for task in &other.tasks {
+            let inputs = task.inputs.iter().map(|d| DataId(d.0 + data_off)).collect();
+            let outputs = task.outputs.iter().map(|d| DataId(d.0 + data_off)).collect();
+            self.add_task_full(
+                task.name.clone(),
+                task.work_flops,
+                task.parallelism,
+                inputs,
+                outputs,
+                task.constraints.clone(),
+            );
+        }
+        (task_off, data_off)
+    }
+
+    /// Check structural invariants.
+    pub fn validate(&self) -> Result<(), DagError> {
+        for t in &self.tasks {
+            for &d in t.inputs.iter().chain(&t.outputs) {
+                if d.0 as usize >= self.data.len() {
+                    return Err(DagError::BadDataRef(t.id));
+                }
+            }
+            for &d in &t.inputs {
+                if self.producer[d.0 as usize].is_none() && self.data[d.0 as usize].home.is_none()
+                {
+                    return Err(DagError::OrphanInput(t.id, d));
+                }
+            }
+        }
+        // Kahn's algorithm detects cycles.
+        if self.topo_order().len() != self.tasks.len() {
+            return Err(DagError::Cycle);
+        }
+        Ok(())
+    }
+
+    /// Topological order (Kahn, deterministic: FIFO by task id). If the
+    /// graph has a cycle the returned order is shorter than `len()`.
+    pub fn topo_order(&self) -> Vec<TaskId> {
+        let n = self.tasks.len();
+        let mut indeg: Vec<u32> = (0..n).map(|i| self.preds[i].len() as u32).collect();
+        let mut queue: VecDeque<TaskId> =
+            (0..n).filter(|&i| indeg[i] == 0).map(|i| TaskId(i as u32)).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(t) = queue.pop_front() {
+            order.push(t);
+            for &s in self.succs(t) {
+                indeg[s.0 as usize] -= 1;
+                if indeg[s.0 as usize] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        order
+    }
+
+    /// Length of the longest chain, in tasks (0 for an empty DAG).
+    pub fn depth(&self) -> usize {
+        let order = self.topo_order();
+        let mut depth = vec![0usize; self.tasks.len()];
+        let mut max = 0;
+        for &t in &order {
+            let d =
+                self.preds(t).iter().map(|p| depth[p.0 as usize]).max().unwrap_or(0) + 1;
+            depth[t.0 as usize] = d;
+            max = max.max(d);
+        }
+        max
+    }
+
+    /// Critical-path work: the heaviest root-to-sink chain, flops.
+    pub fn critical_path_work(&self) -> f64 {
+        let order = self.topo_order();
+        let mut best = vec![0.0f64; self.tasks.len()];
+        let mut max = 0.0f64;
+        for &t in &order {
+            let up: f64 =
+                self.preds(t).iter().map(|p| best[p.0 as usize]).fold(0.0, f64::max);
+            let v = up + self.task(t).work_flops;
+            best[t.0 as usize] = v;
+            max = max.max(v);
+        }
+        max
+    }
+
+    /// Bytes entering each task: sum of its input item sizes.
+    pub fn input_bytes(&self, t: TaskId) -> u64 {
+        self.task(t).inputs.iter().map(|&d| self.data(d).bytes).sum()
+    }
+
+    /// Upward ranks for HEFT-family schedulers, computed against *average*
+    /// compute speed `mean_flops` (flop/s per core) and *average* bandwidth
+    /// `mean_bps` (bytes/s): `rank(t) = w(t) + max over succs (c(t,s) +
+    /// rank(s))` where `w` is mean execution time and `c` mean transfer
+    /// time of the items the successor consumes from `t`.
+    pub fn upward_ranks(&self, mean_flops: f64, mean_bps: f64) -> Vec<f64> {
+        assert!(mean_flops > 0.0 && mean_bps > 0.0);
+        let order = self.topo_order();
+        let mut rank = vec![0.0f64; self.tasks.len()];
+        for &t in order.iter().rev() {
+            let w = self.task(t).work_flops / mean_flops;
+            let mut best = 0.0f64;
+            for &s in self.succs(t) {
+                // Bytes s consumes from items t produces.
+                let bytes: u64 = self
+                    .task(s)
+                    .inputs
+                    .iter()
+                    .filter(|&&d| self.producer(d) == Some(t))
+                    .map(|&d| self.data(d).bytes)
+                    .sum();
+                let c = bytes as f64 / mean_bps;
+                best = best.max(c + rank[s.0 as usize]);
+            }
+            rank[t.0 as usize] = w + best;
+        }
+        rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use continuum_net::NodeId;
+
+    /// in -> a -> x -> b -> y -> c (chain), plus a -> z -> c (diamond-ish).
+    fn diamond() -> Dag {
+        let mut g = Dag::new("diamond");
+        let input = g.add_input("in", 100, NodeId(0));
+        let x = g.add_item("x", 50);
+        let z = g.add_item("z", 10);
+        let y = g.add_item("y", 25);
+        let out = g.add_item("out", 5);
+        g.add_task("a", 10.0, vec![input], vec![x, z]);
+        g.add_task("b", 20.0, vec![x], vec![y]);
+        g.add_task("c", 30.0, vec![y, z], vec![out]);
+        g
+    }
+
+    #[test]
+    fn structure_queries() {
+        let g = diamond();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.sources(), vec![TaskId(0)]);
+        assert_eq!(g.sinks(), vec![TaskId(2)]);
+        assert_eq!(g.preds(TaskId(2)), &[TaskId(0), TaskId(1)]);
+        assert_eq!(g.depth(), 3);
+        assert_eq!(g.total_work(), 60.0);
+        assert_eq!(g.total_bytes(), 190);
+        assert_eq!(g.input_bytes(TaskId(2)), 35);
+    }
+
+    #[test]
+    fn topo_respects_edges() {
+        let g = diamond();
+        let order = g.topo_order();
+        assert_eq!(order.len(), 3);
+        let pos: Vec<usize> =
+            (0..3).map(|i| order.iter().position(|t| t.0 == i as u32).unwrap()).collect();
+        assert!(pos[0] < pos[1]);
+        assert!(pos[1] < pos[2]);
+    }
+
+    #[test]
+    fn critical_path() {
+        let g = diamond();
+        // a(10) -> b(20) -> c(30) = 60.
+        assert_eq!(g.critical_path_work(), 60.0);
+    }
+
+    #[test]
+    fn orphan_input_detected() {
+        let mut g = Dag::new("bad");
+        let orphan = g.add_item("orphan", 1); // no home, no producer
+        g.add_task("t", 1.0, vec![orphan], vec![]);
+        assert_eq!(g.validate(), Err(DagError::OrphanInput(TaskId(0), orphan)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a producer")]
+    fn double_producer_panics() {
+        let mut g = Dag::new("bad");
+        let x = g.add_item("x", 1);
+        g.add_task("a", 1.0, vec![], vec![x]);
+        g.add_task("b", 1.0, vec![], vec![x]);
+    }
+
+    #[test]
+    fn absorb_disjoint_union() {
+        let mut a = diamond();
+        let b = diamond();
+        let (task_off, data_off) = a.absorb(&b);
+        assert_eq!(task_off, 3);
+        assert_eq!(data_off, 5);
+        assert_eq!(a.len(), 6);
+        assert!(a.validate().is_ok());
+        assert_eq!(a.total_work(), 120.0);
+        assert_eq!(a.total_bytes(), 380);
+        // The two halves are independent: sources/sinks double.
+        assert_eq!(a.sources().len(), 2);
+        assert_eq!(a.sinks().len(), 2);
+        // Translated dependencies hold inside the absorbed half.
+        assert_eq!(
+            a.preds(TaskId(2 + task_off)),
+            &[TaskId(task_off), TaskId(1 + task_off)]
+        );
+        // No cross-half edges.
+        for t in 0..3u32 {
+            for p in a.preds(TaskId(t + task_off)) {
+                assert!(p.0 >= task_off);
+            }
+        }
+    }
+
+    #[test]
+    fn upward_ranks_decrease_downstream() {
+        let g = diamond();
+        let r = g.upward_ranks(1.0, 1.0);
+        // rank(a) > rank(b) > rank(c) since a is upstream of everything.
+        assert!(r[0] > r[1]);
+        assert!(r[1] > r[2]);
+        // Sink's rank equals its own mean execution time.
+        assert_eq!(r[2], 30.0);
+    }
+
+    #[test]
+    fn duplicate_edges_dedup() {
+        let mut g = Dag::new("dup");
+        let a_out1 = g.add_item("o1", 1);
+        let a_out2 = g.add_item("o2", 1);
+        g.add_task("a", 1.0, vec![], vec![a_out1, a_out2]);
+        g.add_task("b", 1.0, vec![a_out1, a_out2], vec![]);
+        assert_eq!(g.preds(TaskId(1)).len(), 1);
+        assert_eq!(g.succs(TaskId(0)).len(), 1);
+    }
+
+}

@@ -1,0 +1,42 @@
+//! Data items flowing through a workflow.
+//!
+//! Every dependency in a workflow DAG is carried by a named data item: a
+//! task consumes the items its predecessors produce. External inputs
+//! (sensor frames, instrument files) have a *home* node where they are
+//! born; intermediate items live wherever their producer ran.
+
+use continuum_net::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a data item within a [`crate::dag::Dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DataId(pub u32);
+
+impl fmt::Display for DataId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A unit of data produced and consumed by tasks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataItem {
+    /// This item's index.
+    pub id: DataId,
+    /// Human-readable name.
+    pub name: String,
+    /// Size in bytes (drives transfer costs).
+    pub bytes: u64,
+    /// For external inputs: the node where the item initially exists.
+    /// `None` for intermediate items (they appear where their producer ran).
+    pub home: Option<NodeId>,
+}
+
+impl DataItem {
+    /// True if this item pre-exists the workflow (has a home and no
+    /// producer task — the DAG validates the latter).
+    pub fn is_external(&self) -> bool {
+        self.home.is_some()
+    }
+}

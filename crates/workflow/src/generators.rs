@@ -1,0 +1,591 @@
+//! Synthetic workload generators.
+//!
+//! These stand in for the production traces the keynote's experiments would
+//! use (per the substitution rule in DESIGN.md). Each generator produces a
+//! validated [`Dag`]; stochastic ones take an explicit [`Rng`] so workloads
+//! are reproducible from a seed.
+
+use crate::dag::Dag;
+use crate::task::Constraints;
+use continuum_net::NodeId;
+use continuum_sim::{Rng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the edge-analytics pipeline (experiment F1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    /// Node where the raw input is born (the capture point).
+    pub source: NodeId,
+    /// Raw input size, bytes.
+    pub input_bytes: u64,
+    /// Number of processing stages after capture.
+    pub stages: usize,
+    /// Compute intensity: flops of work per input byte at each stage.
+    pub work_per_byte: f64,
+    /// Data reduction per stage: stage output = input × `reduction`.
+    pub reduction: f64,
+}
+
+impl Default for PipelineSpec {
+    fn default() -> Self {
+        PipelineSpec {
+            source: NodeId(0),
+            input_bytes: 10 << 20,
+            stages: 4,
+            // DNN-ish intensity: ~2 kflop per byte of frame.
+            work_per_byte: 2_000.0,
+            reduction: 0.1,
+        }
+    }
+}
+
+/// Linear analytics pipeline: `capture -> s0 -> s1 -> ... -> sink`.
+///
+/// Capture is pinned to the source node (data is born there); every later
+/// stage is free to run anywhere. Per-stage work scales with the bytes the
+/// stage ingests, so compute intensity stays constant while data shrinks
+/// down the pipeline — the shape that creates the edge/cloud crossover.
+pub fn analytics_pipeline(spec: &PipelineSpec) -> Dag {
+    let mut g = Dag::new("analytics-pipeline");
+    let raw = g.add_input("raw", spec.input_bytes, spec.source);
+    // Capture: negligible work, must run at the source.
+    let captured = g.add_item("captured", spec.input_bytes);
+    g.add_task_full(
+        "capture",
+        1e6,
+        1,
+        vec![raw],
+        vec![captured],
+        Constraints::pinned(spec.source),
+    );
+    let mut prev = captured;
+    let mut bytes = spec.input_bytes;
+    for i in 0..spec.stages {
+        let work = spec.work_per_byte * bytes as f64;
+        let out_bytes = ((bytes as f64 * spec.reduction) as u64).max(1);
+        let out = g.add_item(format!("stage{i}_out"), out_bytes);
+        g.add_task(format!("stage{i}"), work, vec![prev], vec![out]);
+        prev = out;
+        bytes = out_bytes;
+    }
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Fork-join: `scatter -> {branch_i} -> gather`.
+///
+/// `branch_work` flops and `branch_bytes` bytes per branch.
+pub fn fork_join(
+    source: NodeId,
+    width: usize,
+    input_bytes: u64,
+    branch_work: f64,
+    branch_bytes: u64,
+) -> Dag {
+    assert!(width >= 1);
+    let mut g = Dag::new("fork-join");
+    let input = g.add_input("in", input_bytes, source);
+    let mut branch_outs = Vec::with_capacity(width);
+    let shards: Vec<_> = (0..width)
+        .map(|i| g.add_item(format!("shard{i}"), (input_bytes / width as u64).max(1)))
+        .collect();
+    g.add_task("scatter", 1e6, vec![input], shards.clone());
+    for (i, &shard) in shards.iter().enumerate() {
+        let out = g.add_item(format!("branch{i}_out"), branch_bytes);
+        g.add_task(format!("branch{i}"), branch_work, vec![shard], vec![out]);
+        branch_outs.push(out);
+    }
+    let result = g.add_item("result", branch_bytes);
+    g.add_task("gather", 1e6, branch_outs, vec![result]);
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Map-reduce: `m` mappers over shards of the input, all-to-all shuffle to
+/// `r` reducers, single final merge.
+pub fn map_reduce(
+    source: NodeId,
+    mappers: usize,
+    reducers: usize,
+    bytes_per_mapper: u64,
+    work_per_byte: f64,
+) -> Dag {
+    assert!(mappers >= 1 && reducers >= 1);
+    let mut g = Dag::new("map-reduce");
+    let mut partitions: Vec<Vec<crate::data::DataId>> = vec![Vec::new(); reducers];
+    for m in 0..mappers {
+        let shard = g.add_input(format!("shard{m}"), bytes_per_mapper, source);
+        let outs: Vec<_> = (0..reducers)
+            .map(|r| {
+                g.add_item(
+                    format!("m{m}r{r}"),
+                    (bytes_per_mapper / reducers as u64).max(1),
+                )
+            })
+            .collect();
+        g.add_task(
+            format!("map{m}"),
+            work_per_byte * bytes_per_mapper as f64,
+            vec![shard],
+            outs.clone(),
+        );
+        for (r, &o) in outs.iter().enumerate() {
+            partitions[r].push(o);
+        }
+    }
+    let mut reduce_outs = Vec::with_capacity(reducers);
+    for (r, part) in partitions.into_iter().enumerate() {
+        let in_bytes: u64 = part.iter().map(|&d| g.data(d).bytes).sum();
+        let out = g.add_item(format!("reduce{r}_out"), (in_bytes / 10).max(1));
+        g.add_task(format!("reduce{r}"), work_per_byte * in_bytes as f64, part, vec![out]);
+        reduce_outs.push(out);
+    }
+    let final_out = g.add_item("final", 1024);
+    g.add_task("merge", 1e6, reduce_outs, vec![final_out]);
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Parameters for [`layered_random`] DAGs (experiment F3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayeredSpec {
+    /// Total number of tasks.
+    pub tasks: usize,
+    /// Maximum tasks per layer (width).
+    pub width: usize,
+    /// Probability of an extra edge from a random earlier task.
+    pub extra_edge_prob: f64,
+    /// Log-normal μ of task work (ln flops).
+    pub work_mu: f64,
+    /// Log-normal σ of task work.
+    pub work_sigma: f64,
+    /// Log-normal μ of item sizes (ln bytes).
+    pub bytes_mu: f64,
+    /// Log-normal σ of item sizes.
+    pub bytes_sigma: f64,
+    /// Node where external inputs are born.
+    pub source: NodeId,
+    /// Memory floor per task, bytes — layered DAGs model server-class
+    /// workloads, so by default they exclude MCU-class devices.
+    pub min_mem_bytes: u64,
+}
+
+impl Default for LayeredSpec {
+    fn default() -> Self {
+        LayeredSpec {
+            tasks: 100,
+            width: 8,
+            extra_edge_prob: 0.3,
+            work_mu: (1e10f64).ln(), // ~10 Gflop median
+            work_sigma: 1.0,
+            bytes_mu: (1e6f64).ln(), // ~1 MB median
+            bytes_sigma: 1.0,
+            source: NodeId(0),
+            min_mem_bytes: 1 << 30,
+        }
+    }
+}
+
+/// Random layered DAG: tasks are laid out in layers of random width; each
+/// non-root task consumes one item from a random task in the previous
+/// layer, plus extra items from random earlier tasks with probability
+/// `extra_edge_prob` each.
+pub fn layered_random(rng: &mut Rng, spec: &LayeredSpec) -> Dag {
+    assert!(spec.tasks >= 1 && spec.width >= 1);
+    let mut g = Dag::new("layered-random");
+    // (task, its single output item)
+    let mut all: Vec<(crate::task::TaskId, crate::data::DataId)> = Vec::new();
+    let mut prev_layer: Vec<usize> = Vec::new(); // indices into `all`
+    let mut made = 0usize;
+    let mut layer_no = 0usize;
+    while made < spec.tasks {
+        let layer_size = (rng.range_u64(1, spec.width as u64) as usize).min(spec.tasks - made);
+        let mut this_layer = Vec::with_capacity(layer_size);
+        for i in 0..layer_size {
+            let work = rng.lognormal(spec.work_mu, spec.work_sigma);
+            let bytes = rng.lognormal(spec.bytes_mu, spec.bytes_sigma).max(1.0) as u64;
+            let mut inputs = Vec::new();
+            if prev_layer.is_empty() {
+                let ext = g.add_input(
+                    format!("ext{layer_no}_{i}"),
+                    rng.lognormal(spec.bytes_mu, spec.bytes_sigma).max(1.0) as u64,
+                    spec.source,
+                );
+                inputs.push(ext);
+            } else {
+                let parent = all[*rng.choose(&prev_layer)];
+                inputs.push(parent.1);
+                // Extra in-edges from anywhere earlier.
+                while rng.chance(spec.extra_edge_prob) && all.len() > 1 {
+                    let extra = all[rng.index(all.len())];
+                    if !inputs.contains(&extra.1) {
+                        inputs.push(extra.1);
+                    } else {
+                        break;
+                    }
+                }
+            }
+            let out = g.add_item(format!("d{layer_no}_{i}"), bytes);
+            let t = g.add_task_full(
+                format!("t{layer_no}_{i}"),
+                work,
+                1,
+                inputs,
+                vec![out],
+                crate::task::Constraints {
+                    min_mem_bytes: spec.min_mem_bytes,
+                    ..Default::default()
+                },
+            );
+            this_layer.push(all.len());
+            all.push((t, out));
+        }
+        made += layer_size;
+        prev_layer = this_layer;
+        layer_no += 1;
+    }
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Montage-like astronomy mosaic (the classic workflow-scheduling shape):
+/// `n` projections → background fits on overlapping pairs → one model →
+/// `n` corrections → final co-add and shrink.
+pub fn montage_like(source: NodeId, n_images: usize, image_bytes: u64) -> Dag {
+    assert!(n_images >= 2);
+    let mut g = Dag::new("montage-like");
+    let per_image_work = 50.0 * image_bytes as f64; // ~50 flop/byte reprojection
+
+    let mut projected = Vec::with_capacity(n_images);
+    for i in 0..n_images {
+        let raw = g.add_input(format!("raw{i}"), image_bytes, source);
+        let p = g.add_item(format!("proj{i}"), image_bytes);
+        g.add_task(format!("mProject{i}"), per_image_work, vec![raw], vec![p]);
+        projected.push(p);
+    }
+    // Fits on adjacent pairs.
+    let mut fits = Vec::with_capacity(n_images - 1);
+    for i in 0..n_images - 1 {
+        let f = g.add_item(format!("fit{i}"), (image_bytes / 100).max(1));
+        g.add_task(
+            format!("mDiffFit{i}"),
+            10.0 * image_bytes as f64,
+            vec![projected[i], projected[i + 1]],
+            vec![f],
+        );
+        fits.push(f);
+    }
+    let model = g.add_item("model", 4096);
+    g.add_task("mBgModel", 1e9, fits, vec![model]);
+    let mut corrected = Vec::with_capacity(n_images);
+    for (i, &p) in projected.iter().enumerate() {
+        let c = g.add_item(format!("corr{i}"), image_bytes);
+        g.add_task(format!("mBackground{i}"), 5.0 * image_bytes as f64, vec![p, model], vec![c]);
+        corrected.push(c);
+    }
+    let mosaic = g.add_item("mosaic", image_bytes * n_images as u64 / 2);
+    let add = g.add_task_full(
+        "mAdd",
+        20.0 * (image_bytes * n_images as u64) as f64,
+        4,
+        corrected,
+        vec![mosaic],
+        Constraints::none(),
+    );
+    let _ = add;
+    let jpeg = g.add_item("preview", (image_bytes / 50).max(1));
+    g.add_task("mShrink", 1e9, vec![mosaic], vec![jpeg]);
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Broadcast–compute–reduce: one root item (e.g. a model) consumed by all
+/// `workers`, whose outputs are folded by a `fan_in`-ary reduction tree.
+///
+/// Exercises single-item/many-consumers transfer deduplication and deep
+/// reduction dependencies.
+pub fn broadcast_reduce(
+    source: NodeId,
+    workers: usize,
+    fan_in: usize,
+    model_bytes: u64,
+    worker_work: f64,
+    partial_bytes: u64,
+) -> Dag {
+    assert!(workers >= 1 && fan_in >= 2);
+    let mut g = Dag::new("broadcast-reduce");
+    let model = g.add_input("model", model_bytes, source);
+    let mut level: Vec<crate::data::DataId> = (0..workers)
+        .map(|i| {
+            let out = g.add_item(format!("partial{i}"), partial_bytes);
+            g.add_task(format!("worker{i}"), worker_work, vec![model], vec![out]);
+            out
+        })
+        .collect();
+    let mut depth = 0;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(fan_in));
+        for (j, chunk) in level.chunks(fan_in).enumerate() {
+            if chunk.len() == 1 {
+                next.push(chunk[0]);
+                continue;
+            }
+            let out = g.add_item(format!("agg{depth}_{j}"), partial_bytes);
+            g.add_task(
+                format!("reduce{depth}_{j}"),
+                1e8 * chunk.len() as f64,
+                chunk.to_vec(),
+                vec![out],
+            );
+            next.push(out);
+        }
+        level = next;
+        depth += 1;
+    }
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Stencil/halo-exchange iterations: a `width`-wide row of tasks per
+/// iteration, each consuming its own previous-state plus its neighbors'
+/// halos — the communication pattern of iterative scientific codes.
+pub fn stencil(
+    source: NodeId,
+    width: usize,
+    iterations: usize,
+    state_bytes: u64,
+    halo_bytes: u64,
+    work_per_iter: f64,
+) -> Dag {
+    assert!(width >= 2 && iterations >= 1);
+    let mut g = Dag::new("stencil");
+    // Iteration 0 state is external.
+    let mut state: Vec<crate::data::DataId> = (0..width)
+        .map(|i| g.add_input(format!("init{i}"), state_bytes, source))
+        .collect();
+    let mut halos: Vec<crate::data::DataId> = state.clone();
+    for it in 0..iterations {
+        let mut new_state = Vec::with_capacity(width);
+        let mut new_halos = Vec::with_capacity(width);
+        for i in 0..width {
+            let mut inputs = vec![state[i]];
+            if i > 0 {
+                inputs.push(halos[i - 1]);
+            }
+            if i + 1 < width {
+                inputs.push(halos[i + 1]);
+            }
+            let out_state = g.add_item(format!("s{it}_{i}"), state_bytes);
+            let out_halo = g.add_item(format!("h{it}_{i}"), halo_bytes);
+            g.add_task(
+                format!("cell{it}_{i}"),
+                work_per_iter,
+                inputs,
+                vec![out_state, out_halo],
+            );
+            new_state.push(out_state);
+            new_halos.push(out_halo);
+        }
+        state = new_state;
+        halos = new_halos;
+    }
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// A timed stream of small inference DAGs (experiment F4).
+#[derive(Debug, Clone)]
+pub struct StreamWorkload {
+    /// Arrival time and workflow instance for each request.
+    pub requests: Vec<(SimTime, Dag)>,
+}
+
+/// Parameters for [`inference_stream`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// Sensors producing frames (capture is pinned round-robin over these).
+    pub sensors: Vec<NodeId>,
+    /// Number of requests.
+    pub requests: usize,
+    /// Mean arrival rate, requests/second (Poisson arrivals).
+    pub rate_hz: f64,
+    /// Frame size, bytes.
+    pub frame_bytes: u64,
+    /// Inference work per frame, flops.
+    pub infer_flops: f64,
+}
+
+impl Default for StreamSpec {
+    fn default() -> Self {
+        StreamSpec {
+            sensors: vec![NodeId(0)],
+            requests: 100,
+            rate_hz: 2.0,
+            frame_bytes: 200 << 10, // 200 KB compressed frame
+            infer_flops: 2e9,       // small CNN
+        }
+    }
+}
+
+/// Poisson-arriving `capture -> preprocess -> infer` requests.
+pub fn inference_stream(rng: &mut Rng, spec: &StreamSpec) -> StreamWorkload {
+    assert!(!spec.sensors.is_empty() && spec.rate_hz > 0.0);
+    let mut requests = Vec::with_capacity(spec.requests);
+    let mut t = 0.0f64;
+    for i in 0..spec.requests {
+        t += rng.exp(spec.rate_hz);
+        let sensor = spec.sensors[i % spec.sensors.len()];
+        let mut g = Dag::new(format!("req{i}"));
+        let frame = g.add_input("frame", spec.frame_bytes, sensor);
+        let cap = g.add_item("cap", spec.frame_bytes);
+        g.add_task_full("capture", 1e5, 1, vec![frame], vec![cap], Constraints::pinned(sensor));
+        let pre = g.add_item("pre", spec.frame_bytes / 2);
+        g.add_task("preprocess", 100.0 * spec.frame_bytes as f64, vec![cap], vec![pre]);
+        let label = g.add_item("label", 256);
+        g.add_task("infer", spec.infer_flops, vec![pre], vec![label]);
+        debug_assert!(g.validate().is_ok());
+        requests.push((SimTime::from_secs_f64(t), g));
+    }
+    StreamWorkload { requests }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_shape() {
+        let spec = PipelineSpec::default();
+        let g = analytics_pipeline(&spec);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.len(), 1 + spec.stages);
+        assert_eq!(g.depth(), 1 + spec.stages);
+        // Data shrinks stage over stage.
+        let sizes: Vec<u64> = g.data_items().iter().map(|d| d.bytes).collect();
+        assert!(sizes[2] < sizes[1]);
+        // Capture pinned to the source.
+        assert_eq!(g.task(crate::task::TaskId(0)).constraints.pinned_node, Some(spec.source));
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(NodeId(0), 8, 1 << 20, 1e9, 1 << 10);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.len(), 8 + 2);
+        assert_eq!(g.depth(), 3);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn map_reduce_shape() {
+        let g = map_reduce(NodeId(0), 4, 2, 1 << 20, 10.0);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.len(), 4 + 2 + 1);
+        // Each reducer depends on all mappers.
+        let reducers: Vec<_> =
+            g.tasks().iter().filter(|t| t.name.starts_with("reduce")).collect();
+        for r in reducers {
+            assert_eq!(g.preds(r.id).len(), 4);
+        }
+    }
+
+    #[test]
+    fn layered_random_valid_and_deterministic() {
+        let spec = LayeredSpec { tasks: 200, ..Default::default() };
+        let mut r1 = Rng::new(7);
+        let mut r2 = Rng::new(7);
+        let g1 = layered_random(&mut r1, &spec);
+        let g2 = layered_random(&mut r2, &spec);
+        assert!(g1.validate().is_ok());
+        assert_eq!(g1.len(), 200);
+        assert_eq!(g2.len(), 200);
+        // Determinism: identical structure and work.
+        assert_eq!(g1.total_work(), g2.total_work());
+        assert_eq!(g1.total_bytes(), g2.total_bytes());
+        assert_eq!(g1.depth(), g2.depth());
+    }
+
+    #[test]
+    fn layered_random_respects_width() {
+        let spec = LayeredSpec { tasks: 50, width: 3, ..Default::default() };
+        let mut rng = Rng::new(11);
+        let g = layered_random(&mut rng, &spec);
+        // Depth must be at least tasks/width layers.
+        assert!(g.depth() >= 50 / 3);
+    }
+
+    #[test]
+    fn montage_shape() {
+        let g = montage_like(NodeId(0), 6, 1 << 20);
+        assert!(g.validate().is_ok());
+        // n project + (n-1) fits + model + n background + add + shrink.
+        assert_eq!(g.len(), 6 + 5 + 1 + 6 + 1 + 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn broadcast_reduce_shape() {
+        let g = broadcast_reduce(NodeId(0), 9, 3, 10 << 20, 1e9, 1 << 16);
+        assert!(g.validate().is_ok());
+        // 9 workers + reduce levels of 3 + 1.
+        assert_eq!(g.len(), 9 + 3 + 1);
+        assert_eq!(g.sinks().len(), 1);
+        // All workers consume the single model item.
+        let model_consumers =
+            g.tasks().iter().filter(|t| t.inputs.contains(&crate::data::DataId(0))).count();
+        assert_eq!(model_consumers, 9);
+        // depth: workers -> level0 reduce -> final reduce.
+        assert_eq!(g.depth(), 3);
+    }
+
+    #[test]
+    fn broadcast_reduce_uneven_chunks() {
+        let g = broadcast_reduce(NodeId(0), 7, 4, 1 << 20, 1e9, 1 << 10);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn stencil_shape() {
+        let g = stencil(NodeId(0), 4, 3, 1 << 20, 1 << 12, 1e9);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.len(), 4 * 3);
+        assert_eq!(g.depth(), 3);
+        // Interior cells have 3 predecessors after iteration 0.
+        let t = g
+            .tasks()
+            .iter()
+            .find(|t| t.name == "cell1_1")
+            .expect("interior cell exists");
+        assert_eq!(g.preds(t.id).len(), 3);
+        // Border cells have 2.
+        let b = g.tasks().iter().find(|t| t.name == "cell1_0").expect("border cell");
+        assert_eq!(g.preds(b.id).len(), 2);
+    }
+
+    #[test]
+    fn stream_arrivals_increase() {
+        let mut rng = Rng::new(3);
+        let spec = StreamSpec { requests: 50, ..Default::default() };
+        let w = inference_stream(&mut rng, &spec);
+        assert_eq!(w.requests.len(), 50);
+        for pair in w.requests.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+        for (_, g) in &w.requests {
+            assert!(g.validate().is_ok());
+            assert_eq!(g.len(), 3);
+        }
+    }
+
+    #[test]
+    fn stream_rate_approximates() {
+        let mut rng = Rng::new(5);
+        let spec = StreamSpec { requests: 2000, rate_hz: 10.0, ..Default::default() };
+        let w = inference_stream(&mut rng, &spec);
+        let last = w.requests.last().unwrap().0.as_secs_f64();
+        let rate = 2000.0 / last;
+        assert!((rate - 10.0).abs() < 1.0, "rate {rate}");
+    }
+}

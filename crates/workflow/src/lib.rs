@@ -1,0 +1,26 @@
+//! # continuum-workflow
+//!
+//! Application substrate for the `coding-the-continuum` reproduction:
+//! tasks, data items, workflow DAGs, and the synthetic workload generators
+//! that stand in for production traces.
+//!
+//! A workflow is data-driven: tasks exchange named [`DataItem`]s, and the
+//! dependency graph is derived from who produces what. External inputs are
+//! born at a topology node (their *home*), which is what ties workloads to
+//! the continuum and makes "where should I compute?" a non-trivial
+//! question.
+
+#![warn(missing_docs)]
+
+pub mod dag;
+pub mod data;
+pub mod generators;
+pub mod task;
+
+pub use dag::{Dag, DagError};
+pub use data::{DataId, DataItem};
+pub use generators::{
+    analytics_pipeline, broadcast_reduce, fork_join, inference_stream, layered_random,
+    map_reduce, montage_like, stencil, LayeredSpec, PipelineSpec, StreamSpec, StreamWorkload,
+};
+pub use task::{Constraints, Task, TaskId};

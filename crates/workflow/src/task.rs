@@ -1,0 +1,93 @@
+//! Tasks: the units of placement and execution.
+
+use crate::data::DataId;
+use continuum_net::{NodeId, Tier};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a task within a [`crate::dag::Dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Placement constraints a task may carry.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Constraints {
+    /// Must run on a device attached to exactly this node (e.g. a capture
+    /// task bound to its sensor).
+    pub pinned_node: Option<NodeId>,
+    /// Only devices whose tier lies in `[min, max]` qualify.
+    pub tier_range: Option<(Tier, Tier)>,
+    /// Minimum device memory, bytes.
+    pub min_mem_bytes: u64,
+}
+
+impl Constraints {
+    /// No constraints.
+    pub fn none() -> Self {
+        Constraints::default()
+    }
+
+    /// Pin to a node.
+    pub fn pinned(node: NodeId) -> Self {
+        Constraints { pinned_node: Some(node), ..Default::default() }
+    }
+
+    /// Restrict to a tier range.
+    pub fn tiers(min: Tier, max: Tier) -> Self {
+        Constraints { tier_range: Some((min, max)), ..Default::default() }
+    }
+}
+
+/// A schedulable unit of work.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Task {
+    /// This task's index.
+    pub id: TaskId,
+    /// Human-readable name.
+    pub name: String,
+    /// Work in floating-point operations.
+    pub work_flops: f64,
+    /// Cores this task can use concurrently (≥ 1); clamped to the device.
+    pub parallelism: u32,
+    /// Data items consumed.
+    pub inputs: Vec<DataId>,
+    /// Data items produced (each item has exactly one producer).
+    pub outputs: Vec<DataId>,
+    /// Placement constraints.
+    pub constraints: Constraints,
+}
+
+impl Task {
+    /// Cores the task will occupy on a device with `device_cores` cores.
+    pub fn occupancy(&self, device_cores: u32) -> u32 {
+        self.parallelism.clamp(1, device_cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_clamped() {
+        let t = Task {
+            id: TaskId(0),
+            name: "t".into(),
+            work_flops: 1.0,
+            parallelism: 8,
+            inputs: vec![],
+            outputs: vec![],
+            constraints: Constraints::none(),
+        };
+        assert_eq!(t.occupancy(4), 4);
+        assert_eq!(t.occupancy(16), 8);
+        let t0 = Task { parallelism: 0, ..t };
+        assert_eq!(t0.occupancy(4), 1);
+    }
+}

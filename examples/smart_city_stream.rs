@@ -1,0 +1,77 @@
+//! Smart-city streaming inference across the continuum.
+//!
+//! ```sh
+//! cargo run --release --example smart_city_stream
+//! ```
+//!
+//! 256 sensors stream camera frames through `capture -> preprocess ->
+//! infer` request DAGs. Three online policies — keep everything at the
+//! edge, ship everything to the cloud, or decide per-request across the
+//! whole continuum — are compared on end-to-end latency percentiles at
+//! increasing arrival rates. This is the keynote's "where should I
+//! compute?" asked two hundred times a second.
+
+use continuum_core::prelude::*;
+use continuum_sim::Percentiles;
+
+fn run_policy(
+    world: &Continuum,
+    requests: &[(SimTime, Dag)],
+    mut placer: OnlinePlacer,
+) -> (String, f64, f64, f64) {
+    let name = placer.name().to_string();
+    let placed: Vec<(SimTime, Dag, Placement)> = requests
+        .iter()
+        .map(|(arrival, dag)| {
+            let (placement, _) = placer.place_request(world.env(), dag, *arrival);
+            (*arrival, dag.clone(), placement)
+        })
+        .collect();
+    let trace = world.run_stream(placed);
+    let mut p = Percentiles::new();
+    for l in trace.latencies_s() {
+        p.push(l);
+    }
+    let (p50, p95, p99) = p.p50_p95_p99().expect("non-empty stream");
+    (name, p50, p95, p99)
+}
+
+fn main() {
+    let world = Continuum::build(&Scenario::smart_city());
+    println!(
+        "smart city: {} sensors, {} edge gateways, {} fog sites, {} cloud nodes",
+        world.sensors().len(),
+        world.edges().len(),
+        world.fogs().len(),
+        world.clouds().len(),
+    );
+
+    for rate_hz in [2.0, 10.0, 40.0] {
+        let mut rng = Rng::new(2024);
+        let stream = inference_stream(
+            &mut rng,
+            &StreamSpec {
+                sensors: world.sensors().to_vec(),
+                requests: 300,
+                rate_hz,
+                frame_bytes: 200 << 10,
+                infer_flops: 2e9,
+            },
+        );
+        println!("\narrival rate {rate_hz:>5.1} req/s  (300 requests)");
+        println!("  {:<18} {:>9} {:>9} {:>9}", "policy", "p50 (s)", "p95 (s)", "p99 (s)");
+        for placer in [
+            OnlinePlacer::edge_only(world.env()),
+            OnlinePlacer::cloud_only(world.env()),
+            OnlinePlacer::continuum(world.env()),
+        ] {
+            let (name, p50, p95, p99) = run_policy(&world, &stream.requests, placer);
+            println!("  {name:<18} {p50:>9.4} {p95:>9.4} {p99:>9.4}");
+        }
+    }
+    println!(
+        "\nreading: at low rates cloud round-trips dominate (edge wins); as the rate\n\
+         climbs the edge saturates and queues (cloud wins); the continuum policy\n\
+         tracks the better of the two at every rate by deciding per request."
+    );
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the `coding-the-continuum` reproduction.
+//!
+//! Re-exports the public API of all member crates. Most users should depend
+//! on [`continuum_core`] directly; this crate exists to host the repository's
+//! integration tests and runnable examples.
+
+pub use continuum_core as core;
+pub use continuum_data as data;
+pub use continuum_fabric as fabric;
+pub use continuum_model as model;
+pub use continuum_net as net;
+pub use continuum_placement as placement;
+pub use continuum_runtime as runtime;
+pub use continuum_sim as sim;
+pub use continuum_workflow as workflow;

@@ -1,0 +1,175 @@
+//! Cross-crate integration tests: the full stack from scenario to
+//! simulated execution.
+
+use continuum_core::prelude::*;
+use continuum_placement::standard_lineup;
+
+/// Every policy in the standard line-up produces a schedule the contended
+/// simulator can execute, with dependencies respected, on every scenario.
+#[test]
+fn standard_lineup_runs_on_every_scenario() {
+    for scenario in [
+        Scenario::default_continuum(),
+        Scenario::smart_city(),
+        Scenario::science_campus(),
+    ] {
+        let world = Continuum::build(&scenario);
+        let dag = analytics_pipeline(&PipelineSpec {
+            source: world.sensors()[0],
+            ..Default::default()
+        });
+        for placer in standard_lineup() {
+            let report = world.run(&dag, placer.as_ref());
+            assert!(
+                report.trace.respects_dependencies(&[&dag]),
+                "{} on {}",
+                placer.name(),
+                scenario.name
+            );
+            assert!(report.simulated.makespan_s > 0.0);
+            assert!(report.simulated.energy_j > 0.0);
+        }
+    }
+}
+
+/// The simulated (contended) makespan never beats the contention-free
+/// estimate by more than rounding noise.
+#[test]
+fn contention_only_hurts() {
+    let world = Continuum::build(&Scenario::default_continuum());
+    let mut rng = Rng::new(3);
+    for seed in 0..5u64 {
+        let dag = layered_random(
+            &mut rng.split(seed),
+            &LayeredSpec { tasks: 60, ..Default::default() },
+        );
+        let report = world.run(&dag, &HeftPlacer::default());
+        assert!(
+            report.contention_factor() > 0.90,
+            "seed {seed}: factor {}",
+            report.contention_factor()
+        );
+    }
+}
+
+/// The scheduler ordering the experiments rely on: continuum-aware HEFT is
+/// never beaten by the naive baselines on random layered DAGs (simulated,
+/// not just estimated).
+#[test]
+fn heft_dominates_naive_baselines_simulated() {
+    let world = Continuum::build(&Scenario::default_continuum());
+    let mut master = Rng::new(17);
+    let mut heft_wins_vs_random = 0;
+    let mut heft_wins_vs_rr = 0;
+    const TRIALS: usize = 5;
+    for s in 0..TRIALS {
+        let dag = layered_random(
+            &mut master.split(s as u64),
+            &LayeredSpec { tasks: 100, ..Default::default() },
+        );
+        let heft = world.run(&dag, &HeftPlacer::default()).simulated.makespan_s;
+        let rand = world.run(&dag, &RandomPlacer::new(s as u64)).simulated.makespan_s;
+        let rr = world.run(&dag, &RoundRobinPlacer).simulated.makespan_s;
+        if heft <= rand {
+            heft_wins_vs_random += 1;
+        }
+        if heft <= rr {
+            heft_wins_vs_rr += 1;
+        }
+    }
+    assert_eq!(heft_wins_vs_random, TRIALS);
+    assert_eq!(heft_wins_vs_rr, TRIALS);
+}
+
+/// F1's crossover precondition: on tiny inputs edge-only beats cloud-only;
+/// on huge inputs cloud-only beats edge-only; HEFT at least matches the
+/// better of the two at both extremes.
+#[test]
+fn edge_cloud_crossover_exists() {
+    let world = Continuum::build(&Scenario::default_continuum());
+    let run = |bytes: u64, placer: &dyn Placer| {
+        let dag = analytics_pipeline(&PipelineSpec {
+            source: world.sensors()[0],
+            input_bytes: bytes,
+            ..Default::default()
+        });
+        world.run(&dag, placer).simulated.makespan_s
+    };
+    // The analytic crossover for the default parameters sits near ~40 KB
+    // (where the cloud's extra WAN latency equals the edge's extra compute
+    // time); bracket it from both sides.
+    let small = 8 << 10;
+    let large = 256 << 20;
+    let edge_small = run(small, &TierPlacer::edge_only());
+    let cloud_small = run(small, &TierPlacer::cloud_only());
+    let edge_large = run(large, &TierPlacer::edge_only());
+    let cloud_large = run(large, &TierPlacer::cloud_only());
+    assert!(edge_small < cloud_small, "edge {edge_small} !< cloud {cloud_small} at small input");
+    assert!(cloud_large < edge_large, "cloud {cloud_large} !< edge {edge_large} at large input");
+    let heft_small = run(small, &HeftPlacer::default());
+    let heft_large = run(large, &HeftPlacer::default());
+    assert!(heft_small <= edge_small * 1.01);
+    assert!(heft_large <= cloud_large * 1.01);
+}
+
+/// Full-stack determinism: identical seeds produce identical simulated
+/// metrics across independent reconstructions of everything.
+#[test]
+fn full_stack_deterministic() {
+    let run = || {
+        let world = Continuum::build(&Scenario::smart_city());
+        let mut rng = Rng::new(123);
+        let dag = layered_random(&mut rng, &LayeredSpec { tasks: 80, ..Default::default() });
+        let report = world.run(&dag, &HeftPlacer::default());
+        (
+            report.placement,
+            report.simulated.makespan_s,
+            report.simulated.energy_j,
+            report.simulated.bytes_moved,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+/// Streaming through the facade: the online continuum policy's simulated
+/// mean latency is no worse than both tier-locked baselines on a moderate
+/// stream.
+#[test]
+fn online_continuum_tracks_best_tier() {
+    let world = Continuum::build(&Scenario::default_continuum());
+    let mk_stream = || {
+        let mut rng = Rng::new(7);
+        inference_stream(
+            &mut rng,
+            &StreamSpec {
+                sensors: world.sensors().to_vec(),
+                requests: 60,
+                rate_hz: 5.0,
+                ..Default::default()
+            },
+        )
+    };
+    let mean_latency = |mut placer: OnlinePlacer| {
+        let stream = mk_stream();
+        let placed: Vec<_> = stream
+            .requests
+            .into_iter()
+            .map(|(arrival, dag)| {
+                let (p, _) = placer.place_request(world.env(), &dag, arrival);
+                (arrival, dag, p)
+            })
+            .collect();
+        let trace = world.run_stream(placed);
+        let l = trace.latencies_s();
+        l.iter().sum::<f64>() / l.len() as f64
+    };
+    let continuum = mean_latency(OnlinePlacer::continuum(world.env()));
+    let edge = mean_latency(OnlinePlacer::edge_only(world.env()));
+    let cloud = mean_latency(OnlinePlacer::cloud_only(world.env()));
+    assert!(
+        continuum <= edge.min(cloud) * 1.25,
+        "continuum {continuum} vs edge {edge} / cloud {cloud}"
+    );
+}

@@ -1,0 +1,83 @@
+//! Property-based tests over the full placement + execution stack.
+
+use continuum_core::prelude::*;
+use continuum_placement::evaluate;
+use continuum_sim::Rng;
+use proptest::prelude::*;
+
+fn small_world() -> Continuum {
+    Continuum::build(&Scenario::default_continuum())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any random layered DAG is valid, and HEFT schedules it with every
+    /// dependency respected, in estimate and in simulation.
+    #[test]
+    fn random_dags_schedule_validly(seed in any::<u64>(), n in 5usize..60, width in 1usize..10) {
+        let world = small_world();
+        let mut rng = Rng::new(seed);
+        let dag = layered_random(&mut rng, &LayeredSpec { tasks: n, width, ..Default::default() });
+        prop_assert!(dag.validate().is_ok());
+        let placement = world.place(&dag, &HeftPlacer::default());
+        let (sched, metrics) = evaluate(world.env(), &dag, &placement);
+        prop_assert!(sched.respects_dependencies(&dag));
+        prop_assert!(metrics.makespan_s > 0.0);
+        let report = world.run(&dag, &HeftPlacer::default());
+        prop_assert!(report.trace.respects_dependencies(&[&dag]));
+        prop_assert_eq!(report.trace.records.len(), dag.len());
+    }
+
+    /// Simulated makespan tracks the contention-free estimate from above
+    /// (contention can only add time) — up to two small, legitimate
+    /// sources of simulated *advantage*: the simulator's FIFO dispatch may
+    /// order same-device tasks better than the estimator's rank-order
+    /// insertion replay, and ECMP spreads concurrent flows over equal-cost
+    /// paths the canonical-path estimator doesn't know about. Empirically
+    /// these stay within a few percent; 10% is the alarm threshold.
+    #[test]
+    fn simulation_tracks_estimate_from_above(seed in any::<u64>()) {
+        let world = small_world();
+        let mut rng = Rng::new(seed);
+        let dag = layered_random(&mut rng, &LayeredSpec { tasks: 30, ..Default::default() });
+        let placement = world.place(&dag, &DataAwarePlacer);
+        let (_, est) = evaluate(world.env(), &dag, &placement);
+        let report = world.run(&dag, &DataAwarePlacer);
+        prop_assert!(
+            report.simulated.makespan_s >= est.makespan_s * 0.90,
+            "sim {} suspiciously below est {}", report.simulated.makespan_s, est.makespan_s
+        );
+    }
+
+    /// Every task of a pipeline with a pinned capture stays feasible: the
+    /// capture never leaves its sensor under any policy in the line-up.
+    #[test]
+    fn pinning_is_inviolable(policy_idx in 0usize..8, input_kb in 1u64..4096) {
+        let world = small_world();
+        let dag = analytics_pipeline(&PipelineSpec {
+            source: world.sensors()[0],
+            input_bytes: input_kb << 10,
+            ..Default::default()
+        });
+        let lineup = continuum_placement::standard_lineup();
+        let placer = &lineup[policy_idx % lineup.len()];
+        let placement = world.place(&dag, placer.as_ref());
+        let dev = placement.device(TaskId(0));
+        prop_assert_eq!(world.env().node_of(dev), world.sensors()[0]);
+    }
+
+    /// Metrics are internally consistent: non-negative, and bytes_moved is
+    /// zero iff no transfers were recorded.
+    #[test]
+    fn metrics_consistency(seed in any::<u64>()) {
+        let world = small_world();
+        let mut rng = Rng::new(seed);
+        let dag = layered_random(&mut rng, &LayeredSpec { tasks: 20, ..Default::default() });
+        let report = world.run(&dag, &GreedyEftPlacer::default());
+        let m = &report.simulated;
+        prop_assert!(m.makespan_s >= 0.0 && m.energy_j >= 0.0 && m.cost_usd >= 0.0);
+        prop_assert_eq!(m.bytes_moved == 0, report.trace.transfers == 0);
+        prop_assert_eq!(m.bytes_moved, report.trace.bytes_moved);
+    }
+}

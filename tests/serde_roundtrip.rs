@@ -1,0 +1,82 @@
+//! Serialization round-trips: workloads, topologies, placements, and
+//! traces survive JSON persistence bit-for-bit. This is the record/replay
+//! path: a workload + placement serialized today must simulate to the same
+//! result when replayed later.
+
+use continuum_core::prelude::*;
+use continuum_runtime::simulate;
+
+#[test]
+fn dag_roundtrips_and_replays_identically() {
+    let world = Continuum::build(&Scenario::default_continuum());
+    let mut rng = Rng::new(77);
+    let dag = layered_random(&mut rng, &LayeredSpec { tasks: 60, ..Default::default() });
+    let placement = world.place(&dag, &HeftPlacer::default());
+
+    let dag_json = serde_json::to_string(&dag).expect("dag serializes");
+    let placement_json = serde_json::to_string(&placement).expect("placement serializes");
+    let dag2: Dag = serde_json::from_str(&dag_json).expect("dag deserializes");
+    let placement2: Placement =
+        serde_json::from_str(&placement_json).expect("placement deserializes");
+
+    assert_eq!(dag.len(), dag2.len());
+    assert_eq!(dag.total_work(), dag2.total_work());
+    assert_eq!(dag.total_bytes(), dag2.total_bytes());
+    assert!(dag2.validate().is_ok());
+    assert_eq!(placement, placement2);
+
+    // Replay: identical simulated outcome.
+    let a = simulate(world.env(), &dag, &placement);
+    let b = simulate(world.env(), &dag2, &placement2);
+    assert_eq!(a.metrics.makespan_s, b.metrics.makespan_s);
+    assert_eq!(a.metrics.bytes_moved, b.metrics.bytes_moved);
+    assert_eq!(a.trace.records.len(), b.trace.records.len());
+}
+
+#[test]
+fn topology_roundtrips() {
+    let built = Scenario::smart_city().build();
+    let json = serde_json::to_string(&built.topology).expect("topology serializes");
+    let topo2: Topology = serde_json::from_str(&json).expect("topology deserializes");
+    assert_eq!(topo2.node_count(), built.topology.node_count());
+    assert_eq!(topo2.link_count(), built.topology.link_count());
+    assert!(topo2.is_connected());
+    // Routing over the revived topology matches.
+    let r1 = continuum_net::RouteTable::build(&built.topology);
+    let r2 = continuum_net::RouteTable::build(&topo2);
+    let a = built.sensors[0];
+    let b = built.clouds[0];
+    assert_eq!(r1.distance(a, b), r2.distance(a, b));
+}
+
+#[test]
+fn execution_trace_roundtrips() {
+    let world = Continuum::build(&Scenario::default_continuum());
+    let dag = analytics_pipeline(&PipelineSpec {
+        source: world.sensors()[0],
+        ..Default::default()
+    });
+    let report = world.run(&dag, &HeftPlacer::default());
+    let json = serde_json::to_string(&report.trace).expect("trace serializes");
+    let trace2: continuum_runtime::ExecutionTrace =
+        serde_json::from_str(&json).expect("trace deserializes");
+    assert_eq!(trace2.records.len(), report.trace.records.len());
+    assert_eq!(trace2.makespan(), report.trace.makespan());
+    assert_eq!(trace2.bytes_moved, report.trace.bytes_moved);
+}
+
+#[test]
+fn workload_specs_roundtrip() {
+    let spec = PipelineSpec::default();
+    let json = serde_json::to_string(&spec).expect("spec serializes");
+    let spec2: PipelineSpec = serde_json::from_str(&json).expect("spec deserializes");
+    assert_eq!(spec2.input_bytes, spec.input_bytes);
+
+    let lspec = LayeredSpec::default();
+    let json = serde_json::to_string(&lspec).expect("spec serializes");
+    let l2: LayeredSpec = serde_json::from_str(&json).expect("spec deserializes");
+    // Same spec + same seed -> identical workload.
+    let g1 = layered_random(&mut Rng::new(5), &lspec);
+    let g2 = layered_random(&mut Rng::new(5), &l2);
+    assert_eq!(g1.total_work(), g2.total_work());
+}
