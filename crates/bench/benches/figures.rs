@@ -44,7 +44,13 @@ fn f2_gilder(c: &mut Criterion) {
 fn f3_schedulers(c: &mut Criterion) {
     let world = Continuum::build(&Scenario::default_continuum());
     let mut rng = Rng::new(0xBE);
-    let dag = layered_random(&mut rng, &LayeredSpec { tasks: 200, ..Default::default() });
+    let dag = layered_random(
+        &mut rng,
+        &LayeredSpec {
+            tasks: 200,
+            ..Default::default()
+        },
+    );
     let mut g = c.benchmark_group("f3_place_200_tasks");
     g.bench_function("heft", |b| {
         b.iter(|| black_box(world.place(&dag, &HeftPlacer::default())))
@@ -52,7 +58,9 @@ fn f3_schedulers(c: &mut Criterion) {
     g.bench_function("heft_append_ablation", |b| {
         b.iter(|| black_box(world.place(&dag, &HeftPlacer { insertion: false })))
     });
-    g.bench_function("cpop", |b| b.iter(|| black_box(world.place(&dag, &CpopPlacer))));
+    g.bench_function("cpop", |b| {
+        b.iter(|| black_box(world.place(&dag, &CpopPlacer)))
+    });
     g.bench_function("greedy_eft", |b| {
         b.iter(|| black_box(world.place(&dag, &GreedyEftPlacer::default())))
     });
@@ -93,7 +101,14 @@ fn f4_streaming(c: &mut Criterion) {
 fn f5_scaling(c: &mut Criterion) {
     let world = Continuum::build(&Scenario::default_continuum());
     let mut rng = Rng::new(0xF5);
-    let dag = layered_random(&mut rng, &LayeredSpec { tasks: 800, width: 16, ..Default::default() });
+    let dag = layered_random(
+        &mut rng,
+        &LayeredSpec {
+            tasks: 800,
+            width: 16,
+            ..Default::default()
+        },
+    );
     c.bench_function("f5_heft_800_tasks", |b| {
         b.iter(|| black_box(world.place(&dag, &HeftPlacer::default())))
     });
@@ -102,8 +117,18 @@ fn f5_scaling(c: &mut Criterion) {
 fn f6_pareto(c: &mut Criterion) {
     let world = Continuum::build(&Scenario::default_continuum());
     let mut rng = Rng::new(0xF6);
-    let dag = layered_random(&mut rng, &LayeredSpec { tasks: 40, ..Default::default() });
-    let annealer = AnnealingPlacer { iters: 100, restarts: 2, ..Default::default() };
+    let dag = layered_random(
+        &mut rng,
+        &LayeredSpec {
+            tasks: 40,
+            ..Default::default()
+        },
+    );
+    let annealer = AnnealingPlacer {
+        iters: 100,
+        restarts: 2,
+        ..Default::default()
+    };
     c.bench_function("f6_anneal_100_iters_x2_restarts", |b| {
         b.iter(|| black_box(annealer.place(world.env(), &dag)))
     });
@@ -123,7 +148,8 @@ fn t2_datafabric(c: &mut Criterion) {
             for i in 0..500 {
                 let key = DataKey(rng.zipf(100, 1.1) as u64);
                 let dst = world.edges()[i % world.edges().len()];
-                svc.stage(world.topology(), &routes, SimTime::ZERO, key, dst).expect("stage");
+                svc.stage(world.topology(), &routes, SimTime::ZERO, key, dst)
+                    .expect("stage");
             }
             black_box(svc.bytes_on_wire())
         })
@@ -152,8 +178,14 @@ fn f7_fabric(c: &mut Criterion) {
     c.bench_function("f7_fabric_1000_invocations_locality", |b| {
         b.iter(|| {
             black_box(
-                run_fabric(world.env(), &registry, &endpoints, &invocations, RoutingPolicy::Locality)
-                    .completed,
+                run_fabric(
+                    world.env(),
+                    &registry,
+                    &endpoints,
+                    &invocations,
+                    RoutingPolicy::Locality,
+                )
+                .completed,
             )
         })
     });
@@ -184,11 +216,23 @@ fn f9_faults(c: &mut Criterion) {
     use continuum_runtime::{simulate_stream_with_faults, FaultSpec, StreamRequest};
     let world = Continuum::build(&Scenario::default_continuum());
     let mut rng = Rng::new(0xF9);
-    let dag = layered_random(&mut rng, &LayeredSpec { tasks: 80, ..Default::default() });
+    let dag = layered_random(
+        &mut rng,
+        &LayeredSpec {
+            tasks: 80,
+            ..Default::default()
+        },
+    );
     let placement = world.place(&dag, &HeftPlacer::default());
-    let reqs =
-        [StreamRequest { arrival: SimTime::ZERO, dag: dag.clone(), placement }];
-    let faults = FaultSpec { fail_prob: 0.1, ..Default::default() };
+    let reqs = [StreamRequest {
+        arrival: SimTime::ZERO,
+        dag: dag.clone(),
+        placement,
+    }];
+    let faults = FaultSpec {
+        fail_prob: 0.1,
+        ..Default::default()
+    };
     c.bench_function("f9_simulate_with_faults", |b| {
         b.iter(|| {
             black_box(
@@ -205,7 +249,13 @@ fn f10_dvfs(c: &mut Criterion) {
     let built = Scenario::default_continuum().build();
     let base = standard_fleet(&built);
     let mut rng = Rng::new(0xF10);
-    let dag = layered_random(&mut rng, &LayeredSpec { tasks: 100, ..Default::default() });
+    let dag = layered_random(
+        &mut rng,
+        &LayeredSpec {
+            tasks: 100,
+            ..Default::default()
+        },
+    );
     c.bench_function("f10_dvfs_one_frequency_point", |b| {
         b.iter(|| {
             let fleet = fleet_at_frequency(&base, 0.7);
@@ -238,10 +288,20 @@ fn f11_failures(c: &mut Criterion) {
 fn ablation_minmax(c: &mut Criterion) {
     let world = Continuum::build(&Scenario::default_continuum());
     let mut rng = Rng::new(0xAB);
-    let dag = layered_random(&mut rng, &LayeredSpec { tasks: 200, ..Default::default() });
+    let dag = layered_random(
+        &mut rng,
+        &LayeredSpec {
+            tasks: 200,
+            ..Default::default()
+        },
+    );
     let mut g = c.benchmark_group("minmax_vs_heft_200_tasks");
-    g.bench_function("min_min", |b| b.iter(|| black_box(world.place(&dag, &MinMinPlacer))));
-    g.bench_function("max_min", |b| b.iter(|| black_box(world.place(&dag, &MaxMinPlacer))));
+    g.bench_function("min_min", |b| {
+        b.iter(|| black_box(world.place(&dag, &MinMinPlacer)))
+    });
+    g.bench_function("max_min", |b| {
+        b.iter(|| black_box(world.place(&dag, &MaxMinPlacer)))
+    });
     g.finish();
 }
 

@@ -55,7 +55,11 @@ fn bench_flow_rates(c: &mut Criterion) {
     let paths: Vec<_> = built
         .sensors
         .iter()
-        .map(|&s| routes.path(&built.topology, s, built.clouds[0]).expect("path"))
+        .map(|&s| {
+            routes
+                .path(&built.topology, s, built.clouds[0])
+                .expect("path")
+        })
         .collect();
     c.bench_function("flow_network_32_concurrent_flows", |b| {
         b.iter_batched(
@@ -75,7 +79,13 @@ fn bench_eft_query(c: &mut Criterion) {
     let built = Scenario::default_continuum().build();
     let env = continuum_placement::Env::new(built.topology.clone(), standard_fleet(&built));
     let mut rng = SimRng::new(3);
-    let dag = layered_random(&mut rng, &LayeredSpec { tasks: 100, ..Default::default() });
+    let dag = layered_random(
+        &mut rng,
+        &LayeredSpec {
+            tasks: 100,
+            ..Default::default()
+        },
+    );
     c.bench_function("estimator_eft_scan_all_devices", |b| {
         let est = Estimator::new(&env, &dag);
         let sources = dag.sources();

@@ -10,7 +10,9 @@ fn lean(cores_devices: &[DeviceClass]) -> Env {
     let f = topo.add_node("fog", Tier::Fog);
     topo.add_link(e, f, SimDuration::from_millis(5), 1.25e8);
     let mut fleet = Fleet::new();
-    for &c in cores_devices { fleet.add_class(f, c); }
+    for &c in cores_devices {
+        fleet.add_class(f, c);
+    }
     fleet.add_class(e, DeviceClass::EdgeGateway);
     Env::new(topo, fleet)
 }
@@ -30,13 +32,25 @@ fn staggered(_env: &Env, n: usize, seed: u64) -> Dag {
             1,
             vec![inp],
             vec![out],
-            Constraints { min_mem_bytes: 16 << 30, ..Default::default() },
+            Constraints {
+                min_mem_bytes: 16 << 30,
+                ..Default::default()
+            },
         );
         outs.push(out);
     }
     let fin = g.add_item("final", 1024);
-    g.add_task_full("join", 1e9, 1, outs, vec![fin],
-        Constraints { min_mem_bytes: 16 << 30, ..Default::default() });
+    g.add_task_full(
+        "join",
+        1e9,
+        1,
+        outs,
+        vec![fin],
+        Constraints {
+            min_mem_bytes: 16 << 30,
+            ..Default::default()
+        },
+    );
     g
 }
 
@@ -48,13 +62,29 @@ fn main() {
             let dag = staggered(&env, n, 500 + rep);
             let s_ins = HeftPlacer { insertion: true }.schedule(&env, &dag);
             let s_app = HeftPlacer { insertion: false }.schedule(&env, &dag);
-            let diff = s_ins.start.iter().zip(&s_app.start).filter(|(a, b)| a != b).count();
+            let diff = s_ins
+                .start
+                .iter()
+                .zip(&s_app.start)
+                .filter(|(a, b)| a != b)
+                .count();
             let ins = s_ins.makespan().as_secs_f64();
             let app = s_app.makespan().as_secs_f64();
-            if rep == 0 { println!("  n={n} rep0: {diff} differing starts, ins={ins:.4} app={app:.4}"); }
+            if rep == 0 {
+                println!("  n={n} rep0: {diff} differing starts, ins={ins:.4} app={app:.4}");
+            }
             ratio += ins / app;
-            if ins < app * 0.999 { wins += 1 } else if ins > app * 1.001 { losses += 1 } else { ties += 1 }
+            if ins < app * 0.999 {
+                wins += 1
+            } else if ins > app * 1.001 {
+                losses += 1
+            } else {
+                ties += 1
+            }
         }
-        println!("n={n}: wins={wins} ties={ties} losses={losses} mean_ratio={:.4}", ratio / 8.0);
+        println!(
+            "n={n}: wins={wins} ties={ties} losses={losses} mean_ratio={:.4}",
+            ratio / 8.0
+        );
     }
 }

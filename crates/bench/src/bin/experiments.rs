@@ -45,7 +45,25 @@ fn emit(args: &Args, tables: &[Table], json_rows: serde_json::Value) {
 fn main() {
     let args = parse_args();
     let all = [
-        "t1", "t4", "t5", "f1", "f2", "f3", "f4", "f5", "f6", "t2", "f7", "t3", "f8", "f9", "f10", "f11", "f12", "f13", "ablations",
+        "t1",
+        "t4",
+        "t5",
+        "f1",
+        "f2",
+        "f3",
+        "f4",
+        "f5",
+        "f6",
+        "t2",
+        "f7",
+        "t3",
+        "f8",
+        "f9",
+        "f10",
+        "f11",
+        "f12",
+        "f13",
+        "ablations",
     ];
     let which: Vec<&str> = if args.which.is_empty() {
         all.to_vec()
@@ -57,7 +75,11 @@ fn main() {
         match w {
             "t1" => {
                 let t = exp::t1::run();
-                emit(&args, std::slice::from_ref(&t), serde_json::json!({"id": "t1"}));
+                emit(
+                    &args,
+                    std::slice::from_ref(&t),
+                    serde_json::json!({"id": "t1"}),
+                );
             }
             "t4" => {
                 let (t, rows) = exp::t4::run();
@@ -129,7 +151,11 @@ fn main() {
             }
             "ablations" => {
                 let (ts, rows) = exp::ablations::run();
-                emit(&args, &ts, serde_json::json!({"id": "ablations", "rows": rows}));
+                emit(
+                    &args,
+                    &ts,
+                    serde_json::json!({"id": "ablations", "rows": rows}),
+                );
             }
             other => {
                 eprintln!("unknown experiment '{other}' (try --help)");

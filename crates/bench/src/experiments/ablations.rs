@@ -48,7 +48,10 @@ fn staggered_fanout(n: usize, seed: u64) -> Dag {
     let edge_node = continuum_net::NodeId(0);
     let mut rng = Rng::new(seed);
     let mut g = Dag::new("staggered-fanout");
-    let mem = Constraints { min_mem_bytes: 16 << 30, ..Default::default() };
+    let mem = Constraints {
+        min_mem_bytes: 16 << 30,
+        ..Default::default()
+    };
     let mut outs = Vec::with_capacity(n);
     for i in 0..n {
         let bytes = rng.range_u64(1, 80) * (4 << 20);
@@ -104,8 +107,16 @@ pub fn run() -> (Vec<Table>, Vec<Row>) {
     mean_app /= REPS as f64;
     t1.row(vec!["insertion".into(), f(mean_ins)]);
     t1.row(vec!["append-only".into(), f(mean_app)]);
-    rows.push(Row { ablation: "slot-search".into(), config: "insertion".into(), value: mean_ins });
-    rows.push(Row { ablation: "slot-search".into(), config: "append-only".into(), value: mean_app });
+    rows.push(Row {
+        ablation: "slot-search".into(),
+        config: "insertion".into(),
+        value: mean_ins,
+    });
+    rows.push(Row {
+        ablation: "slot-search".into(),
+        config: "append-only".into(),
+        value: mean_app,
+    });
 
     // --- A2: how much does link sharing matter? --------------------------
     let mut t2 = Table::new(
@@ -131,8 +142,17 @@ pub fn run() -> (Vec<Table>, Vec<Row>) {
         let (_, est) = evaluate(world.env(), &dag, &placement);
         let sim = world.run(&dag, &HeftPlacer::default()).simulated;
         let factor = sim.makespan_s / est.makespan_s;
-        t2.row(vec![name.clone(), f(est.makespan_s), f(sim.makespan_s), format!("{factor:.3}")]);
-        rows.push(Row { ablation: "flow-model".into(), config: name, value: factor });
+        t2.row(vec![
+            name.clone(),
+            f(est.makespan_s),
+            f(sim.makespan_s),
+            format!("{factor:.3}"),
+        ]);
+        rows.push(Row {
+            ablation: "flow-model".into(),
+            config: name,
+            value: factor,
+        });
     }
 
     // --- A3: serverless cold starts ---------------------------------------
@@ -142,7 +162,12 @@ pub fn run() -> (Vec<Table>, Vec<Row>) {
     // is long; busy traffic amortizes it away.
     let mut t3 = Table::new(
         "A3 — fabric cold starts: p95 latency (s); sparse (0.05/s) vs busy (100/s)",
-        &["rate (/s)", "no cold start", "cold 1s / warm 10s", "cold 1s / warm 600s"],
+        &[
+            "rate (/s)",
+            "no cold start",
+            "cold 1s / warm 10s",
+            "cold 1s / warm 600s",
+        ],
     );
     {
         use continuum_fabric::{
@@ -186,9 +211,11 @@ pub fn run() -> (Vec<Table>, Vec<Row>) {
                 keep_warm: SimDuration::from_secs(600),
             }));
             t3.row(vec![f(rate), f(none), f(short), f(long)]);
-            for (cfg, v) in
-                [("none", none), ("cold1-warm10", short), ("cold1-warm600", long)]
-            {
+            for (cfg, v) in [
+                ("none", none),
+                ("cold1-warm10", short),
+                ("cold1-warm600", long),
+            ] {
                 rows.push(Row {
                     ablation: "cold-start".into(),
                     config: format!("{cfg}@{rate}"),
@@ -223,7 +250,10 @@ mod tests {
         // shows almost none.
         let shuffle = val("flow-model", "shuffle-heavy");
         let chain = val("flow-model", "pipeline");
-        assert!(shuffle >= chain * 0.99, "shuffle {shuffle} vs chain {chain}");
+        assert!(
+            shuffle >= chain * 0.99,
+            "shuffle {shuffle} vs chain {chain}"
+        );
         assert!(chain < 1.2, "chain should be contention-free: {chain}");
         // Cold starts: the sparse stream feels them hard with a short
         // keep-warm window, and a long window recovers most of the loss.

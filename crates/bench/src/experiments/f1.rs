@@ -9,6 +9,7 @@
 
 use crate::report::{bytes, f, Table};
 use continuum_core::prelude::*;
+use rayon::prelude::*;
 use serde::Serialize;
 
 /// One measured point.
@@ -38,45 +39,66 @@ pub fn sizes() -> Vec<u64> {
     ]
 }
 
-/// Run the sweep.
+/// Run the sweep. Sweep points are independent, so they run across rayon
+/// workers and are reassembled in size order.
 pub fn run() -> (Table, Vec<Row>) {
     let world = Continuum::build(&Scenario::default_continuum());
-    let policies: Vec<Box<dyn Placer>> = vec![
-        Box::new(TierPlacer::edge_only()),
-        Box::new(TierPlacer::cloud_only()),
-        Box::new(GreedyEftPlacer::default()),
-        Box::new(DataAwarePlacer),
-        Box::new(HeftPlacer::default()),
-    ];
+    let per_size: Vec<(Vec<String>, Vec<Row>)> = sizes()
+        .into_par_iter()
+        .map(|size| {
+            let policies: Vec<Box<dyn Placer>> = vec![
+                Box::new(TierPlacer::edge_only()),
+                Box::new(TierPlacer::cloud_only()),
+                Box::new(GreedyEftPlacer::default()),
+                Box::new(DataAwarePlacer),
+                Box::new(HeftPlacer::default()),
+            ];
+            let dag = analytics_pipeline(&PipelineSpec {
+                source: world.sensors()[0],
+                input_bytes: size,
+                ..Default::default()
+            });
+            let mut rows = Vec::new();
+            let mut cells = vec![bytes(size)];
+            let mut best: Option<(f64, String)> = None;
+            for p in &policies {
+                let report = world.run(&dag, p.as_ref());
+                let m = report.simulated;
+                cells.push(f(m.makespan_s));
+                if best
+                    .as_ref()
+                    .map(|(b, _)| m.makespan_s < *b)
+                    .unwrap_or(true)
+                {
+                    best = Some((m.makespan_s, p.name().to_string()));
+                }
+                rows.push(Row {
+                    input_bytes: size,
+                    policy: p.name().to_string(),
+                    makespan_s: m.makespan_s,
+                    bytes_moved: m.bytes_moved,
+                });
+            }
+            cells.push(best.expect("at least one policy").1);
+            (cells, rows)
+        })
+        .collect();
     let mut rows = Vec::new();
     let mut table = Table::new(
         "F1 — pipeline makespan (s) vs input size: the edge/cloud crossover",
-        &["input", "edge-only", "cloud-only", "greedy-eft", "data-aware", "heft", "winner"],
+        &[
+            "input",
+            "edge-only",
+            "cloud-only",
+            "greedy-eft",
+            "data-aware",
+            "heft",
+            "winner",
+        ],
     );
-    for &size in &sizes() {
-        let dag = analytics_pipeline(&PipelineSpec {
-            source: world.sensors()[0],
-            input_bytes: size,
-            ..Default::default()
-        });
-        let mut cells = vec![bytes(size)];
-        let mut best: Option<(f64, String)> = None;
-        for p in &policies {
-            let report = world.run(&dag, p.as_ref());
-            let m = report.simulated;
-            cells.push(f(m.makespan_s));
-            if best.as_ref().map(|(b, _)| m.makespan_s < *b).unwrap_or(true) {
-                best = Some((m.makespan_s, p.name().to_string()));
-            }
-            rows.push(Row {
-                input_bytes: size,
-                policy: p.name().to_string(),
-                makespan_s: m.makespan_s,
-                bytes_moved: m.bytes_moved,
-            });
-        }
-        cells.push(best.expect("at least one policy").1);
+    for (cells, mut r) in per_size {
         table.row(cells);
+        rows.append(&mut r);
     }
     (table, rows)
 }

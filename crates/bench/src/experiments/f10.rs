@@ -42,7 +42,11 @@ pub fn run() -> (Table, Vec<Row>) {
     let mut rng = Rng::new(0xF10);
     let dag = layered_random(
         &mut rng,
-        &LayeredSpec { tasks: 300, width: 32, ..Default::default() },
+        &LayeredSpec {
+            tasks: 300,
+            width: 32,
+            ..Default::default()
+        },
     );
 
     let mut rows = Vec::new();

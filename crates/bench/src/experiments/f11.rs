@@ -110,11 +110,12 @@ pub fn run() -> (Table, Vec<Row>) {
     let bytes = 32u64 << 20;
 
     // Healthy world and its placements.
-    let healthy_env =
-        continuum_placement::Env::new(topo.clone(), fleet_for(&topo));
+    let healthy_env = continuum_placement::Env::new(topo.clone(), fleet_for(&topo));
     let dags: Vec<Dag> = edges.iter().map(|&e| transcode_dag(e, bytes)).collect();
-    let healthy_placements: Vec<Placement> =
-        dags.iter().map(|d| HeftPlacer::default().place(&healthy_env, d)).collect();
+    let healthy_placements: Vec<Placement> = dags
+        .iter()
+        .map(|d| HeftPlacer::default().place(&healthy_env, d))
+        .collect();
     let mk_requests = |placements: &[Placement]| -> Vec<StreamRequest> {
         dags.iter()
             .zip(placements)
@@ -141,15 +142,21 @@ pub fn run() -> (Table, Vec<Row>) {
         .makespan()
         .as_secs_f64();
     // (b) Adaptive: HEFT re-places on the degraded network.
-    let adapted: Vec<Placement> =
-        dags.iter().map(|d| HeftPlacer::default().place(&degraded_env, d)).collect();
+    let adapted: Vec<Placement> = dags
+        .iter()
+        .map(|d| HeftPlacer::default().place(&degraded_env, d))
+        .collect();
     let adaptive_mk = simulate_stream(&degraded_env, &mk_requests(&adapted))
         .trace
         .makespan()
         .as_secs_f64();
 
     let rows = vec![
-        Row { config: "healthy".into(), makespan_s: healthy_mk, degradation: 1.0 },
+        Row {
+            config: "healthy".into(),
+            makespan_s: healthy_mk,
+            degradation: 1.0,
+        },
         Row {
             config: "primary-down, static placement".into(),
             makespan_s: static_mk,
@@ -166,7 +173,11 @@ pub fn run() -> (Table, Vec<Row>) {
         &["config", "makespan (s)", "vs healthy"],
     );
     for r in &rows {
-        table.row(vec![r.config.clone(), f(r.makespan_s), format!("{:.2}x", r.degradation)]);
+        table.row(vec![
+            r.config.clone(),
+            f(r.makespan_s),
+            format!("{:.2}x", r.degradation),
+        ]);
     }
     (table, rows)
 }
@@ -177,16 +188,28 @@ mod tests {
     fn failure_degrades_and_replacement_recovers() {
         let (_, rows) = super::run();
         let by = |c: &str| {
-            rows.iter().find(|r| r.config.starts_with(c)).map(|r| r.makespan_s).expect("row")
+            rows.iter()
+                .find(|r| r.config.starts_with(c))
+                .map(|r| r.makespan_s)
+                .expect("row")
         };
         let healthy = by("healthy");
         let stat = by("primary-down, static");
         let adaptive = by("primary-down, re-placed");
         // Graceful degradation: measurable, not a cliff.
-        assert!(stat > healthy * 1.2, "failure invisible: {stat} vs {healthy}");
+        assert!(
+            stat > healthy * 1.2,
+            "failure invisible: {stat} vs {healthy}"
+        );
         assert!(stat < healthy * 20.0, "cliff: {stat} vs {healthy}");
         // Re-deciding placement never hurts, and work still completes.
-        assert!(adaptive <= stat * 1.001, "re-placement hurt: {adaptive} vs {stat}");
-        assert!(adaptive >= healthy * 0.999, "degraded net outperformed healthy?");
+        assert!(
+            adaptive <= stat * 1.001,
+            "re-placement hurt: {adaptive} vs {stat}"
+        );
+        assert!(
+            adaptive >= healthy * 0.999,
+            "degraded net outperformed healthy?"
+        );
     }
 }

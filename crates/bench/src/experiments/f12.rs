@@ -76,15 +76,21 @@ pub fn run() -> (Table, Vec<Row>) {
                 .iter()
                 .map(|(arrival, dag)| {
                     let placement = if deadline_aware {
-                        placer.place_request_deadline(world.env(), dag, *arrival, slo()).0
+                        placer
+                            .place_request_deadline(world.env(), dag, *arrival, slo())
+                            .0
                     } else {
                         placer.place_request(world.env(), dag, *arrival).0
                     };
                     for task in dag.tasks() {
                         if task.constraints.pinned_node.is_none() {
                             unpinned += 1;
-                            let tier =
-                                world.env().fleet.device(placement.device(task.id)).spec.tier;
+                            let tier = world
+                                .env()
+                                .fleet
+                                .device(placement.device(task.id))
+                                .spec
+                                .tier;
                             if tier >= NetTier::Fog {
                                 off_edge += 1;
                             }
@@ -99,7 +105,12 @@ pub fn run() -> (Table, Vec<Row>) {
             let misses = lats.iter().filter(|&&l| l > slo_s).count();
             let row = Row {
                 rate_hz: rate,
-                policy: if deadline_aware { "deadline-aware" } else { "eager" }.into(),
+                policy: if deadline_aware {
+                    "deadline-aware"
+                } else {
+                    "eager"
+                }
+                .into(),
                 miss_fraction: misses as f64 / lats.len() as f64,
                 off_edge_fraction: off_edge as f64 / unpinned as f64,
             };
@@ -130,9 +141,12 @@ mod tests {
             let aware = get(rate, "deadline-aware");
             // The SLO holds (or nearly holds) under both policies at the
             // swept loads.
-            assert!(aware.miss_fraction <= eager.miss_fraction + 0.05,
+            assert!(
+                aware.miss_fraction <= eager.miss_fraction + 0.05,
                 "deadline-aware misses more at {rate}/s: {} vs {}",
-                aware.miss_fraction, eager.miss_fraction);
+                aware.miss_fraction,
+                eager.miss_fraction
+            );
             // The footprint saving is the point.
             assert!(
                 aware.off_edge_fraction <= eager.off_edge_fraction,

@@ -14,8 +14,8 @@
 use crate::report::{f, Table};
 use continuum_core::prelude::*;
 use continuum_fabric::{
-    endpoints_on, run_fabric_elastic, Autoscale, ColdStart, Endpoint, FunctionRegistry,
-    Invocation, RoutingPolicy,
+    endpoints_on, run_fabric_elastic, Autoscale, ColdStart, Endpoint, FunctionRegistry, Invocation,
+    RoutingPolicy,
 };
 use serde::Serialize;
 
@@ -79,11 +79,21 @@ pub fn run() -> (Table, Vec<Row>) {
         );
         assert_eq!(rep.completed, invocations.len() as u64);
         let (p50, _, p99) = rep.latency_percentiles();
-        Row { regime: regime.into(), p50_s: p50, p99_s: p99, slot_seconds: rep.slot_seconds }
+        Row {
+            regime: regime.into(),
+            p50_s: p50,
+            p99_s: p99,
+            slot_seconds: rep.slot_seconds,
+        }
     };
 
-    let static_min: Vec<Endpoint> =
-        endpoints.iter().map(|e| Endpoint { slots: 1, ..e.clone() }).collect();
+    let static_min: Vec<Endpoint> = endpoints
+        .iter()
+        .map(|e| Endpoint {
+            slots: 1,
+            ..e.clone()
+        })
+        .collect();
     let rows = vec![
         run_one(&endpoints, None, "static-max"),
         run_one(&static_min, None, "static-min"),
@@ -95,7 +105,12 @@ pub fn run() -> (Table, Vec<Row>) {
         &["regime", "p50 (s)", "p99 (s)", "slot-seconds"],
     );
     for r in &rows {
-        table.row(vec![r.regime.clone(), f(r.p50_s), f(r.p99_s), f(r.slot_seconds)]);
+        table.row(vec![
+            r.regime.clone(),
+            f(r.p50_s),
+            f(r.p99_s),
+            f(r.slot_seconds),
+        ]);
     }
     (table, rows)
 }
@@ -110,7 +125,12 @@ mod tests {
         let minr = by("static-min");
         let elastic = by("elastic");
         // Static-min pays in latency on bursts.
-        assert!(minr.p99_s > maxr.p99_s, "min {} !> max {}", minr.p99_s, maxr.p99_s);
+        assert!(
+            minr.p99_s > maxr.p99_s,
+            "min {} !> max {}",
+            minr.p99_s,
+            maxr.p99_s
+        );
         // Elastic: large provisioning saving vs static-max...
         assert!(
             elastic.slot_seconds < maxr.slot_seconds * 0.5,

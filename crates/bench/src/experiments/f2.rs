@@ -15,6 +15,7 @@ use crate::report::{f, Table};
 use continuum_core::prelude::*;
 use continuum_model::standard_fleet;
 use continuum_net::{mean_gilder_ratio, Tier};
+use rayon::prelude::*;
 use serde::Serialize;
 
 /// One measured point of the sweep.
@@ -32,85 +33,29 @@ pub struct Row {
 
 /// Bandwidth scale factors swept (finer steps around the knee).
 pub fn scales() -> Vec<f64> {
-    vec![0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 1.0, 10.0, 100.0, 1000.0]
+    vec![
+        0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 1.0, 10.0, 100.0, 1000.0,
+    ]
 }
 
-/// Run the sweep.
+/// Run the sweep. Each scale point rebuilds its own world and is fully
+/// independent, so points run across rayon workers; results are
+/// reassembled in sweep order.
 pub fn run() -> (Table, Vec<Row>) {
+    let per_scale: Vec<Row> = scales().into_par_iter().map(run_point).collect();
     let mut rows = Vec::new();
     let mut table = Table::new(
         "F2 — Gilder sweep: off-edge placement fraction vs network:compute ratio",
-        &["bw scale", "gilder (bit/flop)", "off-edge frac", "makespan (s)"],
+        &[
+            "bw scale",
+            "gilder (bit/flop)",
+            "off-edge frac",
+            "makespan (s)",
+        ],
     );
-    for &scale in &scales() {
-        let scenario = Scenario::default_continuum();
-        let mut built = scenario.build();
-        built.topology.scale_bandwidth(scale);
-        let fleet = standard_fleet(&built);
-        let world = Continuum::from_parts(built.clone(), fleet);
-
-        // Workload: heterogeneous layered DAGs born at the edge gateways.
-        // Task work and data sizes span two log-normal decades, so each
-        // task has its own break-even bandwidth and the off-edge fraction
-        // climbs gradually as the network speeds up.
-        let mut dags = Vec::new();
-        let mut rng = continuum_sim::Rng::new(0xF2);
-        for (i, &e) in built.edges.iter().enumerate() {
-            if i % 2 == 0 {
-                dags.push(layered_random(
-                    &mut rng,
-                    &LayeredSpec {
-                        tasks: 30,
-                        width: 6,
-                        work_sigma: 1.5,
-                        bytes_sigma: 1.5,
-                        source: e,
-                        // Allow every tier: the question is where work goes.
-                        min_mem_bytes: 0,
-                        ..Default::default()
-                    },
-                ));
-            }
-        }
-
-        let gilder = {
-            let compute_nodes: Vec<_> =
-                world.env().fleet.devices().iter().map(|d| d.node).collect();
-            mean_gilder_ratio(world.topology(), &compute_nodes, |n| {
-                world
-                    .env()
-                    .fleet
-                    .at_node(n)
-                    .first()
-                    .map(|&d| world.env().fleet.device(d).spec.flops)
-                    .unwrap_or(1.0)
-            })
-        };
-
-        let mut off_edge = 0usize;
-        let mut unpinned = 0usize;
-        let mut makespan: f64 = 0.0;
-        for dag in &dags {
-            let report = world.run(dag, &HeftPlacer::default());
-            makespan = makespan.max(report.simulated.makespan_s);
-            for task in dag.tasks() {
-                if task.constraints.pinned_node.is_none() {
-                    unpinned += 1;
-                    let dev = report.placement.device(task.id);
-                    if world.env().fleet.device(dev).spec.tier >= Tier::Fog {
-                        off_edge += 1;
-                    }
-                }
-            }
-        }
-        let row = Row {
-            bandwidth_scale: scale,
-            gilder_ratio: gilder,
-            off_edge_fraction: off_edge as f64 / unpinned as f64,
-            makespan_s: makespan,
-        };
+    for row in per_scale {
         table.row(vec![
-            format!("{scale}"),
+            format!("{}", row.bandwidth_scale),
             f(row.gilder_ratio),
             f(row.off_edge_fraction),
             f(row.makespan_s),
@@ -118,6 +63,75 @@ pub fn run() -> (Table, Vec<Row>) {
         rows.push(row);
     }
     (table, rows)
+}
+
+/// One point of the sweep.
+fn run_point(scale: f64) -> Row {
+    let scenario = Scenario::default_continuum();
+    let mut built = scenario.build();
+    built.topology.scale_bandwidth(scale);
+    let fleet = standard_fleet(&built);
+    let world = Continuum::from_parts(built.clone(), fleet);
+
+    // Workload: heterogeneous layered DAGs born at the edge gateways.
+    // Task work and data sizes span two log-normal decades, so each
+    // task has its own break-even bandwidth and the off-edge fraction
+    // climbs gradually as the network speeds up.
+    let mut dags = Vec::new();
+    let mut rng = continuum_sim::Rng::new(0xF2);
+    for (i, &e) in built.edges.iter().enumerate() {
+        if i % 2 == 0 {
+            dags.push(layered_random(
+                &mut rng,
+                &LayeredSpec {
+                    tasks: 30,
+                    width: 6,
+                    work_sigma: 1.5,
+                    bytes_sigma: 1.5,
+                    source: e,
+                    // Allow every tier: the question is where work goes.
+                    min_mem_bytes: 0,
+                    ..Default::default()
+                },
+            ));
+        }
+    }
+
+    let gilder = {
+        let compute_nodes: Vec<_> = world.env().fleet.devices().iter().map(|d| d.node).collect();
+        mean_gilder_ratio(world.topology(), &compute_nodes, |n| {
+            world
+                .env()
+                .fleet
+                .at_node(n)
+                .first()
+                .map(|&d| world.env().fleet.device(d).spec.flops)
+                .unwrap_or(1.0)
+        })
+    };
+
+    let mut off_edge = 0usize;
+    let mut unpinned = 0usize;
+    let mut makespan: f64 = 0.0;
+    for dag in &dags {
+        let report = world.run(dag, &HeftPlacer::default());
+        makespan = makespan.max(report.simulated.makespan_s);
+        for task in dag.tasks() {
+            if task.constraints.pinned_node.is_none() {
+                unpinned += 1;
+                let dev = report.placement.device(task.id);
+                if world.env().fleet.device(dev).spec.tier >= Tier::Fog {
+                    off_edge += 1;
+                }
+            }
+        }
+    }
+    Row {
+        bandwidth_scale: scale,
+        gilder_ratio: gilder,
+        off_edge_fraction: off_edge as f64 / unpinned as f64,
+        makespan_s: makespan,
+    }
 }
 
 #[cfg(test)]

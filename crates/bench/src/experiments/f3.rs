@@ -50,8 +50,16 @@ pub fn run() -> (Table, Vec<Row>) {
     let mut table = Table::new(
         "F3 — makespan normalized to HEFT on random layered DAGs",
         &[
-            "tasks", "random", "round-robin", "data-aware", "greedy-eft", "min-min",
-            "max-min", "cpop", "peft", "heft (s)",
+            "tasks",
+            "random",
+            "round-robin",
+            "data-aware",
+            "greedy-eft",
+            "min-min",
+            "max-min",
+            "cpop",
+            "peft",
+            "heft (s)",
         ],
     );
     for &n in &sizes() {
@@ -61,7 +69,11 @@ pub fn run() -> (Table, Vec<Row>) {
             let mut rng = Rng::new(0xF3_000 + rep);
             let dag = layered_random(
                 &mut rng,
-                &LayeredSpec { tasks: n, width: 8, ..Default::default() },
+                &LayeredSpec {
+                    tasks: n,
+                    width: 8,
+                    ..Default::default()
+                },
             );
             for (i, p) in policies.iter().enumerate() {
                 means[i] += world.run(&dag, p.as_ref()).simulated.makespan_s;
@@ -100,7 +112,13 @@ mod tests {
                 assert!((r.norm_to_heft - 1.0).abs() < 1e-9);
             }
             // Nothing beats HEFT by more than noise on average.
-            assert!(r.norm_to_heft > 0.95, "{} at n={} is {}", r.policy, r.tasks, r.norm_to_heft);
+            assert!(
+                r.norm_to_heft > 0.95,
+                "{} at n={} is {}",
+                r.policy,
+                r.tasks,
+                r.norm_to_heft
+            );
         }
         // Random is clearly worst at the largest size.
         let at = |policy: &str, n: usize| {

@@ -105,7 +105,13 @@ pub fn run() -> (Table, Vec<Row>) {
             }
             let (p50, p95, p99) = perc.p50_p95_p99().expect("non-empty stream");
             table.row(vec![f(rate), name.clone(), f(p50), f(p95), f(p99)]);
-            rows.push(Row { rate_hz: rate, policy: name, p50_s: p50, p95_s: p95, p99_s: p99 });
+            rows.push(Row {
+                rate_hz: rate,
+                policy: name,
+                p50_s: p50,
+                p95_s: p95,
+                p99_s: p99,
+            });
         }
     }
     (table, rows)

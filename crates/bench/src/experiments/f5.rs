@@ -31,8 +31,13 @@ pub fn sizes() -> Vec<usize> {
 
 /// Thread counts for the annealing-speedup measurement.
 pub fn threads() -> Vec<usize> {
-    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    [1usize, 2, 4, 8].into_iter().filter(|&t| t <= max.max(1)).collect()
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t <= max.max(1))
+        .collect()
 }
 
 /// Run both measurements. Returns two tables (throughput, speedup).
@@ -47,7 +52,11 @@ pub fn run() -> (Vec<Table>, Vec<Row>) {
         let mut rng = Rng::new(0xF5);
         let dag = layered_random(
             &mut rng,
-            &LayeredSpec { tasks: n, width: 16, ..Default::default() },
+            &LayeredSpec {
+                tasks: n,
+                width: 16,
+                ..Default::default()
+            },
         );
         let t0 = Instant::now();
         let placement = world.place(&dag, &HeftPlacer::default());
@@ -55,7 +64,12 @@ pub fn run() -> (Vec<Table>, Vec<Row>) {
         assert_eq!(placement.assignment.len(), n);
         let thpt = n as f64 / secs;
         table.row(vec![n.to_string(), f(secs), f(thpt)]);
-        rows.push(Row { kind: "heft-throughput".into(), param: n, seconds: secs, value: thpt });
+        rows.push(Row {
+            kind: "heft-throughput".into(),
+            param: n,
+            seconds: secs,
+            value: thpt,
+        });
     }
 
     let mut table_b = Table::new(
@@ -65,9 +79,17 @@ pub fn run() -> (Vec<Table>, Vec<Row>) {
     let mut rng = Rng::new(0xF5B);
     let dag = layered_random(
         &mut rng,
-        &LayeredSpec { tasks: 120, width: 8, ..Default::default() },
+        &LayeredSpec {
+            tasks: 120,
+            width: 8,
+            ..Default::default()
+        },
     );
-    let annealer = AnnealingPlacer { iters: 150, restarts: 8, ..Default::default() };
+    let annealer = AnnealingPlacer {
+        iters: 150,
+        restarts: 8,
+        ..Default::default()
+    };
     let mut base = None;
     for &t in &threads() {
         let pool = rayon::ThreadPoolBuilder::new()
@@ -82,7 +104,12 @@ pub fn run() -> (Vec<Table>, Vec<Row>) {
         let base_secs = *base.get_or_insert(secs);
         let speedup = base_secs / secs;
         table_b.row(vec![t.to_string(), f(secs), format!("{speedup:.2}x")]);
-        rows.push(Row { kind: "anneal-speedup".into(), param: t, seconds: secs, value: speedup });
+        rows.push(Row {
+            kind: "anneal-speedup".into(),
+            param: t,
+            seconds: secs,
+            value: speedup,
+        });
     }
 
     (vec![table, table_b], rows)
@@ -98,7 +125,10 @@ mod tests {
             assert!(r.value > 0.0);
         }
         // The engine should schedule at least hundreds of tasks/second.
-        let thpt: Vec<_> = rows.iter().filter(|r| r.kind == "heft-throughput").collect();
+        let thpt: Vec<_> = rows
+            .iter()
+            .filter(|r| r.kind == "heft-throughput")
+            .collect();
         assert!(thpt.iter().any(|r| r.value > 100.0));
     }
 }

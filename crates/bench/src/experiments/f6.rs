@@ -81,7 +81,11 @@ pub fn run() -> (Table, Vec<Row>) {
     let mut rows: Vec<Row> = Vec::new();
     for &(wt, we, wc) in &weights() {
         let annealer = AnnealingPlacer {
-            objective: WeightedObjective { w_time: wt, w_energy: we, w_cost: wc },
+            objective: WeightedObjective {
+                w_time: wt,
+                w_energy: we,
+                w_cost: wc,
+            },
             iters: 500,
             restarts: 4,
             seed: 0xF6,
@@ -120,7 +124,11 @@ pub fn run() -> (Table, Vec<Row>) {
     let front = pareto_front(&metrics);
     let mut seen: Vec<(u64, u64, u64)> = Vec::new();
     for (r, m) in rows.iter_mut().zip(&metrics) {
-        let key = (m.makespan_s.to_bits(), m.energy_j.to_bits(), m.cost_usd.to_bits());
+        let key = (
+            m.makespan_s.to_bits(),
+            m.energy_j.to_bits(),
+            m.cost_usd.to_bits(),
+        );
         let is_front = front.iter().any(|p| {
             p.makespan_s == m.makespan_s && p.energy_j == m.energy_j && p.cost_usd == m.cost_usd
         });
@@ -132,7 +140,15 @@ pub fn run() -> (Table, Vec<Row>) {
 
     let mut table = Table::new(
         "F6 — annealed placements across objective weights (Pareto front marked)",
-        &["w_time", "w_energy", "w_cost", "makespan (s)", "energy (J)", "cost ($)", "front"],
+        &[
+            "w_time",
+            "w_energy",
+            "w_cost",
+            "makespan (s)",
+            "energy (J)",
+            "cost ($)",
+            "front",
+        ],
     );
     for r in &rows {
         table.row(vec![

@@ -50,7 +50,15 @@ pub fn run() -> (Table, Vec<Row>) {
     let mut rows = Vec::new();
     let mut table = Table::new(
         "F7 — fabric throughput / latency / balance vs offered load",
-        &["policy", "rate (/s)", "eps", "thpt (/s)", "p50 (s)", "p99 (s)", "jain"],
+        &[
+            "policy",
+            "rate (/s)",
+            "eps",
+            "thpt (/s)",
+            "p50 (s)",
+            "p99 (s)",
+            "jain",
+        ],
     );
     for &rate in &rates() {
         let mut rng = Rng::new(0xF7);

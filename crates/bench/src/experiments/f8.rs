@@ -83,7 +83,13 @@ pub fn run() -> (Table, Vec<Row>) {
     let mut rows = Vec::new();
     let mut table = Table::new(
         "F8 — facility design: shifting capacity between edge and cloud",
-        &["edges/fog", "clouds", "batch makespan (s)", "stream p95 (s)", "score"],
+        &[
+            "edges/fog",
+            "clouds",
+            "batch makespan (s)",
+            "stream p95 (s)",
+            "score",
+        ],
     );
     for &(epf, clouds) in &splits() {
         let world = build_world(epf, clouds);

@@ -40,7 +40,13 @@ pub fn probs() -> Vec<f64> {
 pub fn run() -> (Table, Vec<Row>) {
     let world = Continuum::build(&Scenario::default_continuum());
     let mut rng = Rng::new(0xF9);
-    let dag = layered_random(&mut rng, &LayeredSpec { tasks: 120, ..Default::default() });
+    let dag = layered_random(
+        &mut rng,
+        &LayeredSpec {
+            tasks: 120,
+            ..Default::default()
+        },
+    );
     let placement = world.place(&dag, &HeftPlacer::default());
     let reqs = [StreamRequest {
         arrival: SimTime::ZERO,
@@ -52,7 +58,13 @@ pub fn run() -> (Table, Vec<Row>) {
     let mut baseline: Option<(f64, f64)> = None;
     let mut table = Table::new(
         "F9 — makespan inflation vs per-attempt task failure probability",
-        &["fail prob", "makespan (s)", "inflation", "retries", "energy overhead"],
+        &[
+            "fail prob",
+            "makespan (s)",
+            "inflation",
+            "retries",
+            "energy overhead",
+        ],
     );
     for &p in &probs() {
         let faults = FaultSpec {
@@ -91,8 +103,16 @@ mod tests {
         assert_eq!(rows[0].retries, 0);
         assert!((rows[0].inflation - 1.0).abs() < 1e-12);
         let last = rows.last().expect("rows");
-        assert!(last.retries > 10, "too few failures injected: {}", last.retries);
-        assert!(last.inflation > 1.1, "failures did not hurt: {}", last.inflation);
+        assert!(
+            last.retries > 10,
+            "too few failures injected: {}",
+            last.retries
+        );
+        assert!(
+            last.inflation > 1.1,
+            "failures did not hurt: {}",
+            last.inflation
+        );
         assert!(last.energy_overhead > 1.05);
         // Weak monotonicity across the sweep (allowing one local dip from
         // discrete retry timing).

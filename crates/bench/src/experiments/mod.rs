@@ -2,6 +2,10 @@
 
 pub mod ablations;
 pub mod f1;
+pub mod f10;
+pub mod f11;
+pub mod f12;
+pub mod f13;
 pub mod f2;
 pub mod f3;
 pub mod f4;
@@ -10,10 +14,6 @@ pub mod f6;
 pub mod f7;
 pub mod f8;
 pub mod f9;
-pub mod f10;
-pub mod f11;
-pub mod f12;
-pub mod f13;
 pub mod t1;
 pub mod t2;
 pub mod t3;

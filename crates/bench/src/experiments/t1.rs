@@ -11,7 +11,17 @@ use continuum_model::catalog;
 pub fn run() -> Table {
     let mut t = Table::new(
         "T1 — device catalog (the continuum's hardware classes)",
-        &["class", "tier", "cores", "Gflop/s", "memory", "idle W", "busy W", "$/h", "egress $/GB"],
+        &[
+            "class",
+            "tier",
+            "cores",
+            "Gflop/s",
+            "memory",
+            "idle W",
+            "busy W",
+            "$/h",
+            "egress $/GB",
+        ],
     );
     for spec in catalog::all() {
         t.row(vec![

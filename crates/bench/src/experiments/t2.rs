@@ -62,17 +62,29 @@ pub fn run() -> (Table, Vec<Row>) {
     let rows = vec![
         run_one(
             &world,
-            StagingConfig { cache_bytes: 0, replicate: false, ..Default::default() },
+            StagingConfig {
+                cache_bytes: 0,
+                replicate: false,
+                ..Default::default()
+            },
             "no-cache",
         ),
         run_one(
             &world,
-            StagingConfig { cache_bytes: 256 << 20, replicate: false, ..Default::default() },
+            StagingConfig {
+                cache_bytes: 256 << 20,
+                replicate: false,
+                ..Default::default()
+            },
             "lru-cache",
         ),
         run_one(
             &world,
-            StagingConfig { cache_bytes: 256 << 20, replicate: true, ..Default::default() },
+            StagingConfig {
+                cache_bytes: 256 << 20,
+                replicate: true,
+                ..Default::default()
+            },
             "cache+replication",
         ),
     ];
@@ -101,7 +113,10 @@ mod tests {
         let lru = by("lru-cache");
         let coop = by("cache+replication");
         assert_eq!(none.hit_rate, 0.0);
-        assert!(lru.bytes_on_wire * 2 < none.bytes_on_wire, "cache saved < 2x");
+        assert!(
+            lru.bytes_on_wire * 2 < none.bytes_on_wire,
+            "cache saved < 2x"
+        );
         assert!(lru.hit_rate > 0.4);
         // Cooperative replication shortens miss paths: mean stage-in time
         // must not regress versus plain caching.

@@ -48,24 +48,42 @@ pub fn run() -> (Table, Vec<Row>) {
                 ..Default::default()
             }),
         ),
-        ("fork-join".into(), fork_join(world.sensors()[1], 8, 1 << 20, 4e10, 1 << 16)),
+        (
+            "fork-join".into(),
+            fork_join(world.sensors()[1], 8, 1 << 20, 4e10, 1 << 16),
+        ),
         (
             "layered".into(),
-            layered_random(&mut rng, &LayeredSpec { tasks: 40, ..Default::default() }),
+            layered_random(
+                &mut rng,
+                &LayeredSpec {
+                    tasks: 40,
+                    ..Default::default()
+                },
+            ),
         ),
     ];
 
     let mut rows = Vec::new();
     let mut table = Table::new(
         "T3 — estimator vs simulator vs real executor",
-        &["workflow", "tasks", "estimate (s)", "simulated (s)", "real (s)", "real err"],
+        &[
+            "workflow",
+            "tasks",
+            "estimate (s)",
+            "simulated (s)",
+            "real (s)",
+            "real err",
+        ],
     );
     for (name, dag) in workloads {
         let placement = world.place(&dag, &HeftPlacer::default());
         let (_, est) = evaluate(world.env(), &dag, &placement);
         let sim = world.run(&dag, &HeftPlacer::default()).simulated;
-        let real = RealExecutor { time_scale: TIME_SCALE }
-            .execute(world.env(), &dag, &placement);
+        let real = RealExecutor {
+            time_scale: TIME_SCALE,
+        }
+        .execute(world.env(), &dag, &placement);
         let err = (real.virtual_makespan_s - est.makespan_s).abs() / est.makespan_s;
         table.row(vec![
             name.clone(),

@@ -36,7 +36,15 @@ pub fn run() -> (Table, Vec<Row>) {
     let mut rows = Vec::new();
     let mut table = Table::new(
         "T4 — scenario characterization",
-        &["scenario", "nodes", "links", "diameter (ms)", "sensor→cloud (ms)", "Tflop/s", "gilder (bit/flop)"],
+        &[
+            "scenario",
+            "nodes",
+            "links",
+            "diameter (ms)",
+            "sensor→cloud (ms)",
+            "Tflop/s",
+            "gilder (bit/flop)",
+        ],
     );
     for scenario in [
         Scenario::default_continuum(),

@@ -55,7 +55,12 @@ pub fn run() -> (Table, Vec<Row>) {
                 let mut prev = g.add_input("in", 1 << 20, src);
                 for i in 0..12 {
                     let out = g.add_item(format!("d{i}"), rng.range_u64(1, 4) << 20);
-                    g.add_task(format!("t{i}"), rng.lognormal((1e10f64).ln(), 0.5), vec![prev], vec![out]);
+                    g.add_task(
+                        format!("t{i}"),
+                        rng.lognormal((1e10f64).ln(), 0.5),
+                        vec![prev],
+                        vec![out],
+                    );
                     prev = out;
                 }
                 g
@@ -67,7 +72,11 @@ pub fn run() -> (Table, Vec<Row>) {
                 let mut rng = Rng::new(seed);
                 layered_random(
                     &mut rng,
-                    &LayeredSpec { tasks: 60, source: edge, ..Default::default() },
+                    &LayeredSpec {
+                        tasks: 60,
+                        source: edge,
+                        ..Default::default()
+                    },
                 )
             }),
         ),

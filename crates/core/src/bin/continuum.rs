@@ -55,7 +55,11 @@ fn workload_by_name(world: &Continuum, name: &str, input_mb: u64, seed: u64) -> 
             let mut rng = Rng::new(seed);
             layered_random(
                 &mut rng,
-                &LayeredSpec { tasks: 120, source: world.edges()[0], ..Default::default() },
+                &LayeredSpec {
+                    tasks: 120,
+                    source: world.edges()[0],
+                    ..Default::default()
+                },
             )
         }
         _ => return None,
@@ -63,11 +67,28 @@ fn workload_by_name(world: &Continuum, name: &str, input_mb: u64, seed: u64) -> 
 }
 
 const SCENARIOS: [&str; 3] = ["default", "smart-city", "science-campus"];
-const WORKLOADS: [&str; 7] =
-    ["pipeline", "montage", "map-reduce", "fork-join", "broadcast-reduce", "stencil", "layered"];
+const WORKLOADS: [&str; 7] = [
+    "pipeline",
+    "montage",
+    "map-reduce",
+    "fork-join",
+    "broadcast-reduce",
+    "stencil",
+    "layered",
+];
 const POLICIES: [&str; 12] = [
-    "random", "round-robin", "edge-only", "cloud-only", "greedy-eft", "data-aware", "min-min",
-    "max-min", "cpop", "peft", "heft", "anneal",
+    "random",
+    "round-robin",
+    "edge-only",
+    "cloud-only",
+    "greedy-eft",
+    "data-aware",
+    "min-min",
+    "max-min",
+    "cpop",
+    "peft",
+    "heft",
+    "anneal",
 ];
 
 fn usage() -> ! {
@@ -132,7 +153,9 @@ fn print_report(policy: &str, report: &RunReport) {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = argv.split_first() else { usage() };
+    let Some((cmd, rest)) = argv.split_first() else {
+        usage()
+    };
     match cmd.as_str() {
         "list" => {
             println!("scenarios: {SCENARIOS:?}");

@@ -132,7 +132,11 @@ impl Continuum {
     pub fn run_stream(&self, requests: Vec<(SimTime, Dag, Placement)>) -> ExecutionTrace {
         let reqs: Vec<StreamRequest> = requests
             .into_iter()
-            .map(|(arrival, dag, placement)| StreamRequest { arrival, dag, placement })
+            .map(|(arrival, dag, placement)| StreamRequest {
+                arrival,
+                dag,
+                placement,
+            })
             .collect();
         simulate_stream(&self.env, &reqs).trace
     }

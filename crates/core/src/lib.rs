@@ -29,14 +29,14 @@ pub mod prelude {
     pub use continuum_net::{ContinuumSpec, LinkSpec, NodeId, Tier, Topology};
     pub use continuum_placement::{
         AnnealingPlacer, CpopPlacer, DataAwarePlacer, Env, GreedyEftPlacer, HeftPlacer,
-        MaxMinPlacer, Metrics, MinMinPlacer, OnlinePlacer, PeftPlacer, Placement, Placer, RandomPlacer,
-        RoundRobinPlacer, TierPlacer, WeightedObjective,
+        MaxMinPlacer, Metrics, MinMinPlacer, OnlinePlacer, PeftPlacer, Placement, Placer,
+        RandomPlacer, RoundRobinPlacer, TierPlacer, WeightedObjective,
     };
     pub use continuum_runtime::{simulate, simulate_stream, RealExecutor, StreamRequest};
     pub use continuum_sim::{Rng, SimDuration, SimTime};
     pub use continuum_workflow::{
         analytics_pipeline, broadcast_reduce, fork_join, inference_stream, layered_random,
-        map_reduce, montage_like, stencil, Constraints, Dag, LayeredSpec, PipelineSpec,
-        StreamSpec, Task, TaskId,
+        map_reduce, montage_like, stencil, Constraints, Dag, LayeredSpec, PipelineSpec, StreamSpec,
+        Task, TaskId,
     };
 }

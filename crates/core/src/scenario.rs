@@ -21,7 +21,10 @@ impl Scenario {
     /// The balanced default: 2 fog sites, 8 edges, 32 sensors, 4 clouds,
     /// 2 HPC nodes.
     pub fn default_continuum() -> Scenario {
-        Scenario { name: "default", spec: ContinuumSpec::default() }
+        Scenario {
+            name: "default",
+            spec: ContinuumSpec::default(),
+        }
     }
 
     /// City-scale sensing: many sensors and edge gateways, thin uplinks, a

@@ -95,7 +95,14 @@ impl SiteCache {
             self.evictions += 1;
             evicted.push(lru);
         }
-        self.entries.insert(key, CacheEntry { bytes, last_used: self.tick, pinned: false });
+        self.entries.insert(
+            key,
+            CacheEntry {
+                bytes,
+                last_used: self.tick,
+                pinned: false,
+            },
+        );
         self.used += bytes;
         evicted
     }
@@ -125,7 +132,11 @@ impl SiteCache {
 
     /// Bytes held by pinned entries.
     pub fn pinned_bytes(&self) -> u64 {
-        self.entries.values().filter(|e| e.pinned).map(|e| e.bytes).sum()
+        self.entries
+            .values()
+            .filter(|e| e.pinned)
+            .map(|e| e.bytes)
+            .sum()
     }
 
     /// Bytes currently cached.

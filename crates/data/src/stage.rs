@@ -98,7 +98,9 @@ impl StagingService {
 
     fn cache_for(&mut self, node: NodeId) -> &mut SiteCache {
         let cap = self.config.cache_bytes;
-        self.caches.entry(node).or_insert_with(|| SiteCache::new(cap))
+        self.caches
+            .entry(node)
+            .or_insert_with(|| SiteCache::new(cap))
     }
 
     /// Make `key` present at `dst` starting at `now`.
@@ -115,20 +117,29 @@ impl StagingService {
         // 1. Resident replica at the destination?
         if self.catalog.replicas(key).iter().any(|r| r.node == dst) {
             self.local_hits += 1;
-            return Ok(StageOutcome { ready_at: now, source: None, hit: true });
+            return Ok(StageOutcome {
+                ready_at: now,
+                source: None,
+                hit: true,
+            });
         }
         // 2. Site cache?
         if self.config.cache_bytes > 0 && self.cache_for(dst).get(key) {
             self.local_hits += 1;
-            return Ok(StageOutcome { ready_at: now, source: None, hit: true });
+            return Ok(StageOutcome {
+                ready_at: now,
+                source: None,
+                hit: true,
+            });
         }
         // 3. Pull from the cheapest replica.
         let (replica, _) = self
             .catalog
             .best_replica(topo, routes, key, dst)
             .ok_or(TransferError::Unreachable)?;
-        let rec =
-            self.xfer.transfer(topo, routes, now, key, replica.node, dst, replica.bytes)?;
+        let rec = self
+            .xfer
+            .transfer(topo, routes, now, key, replica.node, dst, replica.bytes)?;
         let latency = rec.completed_at.since(now).as_secs_f64();
         self.total_latency_s += latency;
         // 4. Populate cache (and maybe the catalog).
@@ -141,7 +152,11 @@ impl StagingService {
                 }
             }
         }
-        Ok(StageOutcome { ready_at: rec.completed_at, source: Some(replica.node), hit: false })
+        Ok(StageOutcome {
+            ready_at: rec.completed_at,
+            source: Some(replica.node),
+            hit: false,
+        })
     }
 
     /// Stage `key` at `dst` and pin it in the site cache so it can never
@@ -250,11 +265,15 @@ mod tests {
         let (topo, rt, hub, spokes) = world();
         let mut svc =
             StagingService::new(seeded_catalog(hub, 4, 100_000), StagingConfig::default(), 1);
-        let o1 = svc.stage(&topo, &rt, SimTime::ZERO, DataKey(0), spokes[0]).unwrap();
+        let o1 = svc
+            .stage(&topo, &rt, SimTime::ZERO, DataKey(0), spokes[0])
+            .unwrap();
         assert!(!o1.hit);
         assert_eq!(o1.source, Some(hub));
         assert!(o1.ready_at > SimTime::ZERO);
-        let o2 = svc.stage(&topo, &rt, o1.ready_at, DataKey(0), spokes[0]).unwrap();
+        let o2 = svc
+            .stage(&topo, &rt, o1.ready_at, DataKey(0), spokes[0])
+            .unwrap();
         assert!(o2.hit);
         assert_eq!(o2.ready_at, o1.ready_at);
         assert!((svc.hit_rate() - 0.5).abs() < 1e-12);
@@ -263,10 +282,15 @@ mod tests {
     #[test]
     fn no_cache_always_transfers() {
         let (topo, rt, hub, spokes) = world();
-        let cfg = StagingConfig { cache_bytes: 0, ..Default::default() };
+        let cfg = StagingConfig {
+            cache_bytes: 0,
+            ..Default::default()
+        };
         let mut svc = StagingService::new(seeded_catalog(hub, 1, 50_000), cfg, 1);
         for _ in 0..5 {
-            let o = svc.stage(&topo, &rt, SimTime::ZERO, DataKey(0), spokes[0]).unwrap();
+            let o = svc
+                .stage(&topo, &rt, SimTime::ZERO, DataKey(0), spokes[0])
+                .unwrap();
             assert!(!o.hit);
         }
         assert_eq!(svc.hit_rate(), 0.0);
@@ -276,15 +300,21 @@ mod tests {
     #[test]
     fn replication_serves_siblings_from_nearest() {
         let (topo, rt, hub, spokes) = world();
-        let cfg = StagingConfig { replicate: true, ..Default::default() };
+        let cfg = StagingConfig {
+            replicate: true,
+            ..Default::default()
+        };
         let mut svc = StagingService::new(seeded_catalog(hub, 1, 10_000), cfg, 1);
         // Spoke 0 pulls; now spoke 0 holds a replica.
-        svc.stage(&topo, &rt, SimTime::ZERO, DataKey(0), spokes[0]).unwrap();
+        svc.stage(&topo, &rt, SimTime::ZERO, DataKey(0), spokes[0])
+            .unwrap();
         // Hub is 1 hop from any spoke; spoke0 is 2 hops. Best replica for
         // spoke1 is still the hub, but spoke0's copy exists in the catalog.
         assert_eq!(svc.catalog.replicas(DataKey(0)).len(), 2);
         // Staging *to the hub itself* is now a resident-replica hit.
-        let o = svc.stage(&topo, &rt, SimTime::ZERO, DataKey(0), hub).unwrap();
+        let o = svc
+            .stage(&topo, &rt, SimTime::ZERO, DataKey(0), hub)
+            .unwrap();
         assert!(o.hit);
     }
 
@@ -297,10 +327,12 @@ mod tests {
             ..Default::default()
         };
         let mut svc = StagingService::new(seeded_catalog(hub, 3, 100_000), cfg, 1);
-        svc.stage(&topo, &rt, SimTime::ZERO, DataKey(0), spokes[0]).unwrap();
+        svc.stage(&topo, &rt, SimTime::ZERO, DataKey(0), spokes[0])
+            .unwrap();
         assert_eq!(svc.catalog.replicas(DataKey(0)).len(), 2);
         // Key 1 evicts key 0 (capacity 150 KB, objects 100 KB).
-        svc.stage(&topo, &rt, SimTime::ZERO, DataKey(1), spokes[0]).unwrap();
+        svc.stage(&topo, &rt, SimTime::ZERO, DataKey(1), spokes[0])
+            .unwrap();
         assert_eq!(svc.catalog.replicas(DataKey(0)).len(), 1);
         assert_eq!(svc.catalog.replicas(DataKey(0))[0].node, hub);
     }
@@ -311,13 +343,18 @@ mod tests {
         let n_keys = 50u64;
         let accesses = 400;
         let run = |cache_bytes: u64| -> u64 {
-            let cfg = StagingConfig { cache_bytes, replicate: false, ..Default::default() };
+            let cfg = StagingConfig {
+                cache_bytes,
+                replicate: false,
+                ..Default::default()
+            };
             let mut svc = StagingService::new(seeded_catalog(hub, n_keys, 10_000), cfg, 9);
             let mut rng = continuum_sim::Rng::new(42);
             for i in 0..accesses {
                 let k = rng.zipf(n_keys as usize, 1.2) as u64;
                 let dst = spokes[i % spokes.len()];
-                svc.stage(&topo, &rt, SimTime::ZERO, DataKey(k), dst).unwrap();
+                svc.stage(&topo, &rt, SimTime::ZERO, DataKey(k), dst)
+                    .unwrap();
             }
             svc.bytes_on_wire()
         };
@@ -336,7 +373,12 @@ mod pin_prefetch_tests {
     use continuum_net::{LinkSpec, RouteTable, Topology};
     use continuum_sim::SimDuration;
 
-    fn world() -> (Topology, RouteTable, continuum_net::NodeId, Vec<continuum_net::NodeId>) {
+    fn world() -> (
+        Topology,
+        RouteTable,
+        continuum_net::NodeId,
+        Vec<continuum_net::NodeId>,
+    ) {
         let (topo, hub, spokes) =
             continuum_net::star(3, LinkSpec::new(SimDuration::from_millis(10), 1e6));
         let rt = RouteTable::build(&topo);
@@ -350,18 +392,26 @@ mod pin_prefetch_tests {
         for k in 0..10u64 {
             cat.register(DataKey(k), hub, 60_000);
         }
-        let cfg = StagingConfig { cache_bytes: 150_000, replicate: false, ..Default::default() };
+        let cfg = StagingConfig {
+            cache_bytes: 150_000,
+            replicate: false,
+            ..Default::default()
+        };
         let mut svc = StagingService::new(cat, cfg, 1);
-        svc.stage_pinned(&topo, &rt, SimTime::ZERO, DataKey(0), spokes[0]).unwrap();
+        svc.stage_pinned(&topo, &rt, SimTime::ZERO, DataKey(0), spokes[0])
+            .unwrap();
         // Churn through every other object repeatedly.
         for round in 0..3 {
             for k in 1..10u64 {
                 let _ = round;
-                svc.stage(&topo, &rt, SimTime::ZERO, DataKey(k), spokes[0]).unwrap();
+                svc.stage(&topo, &rt, SimTime::ZERO, DataKey(k), spokes[0])
+                    .unwrap();
             }
         }
         // The pinned object is still a local hit.
-        let out = svc.stage(&topo, &rt, SimTime::ZERO, DataKey(0), spokes[0]).unwrap();
+        let out = svc
+            .stage(&topo, &rt, SimTime::ZERO, DataKey(0), spokes[0])
+            .unwrap();
         assert!(out.hit, "pinned object was evicted");
         assert!(svc.unpin(spokes[0], DataKey(0)));
     }
@@ -375,7 +425,9 @@ mod pin_prefetch_tests {
         }
         let mut svc = StagingService::new(cat, StagingConfig::default(), 1);
         let keys: Vec<DataKey> = (0..5).map(DataKey).collect();
-        let ready = svc.prefetch(&topo, &rt, SimTime::ZERO, &keys, spokes[1]).unwrap();
+        let ready = svc
+            .prefetch(&topo, &rt, SimTime::ZERO, &keys, spokes[1])
+            .unwrap();
         assert!(ready > SimTime::ZERO);
         // Statistics untouched by the prefetch...
         assert_eq!(svc.requests, 0);

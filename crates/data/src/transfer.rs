@@ -104,9 +104,18 @@ impl TransferManager {
         bytes: u64,
     ) -> Result<TransferRecord, TransferError> {
         if src == dst {
-            return Ok(TransferRecord { key, src, dst, bytes, attempts: 0, completed_at: now });
+            return Ok(TransferRecord {
+                key,
+                src,
+                dst,
+                bytes,
+                attempts: 0,
+                completed_at: now,
+            });
         }
-        let path = routes.path(topo, src, dst).ok_or(TransferError::Unreachable)?;
+        let path = routes
+            .path(topo, src, dst)
+            .ok_or(TransferError::Unreachable)?;
         let one_attempt: SimDuration = path.transfer_time(bytes);
         let mut t = now;
         for attempt in 1..=self.max_attempts {
@@ -132,7 +141,9 @@ impl TransferManager {
                 });
             }
         }
-        Err(TransferError::IntegrityExhausted { attempts: self.max_attempts })
+        Err(TransferError::IntegrityExhausted {
+            attempts: self.max_attempts,
+        })
     }
 }
 
@@ -154,7 +165,9 @@ mod tests {
     fn clean_transfer_time() {
         let (t, rt, a, b) = pair();
         let mut tm = TransferManager::reliable(1);
-        let rec = tm.transfer(&t, &rt, SimTime::ZERO, DataKey(1), a, b, 1_000_000).unwrap();
+        let rec = tm
+            .transfer(&t, &rt, SimTime::ZERO, DataKey(1), a, b, 1_000_000)
+            .unwrap();
         assert_eq!(rec.attempts, 1);
         // 10ms + 1s serialization.
         assert!((rec.completed_at.as_secs_f64() - 1.01).abs() < 1e-6);
@@ -165,7 +178,9 @@ mod tests {
     fn same_node_is_free() {
         let (t, rt, a, _) = pair();
         let mut tm = TransferManager::reliable(1);
-        let rec = tm.transfer(&t, &rt, SimTime::from_secs(5), DataKey(1), a, a, 123).unwrap();
+        let rec = tm
+            .transfer(&t, &rt, SimTime::from_secs(5), DataKey(1), a, a, 123)
+            .unwrap();
         assert_eq!(rec.completed_at, SimTime::from_secs(5));
         assert_eq!(tm.bytes_on_wire, 0);
     }
@@ -176,8 +191,9 @@ mod tests {
         let mut tm = TransferManager::new(7, 0.5, 20);
         let mut total_attempts = 0;
         for k in 0..50 {
-            let rec =
-                tm.transfer(&t, &rt, SimTime::ZERO, DataKey(k), a, b, 1000).unwrap();
+            let rec = tm
+                .transfer(&t, &rt, SimTime::ZERO, DataKey(k), a, b, 1000)
+                .unwrap();
             total_attempts += rec.attempts;
         }
         // Expected ~2 attempts per transfer at p=0.5.

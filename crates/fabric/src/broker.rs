@@ -197,8 +197,10 @@ pub fn run_fabric_elastic(
     // every endpoint pays the cold-start tax.
     let mut warm_until: Vec<SimTime> = vec![SimTime::ZERO; n_ep];
     // Per-endpoint slot-availability estimates for the Locality policy.
-    let mut lane_est: Vec<Vec<SimTime>> =
-        endpoints.iter().map(|e| vec![SimTime::ZERO; e.slots as usize]).collect();
+    let mut lane_est: Vec<Vec<SimTime>> = endpoints
+        .iter()
+        .map(|e| vec![SimTime::ZERO; e.slots as usize])
+        .collect();
     let mut rr_next = 0usize;
 
     let mut assigned_ep: Vec<usize> = vec![usize::MAX; invocations.len()];
@@ -225,36 +227,39 @@ pub fn run_fabric_elastic(
                     RoutingPolicy::LeastOutstanding => (0..n_ep)
                         .min_by_key(|&e| (outstanding[e], e))
                         .expect("endpoints non-empty"),
-                    RoutingPolicy::Locality => (0..n_ep)
-                        .map(|e| {
-                            let dev = &env.fleet.device(endpoints[e].device);
-                            let ep_node = dev.node;
-                            let tin = env
-                                .path(inv.origin, ep_node)
-                                .expect("disconnected topology")
-                                .transfer_time(spec.in_bytes);
-                            let tout = env
-                                .path(ep_node, inv.origin)
-                                .expect("disconnected topology")
-                                .transfer_time(spec.out_bytes);
-                            let exec = dev
-                                .spec
-                                .compute_time_parallel(spec.work_flops, spec.parallelism);
-                            let mut lanes = lane_est[e].clone();
-                            lanes.sort_unstable();
-                            let start = (now + tin).max(lanes[0]);
-                            (start + exec + tout, e)
-                        })
-                        .min()
-                        .expect("endpoints non-empty")
-                        .1,
+                    RoutingPolicy::Locality => {
+                        (0..n_ep)
+                            .map(|e| {
+                                let dev = &env.fleet.device(endpoints[e].device);
+                                let ep_node = dev.node;
+                                let tin = env
+                                    .path(inv.origin, ep_node)
+                                    .expect("disconnected topology")
+                                    .transfer_time(spec.in_bytes);
+                                let tout = env
+                                    .path(ep_node, inv.origin)
+                                    .expect("disconnected topology")
+                                    .transfer_time(spec.out_bytes);
+                                let exec = dev
+                                    .spec
+                                    .compute_time_parallel(spec.work_flops, spec.parallelism);
+                                let mut lanes = lane_est[e].clone();
+                                lanes.sort_unstable();
+                                let start = (now + tin).max(lanes[0]);
+                                (start + exec + tout, e)
+                            })
+                            .min()
+                            .expect("endpoints non-empty")
+                            .1
+                    }
                 };
                 assigned_ep[i] = ep;
                 outstanding[ep] += 1;
                 // Update the locality estimate for the chosen endpoint.
                 let dev = &env.fleet.device(endpoints[ep].device);
-                let exec =
-                    dev.spec.compute_time_parallel(spec.work_flops, spec.parallelism);
+                let exec = dev
+                    .spec
+                    .compute_time_parallel(spec.work_flops, spec.parallelism);
                 let tin = env
                     .path(inv.origin, dev.node)
                     .expect("disconnected topology")
@@ -280,8 +285,17 @@ pub fn run_fabric_elastic(
                     }
                 }
                 try_start(
-                    env, registry, endpoints, &mut queue, &mut scale, &mut waiting, ep, now,
-                    invocations, cold, &mut warm_until,
+                    env,
+                    registry,
+                    endpoints,
+                    &mut queue,
+                    &mut scale,
+                    &mut waiting,
+                    ep,
+                    now,
+                    invocations,
+                    cold,
+                    &mut warm_until,
                 );
             }
             Ev::ExecDone { ep, inv } => {
@@ -295,8 +309,17 @@ pub fn run_fabric_elastic(
                     .transfer_time(spec.out_bytes);
                 queue.schedule_at(now + tout, Ev::ResponseBack { inv: i });
                 try_start(
-                    env, registry, endpoints, &mut queue, &mut scale, &mut waiting, ep, now,
-                    invocations, cold, &mut warm_until,
+                    env,
+                    registry,
+                    endpoints,
+                    &mut queue,
+                    &mut scale,
+                    &mut waiting,
+                    ep,
+                    now,
+                    invocations,
+                    cold,
+                    &mut warm_until,
                 );
                 // Elastic scale-down: queue drained, spare slots idle.
                 if let Some(a) = autoscale {
@@ -317,7 +340,12 @@ pub fn run_fabric_elastic(
         }
     }
 
-    let end_time = done_at.iter().flatten().copied().max().unwrap_or(SimTime::ZERO);
+    let end_time = done_at
+        .iter()
+        .flatten()
+        .copied()
+        .max()
+        .unwrap_or(SimTime::ZERO);
     let completed = latencies.len() as u64;
     let span = end_time.as_secs_f64();
     let slot_seconds: f64 = scale
@@ -329,7 +357,11 @@ pub fn run_fabric_elastic(
         .sum();
     FabricReport {
         completed,
-        throughput_hz: if span > 0.0 { completed as f64 / span } else { 0.0 },
+        throughput_hz: if span > 0.0 {
+            completed as f64 / span
+        } else {
+            0.0
+        },
         jain: jain_fairness(&per_endpoint.iter().map(|&c| c as f64).collect::<Vec<_>>()),
         per_endpoint,
         latencies_s: latencies,
@@ -381,11 +413,15 @@ fn try_start(
     warm_until: &mut [SimTime],
 ) {
     while scale[ep].busy < scale[ep].active {
-        let Some(inv) = waiting[ep].pop_front() else { break };
+        let Some(inv) = waiting[ep].pop_front() else {
+            break;
+        };
         scale[ep].busy += 1;
         let spec = registry.get(invocations[inv].function);
         let dev = &env.fleet.device(endpoints[ep].device);
-        let mut exec = dev.spec.compute_time_parallel(spec.work_flops, spec.parallelism);
+        let mut exec = dev
+            .spec
+            .compute_time_parallel(spec.work_flops, spec.parallelism);
         if let Some(cs) = cold {
             // Endpoint-level warmth: one cold boot warms the whole pool.
             if now > warm_until[ep] {
@@ -566,13 +602,13 @@ mod cold_tests {
                 keep_warm: SimDuration::from_secs(60),
             }),
         );
-        let boots = cold
-            .latencies_s
-            .iter()
-            .filter(|&&l| l > 2.0)
-            .count();
+        let boots = cold.latencies_s.iter().filter(|&&l| l > 2.0).count();
         // At most one boot per endpoint touched.
-        assert!(boots <= eps.len(), "boots {boots} > endpoints {}", eps.len());
+        assert!(
+            boots <= eps.len(),
+            "boots {boots} > endpoints {}",
+            eps.len()
+        );
         assert!(boots >= 1);
     }
 }

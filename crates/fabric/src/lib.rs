@@ -15,7 +15,7 @@ pub mod broker;
 pub mod registry;
 
 pub use broker::{
-    endpoints_on, run_fabric, run_fabric_cfg, run_fabric_elastic, Autoscale, ColdStart,
-    Endpoint, EndpointId, FabricReport, Invocation, RoutingPolicy,
+    endpoints_on, run_fabric, run_fabric_cfg, run_fabric_elastic, Autoscale, ColdStart, Endpoint,
+    EndpointId, FabricReport, Invocation, RoutingPolicy,
 };
 pub use registry::{FunctionId, FunctionRegistry, FunctionSpec};

@@ -10,7 +10,10 @@ use proptest::prelude::*;
 fn world() -> (Env, Vec<continuum_net::NodeId>) {
     let built = continuum(&ContinuumSpec::default());
     let sensors = built.sensors.clone();
-    (Env::new(built.topology.clone(), standard_fleet(&built)), sensors)
+    (
+        Env::new(built.topology.clone(), standard_fleet(&built)),
+        sensors,
+    )
 }
 
 proptest! {

@@ -91,7 +91,7 @@ pub fn spec(class: DeviceClass) -> DeviceSpec {
         DeviceClass::GpuAccelerator => DeviceSpec {
             class,
             tier: Tier::Cloud,
-            cores: 8, // task slots (MIG-style partitions)
+            cores: 8,    // task slots (MIG-style partitions)
             flops: 7e12, // 7 Tflop/s FP64 (V100 class)
             mem_bytes: 32 << 30,
             idle_watts: 50.0,
@@ -115,7 +115,10 @@ mod tests {
     fn compute_spans_orders_of_magnitude() {
         let mote = spec(DeviceClass::SensorMote).flops;
         let hpc = spec(DeviceClass::HpcNode).flops;
-        assert!(hpc / mote > 1e5, "continuum should span >= 5 orders of magnitude");
+        assert!(
+            hpc / mote > 1e5,
+            "continuum should span >= 5 orders of magnitude"
+        );
     }
 
     #[test]
@@ -130,12 +133,7 @@ mod tests {
             DeviceClass::HpcNode,
         ];
         for w in order.windows(2) {
-            assert!(
-                spec(w[0]).flops < spec(w[1]).flops,
-                "{} !< {}",
-                w[0],
-                w[1]
-            );
+            assert!(spec(w[0]).flops < spec(w[1]).flops, "{} !< {}", w[0], w[1]);
         }
     }
 

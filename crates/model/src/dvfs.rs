@@ -83,7 +83,10 @@ mod tests {
         let scaled = fleet_at_frequency(&fleet, 0.6);
         assert_eq!(scaled.len(), 1);
         assert_eq!(scaled.device(crate::DeviceId(0)).node, n);
-        assert!(scaled.device(crate::DeviceId(0)).spec.flops < fleet.device(crate::DeviceId(0)).spec.flops);
+        assert!(
+            scaled.device(crate::DeviceId(0)).spec.flops
+                < fleet.device(crate::DeviceId(0)).spec.flops
+        );
     }
 
     #[test]

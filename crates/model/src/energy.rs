@@ -13,8 +13,8 @@ use serde::{Deserialize, Serialize};
 /// Accumulates busy-time energy per device.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct EnergyMeter {
-    busy_joules: Vec<f64>,   // indexed by DeviceId
-    busy_seconds: Vec<f64>,  // core-seconds of busy time
+    busy_joules: Vec<f64>,  // indexed by DeviceId
+    busy_seconds: Vec<f64>, // core-seconds of busy time
 }
 
 impl EnergyMeter {
@@ -52,8 +52,11 @@ impl EnergyMeter {
     /// Total energy including idle draw of every device over `makespan`
     /// (the whole fleet is assumed powered for the whole run).
     pub fn total_joules_with_idle(&self, fleet: &Fleet, makespan: SimDuration) -> f64 {
-        let idle: f64 =
-            fleet.devices().iter().map(|d| d.spec.idle_watts * makespan.as_secs_f64()).sum();
+        let idle: f64 = fleet
+            .devices()
+            .iter()
+            .map(|d| d.spec.idle_watts * makespan.as_secs_f64())
+            .sum();
         idle + self.total_busy_joules()
     }
 

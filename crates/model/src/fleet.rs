@@ -63,17 +63,28 @@ impl Fleet {
 
     /// Devices attached to a node.
     pub fn at_node(&self, node: NodeId) -> &[DeviceId] {
-        self.by_node.get(node.0 as usize).map(Vec::as_slice).unwrap_or(&[])
+        self.by_node
+            .get(node.0 as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Devices whose spec tier equals `tier`.
     pub fn in_tier(&self, tier: Tier) -> Vec<DeviceId> {
-        self.devices.iter().filter(|d| d.spec.tier == tier).map(|d| d.id).collect()
+        self.devices
+            .iter()
+            .filter(|d| d.spec.tier == tier)
+            .map(|d| d.id)
+            .collect()
     }
 
     /// Devices whose spec tier is `<= tier` (e.g. "edge or closer").
     pub fn at_or_below(&self, tier: Tier) -> Vec<DeviceId> {
-        self.devices.iter().filter(|d| d.spec.tier <= tier).map(|d| d.id).collect()
+        self.devices
+            .iter()
+            .filter(|d| d.spec.tier <= tier)
+            .map(|d| d.id)
+            .collect()
     }
 
     /// Total fleet compute speed, flop/s.
@@ -126,7 +137,11 @@ mod tests {
         let built = continuum_net::continuum(&ContinuumSpec::default());
         let fleet = standard_fleet(&built);
         for tier in Tier::ALL {
-            assert!(!fleet.in_tier(tier).is_empty(), "no devices in {}", tier.label());
+            assert!(
+                !fleet.in_tier(tier).is_empty(),
+                "no devices in {}",
+                tier.label()
+            );
         }
         // One device per node, plus the extra GPU on cloud0.
         assert_eq!(fleet.len(), built.topology.node_count() + 1);

@@ -22,7 +22,10 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// Convenience constructor.
     pub fn new(latency: SimDuration, bandwidth_bps: f64) -> Self {
-        LinkSpec { latency, bandwidth_bps }
+        LinkSpec {
+            latency,
+            bandwidth_bps,
+        }
     }
 }
 
@@ -109,16 +112,23 @@ pub fn continuum(spec: &ContinuumSpec) -> BuiltContinuum {
     let mut edges = Vec::new();
     let mut sensors = Vec::new();
 
-    let clouds: Vec<NodeId> =
-        (0..spec.clouds).map(|i| t.add_node(format!("cloud{i}"), Tier::Cloud)).collect();
+    let clouds: Vec<NodeId> = (0..spec.clouds)
+        .map(|i| t.add_node(format!("cloud{i}"), Tier::Cloud))
+        .collect();
     for i in 0..spec.clouds {
         for j in (i + 1)..spec.clouds {
-            t.add_link(clouds[i], clouds[j], spec.cloud_cloud.latency, spec.cloud_cloud.bandwidth_bps);
+            t.add_link(
+                clouds[i],
+                clouds[j],
+                spec.cloud_cloud.latency,
+                spec.cloud_cloud.bandwidth_bps,
+            );
         }
     }
 
-    let hpcs: Vec<NodeId> =
-        (0..spec.hpcs).map(|i| t.add_node(format!("hpc{i}"), Tier::Hpc)).collect();
+    let hpcs: Vec<NodeId> = (0..spec.hpcs)
+        .map(|i| t.add_node(format!("hpc{i}"), Tier::Hpc))
+        .collect();
     for &h in &hpcs {
         if let Some(&c0) = clouds.first() {
             t.add_link(h, c0, spec.cloud_hpc.latency, spec.cloud_hpc.bandwidth_bps);
@@ -135,16 +145,79 @@ pub fn continuum(spec: &ContinuumSpec) -> BuiltContinuum {
         for e in 0..spec.edges_per_fog {
             let edge = t.add_node(format!("edge{f}_{e}"), Tier::Edge);
             edges.push(edge);
-            t.add_link(edge, fog, spec.edge_fog.latency, spec.edge_fog.bandwidth_bps);
+            t.add_link(
+                edge,
+                fog,
+                spec.edge_fog.latency,
+                spec.edge_fog.bandwidth_bps,
+            );
             for s in 0..spec.sensors_per_edge {
                 let sensor = t.add_node(format!("sensor{f}_{e}_{s}"), Tier::Sensor);
                 sensors.push(sensor);
-                t.add_link(sensor, edge, spec.sensor_edge.latency, spec.sensor_edge.bandwidth_bps);
+                t.add_link(
+                    sensor,
+                    edge,
+                    spec.sensor_edge.latency,
+                    spec.sensor_edge.bandwidth_bps,
+                );
             }
         }
     }
 
-    BuiltContinuum { topology: t, sensors, edges, fogs, clouds, hpcs }
+    BuiltContinuum {
+        topology: t,
+        sensors,
+        edges,
+        fogs,
+        clouds,
+        hpcs,
+    }
+}
+
+/// A three-stage k-ary fat-tree with `hosts_per_edge` hosts under each
+/// edge switch: `(k/2)²` core switches, `k` pods of `k/2` aggregation and
+/// `k/2` edge switches each. Aggregation switch `j` of every pod uplinks
+/// to core group `j` (full bisection at the switch layers). `k` must be
+/// even and ≥ 2.
+///
+/// Hosts are `Tier::Sensor`, edge switches `Tier::Edge`, aggregation
+/// `Tier::Fog`, core `Tier::Cloud`, so tier-based policies still apply.
+/// Used by the churn and route-table benchmarks (`bench/src/bin/hotpaths`)
+/// as a dense many-equal-paths topology; `fat_tree(10, 8)` gives the
+/// ~500-node shape quoted in BENCH_hotpaths.json.
+///
+/// Returns the topology and the host node ids (flow endpoints).
+pub fn fat_tree(k: usize, hosts_per_edge: usize, link: LinkSpec) -> (Topology, Vec<NodeId>) {
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
+    let half = k / 2;
+    let mut t = Topology::new();
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|i| t.add_node(format!("core{i}"), Tier::Cloud))
+        .collect();
+    let mut hosts = Vec::new();
+    for pod in 0..k {
+        let aggs: Vec<NodeId> = (0..half)
+            .map(|j| {
+                let a = t.add_node(format!("agg{pod}_{j}"), Tier::Fog);
+                for c in 0..half {
+                    t.add_link(a, cores[j * half + c], link.latency, link.bandwidth_bps);
+                }
+                a
+            })
+            .collect();
+        for e in 0..half {
+            let edge = t.add_node(format!("edge{pod}_{e}"), Tier::Edge);
+            for &a in &aggs {
+                t.add_link(edge, a, link.latency, link.bandwidth_bps);
+            }
+            for h in 0..hosts_per_edge {
+                let host = t.add_node(format!("host{pod}_{e}_{h}"), Tier::Sensor);
+                t.add_link(host, edge, link.latency, link.bandwidth_bps);
+                hosts.push(host);
+            }
+        }
+    }
+    (t, hosts)
 }
 
 /// A star: one hub and `leaves` spokes with identical links. For tests.
@@ -202,7 +275,10 @@ mod tests {
         assert!(built.topology.is_connected());
         assert_eq!(built.fogs.len(), spec.fogs);
         assert_eq!(built.edges.len(), spec.fogs * spec.edges_per_fog);
-        assert_eq!(built.sensors.len(), spec.fogs * spec.edges_per_fog * spec.sensors_per_edge);
+        assert_eq!(
+            built.sensors.len(),
+            spec.fogs * spec.edges_per_fog * spec.sensors_per_edge
+        );
         assert_eq!(built.clouds.len(), spec.clouds);
         assert_eq!(built.hpcs.len(), spec.hpcs);
     }
@@ -231,7 +307,8 @@ mod tests {
         assert_eq!(p.hops(), 3);
         // Bottleneck is the sensor uplink.
         assert_eq!(p.bottleneck_bps, spec.sensor_edge.bandwidth_bps);
-        let expected_latency = spec.sensor_edge.latency + spec.edge_fog.latency + spec.fog_cloud.latency;
+        let expected_latency =
+            spec.sensor_edge.latency + spec.edge_fog.latency + spec.fog_cloud.latency;
         assert_eq!(p.latency, expected_latency);
     }
 
@@ -243,6 +320,23 @@ mod tests {
             let e = built.edge_of_sensor(i, &spec);
             assert!(built.topology.neighbors(s).iter().any(|&(n, _)| n == e));
         }
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        let ls = LinkSpec::new(SimDuration::from_micros(50), 1.25e9);
+        let (t, hosts) = fat_tree(4, 3, ls);
+        // cores (k/2)² + pods k × (k/2 agg + k/2 edge) + hosts.
+        assert_eq!(hosts.len(), 4 * 2 * 3);
+        assert_eq!(t.node_count(), 4 + 4 * (2 + 2) + hosts.len());
+        assert!(t.is_connected());
+        let rt = RouteTable::build(&t);
+        // Hosts in different pods are 6 hops apart (host-edge-agg-core-agg-edge-host).
+        let p = rt.path(&t, hosts[0], hosts[hosts.len() - 1]).unwrap();
+        assert_eq!(p.hops(), 6);
+        // Hosts under the same edge switch are 2 hops apart.
+        let p2 = rt.path(&t, hosts[0], hosts[1]).unwrap();
+        assert_eq!(p2.hops(), 2);
     }
 
     #[test]

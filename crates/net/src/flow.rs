@@ -6,23 +6,94 @@
 //! fair rates, and remaining bytes; the caller (an event loop) asks for the
 //! next completion time and advances the network to event timestamps.
 //!
+//! # Engine layout
+//!
+//! Flow state lives in a slab (`Vec` of slots plus a free list) rather
+//! than a `HashMap`: a [`FlowId`] encodes `(generation << 32) | slot`, so
+//! lookup is an index plus a generation check and start/remove never
+//! rehash. Each link keeps an index of the active flows crossing it, and
+//! paths share their link list (`Arc<[LinkId]>`) with the route table
+//! instead of cloning it per flow.
+//!
+//! Rate recomputation is deferred: `start`/`remove` only update the flow
+//! and link indices and set a dirty bit, and the next observation
+//! (`rate`, `next_completion`, `advance`, `link_loads`) runs one
+//! progressive-filling pass — so a burst of mutations at one event
+//! timestamp costs a single recomputation. The pass itself visits only
+//! the links that currently carry flows (a persistently maintained
+//! active-link index), saturating the most-constrained links first; it
+//! costs `O(waves × active links + sum of active path lengths)`,
+//! independent of the total link count — the from-scratch seed algorithm
+//! scanned and reallocated every link on every mutation. That seed
+//! algorithm is retained verbatim as [`FlowNetwork::oracle_rates`] and
+//! cross-checked against the engine by property tests.
+//!
 //! An ablation experiment compares this model against the naive
 //! "bottleneck-only" estimate of [`crate::routing::Path::transfer_time`].
 
 use crate::routing::Path;
 use crate::topology::{LinkId, Topology};
 use continuum_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Identifier of an active flow.
+/// Identifier of an active flow: `(generation << 32) | slot`.
+///
+/// Generations make stale ids detectable after their slot is reused, so
+/// ids stay unique for the lifetime of the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowId(pub u64);
 
+impl FlowId {
+    fn new(slot: u32, generation: u32) -> FlowId {
+        FlowId((u64::from(generation) << 32) | u64::from(slot))
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// One slab slot. `links` is empty while the slot sits on the free list.
 #[derive(Debug, Clone)]
-struct Flow {
-    links: Vec<LinkId>,
+struct FlowSlot {
+    /// Bumped every time the slot is freed; part of the [`FlowId`].
+    generation: u32,
+    links: Arc<[LinkId]>,
+    /// `link_pos[i]` = this flow's position in `link_flows[links[i]]`.
+    link_pos: Vec<u32>,
     remaining: f64, // bytes
     rate: f64,      // bytes/s, max-min fair share
+}
+
+/// Per-link filling state, merged into one entry so the random-access
+/// updates in the freeze loop touch a single cache line per link.
+#[derive(Debug, Clone, Copy, Default)]
+struct LinkFill {
+    /// Remaining capacity during filling (bytes/s).
+    residual: f64,
+    /// Active flows crossing the link not yet frozen.
+    unfrozen: u32,
+}
+
+/// Reusable buffers for `recompute_rates`. Per-link state is (re)seeded
+/// from the persistent active-link index each call; the flow freeze
+/// stamps are epoch-based so they are never cleared.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    epoch: u64,
+    /// Per link: filling state (valid only for links seeded this call).
+    fill: Vec<LinkFill>,
+    /// Per slot: epoch in which the flow's rate was frozen.
+    flow_epoch: Vec<u64>,
+    /// Wave-local working copy of the active-link index, compacted as
+    /// links run out of unfrozen flows.
+    work: Vec<u32>,
+    /// Links tied at the current wave's minimum share (wave-local).
+    tied: Vec<u32>,
 }
 
 /// Concurrent flows sharing link capacity max-min fairly.
@@ -57,22 +128,47 @@ struct Flow {
 ///    to the event time, then apply the change; previously scheduled
 ///    completion events that no longer match should be discarded by the
 ///    caller (compare against `next_completion` again).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FlowNetwork {
     capacity: Vec<f64>,
-    flows: HashMap<FlowId, Flow>,
-    next_id: u64,
+    slots: Vec<FlowSlot>,
+    free_slots: Vec<u32>,
+    /// Active slot indices, unordered; `slot_pos` tracks positions.
+    active_slots: Vec<u32>,
+    slot_pos: Vec<u32>,
+    /// Per link: slot indices of the active flows crossing it.
+    link_flows: Vec<Vec<u32>>,
+    /// Links whose `link_flows` list is non-empty, unordered;
+    /// `link_active_pos` tracks positions.
+    active_links: Vec<u32>,
+    link_active_pos: Vec<u32>,
+    scratch: Scratch,
     clock: SimTime,
+    /// Set by `start`/`remove`; rates are recomputed lazily on the next
+    /// observation, so mutations at one event timestamp coalesce into a
+    /// single progressive-filling pass.
+    dirty: bool,
 }
 
 impl FlowNetwork {
     /// Build over the links of `topo` (captures current capacities).
     pub fn new(topo: &Topology) -> FlowNetwork {
+        let links = topo.links().len();
         FlowNetwork {
             capacity: topo.links().iter().map(|l| l.bandwidth_bps).collect(),
-            flows: HashMap::new(),
-            next_id: 0,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            active_slots: Vec::new(),
+            slot_pos: Vec::new(),
+            link_flows: vec![Vec::new(); links],
+            active_links: Vec::new(),
+            link_active_pos: vec![0; links],
+            scratch: Scratch {
+                fill: vec![LinkFill::default(); links],
+                ..Scratch::default()
+            },
             clock: SimTime::ZERO,
+            dirty: false,
         }
     }
 
@@ -83,7 +179,7 @@ impl FlowNetwork {
 
     /// Number of active flows.
     pub fn active(&self) -> usize {
-        self.flows.len()
+        self.active_slots.len()
     }
 
     /// Start a flow of `bytes` along `path` at time `now`.
@@ -98,31 +194,114 @@ impl FlowNetwork {
             return None;
         }
         self.advance(now);
-        let id = FlowId(self.next_id);
-        self.next_id += 1;
-        self.flows.insert(
-            id,
-            Flow { links: path.links.clone(), remaining: bytes.max(1) as f64, rate: 0.0 },
-        );
-        self.recompute_rates();
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(FlowSlot {
+                    generation: 0,
+                    links: Vec::new().into(),
+                    link_pos: Vec::new(),
+                    remaining: 0.0,
+                    rate: 0.0,
+                });
+                self.slot_pos.push(0);
+                self.scratch.flow_epoch.push(0);
+                s
+            }
+        };
+        let f = &mut self.slots[slot as usize];
+        f.links = path.links.clone();
+        f.remaining = bytes.max(1) as f64;
+        f.rate = 0.0;
+        f.link_pos.clear();
+        for i in 0..self.slots[slot as usize].links.len() {
+            let l = self.slots[slot as usize].links[i].0 as usize;
+            if self.link_flows[l].is_empty() {
+                self.link_active_pos[l] = self.active_links.len() as u32;
+                self.active_links.push(l as u32);
+            }
+            self.slots[slot as usize]
+                .link_pos
+                .push(self.link_flows[l].len() as u32);
+            self.link_flows[l].push(slot);
+        }
+        self.slot_pos[slot as usize] = self.active_slots.len() as u32;
+        self.active_slots.push(slot);
+        let id = FlowId::new(slot, self.slots[slot as usize].generation);
+        self.dirty = true;
         Some(id)
     }
 
     /// Remove a flow (completion or cancellation) at time `now`.
+    ///
+    /// Stale or unknown ids are ignored (matching the seed's tolerant
+    /// `HashMap::remove` behaviour).
     pub fn remove(&mut self, now: SimTime, id: FlowId) {
         self.advance(now);
-        self.flows.remove(&id);
-        self.recompute_rates();
+        let slot = id.slot();
+        if slot >= self.slots.len() || self.slots[slot].generation != id.generation() {
+            return;
+        }
+        // A freed slot has an empty link list but keeps its generation
+        // until reuse; double-removes of zero-hop ids cannot occur since
+        // zero-hop paths are never registered.
+        if self.slots[slot].links.is_empty() {
+            return;
+        }
+        // Unhook from every link's flow index.
+        let links = std::mem::replace(&mut self.slots[slot].links, Vec::new().into());
+        for (i, &l) in links.iter().enumerate() {
+            let pos = self.slots[slot].link_pos[i] as usize;
+            let list = &mut self.link_flows[l.0 as usize];
+            list.swap_remove(pos);
+            if pos < list.len() {
+                let moved = list[pos] as usize;
+                let j = self.slots[moved]
+                    .links
+                    .iter()
+                    .position(|&x| x == l)
+                    .expect("moved flow crosses this link");
+                self.slots[moved].link_pos[j] = pos as u32;
+            } else if list.is_empty() {
+                // Last flow left this link: drop it from the active-link
+                // index, patching the position of the entry swapped in.
+                let apos = self.link_active_pos[l.0 as usize] as usize;
+                self.active_links.swap_remove(apos);
+                if apos < self.active_links.len() {
+                    self.link_active_pos[self.active_links[apos] as usize] = apos as u32;
+                }
+            }
+        }
+        // Unhook from the active list.
+        let pos = self.slot_pos[slot] as usize;
+        self.active_slots.swap_remove(pos);
+        if pos < self.active_slots.len() {
+            self.slot_pos[self.active_slots[pos] as usize] = pos as u32;
+        }
+        self.slots[slot].generation = self.slots[slot].generation.wrapping_add(1);
+        self.slots[slot].rate = 0.0;
+        self.free_slots.push(slot as u32);
+        self.dirty = true;
     }
 
     /// The earliest (time, flow) completion under current rates, if any
     /// flows are active.
-    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
-        self.flows
+    pub fn next_completion(&mut self) -> Option<(SimTime, FlowId)> {
+        self.ensure_rates();
+        self.active_slots
             .iter()
-            .map(|(&id, f)| {
-                let dt = if f.rate > 0.0 { f.remaining / f.rate } else { f64::INFINITY };
-                (self.clock + SimDuration::from_secs_f64(dt.min(1e18)), id)
+            .map(|&s| {
+                let f = &self.slots[s as usize];
+                let dt = if f.rate > 0.0 {
+                    f.remaining / f.rate
+                } else {
+                    f64::INFINITY
+                };
+                (
+                    self.clock + SimDuration::from_secs_f64(dt.min(1e18)),
+                    FlowId::new(s, f.generation),
+                )
             })
             .min()
     }
@@ -136,81 +315,135 @@ impl FlowNetwork {
         if now <= self.clock {
             return;
         }
+        // Pending mutations happened at (or before) the current clock, so
+        // the interval being drained runs at the post-mutation rates.
+        self.ensure_rates();
         let dt = now.since(self.clock).as_secs_f64();
-        for f in self.flows.values_mut() {
+        for &s in &self.active_slots {
+            let f = &mut self.slots[s as usize];
             f.remaining = (f.remaining - f.rate * dt).max(0.0);
         }
         self.clock = now;
     }
 
     /// The current max-min fair rate of a flow (bytes/s).
-    pub fn rate(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id).map(|f| f.rate)
+    pub fn rate(&mut self, id: FlowId) -> Option<f64> {
+        self.ensure_rates();
+        self.lookup(id).map(|f| f.rate)
     }
 
     /// Remaining bytes of a flow.
     pub fn remaining(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id).map(|f| f.remaining)
+        self.lookup(id).map(|f| f.remaining)
     }
 
-    /// Progressive filling: repeatedly saturate the most constrained link.
+    fn lookup(&self, id: FlowId) -> Option<&FlowSlot> {
+        let f = self.slots.get(id.slot())?;
+        (f.generation == id.generation() && !f.links.is_empty()).then_some(f)
+    }
+
+    /// Progressive filling restricted to the links that carry flows:
+    /// repeatedly saturate the most constrained active link and freeze the
+    /// unfrozen flows crossing it at its fair share.
+    /// Run the deferred recomputation if any mutation happened since the
+    /// rates were last brought up to date.
+    fn ensure_rates(&mut self) {
+        if self.dirty {
+            self.recompute_rates();
+            self.dirty = false;
+        }
+    }
+
     fn recompute_rates(&mut self) {
-        // Residual capacity per link and number of unfrozen flows on it.
-        let mut residual = self.capacity.clone();
-        let mut count = vec![0u32; self.capacity.len()];
-        for f in self.flows.values() {
-            for &l in &f.links {
-                count[l.0 as usize] += 1;
-            }
+        let sc = &mut self.scratch;
+        sc.epoch += 1;
+        let epoch = sc.epoch;
+        // Seed per-link filling state from the persistent active-link
+        // index: full capacity, and every crossing flow unfrozen. No
+        // per-flow discovery pass is needed — `link_flows` is maintained
+        // by `start`/`remove`.
+        for &li in &self.active_links {
+            let li = li as usize;
+            sc.fill[li] = LinkFill {
+                residual: self.capacity[li],
+                unfrozen: self.link_flows[li].len() as u32,
+            };
         }
-        let mut frozen: HashMap<FlowId, f64> = HashMap::with_capacity(self.flows.len());
-        let mut unfrozen: Vec<FlowId> = self.flows.keys().copied().collect();
-        unfrozen.sort_unstable(); // determinism
-        while !unfrozen.is_empty() {
-            // Fair share of the most constrained link among links carrying
-            // unfrozen flows.
-            let mut best: Option<(f64, usize)> = None;
-            for (li, (&res, &cnt)) in residual.iter().zip(count.iter()).enumerate() {
-                if cnt > 0 {
-                    let share = res / cnt as f64;
-                    if best.map(|(s, _)| share < s).unwrap_or(true) {
-                        best = Some((share, li));
+        sc.work.clear();
+        sc.work.extend_from_slice(&self.active_links);
+        let mut remaining_flows = self.active_slots.len();
+        while remaining_flows > 0 {
+            // Minimum fair share among links carrying unfrozen flows.
+            // Links whose flows have all frozen are compacted out so
+            // later waves scan a shrinking list.
+            let mut min_share = f64::INFINITY;
+            sc.tied.clear();
+            let mut i = 0;
+            while i < sc.work.len() {
+                let li = sc.work[i];
+                let f = sc.fill[li as usize];
+                if f.unfrozen == 0 {
+                    sc.work.swap_remove(i);
+                    continue;
+                }
+                let share = f.residual / f64::from(f.unfrozen);
+                if share < min_share {
+                    min_share = share;
+                    sc.tied.clear();
+                    sc.tied.push(li);
+                } else if share == min_share {
+                    sc.tied.push(li);
+                }
+                i += 1;
+            }
+            if sc.tied.is_empty() {
+                break;
+            }
+            // Saturate every link tied at the minimum in one wave, in
+            // ascending link id. Freezing flows on one tied link can only
+            // *raise* another link's share (residual and count both
+            // shrink, and share >= min_share is a max-min invariant), so
+            // each link's share is re-checked and it saturates only if
+            // still at the minimum — exactly the (link, share) saturation
+            // sequence of the from-scratch oracle, which re-scans and
+            // picks the lowest-id minimum link one wave at a time.
+            sc.tied.sort_unstable();
+            for ti in 0..sc.tied.len() {
+                let bottleneck = sc.tied[ti] as usize;
+                let cnt = sc.fill[bottleneck].unfrozen;
+                if cnt == 0 || sc.fill[bottleneck].residual / f64::from(cnt) != min_share {
+                    continue; // an earlier tied link raised this share
+                }
+                // Freeze every unfrozen flow crossing the bottleneck.
+                for idx in 0..self.link_flows[bottleneck].len() {
+                    let s = self.link_flows[bottleneck][idx] as usize;
+                    if sc.flow_epoch[s] == epoch {
+                        continue; // frozen in an earlier wave
+                    }
+                    sc.flow_epoch[s] = epoch;
+                    self.slots[s].rate = min_share;
+                    remaining_flows -= 1;
+                    for &l in self.slots[s].links.iter() {
+                        let f = &mut sc.fill[l.0 as usize];
+                        f.residual -= min_share;
+                        // Numerical hygiene: clamp tiny negative residuals.
+                        if f.residual < 0.0 {
+                            f.residual = 0.0;
+                        }
+                        f.unfrozen -= 1;
                     }
                 }
             }
-            let Some((share, bottleneck)) = best else { break };
-            // Freeze every unfrozen flow crossing the bottleneck at `share`.
-            let mut still = Vec::with_capacity(unfrozen.len());
-            for id in unfrozen.drain(..) {
-                let f = &self.flows[&id];
-                if f.links.iter().any(|l| l.0 as usize == bottleneck) {
-                    frozen.insert(id, share);
-                    for &l in &f.links {
-                        residual[l.0 as usize] -= share;
-                        count[l.0 as usize] -= 1;
-                    }
-                } else {
-                    still.push(id);
-                }
-            }
-            unfrozen = still;
-            // Numerical hygiene: clamp tiny negative residuals.
-            for r in &mut residual {
-                if *r < 0.0 {
-                    *r = 0.0;
-                }
-            }
-        }
-        for (id, f) in self.flows.iter_mut() {
-            f.rate = frozen.get(id).copied().unwrap_or(0.0);
         }
     }
 
     /// Sum of rates crossing each link; used by conservation tests.
-    pub fn link_loads(&self) -> Vec<f64> {
+    pub fn link_loads(&mut self) -> Vec<f64> {
+        self.ensure_rates();
         let mut loads = vec![0.0; self.capacity.len()];
-        for f in self.flows.values() {
-            for &l in &f.links {
+        for &s in &self.active_slots {
+            let f = &self.slots[s as usize];
+            for &l in f.links.iter() {
                 loads[l.0 as usize] += f.rate;
             }
         }
@@ -220,6 +453,70 @@ impl FlowNetwork {
     /// Link capacities this network was built with.
     pub fn capacities(&self) -> &[f64] {
         &self.capacity
+    }
+
+    /// Reference implementation: the seed's from-scratch progressive
+    /// filling over *all* links, recomputing every rate for the current
+    /// flow set. Kept as an oracle for equivalence tests against the
+    /// engine's active-link recompute; not part of the public API.
+    #[doc(hidden)]
+    pub fn oracle_rates(&self) -> Vec<(FlowId, f64)> {
+        let flows: Vec<(FlowId, &FlowSlot)> = {
+            let mut v: Vec<(FlowId, &FlowSlot)> = self
+                .active_slots
+                .iter()
+                .map(|&s| {
+                    let f = &self.slots[s as usize];
+                    (FlowId::new(s, f.generation), f)
+                })
+                .collect();
+            v.sort_unstable_by_key(|&(id, _)| id);
+            v
+        };
+        // Residual capacity per link and number of unfrozen flows on it.
+        let mut residual = self.capacity.clone();
+        let mut count = vec![0u32; self.capacity.len()];
+        for (_, f) in &flows {
+            for &l in f.links.iter() {
+                count[l.0 as usize] += 1;
+            }
+        }
+        let mut rates: Vec<(FlowId, f64)> = flows.iter().map(|&(id, _)| (id, 0.0)).collect();
+        let mut unfrozen: Vec<usize> = (0..flows.len()).collect();
+        while !unfrozen.is_empty() {
+            let mut best: Option<(f64, usize)> = None;
+            for (li, (&res, &cnt)) in residual.iter().zip(count.iter()).enumerate() {
+                if cnt > 0 {
+                    let share = res / f64::from(cnt);
+                    if best.map(|(s, _)| share < s).unwrap_or(true) {
+                        best = Some((share, li));
+                    }
+                }
+            }
+            let Some((share, bottleneck)) = best else {
+                break;
+            };
+            let mut still = Vec::with_capacity(unfrozen.len());
+            for fi in unfrozen.drain(..) {
+                let f = flows[fi].1;
+                if f.links.iter().any(|l| l.0 as usize == bottleneck) {
+                    rates[fi].1 = share;
+                    for &l in f.links.iter() {
+                        residual[l.0 as usize] -= share;
+                        count[l.0 as usize] -= 1;
+                    }
+                } else {
+                    still.push(fi);
+                }
+            }
+            unfrozen = still;
+            for r in &mut residual {
+                if *r < 0.0 {
+                    *r = 0.0;
+                }
+            }
+        }
+        rates
     }
 }
 
@@ -339,5 +636,46 @@ mod tests {
         fnw.advance(SimTime::from_millis(500));
         let rem = fnw.remaining(id).unwrap();
         assert!((rem - 500_000.0).abs() < 1.0, "rem {rem}");
+    }
+
+    #[test]
+    fn stale_ids_after_slot_reuse() {
+        let (t, rt) = chain();
+        let mut fnw = FlowNetwork::new(&t);
+        let p = rt.path(&t, NodeId(0), NodeId(2)).unwrap();
+        let f1 = fnw.start(SimTime::ZERO, &p, 1_000_000).unwrap();
+        fnw.remove(SimTime::ZERO, f1);
+        // The slot is reused with a new generation.
+        let f2 = fnw.start(SimTime::ZERO, &p, 1_000_000).unwrap();
+        assert_ne!(f1, f2);
+        assert_eq!(fnw.rate(f1), None, "stale id must not resolve");
+        assert_eq!(fnw.rate(f2), Some(1e6));
+        // Removing the stale id again is a no-op for the live flow.
+        fnw.remove(SimTime::ZERO, f1);
+        assert_eq!(fnw.rate(f2), Some(1e6));
+        assert_eq!(fnw.active(), 1);
+    }
+
+    #[test]
+    fn oracle_matches_engine_on_mixed_paths() {
+        let (t, rt) = chain();
+        let mut fnw = FlowNetwork::new(&t);
+        let p02 = rt.path(&t, NodeId(0), NodeId(2)).unwrap();
+        let p01 = rt.path(&t, NodeId(0), NodeId(1)).unwrap();
+        let a = fnw.start(SimTime::ZERO, &p02, 1_000).unwrap();
+        let b = fnw.start(SimTime::ZERO, &p01, 1_000).unwrap();
+        let c = fnw.start(SimTime::ZERO, &p02, 1_000).unwrap();
+        for (id, want) in fnw.oracle_rates() {
+            let got = fnw.rate(id).unwrap();
+            assert!(
+                (got - want).abs() <= 1e-9 * want.max(1.0),
+                "{got} vs {want}"
+            );
+        }
+        fnw.remove(SimTime::ZERO, b);
+        fnw.remove(SimTime::ZERO, a);
+        let rates = fnw.oracle_rates();
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].0, c);
     }
 }

@@ -20,7 +20,7 @@ pub mod routing;
 pub mod stats;
 pub mod topology;
 
-pub use builders::{continuum, dumbbell, star, BuiltContinuum, ContinuumSpec, LinkSpec};
+pub use builders::{continuum, dumbbell, fat_tree, star, BuiltContinuum, ContinuumSpec, LinkSpec};
 pub use flow::{FlowId, FlowNetwork};
 pub use gilder::{access_bandwidth, gilder_ratio, mean_gilder_ratio};
 pub use routing::{Path, RouteTable};

@@ -11,6 +11,7 @@ use continuum_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// A routed path between two nodes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -20,7 +21,11 @@ pub struct Path {
     /// Destination node.
     pub dst: NodeId,
     /// Links traversed, in order from `src` to `dst`. Empty iff `src == dst`.
-    pub links: Vec<LinkId>,
+    ///
+    /// Shared (`Arc`) so that cloning a path — and registering it with the
+    /// flow network, which holds the link list for the flow's lifetime —
+    /// never copies the link vector.
+    pub links: Arc<[LinkId]>,
     /// Sum of link latencies.
     pub latency: SimDuration,
     /// Minimum bandwidth along the path (bytes/s). `f64::INFINITY` for the
@@ -34,7 +39,7 @@ impl Path {
         Path {
             src: node,
             dst: node,
-            links: Vec::new(),
+            links: Vec::new().into(),
             latency: SimDuration::ZERO,
             bottleneck_bps: f64::INFINITY,
         }
@@ -64,34 +69,101 @@ impl Path {
     }
 }
 
+/// Sentinel distance for "unreachable" in the flattened arena; no real
+/// path accumulates `u64::MAX` nanoseconds.
+const UNREACHABLE: SimDuration = SimDuration(u64::MAX);
+
 /// Precomputed latency-shortest routes for one topology, with all
 /// equal-cost predecessors retained for ECMP spreading.
+///
+/// Storage is two contiguous arenas instead of nested `Vec`s: distances
+/// are a flat `n × n` matrix, and predecessor lists are CSR-packed
+/// (`prev_off[src*n + node]..prev_off[src*n + node + 1]` indexes into
+/// `prev_entries`). This keeps the table in three allocations total and
+/// makes lookups cache-friendly; the seed's `Vec<Vec<Vec<_>>>` layout
+/// cost ~`n²` small allocations.
 #[derive(Debug, Clone)]
 pub struct RouteTable {
-    /// `prev[src][node]` = every (previous node, link) achieving the
-    /// shortest latency from `src` to `node`, sorted for determinism.
-    prev: Vec<Vec<Vec<(NodeId, LinkId)>>>,
-    /// `dist[src][node]` = shortest latency. `None` if unreachable.
-    dist: Vec<Vec<Option<SimDuration>>>,
+    /// Node count the table was built for.
+    n: usize,
+    /// `dist[src*n + node]` = shortest latency, [`UNREACHABLE`] if none.
+    dist: Vec<SimDuration>,
+    /// CSR offsets into `prev_entries`, length `n*n + 1`.
+    prev_off: Vec<u32>,
+    /// Every (previous node, link) achieving the shortest latency,
+    /// grouped by `(src, node)` and sorted within a group for
+    /// determinism.
+    prev_entries: Vec<(NodeId, LinkId)>,
 }
 
 impl RouteTable {
-    /// Run Dijkstra from every node.
+    /// Run Dijkstra from every node, one source per rayon task.
+    ///
+    /// The result is bit-identical to [`RouteTable::build_serial`]: each
+    /// source's tree is computed independently and packed in source
+    /// order, so worker scheduling cannot reorder anything.
     pub fn build(topo: &Topology) -> RouteTable {
+        use rayon::prelude::*;
         let n = topo.node_count();
-        let mut prev = Vec::with_capacity(n);
-        let mut dist = Vec::with_capacity(n);
-        for src in 0..n {
-            let (d, p) = dijkstra(topo, NodeId(src as u32));
-            dist.push(d);
-            prev.push(p);
+        let rows: Vec<(Vec<SimDuration>, Vec<Preds>)> = (0..n as u32)
+            .into_par_iter()
+            .map(|src| dijkstra(topo, NodeId(src)))
+            .collect();
+        Self::assemble(n, rows)
+    }
+
+    /// Single-threaded [`RouteTable::build`]; the parallel/serial split
+    /// is benchmarked by `bench/src/bin/hotpaths.rs`.
+    pub fn build_serial(topo: &Topology) -> RouteTable {
+        let n = topo.node_count();
+        let rows: Vec<(Vec<SimDuration>, Vec<Preds>)> = (0..n as u32)
+            .map(|src| dijkstra(topo, NodeId(src)))
+            .collect();
+        Self::assemble(n, rows)
+    }
+
+    /// Pack per-source Dijkstra trees into the flat arenas.
+    fn assemble(n: usize, rows: Vec<(Vec<SimDuration>, Vec<Preds>)>) -> RouteTable {
+        let mut dist = Vec::with_capacity(n * n);
+        let mut prev_off = Vec::with_capacity(n * n + 1);
+        let mut prev_entries = Vec::new();
+        prev_off.push(0u32);
+        for (dist_row, preds) in rows {
+            dist.extend_from_slice(&dist_row);
+            for p in preds {
+                match p {
+                    Preds::None => {}
+                    Preds::One(e) => prev_entries.push(e),
+                    Preds::Many(mut v) => {
+                        // Deterministic choice order at every split.
+                        v.sort_unstable();
+                        prev_entries.extend_from_slice(&v);
+                    }
+                }
+                prev_off.push(prev_entries.len() as u32);
+            }
         }
-        RouteTable { prev, dist }
+        RouteTable {
+            n,
+            dist,
+            prev_off,
+            prev_entries,
+        }
+    }
+
+    /// Equal-cost (previous node, link) choices into `node` on `src`'s
+    /// shortest-path tree.
+    fn preds(&self, src: NodeId, node: NodeId) -> &[(NodeId, LinkId)] {
+        let cell = src.0 as usize * self.n + node.0 as usize;
+        let lo = self.prev_off[cell] as usize;
+        let hi = self.prev_off[cell + 1] as usize;
+        &self.prev_entries[lo..hi]
     }
 
     /// Shortest-latency distance, `None` if unreachable.
     pub fn distance(&self, src: NodeId, dst: NodeId) -> Option<SimDuration> {
-        self.dist[src.0 as usize][dst.0 as usize]
+        let d = self.dist[src.0 as usize * self.n + dst.0 as usize];
+        (d != UNREACHABLE).then_some(d)
     }
 
     /// Materialize the canonical shortest path from `src` to `dst`
@@ -106,23 +178,17 @@ impl RouteTable {
     /// hashing `salt` at every split (equal-cost multi-path). Different
     /// salts spread different flows across parallel links; the same salt
     /// always yields the same path. `salt = 0` is the canonical path.
-    pub fn path_ecmp(
-        &self,
-        topo: &Topology,
-        src: NodeId,
-        dst: NodeId,
-        salt: u64,
-    ) -> Option<Path> {
+    pub fn path_ecmp(&self, topo: &Topology, src: NodeId, dst: NodeId, salt: u64) -> Option<Path> {
         if src == dst {
             return Some(Path::trivial(src));
         }
-        self.dist[src.0 as usize][dst.0 as usize]?;
+        self.distance(src, dst)?;
         let mut links_rev = Vec::new();
         let mut cur = dst;
         let mut bottleneck = f64::INFINITY;
         let mut latency = SimDuration::ZERO;
         while cur != src {
-            let choices = &self.prev[src.0 as usize][cur.0 as usize];
+            let choices = self.preds(src, cur);
             debug_assert!(!choices.is_empty(), "reachable node missing predecessor");
             let pick = if choices.len() == 1 || salt == 0 {
                 0
@@ -140,13 +206,19 @@ impl RouteTable {
             cur = p;
         }
         links_rev.reverse();
-        Some(Path { src, dst, links: links_rev, latency, bottleneck_bps: bottleneck })
+        Some(Path {
+            src,
+            dst,
+            links: links_rev.into(),
+            latency,
+            bottleneck_bps: bottleneck,
+        })
     }
 
     /// Number of equal-cost (pred, link) choices into `dst` from `src`'s
     /// tree — 1 means a unique shortest path at the last hop.
     pub fn ecmp_width(&self, src: NodeId, dst: NodeId) -> usize {
-        self.prev[src.0 as usize][dst.0 as usize].len()
+        self.preds(src, dst).len()
     }
 }
 
@@ -158,47 +230,64 @@ fn splitmix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Equal-cost predecessor lists per node.
-type PredLists = Vec<Vec<(NodeId, LinkId)>>;
+/// Equal-cost predecessors of one node on a source's shortest-path tree.
+///
+/// Almost every node has a unique shortest path, so the single
+/// predecessor is stored inline; only genuine equal-cost splits pay for
+/// a heap allocation. The seed allocated a `Vec` per reachable node per
+/// source (`n²` small allocations across a full table build).
+#[derive(Debug, Clone)]
+enum Preds {
+    None,
+    One((NodeId, LinkId)),
+    Many(Vec<(NodeId, LinkId)>),
+}
+
+impl Preds {
+    fn contains(&self, e: (NodeId, LinkId)) -> bool {
+        match self {
+            Preds::None => false,
+            Preds::One(x) => *x == e,
+            Preds::Many(v) => v.contains(&e),
+        }
+    }
+
+    fn push(&mut self, e: (NodeId, LinkId)) {
+        match self {
+            Preds::None => *self = Preds::One(e),
+            Preds::One(x) => *self = Preds::Many(vec![*x, e]),
+            Preds::Many(v) => v.push(e),
+        }
+    }
+}
 
 /// Single-source Dijkstra over link latency, retaining every equal-cost
 /// predecessor.
 ///
-/// Returns `(dist, prev)` indexed by node.
-fn dijkstra(topo: &Topology, src: NodeId) -> (Vec<Option<SimDuration>>, PredLists) {
+/// Returns `(dist, prev)` indexed by node; unreachable nodes carry
+/// [`UNREACHABLE`] / [`Preds::None`].
+fn dijkstra(topo: &Topology, src: NodeId) -> (Vec<SimDuration>, Vec<Preds>) {
     let n = topo.node_count();
-    let mut dist: Vec<Option<SimDuration>> = vec![None; n];
-    let mut prev: Vec<Vec<(NodeId, LinkId)>> = vec![Vec::new(); n];
+    let mut dist: Vec<SimDuration> = vec![UNREACHABLE; n];
+    let mut prev: Vec<Preds> = vec![Preds::None; n];
     let mut heap = BinaryHeap::new();
-    dist[src.0 as usize] = Some(SimDuration::ZERO);
+    dist[src.0 as usize] = SimDuration::ZERO;
     heap.push(Reverse((SimDuration::ZERO, src)));
     while let Some(Reverse((d, u))) = heap.pop() {
-        if dist[u.0 as usize] != Some(d) {
+        if dist[u.0 as usize] != d {
             continue; // stale entry
         }
         for &(v, l) in topo.neighbors(u) {
             let nd = d + topo.link(l).latency;
-            match dist[v.0 as usize] {
-                None => {
-                    dist[v.0 as usize] = Some(nd);
-                    prev[v.0 as usize] = vec![(u, l)];
-                    heap.push(Reverse((nd, v)));
-                }
-                Some(old) if nd < old => {
-                    dist[v.0 as usize] = Some(nd);
-                    prev[v.0 as usize] = vec![(u, l)];
-                    heap.push(Reverse((nd, v)));
-                }
-                Some(old) if nd == old && !prev[v.0 as usize].contains(&(u, l)) => {
-                    prev[v.0 as usize].push((u, l));
-                }
-                _ => {}
+            let old = dist[v.0 as usize];
+            if nd < old {
+                dist[v.0 as usize] = nd;
+                prev[v.0 as usize] = Preds::One((u, l));
+                heap.push(Reverse((nd, v)));
+            } else if nd == old && !prev[v.0 as usize].contains((u, l)) {
+                prev[v.0 as usize].push((u, l));
             }
         }
-    }
-    // Deterministic choice order at every split.
-    for p in &mut prev {
-        p.sort_unstable();
     }
     (dist, prev)
 }
@@ -229,7 +318,10 @@ mod tests {
         assert_eq!(p.hops(), 2);
         assert_eq!(p.latency, SimDuration::from_millis(11));
         assert_eq!(p.bottleneck_bps, 1e9);
-        assert_eq!(rt.distance(NodeId(0), NodeId(2)), Some(SimDuration::from_millis(11)));
+        assert_eq!(
+            rt.distance(NodeId(0), NodeId(2)),
+            Some(SimDuration::from_millis(11))
+        );
     }
 
     #[test]
@@ -285,7 +377,7 @@ mod tests {
         let p = rt.path(&t, NodeId(0), NodeId(2)).unwrap();
         // Walk the links and verify they chain src -> dst.
         let mut cur = p.src;
-        for &l in &p.links {
+        for &l in p.links.iter() {
             let link = t.link(l);
             cur = if link.a == cur { link.b } else { link.a };
         }

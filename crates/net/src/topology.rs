@@ -108,7 +108,11 @@ impl Topology {
     /// Add a node; returns its id.
     pub fn add_node(&mut self, name: impl Into<String>, tier: Tier) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { id, name: name.into(), tier });
+        self.nodes.push(Node {
+            id,
+            name: name.into(),
+            tier,
+        });
         self.adj.push(Vec::new());
         id
     }
@@ -127,9 +131,18 @@ impl Topology {
     ) -> LinkId {
         assert!(a != b, "self-loop link");
         assert!((a.0 as usize) < self.nodes.len() && (b.0 as usize) < self.nodes.len());
-        assert!(bandwidth_bps > 0.0 && bandwidth_bps.is_finite(), "non-positive bandwidth");
+        assert!(
+            bandwidth_bps > 0.0 && bandwidth_bps.is_finite(),
+            "non-positive bandwidth"
+        );
         let id = LinkId(self.links.len() as u32);
-        self.links.push(Link { id, a, b, latency, bandwidth_bps });
+        self.links.push(Link {
+            id,
+            a,
+            b,
+            latency,
+            bandwidth_bps,
+        });
         self.adj[a.0 as usize].push((b, id));
         self.adj[b.0 as usize].push((a, id));
         id
@@ -172,7 +185,11 @@ impl Topology {
 
     /// All node ids of a given tier.
     pub fn nodes_in_tier(&self, tier: Tier) -> Vec<NodeId> {
-        self.nodes.iter().filter(|n| n.tier == tier).map(|n| n.id).collect()
+        self.nodes
+            .iter()
+            .filter(|n| n.tier == tier)
+            .map(|n| n.id)
+            .collect()
     }
 
     /// Multiply every link's bandwidth by `factor` (Gilder-ratio sweeps).

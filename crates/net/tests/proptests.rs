@@ -60,7 +60,7 @@ proptest! {
             prop_assert_eq!(p.latency, dab);
             // Path is contiguous a -> b.
             let mut cur = a;
-            for &l in &p.links {
+            for &l in p.links.iter() {
                 let link = t.link(l);
                 prop_assert!(link.a == cur || link.b == cur);
                 cur = if link.a == cur { link.b } else { link.a };
@@ -125,5 +125,71 @@ proptest! {
         let loads = fnw.link_loads();
         // Trunk is link 0 by construction.
         prop_assert!((loads[0] - 1e6).abs() < 1.0, "trunk load {}", loads[0]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 1000, ..ProptestConfig::default() })]
+
+    /// The incremental rate engine agrees with the from-scratch oracle
+    /// (the seed's progressive-filling algorithm, kept as
+    /// `FlowNetwork::oracle_rates`) after every mutation of a random
+    /// start/remove/advance sequence on a random topology, to 1e-9
+    /// relative error.
+    #[test]
+    fn incremental_rates_match_oracle(seed in any::<u64>(), n in 4usize..24, ops in 5usize..40) {
+        let t = random_topology(seed, n, n / 2);
+        let rt = RouteTable::build(&t);
+        let mut fnw = FlowNetwork::new(&t);
+        let mut rng = Rng::new(seed ^ 0xF10);
+        let mut live: Vec<continuum_net::FlowId> = Vec::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..ops {
+            match rng.below(4) {
+                // Start a new flow on a random shortest path (bias: half
+                // the ops, so nets stay populated).
+                0 | 1 => {
+                    let a = NodeId(rng.below(n as u64) as u32);
+                    let b = NodeId(rng.below(n as u64) as u32);
+                    if a == b {
+                        continue;
+                    }
+                    let p = rt.path(&t, a, b).expect("connected");
+                    if let Some(id) = fnw.start(now, &p, rng.range_u64(1_000, 10_000_000)) {
+                        live.push(id);
+                    }
+                }
+                // Cancel a random live flow.
+                2 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live.swap_remove(rng.index(live.len()));
+                    fnw.remove(now, id);
+                }
+                // Run the net to its next completion.
+                _ => {
+                    if let Some((tc, id)) = fnw.next_completion() {
+                        now = tc;
+                        fnw.remove(now, id);
+                        live.retain(|&l| l != id);
+                    }
+                }
+            }
+            // After every mutation the incremental rates must match a
+            // from-scratch recomputation.
+            let oracle = fnw.oracle_rates();
+            prop_assert_eq!(oracle.len(), live.len());
+            for (id, want) in oracle {
+                let got = fnw.rate(id).expect("oracle flow is live");
+                prop_assert!(
+                    (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                    "flow {:?}: incremental {} vs oracle {}",
+                    id,
+                    got,
+                    want
+                );
+            }
+        }
     }
 }

@@ -31,7 +31,11 @@ impl Env {
             );
         }
         let routes = RouteTable::build(&topology);
-        Env { topology, routes, fleet }
+        Env {
+            topology,
+            routes,
+            fleet,
+        }
     }
 
     /// The node a device sits at.
@@ -94,7 +98,11 @@ impl Env {
     /// rank computations.
     pub fn mean_core_flops(&self) -> f64 {
         let fleet = &self.fleet;
-        let total: f64 = fleet.devices().iter().map(|d| d.spec.flops_per_core()).sum();
+        let total: f64 = fleet
+            .devices()
+            .iter()
+            .map(|d| d.spec.flops_per_core())
+            .sum();
         total / fleet.len() as f64
     }
 
@@ -154,7 +162,10 @@ mod tests {
     #[test]
     fn memory_floor_filters_motes() {
         let env = small_env();
-        let t = task_with(Constraints { min_mem_bytes: 1 << 30, ..Default::default() });
+        let t = task_with(Constraints {
+            min_mem_bytes: 1 << 30,
+            ..Default::default()
+        });
         let devs = env.feasible_devices(&t);
         for d in devs {
             assert!(env.fleet.device(d).spec.mem_bytes >= 1 << 30);
@@ -176,7 +187,10 @@ mod tests {
     #[should_panic(expected = "no feasible device")]
     fn infeasible_task_panics() {
         let env = small_env();
-        let t = task_with(Constraints { min_mem_bytes: u64::MAX, ..Default::default() });
+        let t = task_with(Constraints {
+            min_mem_bytes: u64::MAX,
+            ..Default::default()
+        });
         env.feasible_devices(&t);
     }
 

@@ -37,58 +37,106 @@ struct Busy {
 }
 
 /// Capacity profile of one device.
+///
+/// Alongside the raw interval list, the timeline maintains a sweep-line
+/// index: the sorted distinct endpoint times, the piecewise-constant core
+/// usage after each endpoint, and a suffix maximum of that usage. Peak
+/// queries then cost a binary search plus a walk of the endpoints inside
+/// the window (`peak_usage`) or O(log B) flat (`peak_usage_from`) — the
+/// seed recomputed usage from every interval at every candidate point,
+/// O(B²) per query and O(B³) per `earliest_slot`.
 #[derive(Debug, Clone)]
 pub struct DeviceTimeline {
     cores: u32,
     busy: Vec<Busy>, // kept sorted by start
+    /// Sorted distinct endpoint times of `busy`.
+    times: Vec<SimTime>,
+    /// Net core delta at `times[i]` (starts positive, ends negative).
+    /// Ends and starts sharing a timestamp merge, which encodes the
+    /// half-open `[start, end)` semantics: a task ending at T never
+    /// overlaps one starting at T.
+    delta: Vec<i64>,
+    /// Cores in use during `[times[i], times[i+1])`.
+    usage: Vec<u32>,
+    /// `max(usage[i..])`, for open-ended peak queries.
+    suffix_max: Vec<u32>,
 }
 
 impl DeviceTimeline {
     /// Empty timeline for a device with `cores` cores.
     pub fn new(cores: u32) -> Self {
-        DeviceTimeline { cores, busy: Vec::new() }
+        DeviceTimeline {
+            cores,
+            busy: Vec::new(),
+            times: Vec::new(),
+            delta: Vec::new(),
+            usage: Vec::new(),
+            suffix_max: Vec::new(),
+        }
+    }
+
+    /// Index of the first endpoint strictly after `t`; `usage[idx - 1]`
+    /// (or 0) is the core usage at `t` itself.
+    fn sweep_index(&self, t: SimTime) -> usize {
+        self.times.partition_point(|&x| x <= t)
+    }
+
+    fn usage_at_index(&self, idx: usize) -> u32 {
+        if idx == 0 {
+            0
+        } else {
+            self.usage[idx - 1]
+        }
     }
 
     /// Maximum concurrent core usage over the window `[t, t + dur)`.
     fn peak_usage(&self, t: SimTime, dur: SimDuration) -> u32 {
         let end = t + dur;
-        // Usage is piecewise constant; peaks occur at window start or at an
-        // interval start inside the window.
-        let mut points: Vec<SimTime> = vec![t];
-        for b in &self.busy {
-            if b.start > t && b.start < end {
-                points.push(b.start);
+        let idx = self.sweep_index(t);
+        let mut peak = self.usage_at_index(idx);
+        for i in idx..self.times.len() {
+            if self.times[i] >= end {
+                break;
             }
-        }
-        let mut peak = 0;
-        for &p in &points {
-            let usage: u32 = self
-                .busy
-                .iter()
-                .filter(|b| b.start <= p && b.end > p)
-                .map(|b| b.cores)
-                .sum();
-            peak = peak.max(usage);
+            peak = peak.max(self.usage[i]);
         }
         peak
     }
 
     /// Maximum concurrent usage anywhere in `[t, ∞)`.
     fn peak_usage_from(&self, t: SimTime) -> u32 {
-        let mut peak = 0;
-        for b in &self.busy {
-            if b.end > t {
-                let p = b.start.max(t);
-                let usage: u32 = self
-                    .busy
-                    .iter()
-                    .filter(|x| x.start <= p && x.end > p)
-                    .map(|x| x.cores)
-                    .sum();
-                peak = peak.max(usage);
+        let idx = self.sweep_index(t);
+        let later = self.suffix_max.get(idx).copied().unwrap_or(0);
+        self.usage_at_index(idx).max(later)
+    }
+
+    /// Add `d` cores at endpoint `t`, keeping `times` sorted and unique.
+    fn insert_event(&mut self, t: SimTime, d: i64) {
+        match self.times.binary_search(&t) {
+            Ok(i) => self.delta[i] += d,
+            Err(i) => {
+                self.times.insert(i, t);
+                self.delta.insert(i, d);
             }
         }
-        peak
+    }
+
+    /// Recompute running usage and its suffix maximum from the deltas.
+    fn rebuild_sweep(&mut self) {
+        let n = self.times.len();
+        self.usage.resize(n, 0);
+        self.suffix_max.resize(n, 0);
+        let mut run = 0i64;
+        for i in 0..n {
+            run += self.delta[i];
+            debug_assert!(run >= 0, "sweep usage went negative");
+            self.usage[i] = run as u32;
+        }
+        let mut peak = 0u32;
+        for i in (0..n).rev() {
+            peak = peak.max(self.usage[i]);
+            self.suffix_max[i] = peak;
+        }
     }
 
     /// Earliest start `>= ready` at which `need` cores are free for `dur`.
@@ -148,19 +196,33 @@ impl DeviceTimeline {
             self.peak_usage(start, dur) + need <= self.cores,
             "over-reserving device"
         );
-        let b = Busy { start, end: start + dur, cores: need };
+        let b = Busy {
+            start,
+            end: start + dur,
+            cores: need,
+        };
         let pos = self.busy.partition_point(|x| x.start <= start);
         self.busy.insert(pos, b);
+        self.insert_event(b.start, i64::from(need));
+        self.insert_event(b.end, -i64::from(need));
+        self.rebuild_sweep();
     }
 
     /// Total reserved core-seconds.
     pub fn busy_core_seconds(&self) -> f64 {
-        self.busy.iter().map(|b| b.end.since(b.start).as_secs_f64() * b.cores as f64).sum()
+        self.busy
+            .iter()
+            .map(|b| b.end.since(b.start).as_secs_f64() * b.cores as f64)
+            .sum()
     }
 
     /// End of the last reservation (time zero if none).
     pub fn horizon(&self) -> SimTime {
-        self.busy.iter().map(|b| b.end).max().unwrap_or(SimTime::ZERO)
+        self.busy
+            .iter()
+            .map(|b| b.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 }
 
@@ -178,7 +240,12 @@ pub struct EstimatedSchedule {
 impl EstimatedSchedule {
     /// Latest finish across tasks (zero for an empty DAG).
     pub fn makespan(&self) -> SimDuration {
-        self.finish.iter().copied().max().unwrap_or(SimTime::ZERO).since(SimTime::ZERO)
+        self.finish
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .since(SimTime::ZERO)
     }
 
     /// Check that the schedule respects dependencies: every task starts at
@@ -230,7 +297,9 @@ impl<'e> Estimator<'e> {
         let item = self.dag.data(d);
         let (src, avail) = match self.dag.producer(d) {
             None => {
-                let home = item.home.expect("validated DAG has homes for external items");
+                let home = item
+                    .home
+                    .expect("validated DAG has homes for external items");
                 (home, SimTime::ZERO)
             }
             Some(p) => {
@@ -279,8 +348,10 @@ impl<'e> Estimator<'e> {
     pub fn commit(&mut self, t: TaskId, device: DeviceId, insertion: bool) -> (SimTime, SimTime) {
         let (start, fin) = self.eft(t, device, insertion);
         let dur = self.exec_time(t, device);
-        let need =
-            self.dag.task(t).occupancy(self.env.fleet.device(device).spec.cores);
+        let need = self
+            .dag
+            .task(t)
+            .occupancy(self.env.fleet.device(device).spec.cores);
         self.timelines[device.0 as usize].reserve(start, dur, need);
         self.assigned[t.0 as usize] = Some(device);
         self.start[t.0 as usize] = start;
@@ -293,16 +364,29 @@ impl<'e> Estimator<'e> {
     /// # Panics
     /// If any task is uncommitted.
     pub fn into_schedule(self) -> EstimatedSchedule {
-        let assignment: Vec<DeviceId> =
-            self.assigned.into_iter().map(|a| a.expect("uncommitted task")).collect();
-        let finish: Vec<SimTime> =
-            self.finish.into_iter().map(|f| f.expect("uncommitted task")).collect();
-        EstimatedSchedule { placement: Placement { assignment }, start: self.start, finish }
+        let assignment: Vec<DeviceId> = self
+            .assigned
+            .into_iter()
+            .map(|a| a.expect("uncommitted task"))
+            .collect();
+        let finish: Vec<SimTime> = self
+            .finish
+            .into_iter()
+            .map(|f| f.expect("uncommitted task"))
+            .collect();
+        EstimatedSchedule {
+            placement: Placement { assignment },
+            start: self.start,
+            finish,
+        }
     }
 
     /// Busy core-seconds accumulated so far per device.
     pub fn busy_core_seconds(&self) -> Vec<f64> {
-        self.timelines.iter().map(|t| t.busy_core_seconds()).collect()
+        self.timelines
+            .iter()
+            .map(|t| t.busy_core_seconds())
+            .collect()
     }
 }
 
@@ -365,6 +449,70 @@ mod tests {
         assert_eq!(s, SimTime::ZERO);
         tl.reserve(s, SimDuration::from_secs(1), 100);
         assert!((tl.busy_core_seconds() - 2.0).abs() < 1e-9);
+    }
+
+    /// Brute-force peak over `[t, end)` straight from the interval list,
+    /// the semantics the sweep-line index must reproduce.
+    fn brute_peak(tl: &DeviceTimeline, t: SimTime, end: SimTime) -> u32 {
+        let mut points: Vec<SimTime> = vec![t];
+        points.extend(
+            tl.busy
+                .iter()
+                .map(|b| b.start)
+                .filter(|&s| s > t && s < end),
+        );
+        points
+            .iter()
+            .map(|&p| {
+                tl.busy
+                    .iter()
+                    .filter(|b| b.start <= p && b.end > p)
+                    .map(|b| b.cores)
+                    .sum()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn sweep_line_matches_brute_force() {
+        let mut tl = DeviceTimeline::new(64);
+        // Deterministic pseudo-random reservations, including shared
+        // endpoints and zero-length gaps.
+        let mut x = 0x1234_5678u64;
+        for _ in 0..60 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let start = SimTime::from_secs((x >> 33) % 50);
+            let dur = SimDuration::from_secs((x >> 21) % 7 + 1);
+            let cores = ((x >> 11) % 3 + 1) as u32;
+            tl.busy.push(Busy {
+                start,
+                end: start + dur,
+                cores,
+            });
+            tl.insert_event(start, i64::from(cores));
+            tl.insert_event(start + dur, -i64::from(cores));
+        }
+        tl.busy.sort_unstable_by_key(|b| b.start);
+        tl.rebuild_sweep();
+        for t in 0..60u64 {
+            for d in 1..8u64 {
+                let (from, dur) = (SimTime::from_secs(t), SimDuration::from_secs(d));
+                assert_eq!(
+                    tl.peak_usage(from, dur),
+                    brute_peak(&tl, from, from + dur),
+                    "window [{t}, {}s)",
+                    t + d
+                );
+            }
+            let far = SimTime::from_secs(1_000_000);
+            assert_eq!(
+                tl.peak_usage_from(SimTime::from_secs(t)),
+                brute_peak(&tl, SimTime::from_secs(t), far)
+            );
+        }
     }
 
     #[test]

@@ -26,9 +26,7 @@ pub mod policies;
 
 pub use env::Env;
 pub use estimate::{DeviceTimeline, EstimatedSchedule, Estimator, Placement};
-pub use objective::{
-    dominates, evaluate, metrics_of, pareto_front, Metrics, WeightedObjective,
-};
+pub use objective::{dominates, evaluate, metrics_of, pareto_front, Metrics, WeightedObjective};
 pub use online::OnlinePlacer;
 pub use policies::{
     standard_lineup, AnnealingPlacer, CpopPlacer, DataAwarePlacer, GreedyEftPlacer, HeftPlacer,

@@ -33,7 +33,11 @@ pub struct Metrics {
 /// schedule is still produced — constraint checking is the placer's job —
 /// but a missing route or unplaced producer panics.
 pub fn evaluate(env: &Env, dag: &Dag, placement: &Placement) -> (EstimatedSchedule, Metrics) {
-    assert_eq!(placement.assignment.len(), dag.len(), "placement size mismatch");
+    assert_eq!(
+        placement.assignment.len(),
+        dag.len(),
+        "placement size mismatch"
+    );
     let mut est = Estimator::new(env, dag);
     for t in dag.topo_order() {
         est.commit(t, placement.device(t), true);
@@ -103,7 +107,11 @@ pub struct WeightedObjective {
 
 impl Default for WeightedObjective {
     fn default() -> Self {
-        WeightedObjective { w_time: 1.0, w_energy: 0.0, w_cost: 0.0 }
+        WeightedObjective {
+            w_time: 1.0,
+            w_energy: 0.0,
+            w_cost: 0.0,
+        }
     }
 }
 
@@ -146,7 +154,12 @@ mod tests {
     use super::*;
 
     fn m(t: f64, e: f64, c: f64) -> Metrics {
-        Metrics { makespan_s: t, energy_j: e, cost_usd: c, bytes_moved: 0 }
+        Metrics {
+            makespan_s: t,
+            energy_j: e,
+            cost_usd: c,
+            bytes_moved: 0,
+        }
     }
 
     #[test]
@@ -160,7 +173,12 @@ mod tests {
 
     #[test]
     fn pareto_front_filters_dominated() {
-        let pts = vec![m(1.0, 5.0, 5.0), m(5.0, 1.0, 5.0), m(5.0, 5.0, 1.0), m(6.0, 6.0, 6.0)];
+        let pts = vec![
+            m(1.0, 5.0, 5.0),
+            m(5.0, 1.0, 5.0),
+            m(5.0, 5.0, 1.0),
+            m(6.0, 6.0, 6.0),
+        ];
         let front = pareto_front(&pts);
         assert_eq!(front.len(), 3);
         assert!(!front.iter().any(|p| p.makespan_s == 6.0));
@@ -168,7 +186,11 @@ mod tests {
 
     #[test]
     fn weighted_score_linear() {
-        let obj = WeightedObjective { w_time: 2.0, w_energy: 1.0, w_cost: 10.0 };
+        let obj = WeightedObjective {
+            w_time: 2.0,
+            w_energy: 1.0,
+            w_cost: 10.0,
+        };
         let s = obj.score(&m(3.0, 2000.0, 0.5));
         assert!((s - (6.0 + 2.0 + 5.0)).abs() < 1e-12);
     }

@@ -160,7 +160,12 @@ impl OnlinePlacer {
 
     /// Place one arriving request; returns the placement and the predicted
     /// completion time of the request's last task.
-    pub fn place_request(&mut self, env: &Env, dag: &Dag, arrival: SimTime) -> (Placement, SimTime) {
+    pub fn place_request(
+        &mut self,
+        env: &Env,
+        dag: &Dag,
+        arrival: SimTime,
+    ) -> (Placement, SimTime) {
         let n = dag.len();
         let mut assignment = vec![continuum_model::DeviceId(0); n];
         let mut finish = vec![SimTime::ZERO; n];
@@ -211,7 +216,10 @@ impl OnlinePlacer {
                 let queue_free = lane_times[(need - 1) as usize];
                 let start = ready.max(queue_free).max(arrival);
                 let fin = start + spec.compute_time_parallel(task.work_flops, task.parallelism);
-                if best.map(|(bf, _, _, _)| (fin, d) < (bf, best.unwrap().2)).unwrap_or(true) {
+                if best
+                    .map(|(bf, _, _, _)| (fin, d) < (bf, best.unwrap().2))
+                    .unwrap_or(true)
+                {
                     best = Some((fin, start, d, need));
                 }
             }
@@ -237,9 +245,9 @@ impl OnlinePlacer {
 mod tests {
     use super::*;
     use continuum_model::standard_fleet;
-    use continuum_workflow::TaskId;
     use continuum_net::{continuum, ContinuumSpec};
     use continuum_sim::Rng;
+    use continuum_workflow::TaskId;
     use continuum_workflow::{inference_stream, StreamSpec};
 
     fn setup() -> (Env, Vec<(SimTime, Dag)>) {

@@ -79,8 +79,7 @@ impl AnnealingPlacer {
             cur.assignment[ti as usize] = new_dev;
             let (_, m) = evaluate(env, dag, &cur);
             let score = self.objective.score(&m);
-            let accept = score <= cur_score
-                || rng.f64() < ((cur_score - score) / temp).exp();
+            let accept = score <= cur_score || rng.f64() < ((cur_score - score) / temp).exp();
             if accept {
                 cur_score = score;
                 if score < best_score {
@@ -120,7 +119,11 @@ impl Placer for AnnealingPlacer {
         // Deterministic winner: best score, lowest restart index on ties.
         results
             .into_iter()
-            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("NaN score").then(a.0.cmp(&b.0)))
+            .min_by(|a, b| {
+                a.2.partial_cmp(&b.2)
+                    .expect("NaN score")
+                    .then(a.0.cmp(&b.0))
+            })
             .map(|(_, p, _)| p)
             .expect("at least one restart")
     }
@@ -137,14 +140,24 @@ mod tests {
         let built = continuum(&ContinuumSpec::default());
         let env = Env::new(built.topology.clone(), standard_fleet(&built));
         let mut rng = Rng::new(31);
-        let dag = layered_random(&mut rng, &LayeredSpec { tasks: 40, ..Default::default() });
+        let dag = layered_random(
+            &mut rng,
+            &LayeredSpec {
+                tasks: 40,
+                ..Default::default()
+            },
+        );
         (env, dag)
     }
 
     #[test]
     fn anneal_never_worse_than_heft_on_its_objective() {
         let (env, dag) = setup();
-        let annealer = AnnealingPlacer { iters: 150, restarts: 2, ..Default::default() };
+        let annealer = AnnealingPlacer {
+            iters: 150,
+            restarts: 2,
+            ..Default::default()
+        };
         let (_, m_anneal) = annealer.place_with_metrics(&env, &dag);
         let (_, m_heft) = evaluate(&env, &dag, &HeftPlacer::default().place(&env, &dag));
         let obj = WeightedObjective::makespan();
@@ -162,26 +175,43 @@ mod tests {
         let time_only = AnnealingPlacer {
             iters: 200,
             restarts: 2,
-            objective: WeightedObjective { w_time: 1.0, w_energy: 0.0, w_cost: 0.0 },
+            objective: WeightedObjective {
+                w_time: 1.0,
+                w_energy: 0.0,
+                w_cost: 0.0,
+            },
             ..Default::default()
         };
         let energy_heavy = AnnealingPlacer {
             iters: 200,
             restarts: 2,
-            objective: WeightedObjective { w_time: 0.001, w_energy: 100.0, w_cost: 0.0 },
+            objective: WeightedObjective {
+                w_time: 0.001,
+                w_energy: 100.0,
+                w_cost: 0.0,
+            },
             ..Default::default()
         };
         let (_, m_t) = time_only.place_with_metrics(&env, &dag);
         let (_, m_e) = energy_heavy.place_with_metrics(&env, &dag);
         // The energy-weighted run must not spend more energy than the
         // time-weighted run spends (it optimizes for it directly).
-        assert!(m_e.energy_j <= m_t.energy_j * 1.001, "{} vs {}", m_e.energy_j, m_t.energy_j);
+        assert!(
+            m_e.energy_j <= m_t.energy_j * 1.001,
+            "{} vs {}",
+            m_e.energy_j,
+            m_t.energy_j
+        );
     }
 
     #[test]
     fn anneal_deterministic() {
         let (env, dag) = setup();
-        let a = AnnealingPlacer { iters: 60, restarts: 3, ..Default::default() };
+        let a = AnnealingPlacer {
+            iters: 60,
+            restarts: 3,
+            ..Default::default()
+        };
         assert_eq!(a.place(&env, &dag), a.place(&env, &dag));
     }
 
@@ -193,7 +223,11 @@ mod tests {
             source: built.sensors[0],
             ..Default::default()
         });
-        let a = AnnealingPlacer { iters: 100, restarts: 2, ..Default::default() };
+        let a = AnnealingPlacer {
+            iters: 100,
+            restarts: 2,
+            ..Default::default()
+        };
         let p = a.place(&env, &dag);
         let dev = p.device(continuum_workflow::TaskId(0));
         assert_eq!(env.node_of(dev), built.sensors[0]);

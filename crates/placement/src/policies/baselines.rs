@@ -116,12 +116,20 @@ pub struct TierPlacer {
 impl TierPlacer {
     /// "Everything at the edge": sensors and edge gateways only.
     pub fn edge_only() -> Self {
-        TierPlacer { lo: Tier::Sensor, hi: Tier::Edge, label: "edge-only" }
+        TierPlacer {
+            lo: Tier::Sensor,
+            hi: Tier::Edge,
+            label: "edge-only",
+        }
     }
 
     /// "Everything in the cloud": cloud VMs only.
     pub fn cloud_only() -> Self {
-        TierPlacer { lo: Tier::Cloud, hi: Tier::Cloud, label: "cloud-only" }
+        TierPlacer {
+            lo: Tier::Cloud,
+            hi: Tier::Cloud,
+            label: "cloud-only",
+        }
     }
 
     /// Custom range with a label.
@@ -201,7 +209,10 @@ mod tests {
     fn env_and_dag() -> (Env, Dag) {
         let built = continuum(&ContinuumSpec::default());
         let fleet = standard_fleet(&built);
-        let spec = PipelineSpec { source: built.sensors[0], ..Default::default() };
+        let spec = PipelineSpec {
+            source: built.sensors[0],
+            ..Default::default()
+        };
         let dag = analytics_pipeline(&spec);
         (Env::new(built.topology, fleet), dag)
     }
@@ -228,7 +239,11 @@ mod tests {
     #[test]
     fn pinned_capture_stays_pinned_everywhere() {
         let (env, dag) = env_and_dag();
-        let pinned_node = dag.task(continuum_workflow::TaskId(0)).constraints.pinned_node.unwrap();
+        let pinned_node = dag
+            .task(continuum_workflow::TaskId(0))
+            .constraints
+            .pinned_node
+            .unwrap();
         for p in [
             &TierPlacer::cloud_only() as &dyn Placer,
             &TierPlacer::edge_only(),

@@ -104,8 +104,9 @@ impl Placer for CpopPlacer {
 
         // Priority-ordered ready queue (max-heap on priority, id tiebreak).
         let mut est = Estimator::new(env, dag);
-        let mut indeg: Vec<u32> =
-            (0..dag.len()).map(|i| dag.preds(TaskId(i as u32)).len() as u32).collect();
+        let mut indeg: Vec<u32> = (0..dag.len())
+            .map(|i| dag.preds(TaskId(i as u32)).len() as u32)
+            .collect();
 
         // Wrapper for f64 ordering in the heap.
         #[derive(PartialEq, PartialOrd)]
@@ -165,7 +166,13 @@ mod tests {
     fn cpop_valid_and_beats_random() {
         let env = env();
         let mut rng = Rng::new(13);
-        let g = layered_random(&mut rng, &LayeredSpec { tasks: 120, ..Default::default() });
+        let g = layered_random(
+            &mut rng,
+            &LayeredSpec {
+                tasks: 120,
+                ..Default::default()
+            },
+        );
         let placement = CpopPlacer.place(&env, &g);
         assert_eq!(placement.assignment.len(), g.len());
         let (sched, m) = evaluate(&env, &g, &placement);
@@ -195,7 +202,13 @@ mod tests {
     fn cpop_deterministic() {
         let env = env();
         let mut rng = Rng::new(21);
-        let g = layered_random(&mut rng, &LayeredSpec { tasks: 60, ..Default::default() });
+        let g = layered_random(
+            &mut rng,
+            &LayeredSpec {
+                tasks: 60,
+                ..Default::default()
+            },
+        );
         assert_eq!(CpopPlacer.place(&env, &g), CpopPlacer.place(&env, &g));
     }
 }

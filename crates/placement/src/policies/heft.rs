@@ -88,7 +88,13 @@ mod tests {
 
     fn dag(seed: u64, n: usize) -> Dag {
         let mut rng = Rng::new(seed);
-        layered_random(&mut rng, &LayeredSpec { tasks: n, ..Default::default() })
+        layered_random(
+            &mut rng,
+            &LayeredSpec {
+                tasks: n,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -130,10 +136,8 @@ mod tests {
         let env = env();
         for seed in [1u64, 2, 3] {
             let g = dag(seed, 100);
-            let (_, with_ins) =
-                evaluate(&env, &g, &HeftPlacer { insertion: true }.place(&env, &g));
-            let (_, without) =
-                evaluate(&env, &g, &HeftPlacer { insertion: false }.place(&env, &g));
+            let (_, with_ins) = evaluate(&env, &g, &HeftPlacer { insertion: true }.place(&env, &g));
+            let (_, without) = evaluate(&env, &g, &HeftPlacer { insertion: false }.place(&env, &g));
             // Insertion only adds candidate slots; allow a sliver of noise
             // from evaluation replaying with insertion in both cases.
             assert!(

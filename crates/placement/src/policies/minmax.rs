@@ -33,8 +33,9 @@ pub struct MaxMinPlacer;
 fn place(env: &Env, dag: &Dag, flavor: Flavor) -> Placement {
     let mut est = Estimator::new(env, dag);
     let n = dag.len();
-    let mut indeg: Vec<u32> =
-        (0..n).map(|i| dag.preds(TaskId(i as u32)).len() as u32).collect();
+    let mut indeg: Vec<u32> = (0..n)
+        .map(|i| dag.preds(TaskId(i as u32)).len() as u32)
+        .collect();
     let mut ready: Vec<TaskId> = (0..n)
         .filter(|&i| indeg[i] == 0)
         .map(|i| TaskId(i as u32))
@@ -50,9 +51,7 @@ fn place(env: &Env, dag: &Dag, flavor: Flavor) -> Placement {
             let better = match (&best, flavor) {
                 (None, _) => true,
                 (Some((bf, bt, _)), Flavor::MinMin) => (fin, t) < (*bf, *bt),
-                (Some((bf, bt, _)), Flavor::MaxMin) => {
-                    fin > *bf || (fin == *bf && t < *bt)
-                }
+                (Some((bf, bt, _)), Flavor::MaxMin) => fin > *bf || (fin == *bf && t < *bt),
             };
             if better {
                 best = Some((fin, t, dev));
@@ -111,7 +110,13 @@ mod tests {
     fn both_flavors_valid_and_beat_random() {
         let env = env();
         let mut rng = Rng::new(51);
-        let dag = layered_random(&mut rng, &LayeredSpec { tasks: 80, ..Default::default() });
+        let dag = layered_random(
+            &mut rng,
+            &LayeredSpec {
+                tasks: 80,
+                ..Default::default()
+            },
+        );
         for placer in [&MinMinPlacer as &dyn Placer, &MaxMinPlacer] {
             let placement = placer.place(&env, &dag);
             assert_eq!(placement.assignment.len(), dag.len(), "{}", placer.name());
@@ -132,7 +137,12 @@ mod tests {
         let mut topo = continuum_net::Topology::new();
         let fast_n = topo.add_node("fast", continuum_net::Tier::Cloud);
         let slow_n = topo.add_node("slow", continuum_net::Tier::Edge);
-        topo.add_link(fast_n, slow_n, continuum_sim::SimDuration::from_micros(10), 1e9);
+        topo.add_link(
+            fast_n,
+            slow_n,
+            continuum_sim::SimDuration::from_micros(10),
+            1e9,
+        );
         let mut fleet = continuum_model::Fleet::new();
         let mut fast = catalog::spec(DeviceClass::CloudVm);
         fast.cores = 1;
@@ -164,8 +174,20 @@ mod tests {
     fn deterministic() {
         let env = env();
         let mut rng = Rng::new(57);
-        let dag = layered_random(&mut rng, &LayeredSpec { tasks: 40, ..Default::default() });
-        assert_eq!(MinMinPlacer.place(&env, &dag), MinMinPlacer.place(&env, &dag));
-        assert_eq!(MaxMinPlacer.place(&env, &dag), MaxMinPlacer.place(&env, &dag));
+        let dag = layered_random(
+            &mut rng,
+            &LayeredSpec {
+                tasks: 40,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            MinMinPlacer.place(&env, &dag),
+            MinMinPlacer.place(&env, &dag)
+        );
+        assert_eq!(
+            MaxMinPlacer.place(&env, &dag),
+            MaxMinPlacer.place(&env, &dag)
+        );
     }
 }

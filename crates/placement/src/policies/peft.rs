@@ -56,8 +56,7 @@ impl PeftPlacer {
                             .spec
                             .compute_time_parallel(task_s.work_flops, task_s.parallelism)
                             .as_secs_f64();
-                        let comm =
-                            if w == d { 0.0 } else { bytes as f64 / mean_bps };
+                        let comm = if w == d { 0.0 } else { bytes as f64 / mean_bps };
                         let v = oct[s.0 as usize][w] + exec + comm;
                         if v < best {
                             best = v;
@@ -103,8 +102,9 @@ impl Placer for PeftPlacer {
         for (i, t) in order.iter().enumerate() {
             pos[t.0 as usize] = i;
         }
-        let mut indeg: Vec<u32> =
-            (0..dag.len()).map(|i| dag.preds(TaskId(i as u32)).len() as u32).collect();
+        let mut indeg: Vec<u32> = (0..dag.len())
+            .map(|i| dag.preds(TaskId(i as u32)).len() as u32)
+            .collect();
         let mut ready: Vec<TaskId> = (0..dag.len())
             .filter(|&i| indeg[i] == 0)
             .map(|i| TaskId(i as u32))
@@ -126,7 +126,11 @@ impl Placer for PeftPlacer {
                     let score = fin.as_secs_f64() + oct[t.0 as usize][d.0 as usize];
                     (score, d)
                 })
-                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN score").then(a.1.cmp(&b.1)))
+                .min_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .expect("NaN score")
+                        .then(a.1.cmp(&b.1))
+                })
                 .expect("feasible set non-empty")
                 .1;
             est.commit(t, best, true);
@@ -182,13 +186,17 @@ mod tests {
         let env = env();
         for seed in [3u64, 9, 27] {
             let mut rng = Rng::new(seed);
-            let dag =
-                layered_random(&mut rng, &LayeredSpec { tasks: 100, ..Default::default() });
+            let dag = layered_random(
+                &mut rng,
+                &LayeredSpec {
+                    tasks: 100,
+                    ..Default::default()
+                },
+            );
             let placement = PeftPlacer.place(&env, &dag);
             let (sched, m_peft) = evaluate(&env, &dag, &placement);
             assert!(sched.respects_dependencies(&dag));
-            let (_, m_heft) =
-                evaluate(&env, &dag, &HeftPlacer::default().place(&env, &dag));
+            let (_, m_heft) = evaluate(&env, &dag, &HeftPlacer::default().place(&env, &dag));
             let (_, m_rand) = evaluate(&env, &dag, &RandomPlacer::new(seed).place(&env, &dag));
             assert!(m_peft.makespan_s < m_rand.makespan_s);
             // PEFT and HEFT should be in the same league (within 2x).
@@ -205,7 +213,13 @@ mod tests {
     fn peft_deterministic() {
         let env = env();
         let mut rng = Rng::new(81);
-        let dag = layered_random(&mut rng, &LayeredSpec { tasks: 60, ..Default::default() });
+        let dag = layered_random(
+            &mut rng,
+            &LayeredSpec {
+                tasks: 60,
+                ..Default::default()
+            },
+        );
         assert_eq!(PeftPlacer.place(&env, &dag), PeftPlacer.place(&env, &dag));
     }
 }

@@ -76,7 +76,11 @@ impl AppOutcome {
 impl AppBuilder {
     /// Start a new application.
     pub fn new(name: impl Into<String>) -> AppBuilder {
-        AppBuilder { dag: Dag::new(name), closures: Vec::new(), input_payloads: Vec::new() }
+        AppBuilder {
+            dag: Dag::new(name),
+            closures: Vec::new(),
+            input_payloads: Vec::new(),
+        }
     }
 
     /// Declare an external input with an actual payload, born at `home`.
@@ -98,8 +102,12 @@ impl AppBuilder {
         out_bytes_hint: u64,
         f: impl FnOnce(&[Bytes]) -> Bytes + Send + 'static,
     ) -> AppHandle {
-        let out = self.dag.add_item(format!("{}_out", self.closures.len()), out_bytes_hint);
-        let task = self.dag.add_task(name, work_hint, inputs.to_vec(), vec![out]);
+        let out = self
+            .dag
+            .add_item(format!("{}_out", self.closures.len()), out_bytes_hint);
+        let task = self
+            .dag
+            .add_task(name, work_hint, inputs.to_vec(), vec![out]);
         self.closures.push(Some(Box::new(f)));
         AppHandle { task, out }
     }
@@ -159,7 +167,12 @@ impl AppBuilder {
             }
         });
 
-        AppOutcome { placement, trace, outputs: store.into_inner(), dag: self.dag }
+        AppOutcome {
+            placement,
+            trace,
+            outputs: store.into_inner(),
+            dag: self.dag,
+        }
     }
 }
 
@@ -173,7 +186,10 @@ mod tests {
     fn env() -> (Env, NodeId) {
         let built = continuum(&ContinuumSpec::default());
         let sensor = built.sensors[0];
-        (Env::new(built.topology.clone(), standard_fleet(&built)), sensor)
+        (
+            Env::new(built.topology.clone(), standard_fleet(&built)),
+            sensor,
+        )
     }
 
     #[test]
@@ -233,15 +249,21 @@ mod tests {
         let (env, sensor) = env();
         let mut app = AppBuilder::new("hint-vs-payload");
         let x = app.input_data("x", Bytes::from_static(b"abcdef"), sensor);
-        let head = app.task("head", 1e6, &[x], 1024 /* over-hinted */, |ins| {
-            ins[0].slice(0..3)
-        });
+        let head = app.task(
+            "head",
+            1e6,
+            &[x],
+            1024, /* over-hinted */
+            |ins| ins[0].slice(0..3),
+        );
         let len = app.task("len", 1e6, &[head.out], 8, |ins| {
             Bytes::copy_from_slice(&(ins[0].len() as u64).to_le_bytes())
         });
         let outcome = app.run(&env, &HeftPlacer::default(), 1e-5);
         let v = u64::from_le_bytes(
-            outcome.output(len).expect("ran")[..8].try_into().expect("8"),
+            outcome.output(len).expect("ran")[..8]
+                .try_into()
+                .expect("8"),
         );
         assert_eq!(v, 3);
     }

@@ -28,7 +28,10 @@ struct Semaphore {
 
 impl Semaphore {
     fn new(permits: u32) -> Self {
-        Semaphore { state: Mutex::new(permits), cv: Condvar::new() }
+        Semaphore {
+            state: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
     }
 
     fn acquire(&self, k: u32) {
@@ -54,7 +57,10 @@ struct FinishCell {
 
 impl FinishCell {
     fn new() -> Self {
-        FinishCell { slot: Mutex::new(None), cv: Condvar::new() }
+        FinishCell {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
     }
 
     fn set(&self, t: Instant) {
@@ -90,9 +96,9 @@ impl RealTrace {
     /// finished (up to the given slack for scheduler jitter).
     pub fn respects_dependencies(&self, dag: &Dag, slack: Duration) -> bool {
         dag.tasks().iter().all(|t| {
-            dag.preds(t.id).iter().all(|p| {
-                self.finish[p.0 as usize] <= self.start[t.id.0 as usize] + slack
-            })
+            dag.preds(t.id)
+                .iter()
+                .all(|p| self.finish[p.0 as usize] <= self.start[t.id.0 as usize] + slack)
         })
     }
 }
@@ -149,10 +155,12 @@ impl RealExecutor {
             .iter()
             .map(|d| Arc::new(Semaphore::new(d.spec.cores)))
             .collect();
-        let cells: Vec<Arc<FinishCell>> =
-            (0..dag.len()).map(|_| Arc::new(FinishCell::new())).collect();
-        let starts: Vec<Arc<Mutex<Duration>>> =
-            (0..dag.len()).map(|_| Arc::new(Mutex::new(Duration::ZERO))).collect();
+        let cells: Vec<Arc<FinishCell>> = (0..dag.len())
+            .map(|_| Arc::new(FinishCell::new()))
+            .collect();
+        let starts: Vec<Arc<Mutex<Duration>>> = (0..dag.len())
+            .map(|_| Arc::new(Mutex::new(Duration::ZERO)))
+            .collect();
 
         let t0 = Instant::now();
         std::thread::scope(|scope| {
@@ -229,8 +237,7 @@ impl RealExecutor {
             }
         });
 
-        let finish: Vec<Duration> =
-            cells.iter().map(|c| c.wait().duration_since(t0)).collect();
+        let finish: Vec<Duration> = cells.iter().map(|c| c.wait().duration_since(t0)).collect();
         let start: Vec<Duration> = starts.iter().map(|s| *s.lock()).collect();
         let makespan = finish.iter().copied().max().unwrap_or(Duration::ZERO);
         RealTrace {
@@ -305,8 +312,9 @@ mod tests {
             let o = g.add_item(format!("o{i}"), 1);
             g.add_task(format!("t{i}"), 1.2e10, vec![input], vec![o]);
         }
-        let placement =
-            Placement { assignment: vec![continuum_model::DeviceId(0); 8] };
+        let placement = Placement {
+            assignment: vec![continuum_model::DeviceId(0); 8],
+        };
         let running = AtomicUsize::new(0);
         let peak = AtomicUsize::new(0);
         let exec = RealExecutor { time_scale: 5e-3 };
@@ -316,7 +324,11 @@ mod tests {
             std::thread::sleep(Duration::from_millis(15));
             running.fetch_sub(1, Ordering::SeqCst);
         });
-        assert!(peak.load(Ordering::SeqCst) <= 4, "peak {}", peak.load(Ordering::SeqCst));
+        assert!(
+            peak.load(Ordering::SeqCst) <= 4,
+            "peak {}",
+            peak.load(Ordering::SeqCst)
+        );
         assert!(peak.load(Ordering::SeqCst) >= 2, "no concurrency at all");
     }
 

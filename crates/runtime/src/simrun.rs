@@ -45,7 +45,11 @@ pub struct SimOutcome {
 pub fn simulate(env: &Env, dag: &Dag, placement: &Placement) -> SimOutcome {
     simulate_stream(
         env,
-        &[StreamRequest { arrival: SimTime::ZERO, dag: dag.clone(), placement: placement.clone() }],
+        &[StreamRequest {
+            arrival: SimTime::ZERO,
+            dag: dag.clone(),
+            placement: placement.clone(),
+        }],
     )
 }
 
@@ -82,12 +86,22 @@ impl Default for FaultSpec {
 enum Ev {
     Arrival(usize),
     /// Propagation delay elapsed; begin streaming bytes.
-    StartFlow { req: usize, item: DataId, dst: NodeId },
+    StartFlow {
+        req: usize,
+        item: DataId,
+        dst: NodeId,
+    },
     /// The flow the executor predicted to finish first has finished.
     FlowDone(FlowId),
-    TaskFinished { req: usize, task: TaskId },
+    TaskFinished {
+        req: usize,
+        task: TaskId,
+    },
     /// A failed task's retry delay elapsed; requeue it.
-    RetryTask { req: usize, task: TaskId },
+    RetryTask {
+        req: usize,
+        task: TaskId,
+    },
 }
 
 /// Per-flow ECMP salt: stable for a (request, item) pair, never zero so
@@ -131,7 +145,10 @@ pub fn simulate_stream_with_faults(
     faults: Option<&FaultSpec>,
 ) -> SimOutcome {
     let mut fault_rng = faults.map(|f| {
-        assert!((0.0..1.0).contains(&f.fail_prob), "fail_prob must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&f.fail_prob),
+            "fail_prob must be in [0,1)"
+        );
         assert!(f.max_attempts >= 1);
         continuum_sim::Rng::new(f.seed)
     });
@@ -149,8 +166,7 @@ pub fn simulate_stream_with_faults(
     let n_dev = env.fleet.len();
     let mut queue: EventQueue<Ev> = EventQueue::new();
     let mut network = FlowNetwork::new(&env.topology);
-    let mut free_cores: Vec<u32> =
-        env.fleet.devices().iter().map(|d| d.spec.cores).collect();
+    let mut free_cores: Vec<u32> = env.fleet.devices().iter().map(|d| d.spec.cores).collect();
     let mut device_q: Vec<VecDeque<(usize, TaskId)>> = vec![VecDeque::new(); n_dev];
     let mut flow_dest: HashMap<FlowId, (usize, DataId, NodeId)> = HashMap::new();
     let mut pending_completion: Option<(EventId, FlowId)> = None;
@@ -217,8 +233,11 @@ pub fn simulate_stream_with_faults(
                         ins.dedup();
                         for d in ins {
                             if r.dag.producer(d).is_none() {
-                                let home =
-                                    r.dag.data(d).home.expect("validated dag: external has home");
+                                let home = r
+                                    .dag
+                                    .data(d)
+                                    .home
+                                    .expect("validated dag: external has home");
                                 match st.items.entry((d, dst)) {
                                     Entry::Occupied(_) => {}
                                     Entry::Vacant(v) => {
@@ -314,8 +333,17 @@ pub fn simulate_stream_with_faults(
                         dispatch_devices.dedup();
                         for di in dispatch_devices.drain(..) {
                             dispatch_queue(
-                                env, requests, &mut states, &mut device_q, &mut free_cores,
-                                &mut trace, &mut energy, &mut cost, &mut queue, di, now,
+                                env,
+                                requests,
+                                &mut states,
+                                &mut device_q,
+                                &mut free_cores,
+                                &mut trace,
+                                &mut energy,
+                                &mut cost,
+                                &mut queue,
+                                di,
+                                now,
                             );
                         }
                         continue;
@@ -400,8 +428,17 @@ pub fn simulate_stream_with_faults(
         dispatch_devices.dedup();
         for di in dispatch_devices {
             dispatch_queue(
-                env, requests, &mut states, &mut device_q, &mut free_cores, &mut trace,
-                &mut energy, &mut cost, &mut queue, di, now,
+                env,
+                requests,
+                &mut states,
+                &mut device_q,
+                &mut free_cores,
+                &mut trace,
+                &mut energy,
+                &mut cost,
+                &mut queue,
+                di,
+                now,
             );
         }
 
@@ -518,7 +555,9 @@ mod tests {
     fn single_local_task_time_matches_spec() {
         let (env, e, _) = two_node(1e9);
         let dag = local_task_dag(e, 1.2e10);
-        let placement = Placement { assignment: vec![continuum_model::DeviceId(0)] };
+        let placement = Placement {
+            assignment: vec![continuum_model::DeviceId(0)],
+        };
         let out = simulate(&env, &dag, &placement);
         let spec = &env.fleet.device(continuum_model::DeviceId(0)).spec;
         let expected = spec.compute_time(1.2e10).as_secs_f64();
@@ -531,11 +570,12 @@ mod tests {
         let (env, e, _c) = two_node(1e6);
         let dag = local_task_dag(e, 6e11);
         // Run on the cloud device (index 1): the 1000-byte input must move.
-        let placement = Placement { assignment: vec![continuum_model::DeviceId(1)] };
+        let placement = Placement {
+            assignment: vec![continuum_model::DeviceId(1)],
+        };
         let out = simulate(&env, &dag, &placement);
         let spec = &env.fleet.device(continuum_model::DeviceId(1)).spec;
-        let expected =
-            0.010 + 1000.0 / 1e6 + spec.compute_time(6e11).as_secs_f64();
+        let expected = 0.010 + 1000.0 / 1e6 + spec.compute_time(6e11).as_secs_f64();
         assert!(
             (out.metrics.makespan_s - expected).abs() < 1e-3,
             "got {} want {}",
@@ -556,10 +596,15 @@ mod tests {
             let out = g.add_item(format!("o{i}"), 1);
             g.add_task(format!("t{i}"), 3e9, vec![input], vec![out]);
         }
-        let placement =
-            Placement { assignment: vec![continuum_model::DeviceId(0); 9] };
+        let placement = Placement {
+            assignment: vec![continuum_model::DeviceId(0); 9],
+        };
         let out = simulate(&env, &g, &placement);
-        let one = env.fleet.device(continuum_model::DeviceId(0)).spec.compute_time(3e9);
+        let one = env
+            .fleet
+            .device(continuum_model::DeviceId(0))
+            .spec
+            .compute_time(3e9);
         // 9 tasks on 4 cores -> 3 waves.
         let expected = one.as_secs_f64() * 3.0;
         assert!(
@@ -620,7 +665,10 @@ mod tests {
         let mut rng = continuum_sim::Rng::new(19);
         let dag = continuum_workflow::layered_random(
             &mut rng,
-            &continuum_workflow::LayeredSpec { tasks: 80, ..Default::default() },
+            &continuum_workflow::LayeredSpec {
+                tasks: 80,
+                ..Default::default()
+            },
         );
         let placement = HeftPlacer::default().place(&env, &dag);
         let out = simulate(&env, &dag, &placement);
@@ -645,7 +693,12 @@ mod tests {
         let sim = simulate(&env, &g, &placement);
         assert!(sched.respects_dependencies(&g));
         let rel = (sim.metrics.makespan_s - est.makespan_s).abs() / est.makespan_s;
-        assert!(rel < 0.01, "sim {} vs est {}", sim.metrics.makespan_s, est.makespan_s);
+        assert!(
+            rel < 0.01,
+            "sim {} vs est {}",
+            sim.metrics.makespan_s,
+            est.makespan_s
+        );
     }
 
     #[test]
@@ -654,7 +707,9 @@ mod tests {
         let mk = |arr: u64| StreamRequest {
             arrival: SimTime::from_secs(arr),
             dag: local_task_dag(e, 1.2e10),
-            placement: Placement { assignment: vec![continuum_model::DeviceId(0)] },
+            placement: Placement {
+                assignment: vec![continuum_model::DeviceId(0)],
+            },
         };
         let out = simulate_stream(&env, &[mk(0), mk(10)]);
         let lats = out.trace.latencies_s();
@@ -679,7 +734,10 @@ mod fault_tests {
         let mut rng = continuum_sim::Rng::new(99);
         let dag = continuum_workflow::layered_random(
             &mut rng,
-            &continuum_workflow::LayeredSpec { tasks: 50, ..Default::default() },
+            &continuum_workflow::LayeredSpec {
+                tasks: 50,
+                ..Default::default()
+            },
         );
         let placement = HeftPlacer::default().place(&env, &dag);
         (env, dag, placement)
@@ -691,7 +749,10 @@ mod fault_tests {
             dag: dag.clone(),
             placement: placement.clone(),
         }];
-        let faults = FaultSpec { fail_prob: prob, ..Default::default() };
+        let faults = FaultSpec {
+            fail_prob: prob,
+            ..Default::default()
+        };
         simulate_stream_with_faults(env, &reqs, Some(&faults))
     }
 
@@ -749,8 +810,14 @@ mod fault_tests {
         let input = dag.add_input("in", 1, n);
         let out = dag.add_item("out", 1);
         dag.add_task("t", 1e9, vec![input], vec![out]);
-        let placement = Placement { assignment: vec![continuum_model::DeviceId(0)] };
-        let reqs = [StreamRequest { arrival: SimTime::ZERO, dag, placement }];
+        let placement = Placement {
+            assignment: vec![continuum_model::DeviceId(0)],
+        };
+        let reqs = [StreamRequest {
+            arrival: SimTime::ZERO,
+            dag,
+            placement,
+        }];
         let faults = FaultSpec {
             fail_prob: 0.999999,
             retry_delay: SimDuration::from_millis(1),

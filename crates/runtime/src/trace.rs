@@ -110,7 +110,12 @@ impl ExecutionTrace {
                 *cell += 1;
             }
         }
-        let label_w = device_names.iter().map(String::len).max().unwrap_or(0).min(24);
+        let label_w = device_names
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .min(24);
         let mut out = String::new();
         for (di, row) in grid.iter().enumerate() {
             if row.iter().all(|&c| c == 0) {

@@ -19,6 +19,10 @@ pub trait Model {
 }
 
 /// Outcome of a [`run_until`] call.
+///
+/// Marked `#[must_use]`: discarding it silently loses the only signal of
+/// whether the run drained the calendar or was cut off at the deadline.
+#[must_use = "check `drained`/`end_time` to learn why the run stopped"]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunStats {
     /// Number of events dispatched.
@@ -30,7 +34,15 @@ pub struct RunStats {
 }
 
 /// Dispatch events until the calendar drains or the next event would fire
-/// after `deadline`. Events exactly at `deadline` are dispatched.
+/// after `deadline`.
+///
+/// The deadline is **inclusive**: an event stamped exactly at `deadline`
+/// is dispatched (and may schedule further events at `deadline`, which
+/// are dispatched too); only events strictly after `deadline` are left in
+/// the queue. Callers that chain windows — `run_until(t1)` then
+/// `run_until(t2)` — therefore see each boundary event exactly once, in
+/// the earlier window. When the run is cut off, `end_time` is the time of
+/// the last *dispatched* event, not `deadline` itself.
 pub fn run_until<M: Model>(
     model: &mut M,
     queue: &mut EventQueue<M::Event>,
@@ -40,10 +52,18 @@ pub fn run_until<M: Model>(
     loop {
         match queue.peek_time() {
             None => {
-                return RunStats { events, end_time: queue.now(), drained: true };
+                return RunStats {
+                    events,
+                    end_time: queue.now(),
+                    drained: true,
+                };
             }
             Some(t) if t > deadline => {
-                return RunStats { events, end_time: queue.now(), drained: false };
+                return RunStats {
+                    events,
+                    end_time: queue.now(),
+                    drained: false,
+                };
             }
             Some(_) => {
                 let (now, ev) = queue.pop().expect("peeked event vanished");
@@ -100,7 +120,10 @@ mod tests {
 
     #[test]
     fn ping_pong_drains() {
-        let mut m = PingPong { remaining: 3, log: vec![] };
+        let mut m = PingPong {
+            remaining: 3,
+            log: vec![],
+        };
         let mut q = EventQueue::new();
         q.schedule_now(Ev::Ping);
         let stats = run_to_completion(&mut m, &mut q);
@@ -113,12 +136,50 @@ mod tests {
 
     #[test]
     fn deadline_stops_early() {
-        let mut m = PingPong { remaining: 1000, log: vec![] };
+        let mut m = PingPong {
+            remaining: 1000,
+            log: vec![],
+        };
         let mut q = EventQueue::new();
         q.schedule_now(Ev::Ping);
         let stats = run_until(&mut m, &mut q, SimTime::from_millis(10));
         assert!(!stats.drained);
         assert!(stats.end_time <= SimTime::from_millis(10));
         assert!(!q.is_empty());
+    }
+
+    /// A model that just counts dispatches and schedules nothing.
+    struct Counter(u64);
+    impl Model for Counter {
+        type Event = ();
+        fn handle(&mut self, _now: SimTime, (): (), _q: &mut EventQueue<()>) {
+            self.0 += 1;
+        }
+    }
+
+    #[test]
+    fn deadline_boundary_is_inclusive() {
+        // Events at t=5ms (the deadline), t=5ms again, and t=5ms+1ns.
+        let deadline = SimTime::from_millis(5);
+        let just_after = deadline + SimDuration::from_nanos(1);
+        let mut m = Counter(0);
+        let mut q = EventQueue::new();
+        q.schedule_at(deadline, ());
+        q.schedule_at(deadline, ());
+        q.schedule_at(just_after, ());
+
+        let stats = run_until(&mut m, &mut q, deadline);
+        // Both boundary events dispatched; the strictly-later one pinned.
+        assert_eq!(m.0, 2);
+        assert_eq!(stats.events, 2);
+        assert!(!stats.drained);
+        assert_eq!(stats.end_time, deadline);
+        assert_eq!(q.peek_time(), Some(just_after));
+
+        // A chained window picks up exactly the remaining event.
+        let stats = run_until(&mut m, &mut q, just_after);
+        assert_eq!(m.0, 3);
+        assert_eq!(stats.events, 1);
+        assert!(stats.drained);
     }
 }

@@ -100,7 +100,11 @@ impl<E> EventQueue<E> {
 
     /// Schedule `payload` at absolute time `at`.
     pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let id = EventId(self.next_id);
         self.next_id += 1;
@@ -236,7 +240,9 @@ mod tests {
     #[test]
     fn len_excludes_cancelled() {
         let mut q = EventQueue::new();
-        let ids: Vec<_> = (0..5).map(|i| q.schedule_at(SimTime::from_secs(i), i)).collect();
+        let ids: Vec<_> = (0..5)
+            .map(|i| q.schedule_at(SimTime::from_secs(i), i))
+            .collect();
         q.cancel(ids[1]);
         q.cancel(ids[3]);
         assert_eq!(q.len(), 3);

@@ -99,9 +99,7 @@ impl OnlineStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -120,7 +118,10 @@ pub struct Percentiles {
 impl Percentiles {
     /// Empty sample set.
     pub fn new() -> Self {
-        Percentiles { samples: Vec::new(), sorted: true }
+        Percentiles {
+            samples: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Add one observation.
@@ -141,7 +142,8 @@ impl Percentiles {
             return None;
         }
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
             self.sorted = true;
         }
         let q = q.clamp(0.0, 1.0);
@@ -181,7 +183,13 @@ impl Histogram {
     /// Create a histogram over `[lo, hi)` with `bins` equal-width bins.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(hi > lo && bins > 0);
-        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Add one observation.

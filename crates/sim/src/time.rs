@@ -15,11 +15,15 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 pub const NANOS_PER_SEC: u64 = 1_000_000_000;
 
 /// An instant in virtual time, measured in nanoseconds from simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 /// A span of virtual time, measured in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -238,8 +242,14 @@ mod tests {
         let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
         assert_eq!(t, SimTime::from_millis(15));
         assert_eq!(t - SimTime::from_millis(5), SimDuration::from_millis(10));
-        assert_eq!(SimDuration::from_micros(4) * 250, SimDuration::from_millis(1));
-        assert_eq!(SimDuration::from_millis(1) / 4, SimDuration::from_micros(250));
+        assert_eq!(
+            SimDuration::from_micros(4) * 250,
+            SimDuration::from_millis(1)
+        );
+        assert_eq!(
+            SimDuration::from_millis(1) / 4,
+            SimDuration::from_micros(250)
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ impl std::error::Error for DagError {}
 impl Dag {
     /// Empty workflow.
     pub fn new(name: impl Into<String>) -> Self {
-        Dag { name: name.into(), ..Default::default() }
+        Dag {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Add an external input item born at `home`.
@@ -89,7 +92,12 @@ impl Dag {
 
     fn push_data(&mut self, name: impl Into<String>, bytes: u64, home: Option<NodeId>) -> DataId {
         let id = DataId(self.data.len() as u32);
-        self.data.push(DataItem { id, name: name.into(), bytes, home });
+        self.data.push(DataItem {
+            id,
+            name: name.into(),
+            bytes,
+            home,
+        });
         self.producer.push(None);
         id
     }
@@ -201,12 +209,20 @@ impl Dag {
 
     /// Tasks with no predecessors.
     pub fn sources(&self) -> Vec<TaskId> {
-        self.tasks.iter().filter(|t| self.preds(t.id).is_empty()).map(|t| t.id).collect()
+        self.tasks
+            .iter()
+            .filter(|t| self.preds(t.id).is_empty())
+            .map(|t| t.id)
+            .collect()
     }
 
     /// Tasks with no successors.
     pub fn sinks(&self) -> Vec<TaskId> {
-        self.tasks.iter().filter(|t| self.succs(t.id).is_empty()).map(|t| t.id).collect()
+        self.tasks
+            .iter()
+            .filter(|t| self.succs(t.id).is_empty())
+            .map(|t| t.id)
+            .collect()
     }
 
     /// Total work across all tasks, flops.
@@ -231,7 +247,11 @@ impl Dag {
         }
         for task in &other.tasks {
             let inputs = task.inputs.iter().map(|d| DataId(d.0 + data_off)).collect();
-            let outputs = task.outputs.iter().map(|d| DataId(d.0 + data_off)).collect();
+            let outputs = task
+                .outputs
+                .iter()
+                .map(|d| DataId(d.0 + data_off))
+                .collect();
             self.add_task_full(
                 task.name.clone(),
                 task.work_flops,
@@ -253,8 +273,7 @@ impl Dag {
                 }
             }
             for &d in &t.inputs {
-                if self.producer[d.0 as usize].is_none() && self.data[d.0 as usize].home.is_none()
-                {
+                if self.producer[d.0 as usize].is_none() && self.data[d.0 as usize].home.is_none() {
                     return Err(DagError::OrphanInput(t.id, d));
                 }
             }
@@ -271,8 +290,10 @@ impl Dag {
     pub fn topo_order(&self) -> Vec<TaskId> {
         let n = self.tasks.len();
         let mut indeg: Vec<u32> = (0..n).map(|i| self.preds[i].len() as u32).collect();
-        let mut queue: VecDeque<TaskId> =
-            (0..n).filter(|&i| indeg[i] == 0).map(|i| TaskId(i as u32)).collect();
+        let mut queue: VecDeque<TaskId> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .map(|i| TaskId(i as u32))
+            .collect();
         let mut order = Vec::with_capacity(n);
         while let Some(t) = queue.pop_front() {
             order.push(t);
@@ -292,8 +313,13 @@ impl Dag {
         let mut depth = vec![0usize; self.tasks.len()];
         let mut max = 0;
         for &t in &order {
-            let d =
-                self.preds(t).iter().map(|p| depth[p.0 as usize]).max().unwrap_or(0) + 1;
+            let d = self
+                .preds(t)
+                .iter()
+                .map(|p| depth[p.0 as usize])
+                .max()
+                .unwrap_or(0)
+                + 1;
             depth[t.0 as usize] = d;
             max = max.max(d);
         }
@@ -306,8 +332,11 @@ impl Dag {
         let mut best = vec![0.0f64; self.tasks.len()];
         let mut max = 0.0f64;
         for &t in &order {
-            let up: f64 =
-                self.preds(t).iter().map(|p| best[p.0 as usize]).fold(0.0, f64::max);
+            let up: f64 = self
+                .preds(t)
+                .iter()
+                .map(|p| best[p.0 as usize])
+                .fold(0.0, f64::max);
             let v = up + self.task(t).work_flops;
             best[t.0 as usize] = v;
             max = max.max(v);
@@ -317,7 +346,11 @@ impl Dag {
 
     /// Bytes entering each task: sum of its input item sizes.
     pub fn input_bytes(&self, t: TaskId) -> u64 {
-        self.task(t).inputs.iter().map(|&d| self.data(d).bytes).sum()
+        self.task(t)
+            .inputs
+            .iter()
+            .map(|&d| self.data(d).bytes)
+            .sum()
     }
 
     /// Upward ranks for HEFT-family schedulers, computed against *average*
@@ -388,8 +421,9 @@ mod tests {
         let g = diamond();
         let order = g.topo_order();
         assert_eq!(order.len(), 3);
-        let pos: Vec<usize> =
-            (0..3).map(|i| order.iter().position(|t| t.0 == i as u32).unwrap()).collect();
+        let pos: Vec<usize> = (0..3)
+            .map(|i| order.iter().position(|t| t.0 == i as u32).unwrap())
+            .collect();
         assert!(pos[0] < pos[1]);
         assert!(pos[1] < pos[2]);
     }
@@ -466,5 +500,4 @@ mod tests {
         assert_eq!(g.preds(TaskId(1)).len(), 1);
         assert_eq!(g.succs(TaskId(0)).len(), 1);
     }
-
 }

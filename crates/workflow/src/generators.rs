@@ -137,7 +137,12 @@ pub fn map_reduce(
     for (r, part) in partitions.into_iter().enumerate() {
         let in_bytes: u64 = part.iter().map(|&d| g.data(d).bytes).sum();
         let out = g.add_item(format!("reduce{r}_out"), (in_bytes / 10).max(1));
-        g.add_task(format!("reduce{r}"), work_per_byte * in_bytes as f64, part, vec![out]);
+        g.add_task(
+            format!("reduce{r}"),
+            work_per_byte * in_bytes as f64,
+            part,
+            vec![out],
+        );
         reduce_outs.push(out);
     }
     let final_out = g.add_item("final", 1024);
@@ -280,7 +285,12 @@ pub fn montage_like(source: NodeId, n_images: usize, image_bytes: u64) -> Dag {
     let mut corrected = Vec::with_capacity(n_images);
     for (i, &p) in projected.iter().enumerate() {
         let c = g.add_item(format!("corr{i}"), image_bytes);
-        g.add_task(format!("mBackground{i}"), 5.0 * image_bytes as f64, vec![p, model], vec![c]);
+        g.add_task(
+            format!("mBackground{i}"),
+            5.0 * image_bytes as f64,
+            vec![p, model],
+            vec![c],
+        );
         corrected.push(c);
     }
     let mosaic = g.add_item("mosaic", image_bytes * n_images as u64 / 2);
@@ -438,9 +448,21 @@ pub fn inference_stream(rng: &mut Rng, spec: &StreamSpec) -> StreamWorkload {
         let mut g = Dag::new(format!("req{i}"));
         let frame = g.add_input("frame", spec.frame_bytes, sensor);
         let cap = g.add_item("cap", spec.frame_bytes);
-        g.add_task_full("capture", 1e5, 1, vec![frame], vec![cap], Constraints::pinned(sensor));
+        g.add_task_full(
+            "capture",
+            1e5,
+            1,
+            vec![frame],
+            vec![cap],
+            Constraints::pinned(sensor),
+        );
         let pre = g.add_item("pre", spec.frame_bytes / 2);
-        g.add_task("preprocess", 100.0 * spec.frame_bytes as f64, vec![cap], vec![pre]);
+        g.add_task(
+            "preprocess",
+            100.0 * spec.frame_bytes as f64,
+            vec![cap],
+            vec![pre],
+        );
         let label = g.add_item("label", 256);
         g.add_task("infer", spec.infer_flops, vec![pre], vec![label]);
         debug_assert!(g.validate().is_ok());
@@ -464,7 +486,10 @@ mod tests {
         let sizes: Vec<u64> = g.data_items().iter().map(|d| d.bytes).collect();
         assert!(sizes[2] < sizes[1]);
         // Capture pinned to the source.
-        assert_eq!(g.task(crate::task::TaskId(0)).constraints.pinned_node, Some(spec.source));
+        assert_eq!(
+            g.task(crate::task::TaskId(0)).constraints.pinned_node,
+            Some(spec.source)
+        );
     }
 
     #[test]
@@ -483,8 +508,11 @@ mod tests {
         assert!(g.validate().is_ok());
         assert_eq!(g.len(), 4 + 2 + 1);
         // Each reducer depends on all mappers.
-        let reducers: Vec<_> =
-            g.tasks().iter().filter(|t| t.name.starts_with("reduce")).collect();
+        let reducers: Vec<_> = g
+            .tasks()
+            .iter()
+            .filter(|t| t.name.starts_with("reduce"))
+            .collect();
         for r in reducers {
             assert_eq!(g.preds(r.id).len(), 4);
         }
@@ -492,7 +520,10 @@ mod tests {
 
     #[test]
     fn layered_random_valid_and_deterministic() {
-        let spec = LayeredSpec { tasks: 200, ..Default::default() };
+        let spec = LayeredSpec {
+            tasks: 200,
+            ..Default::default()
+        };
         let mut r1 = Rng::new(7);
         let mut r2 = Rng::new(7);
         let g1 = layered_random(&mut r1, &spec);
@@ -508,7 +539,11 @@ mod tests {
 
     #[test]
     fn layered_random_respects_width() {
-        let spec = LayeredSpec { tasks: 50, width: 3, ..Default::default() };
+        let spec = LayeredSpec {
+            tasks: 50,
+            width: 3,
+            ..Default::default()
+        };
         let mut rng = Rng::new(11);
         let g = layered_random(&mut rng, &spec);
         // Depth must be at least tasks/width layers.
@@ -532,8 +567,11 @@ mod tests {
         assert_eq!(g.len(), 9 + 3 + 1);
         assert_eq!(g.sinks().len(), 1);
         // All workers consume the single model item.
-        let model_consumers =
-            g.tasks().iter().filter(|t| t.inputs.contains(&crate::data::DataId(0))).count();
+        let model_consumers = g
+            .tasks()
+            .iter()
+            .filter(|t| t.inputs.contains(&crate::data::DataId(0)))
+            .count();
         assert_eq!(model_consumers, 9);
         // depth: workers -> level0 reduce -> final reduce.
         assert_eq!(g.depth(), 3);
@@ -560,14 +598,21 @@ mod tests {
             .expect("interior cell exists");
         assert_eq!(g.preds(t.id).len(), 3);
         // Border cells have 2.
-        let b = g.tasks().iter().find(|t| t.name == "cell1_0").expect("border cell");
+        let b = g
+            .tasks()
+            .iter()
+            .find(|t| t.name == "cell1_0")
+            .expect("border cell");
         assert_eq!(g.preds(b.id).len(), 2);
     }
 
     #[test]
     fn stream_arrivals_increase() {
         let mut rng = Rng::new(3);
-        let spec = StreamSpec { requests: 50, ..Default::default() };
+        let spec = StreamSpec {
+            requests: 50,
+            ..Default::default()
+        };
         let w = inference_stream(&mut rng, &spec);
         assert_eq!(w.requests.len(), 50);
         for pair in w.requests.windows(2) {
@@ -582,7 +627,11 @@ mod tests {
     #[test]
     fn stream_rate_approximates() {
         let mut rng = Rng::new(5);
-        let spec = StreamSpec { requests: 2000, rate_hz: 10.0, ..Default::default() };
+        let spec = StreamSpec {
+            requests: 2000,
+            rate_hz: 10.0,
+            ..Default::default()
+        };
         let w = inference_stream(&mut rng, &spec);
         let last = w.requests.last().unwrap().0.as_secs_f64();
         let rate = 2000.0 / last;

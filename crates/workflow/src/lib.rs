@@ -20,7 +20,7 @@ pub mod task;
 pub use dag::{Dag, DagError};
 pub use data::{DataId, DataItem};
 pub use generators::{
-    analytics_pipeline, broadcast_reduce, fork_join, inference_stream, layered_random,
-    map_reduce, montage_like, stencil, LayeredSpec, PipelineSpec, StreamSpec, StreamWorkload,
+    analytics_pipeline, broadcast_reduce, fork_join, inference_stream, layered_random, map_reduce,
+    montage_like, stencil, LayeredSpec, PipelineSpec, StreamSpec, StreamWorkload,
 };
 pub use task::{Constraints, Task, TaskId};

@@ -35,12 +35,18 @@ impl Constraints {
 
     /// Pin to a node.
     pub fn pinned(node: NodeId) -> Self {
-        Constraints { pinned_node: Some(node), ..Default::default() }
+        Constraints {
+            pinned_node: Some(node),
+            ..Default::default()
+        }
     }
 
     /// Restrict to a tier range.
     pub fn tiers(min: Tier, max: Tier) -> Self {
-        Constraints { tier_range: Some((min, max)), ..Default::default() }
+        Constraints {
+            tier_range: Some((min, max)),
+            ..Default::default()
+        }
     }
 }
 
@@ -87,7 +93,10 @@ mod tests {
         };
         assert_eq!(t.occupancy(4), 4);
         assert_eq!(t.occupancy(16), 8);
-        let t0 = Task { parallelism: 0, ..t };
+        let t0 = Task {
+            parallelism: 0,
+            ..t
+        };
         assert_eq!(t0.occupancy(4), 1);
     }
 }

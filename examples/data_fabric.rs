@@ -48,17 +48,29 @@ fn main() {
     );
     run(
         &world,
-        StagingConfig { cache_bytes: 0, replicate: false, ..Default::default() },
+        StagingConfig {
+            cache_bytes: 0,
+            replicate: false,
+            ..Default::default()
+        },
         "no cache",
     );
     run(
         &world,
-        StagingConfig { cache_bytes: 256 << 20, replicate: false, ..Default::default() },
+        StagingConfig {
+            cache_bytes: 256 << 20,
+            replicate: false,
+            ..Default::default()
+        },
         "LRU cache (256 MB)",
     );
     run(
         &world,
-        StagingConfig { cache_bytes: 256 << 20, replicate: true, ..Default::default() },
+        StagingConfig {
+            cache_bytes: 256 << 20,
+            replicate: true,
+            ..Default::default()
+        },
         "cache + replication",
     );
     println!("\nreading: caching collapses repeat traffic; cooperative replication also\nshortens the paths of the misses (nearer replicas serve them).");

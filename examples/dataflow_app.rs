@@ -45,7 +45,10 @@ fn main() {
         .enumerate()
         .map(|(i, &shard)| {
             app.task(format!("count{i}"), 5e8, &[shard], 8, |ins| {
-                let words = ins[0].split(|&b| b == b' ').filter(|w| !w.is_empty()).count();
+                let words = ins[0]
+                    .split(|&b| b == b' ')
+                    .filter(|w| !w.is_empty())
+                    .count();
                 Bytes::copy_from_slice(&(words as u64).to_le_bytes())
             })
         })
@@ -66,7 +69,9 @@ fn main() {
     let outcome = app.run(world.env(), &HeftPlacer::default(), 1e-4);
 
     let sum = u64::from_le_bytes(
-        outcome.output(total).expect("workflow ran")[..8].try_into().expect("8 bytes"),
+        outcome.output(total).expect("workflow ran")[..8]
+            .try_into()
+            .expect("8 bytes"),
     );
     println!("counted {sum} words across {SHARDS} shards");
     println!(
@@ -81,7 +86,6 @@ fn main() {
         let d = world.env().fleet.device(dev);
         println!("  count{i} -> {} at node {}", d.spec.class.label(), d.node);
     }
-    let sanity: usize =
-        corpus.iter().map(|t| t.split_whitespace().count()).sum();
+    let sanity: usize = corpus.iter().map(|t| t.split_whitespace().count()).sum();
     assert_eq!(sum as usize, sanity);
 }

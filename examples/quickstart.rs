@@ -41,8 +41,14 @@ fn main() {
     );
 
     // 3. Where should this compute? Ask several policies.
-    println!("\n{:<14} {:>12} {:>12} {:>10} {:>10}", "policy", "makespan", "energy", "cost", "moved");
-    println!("{:<14} {:>12} {:>12} {:>10} {:>10}", "", "(s)", "(J)", "($)", "(MB)");
+    println!(
+        "\n{:<14} {:>12} {:>12} {:>10} {:>10}",
+        "policy", "makespan", "energy", "cost", "moved"
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>10} {:>10}",
+        "", "(s)", "(J)", "($)", "(MB)"
+    );
     let policies: Vec<Box<dyn Placer>> = vec![
         Box::new(TierPlacer::edge_only()),
         Box::new(TierPlacer::cloud_only()),

@@ -25,7 +25,10 @@ fn main() {
     );
 
     println!("\nbatch policies:");
-    println!("  {:<14} {:>10} {:>12} {:>10}", "policy", "makespan", "energy (J)", "cost ($)");
+    println!(
+        "  {:<14} {:>10} {:>12} {:>10}",
+        "policy", "makespan", "energy (J)", "cost ($)"
+    );
     let policies: Vec<Box<dyn Placer>> = vec![
         Box::new(RandomPlacer::new(7)),
         Box::new(TierPlacer::cloud_only()),
@@ -49,7 +52,11 @@ fn main() {
     let mut points = Vec::new();
     for (wt, we) in [(1.0, 0.0), (1.0, 0.05), (1.0, 0.2), (0.3, 1.0), (0.05, 1.0)] {
         let annealer = AnnealingPlacer {
-            objective: WeightedObjective { w_time: wt, w_energy: we, w_cost: 0.0 },
+            objective: WeightedObjective {
+                w_time: wt,
+                w_energy: we,
+                w_cost: 0.0,
+            },
             iters: 300,
             restarts: 4,
             seed: 99,
@@ -62,5 +69,9 @@ fn main() {
         points.push(r.simulated);
     }
     let front = pareto_front(&points);
-    println!("  non-dominated points: {} of {}", front.len(), points.len());
+    println!(
+        "  non-dominated points: {} of {}",
+        front.len(),
+        points.len()
+    );
 }

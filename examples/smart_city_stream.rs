@@ -59,7 +59,10 @@ fn main() {
             },
         );
         println!("\narrival rate {rate_hz:>5.1} req/s  (300 requests)");
-        println!("  {:<18} {:>9} {:>9} {:>9}", "policy", "p50 (s)", "p95 (s)", "p99 (s)");
+        println!(
+            "  {:<18} {:>9} {:>9} {:>9}",
+            "policy", "p50 (s)", "p95 (s)", "p99 (s)"
+        );
         for placer in [
             OnlinePlacer::edge_only(world.env()),
             OnlinePlacer::cloud_only(world.env()),

@@ -1,0 +1,177 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the handful of entry points the workspace benches use:
+//! `Criterion::default().sample_size(n)`, `bench_function`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, `BatchSize`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Timing is a plain wall-clock median over `sample_size` samples —
+//! enough to compare orders of magnitude, with none of criterion's
+//! statistics. Each bench prints one `name ... median` line.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup; ignored by the shim.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to every bench closure; routines register through it.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last routine run.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    fn run_samples(&mut self, mut sample: impl FnMut() -> Duration) {
+        let mut times: Vec<Duration> = (0..self.samples).map(|_| sample()).collect();
+        times.sort();
+        self.last = Some(times[times.len() / 2]);
+    }
+
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        self.run_samples(|| {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            t0.elapsed()
+        });
+    }
+
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        self.run_samples(|| {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            t0.elapsed()
+        });
+    }
+}
+
+/// The bench context handed to every target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last: None,
+        };
+        f(&mut b);
+        report(name, b.last);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// No-op: the shim reports as it goes.
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, median: Option<Duration>) {
+    match median {
+        Some(d) => println!("bench {name:<48} median {d:?}"),
+        None => println!("bench {name:<48} (no routine)"),
+    }
+}
+
+/// Re-export so `use criterion::black_box` works if a bench prefers it
+/// over `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Declare a named group of bench targets with a shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut c: $crate::Criterion = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        c.bench_function("spin_small", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        c.bench_function("spin_batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group! {
+        name = shim_group;
+        config = Criterion::default().sample_size(3);
+        targets = spin
+    }
+
+    #[test]
+    fn harness_runs() {
+        shim_group();
+    }
+}

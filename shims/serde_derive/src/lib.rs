@@ -1,0 +1,308 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input
+//! `TokenStream` is walked directly and the impl is emitted as a string.
+//! Supported shapes — the only ones this workspace uses:
+//!
+//! - named-field structs (object encoding, field order preserved)
+//! - tuple structs (newtype: transparent; otherwise: array)
+//! - unit structs (`null`)
+//! - enums with unit variants only (string encoding)
+//!
+//! Generics and data-carrying enum variants are rejected with a
+//! compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+/// Skip one attribute (`#` already consumed: consume the bracket group).
+fn skip_attr(iter: &mut impl Iterator<Item = TokenTree>) {
+    if let Some(TokenTree::Group(g)) = iter.next() {
+        debug_assert_eq!(g.delimiter(), Delimiter::Bracket);
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Parsed, String> {
+    let mut iter = input.into_iter().peekable();
+    // Preamble: attributes and visibility up to `struct` / `enum`.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, `pub(crate)` etc.: the paren group (if any) is
+                // consumed on the next loop turn only if it follows `pub`.
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+            }
+            Some(_) => {}
+            None => return Err("no struct or enum found".into()),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("derive shim does not support generics on `{name}`"));
+        }
+    }
+    let shape = if kind == "enum" {
+        let body = match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            other => return Err(format!("expected enum body, got {other:?}")),
+        };
+        Shape::Enum(parse_enum_variants(body.stream(), &name)?)
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("expected struct body, got {other:?}")),
+        }
+    };
+    Ok(Parsed { name, shape })
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let field = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+                Some(TokenTree::Ident(id)) => {
+                    let s = id.to_string();
+                    if s == "pub" {
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                        continue;
+                    }
+                    break Some(s);
+                }
+                Some(_) => {}
+                None => break None,
+            }
+        };
+        let Some(field) = field else { break };
+        fields.push(field);
+        // Skip `:` and the type, up to a comma outside angle brackets.
+        let mut depth = 0i32;
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0;
+    let mut depth = 0i32;
+    let mut pending = false;
+    for tok in body {
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    pending = false;
+                }
+                _ => pending = true,
+            },
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+/// Variant names of a unit-variant enum body.
+fn parse_enum_variants(body: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+            Some(TokenTree::Ident(id)) => {
+                let variant = id.to_string();
+                if let Some(TokenTree::Group(_)) = iter.peek() {
+                    return Err(format!(
+                        "derive shim supports only unit variants; `{enum_name}::{variant}` carries data"
+                    ));
+                }
+                variants.push(variant);
+                // Skip any discriminant up to the next comma.
+                for tok in iter.by_ref() {
+                    if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            Some(_) => {}
+            None => break,
+        }
+    }
+    Ok(variants)
+}
+
+/// `#[derive(Serialize)]`: emit a `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::with_capacity({n}); {pushes} \
+                 ::serde::Value::Object(__fields)",
+                n = fields.len()
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),"))
+                .collect();
+            format!("match *self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]`: emit a `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         __v.get({f:?}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{ ::serde::Value::Object(_) => Ok({name} {{ {} }}), \
+                 _ => ::serde::err(concat!(\"expected object for \", {name:?})), }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{ ::serde::Value::Array(__items) if __items.len() == {n} => \
+                 Ok({name}({})), \
+                 _ => ::serde::err(concat!(\"expected {n}-array for \", {name:?})), }}",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => format!(
+            "match __v {{ ::serde::Value::Null => Ok({name}), \
+             _ => ::serde::err(concat!(\"expected null for \", {name:?})), }}"
+        ),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "match __v {{ ::serde::Value::Str(__s) => match __s.as_str() {{ {arms} \
+                 __other => ::serde::err(format!(\
+                 \"unknown variant {{__other:?}} for {name}\")), }}, \
+                 _ => ::serde::err(concat!(\"expected string for \", {name:?})), }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+         {body} }} }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -41,7 +41,10 @@ fn contention_only_hurts() {
     for seed in 0..5u64 {
         let dag = layered_random(
             &mut rng.split(seed),
-            &LayeredSpec { tasks: 60, ..Default::default() },
+            &LayeredSpec {
+                tasks: 60,
+                ..Default::default()
+            },
         );
         let report = world.run(&dag, &HeftPlacer::default());
         assert!(
@@ -65,10 +68,16 @@ fn heft_dominates_naive_baselines_simulated() {
     for s in 0..TRIALS {
         let dag = layered_random(
             &mut master.split(s as u64),
-            &LayeredSpec { tasks: 100, ..Default::default() },
+            &LayeredSpec {
+                tasks: 100,
+                ..Default::default()
+            },
         );
         let heft = world.run(&dag, &HeftPlacer::default()).simulated.makespan_s;
-        let rand = world.run(&dag, &RandomPlacer::new(s as u64)).simulated.makespan_s;
+        let rand = world
+            .run(&dag, &RandomPlacer::new(s as u64))
+            .simulated
+            .makespan_s;
         let rr = world.run(&dag, &RoundRobinPlacer).simulated.makespan_s;
         if heft <= rand {
             heft_wins_vs_random += 1;
@@ -104,8 +113,14 @@ fn edge_cloud_crossover_exists() {
     let cloud_small = run(small, &TierPlacer::cloud_only());
     let edge_large = run(large, &TierPlacer::edge_only());
     let cloud_large = run(large, &TierPlacer::cloud_only());
-    assert!(edge_small < cloud_small, "edge {edge_small} !< cloud {cloud_small} at small input");
-    assert!(cloud_large < edge_large, "cloud {cloud_large} !< edge {edge_large} at large input");
+    assert!(
+        edge_small < cloud_small,
+        "edge {edge_small} !< cloud {cloud_small} at small input"
+    );
+    assert!(
+        cloud_large < edge_large,
+        "cloud {cloud_large} !< edge {edge_large} at large input"
+    );
     let heft_small = run(small, &HeftPlacer::default());
     let heft_large = run(large, &HeftPlacer::default());
     assert!(heft_small <= edge_small * 1.01);
@@ -119,7 +134,13 @@ fn full_stack_deterministic() {
     let run = || {
         let world = Continuum::build(&Scenario::smart_city());
         let mut rng = Rng::new(123);
-        let dag = layered_random(&mut rng, &LayeredSpec { tasks: 80, ..Default::default() });
+        let dag = layered_random(
+            &mut rng,
+            &LayeredSpec {
+                tasks: 80,
+                ..Default::default()
+            },
+        );
         let report = world.run(&dag, &HeftPlacer::default());
         (
             report.placement,

@@ -10,7 +10,13 @@ use continuum_runtime::simulate;
 fn dag_roundtrips_and_replays_identically() {
     let world = Continuum::build(&Scenario::default_continuum());
     let mut rng = Rng::new(77);
-    let dag = layered_random(&mut rng, &LayeredSpec { tasks: 60, ..Default::default() });
+    let dag = layered_random(
+        &mut rng,
+        &LayeredSpec {
+            tasks: 60,
+            ..Default::default()
+        },
+    );
     let placement = world.place(&dag, &HeftPlacer::default());
 
     let dag_json = serde_json::to_string(&dag).expect("dag serializes");
