@@ -22,7 +22,7 @@ fn parse_args() -> Args {
             "--json" => json = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--json] [t1 t4 t5 f1 f2 f3 f4 f5 f6 t2 f7 t3 f8 f9 f10 f11 f12 f13 ablations]"
+                    "usage: experiments [--json] [t1 t4 t5 f1 f2 f3 f4 f5 f6 t2 f7 t3 f8 f9 f10 f11 f12 f13 f14 ablations]"
                 );
                 std::process::exit(0);
             }
@@ -63,6 +63,7 @@ fn main() {
         "f11",
         "f12",
         "f13",
+        "f14",
         "ablations",
     ];
     let which: Vec<&str> = if args.which.is_empty() {
@@ -148,6 +149,10 @@ fn main() {
             "f13" => {
                 let (t, rows) = exp::f13::run();
                 emit(&args, &[t], serde_json::json!({"id": "f13", "rows": rows}));
+            }
+            "f14" => {
+                let (t, rows) = exp::f14::run();
+                emit(&args, &[t], serde_json::json!({"id": "f14", "rows": rows}));
             }
             "ablations" => {
                 let (ts, rows) = exp::ablations::run();

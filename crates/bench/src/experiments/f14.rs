@@ -1,0 +1,199 @@
+//! F14 — fault plane: makespan and goodput under device/link churn.
+//!
+//! The continuum's failure mode is not the per-attempt coin flip of F9:
+//! whole devices crash and take every running task with them, links
+//! partition and strand in-flight transfers, and the orchestrator only
+//! learns about a crash after a detection delay. This experiment drives
+//! the chaos executor with generated crash/recover schedules, sweeping
+//! the crash intensity (expected crashes per device over the fault-free
+//! makespan) against the detection latency, and reports makespan
+//! inflation, orphan re-placements, and goodput — the fraction of burned
+//! execution seconds that belonged to attempts that survived.
+//!
+//! Expected shape: inflation and killed work grow with crash intensity.
+//! Detection latency cuts both ways: fast detection re-places orphans
+//! quickly but may move them to slower survivors, while slow detection
+//! stalls longer yet lets a quickly-recovering device restart its own
+//! orphans in place. The zero-intensity row must reproduce the
+//! fault-free makespan *exactly* — the chaos path is bit-identical when
+//! the schedule is empty.
+
+use crate::report::{f, Table};
+use continuum_core::prelude::*;
+use serde::Serialize;
+
+/// One measured point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Expected crashes per device over the fault-free makespan.
+    pub intensity: f64,
+    /// Detection latency, seconds.
+    pub detection_s: f64,
+    /// Simulated makespan, seconds.
+    pub makespan_s: f64,
+    /// Makespan relative to the fault-free run.
+    pub inflation: f64,
+    /// Task attempts killed mid-execution by crashes.
+    pub killed: u64,
+    /// Orphaned tasks re-placed onto surviving devices.
+    pub replacements: u64,
+    /// Link failures applied.
+    pub link_failures: u64,
+    /// Useful fraction of all execution seconds burned.
+    pub goodput: f64,
+}
+
+/// Crash intensities swept (expected crashes per device per makespan).
+pub fn intensities() -> Vec<f64> {
+    vec![0.0, 0.5, 2.0]
+}
+
+/// Detection latencies swept, seconds.
+pub fn detections_s() -> Vec<f64> {
+    vec![0.05, 1.0]
+}
+
+/// Run the sweep.
+pub fn run() -> (Table, Vec<Row>) {
+    let world = Continuum::build(&Scenario::default_continuum());
+    let mut rng = Rng::new(0xF14);
+    let dag = layered_random(
+        &mut rng,
+        &LayeredSpec {
+            tasks: 120,
+            // Heavier tasks than the default: crashes should land
+            // mid-execution, not between two sub-millisecond tasks.
+            work_mu: (2e11f64).ln(),
+            ..Default::default()
+        },
+    );
+    let placement = world.place(&dag, &HeftPlacer::default());
+    let reqs = [StreamRequest {
+        arrival: SimTime::ZERO,
+        dag: dag.clone(),
+        placement,
+    }];
+    let clean = simulate_stream(world.env(), &reqs);
+    let base_mk = clean.metrics.makespan_s;
+    let n_dev = world.env().fleet.len() as u32;
+    let n_links = world.env().topology.links().len() as u32;
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "F14 — device/link churn vs detection latency (chaos executor)",
+        &[
+            "crashes/dev",
+            "detect (s)",
+            "makespan (s)",
+            "inflation",
+            "killed",
+            "re-placed",
+            "link fails",
+            "goodput",
+        ],
+    );
+    for &intensity in &intensities() {
+        for &det in &detections_s() {
+            // Zero intensity is detection-invariant; measure it once.
+            if intensity == 0.0 && det != detections_s()[0] {
+                continue;
+            }
+            let schedule = if intensity == 0.0 {
+                FaultSchedule::new()
+            } else {
+                let mttf = base_mk / intensity;
+                FaultSchedule::generate(
+                    &FaultScheduleSpec {
+                        horizon: SimDuration::from_secs_f64(base_mk * 1.5),
+                        devices: FaultProcess {
+                            population: n_dev,
+                            mttf_s: mttf,
+                            mttr_s: base_mk * 0.3,
+                        },
+                        links: FaultProcess {
+                            population: n_links,
+                            mttf_s: mttf * 4.0,
+                            mttr_s: base_mk * 0.1,
+                        },
+                        ..Default::default()
+                    },
+                    0xF14 ^ intensity.to_bits(),
+                )
+            };
+            let plane = FaultPlane {
+                schedule,
+                detection: SimDuration::from_secs_f64(det),
+            };
+            let out = simulate_stream_chaos(world.env(), &reqs, None, Some(&plane));
+            let total_exec_s: f64 = out
+                .trace
+                .records
+                .iter()
+                .map(|r| r.duration().as_secs_f64())
+                .sum();
+            let goodput = if total_exec_s > 0.0 {
+                1.0 - out.trace.lost_work_s / total_exec_s
+            } else {
+                1.0
+            };
+            let row = Row {
+                intensity,
+                detection_s: det,
+                makespan_s: out.metrics.makespan_s,
+                inflation: out.metrics.makespan_s / base_mk,
+                killed: out.trace.killed_attempts,
+                replacements: out.trace.replacements,
+                link_failures: out.trace.link_failures,
+                goodput,
+            };
+            table.row(vec![
+                f(intensity),
+                f(det),
+                f(row.makespan_s),
+                format!("{:.2}x", row.inflation),
+                row.killed.to_string(),
+                row.replacements.to_string(),
+                row.link_failures.to_string(),
+                format!("{:.3}", row.goodput),
+            ]);
+            rows.push(row);
+        }
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn zero_fault_row_reproduces_clean_makespan_exactly() {
+        let (_, rows) = super::run();
+        // Row 0 is the empty schedule: bit-identical to the fault-free
+        // executor, so inflation is exactly 1 — no tolerance.
+        assert_eq!(rows[0].intensity, 0.0);
+        assert_eq!(rows[0].inflation, 1.0);
+        assert_eq!(rows[0].killed, 0);
+        assert_eq!(rows[0].replacements, 0);
+        assert_eq!(rows[0].goodput, 1.0);
+    }
+
+    #[test]
+    fn churn_kills_work_and_inflates_makespan() {
+        let (_, rows) = super::run();
+        let hot: Vec<_> = rows.iter().filter(|r| r.intensity >= 2.0).collect();
+        assert!(!hot.is_empty());
+        for r in hot {
+            assert!(
+                r.killed > 0,
+                "no attempts killed at intensity {}",
+                r.intensity
+            );
+            assert!(r.replacements > 0, "orphans not re-placed: {r:?}");
+            assert!(r.goodput < 1.0, "goodput unchanged: {r:?}");
+            assert!(
+                r.inflation >= 1.0,
+                "crashes sped the run up: {}",
+                r.inflation
+            );
+        }
+    }
+}

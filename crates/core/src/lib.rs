@@ -32,8 +32,12 @@ pub mod prelude {
         MaxMinPlacer, Metrics, MinMinPlacer, OnlinePlacer, PeftPlacer, Placement, Placer,
         RandomPlacer, RoundRobinPlacer, TierPlacer, WeightedObjective,
     };
-    pub use continuum_runtime::{simulate, simulate_stream, RealExecutor, StreamRequest};
-    pub use continuum_sim::{Rng, SimDuration, SimTime};
+    pub use continuum_runtime::{
+        simulate, simulate_stream, simulate_stream_chaos, FaultPlane, RealExecutor, StreamRequest,
+    };
+    pub use continuum_sim::{
+        FaultKind, FaultProcess, FaultSchedule, FaultScheduleSpec, Rng, SimDuration, SimTime,
+    };
     pub use continuum_workflow::{
         analytics_pipeline, broadcast_reduce, fork_join, inference_stream, layered_random,
         map_reduce, montage_like, stencil, Constraints, Dag, LayeredSpec, PipelineSpec, StreamSpec,

@@ -67,13 +67,48 @@ impl SiteCache {
     /// Returns the keys evicted. Objects larger than the capacity, or
     /// that cannot fit without evicting pinned entries, are not cached
     /// (empty eviction list, nothing inserted).
+    ///
+    /// Re-putting a cached key refreshes its recency and adopts the new
+    /// size: shrinks apply in place, grows go through the eviction path
+    /// (preserving pin state), and either way `used` tracks reality. An
+    /// *unpinned* grow that cannot fit drops the entry — the old bytes
+    /// are stale; a *pinned* grow that cannot fit keeps the old version,
+    /// honoring the never-evict-pinned contract.
     pub fn put(&mut self, key: DataKey, bytes: u64) -> Vec<DataKey> {
         self.tick += 1;
-        if bytes > self.capacity {
-            return Vec::new();
+        let mut pinned = false;
+        if let Some(&CacheEntry {
+            bytes: old,
+            pinned: was_pinned,
+            ..
+        }) = self.entries.get(&key)
+        {
+            if bytes <= old {
+                let e = self.entries.get_mut(&key).expect("present");
+                e.bytes = bytes;
+                e.last_used = self.tick;
+                self.used -= old - bytes;
+                return Vec::new();
+            }
+            if was_pinned {
+                let other_pinned: u64 = self
+                    .entries
+                    .iter()
+                    .filter(|(&k, e)| e.pinned && k != key)
+                    .map(|(_, e)| e.bytes)
+                    .sum();
+                if other_pinned + bytes > self.capacity {
+                    // The grown object can never fit without evicting a
+                    // pinned entry; keep the old pinned version.
+                    self.entries.get_mut(&key).expect("present").last_used = self.tick;
+                    return Vec::new();
+                }
+            }
+            pinned = was_pinned;
+            self.entries.remove(&key);
+            self.used -= old;
         }
-        if let Some(e) = self.entries.get_mut(&key) {
-            e.last_used = self.tick;
+        if bytes > self.capacity {
             return Vec::new();
         }
         let mut evicted = Vec::new();
@@ -100,7 +135,7 @@ impl SiteCache {
             CacheEntry {
                 bytes,
                 last_used: self.tick,
-                pinned: false,
+                pinned,
             },
         );
         self.used += bytes;
@@ -225,12 +260,65 @@ mod tests {
     }
 
     #[test]
-    fn reinsert_updates_recency_not_size() {
+    fn reinsert_updates_recency() {
         let mut c = SiteCache::new(100);
         c.put(DataKey(1), 50);
         c.put(DataKey(2), 50);
         c.put(DataKey(1), 50); // refresh 1
         let evicted = c.put(DataKey(3), 50);
         assert_eq!(evicted, vec![DataKey(2)]);
+    }
+
+    #[test]
+    fn reinsert_at_new_size_updates_used() {
+        // Regression: re-putting a cached key used to bump recency only,
+        // so `used` drifted from the sum of entry sizes.
+        let mut c = SiteCache::new(100);
+        c.put(DataKey(1), 60);
+        c.put(DataKey(1), 20); // shrank
+        assert_eq!(c.used_bytes(), 20);
+        c.put(DataKey(1), 90); // grew, still fits alone
+        assert_eq!(c.used_bytes(), 90);
+
+        // Growing must evict LRU entries — but never the key itself.
+        let mut c = SiteCache::new(100);
+        c.put(DataKey(1), 40);
+        c.put(DataKey(2), 40);
+        let evicted = c.put(DataKey(1), 70); // needs room: 2 is LRU
+        assert_eq!(evicted, vec![DataKey(2)]);
+        assert!(c.contains(DataKey(1)));
+        assert_eq!(c.used_bytes(), 70);
+    }
+
+    #[test]
+    fn reinsert_grow_respects_pins() {
+        let mut c = SiteCache::new(100);
+        c.put(DataKey(1), 30);
+        assert!(c.pin(DataKey(1)));
+        c.put(DataKey(1), 50);
+        assert_eq!(c.pinned_bytes(), 50, "grow must keep the pin");
+        // A *pinned* grow that cannot fit keeps the old version: pinned
+        // entries never vanish.
+        c.put(DataKey(2), 40);
+        assert!(c.pin(DataKey(2)));
+        let evicted = c.put(DataKey(2), 80); // 50 pinned + 80 > 100
+        assert!(evicted.is_empty());
+        assert!(c.contains(DataKey(2)));
+        assert_eq!(c.used_bytes(), 90);
+        assert_eq!(c.pinned_bytes(), 90);
+    }
+
+    #[test]
+    fn reinsert_grow_unpinned_blocked_drops_stale_entry() {
+        let mut c = SiteCache::new(100);
+        c.put(DataKey(1), 90);
+        assert!(c.pin(DataKey(1)));
+        c.put(DataKey(2), 10);
+        // Growing unpinned 2 can't fit next to pinned 1; the stale 10-byte
+        // version is dropped rather than kept masquerading as current.
+        let evicted = c.put(DataKey(2), 20);
+        assert!(evicted.is_empty());
+        assert!(!c.contains(DataKey(2)));
+        assert_eq!(c.used_bytes(), 90);
     }
 }

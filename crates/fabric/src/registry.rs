@@ -71,8 +71,18 @@ impl FunctionRegistry {
     }
 
     /// Function by id.
+    ///
+    /// # Panics
+    /// On a stale or foreign id (one minted by a different registry, or
+    /// outliving a registry swap). Use [`FunctionRegistry::try_get`] when
+    /// the id's provenance is not guaranteed.
     pub fn get(&self, id: FunctionId) -> &FunctionSpec {
         &self.functions[id.0 as usize]
+    }
+
+    /// Function by id, `None` if the id is not registered here.
+    pub fn try_get(&self, id: FunctionId) -> Option<&FunctionSpec> {
+        self.functions.get(id.0 as usize)
     }
 
     /// Function by name.
@@ -108,6 +118,16 @@ mod tests {
         assert_eq!(r.by_name("detect").unwrap().id, id);
         assert!(r.by_name("missing").is_none());
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn try_get_tolerates_stale_ids() {
+        let mut r = FunctionRegistry::new();
+        let id = r.register("detect", 2e9, 1 << 20, 256);
+        assert_eq!(r.try_get(id).unwrap().name, "detect");
+        // An id from a larger (swapped-out) registry resolves to None
+        // instead of panicking.
+        assert!(r.try_get(FunctionId(99)).is_none());
     }
 
     #[test]

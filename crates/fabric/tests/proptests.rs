@@ -1,10 +1,13 @@
 //! Property-based tests for the function fabric.
 
-use continuum_fabric::{endpoints_on, run_fabric, FunctionRegistry, Invocation, RoutingPolicy};
+use continuum_fabric::{
+    endpoints_on, run_fabric, run_fabric_faulty, Backoff, EndpointFaults, FunctionRegistry,
+    Invocation, RoutingPolicy,
+};
 use continuum_model::standard_fleet;
 use continuum_net::{continuum, ContinuumSpec, Tier};
 use continuum_placement::Env;
-use continuum_sim::{Rng, SimTime};
+use continuum_sim::{FaultProcess, FaultScheduleSpec, Rng, SimDuration, SimTime};
 use proptest::prelude::*;
 
 fn world() -> (Env, Vec<continuum_net::NodeId>) {
@@ -93,6 +96,76 @@ proptest! {
         let rep = run_fabric(&env, &registry, &endpoints, &invocations, RoutingPolicy::Locality);
         for &l in &rep.latencies_s {
             prop_assert!(l >= min_exec, "latency {l} below bare exec {min_exec}");
+        }
+    }
+
+    /// Fault chaos: under any generated endpoint crash/recover schedule,
+    /// the broker terminates and conserves invocations — every one either
+    /// completes or is explicitly dropped, never both, never lost.
+    #[test]
+    fn fabric_fault_conservation(
+        seed in any::<u64>(),
+        n in 1usize..120,
+        rate in 5.0f64..200.0,
+        policy_idx in 0usize..3,
+        mttf_s in 5.0f64..60.0,
+        mttr_s in 0.5f64..20.0,
+    ) {
+        let (env, sensors) = world();
+        let mut registry = FunctionRegistry::new();
+        let f = registry.register("f", 1e10, 10 << 10, 1 << 10);
+        let endpoints = endpoints_on(&env, &env.fleet.in_tier(Tier::Cloud));
+        let mut rng = Rng::new(seed);
+        let mut t = 0.0;
+        let invocations: Vec<Invocation> = (0..n)
+            .map(|i| {
+                t += rng.exp(rate);
+                Invocation {
+                    arrival: SimTime::from_secs_f64(t),
+                    origin: sensors[i % sensors.len()],
+                    function: f,
+                }
+            })
+            .collect();
+        let spec = FaultScheduleSpec {
+            horizon: SimDuration::from_secs_f64(t + 30.0),
+            endpoints: FaultProcess {
+                population: endpoints.len() as u32,
+                mttf_s,
+                mttr_s,
+            },
+            ..FaultScheduleSpec::default()
+        };
+        let faults = EndpointFaults {
+            schedule: continuum_sim::FaultSchedule::generate(&spec, seed ^ 0xFA17),
+            heartbeat: SimDuration::from_millis(500),
+            backoff: Backoff::default(),
+            seed: seed ^ 0xBAC0,
+        };
+        let policy = [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::LeastOutstanding,
+            RoutingPolicy::Locality,
+        ][policy_idx];
+        let rep = run_fabric_faulty(
+            &env,
+            &registry,
+            &endpoints,
+            &invocations,
+            policy,
+            None,
+            None,
+            Some(&faults),
+        );
+        prop_assert_eq!(rep.completed + rep.dropped, n as u64, "invocation lost or duplicated");
+        prop_assert_eq!(rep.latencies_s.len() as u64, rep.completed);
+        prop_assert!(rep.retries >= rep.reroutes);
+        prop_assert!(rep.lost_work_s >= 0.0);
+        // The generated schedule always recovers every crash, so with
+        // default (generous) retry budgets nothing should be dropped
+        // unless retries genuinely ran out during a long outage chain.
+        for &l in &rep.latencies_s {
+            prop_assert!(l > 0.0);
         }
     }
 }

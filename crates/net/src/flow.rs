@@ -65,8 +65,23 @@ struct FlowSlot {
     links: Arc<[LinkId]>,
     /// `link_pos[i]` = this flow's position in `link_flows[links[i]]`.
     link_pos: Vec<u32>,
+    total: f64,     // bytes requested at `start`
     remaining: f64, // bytes
     rate: f64,      // bytes/s, max-min fair share
+}
+
+/// A flow forcibly terminated by [`FlowNetwork::fail_link`].
+///
+/// Bytes already transferred are preserved so the caller can resume the
+/// remainder over a surviving path without re-sending them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbortedFlow {
+    /// The aborted flow's id (now stale).
+    pub id: FlowId,
+    /// Bytes delivered before the abort.
+    pub transferred: f64,
+    /// Bytes still owed when the link died.
+    pub remaining: f64,
 }
 
 /// Per-link filling state, merged into one entry so the random-access
@@ -130,7 +145,11 @@ struct Scratch {
 ///    caller (compare against `next_completion` again).
 #[derive(Debug, Clone)]
 pub struct FlowNetwork {
+    /// Effective capacity: 0 while a link is failed.
     capacity: Vec<f64>,
+    /// Capacity as built, restored by `restore_link`.
+    base_capacity: Vec<f64>,
+    link_up: Vec<bool>,
     slots: Vec<FlowSlot>,
     free_slots: Vec<u32>,
     /// Active slot indices, unordered; `slot_pos` tracks positions.
@@ -154,8 +173,11 @@ impl FlowNetwork {
     /// Build over the links of `topo` (captures current capacities).
     pub fn new(topo: &Topology) -> FlowNetwork {
         let links = topo.links().len();
+        let capacity: Vec<f64> = topo.links().iter().map(|l| l.bandwidth_bps).collect();
         FlowNetwork {
-            capacity: topo.links().iter().map(|l| l.bandwidth_bps).collect(),
+            base_capacity: capacity.clone(),
+            capacity,
+            link_up: vec![true; links],
             slots: Vec::new(),
             free_slots: Vec::new(),
             active_slots: Vec::new(),
@@ -202,6 +224,7 @@ impl FlowNetwork {
                     generation: 0,
                     links: Vec::new().into(),
                     link_pos: Vec::new(),
+                    total: 0.0,
                     remaining: 0.0,
                     rate: 0.0,
                 });
@@ -212,7 +235,8 @@ impl FlowNetwork {
         };
         let f = &mut self.slots[slot as usize];
         f.links = path.links.clone();
-        f.remaining = bytes.max(1) as f64;
+        f.total = bytes.max(1) as f64;
+        f.remaining = f.total;
         f.rate = 0.0;
         f.link_pos.clear();
         for i in 0..self.slots[slot as usize].links.len() {
@@ -285,23 +309,90 @@ impl FlowNetwork {
         self.dirty = true;
     }
 
+    /// Fail a link at time `now`: its capacity drops to zero and every
+    /// in-flight flow crossing it is aborted.
+    ///
+    /// Bytes drained before `now` are preserved in the returned
+    /// [`AbortedFlow`]s (sorted by id for determinism) so callers can
+    /// resume the remainder elsewhere. Failing an already-dead link is a
+    /// no-op returning no aborts.
+    ///
+    /// Starting a new flow across a dead link is not forbidden — it simply
+    /// runs at rate zero until the link is restored — but callers that can
+    /// route around the failure should (see `shortest_path_avoiding`).
+    pub fn fail_link(&mut self, now: SimTime, link: LinkId) -> Vec<AbortedFlow> {
+        let li = link.0 as usize;
+        if !self.link_up[li] {
+            return Vec::new();
+        }
+        // Drain bytes at the pre-failure rates up to the failure instant.
+        self.advance(now);
+        self.link_up[li] = false;
+        self.capacity[li] = 0.0;
+        let mut aborted: Vec<AbortedFlow> = self.link_flows[li]
+            .iter()
+            .map(|&s| {
+                let f = &self.slots[s as usize];
+                AbortedFlow {
+                    id: FlowId::new(s, f.generation),
+                    transferred: (f.total - f.remaining).max(0.0),
+                    remaining: f.remaining,
+                }
+            })
+            .collect();
+        aborted.sort_unstable_by_key(|a| a.id);
+        for a in &aborted {
+            self.remove(now, a.id);
+        }
+        self.dirty = true;
+        aborted
+    }
+
+    /// Restore a failed link to its original capacity at time `now`.
+    ///
+    /// Restoring a live link is a no-op.
+    pub fn restore_link(&mut self, now: SimTime, link: LinkId) {
+        let li = link.0 as usize;
+        if self.link_up[li] {
+            return;
+        }
+        self.advance(now);
+        self.link_up[li] = true;
+        self.capacity[li] = self.base_capacity[li];
+        self.dirty = true;
+    }
+
+    /// Whether a link currently carries traffic (not failed).
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.link_up[link.0 as usize]
+    }
+
+    /// Whether every link of `path` is up (vacuously true for local paths).
+    pub fn path_is_up(&self, path: &Path) -> bool {
+        path.links.iter().all(|&l| self.link_up[l.0 as usize])
+    }
+
     /// The earliest (time, flow) completion under current rates, if any
-    /// flows are active.
+    /// flows are making progress.
+    ///
+    /// Flows stalled at rate zero (e.g. crossing a failed link) never
+    /// complete and are excluded; they reappear once capacity returns.
     pub fn next_completion(&mut self) -> Option<(SimTime, FlowId)> {
         self.ensure_rates();
         self.active_slots
             .iter()
-            .map(|&s| {
+            .filter_map(|&s| {
                 let f = &self.slots[s as usize];
-                let dt = if f.rate > 0.0 {
-                    f.remaining / f.rate
-                } else {
-                    f64::INFINITY
-                };
-                (
-                    self.clock + SimDuration::from_secs_f64(dt.min(1e18)),
+                if f.rate <= 0.0 {
+                    return None;
+                }
+                // Clamp so the nanosecond conversion cannot overflow the
+                // clock; no real flow takes anywhere near 1e9 seconds.
+                let dt = (f.remaining / f.rate).min(1e9);
+                Some((
+                    self.clock + SimDuration::from_secs_f64(dt),
                     FlowId::new(s, f.generation),
-                )
+                ))
             })
             .min()
     }
@@ -654,6 +745,85 @@ mod tests {
         fnw.remove(SimTime::ZERO, f1);
         assert_eq!(fnw.rate(f2), Some(1e6));
         assert_eq!(fnw.active(), 1);
+    }
+
+    #[test]
+    fn fail_link_aborts_with_bytes_preserved() {
+        let (t, rt) = chain();
+        let mut fnw = FlowNetwork::new(&t);
+        let p02 = rt.path(&t, NodeId(0), NodeId(2)).unwrap();
+        let p01 = rt.path(&t, NodeId(0), NodeId(1)).unwrap();
+        let long = fnw.start(SimTime::ZERO, &p02, 1_000_000).unwrap();
+        let short = fnw.start(SimTime::ZERO, &p01, 1_000_000).unwrap();
+        // Both run at 5e5 B/s on link 0; kill link 1 (b-c) at t=0.5.
+        let aborted = fnw.fail_link(SimTime::from_millis(500), LinkId(1));
+        assert_eq!(aborted.len(), 1);
+        assert_eq!(aborted[0].id, long);
+        assert!((aborted[0].transferred - 250_000.0).abs() < 1.0);
+        assert!((aborted[0].remaining - 750_000.0).abs() < 1.0);
+        assert!(
+            (aborted[0].transferred + aborted[0].remaining - 1_000_000.0).abs() < 1e-6,
+            "byte conservation"
+        );
+        // The survivor now owns link 0 outright.
+        assert_eq!(fnw.rate(short), Some(1e6));
+        assert_eq!(fnw.rate(long), None, "aborted id must be stale");
+        assert!(!fnw.link_is_up(LinkId(1)));
+        assert!(!fnw.path_is_up(&p02));
+        assert!(fnw.path_is_up(&p01));
+        // Idempotent: a second failure aborts nothing.
+        assert!(fnw
+            .fail_link(SimTime::from_millis(500), LinkId(1))
+            .is_empty());
+    }
+
+    #[test]
+    fn restore_link_recovers_capacity() {
+        let (t, rt) = chain();
+        let mut fnw = FlowNetwork::new(&t);
+        let p02 = rt.path(&t, NodeId(0), NodeId(2)).unwrap();
+        fnw.fail_link(SimTime::ZERO, LinkId(1));
+        // A flow over the dead link stalls at rate zero...
+        let stuck = fnw.start(SimTime::from_millis(1), &p02, 1_000).unwrap();
+        assert_eq!(fnw.rate(stuck), Some(0.0));
+        // ...and picks the full rate back up on restore.
+        fnw.restore_link(SimTime::from_millis(2), LinkId(1));
+        assert!(fnw.link_is_up(LinkId(1)));
+        assert_eq!(fnw.rate(stuck), Some(1e6));
+        // Restoring a live link is a no-op.
+        fnw.restore_link(SimTime::from_millis(2), LinkId(1));
+        assert_eq!(fnw.rate(stuck), Some(1e6));
+    }
+
+    #[test]
+    fn oracle_matches_engine_under_flaps() {
+        let (t, rt) = chain();
+        let mut fnw = FlowNetwork::new(&t);
+        let p02 = rt.path(&t, NodeId(0), NodeId(2)).unwrap();
+        let p01 = rt.path(&t, NodeId(0), NodeId(1)).unwrap();
+        let p12 = rt.path(&t, NodeId(1), NodeId(2)).unwrap();
+        fnw.start(SimTime::ZERO, &p02, 5_000).unwrap();
+        fnw.start(SimTime::ZERO, &p01, 5_000).unwrap();
+        let c = fnw.start(SimTime::ZERO, &p12, 5_000).unwrap();
+        fnw.fail_link(SimTime::from_millis(1), LinkId(0));
+        for (id, want) in fnw.oracle_rates() {
+            let got = fnw.rate(id).unwrap();
+            assert!(
+                (got - want).abs() <= 1e-9 * want.max(1.0),
+                "{got} vs {want}"
+            );
+        }
+        assert_eq!(fnw.active(), 1); // only the b-c flow survived
+        assert_eq!(fnw.rate(c), Some(1e6));
+        fnw.restore_link(SimTime::from_millis(2), LinkId(0));
+        fnw.start(SimTime::from_millis(2), &p01, 5_000).unwrap();
+        for (id, want) in fnw.oracle_rates() {
+            let got = fnw.rate(id).unwrap();
+            assert!(
+                (got - want).abs() <= 1e-9 * want.max(1.0),
+                "{got} vs {want}"
+            );
+        }
     }
 
     #[test]

@@ -222,6 +222,81 @@ impl RouteTable {
     }
 }
 
+/// Latency-shortest path from `src` to `dst` that avoids every link
+/// flagged in `dead` (`dead[link.0] == true` means unusable).
+///
+/// The precomputed [`RouteTable`] assumes all links are up; when faults
+/// take links down mid-run, callers re-route the affected pairs with this
+/// on-demand single-pair Dijkstra instead of rebuilding the whole table.
+/// Deterministic like the table build (lowest-id predecessor at equal
+/// cost). Returns `None` when the failure disconnects the pair; returns
+/// the trivial path when `src == dst`.
+///
+/// `dead` may be shorter than the link count; missing entries mean "up".
+pub fn shortest_path_avoiding(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    dead: &[bool],
+) -> Option<Path> {
+    if src == dst {
+        return Some(Path::trivial(src));
+    }
+    let n = topo.node_count();
+    let mut dist: Vec<SimDuration> = vec![UNREACHABLE; n];
+    let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.0 as usize] = SimDuration::ZERO;
+    heap.push(Reverse((SimDuration::ZERO, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if dist[u.0 as usize] != d {
+            continue; // stale entry
+        }
+        if u == dst {
+            break;
+        }
+        for &(v, l) in topo.neighbors(u) {
+            if dead.get(l.0 as usize).copied().unwrap_or(false) {
+                continue;
+            }
+            let nd = d + topo.link(l).latency;
+            let old = dist[v.0 as usize];
+            // Strictly-better, or equal-cost with a lower-id predecessor
+            // edge — matches the canonical (salt 0) RouteTable choice.
+            if nd < old || (nd == old && prev[v.0 as usize].is_some_and(|p| (u, l) < p)) {
+                dist[v.0 as usize] = nd;
+                prev[v.0 as usize] = Some((u, l));
+                if nd < old {
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+    }
+    if dist[dst.0 as usize] == UNREACHABLE {
+        return None;
+    }
+    let mut links_rev = Vec::new();
+    let mut cur = dst;
+    let mut bottleneck = f64::INFINITY;
+    let mut latency = SimDuration::ZERO;
+    while cur != src {
+        let (p, l) = prev[cur.0 as usize].expect("reachable node missing predecessor");
+        links_rev.push(l);
+        let link = topo.link(l);
+        bottleneck = bottleneck.min(link.bandwidth_bps);
+        latency += link.latency;
+        cur = p;
+    }
+    links_rev.reverse();
+    Some(Path {
+        src,
+        dst,
+        links: links_rev.into(),
+        latency,
+        bottleneck_bps: bottleneck,
+    })
+}
+
 #[inline]
 fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -368,6 +443,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn avoiding_nothing_matches_table() {
+        let t = triangle();
+        let rt = RouteTable::build(&t);
+        let dead = vec![false; t.links().len()];
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                let want = rt.path(&t, NodeId(i), NodeId(j)).unwrap();
+                let got = shortest_path_avoiding(&t, NodeId(i), NodeId(j), &dead).unwrap();
+                assert_eq!(got.links, want.links, "{i}->{j}");
+                assert_eq!(got.latency, want.latency);
+            }
+        }
+    }
+
+    #[test]
+    fn avoiding_dead_link_detours() {
+        let t = triangle();
+        // Kill b-c (link 1): a->c must fall back to the direct 50ms link.
+        let mut dead = vec![false; t.links().len()];
+        dead[1] = true;
+        let p = shortest_path_avoiding(&t, NodeId(0), NodeId(2), &dead).unwrap();
+        assert_eq!(p.hops(), 1);
+        assert_eq!(p.links[0], LinkId(2));
+        assert_eq!(p.latency, SimDuration::from_millis(50));
+        assert_eq!(p.bottleneck_bps, 1e8);
+    }
+
+    #[test]
+    fn avoiding_can_disconnect() {
+        let t = triangle();
+        // Kill both links touching c.
+        let mut dead = vec![false; t.links().len()];
+        dead[1] = true;
+        dead[2] = true;
+        assert!(shortest_path_avoiding(&t, NodeId(0), NodeId(2), &dead).is_none());
+        // a->b still routes, and self-paths stay trivial.
+        assert!(shortest_path_avoiding(&t, NodeId(0), NodeId(1), &dead).is_some());
+        let triv = shortest_path_avoiding(&t, NodeId(2), NodeId(2), &dead).unwrap();
+        assert_eq!(triv.hops(), 0);
     }
 
     #[test]

@@ -134,20 +134,21 @@ proptest! {
     /// The incremental rate engine agrees with the from-scratch oracle
     /// (the seed's progressive-filling algorithm, kept as
     /// `FlowNetwork::oracle_rates`) after every mutation of a random
-    /// start/remove/advance sequence on a random topology, to 1e-9
-    /// relative error.
+    /// start/remove/advance/link-flap sequence on a random topology, to
+    /// 1e-9 relative error.
     #[test]
     fn incremental_rates_match_oracle(seed in any::<u64>(), n in 4usize..24, ops in 5usize..40) {
         let t = random_topology(seed, n, n / 2);
         let rt = RouteTable::build(&t);
+        let n_links = t.links().len();
         let mut fnw = FlowNetwork::new(&t);
         let mut rng = Rng::new(seed ^ 0xF10);
         let mut live: Vec<continuum_net::FlowId> = Vec::new();
         let mut now = SimTime::ZERO;
         for _ in 0..ops {
-            match rng.below(4) {
-                // Start a new flow on a random shortest path (bias: half
-                // the ops, so nets stay populated).
+            match rng.below(6) {
+                // Start a new flow on a random shortest path (bias: a
+                // third of the ops, so nets stay populated).
                 0 | 1 => {
                     let a = NodeId(rng.below(n as u64) as u32);
                     let b = NodeId(rng.below(n as u64) as u32);
@@ -155,6 +156,9 @@ proptest! {
                         continue;
                     }
                     let p = rt.path(&t, a, b).expect("connected");
+                    if !fnw.path_is_up(&p) {
+                        continue; // a live caller would route around
+                    }
                     if let Some(id) = fnw.start(now, &p, rng.range_u64(1_000, 10_000_000)) {
                         live.push(id);
                     }
@@ -167,7 +171,21 @@ proptest! {
                     let id = live.swap_remove(rng.index(live.len()));
                     fnw.remove(now, id);
                 }
-                // Run the net to its next completion.
+                // Fail a random link, aborting flows that cross it.
+                3 => {
+                    let l = continuum_net::LinkId(rng.below(n_links as u64) as u32);
+                    for aborted in fnw.fail_link(now, l) {
+                        prop_assert!(aborted.remaining >= 0.0 && aborted.transferred >= 0.0);
+                        live.retain(|&x| x != aborted.id);
+                    }
+                }
+                // Restore a random link (no-op if it is up).
+                4 => {
+                    let l = continuum_net::LinkId(rng.below(n_links as u64) as u32);
+                    fnw.restore_link(now, l);
+                }
+                // Run the net to its next completion (flows stalled on a
+                // dead link are excluded by next_completion).
                 _ => {
                     if let Some((tc, id)) = fnw.next_completion() {
                         now = tc;

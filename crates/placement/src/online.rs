@@ -158,6 +158,58 @@ impl OnlinePlacer {
         (Placement { assignment }, last_finish, miss)
     }
 
+    /// Re-place one orphaned task onto a surviving device.
+    ///
+    /// Used by the fault plane: when a device crashes, its queued and
+    /// running tasks must move somewhere that is still up. `inputs` gives
+    /// the *current* location, availability time, and size of each input
+    /// (the caller knows where data actually lives mid-run, which the
+    /// request-level placement predictions do not). `alive[d]` gates the
+    /// candidate set; `None` means no feasible live device exists right
+    /// now (e.g. the task is pinned to the dead device) and the caller
+    /// should park the task until something recovers.
+    ///
+    /// Returns the chosen device and its predicted finish, and books the
+    /// device's core lanes exactly like [`OnlinePlacer::place_request`].
+    pub fn place_task(
+        &mut self,
+        env: &Env,
+        task: &continuum_workflow::Task,
+        inputs: &[(continuum_net::NodeId, SimTime, u64)],
+        now: SimTime,
+        alive: &[bool],
+    ) -> Option<(continuum_model::DeviceId, SimTime)> {
+        let mut best: Option<(SimTime, continuum_model::DeviceId, u32)> = None;
+        for d in env.feasible_devices(task) {
+            if !alive.get(d.0 as usize).copied().unwrap_or(false) {
+                continue;
+            }
+            let node = env.node_of(d);
+            let mut ready = now;
+            for &(src, avail, bytes) in inputs {
+                let path = env.path(src, node).expect("disconnected topology");
+                ready = ready.max(path.arrival(avail.max(now), bytes));
+            }
+            let spec = &env.fleet.device(d).spec;
+            let need = task.occupancy(spec.cores);
+            let mut lane_times = self.lanes[d.0 as usize].clone();
+            lane_times.sort_unstable();
+            let start = ready.max(lane_times[(need - 1) as usize]);
+            let fin = start + spec.compute_time_parallel(task.work_flops, task.parallelism);
+            if best.map(|(bf, bd, _)| (fin, d) < (bf, bd)).unwrap_or(true) {
+                best = Some((fin, d, need));
+            }
+        }
+        let (fin, dev, need) = best?;
+        let lanes = &mut self.lanes[dev.0 as usize];
+        let mut idx: Vec<usize> = (0..lanes.len()).collect();
+        idx.sort_by_key(|&i| lanes[i]);
+        for &i in idx.iter().take(need as usize) {
+            lanes[i] = fin;
+        }
+        Some((dev, fin))
+    }
+
     /// Place one arriving request; returns the placement and the predicted
     /// completion time of the request's last task.
     pub fn place_request(
@@ -302,6 +354,45 @@ mod tests {
         let first = latencies.first().copied().unwrap();
         let worst = latencies.iter().cloned().fold(0.0, f64::max);
         assert!(worst >= first, "no queueing effect at all?");
+    }
+
+    #[test]
+    fn place_task_respects_alive_mask() {
+        let (env, reqs) = setup();
+        let mut placer = OnlinePlacer::continuum(&env);
+        let (arrival, dag) = &reqs[0];
+        // The preprocess task (id 1) is unpinned: placeable anywhere.
+        let task = dag.task(TaskId(1));
+        let inputs: Vec<_> = task
+            .inputs
+            .iter()
+            .map(|&inp| {
+                let item = dag.data(inp);
+                (
+                    item.home
+                        .unwrap_or(env.node_of(continuum_model::DeviceId(0))),
+                    *arrival,
+                    item.bytes,
+                )
+            })
+            .collect();
+        let n_dev = env.fleet.devices().len();
+        let all_alive = vec![true; n_dev];
+        let (dev, fin) = placer
+            .place_task(&env, task, &inputs, *arrival, &all_alive)
+            .expect("live fleet places anything");
+        assert!(fin > *arrival);
+        // Killing the chosen device forces a different (live) choice.
+        let mut mask = all_alive.clone();
+        mask[dev.0 as usize] = false;
+        let (dev2, _) = placer
+            .place_task(&env, task, &inputs, *arrival, &mask)
+            .expect("other devices survive");
+        assert_ne!(dev2, dev);
+        // Nothing alive: nothing placeable.
+        assert!(placer
+            .place_task(&env, task, &inputs, *arrival, &vec![false; n_dev])
+            .is_none());
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod trace;
 pub use app::{AppBuilder, AppHandle, AppOutcome};
 pub use exec::{RealExecutor, RealTrace};
 pub use simrun::{
-    simulate, simulate_stream, simulate_stream_with_faults, FaultSpec, SimOutcome, StreamRequest,
+    simulate, simulate_stream, simulate_stream_chaos, simulate_stream_with_faults, FaultPlane,
+    FaultSpec, SimOutcome, StreamRequest,
 };
 pub use trace::{ExecutionTrace, TaskRecord};

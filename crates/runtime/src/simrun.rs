@@ -12,10 +12,10 @@
 //! deliveries of the same item to the same node are deduplicated.
 
 use crate::trace::{ExecutionTrace, TaskRecord};
-use continuum_model::{CostMeter, EnergyMeter};
-use continuum_net::{FlowId, FlowNetwork, NodeId};
-use continuum_placement::{Env, Metrics, Placement};
-use continuum_sim::{EventId, EventQueue, SimTime};
+use continuum_model::{CostMeter, DeviceId, EnergyMeter};
+use continuum_net::{shortest_path_avoiding, FlowId, FlowNetwork, LinkId, NodeId, Path};
+use continuum_placement::{Env, Metrics, OnlinePlacer, Placement};
+use continuum_sim::{EventId, EventQueue, FaultKind, FaultSchedule, SimDuration, SimTime};
 use continuum_workflow::{Dag, DataId, TaskId};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -82,25 +82,69 @@ impl Default for FaultSpec {
     }
 }
 
+/// Infrastructure fault injection for the simulated executor.
+///
+/// Interprets the device and link events of a [`FaultSchedule`] (endpoint
+/// events belong to the fabric broker and are ignored here):
+///
+/// - **Device crash**: running attempts are killed (their elapsed
+///   execution is destroyed — energy and dollars were already charged, as
+///   on real hardware), the device stops dispatching, and after a
+///   `detection` sweep its queued and orphaned tasks are *re-placed* onto
+///   surviving devices by an online placer — not retried in place. Tasks
+///   with no feasible live device park until something recovers.
+/// - **Device recover**: undetected orphans restart in place (their
+///   inputs are already at the node); parked tasks get another placement
+///   attempt.
+/// - **Link fail**: in-flight transfers crossing the link abort with their
+///   transferred bytes preserved; the remainder re-routes over the
+///   surviving topology, or stalls until a restore reconnects it.
+/// - **Link restore**: stalled transfers retry.
+///
+/// A schedule whose every crash eventually recovers always terminates; a
+/// schedule that permanently kills every feasible device for some task
+/// trips the executor's final conservation assert (deadlock) by design.
+#[derive(Debug, Clone)]
+pub struct FaultPlane {
+    /// Timed device/link crash and recover events.
+    pub schedule: FaultSchedule,
+    /// Detection latency: how long after a device crash its orphaned work
+    /// is noticed and re-placed.
+    pub detection: SimDuration,
+}
+
 #[derive(Debug)]
 enum Ev {
     Arrival(usize),
-    /// Propagation delay elapsed; begin streaming bytes.
+    /// Propagation delay elapsed; begin streaming `bytes` (the full item,
+    /// or the remainder of a transfer aborted by a link failure).
     StartFlow {
         req: usize,
         item: DataId,
         dst: NodeId,
+        bytes: u64,
     },
     /// The flow the executor predicted to finish first has finished.
     FlowDone(FlowId),
+    /// Execution finished. Stale (`epoch` mismatch) if the attempt was
+    /// killed by a device crash.
     TaskFinished {
         req: usize,
         task: TaskId,
+        epoch: u32,
     },
     /// A failed task's retry delay elapsed; requeue it.
     RetryTask {
         req: usize,
         task: TaskId,
+    },
+    /// Apply `FaultPlane.schedule.events()[idx]`.
+    Fault(usize),
+    /// Detection latency elapsed for crash generation `gen` of a device:
+    /// re-place its orphaned and queued tasks.
+    OrphanSweep {
+        dev: usize,
+        gen: u32,
     },
 }
 
@@ -144,6 +188,36 @@ pub fn simulate_stream_with_faults(
     requests: &[StreamRequest],
     faults: Option<&FaultSpec>,
 ) -> SimOutcome {
+    simulate_stream_chaos(env, requests, faults, None)
+}
+
+/// Pick a route honoring dead links: the usual ECMP path when the fabric
+/// is whole, a detour around failed links otherwise (`None` if the
+/// endpoints are disconnected right now).
+fn route(
+    env: &Env,
+    src: NodeId,
+    dst: NodeId,
+    salt: u64,
+    dead_links: &[bool],
+    n_dead: usize,
+) -> Option<Path> {
+    if n_dead == 0 {
+        env.path_ecmp(src, dst, salt)
+    } else {
+        shortest_path_avoiding(&env.topology, src, dst, dead_links)
+    }
+}
+
+/// [`simulate_stream_with_faults`] with an optional infrastructure
+/// [`FaultPlane`]. With `plane: None` this is exactly the fault-free
+/// executor — same event order, bit-identical results.
+pub fn simulate_stream_chaos(
+    env: &Env,
+    requests: &[StreamRequest],
+    faults: Option<&FaultSpec>,
+    plane: Option<&FaultPlane>,
+) -> SimOutcome {
     let mut fault_rng = faults.map(|f| {
         assert!(
             (0.0..1.0).contains(&f.fail_prob),
@@ -170,6 +244,34 @@ pub fn simulate_stream_with_faults(
     let mut device_q: Vec<VecDeque<(usize, TaskId)>> = vec![VecDeque::new(); n_dev];
     let mut flow_dest: HashMap<FlowId, (usize, DataId, NodeId)> = HashMap::new();
     let mut pending_completion: Option<(EventId, FlowId)> = None;
+
+    // --- fault-plane state (inert when `plane` is None) ---
+    // Mutable copy of each placement; orphan re-placement rewrites it.
+    let mut assign: Vec<Vec<DeviceId>> = requests
+        .iter()
+        .map(|r| r.placement.assignment.clone())
+        .collect();
+    let n_links = env.topology.links().len();
+    let mut dev_up = vec![true; n_dev];
+    // Down *and* past its detection sweep: ready work is re-placed rather
+    // than queued there.
+    let mut dev_known_down = vec![false; n_dev];
+    // Crash generation, to match sweeps to the right outage.
+    let mut dev_gen = vec![0u32; n_dev];
+    // Executing attempts per device: (request, task, trace record index).
+    let mut running: Vec<Vec<(usize, TaskId, usize)>> = vec![Vec::new(); n_dev];
+    // Tasks killed by a crash, awaiting detection or recovery.
+    let mut orphans: Vec<Vec<(usize, TaskId)>> = vec![Vec::new(); n_dev];
+    // Attempt epoch per task; a crash bump invalidates in-flight finishes.
+    let mut attempt_no: Vec<Vec<u32>> = requests.iter().map(|r| vec![0; r.dag.len()]).collect();
+    let mut finished: Vec<Vec<bool>> = requests.iter().map(|r| vec![false; r.dag.len()]).collect();
+    // Tasks with no feasible live device, waiting for a recovery.
+    let mut parked: Vec<(usize, TaskId)> = Vec::new();
+    // Transfers with no surviving route, waiting for a link restore.
+    let mut stalled: Vec<(usize, DataId, NodeId, u64)> = Vec::new();
+    let mut dead_links = vec![false; n_links];
+    let mut n_dead = 0usize;
+    let mut placer = plane.map(|_| OnlinePlacer::continuum(env));
 
     let mut states: Vec<ReqState> = requests
         .iter()
@@ -208,6 +310,25 @@ pub fn simulate_stream_with_faults(
     for (i, r) in requests.iter().enumerate() {
         queue.schedule_at(r.arrival, Ev::Arrival(i));
     }
+    if let Some(p) = plane {
+        for (idx, fe) in p.schedule.events().iter().enumerate() {
+            match fe.kind {
+                FaultKind::DeviceCrash | FaultKind::DeviceRecover => assert!(
+                    (fe.target as usize) < n_dev,
+                    "fault schedule targets device {} but only {n_dev} exist",
+                    fe.target
+                ),
+                FaultKind::LinkFail | FaultKind::LinkRestore => assert!(
+                    (fe.target as usize) < n_links,
+                    "fault schedule targets link {} but only {n_links} exist",
+                    fe.target
+                ),
+                // Endpoint faults belong to the fabric broker.
+                FaultKind::EndpointCrash | FaultKind::EndpointRecover => continue,
+            }
+            queue.schedule_at(fe.at, Ev::Fault(idx));
+        }
+    }
 
     // --- helpers as closures are painful with the borrow checker; use a
     // macro-free, explicit work-list style instead. Pending "item became
@@ -217,6 +338,7 @@ pub fn simulate_stream_with_faults(
         // Work lists produced by this event.
         let mut made_present: Vec<(usize, DataId, NodeId)> = Vec::new();
         let mut dispatch_devices: Vec<usize> = Vec::new();
+        let mut to_replace: Vec<(usize, TaskId)> = Vec::new();
         let mut network_changed = false;
 
         match ev {
@@ -227,7 +349,7 @@ pub fn simulate_stream_with_faults(
                 {
                     let st = &mut states[req];
                     for t in r.dag.tasks() {
-                        let dst = env.node_of(r.placement.device(t.id));
+                        let dst = env.node_of(assign[req][t.id.0 as usize]);
                         let mut ins = t.inputs.clone();
                         ins.sort_unstable();
                         ins.dedup();
@@ -257,40 +379,65 @@ pub fn simulate_stream_with_faults(
                     if src == dst {
                         made_present.push((req, d, dst));
                     } else {
-                        let path = env
-                            .path_ecmp(src, dst, xfer_salt(req, d))
-                            .expect("disconnected topology");
-                        egress_log.push((src, requests[req].dag.data(d).bytes));
-                        queue.schedule_at(now + path.latency, Ev::StartFlow { req, item: d, dst });
+                        let bytes = requests[req].dag.data(d).bytes;
+                        egress_log.push((src, bytes));
+                        match route(env, src, dst, xfer_salt(req, d), &dead_links, n_dead) {
+                            Some(path) => {
+                                queue.schedule_at(
+                                    now + path.latency,
+                                    Ev::StartFlow {
+                                        req,
+                                        item: d,
+                                        dst,
+                                        bytes,
+                                    },
+                                );
+                            }
+                            None => {
+                                assert!(n_dead > 0, "disconnected topology");
+                                stalled.push((req, d, dst, bytes));
+                            }
+                        }
                     }
                 }
                 // Tasks with no inputs are immediately ready.
                 for t in r.dag.tasks() {
                     if states[req].missing[t.id.0 as usize] == 0 {
-                        let dev = r.placement.device(t.id);
-                        device_q[dev.0 as usize].push_back((req, t.id));
-                        dispatch_devices.push(dev.0 as usize);
+                        let dev = assign[req][t.id.0 as usize];
+                        if dev_known_down[dev.0 as usize] {
+                            to_replace.push((req, t.id));
+                        } else {
+                            device_q[dev.0 as usize].push_back((req, t.id));
+                            dispatch_devices.push(dev.0 as usize);
+                        }
                     }
                 }
             }
-            Ev::StartFlow { req, item, dst } => {
+            Ev::StartFlow {
+                req,
+                item,
+                dst,
+                bytes,
+            } => {
                 let r = &requests[req];
-                let bytes = r.dag.data(item).bytes;
                 // Source: home or producer's node — only needed for the
                 // path; recompute from whichever is set.
                 let src = match r.dag.producer(item) {
                     None => r.dag.data(item).home.expect("external item has home"),
-                    Some(p) => env.node_of(r.placement.device(p)),
+                    Some(p) => env.node_of(assign[req][p.0 as usize]),
                 };
-                let path = env
-                    .path_ecmp(src, dst, xfer_salt(req, item))
-                    .expect("disconnected topology");
-                match network.start(now, &path, bytes) {
-                    Some(fid) => {
-                        flow_dest.insert(fid, (req, item, dst));
-                        network_changed = true;
+                match route(env, src, dst, xfer_salt(req, item), &dead_links, n_dead) {
+                    Some(path) => match network.start(now, &path, bytes) {
+                        Some(fid) => {
+                            flow_dest.insert(fid, (req, item, dst));
+                            network_changed = true;
+                        }
+                        None => made_present.push((req, item, dst)),
+                    },
+                    None => {
+                        assert!(n_dead > 0, "disconnected topology");
+                        stalled.push((req, item, dst, bytes));
                     }
-                    None => made_present.push((req, item, dst)),
                 }
             }
             Ev::FlowDone(fid) => {
@@ -303,12 +450,20 @@ pub fn simulate_stream_with_faults(
                 made_present.push((req, item, dst));
                 network_changed = true;
             }
-            Ev::TaskFinished { req, task } => {
+            Ev::TaskFinished { req, task, epoch } => {
+                if epoch != attempt_no[req][task.0 as usize] {
+                    continue; // this attempt was killed by a device crash
+                }
                 let r = &requests[req];
-                let dev = r.placement.device(task);
+                let dev = assign[req][task.0 as usize];
                 let spec = &env.fleet.device(dev).spec;
                 let need = r.dag.task(task).occupancy(spec.cores);
                 free_cores[dev.0 as usize] += need;
+                let pos = running[dev.0 as usize]
+                    .iter()
+                    .position(|&(rq, t, _)| rq == req && t == task)
+                    .expect("finished task is running");
+                running[dev.0 as usize].swap_remove(pos);
 
                 // Fault injection: this attempt may fail at completion.
                 if let (Some(fs), Some(rng)) = (faults, fault_rng.as_mut()) {
@@ -336,6 +491,9 @@ pub fn simulate_stream_with_faults(
                                 env,
                                 requests,
                                 &mut states,
+                                &assign,
+                                &attempt_no,
+                                &mut running,
                                 &mut device_q,
                                 &mut free_cores,
                                 &mut trace,
@@ -350,6 +508,7 @@ pub fn simulate_stream_with_faults(
                     }
                 }
 
+                finished[req][task.0 as usize] = true;
                 let st = &mut states[req];
                 st.unfinished -= 1;
                 if st.unfinished == 0 {
@@ -380,48 +539,207 @@ pub fn simulate_stream_with_faults(
                     if dst == my_node {
                         made_present.push((req, d, dst));
                     } else {
-                        let path = env
-                            .path_ecmp(my_node, dst, xfer_salt(req, d))
-                            .expect("disconnected topology");
-                        egress_log.push((my_node, r.dag.data(d).bytes));
-                        queue.schedule_at(now + path.latency, Ev::StartFlow { req, item: d, dst });
+                        let bytes = r.dag.data(d).bytes;
+                        egress_log.push((my_node, bytes));
+                        match route(env, my_node, dst, xfer_salt(req, d), &dead_links, n_dead) {
+                            Some(path) => {
+                                queue.schedule_at(
+                                    now + path.latency,
+                                    Ev::StartFlow {
+                                        req,
+                                        item: d,
+                                        dst,
+                                        bytes,
+                                    },
+                                );
+                            }
+                            None => {
+                                assert!(n_dead > 0, "disconnected topology");
+                                stalled.push((req, d, dst, bytes));
+                            }
+                        }
                     }
                 }
             }
             Ev::RetryTask { req, task } => {
-                let dev = requests[req].placement.device(task);
-                device_q[dev.0 as usize].push_back((req, task));
-                dispatch_devices.push(dev.0 as usize);
+                let dev = assign[req][task.0 as usize];
+                if dev_known_down[dev.0 as usize] {
+                    to_replace.push((req, task));
+                } else {
+                    device_q[dev.0 as usize].push_back((req, task));
+                    dispatch_devices.push(dev.0 as usize);
+                }
+            }
+            Ev::Fault(idx) => {
+                let fe = plane.expect("fault event implies plane").schedule.events()[idx];
+                match fe.kind {
+                    FaultKind::DeviceCrash => {
+                        let d = fe.target as usize;
+                        if dev_up[d] {
+                            dev_up[d] = false;
+                            dev_gen[d] += 1;
+                            trace.device_crashes += 1;
+                            // Kill the running attempts: elapsed execution
+                            // is destroyed (energy/cost stay charged — the
+                            // hardware did burn them). The tasks become
+                            // orphans awaiting detection or recovery.
+                            for (rq, t, rec) in std::mem::take(&mut running[d]) {
+                                let started_at = trace.records[rec].start;
+                                trace.records[rec].finish = now; // truncate
+                                trace.lost_work_s += now.since(started_at).as_secs_f64();
+                                trace.killed_attempts += 1;
+                                attempt_no[rq][t.0 as usize] += 1;
+                                states[rq].started[t.0 as usize] = false;
+                                orphans[d].push((rq, t));
+                            }
+                            free_cores[d] = 0;
+                            let det = plane.expect("checked above").detection;
+                            queue.schedule_at(
+                                now + det,
+                                Ev::OrphanSweep {
+                                    dev: d,
+                                    gen: dev_gen[d],
+                                },
+                            );
+                        }
+                    }
+                    FaultKind::DeviceRecover => {
+                        let d = fe.target as usize;
+                        if !dev_up[d] {
+                            dev_up[d] = true;
+                            dev_known_down[d] = false;
+                            free_cores[d] = env.fleet.devices()[d].spec.cores;
+                            // Undetected orphans restart in place: their
+                            // inputs already live at this node.
+                            for (rq, t) in std::mem::take(&mut orphans[d]) {
+                                device_q[d].push_back((rq, t));
+                            }
+                            dispatch_devices.push(d);
+                            // Parked tasks get another placement attempt.
+                            to_replace.append(&mut parked);
+                        }
+                    }
+                    FaultKind::LinkFail => {
+                        let l = fe.target as usize;
+                        if !dead_links[l] {
+                            dead_links[l] = true;
+                            n_dead += 1;
+                            trace.link_failures += 1;
+                            for a in network.fail_link(now, LinkId(l as u32)) {
+                                let (rq, item, dst) =
+                                    flow_dest.remove(&a.id).expect("aborted flow is tracked");
+                                // Resume the remainder over the surviving
+                                // topology (transferred bytes arrived;
+                                // egress was billed at initiation).
+                                let rest = (a.remaining.ceil() as u64).max(1);
+                                queue.schedule_at(
+                                    now,
+                                    Ev::StartFlow {
+                                        req: rq,
+                                        item,
+                                        dst,
+                                        bytes: rest,
+                                    },
+                                );
+                            }
+                            network_changed = true;
+                        }
+                    }
+                    FaultKind::LinkRestore => {
+                        let l = fe.target as usize;
+                        if dead_links[l] {
+                            dead_links[l] = false;
+                            n_dead -= 1;
+                            network.restore_link(now, LinkId(l as u32));
+                            network_changed = true;
+                            // Stalled transfers may be routable again.
+                            for (rq, item, dst, bytes) in std::mem::take(&mut stalled) {
+                                queue.schedule_at(
+                                    now,
+                                    Ev::StartFlow {
+                                        req: rq,
+                                        item,
+                                        dst,
+                                        bytes,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    FaultKind::EndpointCrash | FaultKind::EndpointRecover => {
+                        unreachable!("endpoint faults are not scheduled here")
+                    }
+                }
+            }
+            Ev::OrphanSweep { dev, gen } => {
+                // Stale if the device recovered (or crashed again) before
+                // this sweep fired.
+                if !dev_up[dev] && dev_gen[dev] == gen {
+                    dev_known_down[dev] = true;
+                    to_replace.extend(std::mem::take(&mut orphans[dev]));
+                    to_replace.extend(device_q[dev].drain(..));
+                }
             }
         }
 
-        // Drain presence notifications -> may ready tasks.
-        for (req, item, node) in made_present {
-            let r = &requests[req];
-            let st = &mut states[req];
-            st.items.insert((item, node), ItemState::Present);
-            if let Some(waiters) = st.waiters.remove(&(item, node)) {
-                for t in waiters {
-                    // A waiter only counts if this task actually runs here.
-                    let dev = r.placement.device(t);
-                    if env.node_of(dev) != node {
-                        continue;
-                    }
-                    let m = &mut st.missing[t.0 as usize];
-                    debug_assert!(*m > 0);
-                    *m -= 1;
-                    if *m == 0 {
-                        device_q[dev.0 as usize].push_back((req, t));
-                        dispatch_devices.push(dev.0 as usize);
+        // Drain presence notifications and fault re-placements — each can
+        // feed the other (a new item can ready a task whose device is
+        // known-dead; a re-placement can find its inputs co-located).
+        while !made_present.is_empty() || !to_replace.is_empty() {
+            for (req, item, node) in std::mem::take(&mut made_present) {
+                let st = &mut states[req];
+                st.items.insert((item, node), ItemState::Present);
+                if let Some(waiters) = st.waiters.remove(&(item, node)) {
+                    for t in waiters {
+                        // A waiter only counts if this task actually runs here.
+                        let dev = assign[req][t.0 as usize];
+                        if env.node_of(dev) != node {
+                            continue;
+                        }
+                        let m = &mut st.missing[t.0 as usize];
+                        debug_assert!(*m > 0);
+                        *m -= 1;
+                        if *m == 0 {
+                            if dev_known_down[dev.0 as usize] {
+                                to_replace.push((req, t));
+                            } else {
+                                device_q[dev.0 as usize].push_back((req, t));
+                                dispatch_devices.push(dev.0 as usize);
+                            }
+                        }
                     }
                 }
+            }
+            for (req, task) in std::mem::take(&mut to_replace) {
+                replace_task(
+                    env,
+                    requests,
+                    &mut states,
+                    &mut assign,
+                    &finished,
+                    placer.as_mut().expect("re-placement implies a fault plane"),
+                    &dev_up,
+                    &dead_links,
+                    n_dead,
+                    &mut queue,
+                    &mut egress_log,
+                    &mut stalled,
+                    &mut parked,
+                    &mut device_q,
+                    &mut dispatch_devices,
+                    &mut made_present,
+                    &mut trace,
+                    req,
+                    task,
+                    now,
+                );
             }
         }
 
         // Dispatch: first-fit scan of each touched device queue, plus any
         // device that just freed cores.
-        if let Ev::TaskFinished { req, task } = &ev {
-            let dev = requests[*req].placement.device(*task);
+        if let Ev::TaskFinished { req, task, .. } = &ev {
+            let dev = assign[*req][task.0 as usize];
             dispatch_devices.push(dev.0 as usize);
         }
         dispatch_devices.sort_unstable();
@@ -431,6 +749,9 @@ pub fn simulate_stream_with_faults(
                 env,
                 requests,
                 &mut states,
+                &assign,
+                &attempt_no,
+                &mut running,
                 &mut device_q,
                 &mut free_cores,
                 &mut trace,
@@ -485,6 +806,9 @@ fn dispatch_queue(
     env: &Env,
     requests: &[StreamRequest],
     states: &mut [ReqState],
+    assign: &[Vec<DeviceId>],
+    attempt_no: &[Vec<u32>],
+    running: &mut [Vec<(usize, TaskId, usize)>],
     device_q: &mut [VecDeque<(usize, TaskId)>],
     free_cores: &mut [u32],
     trace: &mut ExecutionTrace,
@@ -505,7 +829,9 @@ fn dispatch_queue(
             free_cores[di] -= need;
             states[req].started[t.0 as usize] = true;
             let dur = spec.compute_time_parallel(task.work_flops, task.parallelism);
-            let dev_id = requests[req].placement.device(t);
+            let dev_id = assign[req][t.0 as usize];
+            debug_assert_eq!(dev_id.0 as usize, di);
+            running[di].push((req, t, trace.records.len()));
             trace.records.push(TaskRecord {
                 request: req,
                 task: t,
@@ -516,10 +842,141 @@ fn dispatch_queue(
             });
             energy.record_busy(&env.fleet, dev_id, need, dur);
             cost.record_occupancy(&env.fleet, dev_id, need, dur);
-            queue.schedule_at(now + dur, Ev::TaskFinished { req, task: t });
+            let epoch = attempt_no[req][t.0 as usize];
+            queue.schedule_at(
+                now + dur,
+                Ev::TaskFinished {
+                    req,
+                    task: t,
+                    epoch,
+                },
+            );
         } else {
             i += 1;
         }
+    }
+}
+
+/// Re-place one orphaned task onto a surviving device, re-resolving its
+/// inputs at the new node: items already present there are reused, items
+/// in flight are awaited, missing items are re-fetched from their home or
+/// their (finished) producer's current node, and items whose producer has
+/// not finished yet will be delivered by the producer's publish (the
+/// waiter registration below is what its publish scan picks up).
+///
+/// If no feasible device is alive right now the task parks until the next
+/// recovery event.
+#[allow(clippy::too_many_arguments)]
+fn replace_task(
+    env: &Env,
+    requests: &[StreamRequest],
+    states: &mut [ReqState],
+    assign: &mut [Vec<DeviceId>],
+    finished: &[Vec<bool>],
+    placer: &mut OnlinePlacer,
+    dev_up: &[bool],
+    dead_links: &[bool],
+    n_dead: usize,
+    queue: &mut EventQueue<Ev>,
+    egress_log: &mut Vec<(NodeId, u64)>,
+    stalled: &mut Vec<(usize, DataId, NodeId, u64)>,
+    parked: &mut Vec<(usize, TaskId)>,
+    device_q: &mut [VecDeque<(usize, TaskId)>],
+    dispatch_devices: &mut Vec<usize>,
+    made_present: &mut Vec<(usize, DataId, NodeId)>,
+    trace: &mut ExecutionTrace,
+    req: usize,
+    task: TaskId,
+    now: SimTime,
+) {
+    let r = &requests[req];
+    let t = r.dag.task(task);
+    let mut ins: Vec<DataId> = t.inputs.clone();
+    ins.sort_unstable();
+    ins.dedup();
+    // Where each input can be fetched from right now, for the placer's
+    // finish estimate (external items from home; produced items from the
+    // producer's current device).
+    let input_view: Vec<(NodeId, SimTime, u64)> = ins
+        .iter()
+        .map(|&d| {
+            let item = r.dag.data(d);
+            let src = match r.dag.producer(d) {
+                None => item.home.expect("validated dag: external has home"),
+                Some(p) => env.node_of(assign[req][p.0 as usize]),
+            };
+            (src, now, item.bytes)
+        })
+        .collect();
+    let Some((dev, _fin)) = placer.place_task(env, t, &input_view, now, dev_up) else {
+        parked.push((req, task));
+        return;
+    };
+    assign[req][task.0 as usize] = dev;
+    trace.replacements += 1;
+    let dst = env.node_of(dev);
+    let st = &mut states[req];
+    let mut miss = 0u32;
+    for &d in &ins {
+        match st.items.get(&(d, dst)) {
+            Some(ItemState::Present) => continue,
+            Some(ItemState::InFlight) => {
+                miss += 1;
+                let w = st.waiters.entry((d, dst)).or_default();
+                if !w.contains(&task) {
+                    w.push(task);
+                }
+                continue;
+            }
+            None => {}
+        }
+        miss += 1;
+        let w = st.waiters.entry((d, dst)).or_default();
+        if !w.contains(&task) {
+            w.push(task);
+        }
+        // Can the item be fetched right now, and from where?
+        let src = match r.dag.producer(d) {
+            None => Some(
+                r.dag
+                    .data(d)
+                    .home
+                    .expect("validated dag: external has home"),
+            ),
+            Some(p) => finished[req][p.0 as usize].then(|| env.node_of(assign[req][p.0 as usize])),
+        };
+        let Some(src) = src else {
+            continue; // producer unfinished: its publish will deliver here
+        };
+        st.items.insert((d, dst), ItemState::InFlight);
+        let bytes = r.dag.data(d).bytes;
+        if src == dst {
+            made_present.push((req, d, dst));
+        } else {
+            egress_log.push((src, bytes));
+            match route(env, src, dst, xfer_salt(req, d), dead_links, n_dead) {
+                Some(path) => {
+                    queue.schedule_at(
+                        now + path.latency,
+                        Ev::StartFlow {
+                            req,
+                            item: d,
+                            dst,
+                            bytes,
+                        },
+                    );
+                }
+                None => {
+                    assert!(n_dead > 0, "disconnected topology");
+                    stalled.push((req, d, dst, bytes));
+                }
+            }
+        }
+    }
+    st.missing[task.0 as usize] = miss;
+    if miss == 0 {
+        device_q[dev.0 as usize].push_back((req, task));
+        dispatch_devices.push(dev.0 as usize);
     }
 }
 
@@ -717,6 +1174,229 @@ mod tests {
         // Both requests see an idle device: equal latency.
         assert!((lats[0] - lats[1]).abs() < 1e-9);
         assert!(out.trace.request_finish[1] > SimTime::from_secs(10));
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use continuum_model::{standard_fleet, DeviceClass, Fleet};
+    use continuum_net::{Tier, Topology};
+    use continuum_placement::{HeftPlacer, Placer};
+    use continuum_sim::FaultSchedule;
+
+    fn world() -> (Env, Dag, Placement) {
+        let built = continuum_net::continuum(&continuum_net::ContinuumSpec::default());
+        let env = Env::new(built.topology.clone(), standard_fleet(&built));
+        let mut rng = continuum_sim::Rng::new(7);
+        let dag = continuum_workflow::layered_random(
+            &mut rng,
+            &continuum_workflow::LayeredSpec {
+                tasks: 60,
+                ..Default::default()
+            },
+        );
+        let placement = HeftPlacer::default().place(&env, &dag);
+        (env, dag, placement)
+    }
+
+    fn as_reqs(dag: &Dag, placement: &Placement) -> Vec<StreamRequest> {
+        vec![StreamRequest {
+            arrival: SimTime::ZERO,
+            dag: dag.clone(),
+            placement: placement.clone(),
+        }]
+    }
+
+    #[test]
+    fn empty_fault_plane_is_bit_identical() {
+        let (env, dag, placement) = world();
+        let clean = simulate(&env, &dag, &placement);
+        let plane = FaultPlane {
+            schedule: FaultSchedule::new(),
+            detection: SimDuration::from_millis(250),
+        };
+        let chaos = simulate_stream_chaos(&env, &as_reqs(&dag, &placement), None, Some(&plane));
+        // Exact equality, not approximate: the zero-fault chaos path must
+        // take the same decisions in the same order.
+        assert_eq!(clean.metrics.makespan_s, chaos.metrics.makespan_s);
+        assert_eq!(clean.metrics.energy_j, chaos.metrics.energy_j);
+        assert_eq!(clean.metrics.cost_usd, chaos.metrics.cost_usd);
+        assert_eq!(clean.trace.bytes_moved, chaos.trace.bytes_moved);
+        assert_eq!(clean.trace.records.len(), chaos.trace.records.len());
+        assert_eq!(clean.trace.request_finish, chaos.trace.request_finish);
+        assert_eq!(chaos.trace.device_crashes, 0);
+        assert_eq!(chaos.trace.replacements, 0);
+        assert_eq!(chaos.trace.lost_work_s, 0.0);
+    }
+
+    #[test]
+    fn device_crash_replaces_orphans_on_survivors() {
+        let (env, dag, placement) = world();
+        let clean = simulate(&env, &dag, &placement);
+        // Crash the device running the longest task, mid-execution, and
+        // keep it down past the clean makespan so nothing restarts there.
+        let longest = clean
+            .trace
+            .records
+            .iter()
+            .max_by_key(|r| (r.duration(), r.task.0))
+            .expect("non-empty trace");
+        let crash_at = SimTime::from_secs_f64(
+            (longest.start.as_secs_f64() + longest.finish.as_secs_f64()) / 2.0,
+        );
+        let mut schedule = FaultSchedule::new();
+        schedule.crash_and_recover(
+            FaultKind::DeviceCrash,
+            longest.device.0,
+            crash_at,
+            SimDuration::from_secs_f64(clean.metrics.makespan_s * 10.0 + 60.0),
+        );
+        let plane = FaultPlane {
+            schedule,
+            detection: SimDuration::from_millis(250),
+        };
+        let chaos = simulate_stream_chaos(&env, &as_reqs(&dag, &placement), None, Some(&plane));
+        // Everything still completes (the final conservation assert inside
+        // the executor also guarantees this), work moved, work was lost.
+        assert_eq!(chaos.trace.device_crashes, 1);
+        assert!(
+            chaos.trace.killed_attempts >= 1,
+            "mid-task crash kills work"
+        );
+        assert!(chaos.trace.lost_work_s > 0.0);
+        assert!(
+            chaos.trace.replacements >= 1,
+            "orphans must be re-placed, not retried in place"
+        );
+        assert!(
+            chaos.metrics.makespan_s >= clean.metrics.makespan_s,
+            "crash cannot speed the run up: {} < {}",
+            chaos.metrics.makespan_s,
+            clean.metrics.makespan_s
+        );
+        // The killed attempt was re-run somewhere that is not the dead
+        // device: its final record must name a different device.
+        let final_dev = chaos
+            .trace
+            .records
+            .iter()
+            .rfind(|r| r.task == longest.task)
+            .expect("task re-ran")
+            .device;
+        assert_ne!(
+            final_dev, longest.device,
+            "task restarted on the dead device"
+        );
+    }
+
+    #[test]
+    fn link_failure_preserves_bytes_and_stalls_until_restore() {
+        // Edge->cloud world with one link: failing it mid-transfer strands
+        // the remainder until the restore.
+        let mut topo = Topology::new();
+        let e = topo.add_node("edge", Tier::Edge);
+        let c = topo.add_node("cloud", Tier::Cloud);
+        topo.add_link(e, c, SimDuration::from_millis(10), 1e6);
+        let mut fleet = Fleet::new();
+        fleet.add_class(e, DeviceClass::EdgeGateway);
+        fleet.add_class(c, DeviceClass::CloudVm);
+        let env = Env::new(topo, fleet);
+        let mut dag = Dag::new("xfer");
+        let input = dag.add_input("in", 1_000_000, e);
+        let out = dag.add_item("out", 1);
+        dag.add_task("t", 1e6, vec![input], vec![out]);
+        let placement = Placement {
+            assignment: vec![DeviceId(1)],
+        };
+        let reqs = as_reqs(&dag, &placement);
+        // The 1 MB transfer runs 0.5..~1.5s virtual; kill the only link at
+        // t=0.5s and bring it back at t=20s.
+        let mut schedule = FaultSchedule::new();
+        schedule.crash_and_recover(
+            FaultKind::LinkFail,
+            0,
+            SimTime::from_millis(500),
+            SimDuration::from_secs_f64(19.5),
+        );
+        let plane = FaultPlane {
+            schedule,
+            detection: SimDuration::from_millis(250),
+        };
+        let chaos = simulate_stream_chaos(&env, &reqs, None, Some(&plane));
+        assert_eq!(chaos.trace.link_failures, 1);
+        // The transfer resumed (partial bytes kept, not restarted), so the
+        // egress accounting still shows exactly one 1 MB transfer.
+        assert_eq!(chaos.trace.bytes_moved, 1_000_000);
+        assert_eq!(chaos.trace.transfers, 1);
+        // And the makespan rode out the outage.
+        assert!(
+            chaos.metrics.makespan_s > 20.0,
+            "makespan {} should include the outage",
+            chaos.metrics.makespan_s
+        );
+        let clean = simulate(&env, &dag, &placement);
+        assert!(chaos.metrics.makespan_s > clean.metrics.makespan_s);
+    }
+
+    #[test]
+    fn no_live_device_parks_until_recovery() {
+        // One device total: a crash leaves the placer nothing; the task
+        // parks and re-places onto the same device once it recovers.
+        let mut topo = Topology::new();
+        let n = topo.add_node("only", Tier::Edge);
+        let mut fleet = Fleet::new();
+        fleet.add_class(n, DeviceClass::EdgeGateway);
+        let env = Env::new(topo, fleet);
+        let mut dag = Dag::new("one");
+        let input = dag.add_input("in", 1, n);
+        let out = dag.add_item("out", 1);
+        // ~2.5 s on an EdgeGateway core.
+        dag.add_task("t", 2e10, vec![input], vec![out]);
+        let placement = Placement {
+            assignment: vec![DeviceId(0)],
+        };
+        let mut schedule = FaultSchedule::new();
+        schedule.crash_and_recover(
+            FaultKind::DeviceCrash,
+            0,
+            SimTime::from_millis(100),
+            SimDuration::from_secs(30),
+        );
+        let plane = FaultPlane {
+            schedule,
+            detection: SimDuration::from_millis(50),
+        };
+        let chaos = simulate_stream_chaos(&env, &as_reqs(&dag, &placement), None, Some(&plane));
+        assert_eq!(chaos.trace.killed_attempts, 1);
+        assert!(
+            chaos.metrics.makespan_s > 30.0,
+            "makespan {} should wait out the outage",
+            chaos.metrics.makespan_s
+        );
+    }
+
+    #[test]
+    fn chaos_is_deterministic() {
+        let (env, dag, placement) = world();
+        let clean = simulate(&env, &dag, &placement);
+        let mut schedule = FaultSchedule::new();
+        let dev = clean.trace.records[0].device.0;
+        schedule.crash_and_recover(
+            FaultKind::DeviceCrash,
+            dev,
+            SimTime::from_secs_f64(clean.metrics.makespan_s * 0.3),
+            SimDuration::from_secs(5),
+        );
+        let plane = FaultPlane {
+            schedule,
+            detection: SimDuration::from_millis(250),
+        };
+        let a = simulate_stream_chaos(&env, &as_reqs(&dag, &placement), None, Some(&plane));
+        let b = simulate_stream_chaos(&env, &as_reqs(&dag, &placement), None, Some(&plane));
+        assert_eq!(a.metrics.makespan_s, b.metrics.makespan_s);
+        assert_eq!(a.trace.replacements, b.trace.replacements);
+        assert_eq!(a.trace.lost_work_s, b.trace.lost_work_s);
     }
 }
 

@@ -45,6 +45,16 @@ pub struct ExecutionTrace {
     /// Task attempts that failed and were retried (0 without fault
     /// injection).
     pub failed_attempts: u64,
+    /// Device crash events applied (0 without a fault plane).
+    pub device_crashes: u64,
+    /// Link failure events applied (0 without a fault plane).
+    pub link_failures: u64,
+    /// Orphaned tasks re-placed onto surviving devices.
+    pub replacements: u64,
+    /// Task attempts killed mid-execution by device crashes.
+    pub killed_attempts: u64,
+    /// Execution seconds destroyed by device crashes (partial attempts).
+    pub lost_work_s: f64,
 }
 
 impl ExecutionTrace {

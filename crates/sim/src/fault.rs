@@ -1,0 +1,358 @@
+//! Timed fault schedules: crash/recover events for devices, links, and
+//! fabric endpoints.
+//!
+//! The continuum is not a failure-free fabric — edge devices and fog
+//! endpoints disappear far more often than HPC nodes. A [`FaultSchedule`]
+//! is the shared vocabulary every executor layer speaks: a time-sorted
+//! list of [`FaultEvent`]s, each naming a target *kind* (device, link, or
+//! endpoint), the target's dense index within its own id space, and
+//! whether it crashes or recovers at that instant.
+//!
+//! Schedules are plain data: deterministic to generate from a seed
+//! ([`FaultSchedule::generate`]), serializable (so an experiment's exact
+//! fault trace can be archived next to its results), and interpretable by
+//! any consumer — the simulated DAG executor maps device/link events onto
+//! its fleet and [flow network](../../continuum_net/index.html), the
+//! fabric broker maps endpoint events onto its worker pools.
+//!
+//! This crate knows nothing about the id types of the upper layers;
+//! targets are raw `u32` indices and each consumer validates them against
+//! its own population.
+
+use crate::rng::Rng;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// What fails (or recovers) — the target kind plus the transition.
+///
+/// Unit variants only, so the schedule stays serializable with the
+/// workspace's vendored serde.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A fleet device stops executing; running work on it is killed.
+    DeviceCrash,
+    /// A crashed device rejoins, empty (no queue, no running tasks).
+    DeviceRecover,
+    /// A network link goes dark; flows crossing it are aborted.
+    LinkFail,
+    /// A failed link carries traffic again at its original capacity.
+    LinkRestore,
+    /// A fabric endpoint (worker pool) crashes.
+    EndpointCrash,
+    /// A crashed endpoint rejoins, cold and empty.
+    EndpointRecover,
+}
+
+impl FaultKind {
+    /// True for the crash/fail half of each pair.
+    pub fn is_crash(self) -> bool {
+        matches!(
+            self,
+            FaultKind::DeviceCrash | FaultKind::LinkFail | FaultKind::EndpointCrash
+        )
+    }
+}
+
+/// One timed fault transition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the transition happens.
+    pub at: SimTime,
+    /// Which transition.
+    pub kind: FaultKind,
+    /// Dense index of the target in its own id space (device index, link
+    /// index, or endpoint index — disambiguated by `kind`).
+    pub target: u32,
+}
+
+/// Poisson crash/repair process parameters for one target class.
+///
+/// Each target alternates up/down: uptime drawn exponential with mean
+/// `mttf_s`, downtime exponential with mean `mttr_s`. A class with zero
+/// population or non-positive `mttf_s` produces no events.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultProcess {
+    /// Number of targets in the class.
+    pub population: u32,
+    /// Mean time to failure, seconds (`<= 0` disables the class).
+    pub mttf_s: f64,
+    /// Mean time to repair, seconds (clamped to a small positive floor).
+    pub mttr_s: f64,
+}
+
+impl FaultProcess {
+    /// A disabled (never-failing) class.
+    pub const OFF: FaultProcess = FaultProcess {
+        population: 0,
+        mttf_s: 0.0,
+        mttr_s: 0.0,
+    };
+}
+
+/// Generation parameters for [`FaultSchedule::generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultScheduleSpec {
+    /// No crash is *started* after this horizon (recoveries may land
+    /// past it so that every crash has a matching recover).
+    pub horizon: SimDuration,
+    /// Device crash/repair process.
+    pub devices: FaultProcess,
+    /// Link fail/restore process.
+    pub links: FaultProcess,
+    /// Endpoint crash/repair process.
+    pub endpoints: FaultProcess,
+}
+
+impl Default for FaultScheduleSpec {
+    fn default() -> Self {
+        FaultScheduleSpec {
+            horizon: SimDuration::from_secs(60),
+            devices: FaultProcess::OFF,
+            links: FaultProcess::OFF,
+            endpoints: FaultProcess::OFF,
+        }
+    }
+}
+
+/// A time-sorted schedule of crash/recover events.
+///
+/// Invariants maintained by every constructor:
+/// - events are sorted by `(at, kind-stable insertion order)`;
+/// - every crash emitted by [`FaultSchedule::generate`] has a matching
+///   later recover for the same target, so a generated schedule never
+///   leaves the world permanently degraded (hand-built schedules may).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Empty (fault-free) schedule.
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Schedule from explicit events (sorted internally; stable for
+    /// equal timestamps, preserving the caller's ordering).
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultSchedule { events }
+    }
+
+    /// Append one event, keeping the list sorted.
+    pub fn push(&mut self, at: SimTime, kind: FaultKind, target: u32) {
+        let idx = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(idx, FaultEvent { at, kind, target });
+    }
+
+    /// Convenience: a crash at `at` plus its recover at `at + downtime`.
+    pub fn crash_and_recover(
+        &mut self,
+        crash_kind: FaultKind,
+        target: u32,
+        at: SimTime,
+        downtime: SimDuration,
+    ) {
+        assert!(crash_kind.is_crash(), "expected a crash kind");
+        let recover_kind = match crash_kind {
+            FaultKind::DeviceCrash => FaultKind::DeviceRecover,
+            FaultKind::LinkFail => FaultKind::LinkRestore,
+            FaultKind::EndpointCrash => FaultKind::EndpointRecover,
+            _ => unreachable!(),
+        };
+        self.push(at, crash_kind, target);
+        self.push(at + downtime, recover_kind, target);
+    }
+
+    /// Deterministically generate a schedule from `spec` and `seed`.
+    ///
+    /// Per target, uptimes are exponential with mean `mttf_s` and
+    /// downtimes exponential with mean `mttr_s` (floored at 1 ms so a
+    /// crash and its recover never collapse onto one instant). Each
+    /// target draws from an independent split of the seed, so changing
+    /// one population size does not reshuffle another class's faults.
+    pub fn generate(spec: &FaultScheduleSpec, seed: u64) -> FaultSchedule {
+        let mut root = Rng::new(seed);
+        let mut events = Vec::new();
+        let classes = [
+            (FaultKind::DeviceCrash, spec.devices, 0u64),
+            (FaultKind::LinkFail, spec.links, 1u64),
+            (FaultKind::EndpointCrash, spec.endpoints, 2u64),
+        ];
+        let horizon = spec.horizon.as_secs_f64();
+        for (crash_kind, proc_, class_salt) in classes {
+            if proc_.population == 0 || proc_.mttf_s <= 0.0 {
+                continue;
+            }
+            let mttr = proc_.mttr_s.max(1e-3);
+            for target in 0..proc_.population {
+                let mut rng = root.split(class_salt << 32 | u64::from(target));
+                let mut t = rng.exp(1.0 / proc_.mttf_s);
+                while t < horizon {
+                    let down = rng.exp(1.0 / mttr).max(1e-3);
+                    let recover_kind = match crash_kind {
+                        FaultKind::DeviceCrash => FaultKind::DeviceRecover,
+                        FaultKind::LinkFail => FaultKind::LinkRestore,
+                        _ => FaultKind::EndpointRecover,
+                    };
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs_f64(t),
+                        kind: crash_kind,
+                        target,
+                    });
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs_f64(t + down),
+                        kind: recover_kind,
+                        target,
+                    });
+                    t += down + rng.exp(1.0 / proc_.mttf_s);
+                }
+            }
+        }
+        FaultSchedule::from_events(events)
+    }
+
+    /// The events, time-sorted.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of crash (not recover) events.
+    pub fn crashes(&self) -> usize {
+        self.events.iter().filter(|e| e.kind.is_crash()).count()
+    }
+
+    /// Largest target index per kind pair, for population validation:
+    /// `(max device, max link, max endpoint)`, `None` where the class is
+    /// untouched.
+    pub fn max_targets(&self) -> (Option<u32>, Option<u32>, Option<u32>) {
+        let mut dev = None;
+        let mut link = None;
+        let mut ep = None;
+        for e in &self.events {
+            let slot = match e.kind {
+                FaultKind::DeviceCrash | FaultKind::DeviceRecover => &mut dev,
+                FaultKind::LinkFail | FaultKind::LinkRestore => &mut link,
+                FaultKind::EndpointCrash | FaultKind::EndpointRecover => &mut ep,
+            };
+            *slot = Some(slot.map_or(e.target, |m: u32| m.max(e.target)));
+        }
+        (dev, link, ep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(devices: u32, links: u32) -> FaultScheduleSpec {
+        FaultScheduleSpec {
+            horizon: SimDuration::from_secs(100),
+            devices: FaultProcess {
+                population: devices,
+                mttf_s: 20.0,
+                mttr_s: 3.0,
+            },
+            links: FaultProcess {
+                population: links,
+                mttf_s: 30.0,
+                mttr_s: 2.0,
+            },
+            endpoints: FaultProcess::OFF,
+        }
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = FaultSchedule::generate(&spec(8, 4), 7);
+        let b = FaultSchedule::generate(&spec(8, 4), 7);
+        assert_eq!(a, b);
+        let c = FaultSchedule::generate(&spec(8, 4), 8);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn generated_events_sorted_and_paired() {
+        let s = FaultSchedule::generate(&spec(8, 4), 42);
+        assert!(!s.is_empty());
+        for w in s.events().windows(2) {
+            assert!(w[0].at <= w[1].at, "unsorted schedule");
+        }
+        // Every crash has a later recover: per (kind-class, target), the
+        // up/down transitions alternate and end "up".
+        use std::collections::HashMap;
+        let mut state: HashMap<(bool, bool, u32), bool> = HashMap::new();
+        for e in s.events() {
+            let class = (
+                matches!(e.kind, FaultKind::DeviceCrash | FaultKind::DeviceRecover),
+                matches!(e.kind, FaultKind::LinkFail | FaultKind::LinkRestore),
+                e.target,
+            );
+            let down = state.entry(class).or_insert(false);
+            if e.kind.is_crash() {
+                assert!(!*down, "crash while already down: {e:?}");
+            } else {
+                assert!(*down, "recover while up: {e:?}");
+            }
+            *down = e.kind.is_crash();
+        }
+        assert!(
+            state.values().all(|&down| !down),
+            "some target never recovers"
+        );
+    }
+
+    #[test]
+    fn empty_spec_generates_nothing() {
+        let s = FaultSchedule::generate(&FaultScheduleSpec::default(), 1);
+        assert!(s.is_empty());
+        assert_eq!(s.crashes(), 0);
+        assert_eq!(s.max_targets(), (None, None, None));
+    }
+
+    #[test]
+    fn push_keeps_sorted_and_stable() {
+        let mut s = FaultSchedule::new();
+        s.push(SimTime::from_secs(5), FaultKind::LinkFail, 1);
+        s.push(SimTime::from_secs(1), FaultKind::DeviceCrash, 0);
+        s.push(SimTime::from_secs(5), FaultKind::LinkRestore, 1);
+        assert_eq!(s.events()[0].kind, FaultKind::DeviceCrash);
+        // Equal timestamps keep insertion order.
+        assert_eq!(s.events()[1].kind, FaultKind::LinkFail);
+        assert_eq!(s.events()[2].kind, FaultKind::LinkRestore);
+        assert_eq!(s.max_targets(), (Some(0), Some(1), None));
+    }
+
+    #[test]
+    fn crash_and_recover_helper() {
+        let mut s = FaultSchedule::new();
+        s.crash_and_recover(
+            FaultKind::EndpointCrash,
+            3,
+            SimTime::from_secs(2),
+            SimDuration::from_secs(4),
+        );
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.crashes(), 1);
+        assert_eq!(s.events()[1].at, SimTime::from_secs(6));
+        assert_eq!(s.events()[1].kind, FaultKind::EndpointRecover);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = FaultSchedule::generate(&spec(3, 2), 9);
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: FaultSchedule = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(s, back);
+    }
+}

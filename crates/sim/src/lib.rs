@@ -23,12 +23,14 @@
 
 pub mod engine;
 pub mod events;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::{run_to_completion, run_until, Model, RunStats};
 pub use events::{EventId, EventQueue};
+pub use fault::{FaultEvent, FaultKind, FaultProcess, FaultSchedule, FaultScheduleSpec};
 pub use rng::Rng;
 pub use stats::{jain_fairness, Histogram, OnlineStats, Percentiles, TimeWeighted};
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};

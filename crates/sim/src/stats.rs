@@ -13,13 +13,22 @@ use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Welford running mean / variance / extrema.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+// A derived `Default` would zero `min`/`max`, disagreeing with `new()`'s
+// ±INFINITY sentinels: a default-built accumulator would report
+// `min() == 0.0` for all-positive samples and poison `merge()`.
+impl Default for OnlineStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OnlineStats {
@@ -109,10 +118,18 @@ impl OnlineStats {
 }
 
 /// Exact percentiles over retained samples.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Percentiles {
     samples: Vec<f64>,
     sorted: bool,
+}
+
+// Derived `Default` would set `sorted: false` on an empty vec, disagreeing
+// with `new()` (an empty sample set is vacuously sorted).
+impl Default for Percentiles {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Percentiles {
@@ -334,6 +351,36 @@ mod tests {
         assert!((a.mean() - whole.mean()).abs() < 1e-10);
         assert!((a.variance() - whole.variance()).abs() < 1e-10);
         assert_eq!(a.count(), whole.count());
+    }
+
+    #[test]
+    fn default_matches_new() {
+        // Regression: `OnlineStats::default()` once derived zeroed extrema,
+        // so all-positive samples reported `min() == 0.0` and merging a
+        // default-built accumulator dragged `min` down to 0.
+        let mut d = OnlineStats::default();
+        assert_eq!(d.min(), f64::INFINITY);
+        assert_eq!(d.max(), f64::NEG_INFINITY);
+        for x in [3.0, 5.0] {
+            d.push(x);
+        }
+        assert_eq!(d.min(), 3.0);
+        assert_eq!(d.max(), 5.0);
+
+        let mut merged = OnlineStats::new();
+        merged.push(3.0);
+        merged.push(5.0);
+        let mut into_default = OnlineStats::default();
+        into_default.merge(&merged);
+        assert_eq!(into_default.min(), 3.0);
+        assert_eq!(into_default.max(), 5.0);
+
+        // And `Percentiles::default()` must agree with `new()` on the
+        // vacuously-sorted empty state.
+        let mut p = Percentiles::default();
+        assert_eq!(p.quantile(0.5), None);
+        p.push(1.0);
+        assert_eq!(p.quantile(0.5), Some(1.0));
     }
 
     #[test]
