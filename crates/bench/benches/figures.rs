@@ -28,7 +28,7 @@ fn f2_gilder(c: &mut Criterion) {
     c.bench_function("f2_gilder_one_sweep_point", |b| {
         b.iter(|| {
             let mut built = Scenario::default_continuum().build();
-            built.topology.scale_bandwidth(10.0);
+            std::sync::Arc::make_mut(&mut built.topology).scale_bandwidth(10.0);
             let fleet = continuum_model::standard_fleet(&built);
             let world = Continuum::from_parts(built, fleet);
             let dag = analytics_pipeline(&PipelineSpec {
@@ -56,10 +56,18 @@ fn f3_schedulers(c: &mut Criterion) {
         b.iter(|| black_box(world.place(&dag, &HeftPlacer::default())))
     });
     g.bench_function("heft_append_ablation", |b| {
-        b.iter(|| black_box(world.place(&dag, &HeftPlacer { insertion: false })))
+        b.iter(|| {
+            black_box(world.place(
+                &dag,
+                &HeftPlacer {
+                    insertion: false,
+                    ..Default::default()
+                },
+            ))
+        })
     });
     g.bench_function("cpop", |b| {
-        b.iter(|| black_box(world.place(&dag, &CpopPlacer)))
+        b.iter(|| black_box(world.place(&dag, &CpopPlacer::default())))
     });
     g.bench_function("greedy_eft", |b| {
         b.iter(|| black_box(world.place(&dag, &GreedyEftPlacer::default())))
@@ -272,7 +280,7 @@ fn f11_failures(c: &mut Criterion) {
         b.iter(|| {
             let degraded = built.topology.without_links(&wan[..2]);
             let mut world_built = built.clone();
-            world_built.topology = degraded;
+            world_built.topology = std::sync::Arc::new(degraded);
             let fleet = continuum_model::standard_fleet(&world_built);
             let world = Continuum::from_parts(world_built, fleet);
             let dag = analytics_pipeline(&PipelineSpec {

@@ -1,0 +1,433 @@
+//! planner — microbenchmarks for the planner hot-path overhaul.
+//!
+//! Measures (1) the HEFT placement sweep from the hotpaths bench (same
+//! shape and seeds, so `ms_per_task` is directly comparable to the
+//! committed `BENCH_hotpaths.json` baseline), now running on the cached
+//! transfer matrix and the single-sweep `earliest_slot`; (2) the
+//! annealing move loop three ways — the seed-era engine (vendored in
+//! this binary: full replay per move with per-probe route walks and
+//! quadratic slot scans), the current full-recompute oracle, and
+//! delta-cost scoring — with all three placements cross-checked for
+//! equality; (3) an
+//! `earliest_slot` micro on a deep timeline, sweep vs the seed's
+//! candidate scan; and (4) the HEFT candidate scan, parallel vs serial.
+//!
+//! Writes `BENCH_planner.json` in the current directory; run from the
+//! workspace root:
+//!
+//! ```text
+//! cargo run --release -p continuum-bench --bin planner
+//! ```
+//!
+//! `--smoke` shrinks every section so CI can assert the binary works and
+//! the JSON is emitted without paying the full measurement cost.
+
+use continuum_core::prelude::*;
+use continuum_model::standard_fleet;
+use continuum_net::ContinuumSpec;
+use continuum_placement::{metrics_from_parts, DeviceTimeline, Env, WeightedObjective};
+use continuum_sim::{Rng, SimDuration, SimTime};
+use serde_json::json;
+use std::time::Instant;
+
+/// `ms_per_task` of the `heft_sweep_500` section in the committed
+/// `BENCH_hotpaths.json` (recorded before this overhaul), the comparison
+/// point for the sweep below.
+const HOTPATHS_BASELINE_MS_PER_TASK: f64 = 0.0775;
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1e3
+}
+
+/// Best-of-`n` wall time of `f`, in milliseconds.
+fn best_of<T>(n: usize, mut f: impl FnMut() -> T) -> f64 {
+    (0..n)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            ms(t0)
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The ~500-node HEFT sweep from the hotpaths bench, byte-for-byte the
+/// same workload (spec, seeds, DAG shapes), so `ms_per_task` tracks the
+/// planner's end-to-end trajectory across PRs.
+fn bench_heft_sweep(smoke: bool) -> serde_json::Value {
+    let spec = ContinuumSpec {
+        fogs: 8,
+        edges_per_fog: 8,
+        sensors_per_edge: 7, // 448 + 64 + 8 + 4 + 2 = 526 nodes
+        ..ContinuumSpec::default()
+    };
+    let built = continuum_net::continuum(&spec);
+    let fleet = standard_fleet(&built);
+    let world = Continuum::from_parts(built.clone(), fleet);
+    let n_dags = if smoke { 4 } else { 16 };
+    let mut rng = Rng::new(0x4EF7);
+    let dags: Vec<Dag> = built
+        .edges
+        .iter()
+        .take(n_dags)
+        .map(|&e| {
+            layered_random(
+                &mut rng,
+                &LayeredSpec {
+                    tasks: 40,
+                    width: 8,
+                    source: e,
+                    min_mem_bytes: 0,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    let tasks: usize = dags.iter().map(|d| d.tasks().len()).sum();
+    let total_ms = best_of(if smoke { 1 } else { 2 }, || {
+        for dag in &dags {
+            std::hint::black_box(world.run(dag, &HeftPlacer::default()));
+        }
+    });
+    let ms_per_task = total_ms / tasks as f64;
+    json!({
+        "nodes": built.topology.node_count(),
+        "dags": dags.len(),
+        "tasks": tasks,
+        "total_ms": total_ms,
+        "ms_per_task": ms_per_task,
+        "hotpaths_baseline_ms_per_task": HOTPATHS_BASELINE_MS_PER_TASK,
+        "speedup_vs_hotpaths": HOTPATHS_BASELINE_MS_PER_TASK / ms_per_task,
+    })
+}
+
+/// Pre-overhaul move scoring, vendored for the before/after comparison
+/// (the hotpaths bench does the same for the flow engine): replay the
+/// whole DAG with a per-probe route materialization (no transfer matrix)
+/// and the seed's quadratic candidate-scan slot search. Slow only in
+/// *how* it computes — the schedule it produces is identical.
+fn seed_replay(env: &Env, dag: &Dag, order: &[TaskId], assignment: &[DeviceId]) -> Metrics {
+    let n = dag.len();
+    let mut start = vec![SimTime::ZERO; n];
+    let mut finish = vec![SimTime::ZERO; n];
+    let mut timelines: Vec<DeviceTimeline> = (0..env.fleet.len())
+        .map(|i| DeviceTimeline::new(env.fleet.device(DeviceId(i as u32)).spec.cores))
+        .collect();
+    for &t in order {
+        let ti = t.0 as usize;
+        let dev = assignment[ti];
+        let node = env.node_of(dev);
+        let task = dag.task(t);
+        let mut ready = SimTime::ZERO;
+        for &d in &task.inputs {
+            let item = dag.data(d);
+            let (src, avail) = match dag.producer(d) {
+                None => (item.home.expect("external item has a home"), SimTime::ZERO),
+                Some(p) => (env.node_of(assignment[p.0 as usize]), finish[p.0 as usize]),
+            };
+            let arrival = env
+                .path(src, node)
+                .expect("connected topology")
+                .arrival(avail, item.bytes);
+            ready = ready.max(arrival);
+        }
+        let spec = &env.fleet.device(dev).spec;
+        let dur = spec.compute_time_parallel(task.work_flops, task.parallelism);
+        let need = task.occupancy(spec.cores);
+        let tl = &mut timelines[dev.0 as usize];
+        let s = tl.earliest_slot_scan(ready, dur, need, true);
+        tl.reserve(s, dur, need);
+        start[ti] = s;
+        finish[ti] = s + dur;
+    }
+    metrics_from_parts(env, dag, assignment, &start, &finish)
+}
+
+/// The seed-era annealing loop: identical RNG stream, cooling schedule,
+/// and Metropolis rule as [`AnnealingPlacer`], but every move is scored
+/// by [`seed_replay`]. Returns the same placement the in-crate annealer
+/// finds (asserted by the caller).
+fn seed_anneal(
+    env: &Env,
+    dag: &Dag,
+    objective: &WeightedObjective,
+    iters: u32,
+    restarts: u32,
+    base_seed: u64,
+) -> Placement {
+    let init = HeftPlacer::default().place(env, dag);
+    let order = dag.topo_order();
+    let mut results: Vec<(u32, Placement, f64)> = Vec::new();
+    for i in 0..restarts {
+        let mut rng = Rng::new(base_seed.wrapping_add(i as u64));
+        let mut cur = init.clone();
+        let mut cur_score = objective.score(&seed_replay(env, dag, &order, &cur.assignment));
+        let mut best = cur.clone();
+        let mut best_score = cur_score;
+        let t0 = (cur_score * 0.10).max(f64::MIN_POSITIVE);
+        let t_end = (cur_score * 1e-4).max(f64::MIN_POSITIVE);
+        let alpha = (t_end / t0).powf(1.0 / iters.max(1) as f64);
+        let mut temp = t0;
+        let movable: Vec<u32> = dag
+            .tasks()
+            .iter()
+            .filter(|t| t.constraints.pinned_node.is_none())
+            .map(|t| t.id.0)
+            .collect();
+        for _ in 0..iters {
+            let ti = movable[rng.index(movable.len())];
+            let task = dag.task(TaskId(ti));
+            let feas = env.feasible_devices(task);
+            let new_dev = *rng.choose(&feas);
+            let old_dev = cur.assignment[ti as usize];
+            if new_dev == old_dev {
+                temp *= alpha;
+                continue;
+            }
+            cur.assignment[ti as usize] = new_dev;
+            let score = objective.score(&seed_replay(env, dag, &order, &cur.assignment));
+            let accept = score <= cur_score || rng.f64() < ((cur_score - score) / temp).exp();
+            if accept {
+                cur_score = score;
+                if score < best_score {
+                    best_score = score;
+                    best = cur.clone();
+                }
+            } else {
+                cur.assignment[ti as usize] = old_dev;
+            }
+            temp *= alpha;
+        }
+        results.push((i, best, best_score));
+    }
+    results
+        .into_iter()
+        .min_by(|a, b| {
+            a.2.partial_cmp(&b.2)
+                .expect("NaN score")
+                .then(a.0.cmp(&b.0))
+        })
+        .map(|(_, p, _)| p)
+        .expect("at least one restart")
+}
+
+/// The annealing move loop, three ways on identical trajectories: the
+/// seed-era engine (clone + full replay with per-probe route walks and
+/// quadratic slot scans), the current full-recompute oracle (replay on
+/// the transfer matrix and sweep slots), and delta-cost scoring. All
+/// three final placements are asserted equal — the speedup is not bought
+/// with a different search trajectory.
+fn bench_anneal_moves(smoke: bool) -> serde_json::Value {
+    let spec = ContinuumSpec {
+        fogs: 8,
+        edges_per_fog: 8,
+        sensors_per_edge: 7,
+        ..ContinuumSpec::default()
+    };
+    let built = continuum_net::continuum(&spec);
+    let env = Env::new(built.topology.clone(), standard_fleet(&built));
+    let mut rng = Rng::new(0xA11);
+    let dag = layered_random(
+        &mut rng,
+        &LayeredSpec {
+            tasks: if smoke { 20 } else { 300 },
+            // Wide, shallow stages: a move's downstream ripple cone stays
+            // a fraction of the DAG, which is the locality delta scoring
+            // exploits.
+            width: 200,
+            source: built.edges[0],
+            min_mem_bytes: 0,
+            // Data-heavy items (~100 MB median): enough gravity that HEFT
+            // spreads work across the continuum instead of piling it all
+            // onto the two cloud VMs, so device suffixes stay short too.
+            bytes_mu: (1e8f64).ln(),
+            ..Default::default()
+        },
+    );
+    let delta = AnnealingPlacer {
+        iters: if smoke { 40 } else { 600 },
+        restarts: 2,
+        // Cost-aware Pareto point (the F6 sweep regime).
+        objective: WeightedObjective {
+            w_time: 1.0,
+            w_energy: 2.0,
+            w_cost: 200.0,
+        },
+        ..Default::default()
+    };
+    let oracle = AnnealingPlacer {
+        full_recompute: true,
+        ..delta.clone()
+    };
+    let p_delta = delta.place(&env, &dag);
+    let p_oracle = oracle.place(&env, &dag);
+    let p_seed = seed_anneal(
+        &env,
+        &dag,
+        &delta.objective,
+        delta.iters,
+        delta.restarts,
+        delta.seed,
+    );
+    assert_eq!(
+        p_delta, p_oracle,
+        "delta and full-recompute anneal diverged"
+    );
+    assert_eq!(p_delta, p_seed, "delta and seed-era anneal diverged");
+    let reps = if smoke { 1 } else { 2 };
+    let delta_ms = best_of(reps, || delta.place(&env, &dag));
+    let oracle_ms = best_of(reps, || oracle.place(&env, &dag));
+    let seed_ms = best_of(reps, || {
+        seed_anneal(
+            &env,
+            &dag,
+            &delta.objective,
+            delta.iters,
+            delta.restarts,
+            delta.seed,
+        )
+    });
+    let moves = (delta.iters * delta.restarts) as f64;
+    json!({
+        "tasks": dag.len(),
+        "iters": delta.iters,
+        "restarts": delta.restarts,
+        "seed_style_ms": seed_ms,
+        "full_recompute_ms": oracle_ms,
+        "delta_ms": delta_ms,
+        "seed_us_per_move": seed_ms * 1e3 / moves,
+        "full_us_per_move": oracle_ms * 1e3 / moves,
+        "delta_us_per_move": delta_ms * 1e3 / moves,
+        "speedup": seed_ms / delta_ms,
+        "speedup_vs_full_recompute": oracle_ms / delta_ms,
+    })
+}
+
+/// `earliest_slot` on a deep timeline: the single-sweep search vs the
+/// seed's candidate × peak-scan probe, identical answers asserted.
+fn bench_earliest_slot(smoke: bool) -> serde_json::Value {
+    let reservations = if smoke { 200 } else { 2000 };
+    let queries = if smoke { 500 } else { 5000 };
+    let mut tl = DeviceTimeline::new(8);
+    let mut rng = Rng::new(0x5107);
+    for _ in 0..reservations {
+        let ready = SimTime::from_millis(rng.range_u64(0, 60_000));
+        let dur = SimDuration::from_millis(rng.range_u64(1, 400));
+        let need = 1 + (rng.index(3) as u32);
+        let s = tl.earliest_slot(ready, dur, need, true);
+        tl.reserve(s, dur, need);
+    }
+    let probes: Vec<(SimTime, SimDuration, u32, bool)> = (0..queries)
+        .map(|_| {
+            (
+                SimTime::from_millis(rng.range_u64(0, 70_000)),
+                SimDuration::from_millis(rng.range_u64(1, 400)),
+                1 + (rng.index(3) as u32),
+                rng.index(2) == 0,
+            )
+        })
+        .collect();
+    for &(ready, dur, need, ins) in &probes {
+        assert_eq!(
+            tl.earliest_slot(ready, dur, need, ins),
+            tl.earliest_slot_scan(ready, dur, need, ins),
+            "sweep and scan disagree"
+        );
+    }
+    let reps = if smoke { 1 } else { 3 };
+    let sweep_ms = best_of(reps, || {
+        for &(ready, dur, need, ins) in &probes {
+            std::hint::black_box(tl.earliest_slot(ready, dur, need, ins));
+        }
+    });
+    let scan_ms = best_of(reps, || {
+        for &(ready, dur, need, ins) in &probes {
+            std::hint::black_box(tl.earliest_slot_scan(ready, dur, need, ins));
+        }
+    });
+    json!({
+        "reservations": reservations,
+        "queries": queries,
+        "scan_ms": scan_ms,
+        "sweep_ms": sweep_ms,
+        "speedup": scan_ms / sweep_ms,
+    })
+}
+
+/// HEFT with parallel vs serial candidate scans on the big continuum
+/// (hundreds of feasible devices per task). Parity is expected at
+/// threads == 1; the split is across candidates and scales with cores.
+fn bench_candidate_scan(smoke: bool) -> serde_json::Value {
+    let spec = ContinuumSpec {
+        fogs: 8,
+        edges_per_fog: 8,
+        sensors_per_edge: 7,
+        ..ContinuumSpec::default()
+    };
+    let built = continuum_net::continuum(&spec);
+    let env = Env::new(built.topology.clone(), standard_fleet(&built));
+    let mut rng = Rng::new(0x5CA9);
+    let dag = layered_random(
+        &mut rng,
+        &LayeredSpec {
+            tasks: if smoke { 40 } else { 120 },
+            width: 8,
+            source: built.edges[0],
+            min_mem_bytes: 0,
+            ..Default::default()
+        },
+    );
+    assert_eq!(
+        HeftPlacer::default().place(&env, &dag),
+        HeftPlacer::serial().place(&env, &dag),
+        "parallel and serial scans diverged"
+    );
+    let reps = if smoke { 1 } else { 3 };
+    let serial_ms = best_of(reps, || HeftPlacer::serial().place(&env, &dag));
+    let parallel_ms = best_of(reps, || HeftPlacer::default().place(&env, &dag));
+    json!({
+        "devices": env.fleet.len(),
+        "tasks": dag.len(),
+        "serial_ms": serial_ms,
+        "parallel_ms": parallel_ms,
+        "speedup": serial_ms / parallel_ms,
+        "threads": rayon::current_num_threads(),
+    })
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    eprintln!("planner: HEFT sweep ...");
+    let heft = bench_heft_sweep(smoke);
+    eprintln!("planner: anneal move loop ...");
+    let anneal = bench_anneal_moves(smoke);
+    eprintln!("planner: earliest_slot micro ...");
+    let slot = bench_earliest_slot(smoke);
+    eprintln!("planner: candidate scan ...");
+    let scan = bench_candidate_scan(smoke);
+    let out = json!({
+        "bench": "planner",
+        "command": "cargo run --release -p continuum-bench --bin planner",
+        "smoke": smoke,
+        "threads": rayon::current_num_threads(),
+        "heft_sweep": heft,
+        "anneal_moves": anneal,
+        "earliest_slot": slot,
+        "candidate_scan": scan,
+        "notes": [
+            "heft_sweep replays the exact hotpaths workload (same spec and seeds); \
+             ms_per_task compares against the committed BENCH_hotpaths.json baseline.",
+            "anneal_moves.seed_style_ms runs the pre-overhaul move loop (vendored in \
+             this binary): full replay per move with per-probe route materialization \
+             and the quadratic candidate-scan slot search. speedup is seed_style/delta; \
+             speedup_vs_full_recompute isolates delta scoring against the current \
+             (already matrix+sweep) full-replay oracle.",
+            "anneal_moves cross-checks that all three arms — seed-style, full-recompute, \
+             and delta — return identical placements before timing any of them.",
+            "candidate_scan parity is expected when threads == 1; the rayon split is \
+             across device candidates and scales with cores.",
+        ],
+    });
+    let rendered = serde_json::to_string_pretty(&out).expect("render json");
+    std::fs::write("BENCH_planner.json", &rendered).expect("write BENCH_planner.json");
+    println!("{rendered}");
+}

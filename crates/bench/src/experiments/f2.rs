@@ -69,7 +69,7 @@ pub fn run() -> (Table, Vec<Row>) {
 fn run_point(scale: f64) -> Row {
     let scenario = Scenario::default_continuum();
     let mut built = scenario.build();
-    built.topology.scale_bandwidth(scale);
+    std::sync::Arc::make_mut(&mut built.topology).scale_bandwidth(scale);
     let fleet = standard_fleet(&built);
     let world = Continuum::from_parts(built.clone(), fleet);
 

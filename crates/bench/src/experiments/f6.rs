@@ -89,6 +89,7 @@ pub fn run() -> (Table, Vec<Row>) {
             iters: 500,
             restarts: 4,
             seed: 0xF6,
+            ..Default::default()
         };
         // Aggregate over the workload: worst makespan, summed energy/cost.
         let mut makespan: f64 = 0.0;

@@ -9,6 +9,7 @@
 use crate::topology::{NodeId, Tier, Topology};
 use continuum_sim::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Latency/bandwidth of one class of link.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -79,8 +80,10 @@ impl Default for ContinuumSpec {
 /// A built continuum topology with per-tier node indices.
 #[derive(Debug, Clone)]
 pub struct BuiltContinuum {
-    /// The graph itself.
-    pub topology: Topology,
+    /// The graph itself, shared so environments, planners, and sweeps can
+    /// hold it without deep-copying the node/link arenas. Mutate a
+    /// scenario variant with [`Arc::make_mut`] (clone-on-write).
+    pub topology: Arc<Topology>,
     /// Sensor node ids, grouped in edge order.
     pub sensors: Vec<NodeId>,
     /// Edge gateway ids, grouped in fog order.
@@ -165,7 +168,7 @@ pub fn continuum(spec: &ContinuumSpec) -> BuiltContinuum {
     }
 
     BuiltContinuum {
-        topology: t,
+        topology: Arc::new(t),
         sensors,
         edges,
         fogs,

@@ -220,6 +220,147 @@ impl RouteTable {
     pub fn ecmp_width(&self, src: NodeId, dst: NodeId) -> usize {
         self.preds(src, dst).len()
     }
+
+    /// Precompute the dense node-pair transfer-cost cache for this table.
+    ///
+    /// One bottleneck propagation per source over the canonical
+    /// shortest-path tree (the tree [`RouteTable::path`] walks), one
+    /// source per rayon task. The resulting [`TransferMatrix`] answers
+    /// transfer-time queries in O(1) with results bit-identical to
+    /// materializing the canonical [`Path`] and calling
+    /// [`Path::transfer_time`].
+    pub fn transfer_matrix(&self, topo: &Topology) -> TransferMatrix {
+        use rayon::prelude::*;
+        let n = self.n;
+        let rows: Vec<Vec<f64>> = (0..n as u32)
+            .into_par_iter()
+            .map(|src| self.bottleneck_row(topo, NodeId(src)))
+            .collect();
+        let mut bottleneck = Vec::with_capacity(n * n);
+        for row in rows {
+            bottleneck.extend_from_slice(&row);
+        }
+        TransferMatrix {
+            n,
+            latency: self.dist.clone(),
+            bottleneck,
+        }
+    }
+
+    /// Bottleneck bandwidth from `src` to every node along the canonical
+    /// shortest path, via one pass over `src`'s canonical pred tree.
+    ///
+    /// Every reachable node's parent is its lowest (pred, link) choice —
+    /// exactly the edge `path()`/`path_ecmp(salt = 0)` follows — so
+    /// `min`-ing link bandwidth down the tree reproduces each canonical
+    /// path's bottleneck without materializing any of them. Children are
+    /// CSR-packed to keep this allocation-light per source.
+    fn bottleneck_row(&self, topo: &Topology, src: NodeId) -> Vec<f64> {
+        let n = self.n;
+        let s = src.0 as usize;
+        let mut bn = vec![f64::INFINITY; n];
+        let mut off = vec![0u32; n + 1];
+        for node in 0..n {
+            if node == s {
+                continue;
+            }
+            if let Some(&(p, _)) = self.preds(src, NodeId(node as u32)).first() {
+                off[p.0 as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            off[i + 1] += off[i];
+        }
+        let mut child: Vec<(u32, LinkId)> = vec![(0, LinkId(0)); off[n] as usize];
+        let mut fill: Vec<u32> = off[..n].to_vec();
+        for node in 0..n {
+            if node == s {
+                continue;
+            }
+            if let Some(&(p, l)) = self.preds(src, NodeId(node as u32)).first() {
+                let slot = fill[p.0 as usize] as usize;
+                fill[p.0 as usize] += 1;
+                child[slot] = (node as u32, l);
+            }
+        }
+        // Walk the tree root-down. Like `path_ecmp`, this assumes
+        // positive link latencies so canonical pred pointers cannot
+        // cycle; unreachable nodes are never visited and keep the
+        // (latency-sentinel-gated) placeholder.
+        let mut stack: Vec<u32> = vec![src.0];
+        while let Some(u) = stack.pop() {
+            let (lo, hi) = (off[u as usize] as usize, off[u as usize + 1] as usize);
+            for &(v, l) in &child[lo..hi] {
+                bn[v as usize] = bn[u as usize].min(topo.link(l).bandwidth_bps);
+                stack.push(v);
+            }
+        }
+        bn
+    }
+}
+
+/// Dense per-node-pair transfer-cost cache: canonical-path latency and
+/// bottleneck bandwidth for every (src, dst), in two flat `n × n`
+/// arenas.
+///
+/// Built once per environment by [`RouteTable::transfer_matrix`]; the
+/// placement estimator and the online placer consult it instead of
+/// materializing a [`Path`] (pred-walk + link-vector allocation) per
+/// (task, device) probe. Answers are bit-identical to
+/// [`Path::transfer_time`] on the canonical path.
+#[derive(Debug, Clone)]
+pub struct TransferMatrix {
+    /// Node count the matrix was built for.
+    n: usize,
+    /// `latency[src*n + dst]` = canonical-path latency, [`UNREACHABLE`]
+    /// sentinel if no route.
+    latency: Vec<SimDuration>,
+    /// `bottleneck[src*n + dst]` = minimum bandwidth (bytes/s) along the
+    /// canonical path; `f64::INFINITY` on self cells and placeholder on
+    /// unreachable cells (gated by the latency sentinel).
+    bottleneck: Vec<f64>,
+}
+
+impl TransferMatrix {
+    /// Node count the matrix was built for.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Canonical-path latency, `None` if `dst` is unreachable.
+    pub fn latency(&self, src: NodeId, dst: NodeId) -> Option<SimDuration> {
+        let d = self.latency[src.0 as usize * self.n + dst.0 as usize];
+        (d != UNREACHABLE).then_some(d)
+    }
+
+    /// Bottleneck bandwidth (bytes/s) of the canonical path, `None` if
+    /// unreachable. `f64::INFINITY` for the trivial self-path.
+    pub fn bottleneck_bps(&self, src: NodeId, dst: NodeId) -> Option<f64> {
+        let cell = src.0 as usize * self.n + dst.0 as usize;
+        (self.latency[cell] != UNREACHABLE).then(|| self.bottleneck[cell])
+    }
+
+    /// Analytic, contention-free transfer time for `bytes` from `src` to
+    /// `dst` — the cached equivalent of [`Path::transfer_time`] on the
+    /// canonical path. `None` if unreachable.
+    pub fn transfer_time(&self, src: NodeId, dst: NodeId, bytes: u64) -> Option<SimDuration> {
+        if src == dst {
+            return Some(SimDuration::ZERO); // local: no copy cost modeled
+        }
+        let cell = src.0 as usize * self.n + dst.0 as usize;
+        let lat = self.latency[cell];
+        if lat == UNREACHABLE {
+            return None;
+        }
+        let ser = bytes as f64 / self.bottleneck[cell];
+        Some(lat + SimDuration::from_secs_f64(ser))
+    }
+
+    /// Absolute arrival time of a transfer started at `start`; the cached
+    /// equivalent of [`Path::arrival`]. `None` if unreachable.
+    pub fn arrival(&self, src: NodeId, dst: NodeId, start: SimTime, bytes: u64) -> Option<SimTime> {
+        Some(start + self.transfer_time(src, dst, bytes)?)
+    }
 }
 
 /// Latency-shortest path from `src` to `dst` that avoids every link
@@ -485,6 +626,46 @@ mod tests {
         assert!(shortest_path_avoiding(&t, NodeId(0), NodeId(1), &dead).is_some());
         let triv = shortest_path_avoiding(&t, NodeId(2), NodeId(2), &dead).unwrap();
         assert_eq!(triv.hops(), 0);
+    }
+
+    #[test]
+    fn transfer_matrix_matches_materialized_paths() {
+        let t = triangle();
+        let rt = RouteTable::build(&t);
+        let tm = rt.transfer_matrix(&t);
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                let p = rt.path(&t, NodeId(i), NodeId(j)).unwrap();
+                assert_eq!(tm.latency(NodeId(i), NodeId(j)), Some(p.latency));
+                assert_eq!(
+                    tm.bottleneck_bps(NodeId(i), NodeId(j)),
+                    Some(p.bottleneck_bps)
+                );
+                for bytes in [0u64, 1, 1 << 20, 1 << 34] {
+                    assert_eq!(
+                        tm.transfer_time(NodeId(i), NodeId(j), bytes),
+                        Some(p.transfer_time(bytes)),
+                        "{i}->{j} {bytes}B"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_matrix_unreachable_is_none() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Edge);
+        let b = t.add_node("b", Tier::Edge);
+        let c = t.add_node("c", Tier::Edge);
+        t.add_link(a, b, SimDuration::from_millis(1), 1e9);
+        let tm = RouteTable::build(&t).transfer_matrix(&t);
+        assert_eq!(tm.transfer_time(a, c, 1024), None);
+        assert_eq!(tm.latency(a, c), None);
+        assert_eq!(tm.bottleneck_bps(a, c), None);
+        assert!(tm.transfer_time(a, b, 1024).is_some());
+        // Self-transfers are free even on an isolated node.
+        assert_eq!(tm.transfer_time(c, c, 1 << 30), Some(SimDuration::ZERO));
     }
 
     #[test]

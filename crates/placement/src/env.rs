@@ -1,27 +1,36 @@
 //! The placement environment: topology + routes + fleet, bundled.
 
 use continuum_model::{DeviceId, Fleet};
-use continuum_net::{NodeId, Path, RouteTable, Topology};
+use continuum_net::{NodeId, Path, RouteTable, Topology, TransferMatrix};
+use continuum_sim::{SimDuration, SimTime};
 use continuum_workflow::Task;
+use std::sync::Arc;
 
 /// Everything a placement policy may consult: the network, precomputed
-/// routes, and the device fleet.
+/// routes, the transfer-cost cache, and the device fleet.
 #[derive(Debug)]
 pub struct Env {
-    /// The continuum network.
-    pub topology: Topology,
+    /// The continuum network, shared (cheap to clone out of a
+    /// `BuiltContinuum` without copying the arenas).
+    pub topology: Arc<Topology>,
     /// All-pairs latency-shortest routes over `topology`.
     pub routes: RouteTable,
+    /// Dense node-pair transfer-cost cache over the canonical routes;
+    /// planners query this instead of materializing paths per probe.
+    pub xfer: TransferMatrix,
     /// Devices deployed on the topology.
     pub fleet: Fleet,
 }
 
 impl Env {
-    /// Bundle a topology and fleet, computing the route table.
+    /// Bundle a topology and fleet, computing the route table and the
+    /// transfer-cost cache. Accepts an owned `Topology` or a shared
+    /// `Arc<Topology>` (e.g. `built.topology.clone()`).
     ///
     /// # Panics
     /// If any device references a node outside the topology.
-    pub fn new(topology: Topology, fleet: Fleet) -> Env {
+    pub fn new(topology: impl Into<Arc<Topology>>, fleet: Fleet) -> Env {
+        let topology = topology.into();
         for d in fleet.devices() {
             assert!(
                 (d.node.0 as usize) < topology.node_count(),
@@ -31,11 +40,27 @@ impl Env {
             );
         }
         let routes = RouteTable::build(&topology);
+        let xfer = routes.transfer_matrix(&topology);
         Env {
             topology,
             routes,
+            xfer,
             fleet,
         }
+    }
+
+    /// Cached contention-free transfer time for `bytes` from `src` to
+    /// `dst` along the canonical route (`None` if disconnected).
+    /// Bit-identical to materializing [`Env::path`] and calling
+    /// [`Path::transfer_time`], without the pred-walk or allocation.
+    pub fn transfer_time(&self, src: NodeId, dst: NodeId, bytes: u64) -> Option<SimDuration> {
+        self.xfer.transfer_time(src, dst, bytes)
+    }
+
+    /// Cached absolute arrival time of a transfer started at `start`
+    /// (`None` if disconnected); see [`Env::transfer_time`].
+    pub fn arrival(&self, src: NodeId, dst: NodeId, start: SimTime, bytes: u64) -> Option<SimTime> {
+        self.xfer.arrival(src, dst, start, bytes)
     }
 
     /// The node a device sits at.

@@ -110,10 +110,18 @@ impl DeviceTimeline {
         self.usage_at_index(idx).max(later)
     }
 
-    /// Add `d` cores at endpoint `t`, keeping `times` sorted and unique.
+    /// Add `d` cores at endpoint `t`, keeping `times` sorted, unique, and
+    /// free of net-zero entries (so every entry is a real usage change —
+    /// the gap search below relies on that).
     fn insert_event(&mut self, t: SimTime, d: i64) {
         match self.times.binary_search(&t) {
-            Ok(i) => self.delta[i] += d,
+            Ok(i) => {
+                self.delta[i] += d;
+                if self.delta[i] == 0 {
+                    self.times.remove(i);
+                    self.delta.remove(i);
+                }
+            }
             Err(i) => {
                 self.times.insert(i, t);
                 self.delta.insert(i, d);
@@ -144,6 +152,16 @@ impl DeviceTimeline {
     /// With `insertion`, gaps between reserved intervals are considered;
     /// without it, the task is appended after the last time the device is
     /// too busy (classic list scheduling, the ablation baseline).
+    ///
+    /// Implemented as a single sweep over the endpoint index: start at
+    /// `ready`, and whenever a segment inside the trial window exceeds
+    /// the spare capacity, jump the candidate to the next usage drop
+    /// below the threshold. The candidate index only moves forward, so a
+    /// query costs O(log B) for the initial binary search plus one walk
+    /// of the endpoints it crosses — versus the seed's candidate ×
+    /// peak-scan product, O(B²) ([`DeviceTimeline::earliest_slot_scan`],
+    /// kept as the equivalence oracle). Append mode is a binary search on
+    /// the non-increasing suffix maximum, O(log B).
     pub fn earliest_slot(
         &self,
         ready: SimTime,
@@ -152,15 +170,76 @@ impl DeviceTimeline {
         insertion: bool,
     ) -> SimTime {
         let need = need.min(self.cores);
+        let spare = self.cores - need; // max tolerable concurrent usage
         if insertion {
-            let mut candidates: Vec<SimTime> = vec![ready];
-            for b in &self.busy {
-                if b.end > ready {
-                    candidates.push(b.end);
+            let mut c = ready;
+            let mut i = self.sweep_index(ready);
+            if self.usage_at_index(i) > spare {
+                // Busy at `ready` itself: the candidate must move to the
+                // first later segment with room. A usage drop is always an
+                // interval end, so this lands on a seed-candidate point.
+                let j = self.next_fit(i, spare);
+                c = self.times[j];
+                i = j + 1;
+            }
+            loop {
+                if i >= self.times.len() || self.suffix_max[i] <= spare {
+                    return c; // nothing later can violate the window
+                }
+                if self.times[i] >= c + dur {
+                    return c; // window scanned clean
+                }
+                if self.usage[i] > spare {
+                    let j = self.next_fit(i, spare);
+                    c = self.times[j];
+                    i = j + 1;
+                } else {
+                    i += 1;
                 }
             }
-            candidates.sort_unstable();
-            candidates.dedup();
+        } else {
+            // Append mode: the earliest start from which the device can
+            // *permanently* spare `need` cores — no gap between existing
+            // reservations is ever used.
+            if self.peak_usage_from(ready) <= spare {
+                return ready;
+            }
+            let idx = self.sweep_index(ready);
+            let off = self.suffix_max[idx..].partition_point(|&m| m > spare);
+            // In-range by construction: usage after the last endpoint is
+            // zero, so the suffix maximum always drops to `spare` or less.
+            self.times[idx + off]
+        }
+    }
+
+    /// First endpoint index `>= i` whose segment usage fits under `spare`.
+    /// Exists because usage after the last endpoint is zero.
+    fn next_fit(&self, i: usize, spare: u32) -> usize {
+        (i..self.times.len())
+            .find(|&j| self.usage[j] <= spare)
+            .expect("a slot always exists after the last busy interval")
+    }
+
+    /// Seed-era `earliest_slot`: collect candidate starts (ready + every
+    /// busy end) and probe each with a peak query, O(B²) per call. Kept
+    /// as the oracle the sweep implementation is proptested against.
+    pub fn earliest_slot_scan(
+        &self,
+        ready: SimTime,
+        dur: SimDuration,
+        need: u32,
+        insertion: bool,
+    ) -> SimTime {
+        let need = need.min(self.cores);
+        let mut candidates: Vec<SimTime> = vec![ready];
+        for b in &self.busy {
+            if b.end > ready {
+                candidates.push(b.end);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        if insertion {
             for c in candidates {
                 if self.peak_usage(c, dur) + need <= self.cores {
                     return c;
@@ -168,18 +247,6 @@ impl DeviceTimeline {
             }
             unreachable!("a slot always exists after the last busy interval");
         } else {
-            // Append mode (classic list scheduling, no back-filling): the
-            // earliest start from which the device can *permanently* spare
-            // `need` cores — i.e. no gap between existing reservations is
-            // ever used.
-            let mut candidates: Vec<SimTime> = vec![ready];
-            for b in &self.busy {
-                if b.end > ready {
-                    candidates.push(b.end);
-                }
-            }
-            candidates.sort_unstable();
-            candidates.dedup();
             for c in candidates {
                 if self.peak_usage_from(c) + need <= self.cores {
                     return c;
@@ -206,6 +273,48 @@ impl DeviceTimeline {
         self.insert_event(b.start, i64::from(need));
         self.insert_event(b.end, -i64::from(need));
         self.rebuild_sweep();
+    }
+
+    /// Release a reservation previously made with [`DeviceTimeline::reserve`]
+    /// (same `start`/`dur`/`need`). The delta-cost annealer uses this to
+    /// retract and re-place individual tasks without rebuilding the
+    /// timeline.
+    ///
+    /// # Panics
+    /// If no matching reservation exists.
+    pub fn unreserve(&mut self, start: SimTime, dur: SimDuration, need: u32) {
+        let need = need.min(self.cores);
+        let end = start + dur;
+        let lo = self.busy.partition_point(|x| x.start < start);
+        let idx = self.busy[lo..]
+            .iter()
+            .position(|b| b.start == start && b.end == end && b.cores == need)
+            .map(|i| lo + i)
+            .expect("unreserve: no matching reservation");
+        self.busy.remove(idx);
+        self.remove_event(start, i64::from(need));
+        self.remove_event(end, -i64::from(need));
+        self.rebuild_sweep();
+    }
+
+    /// Undo one `insert_event(t, d)` contribution, restoring the
+    /// no-net-zero-entries invariant.
+    fn remove_event(&mut self, t: SimTime, d: i64) {
+        match self.times.binary_search(&t) {
+            Ok(i) => {
+                self.delta[i] -= d;
+                if self.delta[i] == 0 {
+                    self.times.remove(i);
+                    self.delta.remove(i);
+                }
+            }
+            Err(i) => {
+                // The endpoint had canceled to net zero and was dropped;
+                // removing one side's contribution revives the other.
+                self.times.insert(i, t);
+                self.delta.insert(i, -d);
+            }
+        }
     }
 
     /// Total reserved core-seconds.
@@ -261,12 +370,12 @@ impl EstimatedSchedule {
 
 /// Incremental schedule builder over an environment and DAG.
 pub struct Estimator<'e> {
-    env: &'e Env,
-    dag: &'e Dag,
-    timelines: Vec<DeviceTimeline>,
-    assigned: Vec<Option<DeviceId>>,
-    start: Vec<SimTime>,
-    finish: Vec<Option<SimTime>>,
+    pub(crate) env: &'e Env,
+    pub(crate) dag: &'e Dag,
+    pub(crate) timelines: Vec<DeviceTimeline>,
+    pub(crate) assigned: Vec<Option<DeviceId>>,
+    pub(crate) start: Vec<SimTime>,
+    pub(crate) finish: Vec<Option<SimTime>>,
 }
 
 impl<'e> Estimator<'e> {
@@ -308,8 +417,11 @@ impl<'e> Estimator<'e> {
                 (self.env.node_of(dev), f)
             }
         };
-        let path = self.env.path(src, dst).expect("disconnected topology");
-        path.arrival(avail, item.bytes)
+        // O(1) cached lookup, bit-identical to materializing the
+        // canonical path and asking it — which the seed did per probe.
+        self.env
+            .arrival(src, dst, avail, item.bytes)
+            .expect("disconnected topology")
     }
 
     /// Earliest time all inputs of `t` can be present at `device`'s node.
@@ -513,6 +625,78 @@ mod tests {
                 brute_peak(&tl, SimTime::from_secs(t), far)
             );
         }
+    }
+
+    fn lcg(x: u64) -> u64 {
+        x.wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407)
+    }
+
+    #[test]
+    fn sweep_slot_matches_scan_oracle() {
+        // Random probe/commit interleavings at several core widths; the
+        // sweep `earliest_slot` must agree with the seed scan everywhere.
+        let mut x = 0x9E37_79B9u64;
+        for cores in [1u32, 2, 3, 8] {
+            let mut tl = DeviceTimeline::new(cores);
+            for _ in 0..60 {
+                x = lcg(x);
+                let ready = SimTime::from_secs((x >> 33) % 40);
+                x = lcg(x);
+                let dur = SimDuration::from_secs((x >> 21) % 6 + 1);
+                x = lcg(x);
+                let need = ((x >> 11) % u64::from(cores) + 1) as u32;
+                x = lcg(x);
+                let insertion = x & 1 == 0;
+                let got = tl.earliest_slot(ready, dur, need, insertion);
+                let want = tl.earliest_slot_scan(ready, dur, need, insertion);
+                assert_eq!(
+                    got, want,
+                    "cores={cores} ready={ready:?} dur={dur:?} need={need} ins={insertion}"
+                );
+                if x & 2 == 0 {
+                    tl.reserve(got, dur, need);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreserve_restores_timeline() {
+        let mut tl = DeviceTimeline::new(4);
+        tl.reserve(SimTime::ZERO, SimDuration::from_secs(10), 2);
+        tl.reserve(SimTime::from_secs(10), SimDuration::from_secs(5), 4);
+        tl.reserve(SimTime::from_secs(4), SimDuration::from_secs(2), 1);
+        let times = tl.times.clone();
+        let delta = tl.delta.clone();
+        let usage = tl.usage.clone();
+        // This reservation's end lands on the shared endpoint at t=10.
+        tl.reserve(SimTime::from_secs(2), SimDuration::from_secs(8), 1);
+        tl.unreserve(SimTime::from_secs(2), SimDuration::from_secs(8), 1);
+        assert_eq!(tl.times, times);
+        assert_eq!(tl.delta, delta);
+        assert_eq!(tl.usage, usage);
+        assert_eq!(tl.busy.len(), 3);
+    }
+
+    #[test]
+    fn unreserve_revives_canceled_endpoint() {
+        // An end (-1) and a start (+1) meeting at t=10 cancel to net zero
+        // and drop the endpoint entry; retracting one side revives the
+        // other's contribution.
+        let mut tl = DeviceTimeline::new(2);
+        tl.reserve(SimTime::ZERO, SimDuration::from_secs(10), 1);
+        tl.reserve(SimTime::from_secs(10), SimDuration::from_secs(5), 1);
+        assert!(!tl.times.contains(&SimTime::from_secs(10)));
+        tl.unreserve(SimTime::ZERO, SimDuration::from_secs(10), 1);
+        assert_eq!(
+            tl.earliest_slot(SimTime::ZERO, SimDuration::from_secs(20), 2, true),
+            SimTime::from_secs(15)
+        );
+        assert_eq!(
+            tl.earliest_slot(SimTime::ZERO, SimDuration::from_secs(5), 1, true),
+            SimTime::ZERO
+        );
     }
 
     #[test]

@@ -18,15 +18,19 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod env;
 pub mod estimate;
 pub mod objective;
 pub mod online;
 pub mod policies;
 
+pub use delta::DeltaEvaluator;
 pub use env::Env;
 pub use estimate::{DeviceTimeline, EstimatedSchedule, Estimator, Placement};
-pub use objective::{dominates, evaluate, metrics_of, pareto_front, Metrics, WeightedObjective};
+pub use objective::{
+    dominates, evaluate, metrics_from_parts, metrics_of, pareto_front, Metrics, WeightedObjective,
+};
 pub use online::OnlinePlacer;
 pub use policies::{
     standard_lineup, AnnealingPlacer, CpopPlacer, DataAwarePlacer, GreedyEftPlacer, HeftPlacer,

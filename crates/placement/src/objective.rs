@@ -49,6 +49,26 @@ pub fn evaluate(env: &Env, dag: &Dag, placement: &Placement) -> (EstimatedSchedu
 
 /// Derive metrics from a committed schedule.
 pub fn metrics_of(env: &Env, dag: &Dag, schedule: &EstimatedSchedule) -> Metrics {
+    metrics_from_parts(
+        env,
+        dag,
+        &schedule.placement.assignment,
+        &schedule.start,
+        &schedule.finish,
+    )
+}
+
+/// [`metrics_of`] over raw schedule arrays. The delta-cost annealer keeps
+/// its schedule as bare arrays and scores through this same function, so
+/// its scores are bit-identical to a full [`evaluate`] whenever the arrays
+/// agree.
+pub fn metrics_from_parts(
+    env: &Env,
+    dag: &Dag,
+    assignment: &[continuum_model::DeviceId],
+    start: &[continuum_sim::SimTime],
+    finish: &[continuum_sim::SimTime],
+) -> Metrics {
     let fleet = &env.fleet;
     let mut energy = EnergyMeter::new(fleet);
     let mut cost = CostMeter::new(fleet);
@@ -56,9 +76,9 @@ pub fn metrics_of(env: &Env, dag: &Dag, schedule: &EstimatedSchedule) -> Metrics
 
     for task in dag.tasks() {
         let ti = task.id.0 as usize;
-        let dev = schedule.placement.device(task.id);
+        let dev = assignment[ti];
         let spec = &fleet.device(dev).spec;
-        let dur = schedule.finish[ti].since(schedule.start[ti]);
+        let dur = finish[ti].since(start[ti]);
         let cores = task.occupancy(spec.cores);
         energy.record_busy(fleet, dev, cores, dur);
         cost.record_occupancy(fleet, dev, cores, dur);
@@ -68,7 +88,7 @@ pub fn metrics_of(env: &Env, dag: &Dag, schedule: &EstimatedSchedule) -> Metrics
         for &d in &task.inputs {
             let item = dag.data(d);
             let src = match dag.producer(d) {
-                Some(p) => env.node_of(schedule.placement.device(p)),
+                Some(p) => env.node_of(assignment[p.0 as usize]),
                 None => item.home.expect("external item has home"),
             };
             if src != dst {
@@ -82,7 +102,12 @@ pub fn metrics_of(env: &Env, dag: &Dag, schedule: &EstimatedSchedule) -> Metrics
         }
     }
 
-    let makespan = schedule.makespan();
+    let makespan = finish
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(continuum_sim::SimTime::ZERO)
+        .since(continuum_sim::SimTime::ZERO);
     Metrics {
         makespan_s: makespan.as_secs_f64(),
         energy_j: energy.used_devices_joules(fleet, makespan),

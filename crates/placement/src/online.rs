@@ -17,7 +17,10 @@ use continuum_workflow::Dag;
 /// Stateful online scheduler.
 #[derive(Debug, Clone)]
 pub struct OnlinePlacer {
-    /// Per device, per core-lane: the time the lane frees up.
+    /// Per device, per core-lane: the time the lane frees up. Each
+    /// device's lane vector is kept **sorted ascending**, so the k-th
+    /// earliest lane is `lanes[d][k - 1]` — candidate probes are O(1)
+    /// where the seed cloned and sorted the vector per candidate.
     lanes: Vec<Vec<SimTime>>,
     tier_range: Option<(Tier, Tier)>,
     label: &'static str,
@@ -56,6 +59,22 @@ impl OnlinePlacer {
     /// Policy label for experiment rows.
     pub fn name(&self) -> &'static str {
         self.label
+    }
+
+    /// When the `need` earliest lanes of `dev` are all free (the sorted
+    /// invariant makes this a direct index).
+    fn queue_free(&self, dev: continuum_model::DeviceId, need: u32) -> SimTime {
+        self.lanes[dev.0 as usize][(need - 1) as usize]
+    }
+
+    /// Occupy the `need` earliest lanes of `dev` until `fin`, preserving
+    /// the sorted invariant: drop the `need` smallest entries and splice
+    /// `fin` copies back in at their sorted position.
+    fn occupy(&mut self, dev: continuum_model::DeviceId, need: u32, fin: SimTime) {
+        let lanes = &mut self.lanes[dev.0 as usize];
+        lanes.drain(..need as usize);
+        let at = lanes.partition_point(|&x| x <= fin);
+        lanes.splice(at..at, std::iter::repeat_n(fin, need as usize));
     }
 
     /// Place one arriving request with a latency deadline, escalating up
@@ -106,14 +125,14 @@ impl OnlinePlacer {
                         None => (item.home.expect("validated dag"), arrival),
                         Some(p) => (location[p.0 as usize], finish[p.0 as usize]),
                     };
-                    let path = env.path(src, node).expect("disconnected topology");
-                    ready = ready.max(path.arrival(avail, item.bytes));
+                    let arrives = env
+                        .arrival(src, node, avail, item.bytes)
+                        .expect("disconnected topology");
+                    ready = ready.max(arrives);
                 }
                 let spec = &env.fleet.device(d).spec;
                 let need = task.occupancy(spec.cores);
-                let mut lane_times = self.lanes[d.0 as usize].clone();
-                lane_times.sort_unstable();
-                let start = ready.max(lane_times[(need - 1) as usize]).max(arrival);
+                let start = ready.max(self.queue_free(d, need)).max(arrival);
                 let fin = start + spec.compute_time_parallel(task.work_flops, task.parallelism);
                 cands.push((fin, d, need, spec.tier));
             }
@@ -143,12 +162,7 @@ impl OnlinePlacer {
                         .expect("candidate set non-empty")
                 });
             let (fin, dev, need, _) = pick;
-            let lanes = &mut self.lanes[dev.0 as usize];
-            let mut idx: Vec<usize> = (0..lanes.len()).collect();
-            idx.sort_by_key(|&i| lanes[i]);
-            for &i in idx.iter().take(need as usize) {
-                lanes[i] = fin;
-            }
+            self.occupy(dev, need, fin);
             assignment[t.0 as usize] = dev;
             finish[t.0 as usize] = fin;
             location[t.0 as usize] = env.node_of(dev);
@@ -187,26 +201,21 @@ impl OnlinePlacer {
             let node = env.node_of(d);
             let mut ready = now;
             for &(src, avail, bytes) in inputs {
-                let path = env.path(src, node).expect("disconnected topology");
-                ready = ready.max(path.arrival(avail.max(now), bytes));
+                let arrives = env
+                    .arrival(src, node, avail.max(now), bytes)
+                    .expect("disconnected topology");
+                ready = ready.max(arrives);
             }
             let spec = &env.fleet.device(d).spec;
             let need = task.occupancy(spec.cores);
-            let mut lane_times = self.lanes[d.0 as usize].clone();
-            lane_times.sort_unstable();
-            let start = ready.max(lane_times[(need - 1) as usize]);
+            let start = ready.max(self.queue_free(d, need));
             let fin = start + spec.compute_time_parallel(task.work_flops, task.parallelism);
             if best.map(|(bf, bd, _)| (fin, d) < (bf, bd)).unwrap_or(true) {
                 best = Some((fin, d, need));
             }
         }
         let (fin, dev, need) = best?;
-        let lanes = &mut self.lanes[dev.0 as usize];
-        let mut idx: Vec<usize> = (0..lanes.len()).collect();
-        idx.sort_by_key(|&i| lanes[i]);
-        for &i in idx.iter().take(need as usize) {
-            lanes[i] = fin;
-        }
+        self.occupy(dev, need, fin);
         Some((dev, fin))
     }
 
@@ -257,16 +266,15 @@ impl OnlinePlacer {
                         None => (item.home.expect("validated dag"), arrival),
                         Some(p) => (location[p.0 as usize], finish[p.0 as usize]),
                     };
-                    let path = env.path(src, node).expect("disconnected topology");
-                    ready = ready.max(path.arrival(avail, item.bytes));
+                    let arrives = env
+                        .arrival(src, node, avail, item.bytes)
+                        .expect("disconnected topology");
+                    ready = ready.max(arrives);
                 }
                 let spec = &env.fleet.device(d).spec;
                 let need = task.occupancy(spec.cores);
-                // k-th earliest lane on this device.
-                let mut lane_times = self.lanes[d.0 as usize].clone();
-                lane_times.sort_unstable();
-                let queue_free = lane_times[(need - 1) as usize];
-                let start = ready.max(queue_free).max(arrival);
+                // k-th earliest lane on this device (sorted invariant).
+                let start = ready.max(self.queue_free(d, need)).max(arrival);
                 let fin = start + spec.compute_time_parallel(task.work_flops, task.parallelism);
                 if best
                     .map(|(bf, _, _, _)| (fin, d) < (bf, best.unwrap().2))
@@ -277,12 +285,7 @@ impl OnlinePlacer {
             }
             let (fin, start, dev, need) = best.expect("candidate set non-empty");
             // Occupy the `need` earliest lanes until `fin`.
-            let lanes = &mut self.lanes[dev.0 as usize];
-            let mut idx: Vec<usize> = (0..lanes.len()).collect();
-            idx.sort_by_key(|&i| lanes[i]);
-            for &i in idx.iter().take(need as usize) {
-                lanes[i] = fin;
-            }
+            self.occupy(dev, need, fin);
             let _ = start;
             assignment[t.0 as usize] = dev;
             finish[t.0 as usize] = fin;
@@ -323,6 +326,19 @@ mod tests {
             let (placement, fin) = placer.place_request(&env, dag, *arrival);
             assert_eq!(placement.assignment.len(), dag.len());
             assert!(fin > *arrival);
+        }
+    }
+
+    #[test]
+    fn lanes_stay_sorted_and_sized() {
+        let (env, reqs) = setup();
+        let mut placer = OnlinePlacer::continuum(&env);
+        for (arrival, dag) in &reqs {
+            placer.place_request(&env, dag, *arrival);
+        }
+        for (lanes, d) in placer.lanes.iter().zip(env.fleet.devices()) {
+            assert_eq!(lanes.len(), d.spec.cores as usize);
+            assert!(lanes.windows(2).all(|w| w[0] <= w[1]));
         }
     }
 

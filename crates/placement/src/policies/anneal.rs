@@ -6,13 +6,24 @@
 //! RNG), and the best result is selected deterministically. This is the
 //! engine behind the Pareto-front experiment (F6): sweeping the weights
 //! traces the makespan/energy/cost trade-off surface.
+//!
+//! Moves are scored through a [`DeltaEvaluator`]: a reassignment
+//! re-schedules only the tasks it can affect (the moved task, the later
+//! tasks on the two touched devices, and downstream ripples) instead of
+//! replaying the whole DAG. Rejected moves are undone from a snapshot
+//! (plain copies, no re-propagation). The delta path is exact — scores,
+//! and therefore the Metropolis
+//! decisions and the final placement, are bit-identical to the
+//! clone-and-replay oracle retained behind
+//! [`AnnealingPlacer::full_recompute`].
 
 use super::{HeftPlacer, Placer};
+use crate::delta::DeltaEvaluator;
 use crate::env::Env;
 use crate::estimate::Placement;
 use crate::objective::{evaluate, Metrics, WeightedObjective};
 use continuum_sim::Rng;
-use continuum_workflow::Dag;
+use continuum_workflow::{Dag, TaskId};
 use rayon::prelude::*;
 
 /// Simulated-annealing placement refiner.
@@ -26,6 +37,10 @@ pub struct AnnealingPlacer {
     pub restarts: u32,
     /// Base seed; restart `i` uses `seed + i`.
     pub seed: u64,
+    /// Score every move by re-simulating the whole placement instead of
+    /// delta re-scoring. Slow; kept as the equivalence oracle (the two
+    /// modes produce identical placements).
+    pub full_recompute: bool,
 }
 
 impl Default for AnnealingPlacer {
@@ -35,6 +50,7 @@ impl Default for AnnealingPlacer {
             iters: 400,
             restarts: 4,
             seed: 0xA11EA1,
+            full_recompute: false,
         }
     }
 }
@@ -44,7 +60,11 @@ impl AnnealingPlacer {
     fn run_one(&self, env: &Env, dag: &Dag, init: &Placement, seed: u64) -> (Placement, f64) {
         let mut rng = Rng::new(seed);
         let mut cur = init.clone();
-        let (_, m0) = evaluate(env, dag, &cur);
+        let mut delta = (!self.full_recompute).then(|| DeltaEvaluator::new(env, dag, init));
+        let m0 = match &delta {
+            Some(d) => d.metrics(),
+            None => evaluate(env, dag, &cur).1,
+        };
         let mut cur_score = self.objective.score(&m0);
         let mut best = cur.clone();
         let mut best_score = cur_score;
@@ -77,8 +97,13 @@ impl AnnealingPlacer {
                 continue;
             }
             cur.assignment[ti as usize] = new_dev;
-            let (_, m) = evaluate(env, dag, &cur);
-            let score = self.objective.score(&m);
+            let score = match &mut delta {
+                Some(d) => {
+                    d.move_task(TaskId(ti), new_dev);
+                    self.objective.score(&d.metrics())
+                }
+                None => self.objective.score(&evaluate(env, dag, &cur).1),
+            };
             let accept = score <= cur_score || rng.f64() < ((cur_score - score) / temp).exp();
             if accept {
                 cur_score = score;
@@ -88,6 +113,9 @@ impl AnnealingPlacer {
                 }
             } else {
                 cur.assignment[ti as usize] = old_dev;
+                if let Some(d) = &mut delta {
+                    d.undo_last_move();
+                }
             }
             temp *= alpha;
         }
@@ -202,6 +230,29 @@ mod tests {
             m_e.energy_j,
             m_t.energy_j
         );
+    }
+
+    #[test]
+    fn delta_matches_full_recompute_oracle() {
+        // The delta path must make bit-identical Metropolis decisions, so
+        // the placements (not just the scores) agree exactly — including
+        // under a multi-term objective where every metric matters.
+        let (env, dag) = setup();
+        let fast = AnnealingPlacer {
+            iters: 80,
+            restarts: 2,
+            objective: WeightedObjective {
+                w_time: 1.0,
+                w_energy: 5.0,
+                w_cost: 50.0,
+            },
+            ..Default::default()
+        };
+        let slow = AnnealingPlacer {
+            full_recompute: true,
+            ..fast.clone()
+        };
+        assert_eq!(fast.place(&env, &dag), slow.place(&env, &dag));
     }
 
     #[test]

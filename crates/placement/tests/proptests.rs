@@ -3,10 +3,11 @@
 use continuum_model::standard_fleet;
 use continuum_net::{continuum, ContinuumSpec};
 use continuum_placement::{
-    evaluate, DeviceTimeline, Env, GreedyEftPlacer, HeftPlacer, Placement, Placer,
+    evaluate, AnnealingPlacer, CpopPlacer, DeltaEvaluator, DeviceTimeline, Env, GreedyEftPlacer,
+    HeftPlacer, PeftPlacer, Placement, Placer, WeightedObjective,
 };
 use continuum_sim::{Rng, SimDuration, SimTime};
-use continuum_workflow::{layered_random, LayeredSpec};
+use continuum_workflow::{layered_random, LayeredSpec, TaskId};
 use proptest::prelude::*;
 
 proptest! {
@@ -88,5 +89,142 @@ proptest! {
             );
         }
         prop_assert!(metrics.makespan_s >= longest * 0.999);
+    }
+
+    /// The sweep-line `earliest_slot` agrees with the seed's candidate
+    /// scan on arbitrary timeline states, in both insertion and append
+    /// modes — including queries against a timeline it did not build.
+    #[test]
+    fn sweep_slot_equals_scan_oracle(
+        cores in 1u32..8,
+        setup in proptest::collection::vec((0u64..500, 1u64..200, 1u32..4), 0..30),
+        queries in proptest::collection::vec((0u64..700, 1u64..200, 1u32..4, any::<bool>()), 1..20),
+    ) {
+        let mut tl = DeviceTimeline::new(cores);
+        for &(ready, dur, need) in &setup {
+            let s = tl.earliest_slot(SimTime::from_millis(ready), SimDuration::from_millis(dur), need, true);
+            tl.reserve(s, SimDuration::from_millis(dur), need);
+        }
+        for &(ready, dur, need, insertion) in &queries {
+            let ready = SimTime::from_millis(ready);
+            let dur = SimDuration::from_millis(dur);
+            prop_assert_eq!(
+                tl.earliest_slot(ready, dur, need, insertion),
+                tl.earliest_slot_scan(ready, dur, need, insertion),
+                "ready={:?} dur={:?} need={} ins={}", ready, dur, need, insertion
+            );
+        }
+    }
+}
+
+// Fewer cases for the properties that build a full continuum per case.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Parallel candidate scans pick the same device as the serial scan —
+    /// the whole placement, not just the makespan, must be identical for
+    /// HEFT, PEFT, and CPOP (ties are broken by a scan-order-independent
+    /// total order, so rayon's scheduling cannot leak into the result).
+    #[test]
+    fn parallel_scans_match_serial(seed in any::<u64>()) {
+        let built = continuum(&ContinuumSpec::default());
+        let env = Env::new(built.topology.clone(), standard_fleet(&built));
+        let mut rng = Rng::new(seed);
+        let dag = layered_random(&mut rng, &LayeredSpec { tasks: 40, ..Default::default() });
+        prop_assert_eq!(
+            HeftPlacer::default().place(&env, &dag),
+            HeftPlacer::serial().place(&env, &dag)
+        );
+        prop_assert_eq!(
+            PeftPlacer::default().place(&env, &dag),
+            PeftPlacer::serial().place(&env, &dag)
+        );
+        prop_assert_eq!(
+            CpopPlacer::default().place(&env, &dag),
+            CpopPlacer::serial().place(&env, &dag)
+        );
+    }
+
+    /// After any sequence of single-task moves — some snapshot-undone right
+    /// after — the delta evaluator's schedule and metrics are bit-identical
+    /// to a from-scratch replay of the same assignment.
+    #[test]
+    fn delta_evaluator_matches_full_replay(
+        seed in any::<u64>(),
+        moves in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<bool>()), 1..12),
+    ) {
+        let built = continuum(&ContinuumSpec::default());
+        let env = Env::new(built.topology.clone(), standard_fleet(&built));
+        let mut rng = Rng::new(seed);
+        let dag = layered_random(&mut rng, &LayeredSpec { tasks: 30, ..Default::default() });
+        let init = HeftPlacer::default().place(&env, &dag);
+        let mut de = DeltaEvaluator::new(&env, &dag, &init);
+        for &(a, b, undo) in &moves {
+            let t = TaskId(a % dag.len() as u32);
+            if dag.task(t).constraints.pinned_node.is_some() {
+                continue;
+            }
+            let feas = env.feasible_devices(dag.task(t));
+            let dev = feas[b as usize % feas.len()];
+            let was = de.assignment()[t.0 as usize];
+            de.move_task(t, dev);
+            if undo && dev != was {
+                de.undo_last_move();
+            }
+        }
+        let sched = de.schedule();
+        let (oracle_sched, oracle_m) = evaluate(&env, &dag, &sched.placement);
+        prop_assert_eq!(&sched.start, &oracle_sched.start);
+        prop_assert_eq!(&sched.finish, &oracle_sched.finish);
+        prop_assert_eq!(de.metrics(), oracle_m);
+    }
+
+    /// The delta-cost annealer and the clone-and-replay oracle walk the
+    /// exact same Metropolis trajectory: identical final placements, for
+    /// arbitrary objective weights and DAGs.
+    #[test]
+    fn anneal_delta_equals_full_recompute(
+        seed in any::<u64>(),
+        w_energy in 0u8..10,
+        w_cost in 0u8..100,
+    ) {
+        let built = continuum(&ContinuumSpec::default());
+        let env = Env::new(built.topology.clone(), standard_fleet(&built));
+        let mut rng = Rng::new(seed);
+        let dag = layered_random(&mut rng, &LayeredSpec { tasks: 25, ..Default::default() });
+        let delta = AnnealingPlacer {
+            iters: 40,
+            restarts: 2,
+            seed,
+            objective: WeightedObjective {
+                w_time: 1.0,
+                w_energy: w_energy as f64,
+                w_cost: w_cost as f64,
+            },
+            ..Default::default()
+        };
+        let oracle = AnnealingPlacer { full_recompute: true, ..delta.clone() };
+        prop_assert_eq!(delta.place(&env, &dag), oracle.place(&env, &dag));
+    }
+
+    /// The cached transfer matrix answers exactly what materializing the
+    /// canonical route and asking it would — for every node pair.
+    #[test]
+    fn cached_transfer_times_match_paths(bytes in 0u64..(1 << 40)) {
+        let built = continuum(&ContinuumSpec {
+            fogs: 2,
+            edges_per_fog: 2,
+            sensors_per_edge: 2,
+            ..Default::default()
+        });
+        let env = Env::new(built.topology.clone(), standard_fleet(&built));
+        let n = env.topology.node_count();
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                let (src, dst) = (continuum_net::NodeId(s), continuum_net::NodeId(d));
+                let via_path = env.path(src, dst).map(|p| p.transfer_time(bytes));
+                prop_assert_eq!(env.transfer_time(src, dst, bytes), via_path);
+            }
+        }
     }
 }

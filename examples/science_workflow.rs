@@ -33,7 +33,7 @@ fn main() {
         Box::new(RandomPlacer::new(7)),
         Box::new(TierPlacer::cloud_only()),
         Box::new(GreedyEftPlacer::default()),
-        Box::new(CpopPlacer),
+        Box::new(CpopPlacer::default()),
         Box::new(HeftPlacer::default()),
     ];
     for p in &policies {
@@ -60,6 +60,7 @@ fn main() {
             iters: 300,
             restarts: 4,
             seed: 99,
+            ..Default::default()
         };
         let r = world.run(&dag, &annealer);
         println!(

@@ -21,11 +21,18 @@ thread_local! {
 }
 
 /// Number of worker threads the current scope would use.
+///
+/// The `available_parallelism` fallback is cached: it reads cgroup and
+/// affinity state from the OS, which costs microseconds per call —
+/// far too slow for hot-path "should I fan out?" gates.
 pub fn current_num_threads() -> usize {
+    static AVAILABLE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     POOL_THREADS.with(|t| t.get()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        *AVAILABLE.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
     })
 }
 

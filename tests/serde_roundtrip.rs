@@ -42,7 +42,7 @@ fn dag_roundtrips_and_replays_identically() {
 #[test]
 fn topology_roundtrips() {
     let built = Scenario::smart_city().build();
-    let json = serde_json::to_string(&built.topology).expect("topology serializes");
+    let json = serde_json::to_string(&*built.topology).expect("topology serializes");
     let topo2: Topology = serde_json::from_str(&json).expect("topology deserializes");
     assert_eq!(topo2.node_count(), built.topology.node_count());
     assert_eq!(topo2.link_count(), built.topology.link_count());
