@@ -4,35 +4,161 @@
 //! cargo run --release -p continuum-bench --bin experiments            # all
 //! cargo run --release -p continuum-bench --bin experiments -- f1 f4  # some
 //! cargo run --release -p continuum-bench --bin experiments -- --json f1
+//! cargo run --release -p continuum-bench --bin experiments -- --serial
 //! ```
+//!
+//! Cells are independent — each seeds its own RNGs from fixed constants —
+//! so the suite fans out across rayon workers and a cell's output is
+//! bit-identical whether it ran alone, serially, or in parallel. Results
+//! are collected and emitted in request order regardless of which cell
+//! finished first. `--serial` forces one-at-a-time execution; use it when
+//! timing an individual cell (under the parallel driver, cells that
+//! measure their own wall-clock — F5's thread-scaling sweep — contend
+//! with sibling cells for cores).
 
 use continuum_bench::experiments as exp;
 use continuum_bench::Table;
+use std::time::Instant;
+
+/// Every cell, in canonical emission order.
+const ALL: [&str; 20] = [
+    "t1",
+    "t4",
+    "t5",
+    "f1",
+    "f2",
+    "f3",
+    "f4",
+    "f5",
+    "f6",
+    "t2",
+    "f7",
+    "t3",
+    "f8",
+    "f9",
+    "f10",
+    "f11",
+    "f12",
+    "f13",
+    "f14",
+    "ablations",
+];
 
 struct Args {
     json: bool,
+    serial: bool,
     which: Vec<String>,
 }
 
 fn parse_args() -> Args {
     let mut json = false;
+    let mut serial = false;
     let mut which = Vec::new();
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--json" => json = true,
+            "--serial" => serial = true,
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: experiments [--json] [t1 t4 t5 f1 f2 f3 f4 f5 f6 t2 f7 t3 f8 f9 f10 f11 f12 f13 f14 ablations]"
-                );
+                eprintln!("usage: experiments [--json] [--serial] [{}]", ALL.join(" "));
                 std::process::exit(0);
             }
             other => which.push(other.to_string()),
         }
     }
-    Args { json, which }
+    Args {
+        json,
+        serial,
+        which,
+    }
 }
 
-fn emit(args: &Args, tables: &[Table], json_rows: serde_json::Value) {
+/// Run one named cell to completion, returning its rendered tables and
+/// JSON row dump. Panics on unknown names — `main` validates them first.
+fn run_one(name: &str) -> (Vec<Table>, serde_json::Value) {
+    use serde_json::json;
+    match name {
+        "t1" => (vec![exp::t1::run()], json!({"id": "t1"})),
+        "t4" => {
+            let (t, rows) = exp::t4::run();
+            (vec![t], json!({"id": "t4", "rows": rows}))
+        }
+        "t5" => {
+            let (t, rows) = exp::t5::run();
+            (vec![t], json!({"id": "t5", "rows": rows}))
+        }
+        "f1" => {
+            let (t, rows) = exp::f1::run();
+            (vec![t], json!({"id": "f1", "rows": rows}))
+        }
+        "f2" => {
+            let (t, rows) = exp::f2::run();
+            (vec![t], json!({"id": "f2", "rows": rows}))
+        }
+        "f3" => {
+            let (t, rows) = exp::f3::run();
+            (vec![t], json!({"id": "f3", "rows": rows}))
+        }
+        "f4" => {
+            let (t, rows) = exp::f4::run();
+            (vec![t], json!({"id": "f4", "rows": rows}))
+        }
+        "f5" => {
+            let (ts, rows) = exp::f5::run();
+            (ts, json!({"id": "f5", "rows": rows}))
+        }
+        "f6" => {
+            let (t, rows) = exp::f6::run();
+            (vec![t], json!({"id": "f6", "rows": rows}))
+        }
+        "t2" => {
+            let (t, rows) = exp::t2::run();
+            (vec![t], json!({"id": "t2", "rows": rows}))
+        }
+        "f7" => {
+            let (t, rows) = exp::f7::run();
+            (vec![t], json!({"id": "f7", "rows": rows}))
+        }
+        "t3" => {
+            let (t, rows) = exp::t3::run();
+            (vec![t], json!({"id": "t3", "rows": rows}))
+        }
+        "f8" => {
+            let (t, rows) = exp::f8::run();
+            (vec![t], json!({"id": "f8", "rows": rows}))
+        }
+        "f9" => {
+            let (t, rows) = exp::f9::run();
+            (vec![t], json!({"id": "f9", "rows": rows}))
+        }
+        "f10" => {
+            let (t, rows) = exp::f10::run();
+            (vec![t], json!({"id": "f10", "rows": rows}))
+        }
+        "f11" => {
+            let (t, rows) = exp::f11::run();
+            (vec![t], json!({"id": "f11", "rows": rows}))
+        }
+        "f12" => {
+            let (t, rows) = exp::f12::run();
+            (vec![t], json!({"id": "f12", "rows": rows}))
+        }
+        "f13" => {
+            let (t, rows) = exp::f13::run();
+            (vec![t], json!({"id": "f13", "rows": rows}))
+        }
+        "f14" => {
+            let (t, rows) = exp::f14::run();
+            (vec![t], json!({"id": "f14", "rows": rows}))
+        }
+        "ablations" => {
+            let (ts, rows) = exp::ablations::run();
+            (ts, json!({"id": "ablations", "rows": rows}))
+        }
+        other => unreachable!("cell '{other}' passed validation but has no runner"),
+    }
+}
+
+fn emit(args: &Args, tables: &[Table], json_rows: &serde_json::Value) {
     if args.json {
         println!("{json_rows}");
     } else {
@@ -44,128 +170,56 @@ fn emit(args: &Args, tables: &[Table], json_rows: serde_json::Value) {
 
 fn main() {
     let args = parse_args();
-    let all = [
-        "t1",
-        "t4",
-        "t5",
-        "f1",
-        "f2",
-        "f3",
-        "f4",
-        "f5",
-        "f6",
-        "t2",
-        "f7",
-        "t3",
-        "f8",
-        "f9",
-        "f10",
-        "f11",
-        "f12",
-        "f13",
-        "f14",
-        "ablations",
-    ];
     let which: Vec<&str> = if args.which.is_empty() {
-        all.to_vec()
+        ALL.to_vec()
     } else {
         args.which.iter().map(String::as_str).collect()
     };
-
-    for w in which {
-        match w {
-            "t1" => {
-                let t = exp::t1::run();
-                emit(
-                    &args,
-                    std::slice::from_ref(&t),
-                    serde_json::json!({"id": "t1"}),
-                );
-            }
-            "t4" => {
-                let (t, rows) = exp::t4::run();
-                emit(&args, &[t], serde_json::json!({"id": "t4", "rows": rows}));
-            }
-            "t5" => {
-                let (t, rows) = exp::t5::run();
-                emit(&args, &[t], serde_json::json!({"id": "t5", "rows": rows}));
-            }
-            "f1" => {
-                let (t, rows) = exp::f1::run();
-                emit(&args, &[t], serde_json::json!({"id": "f1", "rows": rows}));
-            }
-            "f2" => {
-                let (t, rows) = exp::f2::run();
-                emit(&args, &[t], serde_json::json!({"id": "f2", "rows": rows}));
-            }
-            "f3" => {
-                let (t, rows) = exp::f3::run();
-                emit(&args, &[t], serde_json::json!({"id": "f3", "rows": rows}));
-            }
-            "f4" => {
-                let (t, rows) = exp::f4::run();
-                emit(&args, &[t], serde_json::json!({"id": "f4", "rows": rows}));
-            }
-            "f5" => {
-                let (ts, rows) = exp::f5::run();
-                emit(&args, &ts, serde_json::json!({"id": "f5", "rows": rows}));
-            }
-            "f6" => {
-                let (t, rows) = exp::f6::run();
-                emit(&args, &[t], serde_json::json!({"id": "f6", "rows": rows}));
-            }
-            "t2" => {
-                let (t, rows) = exp::t2::run();
-                emit(&args, &[t], serde_json::json!({"id": "t2", "rows": rows}));
-            }
-            "f7" => {
-                let (t, rows) = exp::f7::run();
-                emit(&args, &[t], serde_json::json!({"id": "f7", "rows": rows}));
-            }
-            "t3" => {
-                let (t, rows) = exp::t3::run();
-                emit(&args, &[t], serde_json::json!({"id": "t3", "rows": rows}));
-            }
-            "f8" => {
-                let (t, rows) = exp::f8::run();
-                emit(&args, &[t], serde_json::json!({"id": "f8", "rows": rows}));
-            }
-            "f9" => {
-                let (t, rows) = exp::f9::run();
-                emit(&args, &[t], serde_json::json!({"id": "f9", "rows": rows}));
-            }
-            "f10" => {
-                let (t, rows) = exp::f10::run();
-                emit(&args, &[t], serde_json::json!({"id": "f10", "rows": rows}));
-            }
-            "f11" => {
-                let (t, rows) = exp::f11::run();
-                emit(&args, &[t], serde_json::json!({"id": "f11", "rows": rows}));
-            }
-            "f12" => {
-                let (t, rows) = exp::f12::run();
-                emit(&args, &[t], serde_json::json!({"id": "f12", "rows": rows}));
-            }
-            "f13" => {
-                let (t, rows) = exp::f13::run();
-                emit(&args, &[t], serde_json::json!({"id": "f13", "rows": rows}));
-            }
-            "f14" => {
-                let (t, rows) = exp::f14::run();
-                emit(&args, &[t], serde_json::json!({"id": "f14", "rows": rows}));
-            }
-            "ablations" => {
-                let (ts, rows) = exp::ablations::run();
-                emit(
-                    &args,
-                    &ts,
-                    serde_json::json!({"id": "ablations", "rows": rows}),
-                );
-            }
-            other => {
-                eprintln!("unknown experiment '{other}' (try --help)");
-                std::process::exit(2);
-            }
+    // Validate every requested name before running anything: a typo at
+    // position N shouldn't cost the wall-clock of cells 0..N first.
+    for w in &which {
+        if !ALL.contains(w) {
+            eprintln!("unknown experiment '{w}' (try --help)");
+            std::process::exit(2);
         }
     }
+
+    // `CONTINUUM_EXPERIMENT_THREADS` overrides the worker count — handy
+    // for forcing the fan-out on boxes where `available_parallelism` is
+    // pinned to 1, or throttling it on shared CI runners.
+    let pool = std::env::var("CONTINUUM_EXPERIMENT_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .map(|n| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n.max(1))
+                .build()
+                .expect("rayon pool")
+        });
+    let threads = pool
+        .as_ref()
+        .map_or_else(rayon::current_num_threads, |p| p.current_num_threads());
+    let parallel = !args.serial && threads > 1 && which.len() > 1;
+    let t0 = Instant::now();
+    let fan_out = || -> Vec<(Vec<Table>, serde_json::Value)> {
+        use rayon::prelude::*;
+        which.par_iter().map(|w| run_one(w)).collect()
+    };
+    let results: Vec<(Vec<Table>, serde_json::Value)> = if !parallel {
+        which.iter().map(|w| run_one(w)).collect()
+    } else if let Some(pool) = &pool {
+        pool.install(fan_out)
+    } else {
+        fan_out()
+    };
+    for (tables, rows) in &results {
+        emit(&args, tables, rows);
+    }
+    eprintln!(
+        "experiments: {} cell(s) in {:.1}s ({} on {} thread(s))",
+        results.len(),
+        t0.elapsed().as_secs_f64(),
+        if parallel { "parallel" } else { "serial" },
+        if parallel { threads } else { 1 },
+    );
 }

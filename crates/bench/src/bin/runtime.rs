@@ -1,0 +1,209 @@
+//! runtime — before/after benchmarks for the stream-executor overhaul.
+//!
+//! Runs the dense-state executor (interned item slots, CSR input plans,
+//! epoch-tagged route cache, compacting calendar) against the seed-era
+//! executor vendored in [`continuum_bench::seed_exec`] (hashed composite
+//! keys, per-event input clone+sort+dedup, a fresh route computation per
+//! transfer) on identical workloads, in two arms:
+//!
+//! - **steady**: a multi-request streaming workload on a whole fabric —
+//!   no faults, so the route cache only absorbs repeat (src, dst, salt)
+//!   lookups and the win comes from the dense request state.
+//! - **chaos churn**: the same world under a generated device/link
+//!   crash-recover storm. Degraded-fabric routing is where the seed
+//!   pays a full Dijkstra per transfer; the cache collapses that to one
+//!   per (src, dst) pair per epoch, and the calendar's compaction bounds
+//!   the tombstone pile-up from re-armed flow completions.
+//!
+//! Both arms assert the two executors' [`SimOutcome`]s **bit-identical**
+//! (every f64 metric, every trace record) before timing anything — the
+//! speedup is not bought with a different execution.
+//!
+//! Writes `BENCH_runtime.json` in the current directory; run from the
+//! workspace root:
+//!
+//! ```text
+//! cargo run --release -p continuum-bench --bin runtime
+//! ```
+//!
+//! `--smoke` shrinks the workload so CI can assert equivalence and JSON
+//! emission without paying the full measurement cost.
+
+use continuum_bench::seed_exec::simulate_stream_chaos_seed;
+use continuum_core::prelude::*;
+use continuum_model::standard_fleet;
+use continuum_runtime::{simulate_stream_chaos, SimOutcome};
+use serde_json::json;
+use std::time::Instant;
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1e3
+}
+
+/// Best-of-`n` wall time of `f`, in milliseconds.
+fn best_of<T>(n: usize, mut f: impl FnMut() -> T) -> f64 {
+    (0..n)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            ms(t0)
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The shared world: the planner bench's ~526-node continuum (hundreds of
+/// nodes make each uncached Dijkstra detour expensive, which is the hot
+/// path the route cache attacks) carrying a staggered stream of identical
+/// requests.
+///
+/// The placement is deliberately round-robin, not HEFT: this bench
+/// stresses the *executor*, so every DAG edge should be a real transfer
+/// (HEFT collocates data-heavy neighbors and the event loop goes quiet).
+/// All requests share one placement, so the same (src, dst) node pairs
+/// recur across the stream — the access pattern the degraded-fabric
+/// route cache keys on.
+fn build_world(smoke: bool) -> (Env, Vec<StreamRequest>) {
+    let spec = ContinuumSpec {
+        fogs: 8,
+        edges_per_fog: 8,
+        sensors_per_edge: 7, // 526 nodes
+        ..ContinuumSpec::default()
+    };
+    let built = continuum_net::continuum(&spec);
+    let env = Env::new(built.topology.clone(), standard_fleet(&built));
+    let n_reqs = if smoke { 3 } else { 16 };
+    let tasks = if smoke { 30 } else { 120 };
+    let mut rng = Rng::new(0x57EA);
+    let dag = layered_random(
+        &mut rng,
+        &LayeredSpec {
+            tasks,
+            width: 10,
+            source: built.edges[0],
+            min_mem_bytes: 0,
+            // ~10 MB median items: flows live long enough for the churn
+            // arm's link flaps to abort and re-route them mid-flight.
+            bytes_mu: (1e7f64).ln(),
+            ..Default::default()
+        },
+    );
+    let placement = RoundRobinPlacer.place(&env, &dag);
+    let reqs: Vec<StreamRequest> = (0..n_reqs)
+        .map(|i| StreamRequest {
+            arrival: SimTime::from_millis(100 * i as u64),
+            dag: dag.clone(),
+            placement: placement.clone(),
+        })
+        .collect();
+    (env, reqs)
+}
+
+/// A device/link churn storm scaled to the steady-state makespan: every
+/// crash recovers, link flaps keep the fabric degraded for most of the
+/// run (many route-cache epochs, each amortizing its Dijkstras), and
+/// device crashes exercise orphan re-placement.
+fn churn_plane(env: &Env, base_makespan_s: f64) -> FaultPlane {
+    let n_dev = env.fleet.len() as u32;
+    let n_links = env.topology.links().len() as u32;
+    let schedule = FaultSchedule::generate(
+        &FaultScheduleSpec {
+            horizon: SimDuration::from_secs_f64(base_makespan_s * 1.5),
+            devices: FaultProcess {
+                population: n_dev,
+                mttf_s: base_makespan_s * 4.0,
+                mttr_s: base_makespan_s * 0.3,
+            },
+            // A modest set of flapping links rather than the whole
+            // fabric: with ~duty-cycle-33% outages on dozens of links the
+            // fabric is degraded nearly the entire run (every route is a
+            // Dijkstra detour in the seed), while the epoch count — each
+            // flap invalidates the cache — stays small next to the
+            // transfer count, which is what any cache needs to pay off.
+            links: FaultProcess {
+                population: (n_links / 8).max(8),
+                mttf_s: base_makespan_s * 0.4,
+                mttr_s: base_makespan_s * 0.2,
+            },
+            ..Default::default()
+        },
+        0xC4AF,
+    );
+    FaultPlane {
+        schedule,
+        detection: SimDuration::from_millis(250),
+    }
+}
+
+/// Run one arm: assert the dense executor and the vendored seed executor
+/// produce bit-identical outcomes, then time both.
+fn bench_arm(
+    env: &Env,
+    reqs: &[StreamRequest],
+    plane: Option<&FaultPlane>,
+    reps: usize,
+) -> (SimOutcome, serde_json::Value) {
+    let dense = simulate_stream_chaos(env, reqs, None, plane);
+    let seed = simulate_stream_chaos_seed(env, reqs, None, plane);
+    assert_eq!(
+        dense, seed,
+        "dense executor diverged from the seed oracle — the speedup would be meaningless"
+    );
+    let dense_ms = best_of(reps, || simulate_stream_chaos(env, reqs, None, plane));
+    let seed_ms = best_of(reps, || simulate_stream_chaos_seed(env, reqs, None, plane));
+    let events = dense.trace.records.len() as u64
+        + dense.trace.transfers
+        + plane.map_or(0, |p| p.schedule.len() as u64);
+    let stats = json!({
+        "requests": reqs.len(),
+        "tasks": reqs.iter().map(|r| r.dag.len()).sum::<usize>(),
+        "transfers": dense.trace.transfers,
+        "makespan_s": dense.metrics.makespan_s,
+        "device_crashes": dense.trace.device_crashes,
+        "link_failures": dense.trace.link_failures,
+        "replacements": dense.trace.replacements,
+        "approx_events": events,
+        "seed_ms": seed_ms,
+        "dense_ms": dense_ms,
+        "speedup": seed_ms / dense_ms,
+        "bit_identical": true,
+    });
+    (dense, stats)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps = if smoke { 1 } else { 5 };
+    let (env, reqs) = build_world(smoke);
+
+    eprintln!("runtime: steady arm (no faults) ...");
+    let (steady_out, steady) = bench_arm(&env, &reqs, None, reps);
+
+    eprintln!("runtime: chaos churn arm ...");
+    let plane = churn_plane(&env, steady_out.metrics.makespan_s);
+    let (_, churn) = bench_arm(&env, &reqs, Some(&plane), reps);
+
+    let out = json!({
+        "bench": "runtime",
+        "command": "cargo run --release -p continuum-bench --bin runtime",
+        "smoke": smoke,
+        "nodes": env.topology.node_count(),
+        "devices": env.fleet.len(),
+        "steady": steady,
+        "chaos_churn": churn,
+        "notes": [
+            "Both arms assert SimOutcome bit-identity (every trace record and f64 \
+             metric) between the dense-state executor and the vendored seed-era \
+             executor before timing either.",
+            "The seed oracle keeps the seed's data structures and per-transfer route \
+             computations; its only deviations are NodeId-sorted publish order (the \
+             seed's HashMap key scan was nondeterministic) and sender-device egress \
+             attribution (the seed billed an arbitrary device at multi-device nodes).",
+            "chaos_churn is the headline arm: degraded-fabric routing cost a full \
+             Dijkstra per transfer in the seed; the epoch-tagged route cache pays one \
+             per (src, dst) pair per fault epoch.",
+        ],
+    });
+    let rendered = serde_json::to_string_pretty(&out).expect("render json");
+    std::fs::write("BENCH_runtime.json", &rendered).expect("write BENCH_runtime.json");
+    println!("{rendered}");
+}

@@ -1,0 +1,813 @@
+//! The seed-era stream executor, vendored as an equivalence oracle.
+//!
+//! This is the pre-overhaul `simulate_stream_chaos` byte-for-byte in *how*
+//! it computes — `HashMap<(DataId, NodeId), _>` item/waiter state touched
+//! with hashed composite keys on every event, per-event `inputs.clone()` +
+//! sort + dedup, and a fresh route computation (`path_ecmp` or Dijkstra
+//! detour) per transfer with no caching. The `runtime` bench bin runs it
+//! against the dense-state executor on identical workloads, asserts the
+//! [`SimOutcome`]s bit-identical, and only then times both.
+//!
+//! Two deliberate deviations from the seed, both required for the
+//! comparison to be meaningful (neither changes what the seed *computes*,
+//! only a hash-order accident and a billing bug):
+//!
+//! - **Publish order**: the seed scanned `waiters.keys()` to find a
+//!   finished task's consumer nodes — `HashMap` iteration order, so
+//!   equal-latency deliveries tie-broke nondeterministically and f64
+//!   egress sums could reassociate between runs. The oracle sorts the
+//!   destinations by `NodeId`, which is the deterministic order the dense
+//!   executor's `item_slots` lists maintain by construction.
+//! - **Egress attribution**: the seed billed every transfer to
+//!   `fleet.at_node(src).first()` — an arbitrary device at multi-device
+//!   nodes. The oracle bills the device that actually sent the bytes
+//!   (the finished producer's device), matching the fixed executor.
+
+use continuum_model::{CostMeter, DeviceId, EnergyMeter};
+use continuum_net::{shortest_path_avoiding, FlowId, FlowNetwork, LinkId, NodeId, Path};
+use continuum_placement::{Env, Metrics, OnlinePlacer};
+use continuum_runtime::{
+    ExecutionTrace, FaultPlane, FaultSpec, SimOutcome, StreamRequest, TaskRecord,
+};
+use continuum_sim::{EventId, EventQueue, FaultKind, SimTime};
+use continuum_workflow::{DataId, TaskId};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug)]
+enum Ev {
+    Arrival(usize),
+    StartFlow {
+        req: usize,
+        item: DataId,
+        dst: NodeId,
+        bytes: u64,
+    },
+    FlowDone(FlowId),
+    TaskFinished {
+        req: usize,
+        task: TaskId,
+        epoch: u32,
+    },
+    RetryTask {
+        req: usize,
+        task: TaskId,
+    },
+    Fault(usize),
+    OrphanSweep {
+        dev: usize,
+        gen: u32,
+    },
+}
+
+#[inline]
+fn xfer_salt(req: usize, item: DataId) -> u64 {
+    ((req as u64) << 32) | (item.0 as u64) | (1 << 63)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ItemState {
+    InFlight,
+    Present,
+}
+
+struct ReqState {
+    missing: Vec<u32>,
+    unfinished: usize,
+    /// Item presence per destination node — the seed's hashed composite
+    /// key, re-hashed on every touch.
+    items: HashMap<(DataId, NodeId), ItemState>,
+    /// Tasks waiting on (item, node).
+    waiters: HashMap<(DataId, NodeId), Vec<TaskId>>,
+    started: Vec<bool>,
+}
+
+/// Uncached route choice: a fresh `path_ecmp` or Dijkstra detour per call.
+fn route(
+    env: &Env,
+    src: NodeId,
+    dst: NodeId,
+    salt: u64,
+    dead_links: &[bool],
+    n_dead: usize,
+) -> Option<Path> {
+    if n_dead == 0 {
+        env.path_ecmp(src, dst, salt)
+    } else {
+        shortest_path_avoiding(&env.topology, src, dst, dead_links)
+    }
+}
+
+/// The seed-era executor. Same contract as
+/// [`continuum_runtime::simulate_stream_chaos`].
+pub fn simulate_stream_chaos_seed(
+    env: &Env,
+    requests: &[StreamRequest],
+    faults: Option<&FaultSpec>,
+    plane: Option<&FaultPlane>,
+) -> SimOutcome {
+    let mut fault_rng = faults.map(|f| {
+        assert!(
+            (0.0..1.0).contains(&f.fail_prob),
+            "fail_prob must be in [0,1)"
+        );
+        assert!(f.max_attempts >= 1);
+        continuum_sim::Rng::new(f.seed)
+    });
+    let mut attempts: HashMap<(usize, u32), u32> = HashMap::new();
+    for r in requests {
+        assert_eq!(
+            r.placement.assignment.len(),
+            r.dag.len(),
+            "placement does not match dag '{}'",
+            r.dag.name
+        );
+    }
+
+    let n_dev = env.fleet.len();
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let mut network = FlowNetwork::new(&env.topology);
+    let mut free_cores: Vec<u32> = env.fleet.devices().iter().map(|d| d.spec.cores).collect();
+    let mut device_q: Vec<VecDeque<(usize, TaskId)>> = vec![VecDeque::new(); n_dev];
+    let mut flow_dest: HashMap<FlowId, (usize, DataId, NodeId)> = HashMap::new();
+    let mut pending_completion: Option<(EventId, FlowId)> = None;
+
+    let mut assign: Vec<Vec<DeviceId>> = requests
+        .iter()
+        .map(|r| r.placement.assignment.clone())
+        .collect();
+    let n_links = env.topology.links().len();
+    let mut dev_up = vec![true; n_dev];
+    let mut dev_known_down = vec![false; n_dev];
+    let mut dev_gen = vec![0u32; n_dev];
+    let mut running: Vec<Vec<(usize, TaskId, usize)>> = vec![Vec::new(); n_dev];
+    let mut orphans: Vec<Vec<(usize, TaskId)>> = vec![Vec::new(); n_dev];
+    let mut attempt_no: Vec<Vec<u32>> = requests.iter().map(|r| vec![0; r.dag.len()]).collect();
+    let mut finished: Vec<Vec<bool>> = requests.iter().map(|r| vec![false; r.dag.len()]).collect();
+    let mut parked: Vec<(usize, TaskId)> = Vec::new();
+    let mut stalled: Vec<(usize, DataId, NodeId, u64)> = Vec::new();
+    let mut dead_links = vec![false; n_links];
+    let mut n_dead = 0usize;
+    let mut placer = plane.map(|_| OnlinePlacer::continuum(env));
+
+    let mut states: Vec<ReqState> = requests
+        .iter()
+        .map(|r| {
+            let missing = r
+                .dag
+                .tasks()
+                .iter()
+                .map(|t| {
+                    // The per-event clone + sort + dedup the dense
+                    // executor's ReqPlan replaces.
+                    let mut d: Vec<DataId> = t.inputs.clone();
+                    d.sort_unstable();
+                    d.dedup();
+                    d.len() as u32
+                })
+                .collect();
+            ReqState {
+                missing,
+                unfinished: r.dag.len(),
+                items: HashMap::new(),
+                waiters: HashMap::new(),
+                started: vec![false; r.dag.len()],
+            }
+        })
+        .collect();
+
+    let mut trace = ExecutionTrace {
+        request_arrival: requests.iter().map(|r| r.arrival).collect(),
+        request_finish: vec![SimTime::ZERO; requests.len()],
+        ..Default::default()
+    };
+    let mut egress_log: Vec<(Option<DeviceId>, u64)> = Vec::new();
+    let mut energy = EnergyMeter::new(&env.fleet);
+    let mut cost = CostMeter::new(&env.fleet);
+
+    for (i, r) in requests.iter().enumerate() {
+        queue.schedule_at(r.arrival, Ev::Arrival(i));
+    }
+    if let Some(p) = plane {
+        for (idx, fe) in p.schedule.events().iter().enumerate() {
+            match fe.kind {
+                FaultKind::DeviceCrash | FaultKind::DeviceRecover => assert!(
+                    (fe.target as usize) < n_dev,
+                    "fault schedule targets device {} but only {n_dev} exist",
+                    fe.target
+                ),
+                FaultKind::LinkFail | FaultKind::LinkRestore => assert!(
+                    (fe.target as usize) < n_links,
+                    "fault schedule targets link {} but only {n_links} exist",
+                    fe.target
+                ),
+                FaultKind::EndpointCrash | FaultKind::EndpointRecover => continue,
+            }
+            queue.schedule_at(fe.at, Ev::Fault(idx));
+        }
+    }
+
+    while let Some((now, ev)) = queue.pop() {
+        let mut made_present: Vec<(usize, DataId, NodeId)> = Vec::new();
+        let mut dispatch_devices: Vec<usize> = Vec::new();
+        let mut to_replace: Vec<(usize, TaskId)> = Vec::new();
+        let mut network_changed = false;
+
+        match ev {
+            Ev::Arrival(req) => {
+                let r = &requests[req];
+                let mut to_deliver: Vec<(DataId, NodeId, NodeId)> = Vec::new();
+                {
+                    let st = &mut states[req];
+                    for t in r.dag.tasks() {
+                        let dst = env.node_of(assign[req][t.id.0 as usize]);
+                        let mut ins = t.inputs.clone();
+                        ins.sort_unstable();
+                        ins.dedup();
+                        for d in ins {
+                            if r.dag.producer(d).is_none() {
+                                let home = r
+                                    .dag
+                                    .data(d)
+                                    .home
+                                    .expect("validated dag: external has home");
+                                match st.items.entry((d, dst)) {
+                                    Entry::Occupied(_) => {}
+                                    Entry::Vacant(v) => {
+                                        v.insert(ItemState::InFlight);
+                                        to_deliver.push((d, home, dst));
+                                    }
+                                }
+                                st.waiters.entry((d, dst)).or_default().push(t.id);
+                            } else {
+                                st.waiters.entry((d, dst)).or_default().push(t.id);
+                            }
+                        }
+                    }
+                }
+                for (d, src, dst) in to_deliver {
+                    if src == dst {
+                        made_present.push((req, d, dst));
+                    } else {
+                        let bytes = requests[req].dag.data(d).bytes;
+                        egress_log.push((env.fleet.at_node(src).first().copied(), bytes));
+                        match route(env, src, dst, xfer_salt(req, d), &dead_links, n_dead) {
+                            Some(path) => {
+                                queue.schedule_at(
+                                    now + path.latency,
+                                    Ev::StartFlow {
+                                        req,
+                                        item: d,
+                                        dst,
+                                        bytes,
+                                    },
+                                );
+                            }
+                            None => {
+                                assert!(n_dead > 0, "disconnected topology");
+                                stalled.push((req, d, dst, bytes));
+                            }
+                        }
+                    }
+                }
+                for t in r.dag.tasks() {
+                    if states[req].missing[t.id.0 as usize] == 0 {
+                        let dev = assign[req][t.id.0 as usize];
+                        if dev_known_down[dev.0 as usize] {
+                            to_replace.push((req, t.id));
+                        } else {
+                            device_q[dev.0 as usize].push_back((req, t.id));
+                            dispatch_devices.push(dev.0 as usize);
+                        }
+                    }
+                }
+            }
+            Ev::StartFlow {
+                req,
+                item,
+                dst,
+                bytes,
+            } => {
+                let r = &requests[req];
+                let src = match r.dag.producer(item) {
+                    None => r.dag.data(item).home.expect("external item has home"),
+                    Some(p) => env.node_of(assign[req][p.0 as usize]),
+                };
+                match route(env, src, dst, xfer_salt(req, item), &dead_links, n_dead) {
+                    Some(path) => match network.start(now, &path, bytes) {
+                        Some(fid) => {
+                            flow_dest.insert(fid, (req, item, dst));
+                            network_changed = true;
+                        }
+                        None => made_present.push((req, item, dst)),
+                    },
+                    None => {
+                        assert!(n_dead > 0, "disconnected topology");
+                        stalled.push((req, item, dst, bytes));
+                    }
+                }
+            }
+            Ev::FlowDone(fid) => {
+                debug_assert_eq!(pending_completion.map(|(_, f)| f), Some(fid));
+                pending_completion = None;
+                network.remove(now, fid);
+                let (req, item, dst) = flow_dest.remove(&fid).expect("unknown flow");
+                made_present.push((req, item, dst));
+                network_changed = true;
+            }
+            Ev::TaskFinished { req, task, epoch } => {
+                if epoch != attempt_no[req][task.0 as usize] {
+                    continue;
+                }
+                let r = &requests[req];
+                let dev = assign[req][task.0 as usize];
+                let spec = &env.fleet.device(dev).spec;
+                let need = r.dag.task(task).occupancy(spec.cores);
+                free_cores[dev.0 as usize] += need;
+                let pos = running[dev.0 as usize]
+                    .iter()
+                    .position(|&(rq, t, _)| rq == req && t == task)
+                    .expect("finished task is running");
+                running[dev.0 as usize].swap_remove(pos);
+
+                if let (Some(fs), Some(rng)) = (faults, fault_rng.as_mut()) {
+                    let tries = attempts.entry((req, task.0)).or_insert(1);
+                    if rng.chance(fs.fail_prob) {
+                        assert!(
+                            *tries < fs.max_attempts,
+                            "task {} of request {req} exhausted {} attempts",
+                            task,
+                            fs.max_attempts
+                        );
+                        *tries += 1;
+                        trace.failed_attempts += 1;
+                        states[req].started[task.0 as usize] = false;
+                        queue.schedule_at(now + fs.retry_delay, Ev::RetryTask { req, task });
+                        dispatch_devices.push(dev.0 as usize);
+                        dispatch_devices.sort_unstable();
+                        dispatch_devices.dedup();
+                        for di in dispatch_devices.drain(..) {
+                            dispatch_queue(
+                                env,
+                                requests,
+                                &mut states,
+                                &assign,
+                                &attempt_no,
+                                &mut running,
+                                &mut device_q,
+                                &mut free_cores,
+                                &mut trace,
+                                &mut energy,
+                                &mut cost,
+                                &mut queue,
+                                di,
+                                now,
+                            );
+                        }
+                        continue;
+                    }
+                }
+
+                finished[req][task.0 as usize] = true;
+                let st = &mut states[req];
+                st.unfinished -= 1;
+                if st.unfinished == 0 {
+                    trace.request_finish[req] = now;
+                }
+                let my_node = env.node_of(dev);
+                let mut to_deliver: Vec<(DataId, NodeId)> = Vec::new();
+                for &out in &r.dag.task(task).outputs {
+                    // All nodes that registered interest in this item.
+                    // Seed scanned waiters.keys() in hash order; sorted
+                    // here (see module docs) to match the dense
+                    // executor's NodeId-ordered item_slots.
+                    let mut dests: Vec<NodeId> = st
+                        .waiters
+                        .keys()
+                        .filter(|(d, _)| *d == out)
+                        .map(|&(_, n)| n)
+                        .collect();
+                    dests.sort_unstable();
+                    for dst in dests {
+                        match st.items.entry((out, dst)) {
+                            Entry::Occupied(_) => {}
+                            Entry::Vacant(v) => {
+                                v.insert(ItemState::InFlight);
+                                to_deliver.push((out, dst));
+                            }
+                        }
+                    }
+                }
+                for (d, dst) in to_deliver {
+                    if dst == my_node {
+                        made_present.push((req, d, dst));
+                    } else {
+                        let bytes = r.dag.data(d).bytes;
+                        egress_log.push((Some(dev), bytes));
+                        match route(env, my_node, dst, xfer_salt(req, d), &dead_links, n_dead) {
+                            Some(path) => {
+                                queue.schedule_at(
+                                    now + path.latency,
+                                    Ev::StartFlow {
+                                        req,
+                                        item: d,
+                                        dst,
+                                        bytes,
+                                    },
+                                );
+                            }
+                            None => {
+                                assert!(n_dead > 0, "disconnected topology");
+                                stalled.push((req, d, dst, bytes));
+                            }
+                        }
+                    }
+                }
+            }
+            Ev::RetryTask { req, task } => {
+                let dev = assign[req][task.0 as usize];
+                if dev_known_down[dev.0 as usize] {
+                    to_replace.push((req, task));
+                } else {
+                    device_q[dev.0 as usize].push_back((req, task));
+                    dispatch_devices.push(dev.0 as usize);
+                }
+            }
+            Ev::Fault(idx) => {
+                let fe = plane.expect("fault event implies plane").schedule.events()[idx];
+                match fe.kind {
+                    FaultKind::DeviceCrash => {
+                        let d = fe.target as usize;
+                        if dev_up[d] {
+                            dev_up[d] = false;
+                            dev_gen[d] += 1;
+                            trace.device_crashes += 1;
+                            for (rq, t, rec) in std::mem::take(&mut running[d]) {
+                                let started_at = trace.records[rec].start;
+                                trace.records[rec].finish = now;
+                                trace.lost_work_s += now.since(started_at).as_secs_f64();
+                                trace.killed_attempts += 1;
+                                attempt_no[rq][t.0 as usize] += 1;
+                                states[rq].started[t.0 as usize] = false;
+                                orphans[d].push((rq, t));
+                            }
+                            free_cores[d] = 0;
+                            let det = plane.expect("checked above").detection;
+                            queue.schedule_at(
+                                now + det,
+                                Ev::OrphanSweep {
+                                    dev: d,
+                                    gen: dev_gen[d],
+                                },
+                            );
+                        }
+                    }
+                    FaultKind::DeviceRecover => {
+                        let d = fe.target as usize;
+                        if !dev_up[d] {
+                            dev_up[d] = true;
+                            dev_known_down[d] = false;
+                            free_cores[d] = env.fleet.devices()[d].spec.cores;
+                            for (rq, t) in std::mem::take(&mut orphans[d]) {
+                                device_q[d].push_back((rq, t));
+                            }
+                            dispatch_devices.push(d);
+                            to_replace.append(&mut parked);
+                        }
+                    }
+                    FaultKind::LinkFail => {
+                        let l = fe.target as usize;
+                        if !dead_links[l] {
+                            dead_links[l] = true;
+                            n_dead += 1;
+                            trace.link_failures += 1;
+                            for a in network.fail_link(now, LinkId(l as u32)) {
+                                let (rq, item, dst) =
+                                    flow_dest.remove(&a.id).expect("aborted flow is tracked");
+                                let rest = (a.remaining.ceil() as u64).max(1);
+                                queue.schedule_at(
+                                    now,
+                                    Ev::StartFlow {
+                                        req: rq,
+                                        item,
+                                        dst,
+                                        bytes: rest,
+                                    },
+                                );
+                            }
+                            network_changed = true;
+                        }
+                    }
+                    FaultKind::LinkRestore => {
+                        let l = fe.target as usize;
+                        if dead_links[l] {
+                            dead_links[l] = false;
+                            n_dead -= 1;
+                            network.restore_link(now, LinkId(l as u32));
+                            network_changed = true;
+                            for (rq, item, dst, bytes) in std::mem::take(&mut stalled) {
+                                queue.schedule_at(
+                                    now,
+                                    Ev::StartFlow {
+                                        req: rq,
+                                        item,
+                                        dst,
+                                        bytes,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    FaultKind::EndpointCrash | FaultKind::EndpointRecover => {
+                        unreachable!("endpoint faults are not scheduled here")
+                    }
+                }
+            }
+            Ev::OrphanSweep { dev, gen } => {
+                if !dev_up[dev] && dev_gen[dev] == gen {
+                    dev_known_down[dev] = true;
+                    to_replace.extend(std::mem::take(&mut orphans[dev]));
+                    to_replace.extend(device_q[dev].drain(..));
+                }
+            }
+        }
+
+        while !made_present.is_empty() || !to_replace.is_empty() {
+            for (req, item, node) in std::mem::take(&mut made_present) {
+                let st = &mut states[req];
+                st.items.insert((item, node), ItemState::Present);
+                if let Some(waiters) = st.waiters.remove(&(item, node)) {
+                    for t in waiters {
+                        let dev = assign[req][t.0 as usize];
+                        if env.node_of(dev) != node {
+                            continue;
+                        }
+                        let m = &mut st.missing[t.0 as usize];
+                        debug_assert!(*m > 0);
+                        *m -= 1;
+                        if *m == 0 {
+                            if dev_known_down[dev.0 as usize] {
+                                to_replace.push((req, t));
+                            } else {
+                                device_q[dev.0 as usize].push_back((req, t));
+                                dispatch_devices.push(dev.0 as usize);
+                            }
+                        }
+                    }
+                }
+            }
+            for (req, task) in std::mem::take(&mut to_replace) {
+                replace_task(
+                    env,
+                    requests,
+                    &mut states,
+                    &mut assign,
+                    &finished,
+                    placer.as_mut().expect("re-placement implies a fault plane"),
+                    &dev_up,
+                    &dead_links,
+                    n_dead,
+                    &mut queue,
+                    &mut egress_log,
+                    &mut stalled,
+                    &mut parked,
+                    &mut device_q,
+                    &mut dispatch_devices,
+                    &mut made_present,
+                    &mut trace,
+                    req,
+                    task,
+                    now,
+                );
+            }
+        }
+
+        if let Ev::TaskFinished { req, task, .. } = &ev {
+            let dev = assign[*req][task.0 as usize];
+            dispatch_devices.push(dev.0 as usize);
+        }
+        dispatch_devices.sort_unstable();
+        dispatch_devices.dedup();
+        for di in dispatch_devices {
+            dispatch_queue(
+                env,
+                requests,
+                &mut states,
+                &assign,
+                &attempt_no,
+                &mut running,
+                &mut device_q,
+                &mut free_cores,
+                &mut trace,
+                &mut energy,
+                &mut cost,
+                &mut queue,
+                di,
+                now,
+            );
+        }
+
+        if network_changed {
+            if let Some((eid, _)) = pending_completion.take() {
+                queue.cancel(eid);
+            }
+            if let Some((t, fid)) = network.next_completion() {
+                let eid = queue.schedule_at(t.max(now), Ev::FlowDone(fid));
+                pending_completion = Some((eid, fid));
+            }
+        }
+    }
+
+    for st in &states {
+        assert_eq!(st.unfinished, 0, "deadlock: tasks never became ready");
+    }
+
+    let mut bytes_moved = 0u64;
+    for &(dev, bytes) in &egress_log {
+        bytes_moved += bytes;
+        if let Some(dev) = dev {
+            cost.record_egress(&env.fleet, dev, bytes);
+        }
+    }
+    trace.bytes_moved = bytes_moved;
+    trace.transfers = egress_log.len() as u64;
+    let makespan = trace.makespan();
+    let metrics = Metrics {
+        makespan_s: makespan.as_secs_f64(),
+        energy_j: energy.used_devices_joules(&env.fleet, makespan),
+        cost_usd: cost.total_usd(),
+        bytes_moved,
+    };
+    SimOutcome { trace, metrics }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch_queue(
+    env: &Env,
+    requests: &[StreamRequest],
+    states: &mut [ReqState],
+    assign: &[Vec<DeviceId>],
+    attempt_no: &[Vec<u32>],
+    running: &mut [Vec<(usize, TaskId, usize)>],
+    device_q: &mut [VecDeque<(usize, TaskId)>],
+    free_cores: &mut [u32],
+    trace: &mut ExecutionTrace,
+    energy: &mut EnergyMeter,
+    cost: &mut CostMeter,
+    queue: &mut EventQueue<Ev>,
+    di: usize,
+    now: SimTime,
+) {
+    let spec = &env.fleet.devices()[di].spec;
+    let mut i = 0;
+    while i < device_q[di].len() {
+        let (req, t) = device_q[di][i];
+        let task = requests[req].dag.task(t);
+        let need = task.occupancy(spec.cores);
+        if need <= free_cores[di] && !states[req].started[t.0 as usize] {
+            device_q[di].remove(i);
+            free_cores[di] -= need;
+            states[req].started[t.0 as usize] = true;
+            let dur = spec.compute_time_parallel(task.work_flops, task.parallelism);
+            let dev_id = assign[req][t.0 as usize];
+            debug_assert_eq!(dev_id.0 as usize, di);
+            running[di].push((req, t, trace.records.len()));
+            trace.records.push(TaskRecord {
+                request: req,
+                task: t,
+                device: dev_id,
+                cores: need,
+                start: now,
+                finish: now + dur,
+            });
+            energy.record_busy(&env.fleet, dev_id, need, dur);
+            cost.record_occupancy(&env.fleet, dev_id, need, dur);
+            let epoch = attempt_no[req][t.0 as usize];
+            queue.schedule_at(
+                now + dur,
+                Ev::TaskFinished {
+                    req,
+                    task: t,
+                    epoch,
+                },
+            );
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replace_task(
+    env: &Env,
+    requests: &[StreamRequest],
+    states: &mut [ReqState],
+    assign: &mut [Vec<DeviceId>],
+    finished: &[Vec<bool>],
+    placer: &mut OnlinePlacer,
+    dev_up: &[bool],
+    dead_links: &[bool],
+    n_dead: usize,
+    queue: &mut EventQueue<Ev>,
+    egress_log: &mut Vec<(Option<DeviceId>, u64)>,
+    stalled: &mut Vec<(usize, DataId, NodeId, u64)>,
+    parked: &mut Vec<(usize, TaskId)>,
+    device_q: &mut [VecDeque<(usize, TaskId)>],
+    dispatch_devices: &mut Vec<usize>,
+    made_present: &mut Vec<(usize, DataId, NodeId)>,
+    trace: &mut ExecutionTrace,
+    req: usize,
+    task: TaskId,
+    now: SimTime,
+) {
+    let r = &requests[req];
+    let t = r.dag.task(task);
+    let mut ins: Vec<DataId> = t.inputs.clone();
+    ins.sort_unstable();
+    ins.dedup();
+    let input_view: Vec<(NodeId, SimTime, u64)> = ins
+        .iter()
+        .map(|&d| {
+            let item = r.dag.data(d);
+            let src = match r.dag.producer(d) {
+                None => item.home.expect("validated dag: external has home"),
+                Some(p) => env.node_of(assign[req][p.0 as usize]),
+            };
+            (src, now, item.bytes)
+        })
+        .collect();
+    let Some((dev, _fin)) = placer.place_task(env, t, &input_view, now, dev_up) else {
+        parked.push((req, task));
+        return;
+    };
+    assign[req][task.0 as usize] = dev;
+    trace.replacements += 1;
+    let dst = env.node_of(dev);
+    let st = &mut states[req];
+    let mut miss = 0u32;
+    for &d in &ins {
+        match st.items.get(&(d, dst)) {
+            Some(ItemState::Present) => continue,
+            Some(ItemState::InFlight) => {
+                miss += 1;
+                let w = st.waiters.entry((d, dst)).or_default();
+                if !w.contains(&task) {
+                    w.push(task);
+                }
+                continue;
+            }
+            None => {}
+        }
+        miss += 1;
+        let w = st.waiters.entry((d, dst)).or_default();
+        if !w.contains(&task) {
+            w.push(task);
+        }
+        let fetch = match r.dag.producer(d) {
+            None => {
+                let home = r
+                    .dag
+                    .data(d)
+                    .home
+                    .expect("validated dag: external has home");
+                Some((env.fleet.at_node(home).first().copied(), home))
+            }
+            Some(p) => finished[req][p.0 as usize].then(|| {
+                let pdev = assign[req][p.0 as usize];
+                (Some(pdev), env.node_of(pdev))
+            }),
+        };
+        let Some((src_dev, src)) = fetch else {
+            continue;
+        };
+        st.items.insert((d, dst), ItemState::InFlight);
+        let bytes = r.dag.data(d).bytes;
+        if src == dst {
+            made_present.push((req, d, dst));
+        } else {
+            egress_log.push((src_dev, bytes));
+            match route(env, src, dst, xfer_salt(req, d), dead_links, n_dead) {
+                Some(path) => {
+                    queue.schedule_at(
+                        now + path.latency,
+                        Ev::StartFlow {
+                            req,
+                            item: d,
+                            dst,
+                            bytes,
+                        },
+                    );
+                }
+                None => {
+                    assert!(n_dead > 0, "disconnected topology");
+                    stalled.push((req, d, dst, bytes));
+                }
+            }
+        }
+    }
+    st.missing[task.0 as usize] = miss;
+    if miss == 0 {
+        device_q[dev.0 as usize].push_back((req, task));
+        dispatch_devices.push(dev.0 as usize);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based equivalence: the dense-state stream executor vs the
+//! vendored seed-era oracle.
+//!
+//! The `runtime` bench bin asserts bit-identity on two fixed workloads;
+//! this test asserts it across *random* ones — random layered DAGs,
+//! random staggered arrival streams, spread and clustered placements,
+//! and generated device/link churn storms scaled to each workload's own
+//! fault-free makespan. Everything in [`SimOutcome`] must match exactly:
+//! every task record, every f64 metric, every fault counter.
+
+use continuum_bench::seed_exec::simulate_stream_chaos_seed;
+use continuum_core::prelude::*;
+use continuum_model::standard_fleet;
+use continuum_runtime::{simulate_stream_chaos, StreamRequest};
+use proptest::prelude::*;
+
+fn world() -> Env {
+    let built = continuum_net::continuum(&ContinuumSpec::default());
+    Env::new(built.topology.clone(), standard_fleet(&built))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Dense executor == seed oracle, bit for bit, across random
+    /// workloads and churn schedules.
+    #[test]
+    fn dense_executor_matches_seed_oracle(
+        seed in any::<u64>(),
+        n_tasks in 5usize..40,
+        n_reqs in 1usize..4,
+        spread in any::<bool>(),
+        churn in any::<bool>(),
+    ) {
+        let env = world();
+        let mut rng = Rng::new(seed);
+        let dag = layered_random(
+            &mut rng,
+            &LayeredSpec {
+                tasks: n_tasks,
+                min_mem_bytes: 0,
+                ..Default::default()
+            },
+        );
+        // Spread placements make every DAG edge a transfer; clustered
+        // (HEFT) placements exercise the co-located fast paths.
+        let placement = if spread {
+            RoundRobinPlacer.place(&env, &dag)
+        } else {
+            HeftPlacer::default().place(&env, &dag)
+        };
+        let reqs: Vec<StreamRequest> = (0..n_reqs)
+            .map(|i| StreamRequest {
+                arrival: SimTime::from_millis(50 * i as u64),
+                dag: dag.clone(),
+                placement: placement.clone(),
+            })
+            .collect();
+
+        let plane = if churn {
+            // Scale the storm to this workload's own fault-free makespan
+            // so crashes land mid-run, not after everything finished.
+            let clean = simulate_stream(&env, &reqs);
+            let mk = clean.metrics.makespan_s.max(0.1);
+            let schedule = FaultSchedule::generate(
+                &FaultScheduleSpec {
+                    horizon: SimDuration::from_secs_f64(mk * 1.5),
+                    devices: FaultProcess {
+                        population: env.fleet.len() as u32,
+                        mttf_s: mk * 3.0,
+                        mttr_s: mk * 0.3,
+                    },
+                    links: FaultProcess {
+                        population: env.topology.links().len() as u32,
+                        mttf_s: mk * 2.0,
+                        mttr_s: mk * 0.2,
+                    },
+                    ..Default::default()
+                },
+                seed ^ 0xC4AF,
+            );
+            Some(FaultPlane {
+                schedule,
+                detection: SimDuration::from_millis(100),
+            })
+        } else {
+            None
+        };
+
+        let dense = simulate_stream_chaos(&env, &reqs, None, plane.as_ref());
+        let oracle = simulate_stream_chaos_seed(&env, &reqs, None, plane.as_ref());
+        prop_assert_eq!(dense, oracle);
+    }
+}

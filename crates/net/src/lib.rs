@@ -23,6 +23,6 @@ pub mod topology;
 pub use builders::{continuum, dumbbell, fat_tree, star, BuiltContinuum, ContinuumSpec, LinkSpec};
 pub use flow::{AbortedFlow, FlowId, FlowNetwork};
 pub use gilder::{access_bandwidth, gilder_ratio, mean_gilder_ratio};
-pub use routing::{shortest_path_avoiding, Path, RouteTable, TransferMatrix};
+pub use routing::{shortest_path_avoiding, Path, RouteCache, RouteTable, TransferMatrix};
 pub use stats::{topology_stats, TopologyStats};
 pub use topology::{Link, LinkId, Node, NodeId, Tier, Topology};

@@ -438,6 +438,96 @@ pub fn shortest_path_avoiding(
     })
 }
 
+/// Entry cap for [`RouteCache`]; past this the cache clears and refills.
+///
+/// Generous for the degraded regime (one salt-class-0 entry per node
+/// pair actively transferring) while bounding the whole-fabric regime,
+/// where per-flow salt classes make entries single-use and the map would
+/// otherwise grow with total transfer count.
+const ROUTE_CACHE_CAP: usize = 1 << 16;
+
+/// Epoch-tagged memo for route computations.
+///
+/// The stream executor resolves one path per transfer: a cheap
+/// [`RouteTable::path_ecmp`] pred-walk while the fabric is whole, or a
+/// full single-pair [`shortest_path_avoiding`] Dijkstra while any link is
+/// down — the hot path under chaos churn, where one degraded epoch can
+/// re-route thousands of transfers between consecutive fault events.
+/// This cache memoizes either result keyed by `(src, dst, salt class)`.
+///
+/// Correctness hangs on the *epoch counter*: the owner bumps it on every
+/// `fail_link` / `restore_link` (any change to the dead-link set), so
+/// within one epoch the inputs to a route computation other than the key
+/// are constants, and a cached result is exactly what recomputing would
+/// return. Entries from older epochs are overwritten on next lookup
+/// (lazy invalidation — no eager sweep on bump).
+///
+/// The *salt class* is caller-defined: pass the actual ECMP salt when the
+/// route depends on it (whole fabric), and a single sentinel class (e.g.
+/// 0) when it does not ([`shortest_path_avoiding`] ignores salts), so all
+/// degraded-regime transfers between a node pair share one entry.
+///
+/// Negative results (`None`: the pair is disconnected this epoch) are
+/// cached too — re-proving disconnection is the same Dijkstra as finding
+/// a path.
+#[derive(Debug, Default)]
+pub struct RouteCache {
+    epoch: u64,
+    map: std::collections::HashMap<(NodeId, NodeId, u64), (u64, Option<Path>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RouteCache {
+    /// An empty cache at epoch 0.
+    pub fn new() -> RouteCache {
+        RouteCache::default()
+    }
+
+    /// Current network epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Declare that the dead-link set changed: all cached routes are now
+    /// stale. O(1) — staleness is checked per entry at lookup time.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Look up the route for `(src, dst, class)` in the current epoch, or
+    /// compute and cache it via `compute`.
+    ///
+    /// Returning a [`Path`] by clone is cheap: the link list is `Arc`-shared.
+    pub fn route_with(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        class: u64,
+        compute: impl FnOnce() -> Option<Path>,
+    ) -> Option<Path> {
+        let key = (src, dst, class);
+        if let Some((epoch, path)) = self.map.get(&key) {
+            if *epoch == self.epoch {
+                self.hits += 1;
+                return path.clone();
+            }
+        }
+        self.misses += 1;
+        let path = compute();
+        if self.map.len() >= ROUTE_CACHE_CAP && !self.map.contains_key(&key) {
+            self.map.clear();
+        }
+        self.map.insert(key, (self.epoch, path.clone()));
+        path
+    }
+}
+
 #[inline]
 fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -666,6 +756,117 @@ mod tests {
         assert!(tm.transfer_time(a, b, 1024).is_some());
         // Self-transfers are free even on an isolated node.
         assert_eq!(tm.transfer_time(c, c, 1 << 30), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn route_cache_hits_within_epoch() {
+        let t = triangle();
+        let rt = RouteTable::build(&t);
+        let mut cache = RouteCache::new();
+        let fresh = rt.path(&t, NodeId(0), NodeId(2));
+        let a = cache.route_with(NodeId(0), NodeId(2), 0, || {
+            rt.path(&t, NodeId(0), NodeId(2))
+        });
+        let b = cache.route_with(NodeId(0), NodeId(2), 0, || panic!("must hit cache"));
+        assert_eq!(
+            a.as_ref().map(|p| &p.links),
+            fresh.as_ref().map(|p| &p.links)
+        );
+        assert_eq!(a.as_ref().map(|p| &p.links), b.as_ref().map(|p| &p.links));
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn route_cache_epoch_invalidates() {
+        let t = triangle();
+        let mut dead = vec![false; t.links().len()];
+        let mut cache = RouteCache::new();
+        let whole = cache
+            .route_with(NodeId(0), NodeId(2), 0, || {
+                shortest_path_avoiding(&t, NodeId(0), NodeId(2), &dead)
+            })
+            .unwrap();
+        assert_eq!(whole.hops(), 2);
+        // Kill b-c; without an epoch bump the stale 2-hop route would be
+        // served, with one the detour is recomputed.
+        dead[1] = true;
+        cache.bump_epoch();
+        let detour = cache
+            .route_with(NodeId(0), NodeId(2), 0, || {
+                shortest_path_avoiding(&t, NodeId(0), NodeId(2), &dead)
+            })
+            .unwrap();
+        assert_eq!(detour.hops(), 1);
+        assert_eq!(detour.links[0], LinkId(2));
+        assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn route_cache_caches_disconnection() {
+        let t = triangle();
+        let mut dead = vec![false; t.links().len()];
+        dead[1] = true;
+        dead[2] = true;
+        let mut cache = RouteCache::new();
+        let miss = cache.route_with(NodeId(0), NodeId(2), 0, || {
+            shortest_path_avoiding(&t, NodeId(0), NodeId(2), &dead)
+        });
+        assert!(miss.is_none());
+        let hit = cache.route_with(NodeId(0), NodeId(2), 0, || panic!("must hit cache"));
+        assert!(hit.is_none());
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn route_cache_salt_classes_are_distinct() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Fog);
+        let b = t.add_node("b", Tier::Cloud);
+        t.add_link(a, b, SimDuration::from_millis(10), 1e8);
+        t.add_link(a, b, SimDuration::from_millis(10), 1e8);
+        let rt = RouteTable::build(&t);
+        // Find two salts picking different parallel links.
+        let (mut s0, mut s1) = (0, 0);
+        for salt in 1..100 {
+            let p = rt.path_ecmp(&t, a, b, salt).unwrap();
+            if p.links[0] == LinkId(0) {
+                s0 = salt;
+            } else {
+                s1 = salt;
+            }
+        }
+        assert!(s0 != 0 && s1 != 0);
+        let mut cache = RouteCache::new();
+        let p0 = cache
+            .route_with(a, b, s0, || rt.path_ecmp(&t, a, b, s0))
+            .unwrap();
+        let p1 = cache
+            .route_with(a, b, s1, || rt.path_ecmp(&t, a, b, s1))
+            .unwrap();
+        assert_ne!(p0.links[0], p1.links[0], "classes collided");
+    }
+
+    #[test]
+    fn route_cache_bounded() {
+        let t = triangle();
+        let rt = RouteTable::build(&t);
+        let mut cache = RouteCache::new();
+        // Unique salt classes model the whole-fabric regime's per-flow
+        // salts; the map must not grow past the cap.
+        for salt in 1..(ROUTE_CACHE_CAP as u64 + 1000) {
+            cache.route_with(NodeId(0), NodeId(1), salt, || {
+                rt.path_ecmp(&t, NodeId(0), NodeId(1), salt)
+            });
+            assert!(cache.map.len() <= ROUTE_CACHE_CAP);
+        }
+        // Still correct after the clear-and-refill.
+        let fresh = rt.path(&t, NodeId(0), NodeId(1)).unwrap();
+        let cached = cache
+            .route_with(NodeId(0), NodeId(1), 0, || {
+                rt.path(&t, NodeId(0), NodeId(1))
+            })
+            .unwrap();
+        assert_eq!(cached.links, fresh.links);
     }
 
     #[test]

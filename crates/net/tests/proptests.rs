@@ -1,7 +1,8 @@
 //! Property-based tests for the network substrate.
 
 use continuum_net::{
-    continuum, ContinuumSpec, FlowNetwork, LinkSpec, NodeId, RouteTable, Tier, Topology,
+    continuum, shortest_path_avoiding, ContinuumSpec, FlowNetwork, LinkSpec, NodeId, RouteCache,
+    RouteTable, Tier, Topology,
 };
 use continuum_sim::{Rng, SimDuration, SimTime};
 use proptest::prelude::*;
@@ -107,6 +108,70 @@ proptest! {
         prop_assert!(fnw.next_completion().is_some());
         let (t, _) = fnw.next_completion().expect("flows active");
         prop_assert!(t > SimTime::ZERO);
+    }
+
+    /// Cached routes equal fresh computations across random
+    /// `fail_link`/`restore_link` sequences — the epoch-invalidation
+    /// contract the chaos executor relies on. The cache sees the exact
+    /// call pattern `simulate_stream` uses: `path_ecmp` under the flow
+    /// salt while the fabric is whole, `shortest_path_avoiding` under a
+    /// shared salt class while degraded, including pairs the failures
+    /// disconnect (the executor's `stalled` path: both sides `None`).
+    #[test]
+    fn route_cache_matches_fresh_routes(
+        seed in any::<u64>(),
+        n in 4usize..20,
+        flips in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..30),
+    ) {
+        let t = random_topology(seed, n, n / 2);
+        let rt = RouteTable::build(&t);
+        let n_links = t.links().len();
+        let mut dead = vec![false; n_links];
+        let mut n_dead = 0usize;
+        let mut cache = RouteCache::new();
+        let mut rng = Rng::new(seed ^ 0xCAC4E);
+        for (flip, _salt_seed) in flips {
+            // Flip one link (fail if up, restore if down) and bump the
+            // epoch — exactly what the executor does on fault events.
+            let l = (flip % n_links as u64) as usize;
+            dead[l] = !dead[l];
+            n_dead = if dead[l] { n_dead + 1 } else { n_dead - 1 };
+            cache.bump_epoch();
+            // Between fault events, a burst of transfers resolves routes.
+            for _ in 0..8 {
+                let a = NodeId(rng.below(n as u64) as u32);
+                let b = NodeId(rng.below(n as u64) as u32);
+                let salt = rng.next_u64() | (1 << 63); // flow salts are nonzero
+                let (cached, fresh) = if n_dead == 0 {
+                    (
+                        cache.route_with(a, b, salt, || rt.path_ecmp(&t, a, b, salt)),
+                        rt.path_ecmp(&t, a, b, salt),
+                    )
+                } else {
+                    (
+                        cache.route_with(a, b, 0, || shortest_path_avoiding(&t, a, b, &dead)),
+                        shortest_path_avoiding(&t, a, b, &dead),
+                    )
+                };
+                match (cached, fresh) {
+                    (Some(c), Some(f)) => {
+                        prop_assert_eq!(c.links, f.links, "{a}->{b} dead={n_dead}");
+                        prop_assert_eq!(c.latency, f.latency);
+                        prop_assert_eq!(c.bottleneck_bps, f.bottleneck_bps);
+                    }
+                    // Disconnected pairs must agree too: serving a stale
+                    // Some(path) here would teleport bytes over a dead
+                    // link instead of stalling the transfer.
+                    (None, None) => {}
+                    (c, f) => prop_assert!(
+                        false,
+                        "cache/fresh disagree on reachability: {:?} vs {:?}",
+                        c.is_some(),
+                        f.is_some()
+                    ),
+                }
+            }
+        }
     }
 
     /// The dumbbell trunk is never oversubscribed and is fully used when

@@ -10,10 +10,19 @@
 //! latency, then streams its bytes as a flow in the shared
 //! [`FlowNetwork`]; co-located consumers receive items instantly; repeated
 //! deliveries of the same item to the same node are deduplicated.
+//!
+//! Hot-path layout (see DESIGN.md "Stream executor hot paths"): each
+//! request's `(item, destination node)` pairs are interned into dense
+//! *slot* indices on first sight, per-task input lists are deduped once
+//! into a CSR [`ReqPlan`], events carry slot indices instead of
+//! `(DataId, NodeId)` keys, and route lookups go through an epoch-tagged
+//! [`RouteCache`] invalidated on link fail/restore.
 
 use crate::trace::{ExecutionTrace, TaskRecord};
 use continuum_model::{CostMeter, DeviceId, EnergyMeter};
-use continuum_net::{shortest_path_avoiding, FlowId, FlowNetwork, LinkId, NodeId, Path};
+use continuum_net::{
+    shortest_path_avoiding, FlowId, FlowNetwork, LinkId, NodeId, Path, RouteCache,
+};
 use continuum_placement::{Env, Metrics, OnlinePlacer, Placement};
 use continuum_sim::{EventId, EventQueue, FaultKind, FaultSchedule, SimDuration, SimTime};
 use continuum_workflow::{Dag, DataId, TaskId};
@@ -32,7 +41,7 @@ pub struct StreamRequest {
 }
 
 /// Result of a simulated execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimOutcome {
     /// Per-task and per-request timings.
     pub trace: ExecutionTrace,
@@ -117,11 +126,11 @@ pub struct FaultPlane {
 enum Ev {
     Arrival(usize),
     /// Propagation delay elapsed; begin streaming `bytes` (the full item,
-    /// or the remainder of a transfer aborted by a link failure).
+    /// or the remainder of a transfer aborted by a link failure) toward
+    /// the request's interned `slot` — the slot carries (item, node).
     StartFlow {
         req: usize,
-        item: DataId,
-        dst: NodeId,
+        slot: u32,
         bytes: u64,
     },
     /// The flow the executor predicted to finish first has finished.
@@ -155,22 +164,126 @@ fn xfer_salt(req: usize, item: DataId) -> u64 {
     ((req as u64) << 32) | (item.0 as u64) | (1 << 63)
 }
 
+/// Immutable per-request input plan, built once at simulation start: each
+/// task's inputs deduped and sorted, CSR-packed. Kills the seed's
+/// per-event `t.inputs.clone()` + sort + dedup (arrival and every
+/// re-placement re-paid it).
+struct ReqPlan {
+    /// CSR offsets into `inputs`, length `tasks + 1`.
+    in_off: Vec<u32>,
+    /// Distinct inputs per task, sorted, grouped by task.
+    inputs: Vec<DataId>,
+    /// Data-item count of the dag (slot lists are indexed by `DataId.0`).
+    n_items: usize,
+}
+
+impl ReqPlan {
+    fn build(dag: &Dag) -> ReqPlan {
+        let mut in_off = Vec::with_capacity(dag.len() + 1);
+        let mut inputs: Vec<DataId> = Vec::new();
+        in_off.push(0u32);
+        for t in dag.tasks() {
+            let start = inputs.len();
+            inputs.extend_from_slice(&t.inputs);
+            inputs[start..].sort_unstable();
+            // Dedup the freshly appended range in place.
+            let mut w = start;
+            for r in start..inputs.len() {
+                if w == start || inputs[w - 1] != inputs[r] {
+                    inputs[w] = inputs[r];
+                    w += 1;
+                }
+            }
+            inputs.truncate(w);
+            in_off.push(inputs.len() as u32);
+        }
+        ReqPlan {
+            in_off,
+            inputs,
+            n_items: dag.data_items().len(),
+        }
+    }
+
+    /// Distinct, sorted inputs of `t`.
+    fn inputs_of(&self, t: TaskId) -> &[DataId] {
+        let lo = self.in_off[t.0 as usize] as usize;
+        let hi = self.in_off[t.0 as usize + 1] as usize;
+        &self.inputs[lo..hi]
+    }
+}
+
+/// Delivery state of one interned `(item, node)` pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ItemState {
+enum SlotState {
+    /// Nothing moving yet; a producer's publish (or a re-placement's
+    /// fetch) will start a delivery.
+    Absent,
+    /// A transfer toward the node is in progress (or queued behind its
+    /// propagation delay / a dead link).
     InFlight,
+    /// The item is at the node.
     Present,
 }
 
+/// One interned `(item, destination node)` pair of a request.
+#[derive(Debug)]
+struct ItemSlot {
+    item: DataId,
+    node: NodeId,
+    state: SlotState,
+    /// Tasks waiting for the item at this node. Drained when the item
+    /// becomes present; a stale waiter (task re-placed elsewhere since)
+    /// is skipped by the assignment check at drain time.
+    waiters: Vec<TaskId>,
+}
+
+/// Dense per-request execution state. The seed kept two
+/// `HashMap<(DataId, NodeId), _>`s (item presence and waiter lists) and
+/// hashed a composite key on every touch; interning each pair into a slot
+/// index at first sight turns all steady-state accesses into vector
+/// indexing, and `item_slots` gives a producer's publish direct,
+/// NodeId-ordered access to exactly the destinations that registered
+/// interest (the seed scanned every waiter key of the whole request, in
+/// nondeterministic hash order).
 struct ReqState {
     /// Distinct input items still missing, per task.
     missing: Vec<u32>,
     /// Tasks not yet finished.
     unfinished: usize,
-    /// Item presence per destination node.
-    items: HashMap<(DataId, NodeId), ItemState>,
-    /// Tasks waiting on (item, node).
-    waiters: HashMap<(DataId, NodeId), Vec<TaskId>>,
     started: Vec<bool>,
+    /// Interning table: `(item, node)` -> slot index. Touched once per
+    /// pair's first sight (arrival or re-placement), never on the
+    /// publish/delivery hot path.
+    slot_of: HashMap<(DataId, NodeId), u32>,
+    slots: Vec<ItemSlot>,
+    /// Slots per data item (indexed by `DataId.0`), kept NodeId-sorted so
+    /// publishes deliver in deterministic node order.
+    item_slots: Vec<Vec<u32>>,
+}
+
+impl ReqState {
+    /// Intern `(item, node)`, creating an [`SlotState::Absent`] slot on
+    /// first sight.
+    fn intern(&mut self, item: DataId, node: NodeId) -> u32 {
+        match self.slot_of.entry((item, node)) {
+            Entry::Occupied(o) => *o.get(),
+            Entry::Vacant(v) => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(ItemSlot {
+                    item,
+                    node,
+                    state: SlotState::Absent,
+                    waiters: Vec::new(),
+                });
+                let slots = &self.slots;
+                let by_item = &mut self.item_slots[item.0 as usize];
+                let pos = by_item.partition_point(|&s| slots[s as usize].node < node);
+                by_item.insert(pos, idx);
+                v.insert(idx);
+                idx
+            }
+        }
+    }
 }
 
 /// Execute a set of placed requests over the shared network and fleet.
@@ -194,8 +307,18 @@ pub fn simulate_stream_with_faults(
 /// Pick a route honoring dead links: the usual ECMP path when the fabric
 /// is whole, a detour around failed links otherwise (`None` if the
 /// endpoints are disconnected right now).
+///
+/// The degraded regime is memoized through `rcache` (the caller bumps its
+/// epoch whenever `dead_links` changes): the Dijkstra detour ignores
+/// salts, so all transfers between a node pair share the salt-class-0
+/// entry — under chaos churn this turns thousands of per-transfer
+/// Dijkstras per epoch into one per pair. The whole-fabric path is *not*
+/// cached: `path_ecmp` is already a cheap walk over the prebuilt route
+/// table, and measuring showed the cache's hashing costs more than it
+/// saves there.
 fn route(
     env: &Env,
+    rcache: &mut RouteCache,
     src: NodeId,
     dst: NodeId,
     salt: u64,
@@ -205,7 +328,9 @@ fn route(
     if n_dead == 0 {
         env.path_ecmp(src, dst, salt)
     } else {
-        shortest_path_avoiding(&env.topology, src, dst, dead_links)
+        rcache.route_with(src, dst, 0, || {
+            shortest_path_avoiding(&env.topology, src, dst, dead_links)
+        })
     }
 }
 
@@ -240,9 +365,11 @@ pub fn simulate_stream_chaos(
     let n_dev = env.fleet.len();
     let mut queue: EventQueue<Ev> = EventQueue::new();
     let mut network = FlowNetwork::new(&env.topology);
+    let mut rcache = RouteCache::new();
     let mut free_cores: Vec<u32> = env.fleet.devices().iter().map(|d| d.spec.cores).collect();
     let mut device_q: Vec<VecDeque<(usize, TaskId)>> = vec![VecDeque::new(); n_dev];
-    let mut flow_dest: HashMap<FlowId, (usize, DataId, NodeId)> = HashMap::new();
+    // Flow -> (request, destination slot).
+    let mut flow_dest: HashMap<FlowId, (usize, u32)> = HashMap::new();
     let mut pending_completion: Option<(EventId, FlowId)> = None;
 
     // --- fault-plane state (inert when `plane` is None) ---
@@ -267,33 +394,29 @@ pub fn simulate_stream_chaos(
     let mut finished: Vec<Vec<bool>> = requests.iter().map(|r| vec![false; r.dag.len()]).collect();
     // Tasks with no feasible live device, waiting for a recovery.
     let mut parked: Vec<(usize, TaskId)> = Vec::new();
-    // Transfers with no surviving route, waiting for a link restore.
-    let mut stalled: Vec<(usize, DataId, NodeId, u64)> = Vec::new();
+    // Transfers with no surviving route, waiting for a link restore:
+    // (request, destination slot, remaining bytes).
+    let mut stalled: Vec<(usize, u32, u64)> = Vec::new();
     let mut dead_links = vec![false; n_links];
     let mut n_dead = 0usize;
     let mut placer = plane.map(|_| OnlinePlacer::continuum(env));
 
+    let plans: Vec<ReqPlan> = requests.iter().map(|r| ReqPlan::build(&r.dag)).collect();
     let mut states: Vec<ReqState> = requests
         .iter()
-        .map(|r| {
-            let missing = r
+        .zip(&plans)
+        .map(|(r, plan)| ReqState {
+            missing: r
                 .dag
                 .tasks()
                 .iter()
-                .map(|t| {
-                    let mut d: Vec<DataId> = t.inputs.clone();
-                    d.sort_unstable();
-                    d.dedup();
-                    d.len() as u32
-                })
-                .collect();
-            ReqState {
-                missing,
-                unfinished: r.dag.len(),
-                items: HashMap::new(),
-                waiters: HashMap::new(),
-                started: vec![false; r.dag.len()],
-            }
+                .map(|t| plan.inputs_of(t.id).len() as u32)
+                .collect(),
+            unfinished: r.dag.len(),
+            started: vec![false; r.dag.len()],
+            slot_of: HashMap::new(),
+            slots: Vec::new(),
+            item_slots: vec![Vec::new(); plan.n_items],
         })
         .collect();
 
@@ -302,8 +425,12 @@ pub fn simulate_stream_chaos(
         request_finish: vec![SimTime::ZERO; requests.len()],
         ..Default::default()
     };
-    // (source node, bytes) of every non-local transfer, for egress billing.
-    let mut egress_log: Vec<(NodeId, u64)> = Vec::new();
+    // (billed device, bytes) of every non-local transfer. The device is
+    // the actual sender where one exists (a producer's device); external
+    // items from a home node are billed to the first device at that node
+    // (deterministic — `Fleet::at_node` is insertion-ordered), or not at
+    // all if the node hosts no device.
+    let mut egress_log: Vec<(Option<DeviceId>, u64)> = Vec::new();
     let mut energy = EnergyMeter::new(&env.fleet);
     let mut cost = CostMeter::new(&env.fleet);
 
@@ -330,13 +457,17 @@ pub fn simulate_stream_chaos(
         }
     }
 
-    // --- helpers as closures are painful with the borrow checker; use a
-    // macro-free, explicit work-list style instead. Pending "item became
-    // present" notifications and "try dispatch device" requests are drained
-    // after each event.
+    // --- main loop. Each event appends to explicit work lists — slots
+    // that became present (`made_present`), devices whose queues should be
+    // rescanned (`dispatch_devices`), tasks needing re-placement
+    // (`to_replace`) — which are drained to a fixed point after the match,
+    // because presence can ready a task on a known-dead device and a
+    // re-placement can find its inputs already co-located. This keeps
+    // every helper a plain `fn` with explicit state (no closures fighting
+    // the borrow checker) and makes the drain order deterministic.
     while let Some((now, ev)) = queue.pop() {
         // Work lists produced by this event.
-        let mut made_present: Vec<(usize, DataId, NodeId)> = Vec::new();
+        let mut made_present: Vec<(usize, u32)> = Vec::new();
         let mut dispatch_devices: Vec<usize> = Vec::new();
         let mut to_replace: Vec<(usize, TaskId)> = Vec::new();
         let mut network_changed = false;
@@ -344,58 +475,62 @@ pub fn simulate_stream_chaos(
         match ev {
             Ev::Arrival(req) => {
                 let r = &requests[req];
-                // Request external item deliveries and seed ready tasks.
-                let mut to_deliver: Vec<(DataId, NodeId, NodeId)> = Vec::new();
+                let plan = &plans[req];
+                // Request external item deliveries and register interest:
+                // (slot, home node) pairs needing a fetch, in first-sight
+                // order.
+                let mut to_deliver: Vec<(u32, NodeId)> = Vec::new();
                 {
                     let st = &mut states[req];
                     for t in r.dag.tasks() {
                         let dst = env.node_of(assign[req][t.id.0 as usize]);
-                        let mut ins = t.inputs.clone();
-                        ins.sort_unstable();
-                        ins.dedup();
-                        for d in ins {
-                            if r.dag.producer(d).is_none() {
+                        for &d in plan.inputs_of(t.id) {
+                            let slot = st.intern(d, dst);
+                            if r.dag.producer(d).is_none()
+                                && st.slots[slot as usize].state == SlotState::Absent
+                            {
                                 let home = r
                                     .dag
                                     .data(d)
                                     .home
                                     .expect("validated dag: external has home");
-                                match st.items.entry((d, dst)) {
-                                    Entry::Occupied(_) => {}
-                                    Entry::Vacant(v) => {
-                                        v.insert(ItemState::InFlight);
-                                        to_deliver.push((d, home, dst));
-                                    }
-                                }
-                                st.waiters.entry((d, dst)).or_default().push(t.id);
-                            } else {
-                                // Produced later; register interest.
-                                st.waiters.entry((d, dst)).or_default().push(t.id);
+                                st.slots[slot as usize].state = SlotState::InFlight;
+                                to_deliver.push((slot, home));
                             }
+                            // Produced items stay Absent; the producer's
+                            // publish delivers to this slot.
+                            st.slots[slot as usize].waiters.push(t.id);
                         }
                     }
                 }
-                for (d, src, dst) in to_deliver {
+                for (slot, src) in to_deliver {
+                    let (d, dst) = {
+                        let s = &states[req].slots[slot as usize];
+                        (s.item, s.node)
+                    };
                     if src == dst {
-                        made_present.push((req, d, dst));
+                        made_present.push((req, slot));
                     } else {
                         let bytes = requests[req].dag.data(d).bytes;
-                        egress_log.push((src, bytes));
-                        match route(env, src, dst, xfer_salt(req, d), &dead_links, n_dead) {
+                        egress_log.push((env.fleet.at_node(src).first().copied(), bytes));
+                        match route(
+                            env,
+                            &mut rcache,
+                            src,
+                            dst,
+                            xfer_salt(req, d),
+                            &dead_links,
+                            n_dead,
+                        ) {
                             Some(path) => {
                                 queue.schedule_at(
                                     now + path.latency,
-                                    Ev::StartFlow {
-                                        req,
-                                        item: d,
-                                        dst,
-                                        bytes,
-                                    },
+                                    Ev::StartFlow { req, slot, bytes },
                                 );
                             }
                             None => {
                                 assert!(n_dead > 0, "disconnected topology");
-                                stalled.push((req, d, dst, bytes));
+                                stalled.push((req, slot, bytes));
                             }
                         }
                     }
@@ -413,30 +548,37 @@ pub fn simulate_stream_chaos(
                     }
                 }
             }
-            Ev::StartFlow {
-                req,
-                item,
-                dst,
-                bytes,
-            } => {
+            Ev::StartFlow { req, slot, bytes } => {
                 let r = &requests[req];
+                let (item, dst) = {
+                    let s = &states[req].slots[slot as usize];
+                    (s.item, s.node)
+                };
                 // Source: home or producer's node — only needed for the
                 // path; recompute from whichever is set.
                 let src = match r.dag.producer(item) {
                     None => r.dag.data(item).home.expect("external item has home"),
                     Some(p) => env.node_of(assign[req][p.0 as usize]),
                 };
-                match route(env, src, dst, xfer_salt(req, item), &dead_links, n_dead) {
+                match route(
+                    env,
+                    &mut rcache,
+                    src,
+                    dst,
+                    xfer_salt(req, item),
+                    &dead_links,
+                    n_dead,
+                ) {
                     Some(path) => match network.start(now, &path, bytes) {
                         Some(fid) => {
-                            flow_dest.insert(fid, (req, item, dst));
+                            flow_dest.insert(fid, (req, slot));
                             network_changed = true;
                         }
-                        None => made_present.push((req, item, dst)),
+                        None => made_present.push((req, slot)),
                     },
                     None => {
                         assert!(n_dead > 0, "disconnected topology");
-                        stalled.push((req, item, dst, bytes));
+                        stalled.push((req, slot, bytes));
                     }
                 }
             }
@@ -446,8 +588,8 @@ pub fn simulate_stream_chaos(
                 debug_assert_eq!(pending_completion.map(|(_, f)| f), Some(fid));
                 pending_completion = None;
                 network.remove(now, fid);
-                let (req, item, dst) = flow_dest.remove(&fid).expect("unknown flow");
-                made_present.push((req, item, dst));
+                let (req, slot) = flow_dest.remove(&fid).expect("unknown flow");
+                made_present.push((req, slot));
                 network_changed = true;
             }
             Ev::TaskFinished { req, task, epoch } => {
@@ -514,48 +656,50 @@ pub fn simulate_stream_chaos(
                 if st.unfinished == 0 {
                     trace.request_finish[req] = now;
                 }
-                // Publish outputs to their consumers.
+                // Publish outputs to their consumers: every node with a
+                // registered slot still missing the item, in NodeId order.
                 let my_node = env.node_of(dev);
-                let mut to_deliver: Vec<(DataId, NodeId)> = Vec::new();
+                let mut to_deliver: Vec<u32> = Vec::new();
                 for &out in &r.dag.task(task).outputs {
-                    // All nodes that registered interest in this item.
-                    let dests: Vec<NodeId> = st
-                        .waiters
-                        .keys()
-                        .filter(|(d, _)| *d == out)
-                        .map(|&(_, n)| n)
-                        .collect();
-                    for dst in dests {
-                        match st.items.entry((out, dst)) {
-                            Entry::Occupied(_) => {}
-                            Entry::Vacant(v) => {
-                                v.insert(ItemState::InFlight);
-                                to_deliver.push((out, dst));
-                            }
+                    for i in 0..st.item_slots[out.0 as usize].len() {
+                        let slot = st.item_slots[out.0 as usize][i];
+                        if st.slots[slot as usize].state == SlotState::Absent {
+                            st.slots[slot as usize].state = SlotState::InFlight;
+                            to_deliver.push(slot);
                         }
                     }
                 }
-                for (d, dst) in to_deliver {
+                for slot in to_deliver {
+                    let (d, dst) = {
+                        let s = &st.slots[slot as usize];
+                        (s.item, s.node)
+                    };
                     if dst == my_node {
-                        made_present.push((req, d, dst));
+                        made_present.push((req, slot));
                     } else {
                         let bytes = r.dag.data(d).bytes;
-                        egress_log.push((my_node, bytes));
-                        match route(env, my_node, dst, xfer_salt(req, d), &dead_links, n_dead) {
+                        // Egress billed to the device that actually
+                        // produced (and sends) the item, not an arbitrary
+                        // device at its node.
+                        egress_log.push((Some(dev), bytes));
+                        match route(
+                            env,
+                            &mut rcache,
+                            my_node,
+                            dst,
+                            xfer_salt(req, d),
+                            &dead_links,
+                            n_dead,
+                        ) {
                             Some(path) => {
                                 queue.schedule_at(
                                     now + path.latency,
-                                    Ev::StartFlow {
-                                        req,
-                                        item: d,
-                                        dst,
-                                        bytes,
-                                    },
+                                    Ev::StartFlow { req, slot, bytes },
                                 );
                             }
                             None => {
                                 assert!(n_dead > 0, "disconnected topology");
-                                stalled.push((req, d, dst, bytes));
+                                stalled.push((req, slot, bytes));
                             }
                         }
                     }
@@ -624,9 +768,10 @@ pub fn simulate_stream_chaos(
                         if !dead_links[l] {
                             dead_links[l] = true;
                             n_dead += 1;
+                            rcache.bump_epoch();
                             trace.link_failures += 1;
                             for a in network.fail_link(now, LinkId(l as u32)) {
-                                let (rq, item, dst) =
+                                let (rq, slot) =
                                     flow_dest.remove(&a.id).expect("aborted flow is tracked");
                                 // Resume the remainder over the surviving
                                 // topology (transferred bytes arrived;
@@ -636,8 +781,7 @@ pub fn simulate_stream_chaos(
                                     now,
                                     Ev::StartFlow {
                                         req: rq,
-                                        item,
-                                        dst,
+                                        slot,
                                         bytes: rest,
                                     },
                                 );
@@ -650,16 +794,16 @@ pub fn simulate_stream_chaos(
                         if dead_links[l] {
                             dead_links[l] = false;
                             n_dead -= 1;
+                            rcache.bump_epoch();
                             network.restore_link(now, LinkId(l as u32));
                             network_changed = true;
                             // Stalled transfers may be routable again.
-                            for (rq, item, dst, bytes) in std::mem::take(&mut stalled) {
+                            for (rq, slot, bytes) in std::mem::take(&mut stalled) {
                                 queue.schedule_at(
                                     now,
                                     Ev::StartFlow {
                                         req: rq,
-                                        item,
-                                        dst,
+                                        slot,
                                         bytes,
                                     },
                                 );
@@ -686,26 +830,25 @@ pub fn simulate_stream_chaos(
         // feed the other (a new item can ready a task whose device is
         // known-dead; a re-placement can find its inputs co-located).
         while !made_present.is_empty() || !to_replace.is_empty() {
-            for (req, item, node) in std::mem::take(&mut made_present) {
+            for (req, slot) in std::mem::take(&mut made_present) {
                 let st = &mut states[req];
-                st.items.insert((item, node), ItemState::Present);
-                if let Some(waiters) = st.waiters.remove(&(item, node)) {
-                    for t in waiters {
-                        // A waiter only counts if this task actually runs here.
-                        let dev = assign[req][t.0 as usize];
-                        if env.node_of(dev) != node {
-                            continue;
-                        }
-                        let m = &mut st.missing[t.0 as usize];
-                        debug_assert!(*m > 0);
-                        *m -= 1;
-                        if *m == 0 {
-                            if dev_known_down[dev.0 as usize] {
-                                to_replace.push((req, t));
-                            } else {
-                                device_q[dev.0 as usize].push_back((req, t));
-                                dispatch_devices.push(dev.0 as usize);
-                            }
+                st.slots[slot as usize].state = SlotState::Present;
+                let node = st.slots[slot as usize].node;
+                for t in std::mem::take(&mut st.slots[slot as usize].waiters) {
+                    // A waiter only counts if this task actually runs here.
+                    let dev = assign[req][t.0 as usize];
+                    if env.node_of(dev) != node {
+                        continue;
+                    }
+                    let m = &mut st.missing[t.0 as usize];
+                    debug_assert!(*m > 0);
+                    *m -= 1;
+                    if *m == 0 {
+                        if dev_known_down[dev.0 as usize] {
+                            to_replace.push((req, t));
+                        } else {
+                            device_q[dev.0 as usize].push_back((req, t));
+                            dispatch_devices.push(dev.0 as usize);
                         }
                     }
                 }
@@ -714,11 +857,13 @@ pub fn simulate_stream_chaos(
                 replace_task(
                     env,
                     requests,
+                    &plans,
                     &mut states,
                     &mut assign,
                     &finished,
                     placer.as_mut().expect("re-placement implies a fault plane"),
                     &dev_up,
+                    &mut rcache,
                     &dead_links,
                     n_dead,
                     &mut queue,
@@ -781,9 +926,9 @@ pub fn simulate_stream_chaos(
 
     // Aggregate metrics.
     let mut bytes_moved = 0u64;
-    for &(src, bytes) in &egress_log {
+    for &(dev, bytes) in &egress_log {
         bytes_moved += bytes;
-        if let Some(&dev) = env.fleet.at_node(src).first() {
+        if let Some(dev) = dev {
             cost.record_egress(&env.fleet, dev, bytes);
         }
     }
@@ -870,20 +1015,22 @@ fn dispatch_queue(
 fn replace_task(
     env: &Env,
     requests: &[StreamRequest],
+    plans: &[ReqPlan],
     states: &mut [ReqState],
     assign: &mut [Vec<DeviceId>],
     finished: &[Vec<bool>],
     placer: &mut OnlinePlacer,
     dev_up: &[bool],
+    rcache: &mut RouteCache,
     dead_links: &[bool],
     n_dead: usize,
     queue: &mut EventQueue<Ev>,
-    egress_log: &mut Vec<(NodeId, u64)>,
-    stalled: &mut Vec<(usize, DataId, NodeId, u64)>,
+    egress_log: &mut Vec<(Option<DeviceId>, u64)>,
+    stalled: &mut Vec<(usize, u32, u64)>,
     parked: &mut Vec<(usize, TaskId)>,
     device_q: &mut [VecDeque<(usize, TaskId)>],
     dispatch_devices: &mut Vec<usize>,
-    made_present: &mut Vec<(usize, DataId, NodeId)>,
+    made_present: &mut Vec<(usize, u32)>,
     trace: &mut ExecutionTrace,
     req: usize,
     task: TaskId,
@@ -891,9 +1038,7 @@ fn replace_task(
 ) {
     let r = &requests[req];
     let t = r.dag.task(task);
-    let mut ins: Vec<DataId> = t.inputs.clone();
-    ins.sort_unstable();
-    ins.dedup();
+    let ins = plans[req].inputs_of(task);
     // Where each input can be fetched from right now, for the placer's
     // finish estimate (external items from home; produced items from the
     // producer's current device).
@@ -917,58 +1062,56 @@ fn replace_task(
     let dst = env.node_of(dev);
     let st = &mut states[req];
     let mut miss = 0u32;
-    for &d in &ins {
-        match st.items.get(&(d, dst)) {
-            Some(ItemState::Present) => continue,
-            Some(ItemState::InFlight) => {
+    for &d in ins {
+        let slot = st.intern(d, dst);
+        match st.slots[slot as usize].state {
+            SlotState::Present => continue,
+            SlotState::InFlight => {
                 miss += 1;
-                let w = st.waiters.entry((d, dst)).or_default();
+                let w = &mut st.slots[slot as usize].waiters;
                 if !w.contains(&task) {
                     w.push(task);
                 }
                 continue;
             }
-            None => {}
+            SlotState::Absent => {}
         }
         miss += 1;
-        let w = st.waiters.entry((d, dst)).or_default();
+        let w = &mut st.slots[slot as usize].waiters;
         if !w.contains(&task) {
             w.push(task);
         }
-        // Can the item be fetched right now, and from where?
-        let src = match r.dag.producer(d) {
-            None => Some(
-                r.dag
+        // Can the item be fetched right now, from which device and node?
+        let fetch = match r.dag.producer(d) {
+            None => {
+                let home = r
+                    .dag
                     .data(d)
                     .home
-                    .expect("validated dag: external has home"),
-            ),
-            Some(p) => finished[req][p.0 as usize].then(|| env.node_of(assign[req][p.0 as usize])),
+                    .expect("validated dag: external has home");
+                Some((env.fleet.at_node(home).first().copied(), home))
+            }
+            Some(p) => finished[req][p.0 as usize].then(|| {
+                let pdev = assign[req][p.0 as usize];
+                (Some(pdev), env.node_of(pdev))
+            }),
         };
-        let Some(src) = src else {
+        let Some((src_dev, src)) = fetch else {
             continue; // producer unfinished: its publish will deliver here
         };
-        st.items.insert((d, dst), ItemState::InFlight);
+        st.slots[slot as usize].state = SlotState::InFlight;
         let bytes = r.dag.data(d).bytes;
         if src == dst {
-            made_present.push((req, d, dst));
+            made_present.push((req, slot));
         } else {
-            egress_log.push((src, bytes));
-            match route(env, src, dst, xfer_salt(req, d), dead_links, n_dead) {
+            egress_log.push((src_dev, bytes));
+            match route(env, rcache, src, dst, xfer_salt(req, d), dead_links, n_dead) {
                 Some(path) => {
-                    queue.schedule_at(
-                        now + path.latency,
-                        Ev::StartFlow {
-                            req,
-                            item: d,
-                            dst,
-                            bytes,
-                        },
-                    );
+                    queue.schedule_at(now + path.latency, Ev::StartFlow { req, slot, bytes });
                 }
                 None => {
                     assert!(n_dead > 0, "disconnected topology");
-                    stalled.push((req, d, dst, bytes));
+                    stalled.push((req, slot, bytes));
                 }
             }
         }
@@ -1116,6 +1259,23 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_inputs_counted_once() {
+        // A task listing the same input twice must need it only once (the
+        // ReqPlan dedupes); regression for the CSR input-plan build.
+        let (env, e, _c) = two_node(1e6);
+        let mut g = Dag::new("dup");
+        let input = g.add_input("in", 1_000, e);
+        let out = g.add_item("out", 1);
+        g.add_task("t", 1e6, vec![input, input, input], vec![out]);
+        let placement = Placement {
+            assignment: vec![continuum_model::DeviceId(1)],
+        };
+        let res = simulate(&env, &g, &placement);
+        assert_eq!(res.trace.transfers, 1);
+        assert_eq!(res.trace.records.len(), 1);
+    }
+
+    #[test]
     fn dependencies_respected_on_real_workflow() {
         let built = continuum(&ContinuumSpec::default());
         let env = Env::new(built.topology.clone(), standard_fleet(&built));
@@ -1174,6 +1334,66 @@ mod tests {
         // Both requests see an idle device: equal latency.
         assert!((lats[0] - lats[1]).abs() < 1e-9);
         assert!(out.trace.request_finish[1] > SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn egress_billed_to_producing_device() {
+        // Two devices at the edge node with different egress rates: the
+        // producer's bytes must be billed to the device that ran the
+        // producer, not to whichever device happens to be first at the
+        // node (the seed's `at_node(src).first()` bug).
+        let mut topo = Topology::new();
+        let e = topo.add_node("edge", Tier::Edge);
+        let c = topo.add_node("cloud", Tier::Cloud);
+        topo.add_link(e, c, SimDuration::from_millis(1), 1e9);
+        let mut fleet = Fleet::new();
+        let free_spec = continuum_model::DeviceSpec {
+            egress_usd_per_gb: 0.0,
+            usd_per_hour: 0.0,
+            ..fleet_spec(DeviceClass::EdgeGateway)
+        };
+        let paid_spec = continuum_model::DeviceSpec {
+            egress_usd_per_gb: 5.0,
+            usd_per_hour: 0.0,
+            ..fleet_spec(DeviceClass::EdgeGateway)
+        };
+        let _free = fleet.add(e, free_spec); // device 0, first at the node
+        let paid = fleet.add(e, paid_spec); // device 1: runs the producer
+        let sink_spec = continuum_model::DeviceSpec {
+            usd_per_hour: 0.0,
+            egress_usd_per_gb: 0.0,
+            ..fleet_spec(DeviceClass::CloudVm)
+        };
+        let sink = fleet.add(c, sink_spec);
+        let env = Env::new(topo, fleet);
+
+        let mut g = Dag::new("egress");
+        // External input homed at the edge so the producer runs locally.
+        let input = g.add_input("in", 1, e);
+        let mid = g.add_item("mid", 2_000_000_000); // 2 GB crosses the link
+        let out = g.add_item("out", 1);
+        g.add_task("produce", 1e6, vec![input], vec![mid]);
+        g.add_task("consume", 1e6, vec![mid], vec![out]);
+        let placement = Placement {
+            assignment: vec![paid, sink],
+        };
+        let res = simulate(&env, &g, &placement);
+        // 2 GB at $5/GB from the *paid* device: $10. Under the seed's
+        // first-device attribution this was $0.
+        assert!(
+            (res.metrics.cost_usd - 10.0).abs() < 1e-9,
+            "egress misattributed: cost {}",
+            res.metrics.cost_usd
+        );
+    }
+
+    fn fleet_spec(class: DeviceClass) -> continuum_model::DeviceSpec {
+        // A throwaway fleet to borrow the catalog spec for a class.
+        let mut topo = Topology::new();
+        let n = topo.add_node("x", Tier::Edge);
+        let mut fleet = Fleet::new();
+        let d = fleet.add_class(n, class);
+        fleet.device(d).spec.clone()
     }
 }
 
@@ -1394,9 +1614,7 @@ mod chaos_tests {
         };
         let a = simulate_stream_chaos(&env, &as_reqs(&dag, &placement), None, Some(&plane));
         let b = simulate_stream_chaos(&env, &as_reqs(&dag, &placement), None, Some(&plane));
-        assert_eq!(a.metrics.makespan_s, b.metrics.makespan_s);
-        assert_eq!(a.trace.replacements, b.trace.replacements);
-        assert_eq!(a.trace.lost_work_s, b.trace.lost_work_s);
+        assert_eq!(a, b, "chaos execution must be fully deterministic");
     }
 }
 

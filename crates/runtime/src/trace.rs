@@ -6,7 +6,7 @@ use continuum_workflow::TaskId;
 use serde::{Deserialize, Serialize};
 
 /// One executed task.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TaskRecord {
     /// Index of the request this task belonged to (0 for single-DAG runs).
     pub request: usize,
@@ -30,7 +30,7 @@ impl TaskRecord {
 }
 
 /// The result of executing one or more requests.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionTrace {
     /// Per-task records, in completion order.
     pub records: Vec<TaskRecord>,

@@ -2,28 +2,61 @@
 //!
 //! Events are ordered by `(time, sequence)` — the sequence number breaks
 //! ties in insertion order, which makes simulations deterministic even when
-//! many events share a timestamp. Cancellation is *lazy*: a cancelled event
-//! stays in the heap and is skipped on pop, which keeps `cancel` O(1)
-//! (amortized against the eventual pop).
+//! many events share a timestamp. Cancellation is O(1) and *lazy*: the
+//! cancelled entry stays in the heap as a tombstone and is skipped on pop.
+//!
+//! Unlike a plain lazy-cancel design (a side `HashSet` of cancelled ids
+//! that grows without bound under cancel/re-arm churn), live entries are
+//! tracked through **generation-tagged slots**: each [`EventId`] packs a
+//! slot index and that slot's generation, a cancel or pop bumps the
+//! generation and recycles the slot, and heap entries whose (slot,
+//! generation) no longer match are tombstones by construction. A
+//! compaction pass rebuilds the heap whenever tombstones outnumber live
+//! entries, so heap memory stays within 2x of the live event count no
+//! matter how hot the cancel/re-schedule loop runs (the fault plane's
+//! flow re-arm storm is exactly that loop).
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Identifier of a scheduled event, usable for cancellation.
+///
+/// Packs a recycled slot index (low 32 bits) and that slot's generation
+/// (high 32 bits); ids therefore do not reflect scheduling order — the
+/// queue keeps a separate monotone sequence for deterministic tie-breaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(pub u64);
 
+impl EventId {
+    #[inline]
+    fn new(slot: u32, gen: u32) -> EventId {
+        EventId(((gen as u64) << 32) | slot as u64)
+    }
+
+    #[inline]
+    fn slot(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    #[inline]
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
 struct Entry<E> {
     at: SimTime,
+    /// Monotone insertion sequence: equal-time events pop in schedule order.
+    seq: u64,
     id: EventId,
     payload: E,
 }
 
-// Min-heap ordering on (time, id) by inverting the comparison.
+// Min-heap ordering on (time, seq) by inverting the comparison.
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.id == other.id
+        self.at == other.at && self.seq == other.seq
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -34,9 +67,21 @@ impl<E> PartialOrd for Entry<E> {
 }
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.id).cmp(&(self.at, self.id))
+        (other.at, other.seq).cmp(&(self.at, self.seq))
     }
 }
+
+/// One event slot: its current generation and whether that generation is
+/// still pending in the heap.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    gen: u32,
+    pending: bool,
+}
+
+/// Don't bother compacting tiny heaps: the rebuild would cost more than
+/// the tombstones it reclaims.
+const COMPACT_MIN_HEAP: usize = 64;
 
 /// A calendar of pending events of type `E`.
 ///
@@ -61,8 +106,14 @@ impl<E> Ord for Entry<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<EventId>,
-    next_id: u64,
+    /// Generation per slot; heap entries with a stale generation are
+    /// tombstones.
+    slots: Vec<Slot>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
+    /// Live (pending, non-cancelled) entry count.
+    live: usize,
+    next_seq: u64,
     now: SimTime,
 }
 
@@ -77,8 +128,10 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            next_id: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            next_seq: 0,
             now: SimTime::ZERO,
         }
     }
@@ -90,12 +143,38 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) events still pending.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live
     }
 
     /// True if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
+    }
+
+    /// Number of tombstoned (cancelled or superseded) entries still
+    /// occupying heap memory. Bounded: compaction runs whenever this
+    /// exceeds the live count (and the heap is non-trivial).
+    pub fn tombstones(&self) -> usize {
+        self.heap.len() - self.live
+    }
+
+    /// True if `id` refers to the live generation of its slot.
+    #[inline]
+    fn is_live(&self, id: EventId) -> bool {
+        self.slots
+            .get(id.slot())
+            .is_some_and(|s| s.pending && s.gen == id.gen())
+    }
+
+    /// Retire a live slot: bump its generation (invalidating the heap
+    /// entry and the issued id) and recycle the index.
+    #[inline]
+    fn retire(&mut self, id: EventId) {
+        let slot = &mut self.slots[id.slot()];
+        slot.pending = false;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(id.slot() as u32);
+        self.live -= 1;
     }
 
     /// Schedule `payload` at absolute time `at`.
@@ -106,9 +185,31 @@ impl<E> EventQueue<E> {
             self.now
         );
         let at = at.max(self.now);
-        let id = EventId(self.next_id);
-        self.next_id += 1;
-        self.heap.push(Entry { at, id, payload });
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                assert!(
+                    self.slots.len() < u32::MAX as usize,
+                    "event slots exhausted"
+                );
+                self.slots.push(Slot {
+                    gen: 0,
+                    pending: false,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.slots[slot as usize].pending = true;
+        let id = EventId::new(slot, self.slots[slot as usize].gen);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            id,
+            payload,
+        });
+        self.live += 1;
         id
     }
 
@@ -123,43 +224,83 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now, payload)
     }
 
-    /// Cancel a pending event. Returns `true` if the event was still pending.
+    /// Cancel a pending event. Returns `true` if the event was still
+    /// pending; cancelling an already-popped, already-cancelled, or
+    /// unknown id is a no-op returning `false`.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_id {
+        if !self.is_live(id) {
             return false;
         }
-        self.cancelled.insert(id)
+        self.retire(id);
+        self.maybe_compact();
+        true
     }
 
     /// Timestamp of the next live event, if any, without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.skip_cancelled();
+        self.skip_tombstones();
         self.heap.peek().map(|e| e.at)
     }
 
     /// Pop the next live event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.skip_cancelled();
+        self.skip_tombstones();
         let entry = self.heap.pop()?;
         debug_assert!(entry.at >= self.now);
+        self.retire(entry.id);
         self.now = entry.at;
         Some((entry.at, entry.payload))
     }
 
-    fn skip_cancelled(&mut self) {
+    fn skip_tombstones(&mut self) {
         while let Some(top) = self.heap.peek() {
-            if self.cancelled.remove(&top.id) {
-                self.heap.pop();
-            } else {
+            if self.is_live(top.id) {
                 break;
             }
+            self.heap.pop();
         }
     }
 
+    /// Rebuild the heap without its tombstones when they outnumber the
+    /// live entries. O(live) and amortized against the cancels that
+    /// created the tombstones, so the heap never holds more than ~2x the
+    /// live events between passes.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() >= COMPACT_MIN_HEAP && self.tombstones() * 2 > self.heap.len() {
+            self.compact();
+        }
+    }
+
+    /// Drop every tombstoned entry from the heap right now. Usually not
+    /// needed — [`EventQueue::cancel`] compacts automatically past a
+    /// tombstone threshold — but callers about to idle a long-lived queue
+    /// can force the memory back.
+    pub fn compact(&mut self) {
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|e| {
+            let s = &self.slots[e.id.slot()];
+            s.pending && s.gen == e.id.gen()
+        });
+        debug_assert_eq!(entries.len(), self.live);
+        self.heap = BinaryHeap::from(entries);
+    }
+
     /// Drop all pending events and reset the clock to zero.
+    ///
+    /// Ids issued before the reset are invalidated (their slots'
+    /// generations advance), so a stale id can neither cancel nor alias a
+    /// post-reset event.
     pub fn reset(&mut self) {
         self.heap.clear();
-        self.cancelled.clear();
+        self.free.clear();
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if s.pending {
+                s.pending = false;
+                s.gen = s.gen.wrapping_add(1);
+            }
+            self.free.push(i as u32);
+        }
+        self.live = 0;
         self.now = SimTime::ZERO;
     }
 }
@@ -191,6 +332,29 @@ mod tests {
     }
 
     #[test]
+    fn ties_break_in_insertion_order_across_slot_reuse() {
+        // Recycled slots must not disturb tie order: ids are reused, the
+        // sequence number is not.
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), 0);
+        q.cancel(a);
+        let t = SimTime::from_secs(1);
+        for i in 1..6 {
+            // Each cancel recycles the slot the next schedule claims.
+            let id = q.schedule_at(t, i);
+            assert_eq!(id.slot(), 0, "slot not recycled");
+            if i < 5 {
+                q.cancel(id);
+            }
+        }
+        for i in 6..9 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
     fn cancel_skips_event() {
         let mut q = EventQueue::new();
         let a = q.schedule_at(SimTime::from_secs(1), "a");
@@ -200,6 +364,17 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop().unwrap().1, "b");
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_popped_event_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        // The seed calendar quietly tombstoned this id and under-counted
+        // len() forever after; now it is a detected no-op.
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 0);
     }
 
     #[test]
@@ -229,12 +404,17 @@ mod tests {
     #[test]
     fn reset_clears_everything() {
         let mut q = EventQueue::new();
-        q.schedule_at(SimTime::from_secs(4), "x");
+        let stale = q.schedule_at(SimTime::from_secs(4), "x");
         q.pop();
-        q.schedule_in(SimDuration::from_secs(1), "y");
+        let stale2 = q.schedule_in(SimDuration::from_secs(1), "y");
         q.reset();
         assert!(q.is_empty());
         assert_eq!(q.now(), SimTime::ZERO);
+        // Pre-reset ids cannot cancel post-reset events.
+        let z = q.schedule_at(SimTime::from_secs(1), "z");
+        assert!(!q.cancel(stale));
+        assert!(!q.cancel(stale2));
+        assert!(q.cancel(z));
     }
 
     #[test]
@@ -246,5 +426,44 @@ mod tests {
         q.cancel(ids[1]);
         q.cancel(ids[3]);
         assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn compaction_bounds_tombstones() {
+        // A cancel/re-arm storm: one long-lived event plus thousands of
+        // scheduled-then-cancelled ones. The seed calendar kept every
+        // tombstone in the heap until its timestamp; the compacting
+        // calendar keeps the heap within 2x of live.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1_000_000), u64::MAX);
+        for i in 0..10_000u64 {
+            let id = q.schedule_at(SimTime::from_secs(2_000_000 + i), i);
+            q.cancel(id);
+            assert!(
+                q.tombstones() <= COMPACT_MIN_HEAP.max(2 * q.len()),
+                "tombstones unbounded: {} at live {}",
+                q.tombstones(),
+                q.len()
+            );
+        }
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, u64::MAX);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn explicit_compact_drops_all_tombstones() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10)
+            .map(|i| q.schedule_at(SimTime::from_secs(i), i))
+            .collect();
+        for id in &ids[..5] {
+            q.cancel(*id);
+        }
+        q.compact();
+        assert_eq!(q.tombstones(), 0);
+        assert_eq!(q.len(), 5);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![5, 6, 7, 8, 9]);
     }
 }

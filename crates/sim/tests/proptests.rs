@@ -53,6 +53,73 @@ proptest! {
         prop_assert_eq!(seen, expected);
     }
 
+    /// The calendar agrees with a naive Vec model across arbitrary
+    /// interleavings of schedule / cancel / pop: identical pop sequences,
+    /// and `len()` stays exact at every step — including after cancels of
+    /// already-popped or already-cancelled ids, which the seed calendar
+    /// miscounted, and across the compaction passes the churn triggers.
+    #[test]
+    fn event_queue_matches_vec_model(
+        ops in proptest::collection::vec((0u8..10, 0u64..1000, any::<usize>()), 1..400),
+    ) {
+        // Model: Vec of (time, seq, payload) for live events; pop = take
+        // the (time, seq)-min. Ids issued by the real queue are kept so
+        // cancels can target pending, popped, and cancelled ids alike.
+        let mut q = EventQueue::new();
+        let mut model: Vec<(SimTime, u64, u64)> = Vec::new();
+        let mut issued: Vec<(continuum_sim::EventId, u64)> = Vec::new(); // (id, seq)
+        let mut next_seq = 0u64;
+        let mut now = SimTime::ZERO;
+        for (op, dt, pick) in ops {
+            match op {
+                // Schedule (weight 5/10).
+                0..=4 => {
+                    let at = SimTime(now.0 + dt);
+                    let id = q.schedule_at(at, next_seq);
+                    model.push((at, next_seq, next_seq));
+                    issued.push((id, next_seq));
+                    next_seq += 1;
+                }
+                // Cancel an arbitrary issued id (weight 3/10).
+                5..=7 => {
+                    if !issued.is_empty() {
+                        let (id, seq) = issued[pick % issued.len()];
+                        let live = model.iter().position(|&(_, s, _)| s == seq);
+                        prop_assert_eq!(q.cancel(id), live.is_some());
+                        if let Some(i) = live {
+                            model.swap_remove(i);
+                        }
+                    }
+                }
+                // Pop (weight 2/10).
+                _ => {
+                    let min = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(at, s, _))| (at, s))
+                        .map(|(i, _)| i);
+                    match min {
+                        Some(i) => {
+                            let (at, _, payload) = model.swap_remove(i);
+                            prop_assert_eq!(q.pop(), Some((at, payload)));
+                            now = at;
+                        }
+                        None => prop_assert_eq!(q.pop(), None),
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert!(q.tombstones() <= 64usize.max(2 * q.len()), "tombstones unbounded");
+        }
+        // Drain: remaining events pop in (time, insertion-seq) order.
+        model.sort_unstable_by_key(|&(at, s, _)| (at, s));
+        for (at, _, payload) in model {
+            prop_assert_eq!(q.pop(), Some((at, payload)));
+        }
+        prop_assert_eq!(q.pop(), None);
+        prop_assert_eq!(q.len(), 0);
+    }
+
     /// Merging split OnlineStats equals accumulating the whole stream.
     #[test]
     fn online_stats_merge(xs in proptest::collection::vec(-1e6f64..1e6, 2..300), split in 0usize..300) {
