@@ -18,6 +18,8 @@
 
 use continuum_bench::experiments as exp;
 use continuum_bench::Table;
+use continuum_obs::{MetricsSnapshot, Telemetry, TraceEvent, Tracer};
+use std::rc::Rc;
 use std::time::Instant;
 
 /// Every cell, in canonical emission order.
@@ -47,19 +49,34 @@ const ALL: [&str; 20] = [
 struct Args {
     json: bool,
     serial: bool,
+    metrics: bool,
+    trace: Option<String>,
     which: Vec<String>,
 }
 
 fn parse_args() -> Args {
     let mut json = false;
     let mut serial = false;
+    let mut metrics = false;
+    let mut trace = None;
     let mut which = Vec::new();
-    for a in std::env::args().skip(1) {
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
         match a.as_str() {
             "--json" => json = true,
             "--serial" => serial = true,
+            "--metrics" => metrics = true,
+            "--trace" => {
+                trace = Some(argv.next().unwrap_or_else(|| {
+                    eprintln!("--trace needs a file path");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--json] [--serial] [{}]", ALL.join(" "));
+                eprintln!(
+                    "usage: experiments [--json] [--serial] [--metrics] [--trace FILE] [{}]",
+                    ALL.join(" ")
+                );
                 std::process::exit(0);
             }
             other => which.push(other.to_string()),
@@ -68,6 +85,8 @@ fn parse_args() -> Args {
     Args {
         json,
         serial,
+        metrics,
+        trace,
         which,
     }
 }
@@ -158,6 +177,57 @@ fn run_one(name: &str) -> (Vec<Table>, serde_json::Value) {
     }
 }
 
+/// Telemetry harvested from one cell after it returns. Both halves are
+/// plain owned data (`Send`), so cells run under rayon and still carry
+/// their telemetry back to the ordered emitter on the main thread.
+struct CellTelemetry {
+    metrics: MetricsSnapshot,
+    events: Vec<TraceEvent>,
+}
+
+/// [`run_one`] with an optional ambient telemetry plane. Each cell gets
+/// its own [`Telemetry`] (pid = cell index + 1, so merged traces keep the
+/// cells apart) created *inside* the rayon closure; after the cell
+/// returns, the sole `Rc` is unwrapped and the snapshot + trace events
+/// travel back as plain data. With both flags off this is exactly
+/// [`run_one`] — no registry, no ambient lookup in any hot loop.
+fn run_cell(
+    name: &str,
+    pid: u32,
+    metrics: bool,
+    trace: bool,
+) -> (Vec<Table>, serde_json::Value, Option<CellTelemetry>) {
+    if !metrics && !trace {
+        let (tables, rows) = run_one(name);
+        return (tables, rows, None);
+    }
+    let tele = Rc::new(Telemetry::with_pid(trace, pid));
+    let (tables, mut rows) = continuum_obs::with_ambient(&tele, || run_one(name));
+    let Ok(tele) = Rc::try_unwrap(tele) else {
+        unreachable!("ambient guard dropped; no other Rc clones remain")
+    };
+    let snap = tele.metrics.snapshot();
+    if metrics {
+        if let serde_json::Value::Object(pairs) = &mut rows {
+            pairs.push(("metrics".to_string(), serde::Serialize::to_value(&snap)));
+        }
+    }
+    let mut events = tele.tracer.into_events();
+    if trace {
+        let marker = Tracer::new();
+        marker.process_name(pid, format!("cell {name}"));
+        events.extend(marker.into_events());
+    }
+    (
+        tables,
+        rows,
+        Some(CellTelemetry {
+            metrics: snap,
+            events,
+        }),
+    )
+}
+
 fn emit(args: &Args, tables: &[Table], json_rows: &serde_json::Value) {
     if args.json {
         println!("{json_rows}");
@@ -200,24 +270,55 @@ fn main() {
         .as_ref()
         .map_or_else(rayon::current_num_threads, |p| p.current_num_threads());
     let parallel = !args.serial && threads > 1 && which.len() > 1;
+    let (want_metrics, want_trace) = (args.metrics, args.trace.is_some());
     let t0 = Instant::now();
-    let fan_out = || -> Vec<(Vec<Table>, serde_json::Value)> {
+    let indexed: Vec<(usize, &str)> = which.iter().copied().enumerate().collect();
+    let fan_out = || -> Vec<(Vec<Table>, serde_json::Value, Option<CellTelemetry>)> {
         use rayon::prelude::*;
-        which.par_iter().map(|w| run_one(w)).collect()
+        indexed
+            .par_iter()
+            .map(|&(i, w)| run_cell(w, i as u32 + 1, want_metrics, want_trace))
+            .collect()
     };
-    let results: Vec<(Vec<Table>, serde_json::Value)> = if !parallel {
-        which.iter().map(|w| run_one(w)).collect()
+    let results: Vec<(Vec<Table>, serde_json::Value, Option<CellTelemetry>)> = if !parallel {
+        which
+            .iter()
+            .enumerate()
+            .map(|(i, w)| run_cell(w, i as u32 + 1, want_metrics, want_trace))
+            .collect()
     } else if let Some(pool) = &pool {
         pool.install(fan_out)
     } else {
         fan_out()
     };
-    for (tables, rows) in &results {
+    let n_cells = results.len();
+    for (tables, rows, _) in &results {
         emit(&args, tables, rows);
+    }
+    if want_metrics || want_trace {
+        let mut total = MetricsSnapshot::default();
+        let merged = Tracer::new();
+        for (_, _, tele) in results {
+            if let Some(t) = tele {
+                total.merge(&t.metrics);
+                merged.absorb_events(t.events);
+            }
+        }
+        if want_metrics && !args.json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&total).expect("metrics serialize")
+            );
+        }
+        if let Some(path) = &args.trace {
+            std::fs::write(path, merged.export_string())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("trace: {path} ({} events)", merged.len());
+        }
     }
     eprintln!(
         "experiments: {} cell(s) in {:.1}s ({} on {} thread(s))",
-        results.len(),
+        n_cells,
         t0.elapsed().as_secs_f64(),
         if parallel { "parallel" } else { "serial" },
         if parallel { threads } else { 1 },

@@ -31,9 +31,15 @@
 
 use continuum_bench::seed_exec::simulate_stream_chaos_seed;
 use continuum_core::prelude::*;
+use continuum_fabric::{
+    endpoints_on, run_fabric_faulty, Backoff, EndpointFaults, FunctionRegistry, Invocation,
+    RoutingPolicy,
+};
 use continuum_model::standard_fleet;
+use continuum_obs::Telemetry;
 use continuum_runtime::{simulate_stream_chaos, SimOutcome};
 use serde_json::json;
+use std::rc::Rc;
 use std::time::Instant;
 
 fn ms(from: Instant) -> f64 {
@@ -170,8 +176,75 @@ fn bench_arm(
     (dense, stats)
 }
 
+/// An endpoint-fault fabric leg for the instrumented telemetry run: a
+/// burst of invocations on the cloud-tier endpoints under a generated
+/// crash/recover storm, so the exported snapshot carries broker
+/// failovers, detections, retries, and orphan restarts alongside the
+/// executor's counters.
+fn fabric_leg(env: &Env, smoke: bool) {
+    let mut registry = FunctionRegistry::new();
+    let f = registry.register("f", 1e10, 10 << 10, 1 << 10);
+    let endpoints = endpoints_on(env, &env.fleet.in_tier(Tier::Cloud));
+    let origins: Vec<NodeId> = env
+        .topology
+        .nodes()
+        .iter()
+        .filter(|n| n.tier == Tier::Sensor)
+        .map(|n| n.id)
+        .collect();
+    let n = if smoke { 60 } else { 400 };
+    let mut rng = Rng::new(0xFAB0);
+    let mut t = 0.0;
+    let invocations: Vec<Invocation> = (0..n)
+        .map(|i| {
+            t += rng.exp(40.0);
+            Invocation {
+                arrival: SimTime::from_secs_f64(t),
+                origin: origins[i % origins.len()],
+                function: f,
+            }
+        })
+        .collect();
+    let faults = EndpointFaults {
+        schedule: FaultSchedule::generate(
+            &FaultScheduleSpec {
+                horizon: SimDuration::from_secs_f64(t + 30.0),
+                endpoints: FaultProcess {
+                    population: endpoints.len() as u32,
+                    mttf_s: 8.0,
+                    mttr_s: 3.0,
+                },
+                ..Default::default()
+            },
+            0xFA17,
+        ),
+        heartbeat: SimDuration::from_millis(500),
+        backoff: Backoff::default(),
+        seed: 0xBAC0,
+    };
+    let rep = run_fabric_faulty(
+        env,
+        &registry,
+        &endpoints,
+        &invocations,
+        RoutingPolicy::LeastOutstanding,
+        None,
+        None,
+        Some(&faults),
+    );
+    assert_eq!(rep.completed + rep.dropped, n as u64);
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let want_metrics = argv.iter().any(|a| a == "--metrics");
+    let trace_path = argv.iter().position(|a| a == "--trace").map(|i| {
+        argv.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--trace needs a file path");
+            std::process::exit(2);
+        })
+    });
     let reps = if smoke { 1 } else { 5 };
     let (env, reqs) = build_world(smoke);
 
@@ -182,6 +255,27 @@ fn main() {
     let plane = churn_plane(&env, steady_out.metrics.makespan_s);
     let (_, churn) = bench_arm(&env, &reqs, Some(&plane), reps);
 
+    // Instrumented section: a telemetry-on chaos replay plus a fabric
+    // fault leg, strictly OUTSIDE the timed arms above — the benchmark
+    // numbers never include telemetry overhead, and the trace/metrics
+    // artifacts come from the same world the chaos arm measured.
+    let telemetry = if want_metrics || trace_path.is_some() {
+        eprintln!("runtime: instrumented chaos + fabric leg ...");
+        let tele = Rc::new(Telemetry::new(trace_path.is_some()));
+        continuum_obs::with_ambient(&tele, || {
+            std::hint::black_box(simulate_stream_chaos(&env, &reqs, None, Some(&plane)));
+            fabric_leg(&env, smoke);
+        });
+        if let Some(path) = &trace_path {
+            std::fs::write(path, tele.tracer.export_string())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("trace: {path} ({} events)", tele.tracer.len());
+        }
+        Some(serde::Serialize::to_value(&tele.metrics.snapshot()))
+    } else {
+        None
+    };
+
     let out = json!({
         "bench": "runtime",
         "command": "cargo run --release -p continuum-bench --bin runtime",
@@ -190,6 +284,7 @@ fn main() {
         "devices": env.fleet.len(),
         "steady": steady,
         "chaos_churn": churn,
+        "telemetry": telemetry,
         "notes": [
             "Both arms assert SimOutcome bit-identity (every trace record and f64 \
              metric) between the dense-state executor and the vendored seed-era \

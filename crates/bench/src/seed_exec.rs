@@ -638,7 +638,11 @@ pub fn simulate_stream_chaos_seed(
         cost_usd: cost.total_usd(),
         bytes_moved,
     };
-    SimOutcome { trace, metrics }
+    SimOutcome {
+        trace,
+        metrics,
+        telemetry: None,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -9,7 +9,9 @@
 //! ```
 
 use continuum_core::prelude::*;
+use continuum_obs::Telemetry;
 use continuum_placement::standard_lineup;
+use std::rc::Rc;
 
 fn scenario_by_name(name: &str) -> Option<Scenario> {
     match name {
@@ -94,9 +96,12 @@ const POLICIES: [&str; 12] = [
 fn usage() -> ! {
     eprintln!(
         "usage:\n  continuum run [--scenario S] [--workload W] [--policy P] \
-         [--input-mb N] [--seed N] [--gantt]\n  continuum compare [--scenario S] \
+         [--input-mb N] [--seed N] [--gantt] [--metrics] [--trace FILE]\n  \
+         continuum compare [--scenario S] \
          [--workload W] [--input-mb N] [--seed N]\n  continuum list\n\n\
-         scenarios: {SCENARIOS:?}\n workloads: {WORKLOADS:?}\n policies:  {POLICIES:?}"
+         scenarios: {SCENARIOS:?}\n workloads: {WORKLOADS:?}\n policies:  {POLICIES:?}\n\n\
+         --metrics      print the run's telemetry snapshot as JSON\n\
+         --trace FILE   write a Chrome/Perfetto trace_events file"
     );
     std::process::exit(2);
 }
@@ -108,6 +113,8 @@ struct Opts {
     input_mb: u64,
     seed: u64,
     gantt: bool,
+    metrics: bool,
+    trace: Option<String>,
 }
 
 fn parse(args: &[String]) -> Opts {
@@ -118,6 +125,8 @@ fn parse(args: &[String]) -> Opts {
         input_mb: 16,
         seed: 42,
         gantt: false,
+        metrics: false,
+        trace: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -132,6 +141,8 @@ fn parse(args: &[String]) -> Opts {
             "--input-mb" => o.input_mb = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--seed" => o.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--gantt" => o.gantt = true,
+            "--metrics" => o.metrics = true,
+            "--trace" => o.trace = Some(take(&mut i)),
             _ => usage(),
         }
         i += 1;
@@ -178,7 +189,26 @@ fn main() {
                 dag.len(),
                 dag.total_work() / 1e9,
             );
-            let report = world.run(&dag, policy.as_ref());
+            let report = if o.metrics || o.trace.is_some() {
+                let tele = Rc::new(Telemetry::new(o.trace.is_some()));
+                let report =
+                    continuum_obs::with_ambient(&tele, || world.run(&dag, policy.as_ref()));
+                if let Some(path) = &o.trace {
+                    std::fs::write(path, tele.tracer.export_string())
+                        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                    eprintln!("trace: {path} ({} events)", tele.tracer.len());
+                }
+                if o.metrics {
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&tele.metrics.snapshot())
+                            .expect("metrics serialize")
+                    );
+                }
+                report
+            } else {
+                world.run(&dag, policy.as_ref())
+            };
             print_report(policy.name(), &report);
             if o.gantt {
                 let names: Vec<String> = world

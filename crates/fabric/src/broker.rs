@@ -391,6 +391,16 @@ pub fn run_fabric_faulty(
     let mut dropped = 0u64;
     let mut lost_work_s = 0.0f64;
     let mut jitter_rng = Rng::new(faults.map_or(0, |f| f.seed));
+    // Telemetry: resolved once on entry; plain local counters in the loop
+    // (same cost as the reroute/retry counters above), published at exit.
+    let tele = continuum_obs::ambient();
+    let trace_on = tele
+        .as_deref()
+        .is_some_and(continuum_obs::Telemetry::trace_enabled);
+    let mut failovers = 0u64;
+    let mut detections = 0u64;
+    let mut recoveries = 0u64;
+    let mut orphans_restarted = 0u64;
 
     for (i, inv) in invocations.iter().enumerate() {
         queue.schedule_at(inv.arrival, Ev::Arrive(i));
@@ -586,6 +596,13 @@ pub fn run_fabric_faulty(
                 if !eps[ep].up {
                     continue;
                 }
+                failovers += 1;
+                if trace_on {
+                    if let Some(t) = tele.as_deref() {
+                        t.tracer
+                            .instant(format!("ep {ep} crash"), "fabric", now.0, t.pid(), 1);
+                    }
+                }
                 let e = &mut eps[ep];
                 e.up = false;
                 e.gen += 1;
@@ -610,6 +627,18 @@ pub fn run_fabric_faulty(
                 if eps[ep].up || eps[ep].gen != gen {
                     continue; // recovered (or crashed again) meanwhile
                 }
+                detections += 1;
+                if trace_on {
+                    if let Some(t) = tele.as_deref() {
+                        t.tracer.instant(
+                            format!("ep {ep} detected down"),
+                            "fabric",
+                            now.0,
+                            t.pid(),
+                            1,
+                        );
+                    }
+                }
                 eps[ep].known_down = true;
                 let mut displaced: Vec<usize> = eps[ep].orphans.drain(..).collect();
                 displaced.extend(eps[ep].waiting.drain(..));
@@ -621,6 +650,13 @@ pub fn run_fabric_faulty(
             Ev::EpRecover(ep) => {
                 if eps[ep].up {
                     continue;
+                }
+                recoveries += 1;
+                if trace_on {
+                    if let Some(t) = tele.as_deref() {
+                        t.tracer
+                            .instant(format!("ep {ep} recover"), "fabric", now.0, t.pid(), 1);
+                    }
                 }
                 let e = &mut eps[ep];
                 e.up = true;
@@ -634,6 +670,7 @@ pub fn run_fabric_faulty(
                 // Orphans not yet detected restart here: their payloads
                 // already live on the endpoint.
                 for inv in std::mem::take(&mut e.orphans) {
+                    orphans_restarted += 1;
                     e.waiting.push_back(inv);
                 }
                 try_start(
@@ -672,6 +709,28 @@ pub fn run_fabric_faulty(
         })
         .sum();
     let per_endpoint: Vec<u64> = eps.iter().map(|e| e.completions).collect();
+    if let Some(t) = tele.as_deref() {
+        let m = &t.metrics;
+        m.inc("fabric.invocations", invocations.len() as u64);
+        m.inc("fabric.completed", completed);
+        m.record("fabric.reroutes", reroutes);
+        m.record("fabric.retries", retries);
+        m.record("fabric.dropped", dropped);
+        m.record("fabric.failovers", failovers);
+        m.record("fabric.detections", detections);
+        m.record("fabric.recoveries", recoveries);
+        m.record("fabric.orphans_restarted", orphans_restarted);
+        m.set_gauge("fabric.lost_work_s", lost_work_s);
+        if span > 0.0 {
+            m.set_gauge("fabric.throughput_hz", completed as f64 / span);
+        }
+        for (ep, &c) in per_endpoint.iter().enumerate() {
+            m.inc_labeled("fabric.endpoint_completions", ep as u32, c);
+        }
+        for &l in &latencies {
+            m.observe_ns("fabric.latency", SimDuration::from_secs_f64(l).0);
+        }
+    }
     FabricReport {
         completed,
         throughput_hz: if span > 0.0 {

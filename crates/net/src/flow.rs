@@ -167,6 +167,22 @@ pub struct FlowNetwork {
     /// observation, so mutations at one event timestamp coalesce into a
     /// single progressive-filling pass.
     dirty: bool,
+    /// Lifetime recompute passes (telemetry; plain counter, always on).
+    recomputes: u64,
+    /// Sum of active-flow batch sizes over all recompute passes
+    /// (telemetry): `recomputed_flows / recomputes` is the mean dirty-set
+    /// size a pass re-rates.
+    recomputed_flows: u64,
+}
+
+/// Lifetime counters of one [`FlowNetwork`], harvested by the telemetry
+/// plane (see [`FlowNetwork::publish_metrics`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowEngineStats {
+    /// Progressive-filling passes actually run (dirty observations).
+    pub recomputes: u64,
+    /// Sum of the active-flow counts those passes re-rated.
+    pub recomputed_flows: u64,
 }
 
 impl FlowNetwork {
@@ -191,7 +207,33 @@ impl FlowNetwork {
             },
             clock: SimTime::ZERO,
             dirty: false,
+            recomputes: 0,
+            recomputed_flows: 0,
         }
+    }
+
+    /// Lifetime recompute counters — the record the telemetry plane
+    /// harvests at run end.
+    pub fn engine_stats(&self) -> FlowEngineStats {
+        FlowEngineStats {
+            recomputes: self.recomputes,
+            recomputed_flows: self.recomputed_flows,
+        }
+    }
+
+    /// Publish this engine's counters into a metrics registry under
+    /// `prefix` (e.g. `"executor.flow_engine"`), including the derived
+    /// mean-batch gauge.
+    pub fn publish_metrics(&self, reg: &continuum_obs::MetricsRegistry, prefix: &str) {
+        let s = self.engine_stats();
+        reg.record(&format!("{prefix}.recomputes"), s.recomputes);
+        reg.record(&format!("{prefix}.recomputed_flows"), s.recomputed_flows);
+        let mean = if s.recomputes == 0 {
+            0.0
+        } else {
+            s.recomputed_flows as f64 / s.recomputes as f64
+        };
+        reg.set_gauge(&format!("{prefix}.mean_batch"), mean);
     }
 
     /// Current internal clock (last `advance` / `start` time).
@@ -446,6 +488,8 @@ impl FlowNetwork {
     }
 
     fn recompute_rates(&mut self) {
+        self.recomputes += 1;
+        self.recomputed_flows += self.active_slots.len() as u64;
         let sc = &mut self.scratch;
         sc.epoch += 1;
         let epoch = sc.epoch;
@@ -640,6 +684,32 @@ mod tests {
         let (tc, fid) = fnw.next_completion().unwrap();
         assert_eq!(fid, id);
         assert!((tc.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn engine_stats_count_recompute_batches() {
+        let (t, rt) = chain();
+        let mut fnw = FlowNetwork::new(&t);
+        assert_eq!(fnw.engine_stats(), FlowEngineStats::default());
+        let p = rt.path(&t, NodeId(0), NodeId(2)).unwrap();
+        let a = fnw.start(SimTime::ZERO, &p, 1_000_000).unwrap();
+        let b = fnw.start(SimTime::ZERO, &p, 1_000_000).unwrap();
+        // Both starts coalesce into a single deferred pass over 2 flows.
+        fnw.rate(a);
+        fnw.rate(b);
+        assert_eq!(
+            fnw.engine_stats(),
+            FlowEngineStats {
+                recomputes: 1,
+                recomputed_flows: 2
+            }
+        );
+        let reg = continuum_obs::MetricsRegistry::new();
+        fnw.publish_metrics(&reg, "fe");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("fe.recomputes"), 1);
+        assert_eq!(snap.counter("fe.recomputed_flows"), 2);
+        assert_eq!(snap.gauge("fe.mean_batch"), Some(2.0));
     }
 
     #[test]

@@ -21,8 +21,10 @@ pub mod stats;
 pub mod topology;
 
 pub use builders::{continuum, dumbbell, fat_tree, star, BuiltContinuum, ContinuumSpec, LinkSpec};
-pub use flow::{AbortedFlow, FlowId, FlowNetwork};
+pub use flow::{AbortedFlow, FlowEngineStats, FlowId, FlowNetwork};
 pub use gilder::{access_bandwidth, gilder_ratio, mean_gilder_ratio};
-pub use routing::{shortest_path_avoiding, Path, RouteCache, RouteTable, TransferMatrix};
+pub use routing::{
+    shortest_path_avoiding, Path, RouteCache, RouteCacheStats, RouteTable, TransferMatrix,
+};
 pub use stats::{topology_stats, TopologyStats};
 pub use topology::{Link, LinkId, Node, NodeId, Tier, Topology};

@@ -476,6 +476,21 @@ pub struct RouteCache {
     map: std::collections::HashMap<(NodeId, NodeId, u64), (u64, Option<Path>)>,
     hits: u64,
     misses: u64,
+    epoch_bumps: u64,
+}
+
+/// Lifetime counters of one [`RouteCache`], harvested by the telemetry
+/// plane (see [`RouteCache::publish_metrics`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the route computation.
+    pub misses: u64,
+    /// Epoch invalidations (`bump_epoch` calls).
+    pub epoch_bumps: u64,
+    /// Current epoch.
+    pub epoch: u64,
 }
 
 impl RouteCache {
@@ -493,11 +508,41 @@ impl RouteCache {
     /// stale. O(1) — staleness is checked per entry at lookup time.
     pub fn bump_epoch(&mut self) {
         self.epoch += 1;
+        self.epoch_bumps += 1;
     }
 
-    /// `(hits, misses)` since construction.
+    /// `(hits, misses)` since construction — kept as a thin wrapper over
+    /// [`RouteCache::snapshot`] for existing call sites.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        let s = self.snapshot();
+        (s.hits, s.misses)
+    }
+
+    /// All lifetime counters at once.
+    pub fn snapshot(&self) -> RouteCacheStats {
+        RouteCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            epoch_bumps: self.epoch_bumps,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Publish this cache's counters into a metrics registry under
+    /// `prefix` (e.g. `"executor.route_cache"`), including the derived
+    /// hit-rate gauge.
+    pub fn publish_metrics(&self, reg: &continuum_obs::MetricsRegistry, prefix: &str) {
+        let s = self.snapshot();
+        reg.record(&format!("{prefix}.hits"), s.hits);
+        reg.record(&format!("{prefix}.misses"), s.misses);
+        reg.record(&format!("{prefix}.epoch_bumps"), s.epoch_bumps);
+        let total = s.hits + s.misses;
+        let rate = if total == 0 {
+            0.0
+        } else {
+            s.hits as f64 / total as f64
+        };
+        reg.set_gauge(&format!("{prefix}.hit_rate"), rate);
     }
 
     /// Look up the route for `(src, dst, class)` in the current epoch, or
@@ -815,6 +860,37 @@ mod tests {
         let hit = cache.route_with(NodeId(0), NodeId(2), 0, || panic!("must hit cache"));
         assert!(hit.is_none());
         assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn route_cache_snapshot_and_publish() {
+        let t = triangle();
+        let rt = RouteTable::build(&t);
+        let mut cache = RouteCache::new();
+        cache.route_with(NodeId(0), NodeId(2), 0, || {
+            rt.path(&t, NodeId(0), NodeId(2))
+        });
+        cache.route_with(NodeId(0), NodeId(2), 0, || panic!("must hit cache"));
+        cache.bump_epoch();
+        cache.route_with(NodeId(0), NodeId(2), 0, || {
+            rt.path(&t, NodeId(0), NodeId(2))
+        });
+        let s = cache.snapshot();
+        assert_eq!(
+            (s.hits, s.misses),
+            cache.stats(),
+            "stats() is a thin wrapper"
+        );
+        assert_eq!(s.epoch_bumps, 1);
+        assert_eq!(s.epoch, 1);
+
+        let reg = continuum_obs::MetricsRegistry::new();
+        cache.publish_metrics(&reg, "rc");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("rc.hits"), 1);
+        assert_eq!(snap.counter("rc.misses"), 2);
+        assert_eq!(snap.counter("rc.epoch_bumps"), 1);
+        assert_eq!(snap.gauge("rc.hit_rate"), Some(1.0 / 3.0));
     }
 
     #[test]

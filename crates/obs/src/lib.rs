@@ -1,0 +1,161 @@
+//! Sim-time telemetry plane for the continuum workspace.
+//!
+//! The keynote's placement question ("where should I compute?") is only
+//! answerable if the continuum can *see itself*: funcX steers federated
+//! placement off per-endpoint telemetry, and repeatable edge-to-cloud
+//! experiments need every run to emit a comparable machine-readable
+//! record. This crate is that layer for the simulators: a metrics
+//! registry ([`MetricsRegistry`] / [`MetricsSnapshot`]) plus a span and
+//! event tracer ([`Tracer`]) with a Chrome/Perfetto `trace_events`
+//! exporter, all keyed to simulated time.
+//!
+//! # Zero cost when off
+//!
+//! The executors' hot loops never talk to this crate. Instrumented
+//! components (route cache, event queue, flow engine, broker, stream
+//! executor) keep plain integer counters on their own structs — the same
+//! instructions they already execute — and a run *harvests* them into a
+//! [`MetricsSnapshot`] once, at run end, only if a [`Telemetry`] sink is
+//! ambient. Span synthesis for the Perfetto export likewise happens
+//! post-run from the execution trace the simulator already produces.
+//! With no ambient sink, the total added cost of a run is one
+//! thread-local read.
+//!
+//! # Ambient wiring
+//!
+//! Simulator entry points are deep in the call graph (experiment cells →
+//! core facade → executor) and threading a sink parameter through every
+//! signature would churn the entire workspace. Instead the sink is
+//! *ambient*: [`with_ambient`] installs an `Rc<Telemetry>` into a
+//! thread-local stack for the duration of a closure, and instrumented
+//! entry points pick it up with [`ambient`] **once per run** — never per
+//! event. Parallel experiment cells each install their own sink on their
+//! own worker thread; the buffers are plain data afterwards, so per-cell
+//! results merge deterministically.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use trace::{Phase, TraceEvent, Tracer};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One telemetry sink: a metrics registry plus (optionally active) a
+/// tracer, with the process id its trace events should carry.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    pid: u32,
+    trace: bool,
+    /// Metrics registry; always active while the sink is ambient.
+    pub metrics: MetricsRegistry,
+    /// Trace buffer; only written when [`Telemetry::trace_enabled`].
+    pub tracer: Tracer,
+}
+
+impl Telemetry {
+    /// A sink on process track 1. `trace` turns on span/event capture;
+    /// metrics are always collected for an installed sink.
+    pub fn new(trace: bool) -> Self {
+        Telemetry::with_pid(trace, 1)
+    }
+
+    /// A sink with an explicit Perfetto process id (one per experiment
+    /// cell, so merged traces keep each cell on its own track group).
+    pub fn with_pid(trace: bool, pid: u32) -> Self {
+        Telemetry {
+            pid,
+            trace,
+            metrics: MetricsRegistry::new(),
+            tracer: Tracer::new(),
+        }
+    }
+
+    /// Process id stamped on this sink's trace events.
+    pub fn pid(&self) -> u32 {
+        self.pid
+    }
+
+    /// True when span/event tracing is active (metrics always are).
+    pub fn trace_enabled(&self) -> bool {
+        self.trace
+    }
+}
+
+thread_local! {
+    static AMBIENT: RefCell<Vec<Rc<Telemetry>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Install `tele` as this thread's ambient sink for the duration of `f`.
+///
+/// Scopes nest (the innermost wins) and unwind safely: the sink is
+/// popped by a drop guard even if `f` panics.
+pub fn with_ambient<R>(tele: &Rc<Telemetry>, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            AMBIENT.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+    AMBIENT.with(|stack| stack.borrow_mut().push(Rc::clone(tele)));
+    let _guard = Guard;
+    f()
+}
+
+/// The innermost ambient sink, if one is installed on this thread.
+///
+/// Instrumented entry points call this once per run and hold the `Rc`
+/// for the run's duration; hot loops see a resolved option, not a
+/// thread-local lookup.
+pub fn ambient() -> Option<Rc<Telemetry>> {
+    AMBIENT.with(|stack| stack.borrow().last().cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ambient_is_scoped_and_nested() {
+        assert!(ambient().is_none());
+        let outer = Rc::new(Telemetry::new(false));
+        let inner = Rc::new(Telemetry::with_pid(true, 2));
+        with_ambient(&outer, || {
+            assert_eq!(ambient().unwrap().pid(), 1);
+            with_ambient(&inner, || {
+                let t = ambient().unwrap();
+                assert_eq!(t.pid(), 2);
+                assert!(t.trace_enabled());
+            });
+            assert_eq!(ambient().unwrap().pid(), 1);
+        });
+        assert!(ambient().is_none());
+    }
+
+    #[test]
+    fn ambient_pops_on_panic() {
+        let tele = Rc::new(Telemetry::new(false));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_ambient(&tele, || panic!("boom"));
+        }));
+        assert!(result.is_err());
+        assert!(ambient().is_none(), "guard must pop on unwind");
+    }
+
+    #[test]
+    fn sink_collects_metrics_and_trace() {
+        let tele = Rc::new(Telemetry::new(true));
+        with_ambient(&tele, || {
+            let t = ambient().unwrap();
+            t.metrics.inc("runs", 1);
+            if t.trace_enabled() {
+                t.tracer.instant("tick", "test", 42, t.pid(), 0);
+            }
+        });
+        assert_eq!(tele.metrics.snapshot().counter("runs"), 1);
+        assert_eq!(tele.tracer.len(), 1);
+    }
+}

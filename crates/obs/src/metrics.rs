@@ -1,0 +1,402 @@
+//! The metrics half of the telemetry plane: a snapshot value type plus a
+//! shared-reference registry wrapper.
+//!
+//! [`MetricsSnapshot`] is plain data — `BTreeMap`-backed counters,
+//! gauges, sim-time histograms, and per-target labeled counters — so
+//! every export (JSON row, `SimOutcome` attachment, merged experiment
+//! summary) is deterministic: iteration order is key order, never
+//! insertion or hash order. [`MetricsRegistry`] wraps a snapshot in a
+//! `RefCell` so instrumented code can record through `&self`; the
+//! simulators are single-threaded per run, so no locking is needed —
+//! this is the "lock-cheap" part of the design.
+//!
+//! Hot paths do **not** call into the registry per event. Components keep
+//! plain integer counters on their own structs (the same cost as the
+//! code they already run) and the executors *harvest* them into a
+//! snapshot once per run. The registry only sees O(runs) traffic, which
+//! is why telemetry-off runs are indistinguishable from the seed.
+
+use serde::{Serialize, Value};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Number of log2 buckets: index `i > 0` counts observations in
+/// `[2^(i-1), 2^i)` nanoseconds; index 0 counts exact zeros. 64-bit
+/// durations need 64 + 1 slots.
+const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of simulated durations (nanoseconds).
+///
+/// Power-of-two buckets cover the full `u64` range with a fixed-size
+/// array and no configuration: at sim resolution (1 ns) that spans
+/// sub-microsecond queue hops to multi-hour makespans with ~2x relative
+/// error, plenty for "where did sim time go" questions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed durations, saturating at `u64::MAX`.
+    pub sum_ns: u64,
+    /// Smallest observation (`u64::MAX` when empty).
+    pub min_ns: u64,
+    /// Largest observation (0 when empty).
+    pub max_ns: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one duration.
+    pub fn observe(&mut self, ns: u64) {
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.buckets[Self::bucket_of(ns)] += 1;
+    }
+
+    /// Bucket index for a duration: 0 for zero, else `64 - clz(ns)`.
+    fn bucket_of(ns: u64) -> usize {
+        (u64::BITS - ns.leading_zeros()) as usize
+    }
+
+    /// Upper bound (exclusive) of bucket `i`, saturating at `u64::MAX`.
+    fn bucket_bound(i: usize) -> u64 {
+        if i == 0 {
+            1
+        } else {
+            1u64.checked_shl(i as u32).unwrap_or(u64::MAX)
+        }
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound_ns_exclusive, count)` pairs,
+    /// ascending — the sparse form used for export.
+    pub fn sparse_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_bound(i), c))
+            .collect()
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl Serialize for Histogram {
+    fn to_value(&self) -> Value {
+        let buckets = self
+            .sparse_buckets()
+            .into_iter()
+            .map(|(bound, count)| (bound.to_string(), Value::U64(count)))
+            .collect();
+        Value::Object(vec![
+            ("count".to_string(), Value::U64(self.count)),
+            ("sum_ns".to_string(), Value::U64(self.sum_ns)),
+            (
+                "min_ns".to_string(),
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::U64(self.min_ns)
+                },
+            ),
+            ("max_ns".to_string(), Value::U64(self.max_ns)),
+            ("mean_ns".to_string(), Value::F64(self.mean_ns())),
+            ("buckets_lt_ns".to_string(), Value::Object(buckets)),
+        ])
+    }
+}
+
+/// A point-in-time metrics capture: the value the rest of the workspace
+/// passes around, embeds in `SimOutcome`, and attaches to experiment
+/// rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    labeled: BTreeMap<String, BTreeMap<u32, u64>>,
+}
+
+impl MetricsSnapshot {
+    /// Empty snapshot.
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Add `by` to a monotonically increasing counter.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        if by > 0 {
+            *self.counters.entry(name.to_string()).or_insert(0) += by;
+        }
+    }
+
+    /// Add `by` to a counter, materialising the key even when `by` is 0.
+    ///
+    /// [`inc`](Self::inc) keeps snapshots sparse by skipping zero
+    /// increments; headline counters (route-cache hits, compactions,
+    /// failovers) use this instead so a zero is visible in the export as
+    /// an explicit `0` rather than an absent key.
+    pub fn record(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Set a last-write-wins gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Record a simulated duration into a histogram.
+    pub fn observe_ns(&mut self, name: &str, ns: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(ns);
+    }
+
+    /// Add `by` to a per-target labeled counter (label = dense device,
+    /// link, or endpoint index).
+    pub fn inc_labeled(&mut self, name: &str, label: u32, by: u64) {
+        if by > 0 {
+            *self
+                .labeled
+                .entry(name.to_string())
+                .or_default()
+                .entry(label)
+                .or_insert(0) += by;
+        }
+    }
+
+    /// Counter value, 0 when never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Labeled counter map, if any label was incremented.
+    pub fn labeled(&self, name: &str) -> Option<&BTreeMap<u32, u64>> {
+        self.labeled.get(name)
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.labeled.is_empty()
+    }
+
+    /// Fold another snapshot into this one: counters, labeled counters,
+    /// and histograms add; gauges are last-write-wins (the merged-in
+    /// snapshot overwrites). Merging in a deterministic order therefore
+    /// yields a deterministic result.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, m) in &other.labeled {
+            let mine = self.labeled.entry(k.clone()).or_default();
+            for (label, v) in m {
+                *mine.entry(*label).or_insert(0) += v;
+            }
+        }
+    }
+}
+
+impl Serialize for MetricsSnapshot {
+    fn to_value(&self) -> Value {
+        fn object<V: Serialize>(map: &BTreeMap<String, V>) -> Value {
+            Value::Object(map.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        }
+        let labeled = Value::Object(
+            self.labeled
+                .iter()
+                .map(|(k, m)| {
+                    let inner = m
+                        .iter()
+                        .map(|(label, v)| (label.to_string(), Value::U64(*v)))
+                        .collect();
+                    (k.clone(), Value::Object(inner))
+                })
+                .collect(),
+        );
+        Value::Object(vec![
+            ("counters".to_string(), object(&self.counters)),
+            ("gauges".to_string(), object(&self.gauges)),
+            ("histograms".to_string(), object(&self.histograms)),
+            ("labeled".to_string(), labeled),
+        ])
+    }
+}
+
+/// Shared-reference facade over a [`MetricsSnapshot`], so instrumented
+/// code records through `&self`. Single-threaded interior mutability
+/// (`RefCell`) — each simulated run lives on one thread, and parallel
+/// experiment cells each carry their own registry.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: RefCell<MetricsSnapshot>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Add `by` to a counter.
+    pub fn inc(&self, name: &str, by: u64) {
+        self.inner.borrow_mut().inc(name, by);
+    }
+
+    /// Add `by` to a counter, materialising the key even at zero.
+    pub fn record(&self, name: &str, by: u64) {
+        self.inner.borrow_mut().record(name, by);
+    }
+
+    /// Set a gauge.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.inner.borrow_mut().set_gauge(name, value);
+    }
+
+    /// Record a simulated duration.
+    pub fn observe_ns(&self, name: &str, ns: u64) {
+        self.inner.borrow_mut().observe_ns(name, ns);
+    }
+
+    /// Add `by` to a labeled counter.
+    pub fn inc_labeled(&self, name: &str, label: u32, by: u64) {
+        self.inner.borrow_mut().inc_labeled(name, label, by);
+    }
+
+    /// Fold a finished run's snapshot into the registry.
+    pub fn absorb(&self, snap: &MetricsSnapshot) {
+        self.inner.borrow_mut().merge(snap);
+    }
+
+    /// Copy out the current state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.borrow().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_labels() {
+        let reg = MetricsRegistry::new();
+        reg.inc("route_cache.hits", 3);
+        reg.inc("route_cache.hits", 2);
+        reg.inc("route_cache.misses", 0); // no-op
+        reg.set_gauge("hit_rate", 0.6);
+        reg.inc_labeled("device.tasks", 4, 7);
+        reg.inc_labeled("device.tasks", 1, 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("route_cache.hits"), 5);
+        assert_eq!(snap.counter("route_cache.misses"), 0);
+        assert_eq!(snap.gauge("hit_rate"), Some(0.6));
+        let labels = snap.labeled("device.tasks").unwrap();
+        assert_eq!(labels.get(&4), Some(&7));
+        assert_eq!(labels.get(&1), Some(&1));
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::default();
+        for ns in [0u64, 1, 2, 3, 1024, u64::MAX] {
+            h.observe(ns);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min_ns, 0);
+        assert_eq!(h.max_ns, u64::MAX);
+        let sparse = h.sparse_buckets();
+        // 0 -> bound 1; 1 -> bound 2; 2,3 -> bound 4; 1024 -> bound 2048;
+        // u64::MAX -> top bucket (saturated bound).
+        assert_eq!(
+            sparse,
+            vec![(1, 1), (2, 1), (4, 2), (2048, 1), (u64::MAX, 1)]
+        );
+        assert!(h.mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = MetricsSnapshot::new();
+        a.inc("x", 2);
+        a.observe_ns("lat", 10);
+        a.set_gauge("g", 1.0);
+        let mut b = MetricsSnapshot::new();
+        b.inc("x", 3);
+        b.inc("y", 1);
+        b.observe_ns("lat", 30);
+        b.set_gauge("g", 2.0);
+        b.inc_labeled("dev", 0, 4);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 5);
+        assert_eq!(a.counter("y"), 1);
+        assert_eq!(a.histogram("lat").unwrap().count, 2);
+        assert_eq!(a.gauge("g"), Some(2.0), "gauges are last-write-wins");
+        assert_eq!(a.labeled("dev").unwrap().get(&0), Some(&4));
+    }
+
+    #[test]
+    fn export_is_deterministic_and_key_sorted() {
+        let mut snap = MetricsSnapshot::new();
+        snap.inc("zebra", 1);
+        snap.inc("alpha", 2);
+        let v = snap.to_value();
+        let text = serde_json::to_string(&v).unwrap();
+        let again = serde_json::to_string(&snap.clone().to_value()).unwrap();
+        assert_eq!(text, again);
+        // BTreeMap ordering: "alpha" renders before "zebra".
+        assert!(text.find("alpha").unwrap() < text.find("zebra").unwrap());
+    }
+}

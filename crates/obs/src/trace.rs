@@ -1,0 +1,440 @@
+//! The tracing half of the telemetry plane: sim-time span/event capture
+//! and Chrome/Perfetto `trace_events` JSON export.
+//!
+//! A [`Tracer`] buffers [`TraceEvent`]s — timestamps are raw simulated
+//! nanoseconds (`SimTime.0`; this crate deliberately does not depend on
+//! the sim crate, so the plane sits below every layer it observes). The
+//! exporter emits the Chrome trace-event format that ui.perfetto.dev and
+//! `chrome://tracing` load directly:
+//!
+//! - duration spans as matched `B`/`E` pairs (one logical track — a
+//!   `(pid, tid)` pair — per concurrent activity, so pairs always nest);
+//! - self-contained slices as `X` complete events with a `dur`;
+//! - point occurrences (faults, failovers, stalls) as `i` instants;
+//! - `C` counter samples and `b`/`e` async pairs where overlap is
+//!   inherent;
+//! - `M` metadata records naming processes and threads.
+//!
+//! `ts`/`dur` are microseconds per the format, emitted as `ns / 1000.0`
+//! so nothing below 1 µs collapses. Events are sorted by timestamp at
+//! export (metadata first), which is what makes the "monotone ts" golden
+//! test meaningful.
+
+use serde::Value;
+use std::cell::RefCell;
+
+/// Event phase, mirroring the Chrome trace-event `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Phase {
+    /// `B` — duration span begin.
+    Begin,
+    /// `E` — duration span end.
+    End,
+    /// `X` — complete slice carrying its own duration.
+    Complete {
+        /// Slice length in simulated nanoseconds.
+        dur_ns: u64,
+    },
+    /// `i` — instant.
+    Instant,
+    /// `C` — counter sample.
+    Counter {
+        /// Sampled value.
+        value: f64,
+    },
+    /// `b` — async span begin (overlap allowed, correlated by `id`).
+    AsyncBegin {
+        /// Correlation id shared with the matching end.
+        id: u64,
+    },
+    /// `e` — async span end.
+    AsyncEnd {
+        /// Correlation id shared with the matching begin.
+        id: u64,
+    },
+    /// `M` — metadata (process/thread naming); sorts before real events.
+    Metadata,
+}
+
+impl Phase {
+    fn code(self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Complete { .. } => "X",
+            Phase::Instant => "i",
+            Phase::Counter { .. } => "C",
+            Phase::AsyncBegin { .. } => "b",
+            Phase::AsyncEnd { .. } => "e",
+            Phase::Metadata => "M",
+        }
+    }
+}
+
+/// One buffered trace event. Plain data (and `Send`), so per-cell
+/// tracers from parallel experiment runs can be merged afterwards.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Event name (span/slice label, or metadata key).
+    pub name: String,
+    /// Category tag, used by trace viewers for filtering.
+    pub cat: &'static str,
+    /// Phase (and its phase-specific payload).
+    pub ph: Phase,
+    /// Simulated timestamp in nanoseconds.
+    pub ts_ns: u64,
+    /// Process track (one per run/experiment cell).
+    pub pid: u32,
+    /// Thread track within the process.
+    pub tid: u32,
+    /// Extra `args` rendered onto the event.
+    pub args: Vec<(&'static str, Value)>,
+}
+
+impl TraceEvent {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("cat".to_string(), Value::Str(self.cat.to_string())),
+            ("ph".to_string(), Value::Str(self.ph.code().to_string())),
+            ("ts".to_string(), Value::F64(self.ts_ns as f64 / 1000.0)),
+            ("pid".to_string(), Value::U64(u64::from(self.pid))),
+            ("tid".to_string(), Value::U64(u64::from(self.tid))),
+        ];
+        match self.ph {
+            Phase::Complete { dur_ns } => {
+                fields.push(("dur".to_string(), Value::F64(dur_ns as f64 / 1000.0)));
+            }
+            Phase::Instant => {
+                // Thread-scoped instants render as small arrows.
+                fields.push(("s".to_string(), Value::Str("t".to_string())));
+            }
+            Phase::AsyncBegin { id } | Phase::AsyncEnd { id } => {
+                fields.push(("id".to_string(), Value::Str(format!("{id:#x}"))));
+            }
+            _ => {}
+        }
+        let mut args: Vec<(String, Value)> = self
+            .args
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        if let Phase::Counter { value } = self.ph {
+            args.push(("value".to_string(), Value::F64(value)));
+        }
+        if !args.is_empty() {
+            fields.push(("args".to_string(), Value::Object(args)));
+        }
+        Value::Object(fields)
+    }
+}
+
+/// Buffering trace sink with `&self` recording (single-threaded interior
+/// mutability, like the metrics registry).
+#[derive(Debug, Default)]
+pub struct Tracer {
+    events: RefCell<Vec<TraceEvent>>,
+}
+
+impl Tracer {
+    /// Empty tracer.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+
+    /// Push a fully specified event.
+    pub fn push(&self, ev: TraceEvent) {
+        self.events.borrow_mut().push(ev);
+    }
+
+    /// Begin a duration span on `(pid, tid)`.
+    pub fn span_begin(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        ts_ns: u64,
+        pid: u32,
+        tid: u32,
+    ) {
+        self.push(TraceEvent {
+            name: name.into(),
+            cat,
+            ph: Phase::Begin,
+            ts_ns,
+            pid,
+            tid,
+            args: Vec::new(),
+        });
+    }
+
+    /// End the innermost open span on `(pid, tid)`.
+    pub fn span_end(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        ts_ns: u64,
+        pid: u32,
+        tid: u32,
+    ) {
+        self.push(TraceEvent {
+            name: name.into(),
+            cat,
+            ph: Phase::End,
+            ts_ns,
+            pid,
+            tid,
+            args: Vec::new(),
+        });
+    }
+
+    /// A complete slice with its own duration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        ts_ns: u64,
+        dur_ns: u64,
+        pid: u32,
+        tid: u32,
+        args: Vec<(&'static str, Value)>,
+    ) {
+        self.push(TraceEvent {
+            name: name.into(),
+            cat,
+            ph: Phase::Complete { dur_ns },
+            ts_ns,
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// A point-in-time instant.
+    pub fn instant(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        ts_ns: u64,
+        pid: u32,
+        tid: u32,
+    ) {
+        self.push(TraceEvent {
+            name: name.into(),
+            cat,
+            ph: Phase::Instant,
+            ts_ns,
+            pid,
+            tid,
+            args: Vec::new(),
+        });
+    }
+
+    /// A counter sample.
+    pub fn counter(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        ts_ns: u64,
+        pid: u32,
+        value: f64,
+    ) {
+        self.push(TraceEvent {
+            name: name.into(),
+            cat,
+            ph: Phase::Counter { value },
+            ts_ns,
+            pid,
+            tid: 0,
+            args: Vec::new(),
+        });
+    }
+
+    /// Begin an async (overlap-tolerant) span correlated by `id`.
+    pub fn async_begin(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        ts_ns: u64,
+        pid: u32,
+        id: u64,
+    ) {
+        self.push(TraceEvent {
+            name: name.into(),
+            cat,
+            ph: Phase::AsyncBegin { id },
+            ts_ns,
+            pid,
+            tid: 0,
+            args: Vec::new(),
+        });
+    }
+
+    /// End an async span correlated by `id`.
+    pub fn async_end(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        ts_ns: u64,
+        pid: u32,
+        id: u64,
+    ) {
+        self.push(TraceEvent {
+            name: name.into(),
+            cat,
+            ph: Phase::AsyncEnd { id },
+            ts_ns,
+            pid,
+            tid: 0,
+            args: Vec::new(),
+        });
+    }
+
+    /// Name a process track.
+    pub fn process_name(&self, pid: u32, name: impl Into<String>) {
+        self.metadata("process_name", pid, 0, name.into());
+    }
+
+    /// Name a thread track.
+    pub fn thread_name(&self, pid: u32, tid: u32, name: impl Into<String>) {
+        self.metadata("thread_name", pid, tid, name.into());
+    }
+
+    fn metadata(&self, key: &'static str, pid: u32, tid: u32, name: String) {
+        self.push(TraceEvent {
+            name: key.to_string(),
+            cat: "__metadata",
+            ph: Phase::Metadata,
+            ts_ns: 0,
+            pid,
+            tid,
+            args: vec![("name", Value::Str(name))],
+        });
+    }
+
+    /// Consume the tracer, returning the raw buffered events (for
+    /// merging per-cell tracers into one file).
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events.into_inner()
+    }
+
+    /// Append previously extracted events.
+    pub fn absorb_events(&self, events: Vec<TraceEvent>) {
+        self.events.borrow_mut().extend(events);
+    }
+
+    /// Render the Chrome/Perfetto `trace_events` JSON document.
+    ///
+    /// Metadata records sort first, then everything ascends by simulated
+    /// timestamp; the sort is stable, so same-instant events keep their
+    /// recording order (which keeps `B` before `E` for zero-length
+    /// spans).
+    pub fn export(&self) -> Value {
+        let mut events = self.events.borrow().clone();
+        events.sort_by_key(|e| (!matches!(e.ph, Phase::Metadata), e.ts_ns));
+        Value::Object(vec![
+            (
+                "traceEvents".to_string(),
+                Value::Array(events.iter().map(TraceEvent::to_value).collect()),
+            ),
+            ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+        ])
+    }
+
+    /// [`Tracer::export`] rendered to compact JSON text.
+    pub fn export_string(&self) -> String {
+        serde_json::to_string(&self.export()).expect("trace export is tree-shaped")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_sorts_and_shapes_events() {
+        let t = Tracer::new();
+        t.instant("late", "test", 5_000, 1, 0);
+        t.span_begin("req 0", "request", 1_000, 1, 7);
+        t.span_end("req 0", "request", 9_000, 1, 7);
+        t.complete(
+            "task",
+            "task",
+            2_000,
+            500,
+            1,
+            3,
+            vec![("cores", Value::U64(2))],
+        );
+        t.process_name(1, "run");
+        t.thread_name(1, 7, "request 0");
+
+        let doc = t.export();
+        let events = match doc.get("traceEvents") {
+            Some(Value::Array(evs)) => evs,
+            other => panic!("expected traceEvents array, got {other:?}"),
+        };
+        assert_eq!(events.len(), 6);
+        // Metadata first, then ts-ascending.
+        assert_eq!(events[0].get("ph").and_then(Value::as_str), Some("M"));
+        assert_eq!(events[1].get("ph").and_then(Value::as_str), Some("M"));
+        let ts: Vec<f64> = events
+            .iter()
+            .map(|e| e.get("ts").and_then(Value::as_f64).unwrap())
+            .collect();
+        assert!(
+            ts.windows(2).all(|w| w[0] <= w[1]),
+            "ts not monotone: {ts:?}"
+        );
+        // µs scaling: 1_000 ns -> 1.0 µs.
+        assert_eq!(events[2].get("ts").and_then(Value::as_f64), Some(1.0));
+        // The X slice carries dur and args.
+        let x = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(x.get("dur").and_then(Value::as_f64), Some(0.5));
+        assert_eq!(
+            x.get("args")
+                .and_then(|a| a.get("cores"))
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+        // The document parses back as valid JSON.
+        let text = t.export_string();
+        serde_json::parse(&text).expect("export must be valid JSON");
+    }
+
+    #[test]
+    fn async_and_counter_payloads() {
+        let t = Tracer::new();
+        t.async_begin("flow", "net", 10, 1, 0xBEEF);
+        t.async_end("flow", "net", 20, 1, 0xBEEF);
+        t.counter("tombstones", "queue", 15, 1, 3.0);
+        let doc = t.export();
+        let events = match doc.get("traceEvents") {
+            Some(Value::Array(evs)) => evs.clone(),
+            other => panic!("expected traceEvents array, got {other:?}"),
+        };
+        assert_eq!(events[0].get("id").and_then(Value::as_str), Some("0xbeef"));
+        assert_eq!(events[2].get("id").and_then(Value::as_str), Some("0xbeef"));
+        let c = &events[1];
+        assert_eq!(c.get("ph").and_then(Value::as_str), Some("C"));
+        assert_eq!(
+            c.get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Value::as_f64),
+            Some(3.0)
+        );
+    }
+}

@@ -23,6 +23,7 @@ use continuum_model::{CostMeter, DeviceId, EnergyMeter};
 use continuum_net::{
     shortest_path_avoiding, FlowId, FlowNetwork, LinkId, NodeId, Path, RouteCache,
 };
+use continuum_obs::{MetricsRegistry, MetricsSnapshot, Telemetry};
 use continuum_placement::{Env, Metrics, OnlinePlacer, Placement};
 use continuum_sim::{EventId, EventQueue, FaultKind, FaultSchedule, SimDuration, SimTime};
 use continuum_workflow::{Dag, DataId, TaskId};
@@ -41,13 +42,28 @@ pub struct StreamRequest {
 }
 
 /// Result of a simulated execution.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SimOutcome {
     /// Per-task and per-request timings.
     pub trace: ExecutionTrace,
     /// Aggregate metrics in the same shape the estimator reports, so
     /// estimated and simulated runs compare directly.
     pub metrics: Metrics,
+    /// Telemetry snapshot of this run (route-cache hit rate, calendar
+    /// compactions, flow-engine batches, re-placements, ...). `None`
+    /// unless a [`continuum_obs::Telemetry`] sink was ambient.
+    pub telemetry: Option<Box<MetricsSnapshot>>,
+}
+
+/// Equality deliberately ignores `telemetry`: the snapshot describes how
+/// the executor ran (cache hits, compaction passes), not what it
+/// computed, and the bench oracles assert outcome equality between
+/// executors with different internals. The telemetry-on-vs-off proptest
+/// relies on `trace` and `metrics` covering every simulated decision.
+impl PartialEq for SimOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.trace == other.trace && self.metrics == other.metrics
+    }
 }
 
 /// Execute a single workflow arriving at time zero.
@@ -334,6 +350,69 @@ fn route(
     }
 }
 
+/// Executor-local observability accumulator.
+///
+/// The counters are plain integer adds on paths that already mutate
+/// state, so they stay on unconditionally (same cost model as the
+/// route-cache and calendar counters). `marks` — timestamped points the
+/// Perfetto export turns into instants — is only fed when an ambient
+/// telemetry sink has tracing enabled.
+#[derive(Default)]
+struct ExecObs {
+    trace_on: bool,
+    /// Transfers that found no surviving route and parked in `stalled`.
+    stalls: u64,
+    /// Output publishes run by finished tasks.
+    publishes: u64,
+    /// Total destination slots those publishes fanned out to.
+    publish_fanout: u64,
+    /// Tasks parked with no feasible live device.
+    parked: u64,
+    marks: Vec<(SimTime, ObsMark)>,
+}
+
+enum ObsMark {
+    Stall {
+        req: usize,
+    },
+    Replace {
+        req: usize,
+        task: TaskId,
+        dev: DeviceId,
+    },
+    Park {
+        req: usize,
+        task: TaskId,
+    },
+}
+
+impl ExecObs {
+    fn stall(&mut self, now: SimTime, req: usize) {
+        self.stalls += 1;
+        if self.trace_on {
+            self.marks.push((now, ObsMark::Stall { req }));
+        }
+    }
+
+    fn publish(&mut self, fanout: usize) {
+        self.publishes += 1;
+        self.publish_fanout += fanout as u64;
+    }
+
+    fn replaced(&mut self, now: SimTime, req: usize, task: TaskId, dev: DeviceId) {
+        if self.trace_on {
+            self.marks.push((now, ObsMark::Replace { req, task, dev }));
+        }
+    }
+
+    fn park(&mut self, now: SimTime, req: usize, task: TaskId) {
+        self.parked += 1;
+        if self.trace_on {
+            self.marks.push((now, ObsMark::Park { req, task }));
+        }
+    }
+}
+
 /// [`simulate_stream_with_faults`] with an optional infrastructure
 /// [`FaultPlane`]. With `plane: None` this is exactly the fault-free
 /// executor — same event order, bit-identical results.
@@ -343,6 +422,14 @@ pub fn simulate_stream_chaos(
     faults: Option<&FaultSpec>,
     plane: Option<&FaultPlane>,
 ) -> SimOutcome {
+    // Resolve the ambient telemetry sink ONCE per run; the event loop
+    // below never touches thread-local state. With no sink installed the
+    // only telemetry cost left in this function is plain counter adds.
+    let tele = continuum_obs::ambient();
+    let mut obs = ExecObs {
+        trace_on: tele.as_deref().is_some_and(Telemetry::trace_enabled),
+        ..ExecObs::default()
+    };
     let mut fault_rng = faults.map(|f| {
         assert!(
             (0.0..1.0).contains(&f.fail_prob),
@@ -530,6 +617,7 @@ pub fn simulate_stream_chaos(
                             }
                             None => {
                                 assert!(n_dead > 0, "disconnected topology");
+                                obs.stall(now, req);
                                 stalled.push((req, slot, bytes));
                             }
                         }
@@ -578,6 +666,7 @@ pub fn simulate_stream_chaos(
                     },
                     None => {
                         assert!(n_dead > 0, "disconnected topology");
+                        obs.stall(now, req);
                         stalled.push((req, slot, bytes));
                     }
                 }
@@ -669,6 +758,7 @@ pub fn simulate_stream_chaos(
                         }
                     }
                 }
+                obs.publish(to_deliver.len());
                 for slot in to_deliver {
                     let (d, dst) = {
                         let s = &st.slots[slot as usize];
@@ -699,6 +789,7 @@ pub fn simulate_stream_chaos(
                             }
                             None => {
                                 assert!(n_dead > 0, "disconnected topology");
+                                obs.stall(now, req);
                                 stalled.push((req, slot, bytes));
                             }
                         }
@@ -874,6 +965,7 @@ pub fn simulate_stream_chaos(
                     &mut dispatch_devices,
                     &mut made_present,
                     &mut trace,
+                    &mut obs,
                     req,
                     task,
                     now,
@@ -941,7 +1033,138 @@ pub fn simulate_stream_chaos(
         cost_usd: cost.total_usd(),
         bytes_moved,
     };
-    SimOutcome { trace, metrics }
+    // Harvest telemetry only now, outside the event loop: component
+    // counters (route cache, calendar, flow engine) plus the executor's
+    // own, folded into the ambient sink and attached to the outcome.
+    let telemetry = tele.map(|t| {
+        let snap = harvest_run_metrics(&trace, &metrics, &rcache, &queue, &network, &obs);
+        t.metrics.absorb(&snap);
+        if t.trace_enabled() {
+            synthesize_trace(&t, env, plane, &trace, &obs);
+        }
+        Box::new(snap)
+    });
+    SimOutcome {
+        trace,
+        metrics,
+        telemetry,
+    }
+}
+
+/// Fold one finished run's counters into a fresh [`MetricsSnapshot`]:
+/// the per-run record embedded in [`SimOutcome::telemetry`] and merged
+/// into the ambient registry.
+fn harvest_run_metrics(
+    trace: &ExecutionTrace,
+    metrics: &Metrics,
+    rcache: &RouteCache,
+    queue: &EventQueue<Ev>,
+    network: &FlowNetwork,
+    obs: &ExecObs,
+) -> MetricsSnapshot {
+    let reg = MetricsRegistry::new();
+    rcache.publish_metrics(&reg, "route_cache");
+    queue.publish_metrics(&reg, "event_queue");
+    network.publish_metrics(&reg, "flow_engine");
+    reg.inc("executor.runs", 1);
+    reg.record("executor.replacements", trace.replacements);
+    reg.record("executor.stalls", obs.stalls);
+    reg.inc("executor.publishes", obs.publishes);
+    reg.inc("executor.publish_fanout", obs.publish_fanout);
+    reg.record("executor.parked", obs.parked);
+    reg.record("executor.device_crashes", trace.device_crashes);
+    reg.record("executor.link_failures", trace.link_failures);
+    reg.record("executor.killed_attempts", trace.killed_attempts);
+    reg.record("executor.failed_attempts", trace.failed_attempts);
+    reg.inc("executor.transfers", trace.transfers);
+    reg.inc("executor.bytes_moved", trace.bytes_moved);
+    reg.set_gauge("executor.makespan_s", metrics.makespan_s);
+    reg.set_gauge("executor.lost_work_s", trace.lost_work_s);
+    for rec in &trace.records {
+        reg.observe_ns("executor.task_duration", rec.finish.since(rec.start).0);
+        reg.inc_labeled("device.tasks", rec.device.0, 1);
+    }
+    for lat in trace.latencies_s() {
+        reg.observe_ns(
+            "executor.request_latency",
+            SimDuration::from_secs_f64(lat).0,
+        );
+    }
+    reg.snapshot()
+}
+
+/// Synthesize the run's Perfetto timeline into the sink's tracer, from
+/// data the run already produced — zero cost inside the event loop:
+///
+/// - one `B`/`E` span per request on its own thread track (pairs nest
+///   trivially: exactly one span per track);
+/// - one `X` slice per task attempt on its device's track;
+/// - instants for fault-plane events (tid 0) and for the stall /
+///   re-placement / park marks recorded in-loop (request tracks).
+fn synthesize_trace(
+    tele: &Telemetry,
+    env: &Env,
+    plane: Option<&FaultPlane>,
+    trace: &ExecutionTrace,
+    obs: &ExecObs,
+) {
+    let pid = tele.pid();
+    let tr = &tele.tracer;
+    const REQ_TID_BASE: u32 = 100;
+    const DEV_TID_BASE: u32 = 10_000;
+    tr.process_name(pid, "continuum executor");
+    tr.thread_name(pid, 0, "faults");
+    for (i, (&arr, &fin)) in trace
+        .request_arrival
+        .iter()
+        .zip(&trace.request_finish)
+        .enumerate()
+    {
+        let tid = REQ_TID_BASE + i as u32;
+        tr.thread_name(pid, tid, format!("request {i}"));
+        tr.span_begin(format!("request {i}"), "request", arr.0, pid, tid);
+        tr.span_end(format!("request {i}"), "request", fin.0, pid, tid);
+    }
+    let mut named_devs = vec![false; env.fleet.len()];
+    for rec in &trace.records {
+        let di = rec.device.0 as usize;
+        let tid = DEV_TID_BASE + rec.device.0;
+        if !named_devs[di] {
+            named_devs[di] = true;
+            tr.thread_name(pid, tid, format!("dev {di}"));
+        }
+        tr.complete(
+            format!("r{}:t{}", rec.request, rec.task.0),
+            "task",
+            rec.start.0,
+            rec.finish.since(rec.start).0,
+            pid,
+            tid,
+            vec![("cores", serde::Value::U64(u64::from(rec.cores)))],
+        );
+    }
+    if let Some(p) = plane {
+        for fe in p.schedule.events() {
+            let name = match fe.kind {
+                FaultKind::DeviceCrash => format!("crash dev {}", fe.target),
+                FaultKind::DeviceRecover => format!("recover dev {}", fe.target),
+                FaultKind::LinkFail => format!("fail link {}", fe.target),
+                FaultKind::LinkRestore => format!("restore link {}", fe.target),
+                FaultKind::EndpointCrash | FaultKind::EndpointRecover => continue,
+            };
+            tr.instant(name, "fault", fe.at.0, pid, 0);
+        }
+    }
+    for (at, mark) in &obs.marks {
+        let (name, req) = match mark {
+            ObsMark::Stall { req } => (format!("stall r{req}"), *req),
+            ObsMark::Replace { req, task, dev } => {
+                (format!("replace r{req}:t{} -> dev {}", task.0, dev.0), *req)
+            }
+            ObsMark::Park { req, task } => (format!("park r{req}:t{}", task.0), *req),
+        };
+        tr.instant(name, "chaos", at.0, pid, REQ_TID_BASE + req as u32);
+    }
 }
 
 /// First-fit scan of one device's ready queue: start every queued task
@@ -1032,6 +1255,7 @@ fn replace_task(
     dispatch_devices: &mut Vec<usize>,
     made_present: &mut Vec<(usize, u32)>,
     trace: &mut ExecutionTrace,
+    obs: &mut ExecObs,
     req: usize,
     task: TaskId,
     now: SimTime,
@@ -1054,11 +1278,13 @@ fn replace_task(
         })
         .collect();
     let Some((dev, _fin)) = placer.place_task(env, t, &input_view, now, dev_up) else {
+        obs.park(now, req, task);
         parked.push((req, task));
         return;
     };
     assign[req][task.0 as usize] = dev;
     trace.replacements += 1;
+    obs.replaced(now, req, task, dev);
     let dst = env.node_of(dev);
     let st = &mut states[req];
     let mut miss = 0u32;
@@ -1111,6 +1337,7 @@ fn replace_task(
                 }
                 None => {
                     assert!(n_dead > 0, "disconnected topology");
+                    obs.stall(now, req);
                     stalled.push((req, slot, bytes));
                 }
             }

@@ -77,6 +77,25 @@ impl ExecutionTrace {
             .collect()
     }
 
+    /// Arrival and finish of request `req`, or `None` if the trace has no
+    /// such request (or the run recorded arrivals but not finishes yet).
+    ///
+    /// Prefer this over indexing `request_arrival` / `request_finish`
+    /// directly: consumers fed an out-of-range index (e.g. a request id
+    /// from a different scenario) get a `None` instead of a panic.
+    pub fn request_span(&self, req: usize) -> Option<(SimTime, SimTime)> {
+        let arrival = *self.request_arrival.get(req)?;
+        let finish = *self.request_finish.get(req)?;
+        Some((arrival, finish))
+    }
+
+    /// Latency (finish − arrival) of request `req`, or `None` if the
+    /// trace has no such request.
+    pub fn request_latency(&self, req: usize) -> Option<SimDuration> {
+        let (arrival, finish) = self.request_span(req)?;
+        Some(finish.since(arrival))
+    }
+
     /// Busy core-seconds per device id (dense vector sized to max id + 1).
     pub fn busy_core_seconds(&self, n_devices: usize) -> Vec<f64> {
         let mut busy = vec![0.0; n_devices];
@@ -191,6 +210,29 @@ mod tests {
         };
         assert_eq!(tr.makespan(), SimDuration::from_secs(9));
         assert_eq!(tr.latencies_s(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn request_accessors_return_none_out_of_range() {
+        let tr = ExecutionTrace {
+            request_arrival: vec![SimTime::ZERO, SimTime::from_secs(5)],
+            request_finish: vec![SimTime::from_secs(2), SimTime::from_secs(9)],
+            ..Default::default()
+        };
+        assert_eq!(
+            tr.request_span(0),
+            Some((SimTime::ZERO, SimTime::from_secs(2)))
+        );
+        assert_eq!(tr.request_latency(1), Some(SimDuration::from_secs(4)));
+        // Out-of-range indices must not panic.
+        assert_eq!(tr.request_span(2), None);
+        assert_eq!(tr.request_latency(usize::MAX), None);
+        // A trace with arrivals but no finishes (mid-run snapshot) is None.
+        let partial = ExecutionTrace {
+            request_arrival: vec![SimTime::ZERO],
+            ..Default::default()
+        };
+        assert_eq!(partial.request_span(0), None);
     }
 
     #[test]

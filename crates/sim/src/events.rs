@@ -17,6 +17,7 @@
 //! flow re-arm storm is exactly that loop).
 
 use crate::time::{SimDuration, SimTime};
+use continuum_obs::MetricsRegistry;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -83,6 +84,23 @@ struct Slot {
 /// the tombstones it reclaims.
 const COMPACT_MIN_HEAP: usize = 64;
 
+/// Lifetime counters of one calendar, harvested by the telemetry plane.
+///
+/// `scheduled`/`cancelled`/`compactions` are cumulative since
+/// construction (they survive [`EventQueue::reset`]); `tombstones` is
+/// the current heap-resident tombstone count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events ever scheduled.
+    pub scheduled: u64,
+    /// Events cancelled while still pending.
+    pub cancelled: u64,
+    /// Tombstone-eviction passes run (automatic or explicit).
+    pub compactions: u64,
+    /// Tombstoned entries currently occupying heap memory.
+    pub tombstones: usize,
+}
+
 /// A calendar of pending events of type `E`.
 ///
 /// The calendar owns the simulation clock: popping an event advances `now`
@@ -115,6 +133,12 @@ pub struct EventQueue<E> {
     live: usize,
     next_seq: u64,
     now: SimTime,
+    /// Lifetime schedule count (telemetry; plain counter, always on).
+    scheduled: u64,
+    /// Lifetime cancel count (telemetry).
+    cancelled: u64,
+    /// Lifetime compaction passes (telemetry).
+    compactions: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -133,6 +157,9 @@ impl<E> EventQueue<E> {
             live: 0,
             next_seq: 0,
             now: SimTime::ZERO,
+            scheduled: 0,
+            cancelled: 0,
+            compactions: 0,
         }
     }
 
@@ -155,7 +182,29 @@ impl<E> EventQueue<E> {
     /// occupying heap memory. Bounded: compaction runs whenever this
     /// exceeds the live count (and the heap is non-trivial).
     pub fn tombstones(&self) -> usize {
-        self.heap.len() - self.live
+        self.stats().tombstones
+    }
+
+    /// Lifetime counters plus the current tombstone count — the record
+    /// the telemetry plane harvests (see
+    /// [`EventQueue::publish_metrics`]).
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            scheduled: self.scheduled,
+            cancelled: self.cancelled,
+            compactions: self.compactions,
+            tombstones: self.heap.len() - self.live,
+        }
+    }
+
+    /// Publish this calendar's counters into a metrics registry under
+    /// `prefix` (e.g. `"executor.event_queue"`).
+    pub fn publish_metrics(&self, reg: &MetricsRegistry, prefix: &str) {
+        let s = self.stats();
+        reg.record(&format!("{prefix}.scheduled"), s.scheduled);
+        reg.record(&format!("{prefix}.cancelled"), s.cancelled);
+        reg.record(&format!("{prefix}.compactions"), s.compactions);
+        reg.set_gauge(&format!("{prefix}.tombstones"), s.tombstones as f64);
     }
 
     /// True if `id` refers to the live generation of its slot.
@@ -210,6 +259,7 @@ impl<E> EventQueue<E> {
             payload,
         });
         self.live += 1;
+        self.scheduled += 1;
         id
     }
 
@@ -232,6 +282,7 @@ impl<E> EventQueue<E> {
             return false;
         }
         self.retire(id);
+        self.cancelled += 1;
         self.maybe_compact();
         true
     }
@@ -276,6 +327,7 @@ impl<E> EventQueue<E> {
     /// tombstone threshold — but callers about to idle a long-lived queue
     /// can force the memory back.
     pub fn compact(&mut self) {
+        self.compactions += 1;
         let mut entries = std::mem::take(&mut self.heap).into_vec();
         entries.retain(|e| {
             let s = &self.slots[e.id.slot()];
@@ -449,6 +501,37 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop().unwrap().1, u64::MAX);
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn stats_track_lifetime_counters() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..100)
+            .map(|i| q.schedule_at(SimTime::from_secs(i), i))
+            .collect();
+        for id in &ids[..80] {
+            q.cancel(*id);
+        }
+        let s = q.stats();
+        assert_eq!(s.scheduled, 100);
+        assert_eq!(s.cancelled, 80);
+        assert!(s.compactions >= 1, "cancel storm must have compacted");
+        assert_eq!(
+            s.tombstones,
+            q.tombstones(),
+            "accessor stays a thin wrapper"
+        );
+        // Counters survive reset (they are lifetime totals).
+        q.reset();
+        assert_eq!(q.stats().scheduled, 100);
+
+        let reg = continuum_obs::MetricsRegistry::new();
+        q.publish_metrics(&reg, "q");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("q.scheduled"), 100);
+        assert_eq!(snap.counter("q.cancelled"), 80);
+        assert!(snap.counter("q.compactions") >= 1);
+        assert_eq!(snap.gauge("q.tombstones"), Some(0.0));
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod stats;
 pub mod time;
 
 pub use engine::{run_to_completion, run_until, Model, RunStats};
-pub use events::{EventId, EventQueue};
+pub use events::{EventId, EventQueue, QueueStats};
 pub use fault::{FaultEvent, FaultKind, FaultProcess, FaultSchedule, FaultScheduleSpec};
 pub use rng::Rng;
 pub use stats::{jain_fairness, Histogram, OnlineStats, Percentiles, TimeWeighted};

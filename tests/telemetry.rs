@@ -1,0 +1,231 @@
+//! Telemetry-plane integration tests.
+//!
+//! Two guarantees hold the observability layer honest:
+//!
+//! 1. **Telemetry never changes the run.** Executing under an ambient
+//!    [`Telemetry`] — metrics and tracing both on — must produce a
+//!    [`SimOutcome`] bit-identical (every trace record, every f64) to the
+//!    same run with telemetry off. The plane observes; it never steers.
+//! 2. **The Perfetto export is well-formed.** The exported JSON must
+//!    parse, keep non-metadata events in non-decreasing timestamp order,
+//!    and balance every `B` with an `E` on the same `(pid, tid)` track —
+//!    the invariants ui.perfetto.dev needs to load the file at all.
+
+use continuum_core::prelude::*;
+use continuum_obs::{with_ambient, Telemetry};
+use continuum_runtime::StreamRequest;
+use proptest::prelude::*;
+use std::rc::Rc;
+
+fn world() -> Continuum {
+    Continuum::build(&Scenario::default_continuum())
+}
+
+fn requests(world: &Continuum, seed: u64, tasks: usize) -> Vec<StreamRequest> {
+    let mut rng = Rng::new(seed);
+    let dag = layered_random(
+        &mut rng,
+        &LayeredSpec {
+            tasks,
+            work_mu: (1e11f64).ln(),
+            ..Default::default()
+        },
+    );
+    let placement = world.place(&dag, &HeftPlacer::default());
+    vec![StreamRequest {
+        arrival: SimTime::ZERO,
+        dag,
+        placement,
+    }]
+}
+
+fn churn_plane(world: &Continuum, seed: u64) -> FaultPlane {
+    let n_dev = world.env().fleet.len() as u32;
+    let n_links = world.env().topology.links().len() as u32;
+    let schedule = FaultSchedule::generate(
+        &FaultScheduleSpec {
+            horizon: SimDuration::from_secs(40),
+            devices: FaultProcess {
+                population: n_dev,
+                mttf_s: 6.0,
+                mttr_s: 2.0,
+            },
+            links: FaultProcess {
+                population: n_links,
+                mttf_s: 10.0,
+                mttr_s: 2.0,
+            },
+            ..Default::default()
+        },
+        seed ^ 0x0B5,
+    );
+    FaultPlane {
+        schedule,
+        detection: SimDuration::from_millis(250),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Running under full telemetry (metrics + tracing) yields an outcome
+    /// bit-identical to running with telemetry off, under arbitrary
+    /// chaos. `SimOutcome`'s `PartialEq` intentionally ignores the
+    /// attached snapshot, so this compares exactly what the executor
+    /// decided — makespan, every record, every counter in the trace.
+    #[test]
+    fn telemetry_on_is_bit_identical_to_off(seed in any::<u64>(), tasks in 10usize..40) {
+        let world = world();
+        let reqs = requests(&world, seed, tasks);
+        let plane = churn_plane(&world, seed);
+
+        let off = simulate_stream_chaos(world.env(), &reqs, None, Some(&plane));
+        let tele = Rc::new(Telemetry::new(true));
+        let on = with_ambient(&tele, || {
+            simulate_stream_chaos(world.env(), &reqs, None, Some(&plane))
+        });
+
+        prop_assert_eq!(&off, &on, "telemetry changed the execution");
+        // And the full traces agree field by field, not just the summary.
+        prop_assert_eq!(&off.trace.records, &on.trace.records);
+        prop_assert_eq!(off.trace.replacements, on.trace.replacements);
+        prop_assert_eq!(off.trace.lost_work_s, on.trace.lost_work_s);
+        // Off-run carries no snapshot; on-run always does.
+        prop_assert!(off.telemetry.is_none());
+        let snap = on.telemetry.as_ref().expect("ambient telemetry produces a snapshot");
+        prop_assert_eq!(snap.counter("executor.runs"), 1);
+        prop_assert_eq!(
+            snap.counter("executor.replacements"),
+            on.trace.replacements
+        );
+        prop_assert!(snap.gauge("route_cache.hit_rate").is_some());
+    }
+}
+
+/// Golden test for the Perfetto/Chrome `trace_events` export: valid
+/// JSON, the required top-level shape, non-decreasing timestamps after
+/// the metadata block, and balanced `B`/`E` pairs per track.
+#[test]
+fn perfetto_export_is_well_formed() {
+    let world = world();
+    let reqs = requests(&world, 0x7E1E, 30);
+    let plane = churn_plane(&world, 0x7E1E);
+    let tele = Rc::new(Telemetry::new(true));
+    let out = with_ambient(&tele, || {
+        simulate_stream_chaos(world.env(), &reqs, None, Some(&plane))
+    });
+
+    let exported = tele.tracer.export_string();
+    let root = serde_json::parse(&exported).expect("export is valid JSON");
+    let serde::Value::Object(top) = &root else {
+        panic!("export root is not an object");
+    };
+    let events = top
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .expect("traceEvents key");
+    let serde::Value::Array(events) = events else {
+        panic!("traceEvents is not an array");
+    };
+    assert!(!events.is_empty(), "trace exported no events");
+
+    fn field<'v>(ev: &'v serde::Value, key: &str) -> &'v serde::Value {
+        let serde::Value::Object(pairs) = ev else {
+            panic!("event is not an object");
+        };
+        &pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .expect("missing field")
+            .1
+    }
+    fn as_str(v: &serde::Value) -> &str {
+        match v {
+            serde::Value::Str(s) => s,
+            _ => panic!("expected string"),
+        }
+    }
+    fn as_f64(v: &serde::Value) -> f64 {
+        match v {
+            serde::Value::F64(x) => *x,
+            serde::Value::U64(x) => *x as f64,
+            serde::Value::I64(x) => *x as f64,
+            _ => panic!("expected number"),
+        }
+    }
+
+    // Metadata first, then non-decreasing timestamps; every B closed by
+    // an E on the same (pid, tid) track, never unbalanced.
+    let mut seen_non_meta = false;
+    let mut last_ts = f64::MIN;
+    let mut open: std::collections::HashMap<(u64, u64), i64> = std::collections::HashMap::new();
+    for ev in events {
+        let ph = as_str(field(ev, "ph"));
+        if ph == "M" {
+            assert!(!seen_non_meta, "metadata event after timed events");
+            continue;
+        }
+        seen_non_meta = true;
+        let ts = as_f64(field(ev, "ts"));
+        assert!(ts >= last_ts, "timestamps regressed: {ts} after {last_ts}");
+        last_ts = ts;
+        let track = (
+            as_f64(field(ev, "pid")) as u64,
+            as_f64(field(ev, "tid")) as u64,
+        );
+        match ph {
+            "B" => *open.entry(track).or_insert(0) += 1,
+            "E" => {
+                let depth = open.entry(track).or_insert(0);
+                *depth -= 1;
+                assert!(*depth >= 0, "E without matching B on {track:?}");
+            }
+            "X" => assert!(as_f64(field(ev, "dur")) >= 0.0),
+            "i" | "C" | "b" | "e" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(open.values().all(|&d| d == 0), "unclosed B spans: {open:?}");
+
+    // The chaos run actually put the interesting things on the timeline:
+    // one span pair per request plus task slices.
+    assert_eq!(out.trace.request_finish.len(), reqs.len());
+    let n_b = events
+        .iter()
+        .filter(|e| as_str(field(e, "ph")) == "B")
+        .count();
+    assert_eq!(n_b, reqs.len(), "one B span per request");
+    let n_x = events
+        .iter()
+        .filter(|e| as_str(field(e, "ph")) == "X")
+        .count();
+    assert_eq!(n_x, out.trace.records.len(), "one X slice per task record");
+}
+
+/// The embedded snapshot carries the headline counters the experiment
+/// harness and CI smoke step grep for — present even when zero.
+#[test]
+fn snapshot_carries_headline_keys() {
+    let world = world();
+    let reqs = requests(&world, 0xBEEF, 20);
+    let tele = Rc::new(Telemetry::new(false));
+    let out = with_ambient(&tele, || simulate_stream(world.env(), &reqs));
+    let snap = out.telemetry.as_ref().expect("snapshot attached");
+    let rendered = serde_json::to_string(snap).expect("snapshot serializes");
+    for key in [
+        "route_cache.hits",
+        "route_cache.misses",
+        "route_cache.hit_rate",
+        "event_queue.compactions",
+        "executor.replacements",
+        "flow_engine.recomputes",
+    ] {
+        assert!(
+            rendered.contains(&format!("\"{key}\"")),
+            "snapshot missing {key}: {rendered}"
+        );
+    }
+    // The ambient registry absorbed the same run.
+    assert_eq!(tele.metrics.snapshot(), *snap.clone());
+}
