@@ -98,6 +98,21 @@ fn route(
     }
 }
 
+/// Counter-based fault draw, mirroring the dense executor's: a pure
+/// function of `(seed, request, task, attempt)` so verdicts do not depend
+/// on completion interleaving.
+fn seed_fault_draw(
+    fs: &continuum_runtime::FaultSpec,
+    req: usize,
+    task: TaskId,
+    attempt: u32,
+) -> bool {
+    let mut seed = continuum_sim::Rng::new(fs.seed);
+    let mut per_req = seed.split(req as u64);
+    let mut per_task = per_req.split(u64::from(task.0));
+    per_task.split(u64::from(attempt)).chance(fs.fail_prob)
+}
+
 /// The seed-era executor. Same contract as
 /// [`continuum_runtime::simulate_stream_chaos`].
 pub fn simulate_stream_chaos_seed(
@@ -106,14 +121,13 @@ pub fn simulate_stream_chaos_seed(
     faults: Option<&FaultSpec>,
     plane: Option<&FaultPlane>,
 ) -> SimOutcome {
-    let mut fault_rng = faults.map(|f| {
+    if let Some(f) = faults {
         assert!(
             (0.0..1.0).contains(&f.fail_prob),
             "fail_prob must be in [0,1)"
         );
         assert!(f.max_attempts >= 1);
-        continuum_sim::Rng::new(f.seed)
-    });
+    }
     let mut attempts: HashMap<(usize, u32), u32> = HashMap::new();
     for r in requests {
         assert_eq!(
@@ -184,6 +198,7 @@ pub fn simulate_stream_chaos_seed(
     let mut egress_log: Vec<(Option<DeviceId>, u64)> = Vec::new();
     let mut energy = EnergyMeter::new(&env.fleet);
     let mut cost = CostMeter::new(&env.fleet);
+    let mut lost_dev: Vec<f64> = vec![0.0; n_dev];
 
     for (i, r) in requests.iter().enumerate() {
         queue.schedule_at(r.arrival, Ev::Arrival(i));
@@ -330,9 +345,9 @@ pub fn simulate_stream_chaos_seed(
                     .expect("finished task is running");
                 running[dev.0 as usize].swap_remove(pos);
 
-                if let (Some(fs), Some(rng)) = (faults, fault_rng.as_mut()) {
+                if let Some(fs) = faults {
                     let tries = attempts.entry((req, task.0)).or_insert(1);
-                    if rng.chance(fs.fail_prob) {
+                    if seed_fault_draw(fs, req, task, *tries) {
                         assert!(
                             *tries < fs.max_attempts,
                             "task {} of request {req} exhausted {} attempts",
@@ -445,7 +460,7 @@ pub fn simulate_stream_chaos_seed(
                             for (rq, t, rec) in std::mem::take(&mut running[d]) {
                                 let started_at = trace.records[rec].start;
                                 trace.records[rec].finish = now;
-                                trace.lost_work_s += now.since(started_at).as_secs_f64();
+                                lost_dev[d] += now.since(started_at).as_secs_f64();
                                 trace.killed_attempts += 1;
                                 attempt_no[rq][t.0 as usize] += 1;
                                 states[rq].started[t.0 as usize] = false;
@@ -631,6 +646,10 @@ pub fn simulate_stream_chaos_seed(
     }
     trace.bytes_moved = bytes_moved;
     trace.transfers = egress_log.len() as u64;
+    // Mirror the dense executor's finalization: lost work summed in
+    // device-id order, records in canonical order.
+    trace.lost_work_s = lost_dev.iter().sum();
+    trace.canonicalize();
     let makespan = trace.makespan();
     let metrics = Metrics {
         makespan_s: makespan.as_secs_f64(),

@@ -51,6 +51,27 @@ impl CostMeter {
         self.egress_usd[device.0 as usize] += spec.egress_usd_per_gb * bytes as f64 / BYTES_PER_GB;
     }
 
+    /// Fold another meter for the same fleet into this one, device by
+    /// device. Used when merging per-shard runs: each device bills in
+    /// exactly one shard, so for every index one operand is 0.0 and the
+    /// elementwise add is bit-exact.
+    ///
+    /// # Panics
+    /// If the meters were sized for different fleets.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.occupancy_usd.len(),
+            other.occupancy_usd.len(),
+            "merging cost meters of different fleets"
+        );
+        for (a, b) in self.occupancy_usd.iter_mut().zip(&other.occupancy_usd) {
+            *a += b;
+        }
+        for (a, b) in self.egress_usd.iter_mut().zip(&other.egress_usd) {
+            *a += b;
+        }
+    }
+
     /// Occupancy dollars of one device.
     pub fn occupancy_usd(&self, device: DeviceId) -> f64 {
         self.occupancy_usd[device.0 as usize]

@@ -34,6 +34,27 @@ impl EnergyMeter {
         self.busy_seconds[device.0 as usize] += cores as f64 * secs;
     }
 
+    /// Fold another meter for the same fleet into this one, device by
+    /// device. Used when merging per-shard runs: each device accumulates
+    /// busy time in exactly one shard, so for every index one operand is
+    /// 0.0 and the elementwise add is bit-exact.
+    ///
+    /// # Panics
+    /// If the meters were sized for different fleets.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.busy_joules.len(),
+            other.busy_joules.len(),
+            "merging energy meters of different fleets"
+        );
+        for (a, b) in self.busy_joules.iter_mut().zip(&other.busy_joules) {
+            *a += b;
+        }
+        for (a, b) in self.busy_seconds.iter_mut().zip(&other.busy_seconds) {
+            *a += b;
+        }
+    }
+
     /// Dynamic (busy) energy of one device, joules.
     pub fn busy_joules(&self, device: DeviceId) -> f64 {
         self.busy_joules[device.0 as usize]

@@ -223,6 +223,72 @@ pub fn fat_tree(k: usize, hosts_per_edge: usize, link: LinkSpec) -> (Topology, V
     (t, hosts)
 }
 
+/// Region partition of a [`fat_tree`]`(k, hosts_per_edge, _)` topology:
+/// region 0 holds the `(k/2)²` core switches, region `1 + pod` holds pod
+/// `pod`'s aggregation and edge switches plus its hosts. Regions are
+/// disjoint, cover every node, and — because pods only attach to each
+/// other through the core layer — every cross-region link is an
+/// agg↔core uplink.
+///
+/// Node ids are reconstructed from the builder's deterministic
+/// construction order (cores first, then each pod's aggs, then each edge
+/// followed by its hosts), so this must be kept in lock-step with
+/// [`fat_tree`].
+pub fn fat_tree_regions(k: usize, hosts_per_edge: usize) -> Vec<Vec<NodeId>> {
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
+    let half = k / 2;
+    let mut regions = Vec::with_capacity(1 + k);
+    let mut next = 0u32;
+    let mut take = |n: usize, out: &mut Vec<NodeId>| {
+        for _ in 0..n {
+            out.push(NodeId(next));
+            next += 1;
+        }
+    };
+    let mut cores = Vec::with_capacity(half * half);
+    take(half * half, &mut cores);
+    regions.push(cores);
+    // Per pod: half aggs, then half × (1 edge + hosts_per_edge hosts).
+    let pod_size = half + half * (1 + hosts_per_edge);
+    for _ in 0..k {
+        let mut pod = Vec::with_capacity(pod_size);
+        take(pod_size, &mut pod);
+        regions.push(pod);
+    }
+    regions
+}
+
+/// Region partition of a [`continuum`] topology built from `spec`:
+/// region 0 holds the backbone (all clouds and HPC nodes), region
+/// `1 + f` holds fog site `f`'s subtree — the fog node, its edge
+/// gateways, and their sensors. Every cross-region link is a fog↔cloud
+/// WAN link, so the conservative lookahead of the resulting
+/// [`crate::RegionPartition`] is the WAN latency.
+///
+/// Kept in lock-step with [`continuum`]'s construction order (clouds,
+/// HPCs, then per fog: the fog node, then each edge followed by its
+/// sensors).
+pub fn continuum_regions(spec: &ContinuumSpec) -> Vec<Vec<NodeId>> {
+    let mut regions = Vec::with_capacity(1 + spec.fogs);
+    let mut next = 0u32;
+    let mut take = |n: usize, out: &mut Vec<NodeId>| {
+        for _ in 0..n {
+            out.push(NodeId(next));
+            next += 1;
+        }
+    };
+    let mut backbone = Vec::with_capacity(spec.clouds + spec.hpcs);
+    take(spec.clouds + spec.hpcs, &mut backbone);
+    regions.push(backbone);
+    let fog_size = 1 + spec.edges_per_fog * (1 + spec.sensors_per_edge);
+    for _ in 0..spec.fogs {
+        let mut fog = Vec::with_capacity(fog_size);
+        take(fog_size, &mut fog);
+        regions.push(fog);
+    }
+    regions
+}
+
 /// A star: one hub and `leaves` spokes with identical links. For tests.
 pub fn star(leaves: usize, link: LinkSpec) -> (Topology, NodeId, Vec<NodeId>) {
     let mut t = Topology::new();
@@ -340,6 +406,98 @@ mod tests {
         // Hosts under the same edge switch are 2 hops apart.
         let p2 = rt.path(&t, hosts[0], hosts[1]).unwrap();
         assert_eq!(p2.hops(), 2);
+    }
+
+    #[test]
+    fn fat_tree_regions_cover_disjointly_and_cut_at_core() {
+        let ls = LinkSpec::new(SimDuration::from_micros(50), 1.25e9);
+        let (k, hpe) = (4, 3);
+        let (t, _) = fat_tree(k, hpe, ls);
+        let regions = fat_tree_regions(k, hpe);
+        assert_eq!(regions.len(), 1 + k);
+        // Disjoint cover: every node in exactly one region.
+        let mut seen = vec![false; t.node_count()];
+        for r in &regions {
+            for &n in r {
+                assert!(!seen[n.0 as usize], "node {n} in two regions");
+                seen[n.0 as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some node uncovered");
+        // Region membership matches the builder's names: region 0 is the
+        // cores, region 1+pod holds exactly pod `pod`'s switches & hosts.
+        for &n in &regions[0] {
+            assert!(t.node(n).name.starts_with("core"), "{}", t.node(n).name);
+        }
+        for (pod, r) in regions[1..].iter().enumerate() {
+            let tag = format!("{pod}_");
+            for &n in r {
+                let name = &t.node(n).name;
+                assert!(
+                    name.contains(&tag)
+                        && (name.starts_with("agg")
+                            || name.starts_with("edge")
+                            || name.starts_with("host")),
+                    "node {name} not in pod {pod}"
+                );
+            }
+        }
+        // Every cross-region edge is an agg↔core uplink.
+        let region_of = |n: NodeId| {
+            regions
+                .iter()
+                .position(|r| r.contains(&n))
+                .expect("covered")
+        };
+        for l in t.links() {
+            if region_of(l.a) != region_of(l.b) {
+                let names = [&t.node(l.a).name, &t.node(l.b).name];
+                assert!(
+                    names.iter().any(|n| n.starts_with("core"))
+                        && names.iter().any(|n| n.starts_with("agg")),
+                    "cross-region link {} - {} is not a core uplink",
+                    names[0],
+                    names[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn continuum_regions_cover_disjointly_and_cut_at_wan() {
+        let spec = ContinuumSpec::default();
+        let built = continuum(&spec);
+        let t = &built.topology;
+        let regions = continuum_regions(&spec);
+        assert_eq!(regions.len(), 1 + spec.fogs);
+        let mut seen = vec![false; t.node_count()];
+        for r in &regions {
+            for &n in r {
+                assert!(!seen[n.0 as usize], "node {n} in two regions");
+                seen[n.0 as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some node uncovered");
+        // Region 0 is exactly the clouds + HPCs.
+        let mut backbone = built.clouds.clone();
+        backbone.extend(&built.hpcs);
+        assert_eq!(regions[0], backbone);
+        // Region 1+f starts at fog f.
+        for (f, r) in regions[1..].iter().enumerate() {
+            assert_eq!(r[0], built.fogs[f]);
+        }
+        // Every cross-region link is a fog↔cloud WAN link.
+        let region_of = |n: NodeId| {
+            regions
+                .iter()
+                .position(|r| r.contains(&n))
+                .expect("covered")
+        };
+        for l in t.links() {
+            if region_of(l.a) != region_of(l.b) {
+                assert_eq!(l.latency, spec.fog_cloud.latency);
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,20 @@
 //! algorithm is retained verbatim as [`FlowNetwork::oracle_rates`] and
 //! cross-checked against the engine by property tests.
 //!
+//! Byte draining is *lazy*: each flow carries an anchor `(time,
+//! remaining, rate)` triple and is re-anchored only when a recompute
+//! actually changes its rate bitwise. `advance` just moves the clock —
+//! O(1) instead of the former O(active flows) per event — and observers
+//! evaluate `remaining - rate × (now - anchor)` on demand. Besides the
+//! speed, this makes a flow's byte trajectory a pure function of its
+//! rate-change history: two engines that apply the same mutations to a
+//! flow's links compute bit-identical remaining bytes and completion
+//! times even if their clocks advance through different intermediate
+//! event timestamps. The region-sharded executor
+//! (`continuum-runtime::simulate_stream_sharded`) leans on exactly that
+//! property, and on the monotone per-flow `seq` used to break
+//! completion-time ties identically in every engine instance.
+//!
 //! An ablation experiment compares this model against the naive
 //! "bottleneck-only" estimate of [`crate::routing::Path::transfer_time`].
 
@@ -65,9 +79,31 @@ struct FlowSlot {
     links: Arc<[LinkId]>,
     /// `link_pos[i]` = this flow's position in `link_flows[links[i]]`.
     link_pos: Vec<u32>,
-    total: f64,     // bytes requested at `start`
-    remaining: f64, // bytes
-    rate: f64,      // bytes/s, max-min fair share
+    total: f64, // bytes requested at `start`
+    /// Bytes remaining at `anchor` (NOT at the network clock); the flow
+    /// drains at `rate` from there. Re-anchored only when a recompute
+    /// changes the rate bitwise.
+    remaining: f64,
+    rate: f64, // bytes/s, max-min fair share
+    /// When `remaining` was sampled.
+    anchor: SimTime,
+    /// Start order, monotone per engine. Completion ties break on `seq`
+    /// rather than [`FlowId`] because slot reuse makes id order depend on
+    /// removal history, while start order is reproducible across engine
+    /// instances simulating subsets of the same workload.
+    seq: u64,
+}
+
+impl FlowSlot {
+    /// Bytes left at time `t` (must be ≥ `anchor`) under the current rate.
+    fn remaining_at(&self, t: SimTime) -> f64 {
+        let dt = t.since(self.anchor).as_secs_f64();
+        if dt <= 0.0 {
+            self.remaining
+        } else {
+            (self.remaining - self.rate * dt).max(0.0)
+        }
+    }
 }
 
 /// A flow forcibly terminated by [`FlowNetwork::fail_link`].
@@ -162,6 +198,8 @@ pub struct FlowNetwork {
     active_links: Vec<u32>,
     link_active_pos: Vec<u32>,
     scratch: Scratch,
+    /// Next start-order stamp (see [`FlowSlot::seq`]).
+    next_seq: u64,
     clock: SimTime,
     /// Set by `start`/`remove`; rates are recomputed lazily on the next
     /// observation, so mutations at one event timestamp coalesce into a
@@ -205,6 +243,7 @@ impl FlowNetwork {
                 fill: vec![LinkFill::default(); links],
                 ..Scratch::default()
             },
+            next_seq: 0,
             clock: SimTime::ZERO,
             dirty: false,
             recomputes: 0,
@@ -269,6 +308,8 @@ impl FlowNetwork {
                     total: 0.0,
                     remaining: 0.0,
                     rate: 0.0,
+                    anchor: SimTime::ZERO,
+                    seq: 0,
                 });
                 self.slot_pos.push(0);
                 self.scratch.flow_epoch.push(0);
@@ -280,6 +321,9 @@ impl FlowNetwork {
         f.total = bytes.max(1) as f64;
         f.remaining = f.total;
         f.rate = 0.0;
+        f.anchor = self.clock;
+        f.seq = self.next_seq;
+        self.next_seq += 1;
         f.link_pos.clear();
         for i in 0..self.slots[slot as usize].links.len() {
             let l = self.slots[slot as usize].links[i].0 as usize;
@@ -367,22 +411,30 @@ impl FlowNetwork {
         if !self.link_up[li] {
             return Vec::new();
         }
-        // Drain bytes at the pre-failure rates up to the failure instant.
+        // Bring rates up to the failure instant; bytes drained before
+        // `now` are computed lazily from each flow's anchor below.
         self.advance(now);
         self.link_up[li] = false;
         self.capacity[li] = 0.0;
-        let mut aborted: Vec<AbortedFlow> = self.link_flows[li]
+        let mut by_seq: Vec<(u64, AbortedFlow)> = self.link_flows[li]
             .iter()
             .map(|&s| {
                 let f = &self.slots[s as usize];
-                AbortedFlow {
-                    id: FlowId::new(s, f.generation),
-                    transferred: (f.total - f.remaining).max(0.0),
-                    remaining: f.remaining,
-                }
+                let rem = f.remaining_at(now);
+                (
+                    f.seq,
+                    AbortedFlow {
+                        id: FlowId::new(s, f.generation),
+                        transferred: (f.total - rem).max(0.0),
+                        remaining: rem,
+                    },
+                )
             })
             .collect();
-        aborted.sort_unstable_by_key(|a| a.id);
+        // Start order, not id order: reproducible across engine instances
+        // that saw the same flows start (ids depend on slot-reuse history).
+        by_seq.sort_unstable_by_key(|&(seq, _)| seq);
+        let aborted: Vec<AbortedFlow> = by_seq.into_iter().map(|(_, a)| a).collect();
         for a in &aborted {
             self.remove(now, a.id);
         }
@@ -428,18 +480,31 @@ impl FlowNetwork {
                 if f.rate <= 0.0 {
                     return None;
                 }
-                // Clamp so the nanosecond conversion cannot overflow the
-                // clock; no real flow takes anywhere near 1e9 seconds.
+                // Completion is projected from the flow's anchor, not the
+                // current clock: the anchor is the last instant its rate
+                // changed, so `remaining` is exact there and the flow has
+                // drained at `rate` ever since. Clamp so the nanosecond
+                // conversion cannot overflow the clock; no real flow takes
+                // anywhere near 1e9 seconds.
                 let dt = (f.remaining / f.rate).min(1e9);
+                // Ties broken by start order (`seq`), which is reproducible
+                // across engine instances; slot ids are not (LIFO reuse).
                 Some((
-                    self.clock + SimDuration::from_secs_f64(dt),
+                    f.anchor + SimDuration::from_secs_f64(dt),
+                    f.seq,
                     FlowId::new(s, f.generation),
                 ))
             })
-            .min()
+            .min_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap())
+            .map(|(t, _, id)| (t, id))
     }
 
-    /// Advance the clock to `now`, draining `rate * dt` bytes per flow.
+    /// Advance the clock to `now`.
+    ///
+    /// O(1) in the number of flows: bytes are not drained eagerly. Each
+    /// flow's `remaining` is stated at its `anchor` and the drain since
+    /// then is implied by its (settled) rate; `recompute_rates` re-anchors
+    /// a flow only when its rate actually changes.
     ///
     /// # Panics
     /// Debug-asserts that time does not move backwards.
@@ -449,13 +514,9 @@ impl FlowNetwork {
             return;
         }
         // Pending mutations happened at (or before) the current clock, so
-        // the interval being drained runs at the post-mutation rates.
+        // rates must settle *before* the clock moves — re-anchoring in
+        // `recompute_rates` uses the mutation-time clock.
         self.ensure_rates();
-        let dt = now.since(self.clock).as_secs_f64();
-        for &s in &self.active_slots {
-            let f = &mut self.slots[s as usize];
-            f.remaining = (f.remaining - f.rate * dt).max(0.0);
-        }
         self.clock = now;
     }
 
@@ -465,9 +526,10 @@ impl FlowNetwork {
         self.lookup(id).map(|f| f.rate)
     }
 
-    /// Remaining bytes of a flow.
+    /// Remaining bytes of a flow at the current clock.
     pub fn remaining(&self, id: FlowId) -> Option<f64> {
-        self.lookup(id).map(|f| f.remaining)
+        let clock = self.clock;
+        self.lookup(id).map(|f| f.remaining_at(clock))
     }
 
     fn lookup(&self, id: FlowId) -> Option<&FlowSlot> {
@@ -490,6 +552,10 @@ impl FlowNetwork {
     fn recompute_rates(&mut self) {
         self.recomputes += 1;
         self.recomputed_flows += self.active_slots.len() as u64;
+        // Mutations are applied at the current clock (advance() settles
+        // rates before moving it), so flows whose rate changes re-anchor
+        // here, at the instant the change takes effect.
+        let now = self.clock;
         let sc = &mut self.scratch;
         sc.epoch += 1;
         let epoch = sc.epoch;
@@ -556,7 +622,18 @@ impl FlowNetwork {
                         continue; // frozen in an earlier wave
                     }
                     sc.flow_epoch[s] = epoch;
-                    self.slots[s].rate = min_share;
+                    let f = &mut self.slots[s];
+                    // Re-anchor only on a bitwise rate change: an unchanged
+                    // rate keeps the old anchor, so repeated recomputes do
+                    // not accumulate floating-point drain error.
+                    if f.rate != min_share {
+                        let dt = now.since(f.anchor).as_secs_f64();
+                        if dt > 0.0 {
+                            f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                        }
+                        f.anchor = now;
+                        f.rate = min_share;
+                    }
                     remaining_flows -= 1;
                     for &l in self.slots[s].links.iter() {
                         let f = &mut sc.fill[l.0 as usize];
@@ -797,6 +874,31 @@ mod tests {
         fnw.advance(SimTime::from_millis(500));
         let rem = fnw.remaining(id).unwrap();
         assert!((rem - 500_000.0).abs() < 1.0, "rem {rem}");
+    }
+
+    #[test]
+    fn split_advance_is_bit_identical() {
+        // Advancing in many small steps must match one big step exactly:
+        // lazy drain means no per-step floating-point accumulation.
+        let (t, rt) = chain();
+        let p02 = rt.path(&t, NodeId(0), NodeId(2)).unwrap();
+        let p01 = rt.path(&t, NodeId(0), NodeId(1)).unwrap();
+
+        let mut one = FlowNetwork::new(&t);
+        let a1 = one.start(SimTime::ZERO, &p02, 900_000).unwrap();
+        let b1 = one.start(SimTime::ZERO, &p01, 700_000).unwrap();
+        one.advance(SimTime::from_millis(333));
+
+        let mut many = FlowNetwork::new(&t);
+        let a2 = many.start(SimTime::ZERO, &p02, 900_000).unwrap();
+        let b2 = many.start(SimTime::ZERO, &p01, 700_000).unwrap();
+        for step in 1..=333 {
+            many.advance(SimTime::from_millis(step));
+        }
+
+        assert_eq!(one.remaining(a1), many.remaining(a2));
+        assert_eq!(one.remaining(b1), many.remaining(b2));
+        assert_eq!(one.next_completion(), many.next_completion());
     }
 
     #[test]

@@ -16,13 +16,18 @@
 pub mod builders;
 pub mod flow;
 pub mod gilder;
+pub mod partition;
 pub mod routing;
 pub mod stats;
 pub mod topology;
 
-pub use builders::{continuum, dumbbell, fat_tree, star, BuiltContinuum, ContinuumSpec, LinkSpec};
+pub use builders::{
+    continuum, continuum_regions, dumbbell, fat_tree, fat_tree_regions, star, BuiltContinuum,
+    ContinuumSpec, LinkSpec,
+};
 pub use flow::{AbortedFlow, FlowEngineStats, FlowId, FlowNetwork};
 pub use gilder::{access_bandwidth, gilder_ratio, mean_gilder_ratio};
+pub use partition::RegionPartition;
 pub use routing::{
     shortest_path_avoiding, Path, RouteCache, RouteCacheStats, RouteTable, TransferMatrix,
 };

@@ -1,0 +1,206 @@
+//! Region partitions of a topology, for the sharded simulation kernel.
+//!
+//! A [`RegionPartition`] splits a topology's nodes into disjoint regions
+//! that together cover the graph. The sharded executor
+//! (`continuum-runtime`) assigns whole regions to shards so that no two
+//! shards ever share a link; the links that cross regions (the
+//! *boundary*) determine the conservative lookahead — no influence can
+//! propagate between regions faster than the minimum boundary-link
+//! latency, so shards may safely simulate that far past each other.
+//!
+//! Partitions for the stock topology builders live next to the builders:
+//! [`crate::builders::fat_tree_regions`] puts each pod in its own region
+//! with the core switches in region 0, and
+//! [`crate::builders::continuum_regions`] does the same for fog subtrees
+//! under a cloud+HPC backbone region.
+
+use crate::topology::{LinkId, NodeId, Topology};
+use continuum_sim::SimDuration;
+
+/// A disjoint cover of a topology's nodes, with the derived cross-region
+/// structure the sharded kernel needs: boundary links, the conservative
+/// lookahead, and which region is the shared backbone.
+#[derive(Debug, Clone)]
+pub struct RegionPartition {
+    regions: Vec<Vec<NodeId>>,
+    /// Node index → region index.
+    region_of: Vec<u32>,
+    /// Links whose endpoints sit in different regions.
+    boundary: Vec<LinkId>,
+    /// Per-link flag: is this a boundary link?
+    is_boundary: Vec<bool>,
+    /// Minimum latency over boundary links (`None` for a single-region
+    /// partition with no boundary).
+    lookahead: Option<SimDuration>,
+    /// The region every cross-region route passes through (cores of a
+    /// fat-tree, cloud backbone of a continuum).
+    core_region: usize,
+}
+
+impl RegionPartition {
+    /// Validate `regions` as a disjoint cover of `topo`'s nodes and
+    /// derive the boundary structure.
+    ///
+    /// # Panics
+    /// If a node appears in no region or in more than one, if a region is
+    /// empty, or if `core_region` is out of range.
+    pub fn new(topo: &Topology, regions: Vec<Vec<NodeId>>, core_region: usize) -> Self {
+        assert!(core_region < regions.len(), "core_region out of range");
+        let n = topo.node_count();
+        let mut region_of = vec![u32::MAX; n];
+        for (ri, r) in regions.iter().enumerate() {
+            assert!(!r.is_empty(), "region {ri} is empty");
+            for &node in r {
+                let slot = &mut region_of[node.0 as usize];
+                assert_eq!(
+                    *slot,
+                    u32::MAX,
+                    "node {node} appears in regions {} and {ri}",
+                    *slot
+                );
+                *slot = ri as u32;
+            }
+        }
+        for (i, &r) in region_of.iter().enumerate() {
+            assert_ne!(r, u32::MAX, "node n{i} is covered by no region");
+        }
+        let mut boundary = Vec::new();
+        let mut is_boundary = vec![false; topo.links().len()];
+        let mut lookahead: Option<SimDuration> = None;
+        for l in topo.links() {
+            if region_of[l.a.0 as usize] != region_of[l.b.0 as usize] {
+                boundary.push(l.id);
+                is_boundary[l.id.0 as usize] = true;
+                lookahead = Some(match lookahead {
+                    None => l.latency,
+                    Some(cur) => cur.min(l.latency),
+                });
+            }
+        }
+        RegionPartition {
+            regions,
+            region_of,
+            boundary,
+            is_boundary,
+            lookahead,
+            core_region,
+        }
+    }
+
+    /// The regions, in index order. Disjoint; together they cover every
+    /// node.
+    pub fn regions(&self) -> &[Vec<NodeId>] {
+        &self.regions
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the partition has no regions (never true for a validated
+    /// partition — regions must be non-empty and cover the graph).
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The region a node belongs to.
+    pub fn region_of(&self, node: NodeId) -> usize {
+        self.region_of[node.0 as usize] as usize
+    }
+
+    /// Links whose endpoints sit in different regions, in link order.
+    pub fn boundary_links(&self) -> &[LinkId] {
+        &self.boundary
+    }
+
+    /// Whether a link crosses regions.
+    pub fn is_boundary(&self, link: LinkId) -> bool {
+        self.is_boundary[link.0 as usize]
+    }
+
+    /// The conservative lookahead: minimum one-way latency over boundary
+    /// links. No event in one region can affect another region sooner
+    /// than this, so shards may run this far past the global horizon
+    /// without risking a causality violation. `None` when the partition
+    /// has a single region (no boundary to cross).
+    pub fn lookahead(&self) -> Option<SimDuration> {
+        self.lookahead
+    }
+
+    /// The backbone region that every cross-region route passes through.
+    pub fn core_region(&self) -> usize {
+        self.core_region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{star, LinkSpec};
+    use crate::topology::Tier;
+
+    fn two_star() -> (Topology, Vec<Vec<NodeId>>) {
+        // hub + 3 leaves; regions: {hub, leaf0}, {leaf1, leaf2}.
+        let ls = LinkSpec::new(SimDuration::from_millis(1), 1e6);
+        let (t, hub, leaves) = star(3, ls);
+        let regions = vec![vec![hub, leaves[0]], vec![leaves[1], leaves[2]]];
+        (t, regions)
+    }
+
+    #[test]
+    fn boundary_and_lookahead() {
+        let (t, regions) = two_star();
+        let p = RegionPartition::new(&t, regions, 0);
+        assert_eq!(p.len(), 2);
+        // Leaves 1 and 2 attach to the hub across the boundary.
+        assert_eq!(p.boundary_links().len(), 2);
+        assert_eq!(p.lookahead(), Some(SimDuration::from_millis(1)));
+        assert_eq!(p.region_of(NodeId(0)), 0);
+        for l in t.links() {
+            let cross = p.region_of(l.a) != p.region_of(l.b);
+            assert_eq!(p.is_boundary(l.id), cross);
+        }
+    }
+
+    #[test]
+    fn single_region_has_no_lookahead() {
+        let ls = LinkSpec::new(SimDuration::from_millis(1), 1e6);
+        let (t, _, _) = star(3, ls);
+        let all: Vec<NodeId> = t.nodes().iter().map(|n| n.id).collect();
+        let p = RegionPartition::new(&t, vec![all], 0);
+        assert_eq!(p.lookahead(), None);
+        assert!(p.boundary_links().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "covered by no region")]
+    fn missing_node_rejected() {
+        let (t, mut regions) = two_star();
+        regions[1].pop();
+        RegionPartition::new(&t, regions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears in regions")]
+    fn duplicate_node_rejected() {
+        let (t, mut regions) = two_star();
+        let dup = regions[0][1];
+        regions[1].push(dup);
+        RegionPartition::new(&t, regions, 0);
+    }
+
+    #[test]
+    fn works_on_multi_tier_graph() {
+        let mut t = Topology::new();
+        let c = t.add_node("c", Tier::Cloud);
+        let f = t.add_node("f", Tier::Fog);
+        let e = t.add_node("e", Tier::Edge);
+        t.add_link(c, f, SimDuration::from_millis(20), 1e9);
+        t.add_link(f, e, SimDuration::from_millis(5), 1e8);
+        let p = RegionPartition::new(&t, vec![vec![c], vec![f, e]], 0);
+        // Lookahead is the *minimum* boundary latency.
+        assert_eq!(p.lookahead(), Some(SimDuration::from_millis(20)));
+        assert_eq!(p.core_region(), 0);
+    }
+}

@@ -1,0 +1,489 @@
+//! Region-sharded stream execution.
+//!
+//! [`simulate_stream_sharded`] splits a workload across several
+//! [`crate::simrun`] executor cores — one per shard — and runs them under
+//! the conservative driver in `continuum-sim`. The result is **bit
+//! identical** to [`crate::simulate_stream_chaos`] on the same inputs,
+//! because sharding here is *request-confined*: requests are grouped so
+//! that no two shards ever touch the same device or link, which makes the
+//! per-shard max-min bandwidth decomposition exact rather than
+//! approximate.
+//!
+//! The grouping ([`plan_shards`]) works on a [`RegionPartition`] of the
+//! topology (pods of a fat-tree, fog subtrees of a continuum):
+//!
+//! 1. every request gets the set of regions its placement and external
+//!    data homes touch;
+//! 2. regions that co-occur in any request are merged (union-find), and a
+//!    request spanning ≥ 2 regions also pulls in the partition's core
+//!    region, since its transfers route through the backbone;
+//! 3. each resulting component becomes a shard (components beyond
+//!    `max_shards` are folded round-robin into the existing bins).
+//!
+//! Components share no regions, regions share no links, and cross-region
+//! routes only traverse the two endpoints' regions plus the core — so
+//! two requests in different components can never contend for bandwidth
+//! or cores, and per-shard simulation loses nothing.
+//!
+//! Under a fault plane, orphan re-placement is masked to the shard's own
+//! devices so repairs cannot leak across the partition (see
+//! [`ShardOpts`]).
+
+use crate::simrun::{assemble, ExecCore, FaultPlane, FaultSpec, SimOutcome, StreamRequest};
+use continuum_net::RegionPartition;
+use continuum_obs::{MetricsRegistry, Telemetry};
+use continuum_placement::Env;
+use continuum_sim::{run_conservative, Envelope, ShardModel, SimTime};
+
+/// Knobs for [`simulate_stream_sharded`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardOpts {
+    /// Upper bound on the number of shards. Components beyond this are
+    /// folded together round-robin; `usize::MAX` keeps one shard per
+    /// component.
+    pub max_shards: usize,
+    /// Run shards in conservative barrier windows of width
+    /// `lookahead` (the partition's minimum boundary-link latency)
+    /// instead of straight to completion. Because request-confined shards
+    /// exchange no events, both modes are bit-identical; windowed mode
+    /// exists to exercise and validate the conservative synchronization
+    /// path, at the cost of one barrier per window.
+    pub windowed: bool,
+    /// Advance shards on worker threads within each window. Determinism
+    /// does not depend on this (see `continuum_sim::shard`).
+    pub parallel: bool,
+}
+
+impl Default for ShardOpts {
+    fn default() -> Self {
+        ShardOpts {
+            max_shards: usize::MAX,
+            windowed: false,
+            parallel: true,
+        }
+    }
+}
+
+impl ShardOpts {
+    /// Parallel, non-windowed execution with at most `n` shards.
+    pub fn with_max_shards(n: usize) -> Self {
+        ShardOpts {
+            max_shards: n.max(1),
+            ..ShardOpts::default()
+        }
+    }
+}
+
+/// Output of [`plan_shards`]: which requests and regions each shard owns.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Per shard, the global indices of the requests it simulates, in
+    /// ascending order. Every request appears in exactly one shard.
+    pub groups: Vec<Vec<usize>>,
+    /// Per shard, the region indices it owns, in ascending order.
+    /// Disjoint across shards.
+    pub region_sets: Vec<Vec<usize>>,
+}
+
+/// Minimal union-find over region indices.
+struct Uf(Vec<usize>);
+
+impl Uf {
+    fn new(n: usize) -> Self {
+        Uf((0..n).collect())
+    }
+    fn find(&mut self, x: usize) -> usize {
+        let mut r = x;
+        while self.0[r] != r {
+            r = self.0[r];
+        }
+        let mut c = x;
+        while self.0[c] != c {
+            let next = self.0[c];
+            self.0[c] = r;
+            c = next;
+        }
+        r
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        // Root at the smaller index so components are named
+        // deterministically.
+        let (lo, hi) = (ra.min(rb), ra.max(rb));
+        self.0[hi] = lo;
+    }
+}
+
+/// The regions a request touches: those of its placement's devices plus
+/// those of its external data items' home nodes. Sorted and deduplicated.
+fn regions_of_request(env: &Env, r: &StreamRequest, partition: &RegionPartition) -> Vec<usize> {
+    let mut regs: Vec<usize> = r
+        .placement
+        .assignment
+        .iter()
+        .map(|&d| partition.region_of(env.node_of(d)))
+        .collect();
+    for item in r.dag.data_items() {
+        if let Some(home) = item.home {
+            regs.push(partition.region_of(home));
+        }
+    }
+    regs.sort_unstable();
+    regs.dedup();
+    regs
+}
+
+/// Group requests into shards that share no regions (see module docs for
+/// the algorithm). Deterministic: component order follows the first
+/// request (by global index) that touches each component, and the
+/// round-robin fold beyond `max_shards` depends only on that order.
+pub fn plan_shards(
+    env: &Env,
+    requests: &[StreamRequest],
+    partition: &RegionPartition,
+    max_shards: usize,
+) -> ShardPlan {
+    let max_shards = max_shards.max(1);
+    let nr = partition.len();
+    let core = partition.core_region();
+    let mut uf = Uf::new(nr);
+    let per_req: Vec<Vec<usize>> = requests
+        .iter()
+        .map(|r| regions_of_request(env, r, partition))
+        .collect();
+    for regs in &per_req {
+        for w in regs.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+        // A spanning request's transfers route through the backbone.
+        if regs.len() >= 2 {
+            uf.union(regs[0], core);
+        }
+    }
+    // Components in order of the first request that touches them; a
+    // request with no placement (empty DAG) rides with the core region.
+    let mut bin_of_root: Vec<Option<usize>> = vec![None; nr];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut roots: Vec<Vec<usize>> = Vec::new(); // component roots per bin
+    let mut n_comps = 0usize;
+    for (gid, regs) in per_req.iter().enumerate() {
+        let root = uf.find(regs.first().copied().unwrap_or(core));
+        let bin = *bin_of_root[root].get_or_insert_with(|| {
+            let b = n_comps % max_shards;
+            n_comps += 1;
+            if b == groups.len() {
+                groups.push(Vec::new());
+                roots.push(Vec::new());
+            }
+            roots[b].push(root);
+            b
+        });
+        groups[bin].push(gid);
+    }
+    // A shard owns every region of its components (touched or not —
+    // untouched regions of a component belong to no other shard, so
+    // claiming them is safe and keeps masks simple).
+    let region_sets: Vec<Vec<usize>> = roots
+        .iter()
+        .map(|rs| (0..nr).filter(|&r| rs.contains(&uf.find(r))).collect())
+        .collect();
+    ShardPlan {
+        groups,
+        region_sets,
+    }
+}
+
+/// [`ShardModel`] adapter: one executor core, pumped window by window.
+/// Request-confined shards exchange no messages, so the outbox is always
+/// empty and `Msg = ()`.
+struct CoreShard<'a> {
+    core: ExecCore<'a>,
+}
+
+impl ShardModel for CoreShard<'_> {
+    type Msg = ();
+
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        self.core.next_event_time()
+    }
+
+    fn advance(
+        &mut self,
+        horizon: Option<SimTime>,
+        _inbox: Vec<Envelope<()>>,
+    ) -> Vec<Envelope<()>> {
+        self.core.pump(horizon);
+        Vec::new()
+    }
+}
+
+/// Sharded [`crate::simulate_stream_chaos`]: same contract, same result
+/// — bit-identical trace and metrics — computed by up to
+/// `opts.max_shards` executor cores running in parallel over a region
+/// partition of the topology.
+///
+/// # Panics
+/// If `partition` does not cover `env`'s topology (see
+/// [`RegionPartition::new`]), or on any condition the single-queue
+/// executor panics on (invalid `FaultSpec`, deadlocked DAG, ...).
+pub fn simulate_stream_sharded(
+    env: &Env,
+    requests: &[StreamRequest],
+    faults: Option<&FaultSpec>,
+    plane: Option<&FaultPlane>,
+    partition: &RegionPartition,
+    opts: &ShardOpts,
+) -> SimOutcome {
+    let tele = continuum_obs::ambient();
+    let collect = tele.is_some();
+    let trace_on = tele.as_deref().is_some_and(Telemetry::trace_enabled);
+    let mut plan = plan_shards(env, requests, partition, opts.max_shards);
+    if plan.groups.is_empty() {
+        // No requests: one empty core still runs the fault schedule so
+        // the outcome's fault counters match the single-queue executor.
+        plan.groups.push(Vec::new());
+        plan.region_sets.push((0..partition.len()).collect());
+    }
+    let sharded = plan.groups.len() > 1;
+    let shards: Vec<CoreShard> = plan
+        .groups
+        .iter()
+        .zip(&plan.region_sets)
+        .map(|(group, regions)| {
+            let refs: Vec<&StreamRequest> = group.iter().map(|&gid| &requests[gid]).collect();
+            // Mask orphan re-placement to the shard's own devices, but
+            // only when there is more than one shard — a lone core may
+            // use the whole fleet, exactly like the single-queue path.
+            let mask = (sharded && plane.is_some()).then(|| {
+                (0..env.fleet.len())
+                    .map(|d| {
+                        let node = env.node_of(continuum_model::DeviceId(d as u32));
+                        regions.binary_search(&partition.region_of(node)).is_ok()
+                    })
+                    .collect::<Vec<bool>>()
+            });
+            CoreShard {
+                core: ExecCore::new(
+                    env,
+                    refs,
+                    group.clone(),
+                    faults,
+                    plane,
+                    mask,
+                    collect,
+                    trace_on,
+                ),
+            }
+        })
+        .collect();
+    let lookahead = if opts.windowed {
+        partition.lookahead()
+    } else {
+        None
+    };
+    let (shards, wstats) = run_conservative(shards, lookahead, opts.parallel);
+    if let Some(t) = &tele {
+        let reg = MetricsRegistry::new();
+        reg.inc("shard.runs", 1);
+        reg.record("shard.count", plan.groups.len() as u64);
+        reg.record("shard.windows", wstats.windows);
+        t.metrics.absorb(&reg.snapshot());
+    }
+    assemble(
+        env,
+        requests,
+        plane,
+        shards.into_iter().map(|s| s.core.finish()).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simrun::simulate_stream_chaos;
+    use continuum_model::{standard_fleet, DeviceId};
+    use continuum_net::{continuum, continuum_regions, ContinuumSpec, NodeId};
+    use continuum_placement::Placement;
+    use continuum_sim::{Rng, SimTime};
+    use continuum_workflow::{layered_random, LayeredSpec};
+
+    fn build_world() -> (Env, ContinuumSpec, Vec<Vec<NodeId>>) {
+        let spec = ContinuumSpec {
+            fogs: 3,
+            edges_per_fog: 2,
+            sensors_per_edge: 2,
+            clouds: 2,
+            hpcs: 1,
+            ..ContinuumSpec::default()
+        };
+        let built = continuum(&spec);
+        let fleet = standard_fleet(&built);
+        let env = Env::new(built.topology.clone(), fleet);
+        let regions = continuum_regions(&spec);
+        (env, spec, regions)
+    }
+
+    /// A request whose external inputs, tasks, and devices all live on
+    /// the nodes of one region (round-robin over the region's devices).
+    fn confined_request(
+        env: &Env,
+        nodes: &[NodeId],
+        source: NodeId,
+        seed: u64,
+        arrival: SimTime,
+    ) -> StreamRequest {
+        let mut rng = Rng::new(seed);
+        let dag = layered_random(
+            &mut rng,
+            &LayeredSpec {
+                tasks: 12,
+                source,
+                ..LayeredSpec::default()
+            },
+        );
+        let devs: Vec<DeviceId> = nodes
+            .iter()
+            .flat_map(|&n| env.fleet.at_node(n).iter().copied())
+            .collect();
+        assert!(!devs.is_empty());
+        let assignment = (0..dag.len()).map(|i| devs[i % devs.len()]).collect();
+        StreamRequest {
+            dag,
+            placement: Placement { assignment },
+            arrival,
+        }
+    }
+
+    /// One request per fog subtree, each confined to its region, plus
+    /// (optionally) one spanning request over fogs 0 and 1 and the
+    /// backbone.
+    fn workload(env: &Env, regions: &[Vec<NodeId>], spanning: bool) -> Vec<StreamRequest> {
+        let mut reqs = Vec::new();
+        for (f, nodes) in regions[1..].iter().enumerate() {
+            // Last node of a fog region is one of its sensors.
+            let source = *nodes.last().expect("non-empty region");
+            reqs.push(confined_request(
+                env,
+                nodes,
+                source,
+                41 * (f as u64 + 1),
+                SimTime::from_millis(13 * f as u64),
+            ));
+        }
+        if spanning {
+            let mut nodes = regions[1].clone();
+            nodes.extend(&regions[2]);
+            nodes.extend(&regions[0]);
+            let source = *regions[1].last().expect("non-empty region");
+            reqs.push(confined_request(
+                env,
+                &nodes,
+                source,
+                777,
+                SimTime::from_millis(5),
+            ));
+        }
+        reqs
+    }
+
+    #[test]
+    fn plan_is_a_partition_of_requests_and_regions() {
+        let (env, _, regions) = build_world();
+        let partition = RegionPartition::new(&env.topology, regions.clone(), 0);
+        let requests = workload(&env, &regions, true);
+        let plan = plan_shards(&env, &requests, &partition, usize::MAX);
+        // Fogs 0+1+backbone merge via the spanning request; fog 2 stands
+        // alone.
+        assert_eq!(plan.groups.len(), 2);
+        let mut seen = vec![false; requests.len()];
+        for g in &plan.groups {
+            for &gid in g {
+                assert!(!seen[gid], "request {gid} in two shards");
+                seen[gid] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Region sets are disjoint.
+        let mut owned = vec![false; partition.len()];
+        for rs in &plan.region_sets {
+            for &r in rs {
+                assert!(!owned[r], "region {r} owned by two shards");
+                owned[r] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn max_shards_folds_components() {
+        let (env, _, regions) = build_world();
+        let partition = RegionPartition::new(&env.topology, regions.clone(), 0);
+        let requests = workload(&env, &regions, false);
+        let unlimited = plan_shards(&env, &requests, &partition, usize::MAX);
+        assert_eq!(unlimited.groups.len(), 3); // one per fog
+        let capped = plan_shards(&env, &requests, &partition, 2);
+        assert_eq!(capped.groups.len(), 2);
+        let total: usize = capped.groups.iter().map(Vec::len).sum();
+        assert_eq!(total, requests.len());
+    }
+
+    #[test]
+    fn sharded_matches_single_queue_bit_for_bit() {
+        let (env, _, regions) = build_world();
+        let partition = RegionPartition::new(&env.topology, regions.clone(), 0);
+        for spanning in [false, true] {
+            let requests = workload(&env, &regions, spanning);
+            let single = simulate_stream_chaos(&env, &requests, None, None);
+            for opts in [
+                ShardOpts::default(),
+                ShardOpts {
+                    windowed: true,
+                    ..ShardOpts::default()
+                },
+                ShardOpts {
+                    parallel: false,
+                    ..ShardOpts::default()
+                },
+                ShardOpts::with_max_shards(2),
+                ShardOpts::with_max_shards(1),
+            ] {
+                let sharded =
+                    simulate_stream_sharded(&env, &requests, None, None, &partition, &opts);
+                assert_eq!(sharded, single, "opts {opts:?} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_single_queue_with_retries() {
+        let (env, _, regions) = build_world();
+        let partition = RegionPartition::new(&env.topology, regions.clone(), 0);
+        let requests = workload(&env, &regions, true);
+        let fs = FaultSpec {
+            fail_prob: 0.2,
+            max_attempts: 10,
+            retry_delay: continuum_sim::SimDuration::from_millis(50),
+            seed: 99,
+        };
+        let single = simulate_stream_chaos(&env, &requests, Some(&fs), None);
+        assert!(single.trace.failed_attempts > 0, "want retries in play");
+        let sharded = simulate_stream_sharded(
+            &env,
+            &requests,
+            Some(&fs),
+            None,
+            &partition,
+            &ShardOpts::default(),
+        );
+        assert_eq!(sharded, single);
+    }
+
+    #[test]
+    fn empty_request_list_matches_single_queue() {
+        let (env, _, regions) = build_world();
+        let partition = RegionPartition::new(&env.topology, regions, 0);
+        let single = simulate_stream_chaos(&env, &[], None, None);
+        let sharded =
+            simulate_stream_sharded(&env, &[], None, None, &partition, &ShardOpts::default());
+        assert_eq!(sharded, single);
+    }
+}

@@ -424,135 +424,262 @@ pub fn simulate_stream_chaos(
 ) -> SimOutcome {
     // Resolve the ambient telemetry sink ONCE per run; the event loop
     // below never touches thread-local state. With no sink installed the
-    // only telemetry cost left in this function is plain counter adds.
+    // only telemetry cost left in the core is plain counter adds.
     let tele = continuum_obs::ambient();
-    let mut obs = ExecObs {
-        trace_on: tele.as_deref().is_some_and(Telemetry::trace_enabled),
-        ..ExecObs::default()
-    };
-    let mut fault_rng = faults.map(|f| {
-        assert!(
-            (0.0..1.0).contains(&f.fail_prob),
-            "fail_prob must be in [0,1)"
-        );
-        assert!(f.max_attempts >= 1);
-        continuum_sim::Rng::new(f.seed)
-    });
-    // attempts[(req, task)] -> tries so far.
-    let mut attempts: HashMap<(usize, u32), u32> = HashMap::new();
-    for r in requests {
-        assert_eq!(
-            r.placement.assignment.len(),
-            r.dag.len(),
-            "placement does not match dag '{}'",
-            r.dag.name
-        );
-    }
+    let trace_on = tele.as_deref().is_some_and(Telemetry::trace_enabled);
+    let collect = tele.is_some();
+    let refs: Vec<&StreamRequest> = requests.iter().collect();
+    let gids: Vec<usize> = (0..requests.len()).collect();
+    let mut core = ExecCore::new(env, refs, gids, faults, plane, None, collect, trace_on);
+    core.pump(None);
+    assemble(env, requests, plane, vec![core.finish()])
+}
 
-    let n_dev = env.fleet.len();
-    let mut queue: EventQueue<Ev> = EventQueue::new();
-    let mut network = FlowNetwork::new(&env.topology);
-    let mut rcache = RouteCache::new();
-    let mut free_cores: Vec<u32> = env.fleet.devices().iter().map(|d| d.spec.cores).collect();
-    let mut device_q: Vec<VecDeque<(usize, TaskId)>> = vec![VecDeque::new(); n_dev];
-    // Flow -> (request, destination slot).
-    let mut flow_dest: HashMap<FlowId, (usize, u32)> = HashMap::new();
-    let mut pending_completion: Option<(EventId, FlowId)> = None;
+/// Counter-based fault draw: a pure function of `(seed, request, task,
+/// attempt)`. The seed's sequential RNG made each verdict depend on the
+/// global order in which attempts completed; deriving an independent
+/// stream per attempt keeps verdicts identical no matter how completions
+/// interleave — which is what lets a sharded run reproduce the
+/// single-queue executor's fault decisions exactly.
+fn fault_draw(fs: &FaultSpec, gid: usize, task: TaskId, attempt: u32) -> bool {
+    let mut seed = continuum_sim::Rng::new(fs.seed);
+    let mut per_req = seed.split(gid as u64);
+    let mut per_task = per_req.split(u64::from(task.0));
+    per_task.split(u64::from(attempt)).chance(fs.fail_prob)
+}
 
-    // --- fault-plane state (inert when `plane` is None) ---
-    // Mutable copy of each placement; orphan re-placement rewrites it.
-    let mut assign: Vec<Vec<DeviceId>> = requests
-        .iter()
-        .map(|r| r.placement.assignment.clone())
-        .collect();
-    let n_links = env.topology.links().len();
-    let mut dev_up = vec![true; n_dev];
-    // Down *and* past its detection sweep: ready work is re-placed rather
-    // than queued there.
-    let mut dev_known_down = vec![false; n_dev];
-    // Crash generation, to match sweeps to the right outage.
-    let mut dev_gen = vec![0u32; n_dev];
-    // Executing attempts per device: (request, task, trace record index).
-    let mut running: Vec<Vec<(usize, TaskId, usize)>> = vec![Vec::new(); n_dev];
-    // Tasks killed by a crash, awaiting detection or recovery.
-    let mut orphans: Vec<Vec<(usize, TaskId)>> = vec![Vec::new(); n_dev];
-    // Attempt epoch per task; a crash bump invalidates in-flight finishes.
-    let mut attempt_no: Vec<Vec<u32>> = requests.iter().map(|r| vec![0; r.dag.len()]).collect();
-    let mut finished: Vec<Vec<bool>> = requests.iter().map(|r| vec![false; r.dag.len()]).collect();
-    // Tasks with no feasible live device, waiting for a recovery.
-    let mut parked: Vec<(usize, TaskId)> = Vec::new();
-    // Transfers with no surviving route, waiting for a link restore:
-    // (request, destination slot, remaining bytes).
-    let mut stalled: Vec<(usize, u32, u64)> = Vec::new();
-    let mut dead_links = vec![false; n_links];
-    let mut n_dead = 0usize;
-    let mut placer = plane.map(|_| OnlinePlacer::continuum(env));
+/// One executor core: the complete event-driven machinery — event queue,
+/// flow engine, route cache, dense request state, fault plane — over a
+/// subset of the requests. The single-queue executor is exactly one core
+/// pumped to completion; the sharded executor (`crate::shard`) runs
+/// several cores in bounded time windows and merges their [`CoreParts`].
+///
+/// Everything a core emits is keyed by *global* ids: task records carry
+/// the global request index, ECMP salts and fault draws hash it, and
+/// telemetry marks name it. A core's decisions therefore do not depend on
+/// how requests were grouped into cores, which is the invariant the
+/// sharded-equals-single-queue property rests on.
+pub(crate) struct ExecCore<'a> {
+    env: &'a Env,
+    requests: Vec<&'a StreamRequest>,
+    /// Global request index of each local request.
+    gids: Vec<usize>,
+    faults: Option<&'a FaultSpec>,
+    plane: Option<&'a FaultPlane>,
+    /// Restrict orphan re-placement to these devices (`None`: whole
+    /// fleet). Sharding sets this so re-placed work stays in the shard.
+    mask: Option<Vec<bool>>,
+    /// Harvest component counters at finish (an ambient sink exists).
+    collect: bool,
+    obs: ExecObs,
+    /// attempts[(local req, task)] -> tries so far.
+    attempts: HashMap<(usize, u32), u32>,
+    queue: EventQueue<Ev>,
+    network: FlowNetwork,
+    rcache: RouteCache,
+    free_cores: Vec<u32>,
+    device_q: Vec<VecDeque<(usize, TaskId)>>,
+    /// Flow -> (local request, destination slot).
+    flow_dest: HashMap<FlowId, (usize, u32)>,
+    pending_completion: Option<(EventId, FlowId)>,
+    /// Mutable copy of each placement; orphan re-placement rewrites it.
+    assign: Vec<Vec<DeviceId>>,
+    dev_up: Vec<bool>,
+    /// Down *and* past its detection sweep: ready work is re-placed
+    /// rather than queued there.
+    dev_known_down: Vec<bool>,
+    /// Crash generation, to match sweeps to the right outage.
+    dev_gen: Vec<u32>,
+    /// Executing attempts per device: (local req, task, record index).
+    running: Vec<Vec<(usize, TaskId, usize)>>,
+    /// Tasks killed by a crash, awaiting detection or recovery.
+    orphans: Vec<Vec<(usize, TaskId)>>,
+    /// Attempt epoch per task; a crash bump invalidates in-flight
+    /// finishes.
+    attempt_no: Vec<Vec<u32>>,
+    finished: Vec<Vec<bool>>,
+    /// Tasks with no feasible live device, waiting for a recovery.
+    parked: Vec<(usize, TaskId)>,
+    /// Transfers with no surviving route, waiting for a link restore:
+    /// (local req, destination slot, remaining bytes).
+    stalled: Vec<(usize, u32, u64)>,
+    dead_links: Vec<bool>,
+    n_dead: usize,
+    placer: Option<OnlinePlacer>,
+    plans: Vec<ReqPlan>,
+    states: Vec<ReqState>,
+    /// Record `request` fields are GLOBAL ids; `request_arrival` /
+    /// `request_finish` are indexed by LOCAL request (mapped at finish).
+    trace: ExecutionTrace,
+    /// (billed device, bytes) of every non-local transfer. The device is
+    /// the actual sender where one exists (a producer's device); external
+    /// items from a home node are billed to the first device at that node
+    /// (deterministic — `Fleet::at_node` is insertion-ordered), or not at
+    /// all if the node hosts no device.
+    egress_log: Vec<(Option<DeviceId>, u64)>,
+    energy: EnergyMeter,
+    cost: CostMeter,
+    /// Execution seconds destroyed by crashes, per device id. Summed in
+    /// device order at assemble time so the total is independent of how
+    /// crash events interleaved across cores.
+    lost_dev: Vec<f64>,
+    /// Scratch for the masked-liveness vector fed to the placer.
+    alive_scratch: Vec<bool>,
+}
 
-    let plans: Vec<ReqPlan> = requests.iter().map(|r| ReqPlan::build(&r.dag)).collect();
-    let mut states: Vec<ReqState> = requests
-        .iter()
-        .zip(&plans)
-        .map(|(r, plan)| ReqState {
-            missing: r
-                .dag
-                .tasks()
-                .iter()
-                .map(|t| plan.inputs_of(t.id).len() as u32)
-                .collect(),
-            unfinished: r.dag.len(),
-            started: vec![false; r.dag.len()],
-            slot_of: HashMap::new(),
-            slots: Vec::new(),
-            item_slots: vec![Vec::new(); plan.n_items],
-        })
-        .collect();
-
-    let mut trace = ExecutionTrace {
-        request_arrival: requests.iter().map(|r| r.arrival).collect(),
-        request_finish: vec![SimTime::ZERO; requests.len()],
-        ..Default::default()
-    };
-    // (billed device, bytes) of every non-local transfer. The device is
-    // the actual sender where one exists (a producer's device); external
-    // items from a home node are billed to the first device at that node
-    // (deterministic — `Fleet::at_node` is insertion-ordered), or not at
-    // all if the node hosts no device.
-    let mut egress_log: Vec<(Option<DeviceId>, u64)> = Vec::new();
-    let mut energy = EnergyMeter::new(&env.fleet);
-    let mut cost = CostMeter::new(&env.fleet);
-
-    for (i, r) in requests.iter().enumerate() {
-        queue.schedule_at(r.arrival, Ev::Arrival(i));
-    }
-    if let Some(p) = plane {
-        for (idx, fe) in p.schedule.events().iter().enumerate() {
-            match fe.kind {
-                FaultKind::DeviceCrash | FaultKind::DeviceRecover => assert!(
-                    (fe.target as usize) < n_dev,
-                    "fault schedule targets device {} but only {n_dev} exist",
-                    fe.target
-                ),
-                FaultKind::LinkFail | FaultKind::LinkRestore => assert!(
-                    (fe.target as usize) < n_links,
-                    "fault schedule targets link {} but only {n_links} exist",
-                    fe.target
-                ),
-                // Endpoint faults belong to the fabric broker.
-                FaultKind::EndpointCrash | FaultKind::EndpointRecover => continue,
+impl<'a> ExecCore<'a> {
+    /// Build a core over `requests` (with their global ids `gids`),
+    /// schedule every arrival and fault event, and leave it ready to
+    /// [`Self::pump`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        env: &'a Env,
+        requests: Vec<&'a StreamRequest>,
+        gids: Vec<usize>,
+        faults: Option<&'a FaultSpec>,
+        plane: Option<&'a FaultPlane>,
+        mask: Option<Vec<bool>>,
+        collect: bool,
+        trace_on: bool,
+    ) -> Self {
+        assert_eq!(requests.len(), gids.len());
+        if let Some(f) = faults {
+            assert!(
+                (0.0..1.0).contains(&f.fail_prob),
+                "fail_prob must be in [0,1)"
+            );
+            assert!(f.max_attempts >= 1);
+        }
+        for r in &requests {
+            assert_eq!(
+                r.placement.assignment.len(),
+                r.dag.len(),
+                "placement does not match dag '{}'",
+                r.dag.name
+            );
+        }
+        let n_dev = env.fleet.len();
+        let n_links = env.topology.links().len();
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        for (i, r) in requests.iter().enumerate() {
+            queue.schedule_at(r.arrival, Ev::Arrival(i));
+        }
+        if let Some(p) = plane {
+            for (idx, fe) in p.schedule.events().iter().enumerate() {
+                match fe.kind {
+                    FaultKind::DeviceCrash | FaultKind::DeviceRecover => assert!(
+                        (fe.target as usize) < n_dev,
+                        "fault schedule targets device {} but only {n_dev} exist",
+                        fe.target
+                    ),
+                    FaultKind::LinkFail | FaultKind::LinkRestore => assert!(
+                        (fe.target as usize) < n_links,
+                        "fault schedule targets link {} but only {n_links} exist",
+                        fe.target
+                    ),
+                    // Endpoint faults belong to the fabric broker.
+                    FaultKind::EndpointCrash | FaultKind::EndpointRecover => continue,
+                }
+                queue.schedule_at(fe.at, Ev::Fault(idx));
             }
-            queue.schedule_at(fe.at, Ev::Fault(idx));
+        }
+        let plans: Vec<ReqPlan> = requests.iter().map(|r| ReqPlan::build(&r.dag)).collect();
+        let states: Vec<ReqState> = requests
+            .iter()
+            .zip(&plans)
+            .map(|(r, plan)| ReqState {
+                missing: r
+                    .dag
+                    .tasks()
+                    .iter()
+                    .map(|t| plan.inputs_of(t.id).len() as u32)
+                    .collect(),
+                unfinished: r.dag.len(),
+                started: vec![false; r.dag.len()],
+                slot_of: HashMap::new(),
+                slots: Vec::new(),
+                item_slots: vec![Vec::new(); plan.n_items],
+            })
+            .collect();
+        let trace = ExecutionTrace {
+            request_arrival: requests.iter().map(|r| r.arrival).collect(),
+            request_finish: vec![SimTime::ZERO; requests.len()],
+            ..Default::default()
+        };
+        ExecCore {
+            env,
+            faults,
+            plane,
+            mask,
+            collect,
+            obs: ExecObs {
+                trace_on,
+                ..ExecObs::default()
+            },
+            attempts: HashMap::new(),
+            network: FlowNetwork::new(&env.topology),
+            rcache: RouteCache::new(),
+            free_cores: env.fleet.devices().iter().map(|d| d.spec.cores).collect(),
+            device_q: vec![VecDeque::new(); n_dev],
+            flow_dest: HashMap::new(),
+            pending_completion: None,
+            assign: requests
+                .iter()
+                .map(|r| r.placement.assignment.clone())
+                .collect(),
+            dev_up: vec![true; n_dev],
+            dev_known_down: vec![false; n_dev],
+            dev_gen: vec![0u32; n_dev],
+            running: vec![Vec::new(); n_dev],
+            orphans: vec![Vec::new(); n_dev],
+            attempt_no: requests.iter().map(|r| vec![0; r.dag.len()]).collect(),
+            finished: requests.iter().map(|r| vec![false; r.dag.len()]).collect(),
+            parked: Vec::new(),
+            stalled: Vec::new(),
+            dead_links: vec![false; n_links],
+            n_dead: 0,
+            placer: plane.map(|_| OnlinePlacer::continuum(env)),
+            plans,
+            states,
+            trace,
+            egress_log: Vec::new(),
+            energy: EnergyMeter::new(&env.fleet),
+            cost: CostMeter::new(&env.fleet),
+            lost_dev: vec![0.0; n_dev],
+            alive_scratch: Vec::new(),
+            queue,
+            requests,
+            gids,
         }
     }
 
-    // --- main loop. Each event appends to explicit work lists — slots
-    // that became present (`made_present`), devices whose queues should be
-    // rescanned (`dispatch_devices`), tasks needing re-placement
-    // (`to_replace`) — which are drained to a fixed point after the match,
-    // because presence can ready a task on a known-dead device and a
-    // re-placement can find its inputs already co-located. This keeps
-    // every helper a plain `fn` with explicit state (no closures fighting
-    // the borrow checker) and makes the drain order deterministic.
-    while let Some((now, ev)) = queue.pop() {
+    /// Earliest pending event, if any work remains.
+    pub(crate) fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Process every event strictly before `horizon` (all events when
+    /// `None`). Pumping in windows and pumping once to completion pop the
+    /// same events in the same order — the horizon only decides where the
+    /// pops pause, never how they sort.
+    pub(crate) fn pump(&mut self, horizon: Option<SimTime>) {
+        while let Some(t) = self.queue.peek_time() {
+            if horizon.is_some_and(|h| t >= h) {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event exists");
+            self.step(now, ev);
+        }
+    }
+
+    /// Handle one event. Each event appends to explicit work lists —
+    /// slots that became present (`made_present`), devices whose queues
+    /// should be rescanned (`dispatch_devices`), tasks needing
+    /// re-placement (`to_replace`) — which are drained to a fixed point
+    /// after the match, because presence can ready a task on a known-dead
+    /// device and a re-placement can find its inputs already co-located.
+    fn step(&mut self, now: SimTime, ev: Ev) {
+        let env = self.env;
         // Work lists produced by this event.
         let mut made_present: Vec<(usize, u32)> = Vec::new();
         let mut dispatch_devices: Vec<usize> = Vec::new();
@@ -561,16 +688,18 @@ pub fn simulate_stream_chaos(
 
         match ev {
             Ev::Arrival(req) => {
-                let r = &requests[req];
-                let plan = &plans[req];
+                let r = self.requests[req];
+                let gid = self.gids[req];
                 // Request external item deliveries and register interest:
                 // (slot, home node) pairs needing a fetch, in first-sight
                 // order.
                 let mut to_deliver: Vec<(u32, NodeId)> = Vec::new();
                 {
-                    let st = &mut states[req];
+                    let st = &mut self.states[req];
+                    let plan = &self.plans[req];
+                    let assign = &self.assign[req];
                     for t in r.dag.tasks() {
-                        let dst = env.node_of(assign[req][t.id.0 as usize]);
+                        let dst = env.node_of(assign[t.id.0 as usize]);
                         for &d in plan.inputs_of(t.id) {
                             let slot = st.intern(d, dst);
                             if r.dag.producer(d).is_none()
@@ -592,162 +721,147 @@ pub fn simulate_stream_chaos(
                 }
                 for (slot, src) in to_deliver {
                     let (d, dst) = {
-                        let s = &states[req].slots[slot as usize];
+                        let s = &self.states[req].slots[slot as usize];
                         (s.item, s.node)
                     };
                     if src == dst {
                         made_present.push((req, slot));
                     } else {
-                        let bytes = requests[req].dag.data(d).bytes;
-                        egress_log.push((env.fleet.at_node(src).first().copied(), bytes));
+                        let bytes = r.dag.data(d).bytes;
+                        self.egress_log
+                            .push((env.fleet.at_node(src).first().copied(), bytes));
                         match route(
                             env,
-                            &mut rcache,
+                            &mut self.rcache,
                             src,
                             dst,
-                            xfer_salt(req, d),
-                            &dead_links,
-                            n_dead,
+                            xfer_salt(gid, d),
+                            &self.dead_links,
+                            self.n_dead,
                         ) {
                             Some(path) => {
-                                queue.schedule_at(
+                                self.queue.schedule_at(
                                     now + path.latency,
                                     Ev::StartFlow { req, slot, bytes },
                                 );
                             }
                             None => {
-                                assert!(n_dead > 0, "disconnected topology");
-                                obs.stall(now, req);
-                                stalled.push((req, slot, bytes));
+                                assert!(self.n_dead > 0, "disconnected topology");
+                                self.obs.stall(now, gid);
+                                self.stalled.push((req, slot, bytes));
                             }
                         }
                     }
                 }
                 // Tasks with no inputs are immediately ready.
                 for t in r.dag.tasks() {
-                    if states[req].missing[t.id.0 as usize] == 0 {
-                        let dev = assign[req][t.id.0 as usize];
-                        if dev_known_down[dev.0 as usize] {
+                    if self.states[req].missing[t.id.0 as usize] == 0 {
+                        let dev = self.assign[req][t.id.0 as usize];
+                        if self.dev_known_down[dev.0 as usize] {
                             to_replace.push((req, t.id));
                         } else {
-                            device_q[dev.0 as usize].push_back((req, t.id));
+                            self.device_q[dev.0 as usize].push_back((req, t.id));
                             dispatch_devices.push(dev.0 as usize);
                         }
                     }
                 }
             }
             Ev::StartFlow { req, slot, bytes } => {
-                let r = &requests[req];
+                let r = self.requests[req];
+                let gid = self.gids[req];
                 let (item, dst) = {
-                    let s = &states[req].slots[slot as usize];
+                    let s = &self.states[req].slots[slot as usize];
                     (s.item, s.node)
                 };
                 // Source: home or producer's node — only needed for the
                 // path; recompute from whichever is set.
                 let src = match r.dag.producer(item) {
                     None => r.dag.data(item).home.expect("external item has home"),
-                    Some(p) => env.node_of(assign[req][p.0 as usize]),
+                    Some(p) => env.node_of(self.assign[req][p.0 as usize]),
                 };
                 match route(
                     env,
-                    &mut rcache,
+                    &mut self.rcache,
                     src,
                     dst,
-                    xfer_salt(req, item),
-                    &dead_links,
-                    n_dead,
+                    xfer_salt(gid, item),
+                    &self.dead_links,
+                    self.n_dead,
                 ) {
-                    Some(path) => match network.start(now, &path, bytes) {
+                    Some(path) => match self.network.start(now, &path, bytes) {
                         Some(fid) => {
-                            flow_dest.insert(fid, (req, slot));
+                            self.flow_dest.insert(fid, (req, slot));
                             network_changed = true;
                         }
                         None => made_present.push((req, slot)),
                     },
                     None => {
-                        assert!(n_dead > 0, "disconnected topology");
-                        obs.stall(now, req);
-                        stalled.push((req, slot, bytes));
+                        assert!(self.n_dead > 0, "disconnected topology");
+                        self.obs.stall(now, gid);
+                        self.stalled.push((req, slot, bytes));
                     }
                 }
             }
             Ev::FlowDone(fid) => {
                 // Only the currently pending completion is live; stale
                 // events were cancelled.
-                debug_assert_eq!(pending_completion.map(|(_, f)| f), Some(fid));
-                pending_completion = None;
-                network.remove(now, fid);
-                let (req, slot) = flow_dest.remove(&fid).expect("unknown flow");
+                debug_assert_eq!(self.pending_completion.map(|(_, f)| f), Some(fid));
+                self.pending_completion = None;
+                self.network.remove(now, fid);
+                let (req, slot) = self.flow_dest.remove(&fid).expect("unknown flow");
                 made_present.push((req, slot));
                 network_changed = true;
             }
             Ev::TaskFinished { req, task, epoch } => {
-                if epoch != attempt_no[req][task.0 as usize] {
-                    continue; // this attempt was killed by a device crash
+                if epoch != self.attempt_no[req][task.0 as usize] {
+                    return; // this attempt was killed by a device crash
                 }
-                let r = &requests[req];
-                let dev = assign[req][task.0 as usize];
+                let r = self.requests[req];
+                let gid = self.gids[req];
+                let dev = self.assign[req][task.0 as usize];
                 let spec = &env.fleet.device(dev).spec;
                 let need = r.dag.task(task).occupancy(spec.cores);
-                free_cores[dev.0 as usize] += need;
-                let pos = running[dev.0 as usize]
+                self.free_cores[dev.0 as usize] += need;
+                let pos = self.running[dev.0 as usize]
                     .iter()
                     .position(|&(rq, t, _)| rq == req && t == task)
                     .expect("finished task is running");
-                running[dev.0 as usize].swap_remove(pos);
+                self.running[dev.0 as usize].swap_remove(pos);
 
                 // Fault injection: this attempt may fail at completion.
-                if let (Some(fs), Some(rng)) = (faults, fault_rng.as_mut()) {
-                    let tries = attempts.entry((req, task.0)).or_insert(1);
-                    if rng.chance(fs.fail_prob) {
+                if let Some(fs) = self.faults {
+                    let tries = self.attempts.entry((req, task.0)).or_insert(1);
+                    if fault_draw(fs, gid, task, *tries) {
                         assert!(
                             *tries < fs.max_attempts,
-                            "task {} of request {req} exhausted {} attempts",
+                            "task {} of request {gid} exhausted {} attempts",
                             task,
                             fs.max_attempts
                         );
                         *tries += 1;
-                        trace.failed_attempts += 1;
-                        states[req].started[task.0 as usize] = false;
-                        queue.schedule_at(now + fs.retry_delay, Ev::RetryTask { req, task });
+                        self.trace.failed_attempts += 1;
+                        self.states[req].started[task.0 as usize] = false;
+                        self.queue
+                            .schedule_at(now + fs.retry_delay, Ev::RetryTask { req, task });
                         // Cores were already freed above; dispatch waiting
-                        // work on this device.
-                        dispatch_devices.push(dev.0 as usize);
-                        // Fall through to the dispatch drain below without
+                        // work on this device, then bail without
                         // publishing outputs.
-                        dispatch_devices.sort_unstable();
-                        dispatch_devices.dedup();
-                        for di in dispatch_devices.drain(..) {
-                            dispatch_queue(
-                                env,
-                                requests,
-                                &mut states,
-                                &assign,
-                                &attempt_no,
-                                &mut running,
-                                &mut device_q,
-                                &mut free_cores,
-                                &mut trace,
-                                &mut energy,
-                                &mut cost,
-                                &mut queue,
-                                di,
-                                now,
-                            );
-                        }
-                        continue;
+                        self.dispatch_queue(dev.0 as usize, now);
+                        return;
                     }
                 }
 
-                finished[req][task.0 as usize] = true;
-                let st = &mut states[req];
+                self.finished[req][task.0 as usize] = true;
+                let st = &mut self.states[req];
                 st.unfinished -= 1;
-                if st.unfinished == 0 {
-                    trace.request_finish[req] = now;
+                let done = st.unfinished == 0;
+                if done {
+                    self.trace.request_finish[req] = now;
                 }
                 // Publish outputs to their consumers: every node with a
                 // registered slot still missing the item, in NodeId order.
                 let my_node = env.node_of(dev);
+                let st = &mut self.states[req];
                 let mut to_deliver: Vec<u32> = Vec::new();
                 for &out in &r.dag.task(task).outputs {
                     for i in 0..st.item_slots[out.0 as usize].len() {
@@ -758,10 +872,10 @@ pub fn simulate_stream_chaos(
                         }
                     }
                 }
-                obs.publish(to_deliver.len());
+                self.obs.publish(to_deliver.len());
                 for slot in to_deliver {
                     let (d, dst) = {
-                        let s = &st.slots[slot as usize];
+                        let s = &self.states[req].slots[slot as usize];
                         (s.item, s.node)
                     };
                     if dst == my_node {
@@ -771,104 +885,110 @@ pub fn simulate_stream_chaos(
                         // Egress billed to the device that actually
                         // produced (and sends) the item, not an arbitrary
                         // device at its node.
-                        egress_log.push((Some(dev), bytes));
+                        self.egress_log.push((Some(dev), bytes));
                         match route(
                             env,
-                            &mut rcache,
+                            &mut self.rcache,
                             my_node,
                             dst,
-                            xfer_salt(req, d),
-                            &dead_links,
-                            n_dead,
+                            xfer_salt(gid, d),
+                            &self.dead_links,
+                            self.n_dead,
                         ) {
                             Some(path) => {
-                                queue.schedule_at(
+                                self.queue.schedule_at(
                                     now + path.latency,
                                     Ev::StartFlow { req, slot, bytes },
                                 );
                             }
                             None => {
-                                assert!(n_dead > 0, "disconnected topology");
-                                obs.stall(now, req);
-                                stalled.push((req, slot, bytes));
+                                assert!(self.n_dead > 0, "disconnected topology");
+                                self.obs.stall(now, gid);
+                                self.stalled.push((req, slot, bytes));
                             }
                         }
                     }
                 }
             }
             Ev::RetryTask { req, task } => {
-                let dev = assign[req][task.0 as usize];
-                if dev_known_down[dev.0 as usize] {
+                let dev = self.assign[req][task.0 as usize];
+                if self.dev_known_down[dev.0 as usize] {
                     to_replace.push((req, task));
                 } else {
-                    device_q[dev.0 as usize].push_back((req, task));
+                    self.device_q[dev.0 as usize].push_back((req, task));
                     dispatch_devices.push(dev.0 as usize);
                 }
             }
             Ev::Fault(idx) => {
-                let fe = plane.expect("fault event implies plane").schedule.events()[idx];
+                let fe = self
+                    .plane
+                    .expect("fault event implies plane")
+                    .schedule
+                    .events()[idx];
                 match fe.kind {
                     FaultKind::DeviceCrash => {
                         let d = fe.target as usize;
-                        if dev_up[d] {
-                            dev_up[d] = false;
-                            dev_gen[d] += 1;
-                            trace.device_crashes += 1;
+                        if self.dev_up[d] {
+                            self.dev_up[d] = false;
+                            self.dev_gen[d] += 1;
+                            self.trace.device_crashes += 1;
                             // Kill the running attempts: elapsed execution
                             // is destroyed (energy/cost stay charged — the
                             // hardware did burn them). The tasks become
                             // orphans awaiting detection or recovery.
-                            for (rq, t, rec) in std::mem::take(&mut running[d]) {
-                                let started_at = trace.records[rec].start;
-                                trace.records[rec].finish = now; // truncate
-                                trace.lost_work_s += now.since(started_at).as_secs_f64();
-                                trace.killed_attempts += 1;
-                                attempt_no[rq][t.0 as usize] += 1;
-                                states[rq].started[t.0 as usize] = false;
-                                orphans[d].push((rq, t));
+                            for (rq, t, rec) in std::mem::take(&mut self.running[d]) {
+                                let started_at = self.trace.records[rec].start;
+                                self.trace.records[rec].finish = now; // truncate
+                                self.lost_dev[d] += now.since(started_at).as_secs_f64();
+                                self.trace.killed_attempts += 1;
+                                self.attempt_no[rq][t.0 as usize] += 1;
+                                self.states[rq].started[t.0 as usize] = false;
+                                self.orphans[d].push((rq, t));
                             }
-                            free_cores[d] = 0;
-                            let det = plane.expect("checked above").detection;
-                            queue.schedule_at(
+                            self.free_cores[d] = 0;
+                            let det = self.plane.expect("checked above").detection;
+                            self.queue.schedule_at(
                                 now + det,
                                 Ev::OrphanSweep {
                                     dev: d,
-                                    gen: dev_gen[d],
+                                    gen: self.dev_gen[d],
                                 },
                             );
                         }
                     }
                     FaultKind::DeviceRecover => {
                         let d = fe.target as usize;
-                        if !dev_up[d] {
-                            dev_up[d] = true;
-                            dev_known_down[d] = false;
-                            free_cores[d] = env.fleet.devices()[d].spec.cores;
+                        if !self.dev_up[d] {
+                            self.dev_up[d] = true;
+                            self.dev_known_down[d] = false;
+                            self.free_cores[d] = env.fleet.devices()[d].spec.cores;
                             // Undetected orphans restart in place: their
                             // inputs already live at this node.
-                            for (rq, t) in std::mem::take(&mut orphans[d]) {
-                                device_q[d].push_back((rq, t));
+                            for (rq, t) in std::mem::take(&mut self.orphans[d]) {
+                                self.device_q[d].push_back((rq, t));
                             }
                             dispatch_devices.push(d);
                             // Parked tasks get another placement attempt.
-                            to_replace.append(&mut parked);
+                            to_replace.append(&mut self.parked);
                         }
                     }
                     FaultKind::LinkFail => {
                         let l = fe.target as usize;
-                        if !dead_links[l] {
-                            dead_links[l] = true;
-                            n_dead += 1;
-                            rcache.bump_epoch();
-                            trace.link_failures += 1;
-                            for a in network.fail_link(now, LinkId(l as u32)) {
-                                let (rq, slot) =
-                                    flow_dest.remove(&a.id).expect("aborted flow is tracked");
+                        if !self.dead_links[l] {
+                            self.dead_links[l] = true;
+                            self.n_dead += 1;
+                            self.rcache.bump_epoch();
+                            self.trace.link_failures += 1;
+                            for a in self.network.fail_link(now, LinkId(l as u32)) {
+                                let (rq, slot) = self
+                                    .flow_dest
+                                    .remove(&a.id)
+                                    .expect("aborted flow is tracked");
                                 // Resume the remainder over the surviving
                                 // topology (transferred bytes arrived;
                                 // egress was billed at initiation).
                                 let rest = (a.remaining.ceil() as u64).max(1);
-                                queue.schedule_at(
+                                self.queue.schedule_at(
                                     now,
                                     Ev::StartFlow {
                                         req: rq,
@@ -882,15 +1002,15 @@ pub fn simulate_stream_chaos(
                     }
                     FaultKind::LinkRestore => {
                         let l = fe.target as usize;
-                        if dead_links[l] {
-                            dead_links[l] = false;
-                            n_dead -= 1;
-                            rcache.bump_epoch();
-                            network.restore_link(now, LinkId(l as u32));
+                        if self.dead_links[l] {
+                            self.dead_links[l] = false;
+                            self.n_dead -= 1;
+                            self.rcache.bump_epoch();
+                            self.network.restore_link(now, LinkId(l as u32));
                             network_changed = true;
                             // Stalled transfers may be routable again.
-                            for (rq, slot, bytes) in std::mem::take(&mut stalled) {
-                                queue.schedule_at(
+                            for (rq, slot, bytes) in std::mem::take(&mut self.stalled) {
+                                self.queue.schedule_at(
                                     now,
                                     Ev::StartFlow {
                                         req: rq,
@@ -909,10 +1029,10 @@ pub fn simulate_stream_chaos(
             Ev::OrphanSweep { dev, gen } => {
                 // Stale if the device recovered (or crashed again) before
                 // this sweep fired.
-                if !dev_up[dev] && dev_gen[dev] == gen {
-                    dev_known_down[dev] = true;
-                    to_replace.extend(std::mem::take(&mut orphans[dev]));
-                    to_replace.extend(device_q[dev].drain(..));
+                if !self.dev_up[dev] && self.dev_gen[dev] == gen {
+                    self.dev_known_down[dev] = true;
+                    to_replace.extend(std::mem::take(&mut self.orphans[dev]));
+                    to_replace.extend(self.device_q[dev].drain(..));
                 }
             }
         }
@@ -922,12 +1042,12 @@ pub fn simulate_stream_chaos(
         // known-dead; a re-placement can find its inputs co-located).
         while !made_present.is_empty() || !to_replace.is_empty() {
             for (req, slot) in std::mem::take(&mut made_present) {
-                let st = &mut states[req];
+                let st = &mut self.states[req];
                 st.slots[slot as usize].state = SlotState::Present;
                 let node = st.slots[slot as usize].node;
                 for t in std::mem::take(&mut st.slots[slot as usize].waiters) {
                     // A waiter only counts if this task actually runs here.
-                    let dev = assign[req][t.0 as usize];
+                    let dev = self.assign[req][t.0 as usize];
                     if env.node_of(dev) != node {
                         continue;
                     }
@@ -935,112 +1055,379 @@ pub fn simulate_stream_chaos(
                     debug_assert!(*m > 0);
                     *m -= 1;
                     if *m == 0 {
-                        if dev_known_down[dev.0 as usize] {
+                        if self.dev_known_down[dev.0 as usize] {
                             to_replace.push((req, t));
                         } else {
-                            device_q[dev.0 as usize].push_back((req, t));
+                            self.device_q[dev.0 as usize].push_back((req, t));
                             dispatch_devices.push(dev.0 as usize);
                         }
                     }
                 }
             }
             for (req, task) in std::mem::take(&mut to_replace) {
-                replace_task(
-                    env,
-                    requests,
-                    &plans,
-                    &mut states,
-                    &mut assign,
-                    &finished,
-                    placer.as_mut().expect("re-placement implies a fault plane"),
-                    &dev_up,
-                    &mut rcache,
-                    &dead_links,
-                    n_dead,
-                    &mut queue,
-                    &mut egress_log,
-                    &mut stalled,
-                    &mut parked,
-                    &mut device_q,
-                    &mut dispatch_devices,
-                    &mut made_present,
-                    &mut trace,
-                    &mut obs,
-                    req,
-                    task,
-                    now,
-                );
+                self.replace_task(req, task, now, &mut dispatch_devices, &mut made_present);
             }
         }
 
         // Dispatch: first-fit scan of each touched device queue, plus any
         // device that just freed cores.
         if let Ev::TaskFinished { req, task, .. } = &ev {
-            let dev = assign[*req][task.0 as usize];
+            let dev = self.assign[*req][task.0 as usize];
             dispatch_devices.push(dev.0 as usize);
         }
         dispatch_devices.sort_unstable();
         dispatch_devices.dedup();
         for di in dispatch_devices {
-            dispatch_queue(
-                env,
-                requests,
-                &mut states,
-                &assign,
-                &attempt_no,
-                &mut running,
-                &mut device_q,
-                &mut free_cores,
-                &mut trace,
-                &mut energy,
-                &mut cost,
-                &mut queue,
-                di,
-                now,
-            );
+            self.dispatch_queue(di, now);
         }
 
         // Re-arm the single pending flow-completion event.
         if network_changed {
-            if let Some((eid, _)) = pending_completion.take() {
-                queue.cancel(eid);
+            if let Some((eid, _)) = self.pending_completion.take() {
+                self.queue.cancel(eid);
             }
-            if let Some((t, fid)) = network.next_completion() {
-                let eid = queue.schedule_at(t.max(now), Ev::FlowDone(fid));
-                pending_completion = Some((eid, fid));
+            if let Some((t, fid)) = self.network.next_completion() {
+                let eid = self.queue.schedule_at(t.max(now), Ev::FlowDone(fid));
+                self.pending_completion = Some((eid, fid));
             }
         }
     }
 
-    for st in &states {
-        assert_eq!(st.unfinished, 0, "deadlock: tasks never became ready");
-    }
-
-    // Aggregate metrics.
-    let mut bytes_moved = 0u64;
-    for &(dev, bytes) in &egress_log {
-        bytes_moved += bytes;
-        if let Some(dev) = dev {
-            cost.record_egress(&env.fleet, dev, bytes);
+    /// First-fit scan of one device's ready queue: start every queued
+    /// task that fits in the currently free cores.
+    fn dispatch_queue(&mut self, di: usize, now: SimTime) {
+        let spec = &self.env.fleet.devices()[di].spec;
+        let mut i = 0;
+        while i < self.device_q[di].len() {
+            let (req, t) = self.device_q[di][i];
+            let task = self.requests[req].dag.task(t);
+            let need = task.occupancy(spec.cores);
+            if need <= self.free_cores[di] && !self.states[req].started[t.0 as usize] {
+                self.device_q[di].remove(i);
+                self.free_cores[di] -= need;
+                self.states[req].started[t.0 as usize] = true;
+                let dur = spec.compute_time_parallel(task.work_flops, task.parallelism);
+                let dev_id = self.assign[req][t.0 as usize];
+                debug_assert_eq!(dev_id.0 as usize, di);
+                self.running[di].push((req, t, self.trace.records.len()));
+                self.trace.records.push(TaskRecord {
+                    request: self.gids[req],
+                    task: t,
+                    device: dev_id,
+                    cores: need,
+                    start: now,
+                    finish: now + dur,
+                });
+                self.energy.record_busy(&self.env.fleet, dev_id, need, dur);
+                self.cost
+                    .record_occupancy(&self.env.fleet, dev_id, need, dur);
+                let epoch = self.attempt_no[req][t.0 as usize];
+                self.queue.schedule_at(
+                    now + dur,
+                    Ev::TaskFinished {
+                        req,
+                        task: t,
+                        epoch,
+                    },
+                );
+            } else {
+                i += 1;
+            }
         }
     }
-    trace.bytes_moved = bytes_moved;
-    trace.transfers = egress_log.len() as u64;
+
+    /// Re-place one orphaned task onto a surviving device, re-resolving
+    /// its inputs at the new node: items already present there are
+    /// reused, items in flight are awaited, missing items are re-fetched
+    /// from their home or their (finished) producer's current node, and
+    /// items whose producer has not finished yet will be delivered by the
+    /// producer's publish (the waiter registration below is what its
+    /// publish scan picks up).
+    ///
+    /// If no feasible device is alive right now the task parks until the
+    /// next recovery event.
+    fn replace_task(
+        &mut self,
+        req: usize,
+        task: TaskId,
+        now: SimTime,
+        dispatch_devices: &mut Vec<usize>,
+        made_present: &mut Vec<(usize, u32)>,
+    ) {
+        let env = self.env;
+        let r = self.requests[req];
+        let gid = self.gids[req];
+        let t = r.dag.task(task);
+        let ins = self.plans[req].inputs_of(task);
+        // Where each input can be fetched from right now, for the placer's
+        // finish estimate (external items from home; produced items from
+        // the producer's current device).
+        let assign_req = &self.assign[req];
+        let input_view: Vec<(NodeId, SimTime, u64)> = ins
+            .iter()
+            .map(|&d| {
+                let item = r.dag.data(d);
+                let src = match r.dag.producer(d) {
+                    None => item.home.expect("validated dag: external has home"),
+                    Some(p) => env.node_of(assign_req[p.0 as usize]),
+                };
+                (src, now, item.bytes)
+            })
+            .collect();
+        // Re-placement candidates: alive, and inside the core's device
+        // mask when one is set (sharding keeps re-placed work local).
+        let alive: &[bool] = match &self.mask {
+            None => &self.dev_up,
+            Some(m) => {
+                self.alive_scratch.clear();
+                self.alive_scratch.extend(
+                    self.dev_up
+                        .iter()
+                        .zip(m.iter())
+                        .map(|(&up, &inm)| up && inm),
+                );
+                &self.alive_scratch
+            }
+        };
+        let placer = self
+            .placer
+            .as_mut()
+            .expect("re-placement implies a fault plane");
+        let Some((dev, _fin)) = placer.place_task(env, t, &input_view, now, alive) else {
+            self.obs.park(now, gid, task);
+            self.parked.push((req, task));
+            return;
+        };
+        self.assign[req][task.0 as usize] = dev;
+        self.trace.replacements += 1;
+        self.obs.replaced(now, gid, task, dev);
+        let dst = env.node_of(dev);
+        let mut fetches: Vec<(u32, Option<DeviceId>, NodeId)> = Vec::new();
+        let st = &mut self.states[req];
+        let mut miss = 0u32;
+        for &d in self.plans[req].inputs_of(task) {
+            let slot = st.intern(d, dst);
+            match st.slots[slot as usize].state {
+                SlotState::Present => continue,
+                SlotState::InFlight => {
+                    miss += 1;
+                    let w = &mut st.slots[slot as usize].waiters;
+                    if !w.contains(&task) {
+                        w.push(task);
+                    }
+                    continue;
+                }
+                SlotState::Absent => {}
+            }
+            miss += 1;
+            let w = &mut st.slots[slot as usize].waiters;
+            if !w.contains(&task) {
+                w.push(task);
+            }
+            // Can the item be fetched right now, from which device and
+            // node?
+            let fetch = match r.dag.producer(d) {
+                None => {
+                    let home = r
+                        .dag
+                        .data(d)
+                        .home
+                        .expect("validated dag: external has home");
+                    Some((env.fleet.at_node(home).first().copied(), home))
+                }
+                Some(p) => self.finished[req][p.0 as usize].then(|| {
+                    let pdev = self.assign[req][p.0 as usize];
+                    (Some(pdev), env.node_of(pdev))
+                }),
+            };
+            let Some((src_dev, src)) = fetch else {
+                continue; // producer unfinished: its publish will deliver
+            };
+            st.slots[slot as usize].state = SlotState::InFlight;
+            fetches.push((slot, src_dev, src));
+        }
+        st.missing[task.0 as usize] = miss;
+        for (slot, src_dev, src) in fetches {
+            let d = self.states[req].slots[slot as usize].item;
+            let bytes = r.dag.data(d).bytes;
+            if src == dst {
+                made_present.push((req, slot));
+            } else {
+                self.egress_log.push((src_dev, bytes));
+                match route(
+                    env,
+                    &mut self.rcache,
+                    src,
+                    dst,
+                    xfer_salt(gid, d),
+                    &self.dead_links,
+                    self.n_dead,
+                ) {
+                    Some(path) => {
+                        self.queue
+                            .schedule_at(now + path.latency, Ev::StartFlow { req, slot, bytes });
+                    }
+                    None => {
+                        assert!(self.n_dead > 0, "disconnected topology");
+                        self.obs.stall(now, gid);
+                        self.stalled.push((req, slot, bytes));
+                    }
+                }
+            }
+        }
+        if miss == 0 {
+            self.device_q[dev.0 as usize].push_back((req, task));
+            dispatch_devices.push(dev.0 as usize);
+        }
+    }
+
+    /// Tear the core down into mergeable parts. Asserts the conservation
+    /// invariant (no task left unfinished) and applies the egress log to
+    /// the cost meter.
+    pub(crate) fn finish(mut self) -> CoreParts {
+        for st in &self.states {
+            assert_eq!(st.unfinished, 0, "deadlock: tasks never became ready");
+        }
+        let mut bytes_moved = 0u64;
+        for &(dev, bytes) in &self.egress_log {
+            bytes_moved += bytes;
+            if let Some(dev) = dev {
+                self.cost.record_egress(&self.env.fleet, dev, bytes);
+            }
+        }
+        let snap = self
+            .collect
+            .then(|| harvest_core_metrics(&self.rcache, &self.queue, &self.network, &self.obs));
+        CoreParts {
+            request_finish: self
+                .gids
+                .iter()
+                .copied()
+                .zip(self.trace.request_finish.iter().copied())
+                .collect(),
+            bytes_moved,
+            transfers: self.egress_log.len() as u64,
+            failed_attempts: self.trace.failed_attempts,
+            device_crashes: self.trace.device_crashes,
+            link_failures: self.trace.link_failures,
+            replacements: self.trace.replacements,
+            killed_attempts: self.trace.killed_attempts,
+            records: self.trace.records,
+            lost_dev: self.lost_dev,
+            energy: self.energy,
+            cost: self.cost,
+            marks: self.obs.marks,
+            snap,
+        }
+    }
+}
+
+/// Everything one [`ExecCore`] produced, ready to be merged into a
+/// [`SimOutcome`] by [`assemble`].
+pub(crate) struct CoreParts {
+    /// Task records with *global* request indices (not yet canonical).
+    records: Vec<TaskRecord>,
+    /// `(global request index, finish time)` per request the core ran.
+    request_finish: Vec<(usize, SimTime)>,
+    bytes_moved: u64,
+    transfers: u64,
+    failed_attempts: u64,
+    device_crashes: u64,
+    link_failures: u64,
+    replacements: u64,
+    killed_attempts: u64,
+    /// Execution seconds destroyed by crashes, per device id.
+    lost_dev: Vec<f64>,
+    energy: EnergyMeter,
+    cost: CostMeter,
+    marks: Vec<(SimTime, ObsMark)>,
+    /// Component counters (route cache, event queue, flow engine,
+    /// executor tallies) harvested at core finish; `None` without an
+    /// ambient sink.
+    snap: Option<MetricsSnapshot>,
+}
+
+/// Merge core parts into the final [`SimOutcome`].
+///
+/// The single-queue executor is `assemble` over exactly one part, so the
+/// one-shard arm of the sharded executor is bit-identical to it *by
+/// construction* — both run the same core and the same finalization.
+/// Merging is exact because shards never share state: records concatenate
+/// and canonicalize, u64 counters add, and the per-device f64 vectors
+/// (lost work, energy, cost) add elementwise where at most one operand is
+/// nonzero per index.
+pub(crate) fn assemble(
+    env: &Env,
+    requests: &[StreamRequest],
+    plane: Option<&FaultPlane>,
+    parts: Vec<CoreParts>,
+) -> SimOutcome {
+    assert!(!parts.is_empty(), "assemble needs at least one core");
+    let tele = continuum_obs::ambient();
+    let mut trace = ExecutionTrace {
+        request_arrival: requests.iter().map(|r| r.arrival).collect(),
+        request_finish: vec![SimTime::ZERO; requests.len()],
+        ..Default::default()
+    };
+    // Every core processes the full fault schedule, so the infrastructure
+    // event counts must agree; take them once instead of summing.
+    trace.device_crashes = parts[0].device_crashes;
+    trace.link_failures = parts[0].link_failures;
+    let mut lost_dev = vec![0.0; env.fleet.len()];
+    let mut energy = EnergyMeter::new(&env.fleet);
+    let mut cost = CostMeter::new(&env.fleet);
+    let mut marks: Vec<(SimTime, ObsMark)> = Vec::new();
+    let mut snaps: Vec<MetricsSnapshot> = Vec::new();
+    for p in parts {
+        assert_eq!(
+            p.device_crashes, trace.device_crashes,
+            "cores disagree on the fault schedule"
+        );
+        assert_eq!(
+            p.link_failures, trace.link_failures,
+            "cores disagree on the fault schedule"
+        );
+        trace.records.extend(p.records);
+        for (gid, fin) in p.request_finish {
+            trace.request_finish[gid] = fin;
+        }
+        trace.bytes_moved += p.bytes_moved;
+        trace.transfers += p.transfers;
+        trace.failed_attempts += p.failed_attempts;
+        trace.replacements += p.replacements;
+        trace.killed_attempts += p.killed_attempts;
+        for (d, v) in p.lost_dev.iter().enumerate() {
+            lost_dev[d] += v;
+        }
+        energy.merge(&p.energy);
+        cost.merge(&p.cost);
+        marks.extend(p.marks);
+        if let Some(s) = p.snap {
+            snaps.push(s);
+        }
+    }
+    // Summed in device-id order (not crash-event order) so the total does
+    // not depend on how events interleaved across cores.
+    trace.lost_work_s = lost_dev.iter().sum();
+    trace.canonicalize();
     let makespan = trace.makespan();
     let metrics = Metrics {
         makespan_s: makespan.as_secs_f64(),
         energy_j: energy.used_devices_joules(&env.fleet, makespan),
         cost_usd: cost.total_usd(),
-        bytes_moved,
+        bytes_moved: trace.bytes_moved,
     };
-    // Harvest telemetry only now, outside the event loop: component
-    // counters (route cache, calendar, flow engine) plus the executor's
-    // own, folded into the ambient sink and attached to the outcome.
+    // Harvest telemetry only now, outside the event loops: run-level
+    // counters from the merged trace, plus each core's component
+    // snapshot, folded into the ambient sink and attached to the outcome.
     let telemetry = tele.map(|t| {
-        let snap = harvest_run_metrics(&trace, &metrics, &rcache, &queue, &network, &obs);
+        let mut snap = harvest_run_metrics(&trace, &metrics);
+        for s in &snaps {
+            snap.merge(s);
+        }
         t.metrics.absorb(&snap);
         if t.trace_enabled() {
-            synthesize_trace(&t, env, plane, &trace, &obs);
+            synthesize_trace(&t, env, plane, &trace, &marks);
         }
         Box::new(snap)
     });
@@ -1051,27 +1438,14 @@ pub fn simulate_stream_chaos(
     }
 }
 
-/// Fold one finished run's counters into a fresh [`MetricsSnapshot`]:
-/// the per-run record embedded in [`SimOutcome::telemetry`] and merged
-/// into the ambient registry.
-fn harvest_run_metrics(
-    trace: &ExecutionTrace,
-    metrics: &Metrics,
-    rcache: &RouteCache,
-    queue: &EventQueue<Ev>,
-    network: &FlowNetwork,
-    obs: &ExecObs,
-) -> MetricsSnapshot {
+/// Fold one finished run's merged totals into a fresh
+/// [`MetricsSnapshot`]: the run-level half of the per-run record embedded
+/// in [`SimOutcome::telemetry`] (the per-core component half comes from
+/// [`harvest_core_metrics`]).
+fn harvest_run_metrics(trace: &ExecutionTrace, metrics: &Metrics) -> MetricsSnapshot {
     let reg = MetricsRegistry::new();
-    rcache.publish_metrics(&reg, "route_cache");
-    queue.publish_metrics(&reg, "event_queue");
-    network.publish_metrics(&reg, "flow_engine");
     reg.inc("executor.runs", 1);
     reg.record("executor.replacements", trace.replacements);
-    reg.record("executor.stalls", obs.stalls);
-    reg.inc("executor.publishes", obs.publishes);
-    reg.inc("executor.publish_fanout", obs.publish_fanout);
-    reg.record("executor.parked", obs.parked);
     reg.record("executor.device_crashes", trace.device_crashes);
     reg.record("executor.link_failures", trace.link_failures);
     reg.record("executor.killed_attempts", trace.killed_attempts);
@@ -1093,6 +1467,28 @@ fn harvest_run_metrics(
     reg.snapshot()
 }
 
+/// Fold one core's component counters (route cache, event queue, flow
+/// engine, executor tallies) into a fresh [`MetricsSnapshot`]. Counters
+/// and histograms from different cores merge additively; the flow
+/// engine's mean-batch gauge is last-write-wins across cores, which is
+/// acceptable for a diagnostic.
+fn harvest_core_metrics(
+    rcache: &RouteCache,
+    queue: &EventQueue<Ev>,
+    network: &FlowNetwork,
+    obs: &ExecObs,
+) -> MetricsSnapshot {
+    let reg = MetricsRegistry::new();
+    rcache.publish_metrics(&reg, "route_cache");
+    queue.publish_metrics(&reg, "event_queue");
+    network.publish_metrics(&reg, "flow_engine");
+    reg.record("executor.stalls", obs.stalls);
+    reg.inc("executor.publishes", obs.publishes);
+    reg.inc("executor.publish_fanout", obs.publish_fanout);
+    reg.record("executor.parked", obs.parked);
+    reg.snapshot()
+}
+
 /// Synthesize the run's Perfetto timeline into the sink's tracer, from
 /// data the run already produced — zero cost inside the event loop:
 ///
@@ -1106,7 +1502,7 @@ fn synthesize_trace(
     env: &Env,
     plane: Option<&FaultPlane>,
     trace: &ExecutionTrace,
-    obs: &ExecObs,
+    marks: &[(SimTime, ObsMark)],
 ) {
     let pid = tele.pid();
     let tr = &tele.tracer;
@@ -1155,7 +1551,7 @@ fn synthesize_trace(
             tr.instant(name, "fault", fe.at.0, pid, 0);
         }
     }
-    for (at, mark) in &obs.marks {
+    for (at, mark) in marks {
         let (name, req) = match mark {
             ObsMark::Stall { req } => (format!("stall r{req}"), *req),
             ObsMark::Replace { req, task, dev } => {
@@ -1164,189 +1560,6 @@ fn synthesize_trace(
             ObsMark::Park { req, task } => (format!("park r{req}:t{}", task.0), *req),
         };
         tr.instant(name, "chaos", at.0, pid, REQ_TID_BASE + req as u32);
-    }
-}
-
-/// First-fit scan of one device's ready queue: start every queued task
-/// that fits in the currently free cores.
-#[allow(clippy::too_many_arguments)]
-fn dispatch_queue(
-    env: &Env,
-    requests: &[StreamRequest],
-    states: &mut [ReqState],
-    assign: &[Vec<DeviceId>],
-    attempt_no: &[Vec<u32>],
-    running: &mut [Vec<(usize, TaskId, usize)>],
-    device_q: &mut [VecDeque<(usize, TaskId)>],
-    free_cores: &mut [u32],
-    trace: &mut ExecutionTrace,
-    energy: &mut EnergyMeter,
-    cost: &mut CostMeter,
-    queue: &mut EventQueue<Ev>,
-    di: usize,
-    now: SimTime,
-) {
-    let spec = &env.fleet.devices()[di].spec;
-    let mut i = 0;
-    while i < device_q[di].len() {
-        let (req, t) = device_q[di][i];
-        let task = requests[req].dag.task(t);
-        let need = task.occupancy(spec.cores);
-        if need <= free_cores[di] && !states[req].started[t.0 as usize] {
-            device_q[di].remove(i);
-            free_cores[di] -= need;
-            states[req].started[t.0 as usize] = true;
-            let dur = spec.compute_time_parallel(task.work_flops, task.parallelism);
-            let dev_id = assign[req][t.0 as usize];
-            debug_assert_eq!(dev_id.0 as usize, di);
-            running[di].push((req, t, trace.records.len()));
-            trace.records.push(TaskRecord {
-                request: req,
-                task: t,
-                device: dev_id,
-                cores: need,
-                start: now,
-                finish: now + dur,
-            });
-            energy.record_busy(&env.fleet, dev_id, need, dur);
-            cost.record_occupancy(&env.fleet, dev_id, need, dur);
-            let epoch = attempt_no[req][t.0 as usize];
-            queue.schedule_at(
-                now + dur,
-                Ev::TaskFinished {
-                    req,
-                    task: t,
-                    epoch,
-                },
-            );
-        } else {
-            i += 1;
-        }
-    }
-}
-
-/// Re-place one orphaned task onto a surviving device, re-resolving its
-/// inputs at the new node: items already present there are reused, items
-/// in flight are awaited, missing items are re-fetched from their home or
-/// their (finished) producer's current node, and items whose producer has
-/// not finished yet will be delivered by the producer's publish (the
-/// waiter registration below is what its publish scan picks up).
-///
-/// If no feasible device is alive right now the task parks until the next
-/// recovery event.
-#[allow(clippy::too_many_arguments)]
-fn replace_task(
-    env: &Env,
-    requests: &[StreamRequest],
-    plans: &[ReqPlan],
-    states: &mut [ReqState],
-    assign: &mut [Vec<DeviceId>],
-    finished: &[Vec<bool>],
-    placer: &mut OnlinePlacer,
-    dev_up: &[bool],
-    rcache: &mut RouteCache,
-    dead_links: &[bool],
-    n_dead: usize,
-    queue: &mut EventQueue<Ev>,
-    egress_log: &mut Vec<(Option<DeviceId>, u64)>,
-    stalled: &mut Vec<(usize, u32, u64)>,
-    parked: &mut Vec<(usize, TaskId)>,
-    device_q: &mut [VecDeque<(usize, TaskId)>],
-    dispatch_devices: &mut Vec<usize>,
-    made_present: &mut Vec<(usize, u32)>,
-    trace: &mut ExecutionTrace,
-    obs: &mut ExecObs,
-    req: usize,
-    task: TaskId,
-    now: SimTime,
-) {
-    let r = &requests[req];
-    let t = r.dag.task(task);
-    let ins = plans[req].inputs_of(task);
-    // Where each input can be fetched from right now, for the placer's
-    // finish estimate (external items from home; produced items from the
-    // producer's current device).
-    let input_view: Vec<(NodeId, SimTime, u64)> = ins
-        .iter()
-        .map(|&d| {
-            let item = r.dag.data(d);
-            let src = match r.dag.producer(d) {
-                None => item.home.expect("validated dag: external has home"),
-                Some(p) => env.node_of(assign[req][p.0 as usize]),
-            };
-            (src, now, item.bytes)
-        })
-        .collect();
-    let Some((dev, _fin)) = placer.place_task(env, t, &input_view, now, dev_up) else {
-        obs.park(now, req, task);
-        parked.push((req, task));
-        return;
-    };
-    assign[req][task.0 as usize] = dev;
-    trace.replacements += 1;
-    obs.replaced(now, req, task, dev);
-    let dst = env.node_of(dev);
-    let st = &mut states[req];
-    let mut miss = 0u32;
-    for &d in ins {
-        let slot = st.intern(d, dst);
-        match st.slots[slot as usize].state {
-            SlotState::Present => continue,
-            SlotState::InFlight => {
-                miss += 1;
-                let w = &mut st.slots[slot as usize].waiters;
-                if !w.contains(&task) {
-                    w.push(task);
-                }
-                continue;
-            }
-            SlotState::Absent => {}
-        }
-        miss += 1;
-        let w = &mut st.slots[slot as usize].waiters;
-        if !w.contains(&task) {
-            w.push(task);
-        }
-        // Can the item be fetched right now, from which device and node?
-        let fetch = match r.dag.producer(d) {
-            None => {
-                let home = r
-                    .dag
-                    .data(d)
-                    .home
-                    .expect("validated dag: external has home");
-                Some((env.fleet.at_node(home).first().copied(), home))
-            }
-            Some(p) => finished[req][p.0 as usize].then(|| {
-                let pdev = assign[req][p.0 as usize];
-                (Some(pdev), env.node_of(pdev))
-            }),
-        };
-        let Some((src_dev, src)) = fetch else {
-            continue; // producer unfinished: its publish will deliver here
-        };
-        st.slots[slot as usize].state = SlotState::InFlight;
-        let bytes = r.dag.data(d).bytes;
-        if src == dst {
-            made_present.push((req, slot));
-        } else {
-            egress_log.push((src_dev, bytes));
-            match route(env, rcache, src, dst, xfer_salt(req, d), dead_links, n_dead) {
-                Some(path) => {
-                    queue.schedule_at(now + path.latency, Ev::StartFlow { req, slot, bytes });
-                }
-                None => {
-                    assert!(n_dead > 0, "disconnected topology");
-                    obs.stall(now, req);
-                    stalled.push((req, slot, bytes));
-                }
-            }
-        }
-    }
-    st.missing[task.0 as usize] = miss;
-    if miss == 0 {
-        device_q[dev.0 as usize].push_back((req, task));
-        dispatch_devices.push(dev.0 as usize);
     }
 }
 

@@ -32,7 +32,7 @@ impl TaskRecord {
 /// The result of executing one or more requests.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionTrace {
-    /// Per-task records, in completion order.
+    /// Per-task records, in canonical order (see [`Self::canonicalize`]).
     pub records: Vec<TaskRecord>,
     /// Arrival time of each request.
     pub request_arrival: Vec<SimTime>,
@@ -169,6 +169,22 @@ impl ExecutionTrace {
             width = width - 1
         ));
         out
+    }
+
+    /// Sort `records` into the canonical order: `(request, task, start,
+    /// finish, device, cores)`.
+    ///
+    /// Every executor finalizes its trace through this, which makes record
+    /// order independent of *event* order — a sharded run that interleaves
+    /// per-region work differently from the single-queue executor still
+    /// produces an identical record vector. Within one `(request, task)`
+    /// group the final (successful) attempt sorts last, because a retry or
+    /// re-placement always starts strictly after the killed attempt began.
+    pub fn canonicalize(&mut self) {
+        self.records.sort_by(|a, b| {
+            (a.request, a.task.0, a.start, a.finish, a.device.0, a.cores)
+                .cmp(&(b.request, b.task.0, b.start, b.finish, b.device.0, b.cores))
+        });
     }
 
     /// Sanity check used by tests: within one request, every task's *final*

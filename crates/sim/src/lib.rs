@@ -25,6 +25,7 @@ pub mod engine;
 pub mod events;
 pub mod fault;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 
@@ -32,5 +33,6 @@ pub use engine::{run_to_completion, run_until, Model, RunStats};
 pub use events::{EventId, EventQueue, QueueStats};
 pub use fault::{FaultEvent, FaultKind, FaultProcess, FaultSchedule, FaultScheduleSpec};
 pub use rng::Rng;
+pub use shard::{run_conservative, Envelope, ShardModel, WindowStats};
 pub use stats::{jain_fairness, Histogram, OnlineStats, Percentiles, TimeWeighted};
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};
