@@ -23,7 +23,7 @@ use std::rc::Rc;
 use std::time::Instant;
 
 /// Every cell, in canonical emission order.
-const ALL: [&str; 20] = [
+const ALL: [&str; 21] = [
     "t1",
     "t4",
     "t5",
@@ -43,6 +43,7 @@ const ALL: [&str; 20] = [
     "f12",
     "f13",
     "f14",
+    "f15",
     "ablations",
 ];
 
@@ -66,6 +67,9 @@ fn parse_args() -> Args {
             "--json" => json = true,
             "--serial" => serial = true,
             "--metrics" => metrics = true,
+            // Shrink load-sweep cells (F15) so CI smoke runs stay fast.
+            // Set before any cell runs; cells read it lazily per run.
+            "--smoke" => std::env::set_var("CONTINUUM_SMOKE", "1"),
             "--trace" => {
                 trace = Some(argv.next().unwrap_or_else(|| {
                     eprintln!("--trace needs a file path");
@@ -74,7 +78,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--json] [--serial] [--metrics] [--trace FILE] [{}]",
+                    "usage: experiments [--json] [--serial] [--metrics] [--smoke] [--trace FILE] [{}]",
                     ALL.join(" ")
                 );
                 std::process::exit(0);
@@ -168,6 +172,10 @@ fn run_one(name: &str) -> (Vec<Table>, serde_json::Value) {
         "f14" => {
             let (t, rows) = exp::f14::run();
             (vec![t], json!({"id": "f14", "rows": rows}))
+        }
+        "f15" => {
+            let (t, rows) = exp::f15::run();
+            (vec![t], json!({"id": "f15", "rows": rows}))
         }
         "ablations" => {
             let (ts, rows) = exp::ablations::run();

@@ -1,0 +1,217 @@
+//! F15 — open-loop saturation: goodput, rejection, and tail latency
+//! under sustained arrival-driven load.
+//!
+//! Closed-loop sweeps (F4, F12) materialise a fixed request list and
+//! measure latency; they cannot say what happens when the offered load
+//! simply *keeps coming*. F15 drives the same streaming-inference
+//! scenario through the open-loop executor: a Poisson arrival process
+//! offers requests indefinitely, an admission gate caps the number of
+//! requests live in the system, and everything past the cap is rejected
+//! at the door rather than queued without bound. We sweep the offered
+//! rate from well below saturation to well past it and report goodput
+//! (completions per second of simulated time), rejection rate, and the
+//! p50/p99/p999 latency of *admitted* requests.
+//!
+//! Expected shape: below saturation goodput tracks the offered rate and
+//! nothing is rejected; past the knee goodput plateaus at the continuum's
+//! service capacity, the admission gate sheds the excess, and — because
+//! the gate bounds queueing — the tail of admitted requests degrades
+//! gracefully instead of diverging. The `peak live` column is the
+//! memory story: it stays pinned at the admission cap no matter how much
+//! load is offered.
+
+use crate::report::{f, Table};
+use continuum_core::prelude::*;
+use continuum_runtime::{simulate_open_loop, OpenLoopOpts};
+use continuum_workflow::{open_loop_arrivals, ArrivalProcess, OpenLoopSpec};
+use serde::Serialize;
+
+/// One measured point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Offered arrival rate, requests/second.
+    pub rate_hz: f64,
+    /// Placement policy label.
+    pub policy: String,
+    /// Requests offered by the arrival process.
+    pub offered: u64,
+    /// Requests that ran to completion.
+    pub completed: u64,
+    /// Requests refused at the admission gate.
+    pub rejected: u64,
+    /// `rejected / offered`.
+    pub reject_rate: f64,
+    /// Completions per second of simulated time.
+    pub goodput_hz: f64,
+    /// Median admitted-request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile admitted-request latency, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile admitted-request latency, milliseconds.
+    pub p999_ms: f64,
+    /// Peak simultaneously-live requests (the memory bound).
+    pub peak_live: usize,
+}
+
+/// Offered rates swept, requests/second. Under the admission cap the F4
+/// scenario's two-gateway edge plus two clouds sustains roughly 200
+/// completions/s; the first two points sit below that knee, the last
+/// three are progressively further past it.
+pub fn rates() -> Vec<f64> {
+    vec![50.0, 150.0, 300.0, 600.0, 1200.0]
+}
+
+/// Admission cap: maximum requests live in the system at once.
+pub const MAX_LIVE: usize = 64;
+
+/// The latency SLO handed to the deadline-aware policy.
+pub fn slo() -> SimDuration {
+    SimDuration::from_millis(400)
+}
+
+/// Requests offered per run (`CONTINUUM_SMOKE=1` shrinks the run for CI).
+pub fn requests() -> usize {
+    if std::env::var("CONTINUUM_SMOKE").is_ok() {
+        300
+    } else {
+        800
+    }
+}
+
+/// Run the sweep.
+pub fn run() -> (Table, Vec<Row>) {
+    let world = Continuum::build(&crate::experiments::f4::scenario());
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "F15 — open-loop saturation: goodput / rejection / tail latency",
+        &[
+            "rate (/s)",
+            "policy",
+            "offered",
+            "completed",
+            "rejected",
+            "reject frac",
+            "goodput (/s)",
+            "p50 (ms)",
+            "p99 (ms)",
+            "p999 (ms)",
+            "peak live",
+        ],
+    );
+    for &rate in &rates() {
+        let spec = OpenLoopSpec {
+            sensors: world.sensors().to_vec(),
+            requests: requests(),
+            process: ArrivalProcess::Poisson { rate_hz: rate },
+            frame_bytes: 200 << 10,
+            infer_flops: 1e8,
+            size_alpha: None,
+        };
+        for deadline_aware in [false, true] {
+            let name = if deadline_aware {
+                "deadline".to_string()
+            } else {
+                "greedy".to_string()
+            };
+            let mut placer = OnlinePlacer::continuum(world.env());
+            // Placement is lazy — each request is placed as the arrival
+            // process yields it, so the workload is never materialised.
+            let arrivals = open_loop_arrivals(0xF15, &spec).map(|(arrival, dag)| {
+                let placement = if deadline_aware {
+                    placer
+                        .place_request_deadline(world.env(), &dag, arrival, slo())
+                        .0
+                } else {
+                    placer.place_request(world.env(), &dag, arrival).0
+                };
+                StreamRequest {
+                    dag,
+                    placement,
+                    arrival,
+                }
+            });
+            let opts = OpenLoopOpts {
+                max_live: MAX_LIVE,
+                ..OpenLoopOpts::default()
+            };
+            let rep = simulate_open_loop(world.env(), arrivals, &opts);
+            table.row(vec![
+                f(rate),
+                name.clone(),
+                format!("{}", rep.offered),
+                format!("{}", rep.completed),
+                format!("{}", rep.rejected),
+                f(rep.rejection_rate()),
+                f(rep.goodput_hz()),
+                f(rep.latency_quantile_s(0.50) * 1e3),
+                f(rep.latency_quantile_s(0.99) * 1e3),
+                f(rep.latency_quantile_s(0.999) * 1e3),
+                format!("{}", rep.peak_live),
+            ]);
+            rows.push(Row {
+                rate_hz: rate,
+                policy: name,
+                offered: rep.offered,
+                completed: rep.completed,
+                rejected: rep.rejected,
+                reject_rate: rep.rejection_rate(),
+                goodput_hz: rep.goodput_hz(),
+                p50_ms: rep.latency_quantile_s(0.50) * 1e3,
+                p99_ms: rep.latency_quantile_s(0.99) * 1e3,
+                p999_ms: rep.latency_quantile_s(0.999) * 1e3,
+                peak_live: rep.peak_live,
+            });
+        }
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn saturation_curve_shape() {
+        let (_, rows) = super::run();
+        let low = super::rates()[0];
+        let high = *super::rates().last().expect("rates");
+        for policy in ["greedy", "deadline"] {
+            let get = |rate: f64| {
+                rows.iter()
+                    .find(|r| r.rate_hz == rate && r.policy == policy)
+                    .expect("row present")
+            };
+            // Every point conserves requests and respects the cap.
+            for r in rows.iter().filter(|r| r.policy == policy) {
+                assert_eq!(r.offered, r.completed + r.rejected, "{policy} conservation");
+                assert!(r.peak_live <= super::MAX_LIVE, "{policy} cap respected");
+                assert!(r.p50_ms <= r.p99_ms && r.p99_ms <= r.p999_ms);
+            }
+            // Below saturation: nothing rejected, goodput tracks offered.
+            let lo = get(low);
+            assert_eq!(lo.rejected, 0, "{policy} rejects below saturation");
+            assert!(
+                lo.goodput_hz > low * 0.8,
+                "{policy} goodput {} at offered {low}",
+                lo.goodput_hz
+            );
+            // Past saturation: the gate sheds real load.
+            let hi = get(high);
+            assert!(
+                hi.reject_rate > 0.2,
+                "{policy} reject rate {} at offered {high}",
+                hi.reject_rate
+            );
+            // Goodput never collapses past the knee: the plateau holds to
+            // within a third of the best point on the curve.
+            let best = rows
+                .iter()
+                .filter(|r| r.policy == policy)
+                .map(|r| r.goodput_hz)
+                .fold(0.0f64, f64::max);
+            assert!(
+                hi.goodput_hz > best / 3.0,
+                "{policy} goodput collapsed: {} vs best {best}",
+                hi.goodput_hz
+            );
+        }
+    }
+}

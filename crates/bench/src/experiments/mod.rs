@@ -7,6 +7,7 @@ pub mod f11;
 pub mod f12;
 pub mod f13;
 pub mod f14;
+pub mod f15;
 pub mod f2;
 pub mod f3;
 pub mod f4;

@@ -5,12 +5,15 @@
 //! continuum run --scenario smart-city --workload pipeline --policy heft
 //! continuum run --workload montage --policy cpop --gantt
 //! continuum compare --workload layered --seed 7
+//! continuum saturate --scenario smart-city --rate 400 --max-live 64
 //! continuum list
 //! ```
 
 use continuum_core::prelude::*;
 use continuum_obs::Telemetry;
 use continuum_placement::standard_lineup;
+use continuum_runtime::{simulate_open_loop, OpenLoopOpts};
+use continuum_workflow::{open_loop_arrivals, ArrivalProcess, OpenLoopSpec};
 use std::rc::Rc;
 
 fn scenario_by_name(name: &str) -> Option<Scenario> {
@@ -98,10 +101,16 @@ fn usage() -> ! {
         "usage:\n  continuum run [--scenario S] [--workload W] [--policy P] \
          [--input-mb N] [--seed N] [--gantt] [--metrics] [--trace FILE]\n  \
          continuum compare [--scenario S] \
-         [--workload W] [--input-mb N] [--seed N]\n  continuum list\n\n\
+         [--workload W] [--input-mb N] [--seed N]\n  \
+         continuum saturate [--scenario S] [--rate HZ] [--requests N] \
+         [--max-live N] [--seed N] [--deadline-ms N]\n  continuum list\n\n\
          scenarios: {SCENARIOS:?}\n workloads: {WORKLOADS:?}\n policies:  {POLICIES:?}\n\n\
          --metrics      print the run's telemetry snapshot as JSON\n\
-         --trace FILE   write a Chrome/Perfetto trace_events file"
+         --trace FILE   write a Chrome/Perfetto trace_events file\n\
+         saturate: drive the scenario open-loop at --rate (Poisson \
+         arrivals) with at most --max-live requests in flight; excess \
+         arrivals are rejected at the door. --deadline-ms switches the \
+         online placer to deadline-aware escalation."
     );
     std::process::exit(2);
 }
@@ -115,6 +124,10 @@ struct Opts {
     gantt: bool,
     metrics: bool,
     trace: Option<String>,
+    rate_hz: f64,
+    requests: usize,
+    max_live: usize,
+    deadline_ms: Option<u64>,
 }
 
 fn parse(args: &[String]) -> Opts {
@@ -127,6 +140,10 @@ fn parse(args: &[String]) -> Opts {
         gantt: false,
         metrics: false,
         trace: None,
+        rate_hz: 200.0,
+        requests: 2000,
+        max_live: 64,
+        deadline_ms: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -143,6 +160,12 @@ fn parse(args: &[String]) -> Opts {
             "--gantt" => o.gantt = true,
             "--metrics" => o.metrics = true,
             "--trace" => o.trace = Some(take(&mut i)),
+            "--rate" => o.rate_hz = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--requests" => o.requests = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--max-live" => o.max_live = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => {
+                o.deadline_ms = Some(take(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
             _ => usage(),
         }
         i += 1;
@@ -235,6 +258,68 @@ fn main() {
                 let report = world.run(&dag, p.as_ref());
                 print_report(p.name(), &report);
             }
+        }
+        "saturate" => {
+            let o = parse(rest);
+            let scenario = scenario_by_name(&o.scenario).unwrap_or_else(|| usage());
+            let world = Continuum::build(&scenario);
+            if o.rate_hz <= 0.0 || o.requests == 0 || o.max_live == 0 {
+                usage();
+            }
+            let spec = OpenLoopSpec {
+                sensors: world.sensors().to_vec(),
+                requests: o.requests,
+                process: ArrivalProcess::Poisson { rate_hz: o.rate_hz },
+                ..OpenLoopSpec::default()
+            };
+            let mut placer = OnlinePlacer::continuum(world.env());
+            let deadline = o.deadline_ms.map(SimDuration::from_millis);
+            let arrivals = open_loop_arrivals(o.seed, &spec).map(|(arrival, dag)| {
+                let placement = match deadline {
+                    Some(d) => {
+                        placer
+                            .place_request_deadline(world.env(), &dag, arrival, d)
+                            .0
+                    }
+                    None => placer.place_request(world.env(), &dag, arrival).0,
+                };
+                StreamRequest {
+                    dag,
+                    placement,
+                    arrival,
+                }
+            });
+            let opts = OpenLoopOpts {
+                max_live: o.max_live,
+                ..OpenLoopOpts::default()
+            };
+            let rep = simulate_open_loop(world.env(), arrivals, &opts);
+            println!(
+                "scenario '{}': {} nodes / {} devices; open-loop {} req @ {} req/s ({} placer, cap {})",
+                scenario.name,
+                world.topology().node_count(),
+                world.env().fleet.len(),
+                o.requests,
+                o.rate_hz,
+                if deadline.is_some() { "deadline" } else { "greedy" },
+                o.max_live,
+            );
+            println!(
+                "offered {}   completed {}   rejected {} ({:.1}%)   goodput {:.1}/s",
+                rep.offered,
+                rep.completed,
+                rep.rejected,
+                rep.rejection_rate() * 100.0,
+                rep.goodput_hz(),
+            );
+            println!(
+                "latency p50 {:.1}ms   p99 {:.1}ms   p999 {:.1}ms   peak live {}   peak record buf {}",
+                rep.latency_quantile_s(0.50) * 1e3,
+                rep.latency_quantile_s(0.99) * 1e3,
+                rep.latency_quantile_s(0.999) * 1e3,
+                rep.peak_live,
+                rep.peak_record_buffer,
+            );
         }
         _ => usage(),
     }

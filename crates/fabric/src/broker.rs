@@ -144,6 +144,23 @@ pub struct EndpointFaults {
     pub seed: u64,
 }
 
+/// Admission control at the broker: bounded backlog with reject-and-count.
+///
+/// A *new arrival* that finds `max_outstanding` or more invocations in the
+/// system (assigned and not yet responded, across all endpoints) is
+/// rejected outright — counted on [`FabricReport::rejected`], never
+/// queued. This bounds every waiting queue, and with it the broker's
+/// memory, by the cap instead of by the offered load. Displaced work
+/// (re-routes after a crash) is never re-admitted through the gate: it
+/// was already accepted, and dropping it would double-count against the
+/// backoff budget.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Admission {
+    /// Maximum in-system (assigned, unresponded) invocations at which a
+    /// new arrival is still admitted.
+    pub max_outstanding: usize,
+}
+
 /// Aggregate result of a fabric run.
 #[derive(Debug, Clone)]
 pub struct FabricReport {
@@ -170,8 +187,11 @@ pub struct FabricReport {
     pub retries: u64,
     /// Invocations abandoned after `Backoff::max_retries` rounds (or
     /// whose function id no longer resolved at re-route time).
-    /// `completed + dropped` always equals the invocation count.
+    /// `completed + dropped + rejected` always equals the invocation
+    /// count.
     pub dropped: u64,
+    /// Arrivals refused by [`Admission`] control (0 without a gate).
+    pub rejected: u64,
     /// Execution seconds destroyed by crashes (work that was running and
     /// had to restart elsewhere).
     pub lost_work_s: f64,
@@ -345,6 +365,34 @@ pub fn run_fabric_faulty(
     autoscale: Option<Autoscale>,
     faults: Option<&EndpointFaults>,
 ) -> FabricReport {
+    run_fabric_admission(
+        env,
+        registry,
+        endpoints,
+        invocations,
+        policy,
+        cold,
+        autoscale,
+        faults,
+        None,
+    )
+}
+
+/// [`run_fabric_faulty`] with optional [`Admission`] control (bounded
+/// backlog, reject-and-count backpressure). With `admission: None` this
+/// is exactly the unbounded broker.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fabric_admission(
+    env: &Env,
+    registry: &FunctionRegistry,
+    endpoints: &[Endpoint],
+    invocations: &[Invocation],
+    policy: RoutingPolicy,
+    cold: Option<ColdStart>,
+    autoscale: Option<Autoscale>,
+    faults: Option<&EndpointFaults>,
+    admission: Option<Admission>,
+) -> FabricReport {
     assert!(!endpoints.is_empty(), "no endpoints");
     let n_ep = endpoints.len();
     let mut queue: EventQueue<Ev> = EventQueue::new();
@@ -389,6 +437,7 @@ pub fn run_fabric_faulty(
     let mut reroutes = 0u64;
     let mut retries = 0u64;
     let mut dropped = 0u64;
+    let mut rejected = 0u64;
     let mut lost_work_s = 0.0f64;
     let mut jitter_rng = Rng::new(faults.map_or(0, |f| f.seed));
     // Telemetry: resolved once on entry; plain local counters in the loop
@@ -468,6 +517,16 @@ pub fn run_fabric_faulty(
     while let Some((now, ev)) = queue.pop() {
         match ev {
             Ev::Arrive(i) => {
+                // Backpressure gate: count the in-system load and bounce
+                // the arrival if the cap is hit. Only new arrivals pass
+                // here — displaced work re-enters via `Ev::Reroute`.
+                if let Some(a) = admission {
+                    let in_system: usize = eps.iter().map(|e| e.outstanding as usize).sum();
+                    if in_system >= a.max_outstanding {
+                        rejected += 1;
+                        continue;
+                    }
+                }
                 let spec = registry.get(invocations[i].function);
                 let candidates: Vec<usize> = (0..n_ep).filter(|&e| !eps[e].known_down).collect();
                 // At least one endpoint is always un-suspected at arrival
@@ -696,7 +755,7 @@ pub fn run_fabric_faulty(
         .unwrap_or(SimTime::ZERO);
     let completed = latencies.len() as u64;
     debug_assert_eq!(
-        completed + dropped,
+        completed + dropped + rejected,
         invocations.len() as u64,
         "invocation conservation"
     );
@@ -716,6 +775,7 @@ pub fn run_fabric_faulty(
         m.record("fabric.reroutes", reroutes);
         m.record("fabric.retries", retries);
         m.record("fabric.dropped", dropped);
+        m.record("fabric.rejected", rejected);
         m.record("fabric.failovers", failovers);
         m.record("fabric.detections", detections);
         m.record("fabric.recoveries", recoveries);
@@ -746,6 +806,7 @@ pub fn run_fabric_faulty(
         reroutes,
         retries,
         dropped,
+        rejected,
         lost_work_s,
     }
 }
@@ -936,7 +997,7 @@ mod tests {
             assert!(rep.throughput_hz > 0.0);
             let (p50, p95, p99) = rep.latency_percentiles();
             assert!(p50 <= p95 && p95 <= p99);
-            assert_eq!(rep.reroutes + rep.retries + rep.dropped, 0);
+            assert_eq!(rep.reroutes + rep.retries + rep.dropped + rep.rejected, 0);
             assert_eq!(rep.lost_work_s, 0.0);
         }
     }
@@ -1418,5 +1479,122 @@ mod fault_tests {
             let f = d.as_secs_f64() / nominal;
             assert!((0.75..=1.25).contains(&f), "jitter factor {f}");
         }
+    }
+}
+
+#[cfg(test)]
+mod admission_tests {
+    use super::*;
+    use continuum_model::standard_fleet;
+    use continuum_net::{continuum, ContinuumSpec, Tier};
+    use continuum_sim::SimDuration;
+
+    fn setup() -> (Env, FunctionRegistry, Vec<Endpoint>) {
+        let built = continuum(&ContinuumSpec::default());
+        let env = Env::new(built.topology.clone(), standard_fleet(&built));
+        let mut reg = FunctionRegistry::new();
+        // ~1.6 s per invocation on a CloudVm core.
+        reg.register("heavy", 6e10, 100 << 10, 1 << 10);
+        let eps = endpoints_on(&env, &env.fleet.in_tier(Tier::Cloud));
+        (env, reg, eps)
+    }
+
+    fn burst(env: &Env, n: usize, gap_s: f64) -> Vec<Invocation> {
+        let origin = env.fleet.devices()[0].node;
+        (0..n)
+            .map(|i| Invocation {
+                arrival: SimTime::from_secs_f64(i as f64 * gap_s),
+                origin,
+                function: FunctionId(0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bounded_backlog_rejects_and_conserves() {
+        let (env, reg, eps) = setup();
+        let one = vec![eps[0].clone()];
+        // 200 near-simultaneous heavy invocations into one endpoint with
+        // an in-system cap of 8: the first 8 are admitted, the rest
+        // bounce off the gate.
+        let invs = burst(&env, 200, 1e-6);
+        let rep = run_fabric_admission(
+            &env,
+            &reg,
+            &one,
+            &invs,
+            RoutingPolicy::RoundRobin,
+            None,
+            None,
+            None,
+            Some(Admission { max_outstanding: 8 }),
+        );
+        assert_eq!(rep.completed + rep.dropped + rep.rejected, 200);
+        assert_eq!(rep.rejected, 192);
+        assert_eq!(rep.completed, 8);
+        assert_eq!(rep.dropped, 0);
+    }
+
+    #[test]
+    fn unbounded_gate_is_a_noop() {
+        let (env, reg, eps) = setup();
+        let invs = burst(&env, 60, 0.05);
+        let plain = run_fabric(&env, &reg, &eps, &invs, RoutingPolicy::LeastOutstanding);
+        let gated = run_fabric_admission(
+            &env,
+            &reg,
+            &eps,
+            &invs,
+            RoutingPolicy::LeastOutstanding,
+            None,
+            None,
+            None,
+            Some(Admission {
+                max_outstanding: usize::MAX,
+            }),
+        );
+        assert_eq!(gated.rejected, 0);
+        assert_eq!(plain.completed, gated.completed);
+        assert_eq!(plain.latencies_s, gated.latencies_s);
+        assert_eq!(plain.end_time, gated.end_time);
+    }
+
+    #[test]
+    fn conservation_holds_under_crashes_with_admission() {
+        let (env, reg, eps) = setup();
+        assert!(eps.len() >= 2);
+        let invs = burst(&env, 120, 0.05);
+        let mut schedule = FaultSchedule::new();
+        schedule.crash_and_recover(
+            FaultKind::EndpointCrash,
+            0,
+            SimTime::from_secs(1),
+            SimDuration::from_secs(300),
+        );
+        let rep = run_fabric_admission(
+            &env,
+            &reg,
+            &eps,
+            &invs,
+            RoutingPolicy::RoundRobin,
+            None,
+            None,
+            Some(&EndpointFaults {
+                schedule,
+                heartbeat: SimDuration::from_millis(500),
+                backoff: Backoff::default(),
+                seed: 9,
+            }),
+            Some(Admission {
+                max_outstanding: 12,
+            }),
+        );
+        // The cap bites under this burst, the crash displaces admitted
+        // work, and every invocation is still accounted for exactly once.
+        assert!(rep.rejected > 0, "cap of 12 should bounce arrivals");
+        assert_eq!(
+            rep.completed + rep.dropped + rep.rejected,
+            invs.len() as u64
+        );
     }
 }

@@ -15,8 +15,8 @@ pub mod broker;
 pub mod registry;
 
 pub use broker::{
-    endpoints_on, run_fabric, run_fabric_cfg, run_fabric_elastic, run_fabric_faulty, Autoscale,
-    Backoff, ColdStart, Endpoint, EndpointFaults, EndpointId, FabricReport, Invocation,
-    RoutingPolicy,
+    endpoints_on, run_fabric, run_fabric_admission, run_fabric_cfg, run_fabric_elastic,
+    run_fabric_faulty, Admission, Autoscale, Backoff, ColdStart, Endpoint, EndpointFaults,
+    EndpointId, FabricReport, Invocation, RoutingPolicy,
 };
 pub use registry::{FunctionId, FunctionRegistry, FunctionSpec};

@@ -100,6 +100,35 @@ impl Histogram {
             .collect()
     }
 
+    /// Estimated `q`-quantile in nanoseconds (`q` in `[0, 1]`), by
+    /// cumulative walk over the log2 buckets with linear interpolation
+    /// inside the containing bucket. Clamped to the observed
+    /// `[min_ns, max_ns]` range, so the estimate never extrapolates past
+    /// real observations; returns 0 when empty. Error is bounded by the
+    /// ~2x bucket width, which is plenty for p50/p99/p999 SLO tracking.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let lo = if i <= 1 { 0u64 } else { 1u64 << (i - 1) };
+                let hi = Self::bucket_bound(i);
+                let frac = (rank - cum) as f64 / c as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est as u64).clamp(self.min_ns, self.max_ns);
+            }
+            cum += c;
+        }
+        self.max_ns
+    }
+
     /// Fold another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         self.count += other.count;
@@ -223,6 +252,17 @@ impl MetricsSnapshot {
             && self.gauges.is_empty()
             && self.histograms.is_empty()
             && self.labeled.is_empty()
+    }
+
+    /// Fold a standalone histogram (e.g. a streaming-sink latency
+    /// histogram harvested outside the registry) into the named entry.
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        if h.count > 0 {
+            self.histograms
+                .entry(name.to_string())
+                .or_default()
+                .merge(h);
+        }
     }
 
     /// Fold another snapshot into this one: counters, labeled counters,
@@ -365,6 +405,53 @@ mod tests {
             vec![(1, 1), (2, 1), (4, 2), (2048, 1), (u64::MAX, 1)]
         );
         assert!(h.mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets_monotonically() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile_ns(0.5), 0, "empty histogram");
+        // 1000 observations spread over four decades.
+        for i in 0..1000u64 {
+            h.observe(1_000 + i * 1_000_000);
+        }
+        let p50 = h.quantile_ns(0.50);
+        let p99 = h.quantile_ns(0.99);
+        let p999 = h.quantile_ns(0.999);
+        assert!(p50 <= p99 && p99 <= p999, "p50 {p50} p99 {p99} p999 {p999}");
+        assert!(p50 >= h.min_ns && p999 <= h.max_ns);
+        // log2 buckets: estimates are within ~2x of the true quantile.
+        let true_p50 = 1_000 + 500 * 1_000_000;
+        assert!(
+            p50 as f64 / true_p50 as f64 > 0.5 && (p50 as f64 / true_p50 as f64) < 2.0,
+            "p50 {p50} vs true {true_p50}"
+        );
+    }
+
+    #[test]
+    fn quantile_single_value_is_exact() {
+        let mut h = Histogram::default();
+        for _ in 0..10 {
+            h.observe(4096);
+        }
+        // Min/max clamping pins a degenerate distribution exactly.
+        assert_eq!(h.quantile_ns(0.0), 4096);
+        assert_eq!(h.quantile_ns(0.5), 4096);
+        assert_eq!(h.quantile_ns(1.0), 4096);
+    }
+
+    #[test]
+    fn merge_histogram_folds_standalone() {
+        let mut snap = MetricsSnapshot::new();
+        let mut h = Histogram::default();
+        h.observe(100);
+        h.observe(200);
+        snap.merge_histogram("slo.request_latency", &h);
+        snap.merge_histogram("slo.request_latency", &h);
+        assert_eq!(snap.histogram("slo.request_latency").unwrap().count, 4);
+        // Empty histograms do not materialise a key.
+        snap.merge_histogram("slo.empty", &Histogram::default());
+        assert!(snap.histogram("slo.empty").is_none());
     }
 
     #[test]

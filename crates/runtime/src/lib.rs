@@ -15,12 +15,14 @@
 
 pub mod app;
 pub mod exec;
+pub mod open_loop;
 pub mod shard;
 pub mod simrun;
 pub mod trace;
 
 pub use app::{AppBuilder, AppHandle, AppOutcome};
 pub use exec::{RealExecutor, RealTrace};
+pub use open_loop::{simulate_open_loop, OpenLoopOpts, OpenLoopReport};
 pub use shard::{plan_shards, simulate_stream_sharded, ShardOpts, ShardPlan};
 pub use simrun::{
     simulate, simulate_stream, simulate_stream_chaos, simulate_stream_with_faults, FaultPlane,

@@ -1,0 +1,429 @@
+//! Open-loop (arrival-driven) execution: sustained load, bounded memory.
+//!
+//! The closed-loop executors in [`crate::simrun`] register every request
+//! up front and keep every task record until the end — fine for a finite
+//! workload, O(total offered load) for a sustained one. This module
+//! drives the same [`ExecCore`] in *streaming* mode: requests are
+//! injected as they arrive, an admission gate rejects new arrivals once
+//! the live-request set reaches a cap (backpressure), and completed
+//! requests *retire* — their slots are freed and reused, and their task
+//! records fold into log2 histograms. Memory is O(active requests), not
+//! O(requests ever offered), which is what makes million-request
+//! saturation sweeps tractable.
+//!
+//! The executor core is shared with the closed loop, so the physics are
+//! identical: an open-loop run over the same placed requests (with an
+//! unbounded admission cap) completes the same tasks, moves the same
+//! bytes, and yields the same latency distribution as
+//! [`crate::simulate_stream_chaos`].
+
+use crate::simrun::{ExecCore, FaultPlane, FaultSpec, StreamRequest};
+use continuum_obs::{Histogram, MetricsRegistry};
+use continuum_placement::Env;
+use continuum_sim::SimTime;
+
+/// Knobs for one open-loop run.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopOpts<'a> {
+    /// Admission cap: a new arrival is rejected (counted, not executed)
+    /// while this many requests are live. `usize::MAX` disables
+    /// backpressure — every arrival is admitted.
+    pub max_live: usize,
+    /// Per-attempt fault injection, as in
+    /// [`crate::simulate_stream_chaos`].
+    pub faults: Option<&'a FaultSpec>,
+    /// Timed device/link fault plane, as in
+    /// [`crate::simulate_stream_chaos`].
+    pub plane: Option<&'a FaultPlane>,
+}
+
+impl Default for OpenLoopOpts<'_> {
+    fn default() -> Self {
+        OpenLoopOpts {
+            max_live: usize::MAX,
+            faults: None,
+            plane: None,
+        }
+    }
+}
+
+/// What one open-loop run produced: SLO aggregates (latency quantiles,
+/// goodput, rejection rate), conservation counters, and the memory
+/// high-water marks the bounded-memory guarantee is asserted against.
+/// Everything here is O(1) in the number of requests processed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopReport {
+    /// Requests the arrival process offered.
+    pub offered: u64,
+    /// Offered and admitted past the backpressure gate.
+    pub admitted: u64,
+    /// Admitted and executed to completion.
+    pub completed: u64,
+    /// Offered but rejected by admission control.
+    pub rejected: u64,
+    /// High-water mark of simultaneously live (admitted, unretired)
+    /// requests — the slot-reuse bound.
+    pub peak_live: usize,
+    /// High-water mark of the compacting task-record buffer.
+    pub peak_record_buffer: usize,
+    /// Finish time of the last completed request.
+    pub end_time: SimTime,
+    /// Request latency (finish - arrival) of every completed request.
+    pub latency: Histogram,
+    /// Duration of every executed task attempt.
+    pub task_duration: Histogram,
+    /// Executed task attempts (including failed and killed ones).
+    pub tasks_executed: u64,
+    /// Bytes that crossed at least one link.
+    pub bytes_moved: u64,
+    /// Non-local transfers initiated.
+    pub transfers: u64,
+    /// Attempts that drew a failure and retried.
+    pub failed_attempts: u64,
+    /// Tasks re-placed after a crash.
+    pub replacements: u64,
+    /// Attempts killed mid-flight by a device crash.
+    pub killed_attempts: u64,
+    /// Device crashes the fault plane delivered.
+    pub device_crashes: u64,
+    /// Link failures the fault plane delivered.
+    pub link_failures: u64,
+    /// Execution seconds destroyed by crashes.
+    pub lost_work_s: f64,
+    /// Executed task attempts per device id.
+    pub tasks_by_device: Vec<u64>,
+    /// Energy burned by used devices over the run.
+    pub energy_j: f64,
+    /// Occupancy + egress cost of the run.
+    pub cost_usd: f64,
+}
+
+impl OpenLoopReport {
+    /// Completed requests per simulated second (0 for an empty run).
+    pub fn goodput_hz(&self) -> f64 {
+        let secs = self.end_time.since(SimTime::ZERO).as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Fraction of offered requests rejected by admission control.
+    pub fn rejection_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.offered as f64
+        }
+    }
+
+    /// Estimated latency quantile in seconds (`q` in `[0, 1]`).
+    pub fn latency_quantile_s(&self, q: f64) -> f64 {
+        self.latency.quantile_ns(q) as f64 / 1e9
+    }
+}
+
+/// Execute an arrival-ordered stream of placed requests open-loop.
+///
+/// `arrivals` yields requests in nondecreasing arrival order (asserted);
+/// it may be lazy — requests are pulled one at a time and the simulation
+/// is pumped up to each arrival before the admission decision, so the
+/// live-request count the gate inspects is current as of that arrival.
+/// Rejected requests are dropped on the floor and counted; they never
+/// enter the executor.
+///
+/// Conservation: `completed + rejected == offered` on every run (an
+/// admitted request always completes — attempt-level faults retry and
+/// crash orphans re-place, exactly as in the closed loop).
+///
+/// # Panics
+/// On out-of-order arrivals, placement/dag mismatches, or empty dags —
+/// programming errors, not load conditions.
+pub fn simulate_open_loop(
+    env: &Env,
+    arrivals: impl IntoIterator<Item = StreamRequest>,
+    opts: &OpenLoopOpts<'_>,
+) -> OpenLoopReport {
+    let tele = continuum_obs::ambient();
+    let collect = tele.is_some();
+    // Tracing is a closed-loop affair (it needs the full record set);
+    // open-loop runs keep the Perfetto synthesizer off.
+    let mut core = ExecCore::new(
+        env,
+        Vec::new(),
+        Vec::new(),
+        opts.faults,
+        opts.plane,
+        None,
+        collect,
+        false,
+    );
+    core.enable_streaming();
+    let mut offered = 0u64;
+    let mut admitted = 0u64;
+    let mut rejected = 0u64;
+    let mut last = SimTime::ZERO;
+    for r in arrivals {
+        assert!(
+            r.arrival >= last,
+            "open-loop arrivals must be in nondecreasing time order"
+        );
+        last = r.arrival;
+        core.pump(Some(r.arrival));
+        let gid = offered as usize;
+        offered += 1;
+        if core.live_requests() >= opts.max_live {
+            rejected += 1;
+        } else {
+            admitted += 1;
+            core.inject_request(gid, r);
+        }
+    }
+    core.pump(None);
+    let parts = core.finish_open();
+    let completed = parts.latency.count;
+    assert_eq!(
+        completed + rejected,
+        offered,
+        "open-loop conservation violated"
+    );
+    let report = OpenLoopReport {
+        offered,
+        admitted,
+        completed,
+        rejected,
+        peak_live: parts.peak_live,
+        peak_record_buffer: parts.peak_record_buf,
+        end_time: parts.end_time,
+        latency: parts.latency,
+        task_duration: parts.task_duration,
+        tasks_executed: parts.tasks_executed,
+        bytes_moved: parts.bytes_moved,
+        transfers: parts.transfers,
+        failed_attempts: parts.failed_attempts,
+        replacements: parts.replacements,
+        killed_attempts: parts.killed_attempts,
+        device_crashes: parts.device_crashes,
+        link_failures: parts.link_failures,
+        lost_work_s: parts.lost_work_s,
+        tasks_by_device: parts.tasks_by_device,
+        energy_j: parts.energy_j,
+        cost_usd: parts.cost_usd,
+    };
+    if let Some(t) = tele {
+        let reg = MetricsRegistry::new();
+        reg.inc("slo.offered", report.offered);
+        reg.inc("slo.admitted", report.admitted);
+        reg.inc("slo.completed", report.completed);
+        reg.inc("slo.rejected", report.rejected);
+        reg.set_gauge("slo.goodput_hz", report.goodput_hz());
+        reg.set_gauge("slo.rejection_rate", report.rejection_rate());
+        reg.set_gauge("slo.p50_ms", report.latency_quantile_s(0.50) * 1e3);
+        reg.set_gauge("slo.p99_ms", report.latency_quantile_s(0.99) * 1e3);
+        reg.set_gauge("slo.p999_ms", report.latency_quantile_s(0.999) * 1e3);
+        reg.set_gauge("executor.peak_live_requests", report.peak_live as f64);
+        reg.set_gauge(
+            "executor.peak_record_buffer",
+            report.peak_record_buffer as f64,
+        );
+        let mut snap = reg.snapshot();
+        snap.merge_histogram("slo.request_latency", &report.latency);
+        snap.merge_histogram("executor.task_duration", &report.task_duration);
+        if let Some(s) = parts.snap {
+            snap.merge(&s);
+        }
+        t.metrics.absorb(&snap);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simrun::simulate_stream_chaos;
+    use continuum_model::{DeviceClass, DeviceId, Fleet};
+    use continuum_net::NodeId;
+    use continuum_net::{Tier, Topology};
+    use continuum_placement::Placement;
+    use continuum_sim::SimDuration;
+    use continuum_workflow::{open_loop_stream, ArrivalProcess, Dag, OpenLoopSpec};
+
+    fn two_node(bandwidth: f64) -> (Env, NodeId, NodeId) {
+        let mut topo = Topology::new();
+        let e = topo.add_node("edge", Tier::Edge);
+        let c = topo.add_node("cloud", Tier::Cloud);
+        topo.add_link(e, c, SimDuration::from_millis(10), bandwidth);
+        let mut fleet = Fleet::new();
+        fleet.add_class(e, DeviceClass::EdgeGateway);
+        fleet.add_class(c, DeviceClass::CloudVm);
+        (Env::new(topo, fleet), e, c)
+    }
+
+    /// The inference dags of `open_loop_stream` have three tasks
+    /// (capture, preprocess, infer); run the first two at the edge and
+    /// the inference at the cloud so every request crosses the link.
+    fn placed(workload: continuum_workflow::StreamWorkload) -> Vec<StreamRequest> {
+        workload
+            .requests
+            .into_iter()
+            .map(|(arrival, dag)| StreamRequest {
+                arrival,
+                placement: Placement {
+                    assignment: vec![DeviceId(0), DeviceId(0), DeviceId(1)],
+                },
+                dag,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn open_loop_matches_closed_loop_exactly() {
+        let (env, e, _c) = two_node(1e9);
+        let spec = OpenLoopSpec {
+            sensors: vec![e],
+            requests: 200,
+            process: ArrivalProcess::Poisson { rate_hz: 40.0 },
+            frame_bytes: 50_000,
+            infer_flops: 5e8,
+            size_alpha: None,
+        };
+        let reqs = placed(open_loop_stream(7, &spec));
+        let closed = simulate_stream_chaos(&env, &reqs, None, None);
+        let report = simulate_open_loop(&env, reqs.iter().cloned(), &OpenLoopOpts::default());
+
+        assert_eq!(report.offered, 200);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.completed, 200);
+        assert_eq!(report.tasks_executed, closed.trace.records.len() as u64);
+        assert_eq!(report.bytes_moved, closed.trace.bytes_moved);
+        assert_eq!(report.transfers, closed.trace.transfers);
+        // The latency *distribution* must be bit-identical: same counts,
+        // same sum, same min/max, same buckets.
+        let mut want = Histogram::default();
+        let mut last_fin = SimTime::ZERO;
+        for (arr, fin) in closed
+            .trace
+            .request_arrival
+            .iter()
+            .zip(&closed.trace.request_finish)
+        {
+            want.observe(fin.since(*arr).0);
+            last_fin = last_fin.max(*fin);
+        }
+        assert_eq!(report.latency, want);
+        assert_eq!(report.end_time, last_fin);
+    }
+
+    #[test]
+    fn memory_stays_bounded_over_100k_requests() {
+        let (env, e, _c) = two_node(1e9);
+        let n = 100_000usize;
+        // One tiny local task per request, arriving every 100 µs — the
+        // edge gateway keeps up easily, so the live set stays small even
+        // though 100k requests flow through.
+        let arrivals = (0..n).map(move |i| {
+            let mut g = Dag::new(format!("r{i}"));
+            let input = g.add_input("in", 100, e);
+            let out = g.add_item("out", 1);
+            g.add_task("t", 1e6, vec![input], vec![out]);
+            StreamRequest {
+                arrival: SimTime::from_secs_f64(i as f64 * 100e-6),
+                dag: g,
+                placement: Placement {
+                    assignment: vec![DeviceId(0)],
+                },
+            }
+        });
+        let opts = OpenLoopOpts {
+            max_live: 512,
+            ..Default::default()
+        };
+        let report = simulate_open_loop(&env, arrivals, &opts);
+        assert_eq!(report.offered, n as u64);
+        assert_eq!(report.completed + report.rejected, report.offered);
+        assert_eq!(report.rejected, 0, "the system keeps up at this rate");
+        assert_eq!(report.tasks_executed, n as u64);
+        // The point of the exercise: live slots and buffered records
+        // track the *active* set, not the 100k offered requests.
+        assert!(
+            report.peak_live <= 512,
+            "peak_live {} exceeds the admission cap",
+            report.peak_live
+        );
+        assert!(
+            report.peak_live < 64,
+            "peak_live {} is not O(active) for a keeping-up system",
+            report.peak_live
+        );
+        assert!(
+            report.peak_record_buffer <= 10_000,
+            "record buffer grew to {} entries",
+            report.peak_record_buffer
+        );
+    }
+
+    #[test]
+    fn saturation_rejects_and_conserves() {
+        let (env, e, _c) = two_node(1e9);
+        // 300 heavy tasks arriving 1 ms apart onto a 4-core edge device
+        // that needs far longer than 1 ms per task: the live set pins at
+        // the cap and most arrivals bounce.
+        let arrivals = (0..300usize).map(move |i| {
+            let mut g = Dag::new(format!("r{i}"));
+            let input = g.add_input("in", 100, e);
+            let out = g.add_item("out", 1);
+            g.add_task("t", 5e10, vec![input], vec![out]);
+            StreamRequest {
+                arrival: SimTime::from_secs_f64(i as f64 * 1e-3),
+                dag: g,
+                placement: Placement {
+                    assignment: vec![DeviceId(0)],
+                },
+            }
+        });
+        let opts = OpenLoopOpts {
+            max_live: 8,
+            ..Default::default()
+        };
+        let report = simulate_open_loop(&env, arrivals, &opts);
+        assert_eq!(report.offered, 300);
+        assert_eq!(report.completed + report.rejected, 300);
+        assert!(
+            report.rejected > 200,
+            "expected heavy rejection, got {}",
+            report.rejected
+        );
+        assert!(report.rejection_rate() > 0.5);
+        assert!(report.peak_live <= 8);
+        assert!(report.goodput_hz() > 0.0);
+        assert!(report.latency_quantile_s(0.99) >= report.latency_quantile_s(0.50));
+    }
+
+    #[test]
+    fn open_loop_runs_are_deterministic() {
+        let (env, e, _c) = two_node(1e8);
+        let spec = OpenLoopSpec {
+            sensors: vec![e],
+            requests: 300,
+            process: ArrivalProcess::FlashCrowd {
+                base_hz: 20.0,
+                spike_hz: 400.0,
+                at_s: 2.0,
+                len_s: 1.0,
+            },
+            frame_bytes: 100_000,
+            infer_flops: 1e9,
+            size_alpha: Some(1.5),
+        };
+        let opts = OpenLoopOpts {
+            max_live: 16,
+            ..Default::default()
+        };
+        let a = simulate_open_loop(&env, placed(open_loop_stream(11, &spec)), &opts);
+        let b = simulate_open_loop(&env, placed(open_loop_stream(11, &spec)), &opts);
+        assert_eq!(a, b);
+        assert!(a.rejected > 0, "flash crowd should overrun a cap of 16");
+        assert_eq!(a.completed + a.rejected, a.offered);
+    }
+}

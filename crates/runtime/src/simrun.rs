@@ -23,12 +23,12 @@ use continuum_model::{CostMeter, DeviceId, EnergyMeter};
 use continuum_net::{
     shortest_path_avoiding, FlowId, FlowNetwork, LinkId, NodeId, Path, RouteCache,
 };
-use continuum_obs::{MetricsRegistry, MetricsSnapshot, Telemetry};
+use continuum_obs::{Histogram, MetricsRegistry, MetricsSnapshot, Telemetry};
 use continuum_placement::{Env, Metrics, OnlinePlacer, Placement};
 use continuum_sim::{EventId, EventQueue, FaultKind, FaultSchedule, SimDuration, SimTime};
 use continuum_workflow::{Dag, DataId, TaskId};
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// One timed, placed workflow instance.
 #[derive(Debug, Clone)]
@@ -448,6 +448,60 @@ fn fault_draw(fs: &FaultSpec, gid: usize, task: TaskId, attempt: u32) -> bool {
     per_task.split(u64::from(attempt)).chance(fs.fail_prob)
 }
 
+/// Storage of one request slot. Closed-loop cores borrow every request
+/// from the caller's slice for the whole run; open-loop cores own each
+/// injected request and free the slot (`Free`) when it retires, so memory
+/// tracks *active* requests, not total.
+enum ReqEntry<'a> {
+    Borrowed(&'a StreamRequest),
+    Owned(Box<StreamRequest>),
+    Free,
+}
+
+/// The request in slot `i`. Free function (not a method) so call sites can
+/// hold the returned borrow of `reqs` while mutating sibling `ExecCore`
+/// fields.
+fn req_ref<'b>(reqs: &'b [ReqEntry<'_>], i: usize) -> &'b StreamRequest {
+    match &reqs[i] {
+        ReqEntry::Borrowed(r) => r,
+        ReqEntry::Owned(r) => r,
+        ReqEntry::Free => unreachable!("request slot {i} is retired"),
+    }
+}
+
+/// Bounded per-run aggregation for open-loop (streaming) execution: task
+/// records and request latencies fold into log2 histograms instead of
+/// accumulating in `ExecutionTrace`, so a million-request run holds O(1)
+/// trace memory plus a record buffer bounded by the live-request set.
+pub(crate) struct StreamSink {
+    /// Request latency (finish - arrival) of every retired request.
+    latency: Histogram,
+    /// Duration of every folded task attempt.
+    task_duration: Histogram,
+    /// Folded task attempts per device id.
+    tasks_by_device: Vec<u64>,
+    /// Task records folded so far (== executed attempts once the run
+    /// drains).
+    records_folded: u64,
+    /// High-water mark of the compacting record buffer.
+    peak_record_buf: usize,
+    /// Latest request finish seen — the open-loop end of run.
+    last_finish: SimTime,
+}
+
+impl StreamSink {
+    fn new(n_dev: usize) -> Self {
+        StreamSink {
+            latency: Histogram::default(),
+            task_duration: Histogram::default(),
+            tasks_by_device: vec![0; n_dev],
+            records_folded: 0,
+            peak_record_buf: 0,
+            last_finish: SimTime::ZERO,
+        }
+    }
+}
+
 /// One executor core: the complete event-driven machinery — event queue,
 /// flow engine, route cache, dense request state, fault plane — over a
 /// subset of the requests. The single-queue executor is exactly one core
@@ -461,7 +515,7 @@ fn fault_draw(fs: &FaultSpec, gid: usize, task: TaskId, attempt: u32) -> bool {
 /// sharded-equals-single-queue property rests on.
 pub(crate) struct ExecCore<'a> {
     env: &'a Env,
-    requests: Vec<&'a StreamRequest>,
+    requests: Vec<ReqEntry<'a>>,
     /// Global request index of each local request.
     gids: Vec<usize>,
     faults: Option<&'a FaultSpec>,
@@ -525,6 +579,35 @@ pub(crate) struct ExecCore<'a> {
     lost_dev: Vec<f64>,
     /// Scratch for the masked-liveness vector fed to the placer.
     alive_scratch: Vec<bool>,
+    /// In-flight deliveries (slots in `SlotState::InFlight`) per local
+    /// request. A request retires only once this hits zero, so no flow or
+    /// stalled transfer can touch a freed slot.
+    inflight: Vec<u32>,
+    /// Scheduled-but-unpopped `TaskFinished` events per local request.
+    /// Gates retirement so a stale finish (epoch-bumped by a crash) can
+    /// never land on a reused slot with a coincidentally matching epoch.
+    pending_fin: Vec<u32>,
+    /// Slot has been retired (all per-request state freed).
+    retired: Vec<bool>,
+    /// Requests whose retirement preconditions may have just been met;
+    /// drained by `process_retirements` after each event.
+    retire_scan: Vec<usize>,
+    /// Live (injected/registered and not yet retired) request count.
+    live: usize,
+    /// High-water mark of `live`.
+    peak_live: usize,
+    /// Retired slots available for reuse by `inject_request`.
+    free_slots: Vec<usize>,
+    /// Global ids of live requests; record compaction keeps only their
+    /// task records.
+    live_gids: HashSet<usize>,
+    /// Compact the record buffer when it reaches this length
+    /// (`usize::MAX` in accumulating mode — never).
+    compact_at: usize,
+    /// `Some` switches the core to open-loop streaming: completed state
+    /// folds into bounded histograms and slots are reused. `None` (closed
+    /// loop) preserves the accumulate-everything behavior bit for bit.
+    sink: Option<StreamSink>,
 }
 
 impl<'a> ExecCore<'a> {
@@ -647,8 +730,18 @@ impl<'a> ExecCore<'a> {
             cost: CostMeter::new(&env.fleet),
             lost_dev: vec![0.0; n_dev],
             alive_scratch: Vec::new(),
+            inflight: vec![0; requests.len()],
+            pending_fin: vec![0; requests.len()],
+            retired: vec![false; requests.len()],
+            retire_scan: Vec::new(),
+            live: requests.len(),
+            peak_live: requests.len(),
+            free_slots: Vec::new(),
+            live_gids: HashSet::new(),
+            compact_at: usize::MAX,
+            sink: None,
             queue,
-            requests,
+            requests: requests.into_iter().map(ReqEntry::Borrowed).collect(),
             gids,
         }
     }
@@ -669,6 +762,9 @@ impl<'a> ExecCore<'a> {
             }
             let (now, ev) = self.queue.pop().expect("peeked event exists");
             self.step(now, ev);
+            if !self.retire_scan.is_empty() {
+                self.process_retirements();
+            }
         }
     }
 
@@ -688,7 +784,7 @@ impl<'a> ExecCore<'a> {
 
         match ev {
             Ev::Arrival(req) => {
-                let r = self.requests[req];
+                let r = req_ref(&self.requests, req);
                 let gid = self.gids[req];
                 // Request external item deliveries and register interest:
                 // (slot, home node) pairs needing a fetch, in first-sight
@@ -711,6 +807,7 @@ impl<'a> ExecCore<'a> {
                                     .home
                                     .expect("validated dag: external has home");
                                 st.slots[slot as usize].state = SlotState::InFlight;
+                                self.inflight[req] += 1;
                                 to_deliver.push((slot, home));
                             }
                             // Produced items stay Absent; the producer's
@@ -728,8 +825,16 @@ impl<'a> ExecCore<'a> {
                         made_present.push((req, slot));
                     } else {
                         let bytes = r.dag.data(d).bytes;
-                        self.egress_log
-                            .push((env.fleet.at_node(src).first().copied(), bytes));
+                        if self.sink.is_none() {
+                            self.egress_log
+                                .push((env.fleet.at_node(src).first().copied(), bytes));
+                        } else {
+                            self.trace.bytes_moved += bytes;
+                            self.trace.transfers += 1;
+                            if let Some(dev) = env.fleet.at_node(src).first().copied() {
+                                self.cost.record_egress(&env.fleet, dev, bytes);
+                            }
+                        }
                         match route(
                             env,
                             &mut self.rcache,
@@ -767,7 +872,7 @@ impl<'a> ExecCore<'a> {
                 }
             }
             Ev::StartFlow { req, slot, bytes } => {
-                let r = self.requests[req];
+                let r = req_ref(&self.requests, req);
                 let gid = self.gids[req];
                 let (item, dst) = {
                     let s = &self.states[req].slots[slot as usize];
@@ -813,10 +918,14 @@ impl<'a> ExecCore<'a> {
                 network_changed = true;
             }
             Ev::TaskFinished { req, task, epoch } => {
+                // Every scheduled finish — live or stale — accounts here;
+                // the request cannot retire while one is outstanding.
+                self.pending_fin[req] -= 1;
+                self.retire_scan.push(req);
                 if epoch != self.attempt_no[req][task.0 as usize] {
                     return; // this attempt was killed by a device crash
                 }
-                let r = self.requests[req];
+                let r = req_ref(&self.requests, req);
                 let gid = self.gids[req];
                 let dev = self.assign[req][task.0 as usize];
                 let spec = &env.fleet.device(dev).spec;
@@ -868,6 +977,7 @@ impl<'a> ExecCore<'a> {
                         let slot = st.item_slots[out.0 as usize][i];
                         if st.slots[slot as usize].state == SlotState::Absent {
                             st.slots[slot as usize].state = SlotState::InFlight;
+                            self.inflight[req] += 1;
                             to_deliver.push(slot);
                         }
                     }
@@ -885,7 +995,13 @@ impl<'a> ExecCore<'a> {
                         // Egress billed to the device that actually
                         // produced (and sends) the item, not an arbitrary
                         // device at its node.
-                        self.egress_log.push((Some(dev), bytes));
+                        if self.sink.is_none() {
+                            self.egress_log.push((Some(dev), bytes));
+                        } else {
+                            self.trace.bytes_moved += bytes;
+                            self.trace.transfers += 1;
+                            self.cost.record_egress(&env.fleet, dev, bytes);
+                        }
                         match route(
                             env,
                             &mut self.rcache,
@@ -1043,7 +1159,15 @@ impl<'a> ExecCore<'a> {
         while !made_present.is_empty() || !to_replace.is_empty() {
             for (req, slot) in std::mem::take(&mut made_present) {
                 let st = &mut self.states[req];
+                debug_assert_eq!(st.slots[slot as usize].state, SlotState::InFlight);
                 st.slots[slot as usize].state = SlotState::Present;
+                self.inflight[req] -= 1;
+                if self.inflight[req] == 0 {
+                    // Last in-flight delivery: the request may now satisfy
+                    // every retirement precondition (e.g. a straggler
+                    // arriving after its final task finished).
+                    self.retire_scan.push(req);
+                }
                 let node = st.slots[slot as usize].node;
                 for t in std::mem::take(&mut st.slots[slot as usize].waiters) {
                     // A waiter only counts if this task actually runs here.
@@ -1100,7 +1224,7 @@ impl<'a> ExecCore<'a> {
         let mut i = 0;
         while i < self.device_q[di].len() {
             let (req, t) = self.device_q[di][i];
-            let task = self.requests[req].dag.task(t);
+            let task = req_ref(&self.requests, req).dag.task(t);
             let need = task.occupancy(spec.cores);
             if need <= self.free_cores[di] && !self.states[req].started[t.0 as usize] {
                 self.device_q[di].remove(i);
@@ -1122,6 +1246,7 @@ impl<'a> ExecCore<'a> {
                 self.cost
                     .record_occupancy(&self.env.fleet, dev_id, need, dur);
                 let epoch = self.attempt_no[req][t.0 as usize];
+                self.pending_fin[req] += 1;
                 self.queue.schedule_at(
                     now + dur,
                     Ev::TaskFinished {
@@ -1155,7 +1280,7 @@ impl<'a> ExecCore<'a> {
         made_present: &mut Vec<(usize, u32)>,
     ) {
         let env = self.env;
-        let r = self.requests[req];
+        let r = req_ref(&self.requests, req);
         let gid = self.gids[req];
         let t = r.dag.task(task);
         let ins = self.plans[req].inputs_of(task);
@@ -1244,6 +1369,7 @@ impl<'a> ExecCore<'a> {
                 continue; // producer unfinished: its publish will deliver
             };
             st.slots[slot as usize].state = SlotState::InFlight;
+            self.inflight[req] += 1;
             fetches.push((slot, src_dev, src));
         }
         st.missing[task.0 as usize] = miss;
@@ -1253,7 +1379,15 @@ impl<'a> ExecCore<'a> {
             if src == dst {
                 made_present.push((req, slot));
             } else {
-                self.egress_log.push((src_dev, bytes));
+                if self.sink.is_none() {
+                    self.egress_log.push((src_dev, bytes));
+                } else {
+                    self.trace.bytes_moved += bytes;
+                    self.trace.transfers += 1;
+                    if let Some(dev) = src_dev {
+                        self.cost.record_egress(&env.fleet, dev, bytes);
+                    }
+                }
                 match route(
                     env,
                     &mut self.rcache,
@@ -1281,10 +1415,239 @@ impl<'a> ExecCore<'a> {
         }
     }
 
+    /// Switch the core to open-loop streaming *before* any request is
+    /// injected: completed requests retire (slots freed and reused), task
+    /// records compact into histograms, and egress is billed immediately
+    /// instead of logged. Closed-loop cores never call this, so their
+    /// behavior is untouched.
+    pub(crate) fn enable_streaming(&mut self) {
+        assert!(
+            self.requests.is_empty(),
+            "enable streaming before injecting requests"
+        );
+        self.sink = Some(StreamSink::new(self.env.fleet.len()));
+        self.compact_at = 4096;
+    }
+
+    /// Requests injected/registered and not yet retired.
+    pub(crate) fn live_requests(&self) -> usize {
+        self.live
+    }
+
+    /// Inject one placed request into a streaming core, reusing a retired
+    /// slot when one is free. `gid` is the request's global id (monotonic
+    /// per offered request — never reused), `r.arrival` must be `>=` every
+    /// event already pumped.
+    pub(crate) fn inject_request(&mut self, gid: usize, r: StreamRequest) {
+        assert!(self.sink.is_some(), "inject_request requires streaming");
+        assert!(
+            !r.dag.is_empty(),
+            "open-loop request needs at least one task"
+        );
+        assert_eq!(
+            r.placement.assignment.len(),
+            r.dag.len(),
+            "placement does not match dag '{}'",
+            r.dag.name
+        );
+        let arrival = r.arrival;
+        let n = r.dag.len();
+        let plan = ReqPlan::build(&r.dag);
+        let state = ReqState {
+            missing: r
+                .dag
+                .tasks()
+                .iter()
+                .map(|t| plan.inputs_of(t.id).len() as u32)
+                .collect(),
+            unfinished: n,
+            started: vec![false; n],
+            slot_of: HashMap::new(),
+            slots: Vec::new(),
+            item_slots: vec![Vec::new(); plan.n_items],
+        };
+        let assign = r.placement.assignment.clone();
+        let entry = ReqEntry::Owned(Box::new(r));
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                debug_assert!(self.retired[s]);
+                debug_assert_eq!(self.inflight[s], 0);
+                debug_assert_eq!(self.pending_fin[s], 0);
+                self.requests[s] = entry;
+                self.gids[s] = gid;
+                self.plans[s] = plan;
+                self.states[s] = state;
+                self.assign[s] = assign;
+                self.attempt_no[s] = vec![0; n];
+                self.finished[s] = vec![false; n];
+                self.retired[s] = false;
+                self.trace.request_arrival[s] = arrival;
+                self.trace.request_finish[s] = SimTime::ZERO;
+                s
+            }
+            None => {
+                let s = self.requests.len();
+                self.requests.push(entry);
+                self.gids.push(gid);
+                self.plans.push(plan);
+                self.states.push(state);
+                self.assign.push(assign);
+                self.attempt_no.push(vec![0; n]);
+                self.finished.push(vec![false; n]);
+                self.retired.push(false);
+                self.inflight.push(0);
+                self.pending_fin.push(0);
+                self.trace.request_arrival.push(arrival);
+                self.trace.request_finish.push(SimTime::ZERO);
+                s
+            }
+        };
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        self.live_gids.insert(gid);
+        self.queue.schedule_at(arrival, Ev::Arrival(slot));
+    }
+
+    /// Drain the retire-scan list, retiring every request whose
+    /// preconditions all hold, then compact the record buffer if it grew
+    /// past the watermark. Called by `pump` after each event so a stale
+    /// `TaskFinished` can never observe a half-retired slot.
+    fn process_retirements(&mut self) {
+        while let Some(req) = self.retire_scan.pop() {
+            self.try_retire(req);
+        }
+        if self.sink.is_some() {
+            let len = self.trace.records.len();
+            let sink = self.sink.as_mut().expect("checked");
+            sink.peak_record_buf = sink.peak_record_buf.max(len);
+            if len >= self.compact_at {
+                self.compact_records();
+            }
+        }
+    }
+
+    /// Retire `req` if every precondition holds: all tasks finished, no
+    /// delivery in flight toward any of its slots, and no scheduled
+    /// `TaskFinished` still unpopped. Frees the per-request state in both
+    /// modes (it is dead weight either way); in streaming mode the slot
+    /// additionally returns to the free list for reuse and the request's
+    /// latency folds into the sink.
+    fn try_retire(&mut self, req: usize) {
+        if self.retired[req]
+            || self.states[req].unfinished != 0
+            || self.inflight[req] != 0
+            || self.pending_fin[req] != 0
+        {
+            return;
+        }
+        self.retired[req] = true;
+        self.live -= 1;
+        let n_tasks = req_ref(&self.requests, req).dag.len() as u32;
+        for t in 0..n_tasks {
+            self.attempts.remove(&(req, t));
+        }
+        let st = &mut self.states[req];
+        st.missing = Vec::new();
+        st.started = Vec::new();
+        st.slot_of = HashMap::new();
+        st.slots = Vec::new();
+        st.item_slots = Vec::new();
+        self.plans[req] = ReqPlan {
+            in_off: Vec::new(),
+            inputs: Vec::new(),
+            n_items: 0,
+        };
+        self.assign[req] = Vec::new();
+        self.attempt_no[req] = Vec::new();
+        self.finished[req] = Vec::new();
+        if let Some(sink) = self.sink.as_mut() {
+            let gid = self.gids[req];
+            let arrival = self.trace.request_arrival[req];
+            let finish = self.trace.request_finish[req];
+            sink.latency.observe(finish.since(arrival).0);
+            sink.last_finish = sink.last_finish.max(finish);
+            self.live_gids.remove(&gid);
+            self.requests[req] = ReqEntry::Free;
+            self.free_slots.push(req);
+        }
+    }
+
+    /// Fold the task records of retired requests into the sink and keep
+    /// only live ones, remapping the record indices held by `running`.
+    /// The next compaction triggers at twice the surviving length, so the
+    /// buffer stays proportional to the live-request working set.
+    fn compact_records(&mut self) {
+        let sink = self.sink.as_mut().expect("compaction is streaming-only");
+        let old = std::mem::take(&mut self.trace.records);
+        sink.peak_record_buf = sink.peak_record_buf.max(old.len());
+        let mut new_of_old: Vec<u32> = vec![u32::MAX; old.len()];
+        let mut kept: Vec<TaskRecord> = Vec::new();
+        for (i, rec) in old.into_iter().enumerate() {
+            if self.live_gids.contains(&rec.request) {
+                new_of_old[i] = kept.len() as u32;
+                kept.push(rec);
+            } else {
+                sink.records_folded += 1;
+                sink.task_duration.observe(rec.duration().0);
+                sink.tasks_by_device[rec.device.0 as usize] += 1;
+            }
+        }
+        self.trace.records = kept;
+        for dev in &mut self.running {
+            for (_, _, rec) in dev.iter_mut() {
+                let m = new_of_old[*rec];
+                debug_assert!(m != u32::MAX, "running attempt's record was folded");
+                *rec = m as usize;
+            }
+        }
+        self.compact_at = (2 * self.trace.records.len()).max(4096);
+    }
+
+    /// Tear a fully drained *streaming* core down into its bounded
+    /// aggregates. The streaming analogue of [`Self::finish`]: asserts the
+    /// conservation invariant (every injected request retired) and folds
+    /// any remaining records.
+    pub(crate) fn finish_open(mut self) -> OpenCoreParts {
+        for st in &self.states {
+            assert_eq!(st.unfinished, 0, "deadlock: tasks never became ready");
+        }
+        assert_eq!(self.live, 0, "open-loop run left live requests behind");
+        debug_assert!(self.egress_log.is_empty());
+        self.compact_records();
+        debug_assert!(self.trace.records.is_empty());
+        let sink = self.sink.take().expect("finish_open requires streaming");
+        let end_time = sink.last_finish;
+        let makespan = end_time.since(SimTime::ZERO);
+        let snap = self
+            .collect
+            .then(|| harvest_core_metrics(&self.rcache, &self.queue, &self.network, &self.obs));
+        OpenCoreParts {
+            latency: sink.latency,
+            task_duration: sink.task_duration,
+            tasks_by_device: sink.tasks_by_device,
+            tasks_executed: sink.records_folded,
+            peak_live: self.peak_live,
+            peak_record_buf: sink.peak_record_buf,
+            end_time,
+            bytes_moved: self.trace.bytes_moved,
+            transfers: self.trace.transfers,
+            failed_attempts: self.trace.failed_attempts,
+            replacements: self.trace.replacements,
+            killed_attempts: self.trace.killed_attempts,
+            device_crashes: self.trace.device_crashes,
+            link_failures: self.trace.link_failures,
+            lost_work_s: self.lost_dev.iter().sum(),
+            energy_j: self.energy.used_devices_joules(&self.env.fleet, makespan),
+            cost_usd: self.cost.total_usd(),
+            snap,
+        }
+    }
+
     /// Tear the core down into mergeable parts. Asserts the conservation
     /// invariant (no task left unfinished) and applies the egress log to
     /// the cost meter.
     pub(crate) fn finish(mut self) -> CoreParts {
+        debug_assert!(self.sink.is_none(), "streaming cores use finish_open");
         for st in &self.states {
             assert_eq!(st.unfinished, 0, "deadlock: tasks never became ready");
         }
@@ -1345,6 +1708,42 @@ pub(crate) struct CoreParts {
     /// executor tallies) harvested at core finish; `None` without an
     /// ambient sink.
     snap: Option<MetricsSnapshot>,
+}
+
+/// Bounded aggregates of one streaming [`ExecCore`] run, produced by
+/// [`ExecCore::finish_open`]. Unlike [`CoreParts`] there is no per-request
+/// or per-task payload here — everything is a histogram, counter, or
+/// per-device vector, so its size is independent of how many requests the
+/// run processed.
+pub(crate) struct OpenCoreParts {
+    /// Request latency (finish - arrival) of every completed request.
+    pub(crate) latency: Histogram,
+    /// Duration of every executed task attempt.
+    pub(crate) task_duration: Histogram,
+    /// Executed attempts per device id.
+    pub(crate) tasks_by_device: Vec<u64>,
+    /// Total executed task attempts.
+    pub(crate) tasks_executed: u64,
+    /// High-water mark of simultaneously live requests.
+    pub(crate) peak_live: usize,
+    /// High-water mark of the compacting record buffer.
+    pub(crate) peak_record_buf: usize,
+    /// Latest request finish — the end of the run.
+    pub(crate) end_time: SimTime,
+    pub(crate) bytes_moved: u64,
+    pub(crate) transfers: u64,
+    pub(crate) failed_attempts: u64,
+    pub(crate) replacements: u64,
+    pub(crate) killed_attempts: u64,
+    pub(crate) device_crashes: u64,
+    pub(crate) link_failures: u64,
+    /// Execution seconds destroyed by crashes.
+    pub(crate) lost_work_s: f64,
+    pub(crate) energy_j: f64,
+    pub(crate) cost_usd: f64,
+    /// Component counters harvested at finish; `None` without an ambient
+    /// sink.
+    pub(crate) snap: Option<MetricsSnapshot>,
 }
 
 /// Merge core parts into the final [`SimOutcome`].

@@ -437,6 +437,34 @@ impl Default for StreamSpec {
     }
 }
 
+/// The `capture -> preprocess -> infer` request DAG shared by
+/// [`inference_stream`] and the open-loop generators. `i` only names the
+/// DAG (`req{i}`); structure and work depend on the size parameters alone.
+fn inference_dag(i: usize, sensor: NodeId, frame_bytes: u64, infer_flops: f64) -> Dag {
+    let mut g = Dag::new(format!("req{i}"));
+    let frame = g.add_input("frame", frame_bytes, sensor);
+    let cap = g.add_item("cap", frame_bytes);
+    g.add_task_full(
+        "capture",
+        1e5,
+        1,
+        vec![frame],
+        vec![cap],
+        Constraints::pinned(sensor),
+    );
+    let pre = g.add_item("pre", frame_bytes / 2);
+    g.add_task(
+        "preprocess",
+        100.0 * frame_bytes as f64,
+        vec![cap],
+        vec![pre],
+    );
+    let label = g.add_item("label", 256);
+    g.add_task("infer", infer_flops, vec![pre], vec![label]);
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
 /// Poisson-arriving `capture -> preprocess -> infer` requests.
 pub fn inference_stream(rng: &mut Rng, spec: &StreamSpec) -> StreamWorkload {
     assert!(!spec.sensors.is_empty() && spec.rate_hz > 0.0);
@@ -445,30 +473,204 @@ pub fn inference_stream(rng: &mut Rng, spec: &StreamSpec) -> StreamWorkload {
     for i in 0..spec.requests {
         t += rng.exp(spec.rate_hz);
         let sensor = spec.sensors[i % spec.sensors.len()];
-        let mut g = Dag::new(format!("req{i}"));
-        let frame = g.add_input("frame", spec.frame_bytes, sensor);
-        let cap = g.add_item("cap", spec.frame_bytes);
-        g.add_task_full(
-            "capture",
-            1e5,
-            1,
-            vec![frame],
-            vec![cap],
-            Constraints::pinned(sensor),
-        );
-        let pre = g.add_item("pre", spec.frame_bytes / 2);
-        g.add_task(
-            "preprocess",
-            100.0 * spec.frame_bytes as f64,
-            vec![cap],
-            vec![pre],
-        );
-        let label = g.add_item("label", 256);
-        g.add_task("infer", spec.infer_flops, vec![pre], vec![label]);
-        debug_assert!(g.validate().is_ok());
+        let g = inference_dag(i, sensor, spec.frame_bytes, spec.infer_flops);
         requests.push((SimTime::from_secs_f64(t), g));
     }
     StreamWorkload { requests }
+}
+
+/// An arrival process for open-loop load: the instantaneous request rate
+/// as a function of simulated time.
+///
+/// Non-homogeneous variants are sampled by Lewis–Shedler thinning against
+/// the peak rate, so every process is deterministic per seed. (No serde:
+/// the vendored shim does not derive for struct-variant enums.)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson arrivals at a constant mean rate.
+    Poisson {
+        /// Mean arrival rate, requests/second.
+        rate_hz: f64,
+    },
+    /// Sinusoidal day/night cycle: rate swings between `trough_hz` (at
+    /// phase 0) and `peak_hz` (half a period later).
+    Diurnal {
+        /// Minimum rate, requests/second.
+        trough_hz: f64,
+        /// Maximum rate, requests/second.
+        peak_hz: f64,
+        /// Full cycle length, seconds.
+        period_s: f64,
+    },
+    /// Steady Poisson baseline with a flash crowd: the rate jumps to
+    /// `spike_hz` during `[at_s, at_s + len_s)`.
+    FlashCrowd {
+        /// Baseline rate, requests/second.
+        base_hz: f64,
+        /// Rate during the spike, requests/second.
+        spike_hz: f64,
+        /// Spike onset, seconds.
+        at_s: f64,
+        /// Spike duration, seconds.
+        len_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Instantaneous rate at time `t_s` (seconds), requests/second.
+    pub fn rate_at(&self, t_s: f64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_hz } => rate_hz,
+            ArrivalProcess::Diurnal {
+                trough_hz,
+                peak_hz,
+                period_s,
+            } => {
+                let phase = (t_s / period_s) * std::f64::consts::TAU;
+                trough_hz + (peak_hz - trough_hz) * 0.5 * (1.0 - phase.cos())
+            }
+            ArrivalProcess::FlashCrowd {
+                base_hz,
+                spike_hz,
+                at_s,
+                len_s,
+            } => {
+                if t_s >= at_s && t_s < at_s + len_s {
+                    spike_hz
+                } else {
+                    base_hz
+                }
+            }
+        }
+    }
+
+    /// Upper bound on the instantaneous rate (the thinning envelope).
+    pub fn peak_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_hz } => rate_hz,
+            ArrivalProcess::Diurnal {
+                trough_hz, peak_hz, ..
+            } => peak_hz.max(trough_hz),
+            ArrivalProcess::FlashCrowd {
+                base_hz, spike_hz, ..
+            } => base_hz.max(spike_hz),
+        }
+    }
+
+    /// Next arrival strictly after `t_s`, by Lewis–Shedler thinning.
+    ///
+    /// The homogeneous case short-circuits to a single exponential draw,
+    /// so a `Poisson` process consumes exactly the rng sequence that
+    /// [`inference_stream`] does at the same rate.
+    pub fn next_after(&self, rng: &mut Rng, t_s: f64) -> f64 {
+        let peak = self.peak_rate();
+        assert!(peak > 0.0, "arrival process needs a positive rate");
+        if let ArrivalProcess::Poisson { rate_hz } = *self {
+            return t_s + rng.exp(rate_hz);
+        }
+        let mut t = t_s;
+        loop {
+            t += rng.exp(peak);
+            if rng.f64() * peak <= self.rate_at(t) {
+                return t;
+            }
+        }
+    }
+}
+
+/// Parameters for [`open_loop_arrivals`]: sustained inference load under
+/// an [`ArrivalProcess`], optionally with heavy-tailed request sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopSpec {
+    /// Sensors producing frames (capture pinned round-robin over these).
+    pub sensors: Vec<NodeId>,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// The arrival process driving request times.
+    pub process: ArrivalProcess,
+    /// Baseline frame size, bytes.
+    pub frame_bytes: u64,
+    /// Baseline inference work per frame, flops.
+    pub infer_flops: f64,
+    /// Pareto tail index for per-request size scaling: each request's
+    /// frame bytes and inference flops are multiplied by a
+    /// `Pareto(1, alpha)` draw (capped at 1000x so a single tail draw
+    /// cannot dominate a run). `None` keeps every request identical.
+    pub size_alpha: Option<f64>,
+}
+
+impl Default for OpenLoopSpec {
+    fn default() -> Self {
+        OpenLoopSpec {
+            sensors: vec![NodeId(0)],
+            requests: 1000,
+            process: ArrivalProcess::Poisson { rate_hz: 10.0 },
+            frame_bytes: 200 << 10,
+            infer_flops: 2e9,
+            size_alpha: None,
+        }
+    }
+}
+
+/// Lazy open-loop request source: yields `(arrival, dag)` pairs one at a
+/// time so a million-request run never materialises its workload.
+#[derive(Debug)]
+pub struct OpenLoopArrivals {
+    spec: OpenLoopSpec,
+    rng: Rng,
+    t_s: f64,
+    next_index: usize,
+}
+
+impl Iterator for OpenLoopArrivals {
+    type Item = (SimTime, Dag);
+
+    fn next(&mut self) -> Option<(SimTime, Dag)> {
+        if self.next_index >= self.spec.requests {
+            return None;
+        }
+        let i = self.next_index;
+        self.next_index += 1;
+        self.t_s = self.spec.process.next_after(&mut self.rng, self.t_s);
+        let scale = match self.spec.size_alpha {
+            Some(alpha) => self.rng.pareto(1.0, alpha).min(1000.0),
+            None => 1.0,
+        };
+        let sensor = self.spec.sensors[i % self.spec.sensors.len()];
+        let frame_bytes = ((self.spec.frame_bytes as f64 * scale) as u64).max(1);
+        let infer_flops = self.spec.infer_flops * scale;
+        let g = inference_dag(i, sensor, frame_bytes, infer_flops);
+        Some((SimTime::from_secs_f64(self.t_s), g))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.spec.requests - self.next_index;
+        (left, Some(left))
+    }
+}
+
+/// Open-loop arrival stream, deterministic per `seed`.
+pub fn open_loop_arrivals(seed: u64, spec: &OpenLoopSpec) -> OpenLoopArrivals {
+    assert!(!spec.sensors.is_empty(), "open-loop spec needs sensors");
+    assert!(spec.process.peak_rate() > 0.0, "needs a positive rate");
+    if let Some(alpha) = spec.size_alpha {
+        assert!(alpha > 0.0, "pareto tail index must be positive");
+    }
+    OpenLoopArrivals {
+        spec: spec.clone(),
+        rng: Rng::new(seed),
+        t_s: 0.0,
+        next_index: 0,
+    }
+}
+
+/// Materialised [`open_loop_arrivals`], for closed-loop comparison runs
+/// and the sharded executor (which needs the full request set to plan
+/// shards).
+pub fn open_loop_stream(seed: u64, spec: &OpenLoopSpec) -> StreamWorkload {
+    StreamWorkload {
+        requests: open_loop_arrivals(seed, spec).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -622,6 +824,125 @@ mod tests {
             assert!(g.validate().is_ok());
             assert_eq!(g.len(), 3);
         }
+    }
+
+    #[test]
+    fn poisson_open_loop_matches_inference_stream_arrivals() {
+        // Same seed and rate: the open-loop Poisson generator must walk the
+        // exact arrival sequence of the closed-loop stream generator.
+        let spec = OpenLoopSpec {
+            requests: 64,
+            process: ArrivalProcess::Poisson { rate_hz: 7.0 },
+            ..Default::default()
+        };
+        let open: Vec<SimTime> = open_loop_arrivals(42, &spec).map(|(t, _)| t).collect();
+        let mut rng = Rng::new(42);
+        let closed = inference_stream(
+            &mut rng,
+            &StreamSpec {
+                requests: 64,
+                rate_hz: 7.0,
+                ..Default::default()
+            },
+        );
+        let closed_t: Vec<SimTime> = closed.requests.iter().map(|(t, _)| *t).collect();
+        assert_eq!(open, closed_t);
+    }
+
+    #[test]
+    fn arrival_processes_are_deterministic_and_monotone() {
+        for process in [
+            ArrivalProcess::Poisson { rate_hz: 20.0 },
+            ArrivalProcess::Diurnal {
+                trough_hz: 5.0,
+                peak_hz: 50.0,
+                period_s: 10.0,
+            },
+            ArrivalProcess::FlashCrowd {
+                base_hz: 10.0,
+                spike_hz: 200.0,
+                at_s: 1.0,
+                len_s: 0.5,
+            },
+        ] {
+            let spec = OpenLoopSpec {
+                requests: 200,
+                process,
+                ..Default::default()
+            };
+            let a: Vec<(SimTime, u64)> = open_loop_arrivals(9, &spec)
+                .map(|(t, g)| (t, g.total_bytes()))
+                .collect();
+            let b: Vec<(SimTime, u64)> = open_loop_arrivals(9, &spec)
+                .map(|(t, g)| (t, g.total_bytes()))
+                .collect();
+            assert_eq!(a, b, "{process:?} not deterministic per seed");
+            for w in a.windows(2) {
+                assert!(w[0].0 <= w[1].0, "{process:?} arrivals regressed");
+            }
+        }
+    }
+
+    #[test]
+    fn flash_crowd_spikes_density_in_window() {
+        let spec = OpenLoopSpec {
+            requests: 2000,
+            process: ArrivalProcess::FlashCrowd {
+                base_hz: 5.0,
+                spike_hz: 500.0,
+                at_s: 2.0,
+                len_s: 2.0,
+            },
+            ..Default::default()
+        };
+        let times: Vec<f64> = open_loop_arrivals(3, &spec)
+            .map(|(t, _)| t.as_secs_f64())
+            .collect();
+        let in_spike = times.iter().filter(|&&t| (2.0..4.0).contains(&t)).count();
+        let before = times.iter().filter(|&&t| t < 2.0).count();
+        // ~1000 arrivals in the 2 s spike vs ~10 in the 2 s before it.
+        assert!(
+            in_spike > before * 10,
+            "spike {in_spike} vs baseline {before}"
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_swings_between_trough_and_peak() {
+        let p = ArrivalProcess::Diurnal {
+            trough_hz: 2.0,
+            peak_hz: 40.0,
+            period_s: 60.0,
+        };
+        assert!((p.rate_at(0.0) - 2.0).abs() < 1e-9);
+        assert!((p.rate_at(30.0) - 40.0).abs() < 1e-9);
+        assert!((p.rate_at(60.0) - 2.0).abs() < 1e-9);
+        assert_eq!(p.peak_rate(), 40.0);
+    }
+
+    #[test]
+    fn pareto_sizes_are_heavy_tailed_but_capped() {
+        let spec = OpenLoopSpec {
+            requests: 3000,
+            process: ArrivalProcess::Poisson { rate_hz: 100.0 },
+            size_alpha: Some(1.5),
+            ..Default::default()
+        };
+        let base = OpenLoopSpec::default().frame_bytes;
+        let sizes: Vec<u64> = open_loop_arrivals(11, &spec)
+            .map(|(_, g)| g.data_items()[0].bytes)
+            .collect();
+        // Pareto(1, a) floor: no request shrinks below the baseline.
+        assert!(sizes.iter().all(|&s| s >= base && s <= base * 1000));
+        // Heavy tail: some requests are much larger than the median.
+        let big = sizes.iter().filter(|&&s| s > base * 10).count();
+        assert!(big > 0, "no tail draws in 3000 requests");
+        let median = {
+            let mut s = sizes.clone();
+            s.sort_unstable();
+            s[s.len() / 2]
+        };
+        assert!(median < base * 3, "median {median} vs base {base}");
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub use dag::{Dag, DagError};
 pub use data::{DataId, DataItem};
 pub use generators::{
     analytics_pipeline, broadcast_reduce, fork_join, inference_stream, layered_random, map_reduce,
-    montage_like, stencil, LayeredSpec, PipelineSpec, StreamSpec, StreamWorkload,
+    montage_like, open_loop_arrivals, open_loop_stream, stencil, ArrivalProcess, LayeredSpec,
+    OpenLoopArrivals, OpenLoopSpec, PipelineSpec, StreamSpec, StreamWorkload,
 };
 pub use task::{Constraints, Task, TaskId};
