@@ -1,31 +1,39 @@
 //! scale — scaling benchmark for the region-sharded executor.
 //!
-//! Builds a ~100k-device world (a `fat_tree(10, 8)` fabric, 525 nodes /
-//! 400 hosts, 250 devices per host) carrying pod-local streaming
-//! workloads, partitions it by pod with [`fat_tree_regions`], and runs
-//! the same workload through [`simulate_stream_sharded`] at 1, 2, 4, and
-//! 8 shards plus a windowed (conservative-lookahead) arm.
+//! Two sections, one JSON report (`BENCH_scale.json`):
 //!
-//! Before timing anything, every arm's [`SimOutcome`] is asserted
-//! **bit-identical** to the single-queue executor's — the scaling curve
-//! is not bought with a different execution. The win is algorithmic as
-//! much as parallel: each shard's flow network and event calendar hold
-//! only that shard's flows, so per-event cost shrinks with the shard
-//! count even on one core.
+//! **fat_tree** — a ~100k-device `fat_tree(10, 8)` fabric carrying
+//! pod-local streaming workloads, partitioned by pod and run through
+//! [`simulate_stream_sharded`]'s request-confined mode at 1, 2, 4, and 8
+//! shards plus windowed (conservative-lookahead) arms. Every arm is
+//! asserted **bit-identical** to the single-queue executor before
+//! anything is timed.
 //!
-//! Writes `BENCH_scale.json` in the current directory; run from the
-//! workspace root:
+//! **continuum** — the workload request confinement cannot shard: a
+//! sensor→fog→cloud continuum where ~90% of requests span fog and cloud,
+//! so the union-find plan collapses to one shard (asserted). Pinned mode
+//! shards it anyway — tasks run where they were placed and boundary
+//! transfers ride between shards as conservative envelopes. Every pinned
+//! arm is asserted bit-identical to the pinned one-shard reference;
+//! speedups are quoted against the single-queue global-flow executor,
+//! whose all-flows-in-one-network per-event cost is what pinning removes.
+//!
+//! Run from the workspace root:
 //!
 //! ```text
 //! cargo run --release -p continuum-bench --bin scale
 //! ```
 //!
-//! `--smoke` shrinks the world so CI can assert the 1-vs-2-shard
-//! identity and JSON emission without paying the full measurement cost.
+//! `--smoke` shrinks both worlds so CI can assert the identities and
+//! JSON emission without paying the full measurement cost; `--continuum`
+//! / `--fat-tree` restrict the run to one section.
 
 use continuum_core::prelude::*;
-use continuum_net::{fat_tree, fat_tree_regions, LinkSpec, RegionPartition};
-use continuum_runtime::{simulate_stream_chaos, simulate_stream_sharded, ShardOpts, SimOutcome};
+use continuum_model::standard_fleet;
+use continuum_net::{continuum, continuum_regions, fat_tree, fat_tree_regions, RegionPartition};
+use continuum_runtime::{
+    plan_shards, simulate_stream_chaos, simulate_stream_sharded, ShardOpts, SimOutcome,
+};
 use serde_json::json;
 use std::time::Instant;
 
@@ -44,6 +52,12 @@ fn best_of<T>(n: usize, mut f: impl FnMut() -> T) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
+/// Arrivals + a start/completion pair per transfer + a finish per task
+/// record: the event volume of one run, for events/sec normalization.
+fn event_volume(reqs: usize, out: &SimOutcome) -> u64 {
+    reqs as u64 + 2 * out.trace.transfers + out.trace.records.len() as u64
+}
+
 struct World {
     env: Env,
     reqs: Vec<StreamRequest>,
@@ -51,11 +65,12 @@ struct World {
     hosts: usize,
 }
 
-/// The scaling world: a fat-tree fabric whose pods each carry an
-/// independent stream of staggered requests. Placements round-robin
-/// consecutive tasks across the pod's hosts so every DAG edge is a real
-/// transfer, and requests overlap in time so each pod keeps many flows
-/// in flight — the per-event flow-engine cost the sharding attacks.
+/// The confined-mode scaling world: a fat-tree fabric whose pods each
+/// carry an independent stream of staggered requests. Placements
+/// round-robin consecutive tasks across the pod's hosts so every DAG
+/// edge is a real transfer, and requests overlap in time so each pod
+/// keeps many flows in flight — the per-event flow-engine cost the
+/// sharding attacks.
 fn build_world(smoke: bool) -> World {
     let (k, hpe, dev_per_host, reqs_per_pod, tasks) = if smoke {
         (4, 2, 1, 2, 12)
@@ -127,16 +142,14 @@ fn run_sharded(w: &World, opts: &ShardOpts) -> SimOutcome {
     simulate_stream_sharded(&w.env, &w.reqs, None, None, &w.partition, opts)
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let reps = if smoke { 1 } else { 3 };
+fn bench_fat_tree(smoke: bool, reps: usize) -> serde_json::Value {
     let w = build_world(smoke);
     let shard_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
 
     // Identity first, timing second: the single-queue executor is the
     // reference, and every arm (every shard count, plus the windowed
     // conservative-sync mode) must reproduce its outcome bit-for-bit.
-    eprintln!("scale: asserting identity across all arms ...");
+    eprintln!("scale[fat_tree]: asserting identity across all arms ...");
     let reference = simulate_stream_chaos(&w.env, &w.reqs, None, None);
     for &n in shard_counts {
         let opts = ShardOpts::with_max_shards(n);
@@ -157,12 +170,10 @@ fn main() {
     }
 
     // Events processed per run (identical across arms, by the identity
-    // just asserted): one arrival per request, a start + completion per
-    // transfer, one finish per task record.
-    let events =
-        w.reqs.len() as u64 + 2 * reference.trace.transfers + reference.trace.records.len() as u64;
+    // just asserted).
+    let events = event_volume(w.reqs.len(), &reference);
 
-    eprintln!("scale: timing single-queue reference ...");
+    eprintln!("scale[fat_tree]: timing single-queue reference ...");
     let single_ms = best_of(reps, || simulate_stream_chaos(&w.env, &w.reqs, None, None));
 
     let mut arms = Vec::new();
@@ -178,7 +189,7 @@ fn main() {
             } else {
                 format!("{n}-shard")
             };
-            eprintln!("scale: timing {label} ...");
+            eprintln!("scale[fat_tree]: timing {label} ...");
             let t = best_of(reps, || run_sharded(&w, &opts));
             if !windowed {
                 ms_at.insert(n, t);
@@ -198,10 +209,7 @@ fn main() {
         .map(|&n| json!({ "shards": n, "speedup_vs_1_shard": base / ms_at[&n] }))
         .collect();
 
-    let out = json!({
-        "bench": "scale",
-        "command": "cargo run --release -p continuum-bench --bin scale",
-        "smoke": smoke,
+    json!({
         "nodes": w.env.topology.node_count(),
         "hosts": w.hosts,
         "devices": w.env.fleet.len(),
@@ -223,11 +231,246 @@ fn main() {
              single core, and rayon adds parallelism on multi-core hosts.",
             "The windowed arms drive the conservative-lookahead barrier loop \
              (lookahead = min boundary-link latency) to price the \
-             synchronization machinery; confined shards exchange no events, \
-             so the delta over the matching unwindowed arm is pure sync \
-             overhead.",
+             synchronization machinery; a single shard now skips the barrier \
+             loop entirely (no peer could ever message it), so the windowed \
+             1-shard arm matches the plain one instead of paying per-window \
+             horizon bookkeeping.",
         ],
-    });
+    })
+}
+
+struct ContWorld {
+    env: Env,
+    reqs: Vec<StreamRequest>,
+    partition: RegionPartition,
+    spanning: usize,
+}
+
+/// The pinned-mode scaling world: a sensor→fog→cloud continuum where 9
+/// of every 10 requests place consecutive tasks alternately on fog and
+/// backbone (cloud/HPC) devices, so nearly every DAG edge crosses the
+/// fog↔cloud boundary and the union-find plan collapses to one shard.
+fn build_continuum_world(smoke: bool) -> ContWorld {
+    let spec = if smoke {
+        ContinuumSpec {
+            fogs: 2,
+            edges_per_fog: 2,
+            sensors_per_edge: 2,
+            clouds: 2,
+            hpcs: 1,
+            ..ContinuumSpec::default()
+        }
+    } else {
+        ContinuumSpec {
+            fogs: 8,
+            edges_per_fog: 4,
+            sensors_per_edge: 4,
+            clouds: 4,
+            hpcs: 2,
+            ..ContinuumSpec::default()
+        }
+    };
+    let built = continuum(&spec);
+    let fleet = standard_fleet(&built);
+    let env = Env::new(built.topology.clone(), fleet);
+    let regions = continuum_regions(&spec);
+    let partition = RegionPartition::new(&env.topology, regions.clone(), 0);
+    let (reqs_per_fog, tasks) = if smoke { (2, 10) } else { (24, 40) };
+    let mut rng = Rng::new(0xC0117);
+    let mut reqs = Vec::new();
+    let mut spanning = 0usize;
+    for f in 1..regions.len() {
+        for i in 0..reqs_per_fog {
+            // 90% fog↔cloud spanning; the remainder stays fog-local so
+            // the workload is heavy-spanning rather than all-spanning.
+            let span = i % 10 != 9;
+            let mut nodes = regions[f].clone();
+            if span {
+                nodes.extend(&regions[0]);
+                spanning += 1;
+            }
+            let source = *regions[f].last().expect("fog region has a sensor");
+            let dag = layered_random(
+                &mut rng,
+                &LayeredSpec {
+                    tasks,
+                    width: 10,
+                    source,
+                    // ~20 MB median items: long-lived flows pile up, so
+                    // per-event flow recomputation — over ALL flows in
+                    // the single queue, per region under pinning — is
+                    // the dominant cost.
+                    bytes_mu: (2e7f64).ln(),
+                    work_mu: (1e9f64).ln(),
+                    min_mem_bytes: 0,
+                    ..LayeredSpec::default()
+                },
+            );
+            let devs: Vec<DeviceId> = nodes
+                .iter()
+                .flat_map(|&n| env.fleet.at_node(n).iter().copied())
+                .collect();
+            // Round-robin over fog-then-backbone devices: consecutive
+            // tasks land on opposite sides of the boundary.
+            let assignment = (0..dag.len()).map(|t| devs[t % devs.len()]).collect();
+            reqs.push(StreamRequest {
+                dag,
+                placement: Placement { assignment },
+                arrival: SimTime::from_millis(50 * i as u64),
+            });
+        }
+    }
+    ContWorld {
+        env,
+        reqs,
+        partition,
+        spanning,
+    }
+}
+
+fn bench_continuum(smoke: bool, reps: usize) -> serde_json::Value {
+    let w = build_continuum_world(smoke);
+    let shard_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let frac = w.spanning as f64 / w.reqs.len() as f64;
+    assert!(
+        frac >= 0.8,
+        "continuum workload must be spanning-heavy (got {frac:.2})"
+    );
+
+    // The point of the exercise: request confinement yields ONE shard on
+    // this workload — the old executor cannot shard it at all.
+    let plan = plan_shards(&w.env, &w.reqs, &w.partition, usize::MAX);
+    assert_eq!(
+        plan.groups.len(),
+        1,
+        "spanning workload should defeat request confinement"
+    );
+
+    let pinned = |n: usize| {
+        simulate_stream_sharded(
+            &w.env,
+            &w.reqs,
+            None,
+            None,
+            &w.partition,
+            &ShardOpts::pinned(n),
+        )
+    };
+
+    // Identity first: every pinned arm (and the serial variant) must
+    // reproduce the pinned one-shard outcome bit-for-bit.
+    eprintln!("scale[continuum]: asserting identity across pinned arms ...");
+    let reference = pinned(1);
+    for &n in &shard_counts[1..] {
+        assert_eq!(
+            pinned(n),
+            reference,
+            "pinned {n}-shard outcome diverged from the pinned 1-shard reference"
+        );
+        let serial = simulate_stream_sharded(
+            &w.env,
+            &w.reqs,
+            None,
+            None,
+            &w.partition,
+            &ShardOpts {
+                parallel: false,
+                ..ShardOpts::pinned(n)
+            },
+        );
+        assert_eq!(
+            serial, reference,
+            "serial pinned {n}-shard outcome diverged"
+        );
+    }
+    let events = event_volume(w.reqs.len(), &reference);
+
+    // The speedup baseline is the single-queue global-flow executor —
+    // the only pre-existing way to run this workload. Its outcome is
+    // *not* bit-identical to pinned execution (one global max-min flow
+    // network vs. per-region domains joined by store-and-forward
+    // boundary handoffs), so it gets its own event volume and the
+    // comparison is events/sec, not wall time on identical outcomes.
+    eprintln!("scale[continuum]: timing single-queue global-flow baseline ...");
+    let chaos = simulate_stream_chaos(&w.env, &w.reqs, None, None);
+    let chaos_events = event_volume(w.reqs.len(), &chaos);
+    let chaos_ms = best_of(reps, || simulate_stream_chaos(&w.env, &w.reqs, None, None));
+    let chaos_eps = chaos_events as f64 / (chaos_ms / 1e3);
+
+    let mut arms = Vec::new();
+    for &n in shard_counts {
+        eprintln!("scale[continuum]: timing pinned {n}-shard ...");
+        let t = best_of(reps, || pinned(n));
+        let eps = events as f64 / (t / 1e3);
+        arms.push(json!({
+            "shards": n,
+            "ms": t,
+            "events_per_sec": eps,
+            "events_per_sec_vs_single_queue": eps / chaos_eps,
+        }));
+    }
+
+    json!({
+        "nodes": w.env.topology.node_count(),
+        "devices": w.env.fleet.len(),
+        "requests": w.reqs.len(),
+        "spanning_fraction": frac,
+        "confined_plan_shards": 1,
+        "events": events,
+        "single_queue_ms": chaos_ms,
+        "single_queue_events": chaos_events,
+        "single_queue_events_per_sec": chaos_eps,
+        "arms": arms,
+        "notes": [
+            "Request confinement collapses to ONE shard on this workload \
+             (asserted): ~90% of requests alternate tasks across the \
+             fog↔cloud boundary, so every region co-occurs with the \
+             backbone. Pinned mode is what makes it shard at all.",
+            "Every pinned arm (each shard count, serial and parallel) is \
+             asserted bit-identical to the pinned 1-shard reference — every \
+             trace record and f64 metric — before anything is timed.",
+            "The single-queue baseline runs a different transfer model (one \
+             global max-min flow network; pinned execution uses per-region \
+             flow domains joined by store-and-forward handoffs at boundary \
+             links), so the quoted ratio is events/sec against that \
+             baseline's own event volume, not wall time on an identical \
+             outcome. The algorithmic win is exactly the model split: each \
+             shard recomputes only its own region's flow rates.",
+            "On a single-core host the multi-shard arms pay conservative \
+             window overhead (one barrier per ~20 ms of virtual time, the \
+             fog↔cloud boundary latency) with no parallel payback, so the \
+             curve declines with shard count; the per-region flow split \
+             still keeps every arm well above the global-flow baseline, and \
+             multi-core hosts reclaim the window cost via rayon.",
+        ],
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let continuum_only = args.iter().any(|a| a == "--continuum");
+    let fat_tree_only = args.iter().any(|a| a == "--fat-tree");
+    let reps = if smoke { 1 } else { 3 };
+
+    let fat_tree = (!continuum_only).then(|| bench_fat_tree(smoke, reps));
+    let cont = (!fat_tree_only).then(|| bench_continuum(smoke, reps));
+
+    let mut fields = vec![
+        ("bench".to_string(), json!("scale")),
+        (
+            "command".to_string(),
+            json!("cargo run --release -p continuum-bench --bin scale"),
+        ),
+        ("smoke".to_string(), json!(smoke)),
+    ];
+    if let Some(v) = fat_tree {
+        fields.push(("fat_tree".to_string(), v));
+    }
+    if let Some(v) = cont {
+        fields.push(("continuum".to_string(), v));
+    }
+    let out = serde_json::Value::Object(fields);
     let rendered = serde_json::to_string_pretty(&out).expect("render json");
     std::fs::write("BENCH_scale.json", &rendered).expect("write BENCH_scale.json");
     println!("{rendered}");

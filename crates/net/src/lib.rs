@@ -27,7 +27,7 @@ pub use builders::{
 };
 pub use flow::{AbortedFlow, FlowEngineStats, FlowId, FlowNetwork};
 pub use gilder::{access_bandwidth, gilder_ratio, mean_gilder_ratio};
-pub use partition::RegionPartition;
+pub use partition::{RegionPartition, RouteSeg};
 pub use routing::{
     shortest_path_avoiding, Path, RouteCache, RouteCacheStats, RouteTable, TransferMatrix,
 };

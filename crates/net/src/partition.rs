@@ -14,8 +14,57 @@
 //! [`crate::builders::continuum_regions`] does the same for fog subtrees
 //! under a cloud+HPC backbone region.
 
+use crate::routing::Path;
 use crate::topology::{LinkId, NodeId, Topology};
 use continuum_sim::SimDuration;
+use std::sync::Arc;
+
+/// One region-confined leg of a cross-region route.
+///
+/// [`RegionPartition::segment_route`] splits a global path at boundary
+/// links so that each leg can be simulated entirely inside one region's
+/// flow domain. A segment's links all lie in `region` *except* a trailing
+/// boundary link (present when `gap > 0`): the boundary link's bandwidth
+/// is charged to the upstream (sending) side, while its propagation
+/// latency is deferred into `gap` — the store-and-forward handoff delay
+/// before the next segment (or the final delivery) begins. Because every
+/// inter-region handoff therefore waits at least one boundary-link
+/// latency, handoff envelopes are always stamped at or beyond the
+/// partition's conservative lookahead.
+#[derive(Debug, Clone)]
+pub struct RouteSeg {
+    /// Links of this leg, in path order. Never empty. All inside
+    /// `region`, plus the trailing boundary link when `gap > 0`.
+    pub links: Arc<[LinkId]>,
+    /// Node the leg starts from.
+    pub src: NodeId,
+    /// Node the leg's bytes land on (the far side of the trailing
+    /// boundary link when there is one).
+    pub dst: NodeId,
+    /// Region whose flow domain carries this leg (the region of `src`).
+    pub region: u32,
+    /// Propagation latency paid before the leg's bytes start streaming:
+    /// the sum of link latencies *excluding* the trailing boundary link.
+    pub latency: SimDuration,
+    /// Handoff delay after the leg's bytes finish streaming: the trailing
+    /// boundary link's latency, or zero for a leg ending inside `region`.
+    pub gap: SimDuration,
+    /// Minimum link bandwidth along the leg (informational).
+    pub bottleneck_bps: f64,
+}
+
+impl RouteSeg {
+    /// The leg as a [`Path`] suitable for `FlowNetwork::start`.
+    pub fn as_path(&self) -> Path {
+        Path {
+            src: self.src,
+            dst: self.dst,
+            links: self.links.clone(),
+            latency: self.latency,
+            bottleneck_bps: self.bottleneck_bps,
+        }
+    }
+}
 
 /// A disjoint cover of a topology's nodes, with the derived cross-region
 /// structure the sharded kernel needs: boundary links, the conservative
@@ -132,6 +181,82 @@ impl RegionPartition {
     pub fn core_region(&self) -> usize {
         self.core_region
     }
+
+    /// Split a global route into region-confined legs at boundary links.
+    ///
+    /// Each returned [`RouteSeg`] is a maximal run of links ending either
+    /// with a boundary link (whose latency becomes the leg's `gap`) or at
+    /// the path's destination. Legs stream store-and-forward: a leg's
+    /// bytes begin `latency` after the previous handoff, stream inside
+    /// `region`'s flow domain, and hand off `gap` after they finish. The
+    /// sum of every leg's `latency + gap` equals the path's end-to-end
+    /// latency. Local (zero-hop) paths yield no segments.
+    pub fn segment_route(&self, topo: &Topology, path: &Path) -> Vec<RouteSeg> {
+        let mut segs = Vec::new();
+        let mut cur = path.src;
+        let mut seg_src = path.src;
+        let mut links: Vec<LinkId> = Vec::new();
+        let mut latency = SimDuration::ZERO;
+        let mut bottleneck = f64::INFINITY;
+        for &lid in path.links.iter() {
+            let l = topo.link(lid);
+            let next = if l.a == cur { l.b } else { l.a };
+            links.push(lid);
+            bottleneck = bottleneck.min(l.bandwidth_bps);
+            if self.is_boundary(lid) {
+                segs.push(RouteSeg {
+                    links: std::mem::take(&mut links).into(),
+                    src: seg_src,
+                    dst: next,
+                    region: self.region_of[seg_src.0 as usize],
+                    latency,
+                    gap: l.latency,
+                    bottleneck_bps: bottleneck,
+                });
+                seg_src = next;
+                latency = SimDuration::ZERO;
+                bottleneck = f64::INFINITY;
+            } else {
+                latency += l.latency;
+            }
+            cur = next;
+        }
+        if !links.is_empty() {
+            segs.push(RouteSeg {
+                links: links.into(),
+                src: seg_src,
+                dst: path.dst,
+                region: self.region_of[seg_src.0 as usize],
+                latency,
+                gap: SimDuration::ZERO,
+                bottleneck_bps: bottleneck,
+            });
+        }
+        segs
+    }
+
+    /// The per-direction conservative lookahead for a shard owning the
+    /// regions flagged in `owned`: the minimum latency over boundary
+    /// links *entering* the owned set. Nothing outside the shard can
+    /// influence it faster than this, so it is a safe per-shard horizon —
+    /// at least as wide as the global [`RegionPartition::lookahead`],
+    /// and strictly wider for shards whose incoming WAN links are slow.
+    /// `None` when no boundary link crosses into the owned set.
+    pub fn incoming_lookahead(&self, topo: &Topology, owned: &[bool]) -> Option<SimDuration> {
+        let mut la: Option<SimDuration> = None;
+        for &lid in &self.boundary {
+            let l = topo.link(lid);
+            let ra = owned[self.region_of(l.a)];
+            let rb = owned[self.region_of(l.b)];
+            if ra != rb {
+                la = Some(match la {
+                    None => l.latency,
+                    Some(cur) => cur.min(l.latency),
+                });
+            }
+        }
+        la
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +313,109 @@ mod tests {
         let dup = regions[0][1];
         regions[1].push(dup);
         RegionPartition::new(&t, regions, 0);
+    }
+
+    #[test]
+    fn segments_split_at_boundaries_and_conserve_latency() {
+        // sensor -e1- edge -e2- fog =B= cloud -e3- hpc, with the fog↔cloud
+        // link the only boundary. Expect two segments: [e1,e2,B] in the
+        // fog region with gap = lat(B), then [e3] in the backbone.
+        let mut t = Topology::new();
+        let s = t.add_node("s", Tier::Sensor);
+        let e = t.add_node("e", Tier::Edge);
+        let f = t.add_node("f", Tier::Fog);
+        let c = t.add_node("c", Tier::Cloud);
+        let h = t.add_node("h", Tier::Hpc);
+        t.add_link(s, e, SimDuration::from_millis(2), 3e6);
+        t.add_link(e, f, SimDuration::from_millis(5), 1e8);
+        t.add_link(f, c, SimDuration::from_millis(20), 1e9);
+        t.add_link(c, h, SimDuration::from_millis(10), 1e10);
+        let p = RegionPartition::new(&t, vec![vec![c, h], vec![s, e, f]], 0);
+        let rt = crate::routing::RouteTable::build(&t);
+        let path = rt.path(&t, s, h).unwrap();
+        let segs = p.segment_route(&t, &path);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].region, 1);
+        assert_eq!(segs[0].links.len(), 3);
+        assert_eq!(segs[0].src, s);
+        assert_eq!(segs[0].dst, c);
+        assert_eq!(segs[0].latency, SimDuration::from_millis(7));
+        assert_eq!(segs[0].gap, SimDuration::from_millis(20));
+        assert_eq!(segs[0].bottleneck_bps, 3e6);
+        assert_eq!(segs[1].region, 0);
+        assert_eq!(segs[1].links.len(), 1);
+        assert_eq!(segs[1].dst, h);
+        assert_eq!(segs[1].latency, SimDuration::from_millis(10));
+        assert_eq!(segs[1].gap, SimDuration::ZERO);
+        let total = segs
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.latency + s.gap);
+        assert_eq!(total, path.latency);
+        // Every handoff gap covers the partition lookahead: the envelope
+        // causality argument of the partitioned executor.
+        assert!(segs[0].gap >= p.lookahead().unwrap());
+    }
+
+    #[test]
+    fn intra_region_route_is_one_segment() {
+        let (t, regions) = two_star();
+        let p = RegionPartition::new(&t, regions, 0);
+        let rt = crate::routing::RouteTable::build(&t);
+        // hub -> leaf0, both region 0.
+        let path = rt.path(&t, NodeId(0), NodeId(1)).unwrap();
+        let segs = p.segment_route(&t, &path);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].region, 0);
+        assert_eq!(segs[0].gap, SimDuration::ZERO);
+        assert_eq!(segs[0].latency, path.latency);
+        // Local path: no segments.
+        assert!(p.segment_route(&t, &Path::trivial(NodeId(0))).is_empty());
+    }
+
+    #[test]
+    fn consecutive_boundary_links_yield_single_link_segments() {
+        // a =B1= b =B2= c, three singleton regions: two segments, each a
+        // lone boundary link with zero in-segment latency.
+        let mut t = Topology::new();
+        let a = t.add_node("a", Tier::Cloud);
+        let b = t.add_node("b", Tier::Cloud);
+        let c = t.add_node("c", Tier::Cloud);
+        t.add_link(a, b, SimDuration::from_millis(3), 1e9);
+        t.add_link(b, c, SimDuration::from_millis(4), 1e9);
+        let p = RegionPartition::new(&t, vec![vec![a], vec![b], vec![c]], 0);
+        let rt = crate::routing::RouteTable::build(&t);
+        let path = rt.path(&t, a, c).unwrap();
+        let segs = p.segment_route(&t, &path);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].region, 0);
+        assert_eq!(segs[0].latency, SimDuration::ZERO);
+        assert_eq!(segs[0].gap, SimDuration::from_millis(3));
+        assert_eq!(segs[1].region, 1);
+        assert_eq!(segs[1].latency, SimDuration::ZERO);
+        assert_eq!(segs[1].gap, SimDuration::from_millis(4));
+    }
+
+    #[test]
+    fn incoming_lookahead_is_directional() {
+        // Regions {c,h} and {s,e,f}; the only boundary is the 20ms f-c
+        // link, so both sides see 20ms incoming. A shard owning both
+        // regions has no incoming boundary at all.
+        let mut t = Topology::new();
+        let c = t.add_node("c", Tier::Cloud);
+        let f = t.add_node("f", Tier::Fog);
+        let e = t.add_node("e", Tier::Edge);
+        t.add_link(c, f, SimDuration::from_millis(20), 1e9);
+        t.add_link(f, e, SimDuration::from_millis(5), 1e8);
+        let p = RegionPartition::new(&t, vec![vec![c], vec![f, e]], 0);
+        assert_eq!(
+            p.incoming_lookahead(&t, &[true, false]),
+            Some(SimDuration::from_millis(20))
+        );
+        assert_eq!(
+            p.incoming_lookahead(&t, &[false, true]),
+            Some(SimDuration::from_millis(20))
+        );
+        assert_eq!(p.incoming_lookahead(&t, &[true, true]), None);
     }
 
     #[test]

@@ -22,8 +22,10 @@ pub mod trace;
 
 pub use app::{AppBuilder, AppHandle, AppOutcome};
 pub use exec::{RealExecutor, RealTrace};
-pub use open_loop::{simulate_open_loop, OpenLoopOpts, OpenLoopReport};
-pub use shard::{plan_shards, simulate_stream_sharded, ShardOpts, ShardPlan};
+pub use open_loop::{simulate_open_loop, simulate_open_loop_sharded, OpenLoopOpts, OpenLoopReport};
+pub use shard::{
+    plan_shards, simulate_stream_pinned, simulate_stream_sharded, ShardMode, ShardOpts, ShardPlan,
+};
 pub use simrun::{
     simulate, simulate_stream, simulate_stream_chaos, simulate_stream_with_faults, FaultPlane,
     FaultSpec, SimOutcome, StreamRequest,

@@ -17,10 +17,16 @@
 //! bytes, and yields the same latency distribution as
 //! [`crate::simulate_stream_chaos`].
 
+use crate::shard::{
+    build_pinned_streaming_shards, pinned_lookaheads, pinned_participants, PinShard, ShardOpts,
+};
 use crate::simrun::{ExecCore, FaultPlane, FaultSpec, StreamRequest};
-use continuum_obs::{Histogram, MetricsRegistry};
+use continuum_model::{CostMeter, EnergyMeter};
+use continuum_net::RegionPartition;
+use continuum_obs::{Histogram, MetricsRegistry, MetricsSnapshot, Telemetry};
 use continuum_placement::Env;
-use continuum_sim::SimTime;
+use continuum_sim::{ConservativeDriver, Lookahead, SimTime};
+use std::collections::HashMap;
 
 /// Knobs for one open-loop run.
 #[derive(Debug, Clone, Copy)]
@@ -188,6 +194,7 @@ pub fn simulate_open_loop(
         offered,
         "open-loop conservation violated"
     );
+    let makespan = parts.end_time.since(SimTime::ZERO);
     let report = OpenLoopReport {
         offered,
         admitted,
@@ -206,34 +213,242 @@ pub fn simulate_open_loop(
         killed_attempts: parts.killed_attempts,
         device_crashes: parts.device_crashes,
         link_failures: parts.link_failures,
-        lost_work_s: parts.lost_work_s,
+        lost_work_s: parts.lost_dev.iter().sum(),
         tasks_by_device: parts.tasks_by_device,
-        energy_j: parts.energy_j,
-        cost_usd: parts.cost_usd,
+        energy_j: parts.energy.used_devices_joules(&env.fleet, makespan),
+        cost_usd: parts.cost.total_usd(),
+    };
+    if let Some(t) = tele {
+        publish_slo_metrics(&t, &report, parts.snap.into_iter().collect());
+    }
+    report
+}
+
+/// Fold one open-loop run's SLO aggregates (plus each core's component
+/// snapshot) into the ambient metrics sink.
+fn publish_slo_metrics(t: &Telemetry, report: &OpenLoopReport, core_snaps: Vec<MetricsSnapshot>) {
+    let reg = MetricsRegistry::new();
+    reg.inc("slo.offered", report.offered);
+    reg.inc("slo.admitted", report.admitted);
+    reg.inc("slo.completed", report.completed);
+    reg.inc("slo.rejected", report.rejected);
+    reg.set_gauge("slo.goodput_hz", report.goodput_hz());
+    reg.set_gauge("slo.rejection_rate", report.rejection_rate());
+    reg.set_gauge("slo.p50_ms", report.latency_quantile_s(0.50) * 1e3);
+    reg.set_gauge("slo.p99_ms", report.latency_quantile_s(0.99) * 1e3);
+    reg.set_gauge("slo.p999_ms", report.latency_quantile_s(0.999) * 1e3);
+    reg.set_gauge("executor.peak_live_requests", report.peak_live as f64);
+    reg.set_gauge(
+        "executor.peak_record_buffer",
+        report.peak_record_buffer as f64,
+    );
+    let mut snap = reg.snapshot();
+    snap.merge_histogram("slo.request_latency", &report.latency);
+    snap.merge_histogram("executor.task_duration", &report.task_duration);
+    for s in &core_snaps {
+        snap.merge(s);
+    }
+    t.metrics.absorb(&snap);
+}
+
+/// Global admission and completion bookkeeping for the sharded open
+/// loop. A request is *live* from admission until every participant
+/// shard has retired it; its latency is measured against the maximum
+/// finish any participant reports — the same finish time the one-shard
+/// run observes, so the gate and the SLO aggregates are identical for
+/// every shard count.
+#[derive(Default)]
+struct Gate {
+    /// gid -> (participants yet to retire, arrival, max finish so far).
+    outstanding: HashMap<usize, (u32, SimTime, SimTime)>,
+    live: usize,
+    peak_live: usize,
+    completed: u64,
+    end_time: SimTime,
+    latency: Histogram,
+}
+
+impl Gate {
+    fn admit(&mut self, gid: usize, participants: u32, arrival: SimTime) {
+        self.outstanding
+            .insert(gid, (participants, arrival, SimTime::ZERO));
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+    }
+
+    /// Drain every shard's finished log and settle requests whose last
+    /// participant has retired.
+    fn drain(&mut self, shards: &mut [PinShard<'_>]) {
+        for s in shards {
+            for (gid, fin) in s.core.take_finished() {
+                let e = self
+                    .outstanding
+                    .get_mut(&gid)
+                    .expect("shard retired a request the gate never admitted");
+                e.0 -= 1;
+                e.2 = e.2.max(fin);
+                if e.0 == 0 {
+                    let (_, arrival, finish) = self.outstanding.remove(&gid).expect("present");
+                    self.latency.observe(finish.since(arrival).0);
+                    self.end_time = self.end_time.max(finish);
+                    self.completed += 1;
+                    self.live -= 1;
+                }
+            }
+        }
+    }
+}
+
+/// Sharded [`simulate_open_loop`]: the same arrival-driven contract —
+/// admission gate, bounded memory, conservation — executed by pinned
+/// region shards under the conservative driver. Each admitted request is
+/// injected into every shard owning a region it touches; the driver
+/// pumps barrier windows up to each arrival so the admission gate sees a
+/// live count identical for every shard count, and boundary transfers
+/// ride between shards as envelopes exactly as in
+/// [`crate::simulate_stream_sharded`]'s pinned mode.
+///
+/// SLO aggregates (latency distribution, goodput, rejections),
+/// conservation counters, and physics totals are bit-identical across
+/// shard counts; only `peak_record_buffer` (reported as the largest
+/// single shard's buffer) depends on the deal.
+///
+/// # Panics
+/// If `opts.plane` is set (pinned execution rejects the infrastructure
+/// fault plane), or on out-of-order arrivals.
+pub fn simulate_open_loop_sharded(
+    env: &Env,
+    arrivals: impl IntoIterator<Item = StreamRequest>,
+    partition: &RegionPartition,
+    opts: &OpenLoopOpts<'_>,
+    shard_opts: &ShardOpts,
+) -> OpenLoopReport {
+    assert!(
+        opts.plane.is_none(),
+        "pinned sharded open loop rejects the infrastructure fault plane"
+    );
+    let tele = continuum_obs::ambient();
+    let collect = tele.is_some();
+    let cores =
+        build_pinned_streaming_shards(env, opts.faults, partition, shard_opts.max_shards, collect);
+    let n = cores.len();
+    let la = if n == 1 {
+        // The lone shard owns every region: no envelopes, every window
+        // runs straight to its cap.
+        Lookahead::None
+    } else {
+        Lookahead::PerShard(pinned_lookaheads(env, partition, n))
+    };
+    let mut driver = ConservativeDriver::new(cores, la, shard_opts.parallel);
+    let mut gate = Gate::default();
+    let mut offered = 0u64;
+    let mut admitted = 0u64;
+    let mut rejected = 0u64;
+    let mut last = SimTime::ZERO;
+    for r in arrivals {
+        assert!(
+            r.arrival >= last,
+            "open-loop arrivals must be in nondecreasing time order"
+        );
+        last = r.arrival;
+        driver.advance_until(r.arrival);
+        gate.drain(driver.shards_mut());
+        let gid = offered as usize;
+        offered += 1;
+        if gate.live >= opts.max_live {
+            rejected += 1;
+        } else {
+            admitted += 1;
+            let participants = pinned_participants(env, &r, partition, n);
+            gate.admit(gid, participants.len() as u32, r.arrival);
+            for &s in &participants {
+                driver.shards_mut()[s].core.inject_request(gid, r.clone());
+            }
+        }
+    }
+    driver.run();
+    gate.drain(driver.shards_mut());
+    assert!(
+        gate.outstanding.is_empty(),
+        "admitted requests still outstanding after the run drained"
+    );
+    let (cores, wstats) = driver.into_parts();
+    let parts: Vec<_> = cores.into_iter().map(|s| s.core.finish_open()).collect();
+    assert_eq!(
+        gate.completed + rejected,
+        offered,
+        "open-loop conservation violated"
+    );
+    // Merge the per-shard parts. Counters add exactly: every attempt,
+    // transfer, and device touch is logged by exactly one shard.
+    let mut task_duration = Histogram::default();
+    let mut tasks_by_device = vec![0u64; env.fleet.len()];
+    let mut lost_dev = vec![0.0f64; env.fleet.len()];
+    let mut energy = EnergyMeter::new(&env.fleet);
+    let mut cost = CostMeter::new(&env.fleet);
+    let mut tasks_executed = 0u64;
+    let mut bytes_moved = 0u64;
+    let mut transfers = 0u64;
+    let mut failed_attempts = 0u64;
+    let mut replacements = 0u64;
+    let mut killed_attempts = 0u64;
+    let mut peak_record_buffer = 0usize;
+    for p in &parts {
+        assert_eq!(p.device_crashes, parts[0].device_crashes);
+        assert_eq!(p.link_failures, parts[0].link_failures);
+        task_duration.merge(&p.task_duration);
+        for (d, &v) in p.tasks_by_device.iter().enumerate() {
+            tasks_by_device[d] += v;
+        }
+        for (d, &v) in p.lost_dev.iter().enumerate() {
+            lost_dev[d] += v;
+        }
+        energy.merge(&p.energy);
+        cost.merge(&p.cost);
+        tasks_executed += p.tasks_executed;
+        bytes_moved += p.bytes_moved;
+        transfers += p.transfers;
+        failed_attempts += p.failed_attempts;
+        replacements += p.replacements;
+        killed_attempts += p.killed_attempts;
+        peak_record_buffer = peak_record_buffer.max(p.peak_record_buf);
+    }
+    let makespan = gate.end_time.since(SimTime::ZERO);
+    let report = OpenLoopReport {
+        offered,
+        admitted,
+        completed: gate.completed,
+        rejected,
+        peak_live: gate.peak_live,
+        peak_record_buffer,
+        end_time: gate.end_time,
+        latency: gate.latency,
+        task_duration,
+        tasks_executed,
+        bytes_moved,
+        transfers,
+        failed_attempts,
+        replacements,
+        killed_attempts,
+        device_crashes: parts[0].device_crashes,
+        link_failures: parts[0].link_failures,
+        lost_work_s: lost_dev.iter().sum(),
+        tasks_by_device,
+        energy_j: energy.used_devices_joules(&env.fleet, makespan),
+        cost_usd: cost.total_usd(),
     };
     if let Some(t) = tele {
         let reg = MetricsRegistry::new();
-        reg.inc("slo.offered", report.offered);
-        reg.inc("slo.admitted", report.admitted);
-        reg.inc("slo.completed", report.completed);
-        reg.inc("slo.rejected", report.rejected);
-        reg.set_gauge("slo.goodput_hz", report.goodput_hz());
-        reg.set_gauge("slo.rejection_rate", report.rejection_rate());
-        reg.set_gauge("slo.p50_ms", report.latency_quantile_s(0.50) * 1e3);
-        reg.set_gauge("slo.p99_ms", report.latency_quantile_s(0.99) * 1e3);
-        reg.set_gauge("slo.p999_ms", report.latency_quantile_s(0.999) * 1e3);
-        reg.set_gauge("executor.peak_live_requests", report.peak_live as f64);
-        reg.set_gauge(
-            "executor.peak_record_buffer",
-            report.peak_record_buffer as f64,
+        reg.inc("shard.runs", 1);
+        reg.record("shard.count", n as u64);
+        reg.record("shard.windows", wstats.windows);
+        reg.inc("shard.messages", wstats.messages);
+        t.metrics.absorb(&reg.snapshot());
+        publish_slo_metrics(
+            &t,
+            &report,
+            parts.into_iter().filter_map(|p| p.snap).collect(),
         );
-        let mut snap = reg.snapshot();
-        snap.merge_histogram("slo.request_latency", &report.latency);
-        snap.merge_histogram("executor.task_duration", &report.task_duration);
-        if let Some(s) = parts.snap {
-            snap.merge(&s);
-        }
-        t.metrics.absorb(&snap);
     }
     report
 }
@@ -398,6 +613,133 @@ mod tests {
         assert!(report.peak_live <= 8);
         assert!(report.goodput_hz() > 0.0);
         assert!(report.latency_quantile_s(0.99) >= report.latency_quantile_s(0.50));
+    }
+
+    fn continuum_world() -> (Env, Vec<Vec<NodeId>>) {
+        let spec = continuum_net::ContinuumSpec {
+            fogs: 3,
+            edges_per_fog: 2,
+            sensors_per_edge: 2,
+            clouds: 2,
+            hpcs: 1,
+            ..continuum_net::ContinuumSpec::default()
+        };
+        let built = continuum_net::continuum(&spec);
+        let fleet = continuum_model::standard_fleet(&built);
+        let env = Env::new(built.topology.clone(), fleet);
+        let regions = continuum_net::continuum_regions(&spec);
+        (env, regions)
+    }
+
+    /// `count` spanning requests (fog + backbone devices, round-robin
+    /// over fogs), arriving every `gap_us` microseconds.
+    fn spanning_arrivals(
+        env: &Env,
+        regions: &[Vec<NodeId>],
+        count: usize,
+        gap_us: u64,
+    ) -> Vec<StreamRequest> {
+        use continuum_workflow::{layered_random, LayeredSpec};
+        (0..count)
+            .map(|i| {
+                let f = 1 + (i % (regions.len() - 1));
+                let mut nodes = regions[f].clone();
+                nodes.extend(&regions[0]);
+                let source = *regions[f].last().expect("non-empty region");
+                let mut rng = continuum_sim::Rng::new(1000 + i as u64);
+                let dag = layered_random(
+                    &mut rng,
+                    &LayeredSpec {
+                        tasks: 8,
+                        source,
+                        ..LayeredSpec::default()
+                    },
+                );
+                let devs: Vec<DeviceId> = nodes
+                    .iter()
+                    .flat_map(|&n| env.fleet.at_node(n).iter().copied())
+                    .collect();
+                let assignment = (0..dag.len()).map(|k| devs[k % devs.len()]).collect();
+                StreamRequest {
+                    dag,
+                    placement: Placement { assignment },
+                    arrival: SimTime::from_secs_f64(i as f64 * gap_us as f64 * 1e-6),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_open_loop_identical_across_shard_counts() {
+        let (env, regions) = continuum_world();
+        let partition = RegionPartition::new(&env.topology, regions.clone(), 0);
+        let arrivals = spanning_arrivals(&env, &regions, 60, 2_000);
+        let opts = OpenLoopOpts {
+            max_live: 8,
+            ..Default::default()
+        };
+        let strip = |mut r: OpenLoopReport| {
+            // The record-buffer high-water mark is per shard, so it
+            // legitimately depends on the deal; everything else must not.
+            r.peak_record_buffer = 0;
+            r
+        };
+        let reference = strip(simulate_open_loop_sharded(
+            &env,
+            arrivals.iter().cloned(),
+            &partition,
+            &opts,
+            &ShardOpts::pinned(1),
+        ));
+        assert_eq!(reference.completed + reference.rejected, reference.offered);
+        for n in [2, 4] {
+            for parallel in [true, false] {
+                let sharded = strip(simulate_open_loop_sharded(
+                    &env,
+                    arrivals.iter().cloned(),
+                    &partition,
+                    &opts,
+                    &ShardOpts {
+                        parallel,
+                        ..ShardOpts::pinned(n)
+                    },
+                ));
+                assert_eq!(sharded, reference, "n={n} parallel={parallel} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_open_loop_saturation_rejects_and_conserves() {
+        let (env, regions) = continuum_world();
+        let partition = RegionPartition::new(&env.topology, regions.clone(), 0);
+        // 150 requests arriving every 200 µs against a gate of 4: the
+        // fleet cannot drain spanning DAGs that fast, so most bounce.
+        let arrivals = spanning_arrivals(&env, &regions, 150, 200);
+        let opts = OpenLoopOpts {
+            max_live: 4,
+            ..Default::default()
+        };
+        let a = simulate_open_loop_sharded(
+            &env,
+            arrivals.iter().cloned(),
+            &partition,
+            &opts,
+            &ShardOpts::pinned(4),
+        );
+        let b = simulate_open_loop_sharded(
+            &env,
+            arrivals.iter().cloned(),
+            &partition,
+            &opts,
+            &ShardOpts::pinned(4),
+        );
+        assert_eq!(a, b, "sharded open loop must be deterministic");
+        assert_eq!(a.offered, 150);
+        assert_eq!(a.completed + a.rejected, a.offered);
+        assert!(a.rejected > 0, "expected backpressure at this rate");
+        assert!(a.peak_live <= 4);
+        assert!(a.goodput_hz() > 0.0);
     }
 
     #[test]

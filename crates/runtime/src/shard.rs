@@ -28,30 +28,75 @@
 //! Under a fault plane, orphan re-placement is masked to the shard's own
 //! devices so repairs cannot leak across the partition (see
 //! [`ShardOpts`]).
+//!
+//! # Pinned mode: when the workload refuses to decompose
+//!
+//! Request confinement collapses to one shard on exactly the workloads
+//! the continuum keynote cares about — sensor-to-cloud pipelines where
+//! *every* request spans fog and cloud, so every region co-occurs with
+//! the backbone and the union-find produces a single component.
+//! [`ShardMode::Pinned`] shards those workloads anyway: regions are
+//! dealt round-robin to shards, every task runs exactly where it was
+//! placed (no re-placement, hence no fault plane), and a transfer whose
+//! route crosses a region boundary is cut into per-region segments. Each
+//! segment streams in its own region's max-min flow domain; the handoff
+//! between segments defers the boundary link's propagation latency, so a
+//! stage entering another shard's region is always stamped at least that
+//! latency in the future — the conservative lookahead that lets
+//! [`ConservativeDriver`] exchange stages as [`Envelope`]s between
+//! windows without ever delivering into a shard's past. Event keys
+//! derived from content (not insertion order) make the result
+//! bit-identical across 1, 2, or N shards, serial or parallel; see
+//! `crate::simrun`'s partition machinery.
 
-use crate::simrun::{assemble, ExecCore, FaultPlane, FaultSpec, SimOutcome, StreamRequest};
+use crate::simrun::{
+    assemble, ExecCore, FaultPlane, FaultSpec, SimOutcome, StreamRequest, TransferMsg,
+};
 use continuum_net::RegionPartition;
 use continuum_obs::{MetricsRegistry, Telemetry};
 use continuum_placement::Env;
-use continuum_sim::{run_conservative, Envelope, ShardModel, SimTime};
+use continuum_sim::{
+    run_conservative, ConservativeDriver, Envelope, Lookahead, ShardModel, SimDuration, SimTime,
+    WindowStats,
+};
+
+/// How requests are split across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardMode {
+    /// Group whole requests so shards share no regions (the union-find
+    /// plan): exact, supports the full fault stack, but collapses to one
+    /// shard when requests span regions.
+    #[default]
+    Confined,
+    /// Pin every task to the shard owning its placed device and carry
+    /// boundary-crossing transfers between shards as conservative
+    /// envelopes. Shards continuum workloads where every request spans
+    /// fog and cloud. Rejects the infrastructure fault plane
+    /// (re-placement would migrate tasks across shards); per-attempt
+    /// [`FaultSpec`] retries work — a retry reruns on the same device.
+    Pinned,
+}
 
 /// Knobs for [`simulate_stream_sharded`].
 #[derive(Debug, Clone, Copy)]
 pub struct ShardOpts {
     /// Upper bound on the number of shards. Components beyond this are
     /// folded together round-robin; `usize::MAX` keeps one shard per
-    /// component.
+    /// component (confined) or one shard per region (pinned).
     pub max_shards: usize,
     /// Run shards in conservative barrier windows of width
     /// `lookahead` (the partition's minimum boundary-link latency)
     /// instead of straight to completion. Because request-confined shards
     /// exchange no events, both modes are bit-identical; windowed mode
     /// exists to exercise and validate the conservative synchronization
-    /// path, at the cost of one barrier per window.
+    /// path, at the cost of one barrier per window. Ignored in pinned
+    /// mode, which is inherently windowed for more than one shard.
     pub windowed: bool,
     /// Advance shards on worker threads within each window. Determinism
     /// does not depend on this (see `continuum_sim::shard`).
     pub parallel: bool,
+    /// Request confinement (default) or task pinning.
+    pub mode: ShardMode,
 }
 
 impl Default for ShardOpts {
@@ -60,6 +105,7 @@ impl Default for ShardOpts {
             max_shards: usize::MAX,
             windowed: false,
             parallel: true,
+            mode: ShardMode::Confined,
         }
     }
 }
@@ -69,6 +115,15 @@ impl ShardOpts {
     pub fn with_max_shards(n: usize) -> Self {
         ShardOpts {
             max_shards: n.max(1),
+            ..ShardOpts::default()
+        }
+    }
+
+    /// Pinned-mode execution with at most `n` shards.
+    pub fn pinned(n: usize) -> Self {
+        ShardOpts {
+            max_shards: n.max(1),
+            mode: ShardMode::Pinned,
             ..ShardOpts::default()
         }
     }
@@ -217,6 +272,228 @@ impl ShardModel for CoreShard<'_> {
     }
 }
 
+/// [`ShardModel`] adapter for pinned execution: delivers inbound transfer
+/// stages into the core's keyed calendar, pumps the window, and wraps the
+/// core's outbox — stages bound for regions other shards own — into
+/// envelopes addressed by region ownership.
+pub(crate) struct PinShard<'a> {
+    pub(crate) core: ExecCore<'a>,
+    /// Region index -> owning shard index.
+    shard_of_region: Vec<u32>,
+    me: u32,
+    /// Sender-local envelope sequence (a formality here: the receiver
+    /// re-keys every stage by content, so delivery order is immaterial).
+    seq: u64,
+}
+
+impl ShardModel for PinShard<'_> {
+    type Msg = TransferMsg;
+
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        self.core.next_event_time()
+    }
+
+    fn advance(
+        &mut self,
+        horizon: Option<SimTime>,
+        inbox: Vec<Envelope<TransferMsg>>,
+    ) -> Vec<Envelope<TransferMsg>> {
+        for e in inbox {
+            self.core.receive_part(e.at, e.msg);
+        }
+        self.core.pump(horizon);
+        self.core
+            .take_outbox()
+            .into_iter()
+            .map(|(at, region, msg)| {
+                self.seq += 1;
+                Envelope {
+                    at,
+                    from: self.me,
+                    seq: self.seq,
+                    to: self.shard_of_region[region as usize],
+                    msg,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Build one pinned-mode executor core per shard: regions are dealt
+/// round-robin (`region % n`), each request is registered on every shard
+/// owning a region it touches (its *participants*), and each core is
+/// switched to partitioned execution over its owned regions. Returns the
+/// shards plus the per-shard participant groups (for telemetry).
+pub(crate) fn build_pinned_shards<'a>(
+    env: &'a Env,
+    requests: &'a [StreamRequest],
+    faults: Option<&'a FaultSpec>,
+    partition: &'a RegionPartition,
+    max_shards: usize,
+    collect: bool,
+    trace_on: bool,
+) -> (Vec<PinShard<'a>>, Vec<Vec<usize>>) {
+    let nr = partition.len();
+    let n = max_shards.clamp(1, nr);
+    let shard_of_region: Vec<u32> = (0..nr).map(|r| (r % n) as u32).collect();
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (gid, r) in requests.iter().enumerate() {
+        let regs = regions_of_request(env, r, partition);
+        let mut parts: Vec<u32> = if regs.is_empty() {
+            vec![shard_of_region[partition.core_region()]]
+        } else {
+            regs.iter().map(|&rg| shard_of_region[rg]).collect()
+        };
+        parts.sort_unstable();
+        parts.dedup();
+        for p in parts {
+            groups[p as usize].push(gid);
+        }
+    }
+    let shards = (0..n)
+        .map(|i| {
+            let refs: Vec<&StreamRequest> = groups[i].iter().map(|&gid| &requests[gid]).collect();
+            let mut core = ExecCore::new(
+                env,
+                refs,
+                groups[i].clone(),
+                faults,
+                None,
+                None,
+                collect,
+                trace_on,
+            );
+            let owned: Vec<bool> = (0..nr).map(|r| shard_of_region[r] == i as u32).collect();
+            core.enable_partition(partition, owned);
+            PinShard {
+                core,
+                shard_of_region: shard_of_region.clone(),
+                me: i as u32,
+                seq: 0,
+            }
+        })
+        .collect();
+    (shards, groups)
+}
+
+/// Build empty pinned-mode *streaming* cores — one per shard — for the
+/// open-loop driver: no requests are registered up front; the caller
+/// injects each admitted arrival into its participant shards.
+pub(crate) fn build_pinned_streaming_shards<'a>(
+    env: &'a Env,
+    faults: Option<&'a FaultSpec>,
+    partition: &'a RegionPartition,
+    max_shards: usize,
+    collect: bool,
+) -> Vec<PinShard<'a>> {
+    let nr = partition.len();
+    let n = max_shards.clamp(1, nr);
+    let shard_of_region: Vec<u32> = (0..nr).map(|r| (r % n) as u32).collect();
+    (0..n)
+        .map(|i| {
+            let mut core = ExecCore::new(
+                env,
+                Vec::new(),
+                Vec::new(),
+                faults,
+                None,
+                None,
+                collect,
+                false,
+            );
+            core.enable_streaming();
+            let owned: Vec<bool> = (0..nr).map(|r| shard_of_region[r] == i as u32).collect();
+            core.enable_partition(partition, owned);
+            PinShard {
+                core,
+                shard_of_region: shard_of_region.clone(),
+                me: i as u32,
+                seq: 0,
+            }
+        })
+        .collect()
+}
+
+/// The shards participating in `r` under a round-robin deal of
+/// `partition`'s regions over `n` shards: owners of the regions the
+/// request touches (core region's owner for an empty region set).
+/// Sorted, deduplicated.
+pub(crate) fn pinned_participants(
+    env: &Env,
+    r: &StreamRequest,
+    partition: &RegionPartition,
+    n: usize,
+) -> Vec<usize> {
+    let regs = regions_of_request(env, r, partition);
+    let mut parts: Vec<usize> = if regs.is_empty() {
+        vec![partition.core_region() % n]
+    } else {
+        regs.iter().map(|&rg| rg % n).collect()
+    };
+    parts.sort_unstable();
+    parts.dedup();
+    parts
+}
+
+/// Per-shard incoming lookaheads for a pinned round-robin deal: shard
+/// `s` may run `min latency over boundary links adjacent to its owned
+/// regions` past the global horizon.
+pub(crate) fn pinned_lookaheads(
+    env: &Env,
+    partition: &RegionPartition,
+    n: usize,
+) -> Vec<SimDuration> {
+    let nr = partition.len();
+    (0..n)
+        .map(|i| {
+            let owned: Vec<bool> = (0..nr).map(|r| r % n == i).collect();
+            partition
+                .incoming_lookahead(&env.topology, &owned)
+                .expect("a multi-shard partition has boundary links")
+        })
+        .collect()
+}
+
+/// Satellite telemetry for a sharded run: plan shape, per-shard event
+/// counts, and (when windowed) message traffic.
+fn publish_shard_metrics(
+    tele: &Telemetry,
+    groups: &[Vec<usize>],
+    events: &[u64],
+    wstats: Option<&WindowStats>,
+) {
+    let reg = MetricsRegistry::new();
+    reg.inc("shard.runs", 1);
+    reg.record("shard.count", groups.len() as u64);
+    let assigned: usize = groups.iter().map(Vec::len).sum();
+    if assigned > 0 {
+        let largest = groups.iter().map(Vec::len).max().unwrap_or(0);
+        reg.set_gauge(
+            "shard.plan_largest_fraction",
+            largest as f64 / assigned as f64,
+        );
+    }
+    let total_events: u64 = events.iter().sum();
+    for (i, &e) in events.iter().enumerate() {
+        reg.inc_labeled("shard.events", i as u32, e);
+    }
+    if total_events > 0 {
+        let largest = events.iter().copied().max().unwrap_or(0);
+        reg.set_gauge(
+            "shard.largest_fraction",
+            largest as f64 / total_events as f64,
+        );
+    }
+    if let Some(w) = wstats {
+        reg.record("shard.windows", w.windows);
+        reg.inc("shard.messages", w.messages);
+        for (i, &m) in w.per_shard_messages.iter().enumerate() {
+            reg.inc_labeled("shard.messages_to", i as u32, m);
+        }
+    }
+    tele.metrics.absorb(&reg.snapshot());
+}
+
 /// Sharded [`crate::simulate_stream_chaos`]: same contract, same result
 /// — bit-identical trace and metrics — computed by up to
 /// `opts.max_shards` executor cores running in parallel over a region
@@ -227,6 +504,47 @@ impl ShardModel for CoreShard<'_> {
 /// [`RegionPartition::new`]), or on any condition the single-queue
 /// executor panics on (invalid `FaultSpec`, deadlocked DAG, ...).
 pub fn simulate_stream_sharded(
+    env: &Env,
+    requests: &[StreamRequest],
+    faults: Option<&FaultSpec>,
+    plane: Option<&FaultPlane>,
+    partition: &RegionPartition,
+    opts: &ShardOpts,
+) -> SimOutcome {
+    match opts.mode {
+        ShardMode::Confined => simulate_confined(env, requests, faults, plane, partition, opts),
+        ShardMode::Pinned => {
+            assert!(
+                plane.is_none(),
+                "pinned mode rejects the infrastructure fault plane: orphan \
+                 re-placement would migrate tasks across shards"
+            );
+            simulate_pinned(env, requests, faults, partition, opts)
+        }
+    }
+}
+
+/// Pinned-mode [`simulate_stream_sharded`] without the confined-mode
+/// parameters that do not apply (fault plane, windowing knob).
+pub fn simulate_stream_pinned(
+    env: &Env,
+    requests: &[StreamRequest],
+    faults: Option<&FaultSpec>,
+    partition: &RegionPartition,
+    max_shards: usize,
+) -> SimOutcome {
+    simulate_pinned(
+        env,
+        requests,
+        faults,
+        partition,
+        &ShardOpts::pinned(max_shards),
+    )
+}
+
+/// Request-confined execution: the union-find plan, one core per
+/// component.
+fn simulate_confined(
     env: &Env,
     requests: &[StreamRequest],
     faults: Option<&FaultSpec>,
@@ -245,7 +563,7 @@ pub fn simulate_stream_sharded(
         plan.region_sets.push((0..partition.len()).collect());
     }
     let sharded = plan.groups.len() > 1;
-    let shards: Vec<CoreShard> = plan
+    let mut shards: Vec<CoreShard> = plan
         .groups
         .iter()
         .zip(&plan.region_sets)
@@ -276,23 +594,74 @@ pub fn simulate_stream_sharded(
             }
         })
         .collect();
-    let lookahead = if opts.windowed {
-        partition.lookahead()
+    let (shards, wstats) = if shards.len() == 1 {
+        // One shard exchanges nothing, so conservative windows only add
+        // horizon bookkeeping per barrier: run straight to completion
+        // regardless of `opts.windowed`. Bit-identical either way.
+        shards[0].core.pump(None);
+        (shards, None)
     } else {
-        None
+        let lookahead = if opts.windowed {
+            partition.lookahead()
+        } else {
+            None
+        };
+        let (shards, w) = run_conservative(shards, lookahead, opts.parallel);
+        (shards, Some(w))
     };
-    let (shards, wstats) = run_conservative(shards, lookahead, opts.parallel);
     if let Some(t) = &tele {
-        let reg = MetricsRegistry::new();
-        reg.inc("shard.runs", 1);
-        reg.record("shard.count", plan.groups.len() as u64);
-        reg.record("shard.windows", wstats.windows);
-        t.metrics.absorb(&reg.snapshot());
+        let events: Vec<u64> = shards.iter().map(|s| s.core.scheduled_events()).collect();
+        publish_shard_metrics(t, &plan.groups, &events, wstats.as_ref());
     }
     assemble(
         env,
         requests,
         plane,
+        shards.into_iter().map(|s| s.core.finish()).collect(),
+    )
+}
+
+/// Pinned execution: one core per round-robin region deal, boundary
+/// transfers carried between cores as conservative envelopes.
+fn simulate_pinned(
+    env: &Env,
+    requests: &[StreamRequest],
+    faults: Option<&FaultSpec>,
+    partition: &RegionPartition,
+    opts: &ShardOpts,
+) -> SimOutcome {
+    let tele = continuum_obs::ambient();
+    let collect = tele.is_some();
+    let trace_on = tele.as_deref().is_some_and(Telemetry::trace_enabled);
+    let (mut shards, groups) = build_pinned_shards(
+        env,
+        requests,
+        faults,
+        partition,
+        opts.max_shards,
+        collect,
+        trace_on,
+    );
+    let (shards, wstats) = if shards.len() == 1 {
+        // The lone shard owns every region, so no transfer ever leaves
+        // it: skip the window machinery (same fast path as confined).
+        shards[0].core.pump(None);
+        (shards, None)
+    } else {
+        let la = Lookahead::PerShard(pinned_lookaheads(env, partition, shards.len()));
+        let mut driver = ConservativeDriver::new(shards, la, opts.parallel);
+        driver.run();
+        let (shards, w) = driver.into_parts();
+        (shards, Some(w))
+    };
+    if let Some(t) = &tele {
+        let events: Vec<u64> = shards.iter().map(|s| s.core.scheduled_events()).collect();
+        publish_shard_metrics(t, &groups, &events, wstats.as_ref());
+    }
+    assemble(
+        env,
+        requests,
+        None,
         shards.into_iter().map(|s| s.core.finish()).collect(),
     )
 }
@@ -384,6 +753,104 @@ mod tests {
             ));
         }
         reqs
+    }
+
+    /// One request per fog, each spanning its fog region *and* the
+    /// backbone — the continuum shape where request confinement collapses
+    /// to one shard.
+    fn spanning_workload(env: &Env, regions: &[Vec<NodeId>]) -> Vec<StreamRequest> {
+        regions[1..]
+            .iter()
+            .enumerate()
+            .map(|(f, fog)| {
+                let mut nodes = fog.clone();
+                nodes.extend(&regions[0]);
+                let source = *fog.last().expect("non-empty region");
+                confined_request(
+                    env,
+                    &nodes,
+                    source,
+                    97 * (f as u64 + 1),
+                    SimTime::from_millis(7 * f as u64),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pinned_matches_one_shard_bit_for_bit() {
+        let (env, _, regions) = build_world();
+        let partition = RegionPartition::new(&env.topology, regions.clone(), 0);
+        let requests = spanning_workload(&env, &regions);
+        // Confinement collapses on this workload: one component.
+        let plan = plan_shards(&env, &requests, &partition, usize::MAX);
+        assert_eq!(plan.groups.len(), 1, "workload should defeat confinement");
+        let reference = simulate_stream_sharded(
+            &env,
+            &requests,
+            None,
+            None,
+            &partition,
+            &ShardOpts::pinned(1),
+        );
+        for (i, &fin) in reference.trace.request_finish.iter().enumerate() {
+            assert!(fin > requests[i].arrival, "request {i} never finished");
+        }
+        for n in [2, 3, 4] {
+            for parallel in [true, false] {
+                let opts = ShardOpts {
+                    parallel,
+                    ..ShardOpts::pinned(n)
+                };
+                let got = simulate_stream_sharded(&env, &requests, None, None, &partition, &opts);
+                assert_eq!(got, reference, "pinned n={n} parallel={parallel} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_matches_one_shard_with_retries() {
+        let (env, _, regions) = build_world();
+        let partition = RegionPartition::new(&env.topology, regions.clone(), 0);
+        let requests = spanning_workload(&env, &regions);
+        let fs = FaultSpec {
+            fail_prob: 0.2,
+            max_attempts: 10,
+            retry_delay: continuum_sim::SimDuration::from_millis(50),
+            seed: 7,
+        };
+        let reference = simulate_stream_pinned(&env, &requests, Some(&fs), &partition, 1);
+        assert!(reference.trace.failed_attempts > 0, "want retries in play");
+        for n in [2, 4] {
+            let got = simulate_stream_pinned(&env, &requests, Some(&fs), &partition, n);
+            assert_eq!(got, reference, "pinned n={n} with retries diverged");
+        }
+    }
+
+    #[test]
+    fn pinned_mixed_workload_matches_one_shard() {
+        // Confined *and* spanning requests together: pinned mode must
+        // handle participants that own every region of a request as well
+        // as proper cross-shard splits.
+        let (env, _, regions) = build_world();
+        let partition = RegionPartition::new(&env.topology, regions.clone(), 0);
+        let mut requests = workload(&env, &regions, true);
+        requests.extend(spanning_workload(&env, &regions));
+        let reference = simulate_stream_pinned(&env, &requests, None, &partition, 1);
+        for n in [2, 4] {
+            let got = simulate_stream_pinned(&env, &requests, None, &partition, n);
+            assert_eq!(got, reference, "pinned n={n} mixed workload diverged");
+        }
+    }
+
+    #[test]
+    fn pinned_empty_request_list_runs() {
+        let (env, _, regions) = build_world();
+        let partition = RegionPartition::new(&env.topology, regions, 0);
+        let a = simulate_stream_pinned(&env, &[], None, &partition, 1);
+        let b = simulate_stream_pinned(&env, &[], None, &partition, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.trace.request_finish.len(), 0);
     }
 
     #[test]

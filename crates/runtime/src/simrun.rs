@@ -21,7 +21,8 @@
 use crate::trace::{ExecutionTrace, TaskRecord};
 use continuum_model::{CostMeter, DeviceId, EnergyMeter};
 use continuum_net::{
-    shortest_path_avoiding, FlowId, FlowNetwork, LinkId, NodeId, Path, RouteCache,
+    shortest_path_avoiding, FlowId, FlowNetwork, LinkId, NodeId, Path, RegionPartition, RouteCache,
+    RouteSeg,
 };
 use continuum_obs::{Histogram, MetricsRegistry, MetricsSnapshot, Telemetry};
 use continuum_placement::{Env, Metrics, OnlinePlacer, Placement};
@@ -29,6 +30,7 @@ use continuum_sim::{EventId, EventQueue, FaultKind, FaultSchedule, SimDuration, 
 use continuum_workflow::{Dag, DataId, TaskId};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// One timed, placed workflow instance.
 #[derive(Debug, Clone)]
@@ -171,6 +173,83 @@ enum Ev {
         dev: usize,
         gen: u32,
     },
+    /// Partition mode: a segment's propagation latency elapsed; start
+    /// streaming its bytes in the segment region's flow domain.
+    PartSeg(Box<TransferMsg>),
+    /// Partition mode: final delivery of a transfer at its destination
+    /// slot (`msg.next == msg.segs.len()`).
+    PartDeliver(Box<TransferMsg>),
+    /// Partition mode: the predicted earliest completion in one region's
+    /// flow domain has finished.
+    PartFlowDone {
+        region: u32,
+        fid: FlowId,
+    },
+}
+
+/// One cross-region transfer in flight under partitioned (pinned-task)
+/// execution. Self-contained: a shard that owns only a *transit* region
+/// of the route needs no request state to forward it — the remaining
+/// route segments, byte count, and destination all ride along.
+#[derive(Debug, Clone)]
+pub(crate) struct TransferMsg {
+    /// Global request id (ECMP salts and delivery lookups key off it).
+    pub(crate) gid: usize,
+    pub(crate) item: DataId,
+    /// Final destination node (where the consuming slot lives).
+    pub(crate) dst: NodeId,
+    pub(crate) bytes: u64,
+    /// The route, segmented at region boundaries (never empty).
+    pub(crate) segs: Arc<[RouteSeg]>,
+    /// Next stage: index of the segment about to run, or `segs.len()`
+    /// for the final delivery hop.
+    pub(crate) next: u32,
+}
+
+/// splitmix64 finalizer: the content-key mixer for partition-mode events.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// Event-key classes for partition mode. Every partition-mode event gets a
+// key derived purely from its content, so equal-time events pop in the
+// same relative order no matter how regions are grouped onto cores — the
+// invariant behind the pinned-sharded == pinned-single identity. Arrivals
+// keep key zero: their relative order is global-id order in every
+// grouping, and key zero sorts them ahead of all keyed events.
+const K_FIN: u64 = 1;
+const K_RETRY: u64 = 2;
+const K_SEG: u64 = 3;
+const K_DELIVER: u64 = 4;
+const K_FLOW: u64 = 5;
+
+#[inline]
+fn part_key(class: u64, a: u64, b: u64, c: u64) -> u64 {
+    mix64(mix64(mix64(mix64(class) ^ a) ^ b) ^ c).max(1)
+}
+
+#[inline]
+fn seg_key(msg: &TransferMsg) -> u64 {
+    part_key(
+        K_SEG,
+        msg.gid as u64,
+        u64::from(msg.item.0),
+        (u64::from(msg.dst.0) << 32) | u64::from(msg.next),
+    )
+}
+
+#[inline]
+fn deliver_key(msg: &TransferMsg) -> u64 {
+    part_key(
+        K_DELIVER,
+        msg.gid as u64,
+        u64::from(msg.item.0),
+        u64::from(msg.dst.0),
+    )
 }
 
 /// Per-flow ECMP salt: stable for a (request, item) pair, never zero so
@@ -275,6 +354,11 @@ struct ReqState {
     /// Slots per data item (indexed by `DataId.0`), kept NodeId-sorted so
     /// publishes deliver in deterministic node order.
     item_slots: Vec<Vec<u32>>,
+    /// Partition mode only: every consumer node per produced item
+    /// (indexed by `DataId.0`), NodeId-sorted and deduped — *including*
+    /// nodes in regions other cores own, which `item_slots` never sees.
+    /// Built at arrival from the static placement; empty otherwise.
+    fanout: Vec<Vec<NodeId>>,
 }
 
 impl ReqState {
@@ -608,6 +692,45 @@ pub(crate) struct ExecCore<'a> {
     /// folds into bounded histograms and slots are reused. `None` (closed
     /// loop) preserves the accumulate-everything behavior bit for bit.
     sink: Option<StreamSink>,
+    /// `Some` switches the core to partitioned ("pinned-task") execution:
+    /// tasks run where they were placed, each owned region gets its own
+    /// flow domain, and transfers crossing into foreign regions leave
+    /// through the outbox. `None` preserves the confined executors bit
+    /// for bit.
+    part: Option<PartCtx<'a>>,
+}
+
+/// Partitioned-execution state bolted onto an [`ExecCore`] by
+/// [`ExecCore::enable_partition`]. The core then simulates exactly the
+/// regions marked in `owned`: tasks placed there, flows whose current
+/// route segment runs there, and deliveries landing there. Anything
+/// else either never enters the core (foreign tasks are pre-marked
+/// started) or leaves through `outbox` as a self-contained
+/// [`TransferMsg`].
+struct PartCtx<'a> {
+    partition: &'a RegionPartition,
+    /// Regions this core simulates, indexed by region id.
+    owned: Vec<bool>,
+    /// One independent max-min-fair flow domain per owned region (`None`
+    /// elsewhere). Contention is resolved per region, never across the
+    /// whole topology, so a region's flow trajectories are identical no
+    /// matter how regions are grouped onto cores.
+    nets: Vec<Option<FlowNetwork>>,
+    /// The pending earliest-completion event per owned region.
+    pend: Vec<Option<(EventId, FlowId)>>,
+    /// In-flight transfer continuations per owned region, keyed by flow.
+    cont: Vec<HashMap<FlowId, TransferMsg>>,
+    /// Transfer stages bound for regions this core does not own:
+    /// `(due time, target region, msg)`. Drained by the shard driver and
+    /// delivered to the owning core as conservative envelopes.
+    outbox: Vec<(SimTime, u32, TransferMsg)>,
+    /// Global request id -> local slot, for delivery lookups.
+    local_of_gid: HashMap<usize, usize>,
+    /// Streaming mode: `(gid, local finish)` of every request retired
+    /// since the last [`ExecCore::take_finished`] drain. The open-loop
+    /// shard driver folds these into true request latencies (the max
+    /// finish across participating cores).
+    finished_log: Vec<(usize, SimTime)>,
 }
 
 impl<'a> ExecCore<'a> {
@@ -682,6 +805,7 @@ impl<'a> ExecCore<'a> {
                 slot_of: HashMap::new(),
                 slots: Vec::new(),
                 item_slots: vec![Vec::new(); plan.n_items],
+                fanout: Vec::new(),
             })
             .collect();
         let trace = ExecutionTrace {
@@ -740,6 +864,7 @@ impl<'a> ExecCore<'a> {
             live_gids: HashSet::new(),
             compact_at: usize::MAX,
             sink: None,
+            part: None,
             queue,
             requests: requests.into_iter().map(ReqEntry::Borrowed).collect(),
             gids,
@@ -749,6 +874,13 @@ impl<'a> ExecCore<'a> {
     /// Earliest pending event, if any work remains.
     pub(crate) fn next_event_time(&mut self) -> Option<SimTime> {
         self.queue.peek_time()
+    }
+
+    /// Events ever scheduled on this core's calendar — the per-shard
+    /// load measure behind the `shard.events` / `shard.largest_fraction`
+    /// telemetry.
+    pub(crate) fn scheduled_events(&self) -> u64 {
+        self.queue.stats().scheduled
     }
 
     /// Process every event strictly before `horizon` (all events when
@@ -781,8 +913,12 @@ impl<'a> ExecCore<'a> {
         let mut dispatch_devices: Vec<usize> = Vec::new();
         let mut to_replace: Vec<(usize, TaskId)> = Vec::new();
         let mut network_changed = false;
+        let mut regions_changed: Vec<u32> = Vec::new();
 
         match ev {
+            Ev::Arrival(req) if self.part.is_some() => {
+                self.arrive_part(now, req, &mut made_present, &mut dispatch_devices);
+            }
             Ev::Arrival(req) => {
                 let r = req_ref(&self.requests, req);
                 let gid = self.gids[req];
@@ -950,8 +1086,14 @@ impl<'a> ExecCore<'a> {
                         *tries += 1;
                         self.trace.failed_attempts += 1;
                         self.states[req].started[task.0 as usize] = false;
-                        self.queue
-                            .schedule_at(now + fs.retry_delay, Ev::RetryTask { req, task });
+                        let retry = Ev::RetryTask { req, task };
+                        if self.part.is_some() {
+                            let key = part_key(K_RETRY, gid as u64, u64::from(task.0), 0);
+                            self.queue
+                                .schedule_keyed_at(now + fs.retry_delay, key, retry);
+                        } else {
+                            self.queue.schedule_at(now + fs.retry_delay, retry);
+                        }
                         // Cores were already freed above; dispatch waiting
                         // work on this device, then bail without
                         // publishing outputs.
@@ -970,57 +1112,61 @@ impl<'a> ExecCore<'a> {
                 // Publish outputs to their consumers: every node with a
                 // registered slot still missing the item, in NodeId order.
                 let my_node = env.node_of(dev);
-                let st = &mut self.states[req];
-                let mut to_deliver: Vec<u32> = Vec::new();
-                for &out in &r.dag.task(task).outputs {
-                    for i in 0..st.item_slots[out.0 as usize].len() {
-                        let slot = st.item_slots[out.0 as usize][i];
-                        if st.slots[slot as usize].state == SlotState::Absent {
-                            st.slots[slot as usize].state = SlotState::InFlight;
-                            self.inflight[req] += 1;
-                            to_deliver.push(slot);
+                if self.part.is_some() {
+                    self.publish_part(now, req, task, dev, my_node, &mut made_present);
+                } else {
+                    let st = &mut self.states[req];
+                    let mut to_deliver: Vec<u32> = Vec::new();
+                    for &out in &r.dag.task(task).outputs {
+                        for i in 0..st.item_slots[out.0 as usize].len() {
+                            let slot = st.item_slots[out.0 as usize][i];
+                            if st.slots[slot as usize].state == SlotState::Absent {
+                                st.slots[slot as usize].state = SlotState::InFlight;
+                                self.inflight[req] += 1;
+                                to_deliver.push(slot);
+                            }
                         }
                     }
-                }
-                self.obs.publish(to_deliver.len());
-                for slot in to_deliver {
-                    let (d, dst) = {
-                        let s = &self.states[req].slots[slot as usize];
-                        (s.item, s.node)
-                    };
-                    if dst == my_node {
-                        made_present.push((req, slot));
-                    } else {
-                        let bytes = r.dag.data(d).bytes;
-                        // Egress billed to the device that actually
-                        // produced (and sends) the item, not an arbitrary
-                        // device at its node.
-                        if self.sink.is_none() {
-                            self.egress_log.push((Some(dev), bytes));
+                    self.obs.publish(to_deliver.len());
+                    for slot in to_deliver {
+                        let (d, dst) = {
+                            let s = &self.states[req].slots[slot as usize];
+                            (s.item, s.node)
+                        };
+                        if dst == my_node {
+                            made_present.push((req, slot));
                         } else {
-                            self.trace.bytes_moved += bytes;
-                            self.trace.transfers += 1;
-                            self.cost.record_egress(&env.fleet, dev, bytes);
-                        }
-                        match route(
-                            env,
-                            &mut self.rcache,
-                            my_node,
-                            dst,
-                            xfer_salt(gid, d),
-                            &self.dead_links,
-                            self.n_dead,
-                        ) {
-                            Some(path) => {
-                                self.queue.schedule_at(
-                                    now + path.latency,
-                                    Ev::StartFlow { req, slot, bytes },
-                                );
+                            let bytes = r.dag.data(d).bytes;
+                            // Egress billed to the device that actually
+                            // produced (and sends) the item, not an
+                            // arbitrary device at its node.
+                            if self.sink.is_none() {
+                                self.egress_log.push((Some(dev), bytes));
+                            } else {
+                                self.trace.bytes_moved += bytes;
+                                self.trace.transfers += 1;
+                                self.cost.record_egress(&env.fleet, dev, bytes);
                             }
-                            None => {
-                                assert!(self.n_dead > 0, "disconnected topology");
-                                self.obs.stall(now, gid);
-                                self.stalled.push((req, slot, bytes));
+                            match route(
+                                env,
+                                &mut self.rcache,
+                                my_node,
+                                dst,
+                                xfer_salt(gid, d),
+                                &self.dead_links,
+                                self.n_dead,
+                            ) {
+                                Some(path) => {
+                                    self.queue.schedule_at(
+                                        now + path.latency,
+                                        Ev::StartFlow { req, slot, bytes },
+                                    );
+                                }
+                                None => {
+                                    assert!(self.n_dead > 0, "disconnected topology");
+                                    self.obs.stall(now, gid);
+                                    self.stalled.push((req, slot, bytes));
+                                }
                             }
                         }
                     }
@@ -1151,6 +1297,63 @@ impl<'a> ExecCore<'a> {
                     to_replace.extend(self.device_q[dev].drain(..));
                 }
             }
+            Ev::PartSeg(ref msg) => {
+                let msg: TransferMsg = (**msg).clone();
+                let part = self
+                    .part
+                    .as_mut()
+                    .expect("partition event without partition");
+                let seg = &msg.segs[msg.next as usize];
+                let r = seg.region as usize;
+                debug_assert!(part.owned[r], "segment region not owned by this core");
+                let path = seg.as_path();
+                let fid = part.nets[r]
+                    .as_mut()
+                    .expect("owned region has a flow domain")
+                    .start(now, &path, msg.bytes)
+                    .expect("route segments always contain links");
+                part.cont[r].insert(fid, msg);
+                regions_changed.push(r as u32);
+            }
+            Ev::PartDeliver(ref msg) => {
+                let part = self
+                    .part
+                    .as_mut()
+                    .expect("partition event without partition");
+                let req = *part
+                    .local_of_gid
+                    .get(&msg.gid)
+                    .expect("delivery targets a participating request");
+                let st = &mut self.states[req];
+                let slot = *st
+                    .slot_of
+                    .get(&(msg.item, msg.dst))
+                    .expect("delivery slot interned at arrival");
+                // Remote-produced items go Absent -> InFlight here (their
+                // producer's core could not touch this slot); external
+                // fetches were already marked InFlight at arrival.
+                if st.slots[slot as usize].state == SlotState::Absent {
+                    st.slots[slot as usize].state = SlotState::InFlight;
+                    self.inflight[req] += 1;
+                }
+                made_present.push((req, slot));
+            }
+            Ev::PartFlowDone { region, fid } => {
+                let part = self
+                    .part
+                    .as_mut()
+                    .expect("partition event without partition");
+                let r = region as usize;
+                debug_assert_eq!(part.pend[r].map(|(_, f)| f), Some(fid));
+                part.pend[r] = None;
+                part.nets[r]
+                    .as_mut()
+                    .expect("owned region has a flow domain")
+                    .remove(now, fid);
+                let msg = part.cont[r].remove(&fid).expect("flow has a continuation");
+                regions_changed.push(region);
+                self.part_forward(now, msg);
+            }
         }
 
         // Drain presence notifications and fault re-placements — each can
@@ -1215,6 +1418,305 @@ impl<'a> ExecCore<'a> {
                 self.pending_completion = Some((eid, fid));
             }
         }
+
+        // Partition mode: re-arm the pending completion of every region
+        // domain this event touched.
+        if !regions_changed.is_empty() {
+            regions_changed.sort_unstable();
+            regions_changed.dedup();
+            for r in regions_changed {
+                self.rearm_region(now, r);
+            }
+        }
+    }
+
+    /// Cancel and re-schedule the earliest-completion event of one owned
+    /// region's flow domain. The event key is a pure function of the
+    /// region id, so equal-time re-arms of different regions sort
+    /// identically no matter how regions are grouped onto cores.
+    fn rearm_region(&mut self, now: SimTime, region: u32) {
+        let part = self.part.as_mut().expect("partition mode");
+        let r = region as usize;
+        if let Some((eid, _)) = part.pend[r].take() {
+            self.queue.cancel(eid);
+        }
+        let next = part.nets[r]
+            .as_mut()
+            .expect("owned region has a flow domain")
+            .next_completion();
+        if let Some((t, fid)) = next {
+            let key = part_key(K_FLOW, u64::from(region), 0, 0);
+            let eid =
+                self.queue
+                    .schedule_keyed_at(t.max(now), key, Ev::PartFlowDone { region, fid });
+            self.part.as_mut().expect("partition mode").pend[r] = Some((eid, fid));
+        }
+    }
+
+    /// Partition-mode arrival: register interest only for tasks placed in
+    /// regions this core owns, pre-mark everything else as started
+    /// (foreign — another core runs it), and initiate exactly the
+    /// external fetches whose *home* region this core owns. Every
+    /// participating core scans the same request in the same task order,
+    /// so the per-`(item, destination)` first-sight dedup agrees across
+    /// cores without any coordination.
+    fn arrive_part(
+        &mut self,
+        now: SimTime,
+        req: usize,
+        made_present: &mut Vec<(usize, u32)>,
+        dispatch_devices: &mut Vec<usize>,
+    ) {
+        let env = self.env;
+        let r = req_ref(&self.requests, req);
+        let gid = self.gids[req];
+        // (item, home, destination, bytes) fetches this core initiates,
+        // in first-sight order.
+        let mut sends: Vec<(DataId, NodeId, NodeId, u64)> = Vec::new();
+        {
+            let part = self.part.as_ref().expect("partition mode");
+            let partition = part.partition;
+            let st = &mut self.states[req];
+            let plan = &self.plans[req];
+            let assign = &self.assign[req];
+            let mut fanout: Vec<Vec<NodeId>> = vec![Vec::new(); plan.n_items];
+            let mut owned_tasks = 0usize;
+            let mut seen: HashSet<(DataId, NodeId)> = HashSet::new();
+            for t in r.dag.tasks() {
+                let dst = env.node_of(assign[t.id.0 as usize]);
+                let dst_owned = part.owned[partition.region_of(dst)];
+                if dst_owned {
+                    owned_tasks += 1;
+                } else {
+                    st.started[t.id.0 as usize] = true;
+                }
+                for &d in plan.inputs_of(t.id) {
+                    let external = r.dag.producer(d).is_none();
+                    if !external {
+                        fanout[d.0 as usize].push(dst);
+                    }
+                    if dst_owned {
+                        let slot = st.intern(d, dst);
+                        if external && st.slots[slot as usize].state == SlotState::Absent {
+                            let home = r
+                                .dag
+                                .data(d)
+                                .home
+                                .expect("validated dag: external has home");
+                            st.slots[slot as usize].state = SlotState::InFlight;
+                            self.inflight[req] += 1;
+                            if home == dst {
+                                made_present.push((req, slot));
+                            }
+                        }
+                        st.slots[slot as usize].waiters.push(t.id);
+                    }
+                    if external {
+                        let home = r
+                            .dag
+                            .data(d)
+                            .home
+                            .expect("validated dag: external has home");
+                        if home != dst
+                            && part.owned[partition.region_of(home)]
+                            && seen.insert((d, dst))
+                        {
+                            sends.push((d, home, dst, r.dag.data(d).bytes));
+                        }
+                    }
+                }
+            }
+            st.unfinished = owned_tasks;
+            for v in &mut fanout {
+                v.sort_unstable();
+                v.dedup();
+            }
+            st.fanout = fanout;
+        }
+        // Egress billed by the initiating (home-owning) core only, so
+        // merged totals count each transfer exactly once.
+        for (d, home, dst, bytes) in sends {
+            if self.sink.is_none() {
+                self.egress_log
+                    .push((env.fleet.at_node(home).first().copied(), bytes));
+            } else {
+                self.trace.bytes_moved += bytes;
+                self.trace.transfers += 1;
+                if let Some(dev) = env.fleet.at_node(home).first().copied() {
+                    self.cost.record_egress(&env.fleet, dev, bytes);
+                }
+            }
+            self.part_send(now, gid, d, home, dst, bytes);
+        }
+        // Owned tasks with no inputs are immediately ready. Foreign tasks
+        // were pre-marked started, so the scan skips them.
+        let n_tasks = self.finished[req].len();
+        for ti in 0..n_tasks {
+            let st = &self.states[req];
+            if !st.started[ti] && st.missing[ti] == 0 {
+                let dev = self.assign[req][ti];
+                self.device_q[dev.0 as usize].push_back((req, TaskId(ti as u32)));
+                dispatch_devices.push(dev.0 as usize);
+            }
+        }
+        // A core whose only stake was initiating fetches (zero owned
+        // tasks) may already satisfy every retirement precondition.
+        if self.states[req].unfinished == 0 {
+            self.retire_scan.push(req);
+        }
+    }
+
+    /// Partition-mode publish: deliver a finished task's outputs to every
+    /// consumer node from the static fan-out — locally when the consumer
+    /// is co-located, over segmented transfers otherwise (including
+    /// consumers in regions owned by other cores).
+    fn publish_part(
+        &mut self,
+        now: SimTime,
+        req: usize,
+        task: TaskId,
+        dev: DeviceId,
+        my_node: NodeId,
+        made_present: &mut Vec<(usize, u32)>,
+    ) {
+        let r = req_ref(&self.requests, req);
+        let gid = self.gids[req];
+        let mut sends: Vec<(DataId, NodeId, u64)> = Vec::new();
+        let mut n_publish = 0usize;
+        {
+            let st = &mut self.states[req];
+            for &out in &r.dag.task(task).outputs {
+                for i in 0..st.fanout[out.0 as usize].len() {
+                    let dst = st.fanout[out.0 as usize][i];
+                    n_publish += 1;
+                    if dst == my_node {
+                        let slot = *st
+                            .slot_of
+                            .get(&(out, dst))
+                            .expect("co-located consumer interned at arrival");
+                        debug_assert_eq!(st.slots[slot as usize].state, SlotState::Absent);
+                        st.slots[slot as usize].state = SlotState::InFlight;
+                        self.inflight[req] += 1;
+                        made_present.push((req, slot));
+                    } else {
+                        sends.push((out, dst, r.dag.data(out).bytes));
+                    }
+                }
+            }
+        }
+        self.obs.publish(n_publish);
+        for (d, dst, bytes) in sends {
+            // Egress billed to the producing device by its own core; the
+            // consumer's core never logs this transfer.
+            if self.sink.is_none() {
+                self.egress_log.push((Some(dev), bytes));
+            } else {
+                self.trace.bytes_moved += bytes;
+                self.trace.transfers += 1;
+                self.cost.record_egress(&self.env.fleet, dev, bytes);
+            }
+            self.part_send(now, gid, d, my_node, dst, bytes);
+        }
+    }
+
+    /// Begin a partitioned transfer: segment the route at region
+    /// boundaries and schedule the first stage after the first segment's
+    /// propagation latency. The initiating core owns the source region,
+    /// so the first segment always runs locally.
+    fn part_send(
+        &mut self,
+        now: SimTime,
+        gid: usize,
+        item: DataId,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) {
+        debug_assert_ne!(src, dst, "local presence is handled by the caller");
+        let path = route(
+            self.env,
+            &mut self.rcache,
+            src,
+            dst,
+            xfer_salt(gid, item),
+            &self.dead_links,
+            self.n_dead,
+        )
+        .expect("partition mode runs without link faults");
+        let part = self.part.as_ref().expect("partition mode");
+        let segs: Arc<[RouteSeg]> = part
+            .partition
+            .segment_route(&self.env.topology, &path)
+            .into();
+        debug_assert!(
+            part.owned[segs[0].region as usize],
+            "sender owns the source region"
+        );
+        let msg = TransferMsg {
+            gid,
+            item,
+            dst,
+            bytes,
+            segs,
+            next: 0,
+        };
+        let at = now + msg.segs[0].latency;
+        let key = seg_key(&msg);
+        self.queue
+            .schedule_keyed_at(at, key, Ev::PartSeg(Box::new(msg)));
+    }
+
+    /// Advance a transfer past its just-finished stage: pay the handoff
+    /// gap (the boundary link's propagation latency), then either run the
+    /// next stage locally or stage it in the outbox for the core owning
+    /// the target region.
+    fn part_forward(&mut self, now: SimTime, mut msg: TransferMsg) {
+        let part = self.part.as_ref().expect("partition mode");
+        let gap = msg.segs[msg.next as usize].gap;
+        msg.next += 1;
+        let (at, target) = if (msg.next as usize) < msg.segs.len() {
+            let seg = &msg.segs[msg.next as usize];
+            (now + gap + seg.latency, seg.region)
+        } else {
+            (now + gap, part.partition.region_of(msg.dst) as u32)
+        };
+        if part.owned[target as usize] {
+            let (key, ev) = if (msg.next as usize) < msg.segs.len() {
+                (seg_key(&msg), Ev::PartSeg(Box::new(msg)))
+            } else {
+                (deliver_key(&msg), Ev::PartDeliver(Box::new(msg)))
+            };
+            self.queue.schedule_keyed_at(at, key, ev);
+        } else {
+            self.part
+                .as_mut()
+                .expect("partition mode")
+                .outbox
+                .push((at, target, msg));
+        }
+    }
+
+    /// Inject one transfer stage handed over from another core (its due
+    /// time is past the sender's window horizon, so it sorts safely into
+    /// this core's calendar).
+    pub(crate) fn receive_part(&mut self, at: SimTime, msg: TransferMsg) {
+        let (key, ev) = if (msg.next as usize) < msg.segs.len() {
+            (seg_key(&msg), Ev::PartSeg(Box::new(msg)))
+        } else {
+            (deliver_key(&msg), Ev::PartDeliver(Box::new(msg)))
+        };
+        self.queue.schedule_keyed_at(at, key, ev);
+    }
+
+    /// Drain transfer stages bound for regions other cores own.
+    pub(crate) fn take_outbox(&mut self) -> Vec<(SimTime, u32, TransferMsg)> {
+        std::mem::take(&mut self.part.as_mut().expect("partition mode").outbox)
+    }
+
+    /// Drain `(gid, local finish)` of requests retired since the last
+    /// call (partition + streaming mode only).
+    pub(crate) fn take_finished(&mut self) -> Vec<(usize, SimTime)> {
+        std::mem::take(&mut self.part.as_mut().expect("partition mode").finished_log)
     }
 
     /// First-fit scan of one device's ready queue: start every queued
@@ -1247,14 +1749,17 @@ impl<'a> ExecCore<'a> {
                     .record_occupancy(&self.env.fleet, dev_id, need, dur);
                 let epoch = self.attempt_no[req][t.0 as usize];
                 self.pending_fin[req] += 1;
-                self.queue.schedule_at(
-                    now + dur,
-                    Ev::TaskFinished {
-                        req,
-                        task: t,
-                        epoch,
-                    },
-                );
+                let fin = Ev::TaskFinished {
+                    req,
+                    task: t,
+                    epoch,
+                };
+                if self.part.is_some() {
+                    let key = part_key(K_FIN, self.gids[req] as u64, u64::from(t.0), 0);
+                    self.queue.schedule_keyed_at(now + dur, key, fin);
+                } else {
+                    self.queue.schedule_at(now + dur, fin);
+                }
             } else {
                 i += 1;
             }
@@ -1429,6 +1934,36 @@ impl<'a> ExecCore<'a> {
         self.compact_at = 4096;
     }
 
+    /// Switch the core to partitioned ("pinned-task") execution *before*
+    /// pumping any event: tasks run exactly where they were placed, each
+    /// owned region gets its own flow domain, and transfer stages bound
+    /// for regions other cores own leave through [`Self::take_outbox`].
+    /// Incompatible with the infrastructure fault plane — re-placement
+    /// would migrate tasks across region (hence shard) boundaries.
+    pub(crate) fn enable_partition(&mut self, partition: &'a RegionPartition, owned: Vec<bool>) {
+        assert!(
+            self.plane.is_none(),
+            "partitioned execution does not support the infrastructure fault plane"
+        );
+        assert_eq!(owned.len(), partition.len());
+        let nets: Vec<Option<FlowNetwork>> = owned
+            .iter()
+            .map(|&o| o.then(|| FlowNetwork::new(&self.env.topology)))
+            .collect();
+        let nr = partition.len();
+        let local_of_gid = self.gids.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        self.part = Some(PartCtx {
+            partition,
+            owned,
+            nets,
+            pend: vec![None; nr],
+            cont: vec![HashMap::new(); nr],
+            outbox: Vec::new(),
+            local_of_gid,
+            finished_log: Vec::new(),
+        });
+    }
+
     /// Requests injected/registered and not yet retired.
     pub(crate) fn live_requests(&self) -> usize {
         self.live
@@ -1465,6 +2000,7 @@ impl<'a> ExecCore<'a> {
             slot_of: HashMap::new(),
             slots: Vec::new(),
             item_slots: vec![Vec::new(); plan.n_items],
+            fanout: Vec::new(),
         };
         let assign = r.placement.assignment.clone();
         let entry = ReqEntry::Owned(Box::new(r));
@@ -1505,6 +2041,9 @@ impl<'a> ExecCore<'a> {
         self.live += 1;
         self.peak_live = self.peak_live.max(self.live);
         self.live_gids.insert(gid);
+        if let Some(part) = self.part.as_mut() {
+            part.local_of_gid.insert(gid, slot);
+        }
         self.queue.schedule_at(arrival, Ev::Arrival(slot));
     }
 
@@ -1552,6 +2091,7 @@ impl<'a> ExecCore<'a> {
         st.slot_of = HashMap::new();
         st.slots = Vec::new();
         st.item_slots = Vec::new();
+        st.fanout = Vec::new();
         self.plans[req] = ReqPlan {
             in_off: Vec::new(),
             inputs: Vec::new(),
@@ -1560,11 +2100,23 @@ impl<'a> ExecCore<'a> {
         self.assign[req] = Vec::new();
         self.attempt_no[req] = Vec::new();
         self.finished[req] = Vec::new();
+        if let Some(part) = self.part.as_mut() {
+            part.local_of_gid.remove(&self.gids[req]);
+            if self.sink.is_some() {
+                part.finished_log
+                    .push((self.gids[req], self.trace.request_finish[req]));
+            }
+        }
         if let Some(sink) = self.sink.as_mut() {
             let gid = self.gids[req];
             let arrival = self.trace.request_arrival[req];
             let finish = self.trace.request_finish[req];
-            sink.latency.observe(finish.since(arrival).0);
+            // Partition mode defers the latency observation to the shard
+            // driver: the true finish is the max across participating
+            // cores, which no single core can see.
+            if self.part.is_none() {
+                sink.latency.observe(finish.since(arrival).0);
+            }
             sink.last_finish = sink.last_finish.max(finish);
             self.live_gids.remove(&gid);
             self.requests[req] = ReqEntry::Free;
@@ -1613,11 +2165,11 @@ impl<'a> ExecCore<'a> {
         }
         assert_eq!(self.live, 0, "open-loop run left live requests behind");
         debug_assert!(self.egress_log.is_empty());
+        self.assert_part_drained();
         self.compact_records();
         debug_assert!(self.trace.records.is_empty());
         let sink = self.sink.take().expect("finish_open requires streaming");
         let end_time = sink.last_finish;
-        let makespan = end_time.since(SimTime::ZERO);
         let snap = self
             .collect
             .then(|| harvest_core_metrics(&self.rcache, &self.queue, &self.network, &self.obs));
@@ -1636,10 +2188,23 @@ impl<'a> ExecCore<'a> {
             killed_attempts: self.trace.killed_attempts,
             device_crashes: self.trace.device_crashes,
             link_failures: self.trace.link_failures,
-            lost_work_s: self.lost_dev.iter().sum(),
-            energy_j: self.energy.used_devices_joules(&self.env.fleet, makespan),
-            cost_usd: self.cost.total_usd(),
+            lost_dev: self.lost_dev,
+            energy: self.energy,
+            cost: self.cost,
             snap,
+        }
+    }
+
+    /// Partition mode teardown check: no transfer may still be streaming,
+    /// staged for handoff, or awaiting a completion event.
+    fn assert_part_drained(&self) {
+        if let Some(part) = &self.part {
+            debug_assert!(part.outbox.is_empty(), "undelivered cross-core transfers");
+            debug_assert!(
+                part.cont.iter().all(|c| c.is_empty()),
+                "in-flight transfers at teardown"
+            );
+            debug_assert!(part.pend.iter().all(|p| p.is_none()));
         }
     }
 
@@ -1651,6 +2216,7 @@ impl<'a> ExecCore<'a> {
         for st in &self.states {
             assert_eq!(st.unfinished, 0, "deadlock: tasks never became ready");
         }
+        self.assert_part_drained();
         let mut bytes_moved = 0u64;
         for &(dev, bytes) in &self.egress_log {
             bytes_moved += bytes;
@@ -1737,10 +2303,13 @@ pub(crate) struct OpenCoreParts {
     pub(crate) killed_attempts: u64,
     pub(crate) device_crashes: u64,
     pub(crate) link_failures: u64,
-    /// Execution seconds destroyed by crashes.
-    pub(crate) lost_work_s: f64,
-    pub(crate) energy_j: f64,
-    pub(crate) cost_usd: f64,
+    /// Execution seconds destroyed by crashes, per device id.
+    pub(crate) lost_dev: Vec<f64>,
+    /// Mergeable meters: the run-level joules/dollars are computed by the
+    /// caller once the *global* makespan is known (a sharded run's end
+    /// time is the max across cores, which no single core can see).
+    pub(crate) energy: EnergyMeter,
+    pub(crate) cost: CostMeter,
     /// Component counters harvested at finish; `None` without an ambient
     /// sink.
     pub(crate) snap: Option<MetricsSnapshot>,
@@ -1788,7 +2357,11 @@ pub(crate) fn assemble(
         );
         trace.records.extend(p.records);
         for (gid, fin) in p.request_finish {
-            trace.request_finish[gid] = fin;
+            // Max-merge: under partitioned execution several cores run
+            // disjoint pieces of one request, and the request finishes
+            // when its *last* piece does. Confined cores report each gid
+            // exactly once, so the max is the plain assignment there.
+            trace.request_finish[gid] = trace.request_finish[gid].max(fin);
         }
         trace.bytes_moved += p.bytes_moved;
         trace.transfers += p.transfers;

@@ -1,8 +1,15 @@
 //! The event calendar: a cancellable priority queue over virtual time.
 //!
-//! Events are ordered by `(time, sequence)` — the sequence number breaks
-//! ties in insertion order, which makes simulations deterministic even when
-//! many events share a timestamp. Cancellation is O(1) and *lazy*: the
+//! Events are ordered by `(time, key, sequence)`. The `key` is an optional
+//! content-derived ordering class (zero for events scheduled with the plain
+//! API, so existing callers keep exact insertion-order tie-breaks); the
+//! sequence number breaks remaining ties in insertion order, which makes
+//! simulations deterministic even when many events share a timestamp.
+//! Keyed scheduling exists for the partitioned executor, where the *same*
+//! logical event set must pop in the same relative order no matter how the
+//! regions are grouped onto shards: a key computed from event content is
+//! grouping-invariant where an insertion sequence is not.
+//! Cancellation is O(1) and *lazy*: the
 //! cancelled entry stays in the heap as a tombstone and is skipped on pop.
 //!
 //! Unlike a plain lazy-cancel design (a side `HashSet` of cancelled ids
@@ -48,16 +55,19 @@ impl EventId {
 
 struct Entry<E> {
     at: SimTime,
-    /// Monotone insertion sequence: equal-time events pop in schedule order.
+    /// Content-derived ordering class; zero for plain scheduling.
+    key: u64,
+    /// Monotone insertion sequence: equal-(time, key) events pop in
+    /// schedule order.
     seq: u64,
     id: EventId,
     payload: E,
 }
 
-// Min-heap ordering on (time, seq) by inverting the comparison.
+// Min-heap ordering on (time, key, seq) by inverting the comparison.
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key && self.seq == other.seq
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -68,7 +78,7 @@ impl<E> PartialOrd for Entry<E> {
 }
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        (other.at, other.key, other.seq).cmp(&(self.at, self.key, self.seq))
     }
 }
 
@@ -228,6 +238,14 @@ impl<E> EventQueue<E> {
 
     /// Schedule `payload` at absolute time `at`.
     pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        self.schedule_keyed_at(at, 0, payload)
+    }
+
+    /// Schedule `payload` at absolute time `at` under an explicit ordering
+    /// `key`: equal-time events pop in ascending key order before insertion
+    /// order. Events scheduled with the plain API carry key zero and so
+    /// sort ahead of every keyed event at the same timestamp.
+    pub fn schedule_keyed_at(&mut self, at: SimTime, key: u64, payload: E) -> EventId {
         debug_assert!(
             at >= self.now,
             "scheduling into the past: {at} < {}",
@@ -254,6 +272,7 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.heap.push(Entry {
             at,
+            key,
             seq,
             id,
             payload,
@@ -404,6 +423,37 @@ mod tests {
         }
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn keyed_ties_break_by_key_then_insertion() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule_keyed_at(t, 9, "k9");
+        q.schedule_keyed_at(t, 3, "k3-first");
+        q.schedule_at(t, "plain"); // key 0: ahead of every keyed event
+        q.schedule_keyed_at(t, 3, "k3-second");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["plain", "k3-first", "k3-second", "k9"]);
+    }
+
+    #[test]
+    fn keyed_order_is_insertion_invariant() {
+        // The property the partitioned executor relies on: the pop order
+        // of a keyed event set does not depend on schedule order.
+        let mut fwd = EventQueue::new();
+        let mut rev = EventQueue::new();
+        let t = SimTime::from_secs(2);
+        let keys = [7u64, 1, 5, 3, 2];
+        for &k in &keys {
+            fwd.schedule_keyed_at(t, k, k);
+        }
+        for &k in keys.iter().rev() {
+            rev.schedule_keyed_at(t, k, k);
+        }
+        let a: Vec<_> = std::iter::from_fn(|| fwd.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| rev.pop()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

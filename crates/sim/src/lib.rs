@@ -33,6 +33,8 @@ pub use engine::{run_to_completion, run_until, Model, RunStats};
 pub use events::{EventId, EventQueue, QueueStats};
 pub use fault::{FaultEvent, FaultKind, FaultProcess, FaultSchedule, FaultScheduleSpec};
 pub use rng::Rng;
-pub use shard::{run_conservative, Envelope, ShardModel, WindowStats};
+pub use shard::{
+    run_conservative, ConservativeDriver, Envelope, Lookahead, ShardModel, WindowStats,
+};
 pub use stats::{jain_fairness, Histogram, OnlineStats, Percentiles, TimeWeighted};
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};

@@ -60,13 +60,199 @@ pub trait ShardModel: Send {
     ) -> Vec<Envelope<Self::Msg>>;
 }
 
-/// Counters from one [`run_conservative`] call.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Counters from a conservative run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WindowStats {
     /// Barrier windows executed.
     pub windows: u64,
     /// Cross-shard envelopes delivered.
     pub messages: u64,
+    /// Envelopes delivered *to* each shard, for load-imbalance telemetry.
+    pub per_shard_messages: Vec<u64>,
+}
+
+/// How far past the global minimum each shard may safely run.
+#[derive(Debug, Clone)]
+pub enum Lookahead {
+    /// Shards never exchange messages: each runs to its cap (or to
+    /// completion) in a single window. Emitting an envelope under this
+    /// policy panics — nothing could deliver it safely.
+    None,
+    /// One global minimum cross-shard latency: every shard's horizon is
+    /// `next + lookahead`.
+    Uniform(SimDuration),
+    /// Per-shard incoming latency (see
+    /// `RegionPartition::incoming_lookahead` in `continuum-net`): shard
+    /// `s` runs to `next + per_shard[s]`. Safe because an envelope
+    /// emitted at `t >= next` toward shard `s` crosses a boundary link
+    /// into `s` and is stamped at least that link's latency later, which
+    /// is at least `per_shard[s]`.
+    PerShard(Vec<SimDuration>),
+}
+
+impl Lookahead {
+    fn horizon(&self, shard: usize, next: SimTime, cap: Option<SimTime>) -> Option<SimTime> {
+        let h = match self {
+            Lookahead::None => None,
+            Lookahead::Uniform(l) => Some(next + *l),
+            Lookahead::PerShard(per) => Some(next + per[shard]),
+        };
+        match (h, cap) {
+            (Some(h), Some(c)) => Some(h.min(c)),
+            (h, None) => h,
+            (None, c) => c,
+        }
+    }
+
+    fn exchanges_messages(&self) -> bool {
+        !matches!(self, Lookahead::None)
+    }
+}
+
+/// A resumable conservative shard executor.
+///
+/// [`run_conservative`] wraps this for the run-to-completion case; the
+/// open-loop sharded driver in `continuum-runtime` instead alternates
+/// [`ConservativeDriver::advance_until`] with request injection, pumping
+/// windows only as far as the next arrival.
+pub struct ConservativeDriver<S: ShardModel> {
+    shards: Vec<S>,
+    pending: Vec<Envelope<S::Msg>>,
+    lookahead: Lookahead,
+    parallel: bool,
+    stats: WindowStats,
+}
+
+impl<S: ShardModel> ConservativeDriver<S> {
+    /// Wrap `shards` for windowed execution under `lookahead`.
+    pub fn new(shards: Vec<S>, lookahead: Lookahead, parallel: bool) -> Self {
+        let stats = WindowStats {
+            per_shard_messages: vec![0; shards.len()],
+            ..WindowStats::default()
+        };
+        ConservativeDriver {
+            shards,
+            pending: Vec::new(),
+            lookahead,
+            parallel,
+            stats,
+        }
+    }
+
+    /// The shards, for injection and inspection between windows.
+    pub fn shards_mut(&mut self) -> &mut [S] {
+        &mut self.shards
+    }
+
+    /// Earliest pending event or undelivered envelope across the whole
+    /// simulation; `None` when fully drained.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        for s in &mut self.shards {
+            next = min_opt(next, s.next_event_time());
+        }
+        for e in &self.pending {
+            next = min_opt(next, Some(e.at));
+        }
+        next
+    }
+
+    /// Process one barrier window, bounded by `cap` (exclusive) when
+    /// given. Returns `false` — without advancing anything — once no
+    /// event remains before the cap.
+    pub fn step_window(&mut self, cap: Option<SimTime>) -> bool {
+        let Some(next) = self.next_time() else {
+            return false;
+        };
+        if cap.is_some_and(|c| next >= c) {
+            return false;
+        }
+        // Deliver every envelope inside its receiver's window, sorted by
+        // (at, from, seq) so receivers see a deterministic order. (The
+        // partitioned executor additionally orders by content-derived
+        // event keys on its own calendar, making even this order
+        // immaterial to outcomes; the sort keeps plain ShardModels
+        // deterministic on their own.)
+        let mut inboxes: Vec<Vec<Envelope<S::Msg>>> = Vec::new();
+        inboxes.resize_with(self.shards.len(), Vec::new);
+        let mut keep: Vec<Envelope<S::Msg>> = Vec::new();
+        let mut deliver: Vec<Envelope<S::Msg>> = Vec::new();
+        for e in std::mem::take(&mut self.pending) {
+            let h = self.lookahead.horizon(e.to as usize, next, cap);
+            if h.is_none_or(|h| e.at < h) {
+                deliver.push(e);
+            } else {
+                keep.push(e);
+            }
+        }
+        self.pending = keep;
+        deliver.sort_by_key(|e| (e.at, e.from, e.seq));
+        self.stats.messages += deliver.len() as u64;
+        for e in deliver {
+            let to = e.to as usize;
+            assert!(to < inboxes.len(), "envelope addressed to unknown shard");
+            self.stats.per_shard_messages[to] += 1;
+            inboxes[to].push(e);
+        }
+        // Advance every shard to its horizon. Ownership round-trips
+        // through the iterator so the parallel and serial paths share one
+        // shape; results come back in input order either way.
+        let lookahead = &self.lookahead;
+        #[allow(clippy::type_complexity)]
+        let work: Vec<(usize, S, Vec<Envelope<S::Msg>>)> = self
+            .shards
+            .drain(..)
+            .zip(inboxes)
+            .enumerate()
+            .map(|(i, (s, inbox))| (i, s, inbox))
+            .collect();
+        let advanced: Vec<(S, Vec<Envelope<S::Msg>>)> = if self.parallel {
+            work.into_par_iter()
+                .map(|(i, mut s, inbox)| {
+                    let out = s.advance(lookahead.horizon(i, next, cap), inbox);
+                    (s, out)
+                })
+                .collect()
+        } else {
+            work.into_iter()
+                .map(|(i, mut s, inbox)| {
+                    let out = s.advance(lookahead.horizon(i, next, cap), inbox);
+                    (s, out)
+                })
+                .collect()
+        };
+        for (s, out) in advanced {
+            assert!(
+                self.lookahead.exchanges_messages() || out.is_empty(),
+                "shards that exchange messages need a lookahead"
+            );
+            self.pending.extend(out);
+            self.shards.push(s);
+        }
+        self.stats.windows += 1;
+        true
+    }
+
+    /// Pump windows until every event strictly before `cap` is processed.
+    pub fn advance_until(&mut self, cap: SimTime) {
+        while self.step_window(Some(cap)) {}
+    }
+
+    /// Pump windows until the whole simulation drains.
+    pub fn run(&mut self) {
+        while self.step_window(None) {}
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &WindowStats {
+        &self.stats
+    }
+
+    /// Tear down into the shards and final counters.
+    pub fn into_parts(self) -> (Vec<S>, WindowStats) {
+        assert!(self.pending.is_empty(), "undelivered envelopes at teardown");
+        (self.shards, self.stats)
+    }
 }
 
 /// Advance `shards` to completion under conservative synchronization and
@@ -86,72 +272,13 @@ pub fn run_conservative<S: ShardModel>(
     lookahead: Option<SimDuration>,
     parallel: bool,
 ) -> (Vec<S>, WindowStats) {
-    let mut shards = shards;
-    let mut pending: Vec<Envelope<S::Msg>> = Vec::new();
-    let mut stats = WindowStats::default();
-    loop {
-        // Global minimum over shard calendars and undelivered messages.
-        let mut next: Option<SimTime> = None;
-        for s in &mut shards {
-            next = min_opt(next, s.next_event_time());
-        }
-        for e in &pending {
-            next = min_opt(next, Some(e.at));
-        }
-        let Some(next) = next else {
-            return (shards, stats); // drained
-        };
-        let horizon = lookahead.map(|l| next + l);
-        // Deliver every message that falls inside this window, sorted by
-        // (at, from, seq) so receivers see a deterministic order.
-        let mut inboxes: Vec<Vec<Envelope<S::Msg>>> = Vec::new();
-        inboxes.resize_with(shards.len(), Vec::new);
-        let mut keep: Vec<Envelope<S::Msg>> = Vec::new();
-        let mut deliver: Vec<Envelope<S::Msg>> = Vec::new();
-        for e in pending {
-            if horizon.is_none_or(|h| e.at < h) {
-                deliver.push(e);
-            } else {
-                keep.push(e);
-            }
-        }
-        pending = keep;
-        deliver.sort_by_key(|e| (e.at, e.from, e.seq));
-        stats.messages += deliver.len() as u64;
-        for e in deliver {
-            let to = e.to as usize;
-            assert!(to < inboxes.len(), "envelope addressed to unknown shard");
-            inboxes[to].push(e);
-        }
-        // Advance every shard to the horizon. Ownership round-trips
-        // through the iterator so the parallel and serial paths share one
-        // shape; results come back in input order either way.
-        let work: Vec<(S, Vec<Envelope<S::Msg>>)> = shards.drain(..).zip(inboxes).collect();
-        let advanced: Vec<(S, Vec<Envelope<S::Msg>>)> = if parallel {
-            work.into_par_iter()
-                .map(|(mut s, inbox)| {
-                    let out = s.advance(horizon, inbox);
-                    (s, out)
-                })
-                .collect()
-        } else {
-            work.into_iter()
-                .map(|(mut s, inbox)| {
-                    let out = s.advance(horizon, inbox);
-                    (s, out)
-                })
-                .collect()
-        };
-        for (s, out) in advanced {
-            assert!(
-                lookahead.is_some() || out.is_empty(),
-                "shards that exchange messages need a lookahead"
-            );
-            pending.extend(out);
-            shards.push(s);
-        }
-        stats.windows += 1;
-    }
+    let la = match lookahead {
+        Some(l) => Lookahead::Uniform(l),
+        None => Lookahead::None,
+    };
+    let mut driver = ConservativeDriver::new(shards, la, parallel);
+    driver.run();
+    driver.into_parts()
 }
 
 fn min_opt(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {

@@ -149,7 +149,7 @@ proptest! {
         let partition =
             RegionPartition::new(world.topology(), continuum_regions(&spec), 0);
         let single = simulate_stream_chaos(world.env(), &requests, None, None);
-        let opts = ShardOpts { max_shards, windowed, parallel: false };
+        let opts = ShardOpts { max_shards, windowed, ..ShardOpts::default() };
         let sharded = simulate_stream_sharded(
             world.env(), &requests, None, None, &partition, &opts,
         );

@@ -167,7 +167,7 @@ proptest! {
             RegionPartition::new(world.topology(), continuum_regions(&spec), 0);
         let single =
             simulate_stream_chaos(world.env(), &requests, None, Some(&plane));
-        let opts = ShardOpts { max_shards, windowed, parallel };
+        let opts = ShardOpts { max_shards, windowed, parallel, ..ShardOpts::default() };
         let sharded = simulate_stream_sharded(
             world.env(), &requests, None, Some(&plane), &partition, &opts,
         );
@@ -207,6 +207,62 @@ proptest! {
             &ShardOpts { max_shards, ..ShardOpts::default() },
         );
         prop_assert_eq!(&sharded, &single);
+    }
+
+    /// Pinned-mode identity: for random spanning-heavy workloads — the
+    /// regime where request confinement collapses to one shard — task
+    /// pinning with envelope-carried boundary transfers yields an
+    /// outcome bit-identical across 1, 2, 4, and 8 shards, serial or
+    /// parallel, with and without counter-based task retries.
+    #[test]
+    fn pinned_matches_one_shard_for_every_shard_count(
+        seed in any::<u64>(),
+        fail_prob in 0.0f64..0.3,
+        n_requests in 3usize..8,
+    ) {
+        let (world, spec) = world();
+        let regions = continuum_regions(&spec);
+        let mut rng = Rng::new(seed ^ 0x9e37_79b9);
+        let mut requests = Vec::new();
+        // Every request straddles two fogs plus the backbone.
+        for _ in 0..n_requests {
+            let a = 1 + (rng.next_u64() as usize) % (regions.len() - 1);
+            let mut b = 1 + (rng.next_u64() as usize) % (regions.len() - 1);
+            if b == a {
+                b = 1 + a % (regions.len() - 1);
+            }
+            let source = *regions[a].last().expect("fog region has a sensor");
+            let tasks = 6 + (rng.next_u64() % 8) as usize;
+            requests.push(confined_request(
+                &world,
+                &regions,
+                &[a, b, 0],
+                source,
+                rng.next_u64(),
+                tasks,
+                SimTime::from_millis(rng.next_u64() % 300),
+            ));
+        }
+        let fs = FaultSpec {
+            fail_prob,
+            max_attempts: 20,
+            retry_delay: SimDuration::from_millis(100),
+            seed: seed ^ 0xbeef,
+        };
+        let faults = (fail_prob > 0.0).then_some(&fs);
+        let partition = RegionPartition::new(world.topology(), regions.clone(), 0);
+        let reference = simulate_stream_sharded(
+            world.env(), &requests, faults, None, &partition, &ShardOpts::pinned(1),
+        );
+        for n in [2usize, 4, 8] {
+            for parallel in [false, true] {
+                let opts = ShardOpts { parallel, ..ShardOpts::pinned(n) };
+                let got = simulate_stream_sharded(
+                    world.env(), &requests, faults, None, &partition, &opts,
+                );
+                prop_assert_eq!(&got, &reference, "n={} parallel={}", n, parallel);
+            }
+        }
     }
 
     /// Under full chaos — device *and* link churn with short detection,
