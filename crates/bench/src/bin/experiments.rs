@@ -23,7 +23,7 @@ use std::rc::Rc;
 use std::time::Instant;
 
 /// Every cell, in canonical emission order.
-const ALL: [&str; 21] = [
+const ALL: [&str; 22] = [
     "t1",
     "t4",
     "t5",
@@ -44,6 +44,7 @@ const ALL: [&str; 21] = [
     "f13",
     "f14",
     "f15",
+    "f16",
     "ablations",
 ];
 
@@ -176,6 +177,10 @@ fn run_one(name: &str) -> (Vec<Table>, serde_json::Value) {
         "f15" => {
             let (t, rows) = exp::f15::run();
             (vec![t], json!({"id": "f15", "rows": rows}))
+        }
+        "f16" => {
+            let (t, rows) = exp::f16::run();
+            (vec![t], json!({"id": "f16", "rows": rows}))
         }
         "ablations" => {
             let (ts, rows) = exp::ablations::run();

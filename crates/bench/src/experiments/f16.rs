@@ -1,0 +1,311 @@
+//! F16 — federated fabric: batched dispatch, placement quality, and
+//! site-failure takeover.
+//!
+//! The federation promotes the single fabric broker to per-site brokers
+//! with batched dispatch (`continuum_fabric::run_federation`). This
+//! experiment sweeps site count × batch size on one world and load,
+//! reporting simulated service quality (throughput, latency percentiles)
+//! alongside wall-clock dispatch cost and its speedup over the
+//! per-invocation single broker — after asserting the 1-site batch-1 arm
+//! bit-identical to `run_fabric_admission`. A final pair of rows crashes
+//! one site mid-run to show broker-peer takeover: work is adopted by a
+//! surviving site, nothing is lost, and the p99 pays the outage.
+
+use crate::report::{f, Table};
+use continuum_core::prelude::*;
+use continuum_fabric::{
+    endpoints_on, run_fabric_admission, run_federation, sites_from_partition, Admission, Backoff,
+    FederationCfg, FunctionRegistry, Invocation, RoutingPolicy, SiteFaultEvent, SiteFaults,
+};
+use continuum_net::{continuum_regions, RegionPartition};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured arm.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Arm label.
+    pub arm: String,
+    /// Federation sites (0 = the single-broker baseline).
+    pub sites: usize,
+    /// Dispatch batch size (0 = the single-broker baseline).
+    pub batch: usize,
+    /// A mid-run site outage was injected.
+    pub site_fault: bool,
+    /// Completed invocations.
+    pub completed: u64,
+    /// Dropped invocations (site-fault rows only; 0 elsewhere).
+    pub dropped: u64,
+    /// Admission-rejected invocations.
+    pub rejected: u64,
+    /// Sustained completions/second of simulated time.
+    pub throughput_hz: f64,
+    /// Median latency, seconds.
+    pub p50_s: f64,
+    /// 99th-percentile latency, seconds.
+    pub p99_s: f64,
+    /// Wall-clock cost of the run, milliseconds (best of 3).
+    pub wall_ms: f64,
+    /// Wall-clock speedup vs the per-invocation single broker.
+    pub speedup: f64,
+    /// Mean drain occupancy (1.0 when batch == 1).
+    pub mean_batch: f64,
+    /// Site outages adopted by a surviving peer.
+    pub takeovers: u64,
+}
+
+/// Invocations per run (`CONTINUUM_SMOKE=1` shrinks the run for CI).
+pub fn invocations() -> usize {
+    if std::env::var("CONTINUUM_SMOKE").is_ok() {
+        1_500
+    } else {
+        8_000
+    }
+}
+
+/// Offered load, invocations/second.
+pub const RATE_HZ: f64 = 800.0;
+
+fn best_of<T>(n: usize, mut f: impl FnMut() -> T) -> f64 {
+    (0..n)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Run the sweep.
+pub fn run() -> (Table, Vec<Row>) {
+    let world = Continuum::build(&Scenario::default_continuum());
+    let spec = Scenario::default_continuum().spec;
+    let partition = RegionPartition::new(&world.env().topology, continuum_regions(&spec), 0);
+    let mut registry = FunctionRegistry::new();
+    let infer = registry.register("infer", 2e9, 10 << 10, 1 << 10);
+    let mut devices = world.env().fleet.in_tier(Tier::Fog);
+    devices.extend(world.env().fleet.in_tier(Tier::Cloud));
+    let endpoints = endpoints_on(world.env(), &devices);
+    let n = invocations();
+    let mut rng = Rng::new(0xF16);
+    let mut t = 0.0;
+    let invs: Vec<Invocation> = (0..n)
+        .map(|i| {
+            t += rng.exp(RATE_HZ);
+            Invocation {
+                arrival: SimTime::from_secs_f64(t),
+                origin: world.sensors()[i % world.sensors().len()],
+                function: infer,
+            }
+        })
+        .collect();
+    let policy = RoutingPolicy::RoundRobin;
+    let admission = Some(Admission {
+        max_outstanding: 1_024,
+    });
+    let span = invs.last().expect("n > 0").arrival;
+
+    // The oracle and the identity gate: the 1-site batch-1 federation
+    // must reproduce the single broker bit-for-bit before any arm runs.
+    let oracle = run_fabric_admission(
+        world.env(),
+        &registry,
+        &endpoints,
+        &invs,
+        policy,
+        None,
+        None,
+        None,
+        admission,
+    );
+    let one_site = sites_from_partition(world.env(), &partition, &endpoints, 1);
+    let mut id_cfg = FederationCfg::new(policy);
+    id_cfg.admission = admission;
+    let identity = run_federation(
+        world.env(),
+        &registry,
+        &endpoints,
+        &one_site,
+        &invs,
+        &id_cfg,
+    );
+    assert_eq!(
+        identity.fabric, oracle,
+        "1-site batch-1 federation diverged from run_fabric_admission"
+    );
+    let baseline_ms = best_of(3, || {
+        run_fabric_admission(
+            world.env(),
+            &registry,
+            &endpoints,
+            &invs,
+            policy,
+            None,
+            None,
+            None,
+            admission,
+        )
+    });
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "F16 — federated fabric: batch × sites dispatch, takeover under site failure",
+        &[
+            "arm",
+            "sites",
+            "batch",
+            "thpt (/s)",
+            "p50 (s)",
+            "p99 (s)",
+            "wall (ms)",
+            "speedup",
+            "takeovers",
+        ],
+    );
+    let (o50, _, o99) = oracle.latency_percentiles();
+    table.row(vec![
+        "single-broker".into(),
+        "-".into(),
+        "-".into(),
+        f(oracle.throughput_hz),
+        f(o50),
+        f(o99),
+        f(baseline_ms),
+        f(1.0),
+        "0".into(),
+    ]);
+    rows.push(Row {
+        arm: "single-broker".into(),
+        sites: 0,
+        batch: 0,
+        site_fault: false,
+        completed: oracle.completed,
+        dropped: oracle.dropped,
+        rejected: oracle.rejected,
+        throughput_hz: oracle.throughput_hz,
+        p50_s: o50,
+        p99_s: o99,
+        wall_ms: baseline_ms,
+        speedup: 1.0,
+        mean_batch: 0.0,
+        takeovers: 0,
+    });
+
+    for (sites_n, batch, fault) in [
+        (1usize, 1usize, false),
+        (1, 32, false),
+        (4, 1, false),
+        (4, 32, false),
+        (2, 32, true),
+        (4, 32, true),
+    ] {
+        let sites = sites_from_partition(world.env(), &partition, &endpoints, sites_n);
+        let mut cfg = FederationCfg::new(policy);
+        cfg.batch = batch;
+        cfg.drain_every = SimDuration::from_millis(5);
+        cfg.admission = admission;
+        if fault {
+            cfg.site_faults = Some(SiteFaults {
+                events: vec![
+                    SiteFaultEvent {
+                        at: SimTime::from_secs_f64(span.as_secs_f64() * 0.4),
+                        site: 0,
+                        crash: true,
+                    },
+                    SiteFaultEvent {
+                        at: SimTime::from_secs_f64(span.as_secs_f64() * 0.4 + 10.0),
+                        site: 0,
+                        crash: false,
+                    },
+                ],
+                heartbeat: SimDuration::from_millis(500),
+                backoff: Backoff::default(),
+                seed: 0xF16F,
+            });
+        }
+        let rep = run_federation(world.env(), &registry, &endpoints, &sites, &invs, &cfg);
+        let wall = best_of(3, || {
+            run_federation(world.env(), &registry, &endpoints, &sites, &invs, &cfg)
+        });
+        let fab = &rep.fabric;
+        assert_eq!(
+            fab.completed + fab.dropped + fab.rejected,
+            n as u64,
+            "conservation"
+        );
+        let (p50, _, p99) = fab.latency_percentiles();
+        let arm = format!(
+            "fed {}x b{}{}",
+            sites.len(),
+            batch,
+            if fault { " +crash" } else { "" }
+        );
+        table.row(vec![
+            arm.clone(),
+            sites.len().to_string(),
+            batch.to_string(),
+            f(fab.throughput_hz),
+            f(p50),
+            f(p99),
+            f(wall),
+            f(baseline_ms / wall),
+            rep.takeovers.to_string(),
+        ]);
+        rows.push(Row {
+            arm,
+            sites: sites.len(),
+            batch,
+            site_fault: fault,
+            completed: fab.completed,
+            dropped: fab.dropped,
+            rejected: fab.rejected,
+            throughput_hz: fab.throughput_hz,
+            p50_s: p50,
+            p99_s: p99,
+            wall_ms: wall,
+            speedup: baseline_ms / wall,
+            mean_batch: if rep.drains > 0 {
+                rep.batched as f64 / rep.drains as f64
+            } else {
+                0.0
+            },
+            takeovers: rep.takeovers,
+        });
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn federation_matches_oracle_and_takes_over_on_site_crash() {
+        // run() itself asserts the bit-identity gate and per-arm
+        // conservation; here we pin the service-level expectations.
+        let (_, rows) = super::run();
+        let by_arm = |a: &str| rows.iter().find(|r| r.arm == a).expect("arm");
+        let base = by_arm("single-broker");
+        let id = by_arm("fed 1x b1");
+        // Identical simulated outcomes (the bit-identity the run asserts
+        // shows up as equal aggregates).
+        assert_eq!(id.completed, base.completed);
+        assert_eq!(id.p50_s, base.p50_s);
+        assert_eq!(id.p99_s, base.p99_s);
+        // Batching defers dispatch: the batched arm's median latency is
+        // at least the per-invocation arm's.
+        assert!(by_arm("fed 1x b32").p50_s >= id.p50_s - 1e-12);
+        for r in rows.iter().filter(|r| r.site_fault) {
+            assert_eq!(r.takeovers, 1, "{}: site crash must be adopted", r.arm);
+            assert_eq!(
+                r.completed + r.dropped + r.rejected,
+                base.completed + base.dropped + base.rejected,
+                "{}: conservation",
+                r.arm
+            );
+            assert!(
+                r.p99_s >= id.p99_s,
+                "{}: outage cannot shrink the tail",
+                r.arm
+            );
+        }
+    }
+}

@@ -8,6 +8,7 @@ pub mod f12;
 pub mod f13;
 pub mod f14;
 pub mod f15;
+pub mod f16;
 pub mod f2;
 pub mod f3;
 pub mod f4;

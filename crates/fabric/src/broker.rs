@@ -162,7 +162,10 @@ pub struct Admission {
 }
 
 /// Aggregate result of a fabric run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is derived so federation arms can be asserted bit-identical
+/// to the single-broker oracle (floats compared exactly, on purpose).
+#[derive(Debug, Clone, PartialEq)]
 pub struct FabricReport {
     /// Completed invocations.
     pub completed: u64,
@@ -198,13 +201,38 @@ pub struct FabricReport {
 }
 
 impl FabricReport {
-    /// (p50, p95, p99) latency, seconds.
+    /// (p50, p95, p99) latency, seconds — exact sample quantiles.
     pub fn latency_percentiles(&self) -> (f64, f64, f64) {
         let mut p = Percentiles::new();
         for &l in &self.latencies_s {
             p.push(l);
         }
         p.p50_p95_p99().unwrap_or((0.0, 0.0, 0.0))
+    }
+
+    /// Latency distribution as the shared log₂ telemetry histogram.
+    ///
+    /// This is the *same construction* the broker's telemetry export uses
+    /// for `fabric.latency` (one `observe_secs` per completion, in
+    /// completion order), so report-side quantiles and exported metrics
+    /// share one bucketing/conversion path and cannot drift. Exact sample
+    /// quantiles stay on [`FabricReport::latency_percentiles`]; the
+    /// histogram trades the documented ~2× bucket error for mergeability
+    /// and O(1) memory.
+    pub fn latency_histogram(&self) -> continuum_obs::Histogram {
+        let mut h = continuum_obs::Histogram::default();
+        for &l in &self.latencies_s {
+            h.observe_secs(l);
+        }
+        h
+    }
+
+    /// Estimated latency `q`-quantile in nanoseconds via the shared
+    /// histogram ([`continuum_obs::Histogram::quantile_ns`] semantics:
+    /// within ~2× of the exact sample quantile, clamped to observed
+    /// min/max).
+    pub fn latency_quantile_ns(&self, q: f64) -> u64 {
+        self.latency_histogram().quantile_ns(q)
     }
 }
 
@@ -266,24 +294,57 @@ enum Ev {
     Reroute(usize),
 }
 
-/// Per-endpoint broker state.
-struct EpState {
-    scale: ScaleState,
-    waiting: VecDeque<usize>,
-    outstanding: u32,
-    warm_until: SimTime,
+/// Per-endpoint broker state. Shared with the federation engine
+/// (`federation.rs`), whose 1-site arm must evolve this state exactly as
+/// the single-broker loop does.
+pub(crate) struct EpState {
+    pub(crate) scale: ScaleState,
+    pub(crate) waiting: VecDeque<usize>,
+    pub(crate) outstanding: u32,
+    pub(crate) warm_until: SimTime,
     /// Slot-availability estimates for the Locality policy.
-    lane_est: Vec<SimTime>,
-    up: bool,
+    pub(crate) lane_est: Vec<SimTime>,
+    pub(crate) up: bool,
     /// Down *and* past its detection heartbeat: excluded from routing.
-    known_down: bool,
+    pub(crate) known_down: bool,
     /// Crash generation, to match detect events to the right outage.
-    gen: u32,
+    pub(crate) gen: u32,
     /// Invocations currently executing here.
-    running: Vec<usize>,
+    pub(crate) running: Vec<usize>,
     /// Invocations killed by a crash, awaiting detection or recovery.
-    orphans: Vec<usize>,
-    completions: u64,
+    pub(crate) orphans: Vec<usize>,
+    pub(crate) completions: u64,
+}
+
+/// Initial per-endpoint state — one shared constructor so the federation
+/// engine starts from bit-identical state.
+pub(crate) fn ep_states(endpoints: &[Endpoint], autoscale: Option<Autoscale>) -> Vec<EpState> {
+    endpoints
+        .iter()
+        .map(|e| EpState {
+            scale: ScaleState {
+                active: match autoscale {
+                    Some(a) => a.min_slots.min(e.slots).max(1),
+                    None => e.slots,
+                },
+                busy: 0,
+                slot_seconds: 0.0,
+                last_change: SimTime::ZERO,
+            },
+            waiting: VecDeque::new(),
+            outstanding: 0,
+            // SimTime::ZERO means "cold since the beginning": the first
+            // touch of every endpoint pays the cold-start tax.
+            warm_until: SimTime::ZERO,
+            lane_est: vec![SimTime::ZERO; e.slots as usize],
+            up: true,
+            known_down: false,
+            gen: 0,
+            running: Vec::new(),
+            orphans: Vec::new(),
+            completions: 0,
+        })
+        .collect()
 }
 
 /// Per-invocation broker state.
@@ -396,32 +457,7 @@ pub fn run_fabric_admission(
     assert!(!endpoints.is_empty(), "no endpoints");
     let n_ep = endpoints.len();
     let mut queue: EventQueue<Ev> = EventQueue::new();
-    let mut eps: Vec<EpState> = endpoints
-        .iter()
-        .map(|e| EpState {
-            scale: ScaleState {
-                active: match autoscale {
-                    Some(a) => a.min_slots.min(e.slots).max(1),
-                    None => e.slots,
-                },
-                busy: 0,
-                slot_seconds: 0.0,
-                last_change: SimTime::ZERO,
-            },
-            waiting: VecDeque::new(),
-            outstanding: 0,
-            // SimTime::ZERO means "cold since the beginning": the first
-            // touch of every endpoint pays the cold-start tax.
-            warm_until: SimTime::ZERO,
-            lane_est: vec![SimTime::ZERO; e.slots as usize],
-            up: true,
-            known_down: false,
-            gen: 0,
-            running: Vec::new(),
-            orphans: Vec::new(),
-            completions: 0,
-        })
-        .collect();
+    let mut eps: Vec<EpState> = ep_states(endpoints, autoscale);
     let mut invs: Vec<InvState> = invocations
         .iter()
         .map(|_| InvState {
@@ -768,30 +804,7 @@ pub fn run_fabric_admission(
         })
         .sum();
     let per_endpoint: Vec<u64> = eps.iter().map(|e| e.completions).collect();
-    if let Some(t) = tele.as_deref() {
-        let m = &t.metrics;
-        m.inc("fabric.invocations", invocations.len() as u64);
-        m.inc("fabric.completed", completed);
-        m.record("fabric.reroutes", reroutes);
-        m.record("fabric.retries", retries);
-        m.record("fabric.dropped", dropped);
-        m.record("fabric.rejected", rejected);
-        m.record("fabric.failovers", failovers);
-        m.record("fabric.detections", detections);
-        m.record("fabric.recoveries", recoveries);
-        m.record("fabric.orphans_restarted", orphans_restarted);
-        m.set_gauge("fabric.lost_work_s", lost_work_s);
-        if span > 0.0 {
-            m.set_gauge("fabric.throughput_hz", completed as f64 / span);
-        }
-        for (ep, &c) in per_endpoint.iter().enumerate() {
-            m.inc_labeled("fabric.endpoint_completions", ep as u32, c);
-        }
-        for &l in &latencies {
-            m.observe_ns("fabric.latency", SimDuration::from_secs_f64(l).0);
-        }
-    }
-    FabricReport {
+    let report = FabricReport {
         completed,
         throughput_hz: if span > 0.0 {
             completed as f64 / span
@@ -808,7 +821,34 @@ pub fn run_fabric_admission(
         dropped,
         rejected,
         lost_work_s,
+    };
+    if let Some(t) = tele.as_deref() {
+        let m = &t.metrics;
+        m.inc("fabric.invocations", invocations.len() as u64);
+        m.inc("fabric.completed", completed);
+        m.record("fabric.reroutes", reroutes);
+        m.record("fabric.retries", retries);
+        m.record("fabric.dropped", dropped);
+        m.record("fabric.rejected", rejected);
+        m.record("fabric.failovers", failovers);
+        m.record("fabric.detections", detections);
+        m.record("fabric.recoveries", recoveries);
+        m.record("fabric.orphans_restarted", orphans_restarted);
+        m.set_gauge("fabric.lost_work_s", lost_work_s);
+        if span > 0.0 {
+            m.set_gauge("fabric.throughput_hz", completed as f64 / span);
+        }
+        for (ep, &c) in report.per_endpoint.iter().enumerate() {
+            m.inc_labeled("fabric.endpoint_completions", ep as u32, c);
+        }
+        // Exported latency distribution IS the report's shared histogram
+        // (see `FabricReport::latency_histogram`): one construction path
+        // for report quantiles and telemetry.
+        let mut snap = continuum_obs::MetricsSnapshot::new();
+        snap.merge_histogram("fabric.latency", &report.latency_histogram());
+        m.absorb(&snap);
     }
+    report
 }
 
 /// Pick an endpoint among `candidates` under `policy`; `None` iff the
@@ -871,25 +911,25 @@ fn choose_endpoint(
 
 /// Per-endpoint elastic slot accounting.
 #[derive(Debug, Clone, Copy)]
-struct ScaleState {
-    active: u32,
-    busy: u32,
-    slot_seconds: f64,
-    last_change: SimTime,
+pub(crate) struct ScaleState {
+    pub(crate) active: u32,
+    pub(crate) busy: u32,
+    pub(crate) slot_seconds: f64,
+    pub(crate) last_change: SimTime,
 }
 
 impl ScaleState {
-    fn settle(&mut self, now: SimTime) {
+    pub(crate) fn settle(&mut self, now: SimTime) {
         self.slot_seconds += self.active as f64 * now.since(self.last_change).as_secs_f64();
         self.last_change = now;
     }
 
-    fn grow(&mut self, now: SimTime) {
+    pub(crate) fn grow(&mut self, now: SimTime) {
         self.settle(now);
         self.active += 1;
     }
 
-    fn shrink_to(&mut self, target: u32, now: SimTime) {
+    pub(crate) fn shrink_to(&mut self, target: u32, now: SimTime) {
         if target < self.active {
             self.settle(now);
             self.active = target;
@@ -1040,6 +1080,80 @@ mod tests {
         let (p50, _, p99) = rep.latency_percentiles();
         // With more work than slots, late invocations wait: p99 >> p50.
         assert!(p99 > p50 * 1.5, "no queueing visible: p50={p50} p99={p99}");
+    }
+
+    #[test]
+    fn endpoints_on_empty_device_list_is_empty() {
+        let (env, _, _, _) = setup();
+        assert!(endpoints_on(&env, &[]).is_empty());
+    }
+
+    #[test]
+    fn endpoints_on_preserves_order_and_slots() {
+        let (env, _, _, _) = setup();
+        let mut devices = env.fleet.in_tier(Tier::Cloud);
+        devices.extend(env.fleet.in_tier(Tier::Fog));
+        // Scramble the input order: ids must still be consecutive and the
+        // device order must be preserved exactly (site pools are built
+        // from these indices).
+        devices.reverse();
+        let eps = endpoints_on(&env, &devices);
+        assert_eq!(eps.len(), devices.len());
+        for (i, ep) in eps.iter().enumerate() {
+            assert_eq!(ep.id, EndpointId(i as u32));
+            assert_eq!(ep.device, devices[i]);
+            assert_eq!(ep.slots, env.fleet.device(devices[i]).spec.cores);
+            assert!(ep.slots > 0);
+        }
+        // Deterministic: same input, same output.
+        let again = endpoints_on(&env, &devices);
+        for (a, b) in eps.iter().zip(again.iter()) {
+            assert_eq!((a.id, a.device, a.slots), (b.id, b.device, b.slots));
+        }
+    }
+
+    #[test]
+    fn endpoints_on_tier_without_devices_is_empty() {
+        let (env, _, _, _) = setup();
+        // Sensor nodes carry no fleet devices in the standard fleet.
+        let sensors = env.fleet.in_tier(Tier::Sensor);
+        let eps = endpoints_on(&env, &sensors);
+        assert_eq!(eps.len(), sensors.len());
+        // If the tier is populated this still checks slot wiring; if not,
+        // the empty list must come back empty rather than panic.
+        for ep in &eps {
+            assert!(ep.slots > 0);
+        }
+    }
+
+    #[test]
+    fn latency_histogram_matches_exact_percentiles_within_bucket_error() {
+        let (env, reg, eps, invs) = setup();
+        let rep = run_fabric(&env, &reg, &eps, &invs, RoutingPolicy::Locality);
+        let (p50, p95, p99) = rep.latency_percentiles();
+        for (q, exact) in [(0.50, p50), (0.95, p95), (0.99, p99)] {
+            let est_s = rep.latency_quantile_ns(q) as f64 / 1e9;
+            // The log₂ histogram documents ~2× relative error; allow a
+            // little slack for interpolation at bucket edges.
+            assert!(
+                est_s <= exact * 2.5 + 1e-9 && est_s >= exact / 2.5 - 1e-9,
+                "q={q}: histogram {est_s} vs exact {exact}"
+            );
+        }
+        assert_eq!(rep.latency_histogram().count, rep.completed);
+    }
+
+    #[test]
+    fn telemetry_export_equals_report_histogram() {
+        let (env, reg, eps, invs) = setup();
+        let tele = std::rc::Rc::new(continuum_obs::Telemetry::new(false));
+        let rep = continuum_obs::with_ambient(&tele, || {
+            run_fabric(&env, &reg, &eps, &invs, RoutingPolicy::RoundRobin)
+        });
+        let snap = tele.metrics.snapshot();
+        let exported = snap.histogram("fabric.latency").expect("exported");
+        // Bit-for-bit the same histogram: one shared construction path.
+        assert_eq!(*exported, rep.latency_histogram());
     }
 }
 

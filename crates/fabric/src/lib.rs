@@ -12,6 +12,8 @@
 #![warn(missing_docs)]
 
 pub mod broker;
+pub mod federation;
+pub mod forwarder;
 pub mod registry;
 
 pub use broker::{
@@ -19,4 +21,9 @@ pub use broker::{
     run_fabric_faulty, Admission, Autoscale, Backoff, ColdStart, Endpoint, EndpointFaults,
     EndpointId, FabricReport, Invocation, RoutingPolicy,
 };
+pub use federation::{
+    run_federation, single_site, sites_from_partition, FederationCfg, FederationReport, Site,
+    SiteFaultEvent, SiteFaults, SiteId, SiteStats, WarmPool,
+};
+pub use forwarder::Forwarder;
 pub use registry::{FunctionId, FunctionRegistry, FunctionSpec};

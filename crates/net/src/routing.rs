@@ -499,6 +499,17 @@ impl RouteCache {
         RouteCache::default()
     }
 
+    /// An empty cache pre-sized for `entries` routes (clamped to the
+    /// cache's own entry cap). Long-lived owners that know their working
+    /// set — the fabric forwarder resolves one route per (origin,
+    /// endpoint-node) pair — avoid rehash churn during warm-up.
+    pub fn with_capacity(entries: usize) -> RouteCache {
+        RouteCache {
+            map: std::collections::HashMap::with_capacity(entries.min(ROUTE_CACHE_CAP)),
+            ..RouteCache::default()
+        }
+    }
+
     /// Current network epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -819,6 +830,20 @@ mod tests {
         );
         assert_eq!(a.as_ref().map(|p| &p.links), b.as_ref().map(|p| &p.links));
         assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn route_cache_with_capacity_behaves_like_new() {
+        let t = triangle();
+        let rt = RouteTable::build(&t);
+        let mut cache = RouteCache::with_capacity(1 << 20); // clamped to cap
+        let a = cache.route_with(NodeId(0), NodeId(2), 0, || {
+            rt.path(&t, NodeId(0), NodeId(2))
+        });
+        let b = cache.route_with(NodeId(0), NodeId(2), 0, || panic!("must hit cache"));
+        assert_eq!(a.as_ref().map(|p| &p.links), b.as_ref().map(|p| &p.links));
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.epoch(), 0);
     }
 
     #[test]

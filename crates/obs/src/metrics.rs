@@ -66,6 +66,19 @@ impl Histogram {
         self.buckets[Self::bucket_of(ns)] += 1;
     }
 
+    /// Record one duration given in fractional seconds.
+    ///
+    /// Rounds **up** to the next whole nanosecond — the same convention as
+    /// the sim-time `SimDuration::from_secs_f64` constructor — so that
+    /// every producer of second-valued latencies lands in the same bucket
+    /// a sim-time producer would. This is the single seconds-to-ns
+    /// conversion point for the workspace; report-side quantiles and
+    /// telemetry exports share it and therefore cannot drift.
+    pub fn observe_secs(&mut self, s: f64) {
+        debug_assert!(s >= 0.0 && s.is_finite(), "invalid duration: {s}");
+        self.observe((s * 1e9).ceil() as u64);
+    }
+
     /// Bucket index for a duration: 0 for zero, else `64 - clz(ns)`.
     fn bucket_of(ns: u64) -> usize {
         (u64::BITS - ns.leading_zeros()) as usize
@@ -405,6 +418,22 @@ mod tests {
             vec![(1, 1), (2, 1), (4, 2), (2048, 1), (u64::MAX, 1)]
         );
         assert!(h.mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn observe_secs_rounds_up_to_whole_nanoseconds() {
+        let mut by_secs = Histogram::default();
+        let mut by_ns = Histogram::default();
+        for s in [0.0, 1e-9, 1.5e-9, 0.25, 3.0] {
+            by_secs.observe_secs(s);
+            by_ns.observe((s * 1e9).ceil() as u64);
+        }
+        assert_eq!(by_secs, by_ns);
+        assert_eq!(by_secs.count, 5);
+        // 1.5 ns rounds up, never down.
+        let mut h = Histogram::default();
+        h.observe_secs(1.5e-9);
+        assert_eq!(h.min_ns, 2);
     }
 
     #[test]

@@ -140,6 +140,59 @@ pub struct FaultPlane {
     pub detection: SimDuration,
 }
 
+impl FaultPlane {
+    /// Project this device-level chaos schedule onto *region outages*: the
+    /// timed transitions `(at, region, down)` where a partition region's
+    /// last live device dies (`down == true`) or its first device comes
+    /// back (`down == false`).
+    ///
+    /// This is the bridge from the executor's chaos plane to the fabric's
+    /// federation: feed the result to
+    /// `continuum_fabric::SiteFaults::from_region_transitions` to crash
+    /// and recover whole federation sites in sympathy with a device-level
+    /// fault schedule. Regions with no devices never transition; link
+    /// and endpoint events are ignored (they don't kill brokers).
+    pub fn site_transitions(
+        &self,
+        env: &Env,
+        partition: &RegionPartition,
+    ) -> Vec<(SimTime, u32, bool)> {
+        let n_regions = partition.regions().len();
+        let mut alive = vec![0usize; n_regions];
+        let mut region_of_dev = Vec::with_capacity(env.fleet.len());
+        for dev in env.fleet.devices() {
+            let r = partition.region_of(dev.node);
+            alive[r] += 1;
+            region_of_dev.push(r);
+        }
+        let mut up = vec![true; env.fleet.len()];
+        let mut out = Vec::new();
+        for ev in self.schedule.events() {
+            let d = ev.target as usize;
+            match ev.kind {
+                FaultKind::DeviceCrash if d < up.len() && up[d] => {
+                    up[d] = false;
+                    let r = region_of_dev[d];
+                    alive[r] -= 1;
+                    if alive[r] == 0 {
+                        out.push((ev.at, r as u32, true));
+                    }
+                }
+                FaultKind::DeviceRecover if d < up.len() && !up[d] => {
+                    up[d] = true;
+                    let r = region_of_dev[d];
+                    alive[r] += 1;
+                    if alive[r] == 1 {
+                        out.push((ev.at, r as u32, false));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
 #[derive(Debug)]
 enum Ev {
     Arrival(usize),
@@ -3135,5 +3188,70 @@ mod fault_tests {
             seed: 1,
         };
         simulate_stream_with_faults(&env, &reqs, Some(&faults));
+    }
+
+    /// Edge + cloud nodes, one device each, joined by one link.
+    fn two_region_world() -> (Env, NodeId, NodeId) {
+        let mut topo = Topology::new();
+        let e = topo.add_node("edge", Tier::Edge);
+        let c = topo.add_node("cloud", Tier::Cloud);
+        topo.add_link(e, c, SimDuration::from_millis(10), 1e9);
+        let mut fleet = Fleet::new();
+        fleet.add_class(e, DeviceClass::EdgeGateway);
+        fleet.add_class(c, DeviceClass::CloudVm);
+        (Env::new(topo, fleet), e, c)
+    }
+
+    #[test]
+    fn site_transitions_tracks_region_last_device() {
+        // Two single-device regions: any crash is a region outage.
+        let (env, e, c) = two_region_world();
+        let partition = RegionPartition::new(&env.topology, vec![vec![e], vec![c]], 0);
+        let mut schedule = FaultSchedule::new();
+        // Edge device (0) dies at 1s, back at 3s; duplicate crash at 2s is
+        // idempotent; cloud device (1) never fully empties its region.
+        schedule.push(SimTime::from_secs_f64(1.0), FaultKind::DeviceCrash, 0);
+        schedule.push(SimTime::from_secs_f64(2.0), FaultKind::DeviceCrash, 0);
+        schedule.push(SimTime::from_secs_f64(3.0), FaultKind::DeviceRecover, 0);
+        // Link events must be ignored.
+        schedule.push(SimTime::from_secs_f64(1.5), FaultKind::LinkFail, 0);
+        let plane = FaultPlane {
+            schedule,
+            detection: SimDuration::from_millis(250),
+        };
+        let got = plane.site_transitions(&env, &partition);
+        assert_eq!(
+            got,
+            vec![
+                (SimTime::from_secs_f64(1.0), 0, true),
+                (SimTime::from_secs_f64(3.0), 0, false),
+            ]
+        );
+    }
+
+    #[test]
+    fn site_transitions_fires_only_when_region_empties() {
+        // One region holding both devices: a single crash is not an
+        // outage; the region goes down only when the second device dies,
+        // and comes back on the first recovery.
+        let (env, e, c) = two_region_world();
+        let partition = RegionPartition::new(&env.topology, vec![vec![e, c]], 0);
+        let mut schedule = FaultSchedule::new();
+        schedule.push(SimTime::from_secs_f64(1.0), FaultKind::DeviceCrash, 0);
+        schedule.push(SimTime::from_secs_f64(2.0), FaultKind::DeviceCrash, 1);
+        schedule.push(SimTime::from_secs_f64(4.0), FaultKind::DeviceRecover, 1);
+        schedule.push(SimTime::from_secs_f64(5.0), FaultKind::DeviceRecover, 0);
+        let plane = FaultPlane {
+            schedule,
+            detection: SimDuration::from_millis(250),
+        };
+        let got = plane.site_transitions(&env, &partition);
+        assert_eq!(
+            got,
+            vec![
+                (SimTime::from_secs_f64(2.0), 0, true),
+                (SimTime::from_secs_f64(4.0), 0, false),
+            ]
+        );
     }
 }
