@@ -36,8 +36,8 @@ use continuum_fabric::{
     RoutingPolicy,
 };
 use continuum_model::standard_fleet;
-use continuum_obs::Telemetry;
-use continuum_runtime::{simulate_stream_chaos, SimOutcome};
+use continuum_obs::{HealthSpec, Telemetry};
+use continuum_runtime::{simulate_open_loop, simulate_stream_chaos, OpenLoopOpts, SimOutcome};
 use serde_json::json;
 use std::rc::Rc;
 use std::time::Instant;
@@ -255,6 +255,44 @@ fn main() {
     let plane = churn_plane(&env, steady_out.metrics.makespan_s);
     let (_, churn) = bench_arm(&env, &reqs, Some(&plane), reps);
 
+    // Health-plane overhead arm: the same workload through the open-loop
+    // executor with the SLO burn-rate health plane off vs on. Observation
+    // must not perturb the simulation — once the health summary itself is
+    // set aside, the two reports agree on every number — and the wall
+    // cost of observing stays within noise of the untracked run.
+    eprintln!("runtime: open-loop health on/off arm ...");
+    let hspec = HealthSpec::default();
+    let off_opts = OpenLoopOpts::default();
+    let on_opts = OpenLoopOpts {
+        health: Some(&hspec),
+        ..OpenLoopOpts::default()
+    };
+    let off_rep = simulate_open_loop(&env, reqs.iter().cloned(), &off_opts);
+    let mut on_rep = simulate_open_loop(&env, reqs.iter().cloned(), &on_opts);
+    assert!(off_rep.health.is_none() && on_rep.health.is_some());
+    let health_summary = on_rep.health.take().expect("health report");
+    assert_eq!(
+        off_rep, on_rep,
+        "the health plane perturbed the open-loop run"
+    );
+    let health_off_ms = best_of(reps, || {
+        simulate_open_loop(&env, reqs.iter().cloned(), &off_opts)
+    });
+    let health_on_ms = best_of(reps, || {
+        simulate_open_loop(&env, reqs.iter().cloned(), &on_opts)
+    });
+    let health = json!({
+        "completed": on_rep.completed,
+        "observed": health_summary.observed,
+        "violations": health_summary.violations,
+        "burn_short_peak": health_summary.burn_short_peak,
+        "frames": health_summary.frames.len(),
+        "health_off_ms": health_off_ms,
+        "health_on_ms": health_on_ms,
+        "overhead": health_on_ms / health_off_ms,
+        "bit_identical": true,
+    });
+
     // Instrumented section: a telemetry-on chaos replay plus a fabric
     // fault leg, strictly OUTSIDE the timed arms above — the benchmark
     // numbers never include telemetry overhead, and the trace/metrics
@@ -284,6 +322,7 @@ fn main() {
         "devices": env.fleet.len(),
         "steady": steady,
         "chaos_churn": churn,
+        "open_loop_health": health,
         "telemetry": telemetry,
         "notes": [
             "Both arms assert SimOutcome bit-identity (every trace record and f64 \
@@ -298,6 +337,9 @@ fn main() {
              per (src, dst) pair per fault epoch.",
             "telemetry is always populated: it is the metrics snapshot of an \
              untimed instrumented replay of the chaos arm plus a fabric fault leg.",
+            "open_loop_health times the open-loop executor with the SLO burn-rate \
+             health plane off vs on; the two runs are asserted equal on every \
+             simulated number before timing, so `overhead` is pure observation cost.",
         ],
     });
     let rendered = serde_json::to_string_pretty(&out).expect("render json");

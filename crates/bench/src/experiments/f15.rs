@@ -22,7 +22,11 @@
 
 use crate::report::{f, Table};
 use continuum_core::prelude::*;
-use continuum_runtime::{simulate_open_loop, OpenLoopOpts};
+use continuum_net::{continuum_regions, RegionPartition};
+use continuum_obs::HealthSpec;
+use continuum_runtime::{
+    simulate_open_loop, simulate_open_loop_sharded, OpenLoopOpts, OpenLoopReport, ShardOpts,
+};
 use continuum_workflow::{open_loop_arrivals, ArrivalProcess, OpenLoopSpec};
 use serde::Serialize;
 
@@ -51,6 +55,14 @@ pub struct Row {
     pub p999_ms: f64,
     /// Peak simultaneously-live requests (the memory bound).
     pub peak_live: usize,
+    /// Peak short-window (5 m sim-time) SLO burn rate over the run.
+    pub burn_short_peak: f64,
+    /// Long-window (1 h sim-time) SLO burn rate at run end.
+    pub burn_long: f64,
+    /// Admitted completions that missed the 400 ms objective.
+    pub slo_violations: u64,
+    /// Anomalies the health plane recorded (saturation, slo-burn).
+    pub health_anomalies: u64,
 }
 
 /// Offered rates swept, requests/second. Under the admission cap the F4
@@ -78,9 +90,18 @@ pub fn requests() -> usize {
     }
 }
 
+/// Shards used by the pinned sharded arm.
+pub const SHARDS: usize = 2;
+
 /// Run the sweep.
 pub fn run() -> (Table, Vec<Row>) {
-    let world = Continuum::build(&crate::experiments::f4::scenario());
+    let scenario = crate::experiments::f4::scenario();
+    let world = Continuum::build(&scenario);
+    let partition =
+        RegionPartition::new(&world.env().topology, continuum_regions(&scenario.spec), 0);
+    // Health plane: burn rates are measured against the same 400 ms
+    // objective the deadline-aware policy plans for.
+    let hspec = HealthSpec::for_objective_ns(slo().0);
     let mut rows = Vec::new();
     let mut table = Table::new(
         "F15 — open-loop saturation: goodput / rejection / tail latency",
@@ -96,6 +117,8 @@ pub fn run() -> (Table, Vec<Row>) {
             "p99 (ms)",
             "p999 (ms)",
             "peak live",
+            "burn pk",
+            "anomalies",
         ],
     );
     for &rate in &rates() {
@@ -132,38 +155,75 @@ pub fn run() -> (Table, Vec<Row>) {
             });
             let opts = OpenLoopOpts {
                 max_live: MAX_LIVE,
+                health: Some(&hspec),
                 ..OpenLoopOpts::default()
             };
             let rep = simulate_open_loop(world.env(), arrivals, &opts);
-            table.row(vec![
-                f(rate),
-                name.clone(),
-                format!("{}", rep.offered),
-                format!("{}", rep.completed),
-                format!("{}", rep.rejected),
-                f(rep.rejection_rate()),
-                f(rep.goodput_hz()),
-                f(rep.latency_quantile_s(0.50) * 1e3),
-                f(rep.latency_quantile_s(0.99) * 1e3),
-                f(rep.latency_quantile_s(0.999) * 1e3),
-                format!("{}", rep.peak_live),
-            ]);
-            rows.push(Row {
-                rate_hz: rate,
-                policy: name,
-                offered: rep.offered,
-                completed: rep.completed,
-                rejected: rep.rejected,
-                reject_rate: rep.rejection_rate(),
-                goodput_hz: rep.goodput_hz(),
-                p50_ms: rep.latency_quantile_s(0.50) * 1e3,
-                p99_ms: rep.latency_quantile_s(0.99) * 1e3,
-                p999_ms: rep.latency_quantile_s(0.999) * 1e3,
-                peak_live: rep.peak_live,
-            });
+            push_row(&mut table, &mut rows, rate, name, &rep);
         }
+        // Sharded arm: the same greedy-placed load through the pinned
+        // two-shard open-loop executor, so the row set carries the
+        // `shard.util.*` story alongside the policy curves.
+        let mut placer = OnlinePlacer::continuum(world.env());
+        let arrivals = open_loop_arrivals(0xF15, &spec).map(|(arrival, dag)| {
+            let placement = placer.place_request(world.env(), &dag, arrival).0;
+            StreamRequest {
+                dag,
+                placement,
+                arrival,
+            }
+        });
+        let opts = OpenLoopOpts {
+            max_live: MAX_LIVE,
+            health: Some(&hspec),
+            ..OpenLoopOpts::default()
+        };
+        let rep = simulate_open_loop_sharded(
+            world.env(),
+            arrivals,
+            &partition,
+            &opts,
+            &ShardOpts::pinned(SHARDS),
+        );
+        push_row(&mut table, &mut rows, rate, "sharded".to_string(), &rep);
     }
     (table, rows)
+}
+
+fn push_row(table: &mut Table, rows: &mut Vec<Row>, rate: f64, name: String, rep: &OpenLoopReport) {
+    let h = rep.health.as_ref();
+    table.row(vec![
+        f(rate),
+        name.clone(),
+        format!("{}", rep.offered),
+        format!("{}", rep.completed),
+        format!("{}", rep.rejected),
+        f(rep.rejection_rate()),
+        f(rep.goodput_hz()),
+        f(rep.latency_quantile_s(0.50) * 1e3),
+        f(rep.latency_quantile_s(0.99) * 1e3),
+        f(rep.latency_quantile_s(0.999) * 1e3),
+        format!("{}", rep.peak_live),
+        f(h.map_or(0.0, |h| h.burn_short_peak)),
+        format!("{}", h.map_or(0, |h| h.anomalies.len())),
+    ]);
+    rows.push(Row {
+        rate_hz: rate,
+        policy: name,
+        offered: rep.offered,
+        completed: rep.completed,
+        rejected: rep.rejected,
+        reject_rate: rep.rejection_rate(),
+        goodput_hz: rep.goodput_hz(),
+        p50_ms: rep.latency_quantile_s(0.50) * 1e3,
+        p99_ms: rep.latency_quantile_s(0.99) * 1e3,
+        p999_ms: rep.latency_quantile_s(0.999) * 1e3,
+        peak_live: rep.peak_live,
+        burn_short_peak: h.map_or(0.0, |h| h.burn_short_peak),
+        burn_long: h.map_or(0.0, |h| h.burn_long),
+        slo_violations: h.map_or(0, |h| h.violations),
+        health_anomalies: h.map_or(0, |h| h.anomalies.len() as u64),
+    });
 }
 
 #[cfg(test)]
@@ -212,6 +272,28 @@ mod tests {
                 "{policy} goodput collapsed: {} vs best {best}",
                 hi.goodput_hz
             );
+            // Past saturation the admission gate trips the health plane.
+            assert!(
+                hi.health_anomalies > 0,
+                "{policy} records a saturation anomaly past the knee"
+            );
+            assert!(
+                hi.slo_violations <= hi.completed,
+                "{policy} violations bound"
+            );
+        }
+        // The sharded arm runs once per rate, conserves requests, and
+        // carries the same health plane as the policy arms.
+        let sharded: Vec<_> = rows.iter().filter(|r| r.policy == "sharded").collect();
+        assert_eq!(
+            sharded.len(),
+            super::rates().len(),
+            "one sharded row per rate"
+        );
+        for r in &sharded {
+            assert_eq!(r.offered, r.completed + r.rejected, "sharded conservation");
+            assert!(r.peak_live <= super::MAX_LIVE, "sharded cap respected");
+            assert!(r.slo_violations <= r.completed, "sharded violations bound");
         }
     }
 }

@@ -16,8 +16,10 @@ use continuum_core::prelude::*;
 use continuum_fabric::{
     endpoints_on, run_fabric_admission, run_federation, sites_from_partition, Admission, Backoff,
     FederationCfg, FunctionRegistry, Invocation, RoutingPolicy, SiteFaultEvent, SiteFaults,
+    WarmPool,
 };
 use continuum_net::{continuum_regions, RegionPartition};
+use continuum_obs::HealthSpec;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -52,6 +54,15 @@ pub struct Row {
     pub mean_batch: f64,
     /// Site outages adopted by a surviving peer.
     pub takeovers: u64,
+    /// `warm_hits / (warm_hits + cold_boots)` across all sites
+    /// (0.0 when no container starts were paid).
+    pub warm_hit_rate: f64,
+    /// Peak short-window SLO burn rate over the run (health plane).
+    pub burn_short_peak: f64,
+    /// Long-window SLO burn rate at run end (health plane).
+    pub burn_long: f64,
+    /// Anomalies the health plane recorded (takeover, saturation).
+    pub health_anomalies: u64,
 }
 
 /// Invocations per run (`CONTINUUM_SMOKE=1` shrinks the run for CI).
@@ -147,6 +158,9 @@ pub fn run() -> (Table, Vec<Row>) {
         )
     });
 
+    // Every federation arm carries the health plane; burn rates are
+    // measured against a 400 ms end-to-end objective.
+    let hspec = HealthSpec::for_objective_ns(400_000_000);
     let mut rows = Vec::new();
     let mut table = Table::new(
         "F16 — federated fabric: batch × sites dispatch, takeover under site failure",
@@ -160,6 +174,8 @@ pub fn run() -> (Table, Vec<Row>) {
             "wall (ms)",
             "speedup",
             "takeovers",
+            "warm hit",
+            "burn pk",
         ],
     );
     let (o50, _, o99) = oracle.latency_percentiles();
@@ -173,6 +189,8 @@ pub fn run() -> (Table, Vec<Row>) {
         f(baseline_ms),
         f(1.0),
         "0".into(),
+        f(0.0),
+        f(0.0),
     ]);
     rows.push(Row {
         arm: "single-broker".into(),
@@ -189,21 +207,35 @@ pub fn run() -> (Table, Vec<Row>) {
         speedup: 1.0,
         mean_batch: 0.0,
         takeovers: 0,
+        warm_hit_rate: 0.0,
+        burn_short_peak: 0.0,
+        burn_long: 0.0,
+        health_anomalies: 0,
     });
 
-    for (sites_n, batch, fault) in [
-        (1usize, 1usize, false),
-        (1, 32, false),
-        (4, 1, false),
-        (4, 32, false),
-        (2, 32, true),
-        (4, 32, true),
+    for (sites_n, batch, fault, warm) in [
+        (1usize, 1usize, false, false),
+        (1, 32, false, false),
+        (4, 1, false, false),
+        (4, 32, false, false),
+        (4, 32, false, true),
+        (2, 32, true, false),
+        (4, 32, true, false),
     ] {
         let sites = sites_from_partition(world.env(), &partition, &endpoints, sites_n);
         let mut cfg = FederationCfg::new(policy);
         cfg.batch = batch;
         cfg.drain_every = SimDuration::from_millis(5);
         cfg.admission = admission;
+        cfg.health = Some(hspec);
+        if warm {
+            // One registered function against a capacity-1 pool: the
+            // first start per site boots cold, everything after hits.
+            cfg.warm_pool = Some(WarmPool {
+                capacity: 1,
+                cold_time: SimDuration::from_millis(200),
+            });
+        }
         if fault {
             cfg.site_faults = Some(SiteFaults {
                 events: vec![
@@ -235,11 +267,21 @@ pub fn run() -> (Table, Vec<Row>) {
         );
         let (p50, _, p99) = fab.latency_percentiles();
         let arm = format!(
-            "fed {}x b{}{}",
+            "fed {}x b{}{}{}",
             sites.len(),
             batch,
+            if warm { " +warm" } else { "" },
             if fault { " +crash" } else { "" }
         );
+        let warm_hits: u64 = rep.sites.iter().map(|s| s.warm_hits).sum();
+        let cold_boots: u64 = rep.sites.iter().map(|s| s.cold_boots).sum();
+        let starts = warm_hits + cold_boots;
+        let warm_hit_rate = if starts > 0 {
+            warm_hits as f64 / starts as f64
+        } else {
+            0.0
+        };
+        let health = rep.health.as_ref();
         table.row(vec![
             arm.clone(),
             sites.len().to_string(),
@@ -250,6 +292,8 @@ pub fn run() -> (Table, Vec<Row>) {
             f(wall),
             f(baseline_ms / wall),
             rep.takeovers.to_string(),
+            f(warm_hit_rate),
+            f(health.map_or(0.0, |h| h.burn_short_peak)),
         ]);
         rows.push(Row {
             arm,
@@ -270,6 +314,10 @@ pub fn run() -> (Table, Vec<Row>) {
                 0.0
             },
             takeovers: rep.takeovers,
+            warm_hit_rate,
+            burn_short_peak: health.map_or(0.0, |h| h.burn_short_peak),
+            burn_long: health.map_or(0.0, |h| h.burn_long),
+            health_anomalies: health.map_or(0, |h| h.anomalies.len() as u64),
         });
     }
     (table, rows)
@@ -293,7 +341,28 @@ mod tests {
         // Batching defers dispatch: the batched arm's median latency is
         // at least the per-invocation arm's.
         assert!(by_arm("fed 1x b32").p50_s >= id.p50_s - 1e-12);
+        // The warm-pool arm pays exactly one cold boot per site for the
+        // single registered function, so nearly every start is a hit.
+        let warm = rows
+            .iter()
+            .find(|r| r.arm.ends_with("+warm"))
+            .expect("warm arm");
+        assert!(
+            warm.warm_hit_rate > 0.9,
+            "warm hit rate {} with one function against a capacity-1 pool",
+            warm.warm_hit_rate
+        );
+        // Health plane is attached to every federation arm and records
+        // each takeover as an anomaly.
+        for r in rows.iter().filter(|r| r.sites > 0) {
+            assert!(r.burn_short_peak >= 0.0 && r.burn_long >= 0.0, "{}", r.arm);
+        }
         for r in rows.iter().filter(|r| r.site_fault) {
+            assert!(
+                r.health_anomalies >= r.takeovers,
+                "{}: takeover anomaly recorded",
+                r.arm
+            );
             assert_eq!(r.takeovers, 1, "{}: site crash must be adopted", r.arm);
             assert_eq!(
                 r.completed + r.dropped + r.rejected,

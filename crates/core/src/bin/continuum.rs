@@ -10,7 +10,7 @@
 //! ```
 
 use continuum_core::prelude::*;
-use continuum_obs::Telemetry;
+use continuum_obs::{HealthSpec, Telemetry};
 use continuum_placement::standard_lineup;
 use continuum_runtime::{simulate_open_loop, OpenLoopOpts};
 use continuum_workflow::{open_loop_arrivals, ArrivalProcess, OpenLoopSpec};
@@ -103,14 +103,19 @@ fn usage() -> ! {
          continuum compare [--scenario S] \
          [--workload W] [--input-mb N] [--seed N]\n  \
          continuum saturate [--scenario S] [--rate HZ] [--requests N] \
-         [--max-live N] [--seed N] [--deadline-ms N]\n  continuum list\n\n\
+         [--max-live N] [--seed N] [--deadline-ms N] [--health] \
+         [--flight-recorder FILE]\n  continuum list\n\n\
          scenarios: {SCENARIOS:?}\n workloads: {WORKLOADS:?}\n policies:  {POLICIES:?}\n\n\
          --metrics      print the run's telemetry snapshot as JSON\n\
          --trace FILE   write a Chrome/Perfetto trace_events file\n\
          saturate: drive the scenario open-loop at --rate (Poisson \
          arrivals) with at most --max-live requests in flight; excess \
          arrivals are rejected at the door. --deadline-ms switches the \
-         online placer to deadline-aware escalation."
+         online placer to deadline-aware escalation.\n\
+         --health               attach the SLO burn-rate health plane \
+         (objective = --deadline-ms, else 400 ms)\n\
+         --flight-recorder FILE write the health timeline (frames, \
+         anomalies, incident) as JSON; implies --health"
     );
     std::process::exit(2);
 }
@@ -128,6 +133,8 @@ struct Opts {
     requests: usize,
     max_live: usize,
     deadline_ms: Option<u64>,
+    health: bool,
+    flight_recorder: Option<String>,
 }
 
 fn parse(args: &[String]) -> Opts {
@@ -144,6 +151,8 @@ fn parse(args: &[String]) -> Opts {
         requests: 2000,
         max_live: 64,
         deadline_ms: None,
+        health: false,
+        flight_recorder: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -166,6 +175,8 @@ fn parse(args: &[String]) -> Opts {
             "--deadline-ms" => {
                 o.deadline_ms = Some(take(&mut i).parse().unwrap_or_else(|_| usage()));
             }
+            "--health" => o.health = true,
+            "--flight-recorder" => o.flight_recorder = Some(take(&mut i)),
             _ => usage(),
         }
         i += 1;
@@ -289,8 +300,12 @@ fn main() {
                     arrival,
                 }
             });
+            let health_spec = (o.health || o.flight_recorder.is_some()).then(|| {
+                HealthSpec::for_objective_ns(o.deadline_ms.map_or(400_000_000, |ms| ms * 1_000_000))
+            });
             let opts = OpenLoopOpts {
                 max_live: o.max_live,
+                health: health_spec.as_ref(),
                 ..OpenLoopOpts::default()
             };
             let rep = simulate_open_loop(world.env(), arrivals, &opts);
@@ -320,6 +335,29 @@ fn main() {
                 rep.peak_live,
                 rep.peak_record_buffer,
             );
+            if let Some(h) = &rep.health {
+                println!(
+                    "health: objective {:.0}ms   violations {}/{}   burn short {:.2} (peak {:.2})   long {:.2}   anomalies {}",
+                    h.objective_ns as f64 / 1e6,
+                    h.violations,
+                    h.observed,
+                    h.burn_short,
+                    h.burn_short_peak,
+                    h.burn_long,
+                    h.anomalies.len(),
+                );
+                if let Some(path) = &o.flight_recorder {
+                    use serde::Serialize as _;
+                    let text = serde_json::to_string_pretty(&h.to_value())
+                        .expect("health report serialize");
+                    std::fs::write(path, text).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                    eprintln!(
+                        "flight recorder: {path} ({} frames, {} anomalies)",
+                        h.frames.len(),
+                        h.anomalies.len()
+                    );
+                }
+            }
         }
         _ => usage(),
     }

@@ -64,6 +64,7 @@ use crate::broker::{
 use crate::forwarder::Forwarder;
 use crate::registry::{FunctionId, FunctionRegistry, FunctionSpec};
 use continuum_net::{NodeId, RegionPartition};
+use continuum_obs::{HealthPlane, HealthReport, HealthSpec};
 use continuum_placement::Env;
 use continuum_sim::{jain_fairness, EventQueue, FaultKind, Rng, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -254,6 +255,12 @@ pub struct FederationCfg {
     /// Admission control; the in-system count additionally includes
     /// buffered ingress, so batching cannot grow memory past the cap.
     pub admission: Option<Admission>,
+    /// Attach an SLO health plane: burn-rate windows over the
+    /// completion stream, per-site queue-depth and warm-pool gauges
+    /// sampled into a flight recorder, anomalies on takeover and
+    /// admission saturation. `None` (the default) leaves the run
+    /// bit-identical to one without health accounting.
+    pub health: Option<HealthSpec>,
 }
 
 impl FederationCfg {
@@ -270,6 +277,7 @@ impl FederationCfg {
             faults: None,
             site_faults: None,
             admission: None,
+            health: None,
         }
     }
 }
@@ -320,6 +328,10 @@ pub struct FederationReport {
     pub route_hits: u64,
     /// Forwarder route-cache misses.
     pub route_misses: u64,
+    /// SLO burn-rate summary and flight-recorder timeline; present iff
+    /// [`FederationCfg::health`] was set. Not part of the
+    /// oracle-comparable surface (identity checks compare `fabric`).
+    pub health: Option<HealthReport>,
 }
 
 /// Per-invocation federation state.
@@ -486,6 +498,21 @@ pub fn run_federation(
     let trace_on = tele
         .as_deref()
         .is_some_and(continuum_obs::Telemetry::trace_enabled);
+    let mut health = cfg.health.as_ref().map(HealthPlane::new);
+    let mut saturated = false;
+    // Per-site thread tracks: tid 1 is the forwarder/fabric control
+    // track, each site gets its own. Named up front (M metadata) so
+    // federated traces open with readable track names.
+    const SITE_TID_BASE: u32 = 200;
+    if trace_on {
+        if let Some(t) = tele.as_deref() {
+            t.tracer.thread_name(t.pid(), 1, "fabric");
+            for s in 0..n_sites {
+                t.tracer
+                    .thread_name(t.pid(), SITE_TID_BASE + s as u32, format!("site {s}"));
+            }
+        }
+    }
     let mut failovers = 0u64;
     let mut detections = 0u64;
     let mut recoveries = 0u64;
@@ -561,6 +588,24 @@ pub fn run_federation(
             lanes[k] = (now + tin).max(lanes[k]) + exec;
             let epoch = invs[i].epoch;
             queue.schedule_at(now + tin, FEv::InputReady { ep, inv: i, epoch });
+            if trace_on {
+                if let Some(t) = tele.as_deref() {
+                    // Arrow tail of the cross-site forwarder hop: picked
+                    // up by the matching FlowEnd at `InputReady`.
+                    let id = fed_flow_id(i, epoch);
+                    let s = ep_site[ep];
+                    t.tracer.flow_start(
+                        format!("inv {i} -> site {s}"),
+                        "xfer",
+                        now.0,
+                        t.pid(),
+                        1,
+                        id,
+                    );
+                    t.tracer
+                        .instant(format!("dispatch inv {i}"), "xfer", now.0, t.pid(), 1);
+                }
+            }
         }};
     }
 
@@ -710,6 +755,31 @@ pub fn run_federation(
         }};
     }
 
+    // Take a flight-recorder sample when one is due: per-site ingress
+    // depth, outstanding count, and warm-pool hit rate.
+    macro_rules! health_tick {
+        ($now:expr) => {{
+            if let Some(h) = health.as_mut() {
+                let now: SimTime = $now;
+                if h.due(now.0) {
+                    let mut gauges: Vec<(String, f64)> = Vec::with_capacity(3 * n_sites);
+                    for (s, site) in st.iter().enumerate() {
+                        gauges.push((format!("site{s}.ingress"), site.ingress.len() as f64));
+                        gauges.push((format!("site{s}.outstanding"), site_out[s] as f64));
+                        let starts = site.stats.warm_hits + site.stats.cold_boots;
+                        if starts > 0 {
+                            gauges.push((
+                                format!("site{s}.warm_hit_rate"),
+                                site.stats.warm_hits as f64 / starts as f64,
+                            ));
+                        }
+                    }
+                    h.sample(now.0, gauges);
+                }
+            }
+        }};
+    }
+
     let mut next_arr = 0usize;
     loop {
         let arrival_next: Option<SimTime> = order.get(next_arr).map(|&i| invocations[i].arrival);
@@ -723,13 +793,22 @@ pub fn run_federation(
             let i = order[next_arr];
             next_arr += 1;
             let now = invocations[i].arrival;
+            health_tick!(now);
             // Admission gate, then forward to a site.
             if let Some(a) = cfg.admission {
                 if in_system >= a.max_outstanding {
                     rejected += 1;
+                    if let Some(h) = health.as_mut() {
+                        // One anomaly per saturation episode.
+                        if !saturated {
+                            h.anomaly(now.0, "saturation");
+                        }
+                    }
+                    saturated = true;
                     continue;
                 }
             }
+            saturated = false;
             let spec = registry.get(invocations[i].function);
             match fwd.choose_site(
                 env,
@@ -753,6 +832,24 @@ pub fn run_federation(
             FEv::InputReady { ep, inv, epoch } => {
                 if epoch != invs[inv].epoch {
                     continue; // re-routed while the payload was in flight
+                }
+                if trace_on {
+                    if let Some(t) = tele.as_deref() {
+                        // Arrow head of the forwarder hop started at
+                        // `assign!` (same id, same name).
+                        let s = ep_site[ep];
+                        let tid = SITE_TID_BASE + s as u32;
+                        t.tracer.flow_end(
+                            format!("inv {inv} -> site {s}"),
+                            "xfer",
+                            now.0,
+                            t.pid(),
+                            tid,
+                            fed_flow_id(inv, epoch),
+                        );
+                        t.tracer
+                            .instant(format!("arrive inv {inv}"), "xfer", now.0, t.pid(), tid);
+                    }
                 }
                 if eps[ep].known_down {
                     // Payload landed on an endpoint already declared dead.
@@ -806,6 +903,10 @@ pub fn run_federation(
                 st[ep_site[ep]].stats.completions += 1;
                 invs[inv].done_at = Some(now);
                 latencies.push(now.since(invocations[inv].arrival).as_secs_f64());
+                if let Some(h) = health.as_mut() {
+                    h.observe(now.0, now.since(invocations[inv].arrival).0);
+                }
+                health_tick!(now);
             }
             FEv::EpCrash(ep) => {
                 if !eps[ep].up {
@@ -1027,6 +1128,9 @@ pub fn run_federation(
                     Some(a) if !displaced.is_empty() => {
                         takeovers += 1;
                         st[a].stats.adopted += displaced.len() as u64;
+                        if let Some(h) = health.as_mut() {
+                            h.anomaly(now.0, "takeover");
+                        }
                         if trace_on {
                             if let Some(t) = tele.as_deref() {
                                 t.tracer.instant(
@@ -1132,6 +1236,7 @@ pub fn run_federation(
         lost_work_s,
     };
     let cache = fwd.cache_stats();
+    let health_report = health.map(|h| h.finish(end_time.0));
     if let Some(t) = tele.as_deref() {
         let m = &t.metrics;
         m.inc("fabric.invocations", invocations.len() as u64);
@@ -1178,6 +1283,9 @@ pub fn run_federation(
             },
         );
         fwd.publish_metrics(m, "fabric.forwarder");
+        if let Some(hr) = &health_report {
+            hr.publish(m);
+        }
     }
     FederationReport {
         fabric,
@@ -1191,7 +1299,21 @@ pub fn run_federation(
         max_batch,
         route_hits: cache.hits,
         route_misses: cache.misses,
+        health: health_report,
     }
+}
+
+/// Deterministic flow-event id for one forwarder hop: a splitmix64-style
+/// mix of the invocation index and its dispatch epoch, so the arrow tail
+/// (at `assign!`) and head (at `InputReady`) compute the same id
+/// independently and re-dispatches get fresh arrows.
+fn fed_flow_id(inv: usize, epoch: u32) -> u64 {
+    let mut z = (inv as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(epoch));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Pick an endpoint among a site's `candidates` under `policy`; `None`
@@ -1502,6 +1624,61 @@ mod tests {
         let adopted: u64 = fed.sites.iter().map(|s| s.adopted).sum();
         assert!(adopted > 0, "takeover moved work");
         assert!(f.completed > 0);
+    }
+
+    #[test]
+    fn health_plane_records_takeover_and_leaves_fabric_untouched() {
+        let (env, partition, sensors) = world();
+        let (registry, endpoints, invocations) = workload(&env, &sensors, 400, 200.0, 13);
+        let sites = sites_from_partition(&env, &partition, &endpoints, 4);
+        let mid = invocations[invocations.len() / 2].arrival;
+        let mut cfg = FederationCfg::new(RoutingPolicy::LeastOutstanding);
+        cfg.warm_pool = Some(WarmPool {
+            capacity: 4,
+            cold_time: SimDuration::from_millis(200),
+        });
+        cfg.site_faults = Some(SiteFaults {
+            events: vec![
+                SiteFaultEvent {
+                    at: mid,
+                    site: 0,
+                    crash: true,
+                },
+                SiteFaultEvent {
+                    at: mid + SimDuration::from_secs(30),
+                    site: 0,
+                    crash: false,
+                },
+            ],
+            heartbeat: SimDuration::from_millis(500),
+            backoff: Backoff::default(),
+            seed: 0xBEEF,
+        });
+        let plain = run_federation(&env, &registry, &endpoints, &sites, &invocations, &cfg);
+        assert!(plain.health.is_none());
+        let mut hcfg = cfg.clone();
+        hcfg.health = Some(HealthSpec {
+            sample_every_ns: 50_000_000, // 50 ms: plenty of frames
+            ..HealthSpec::default()
+        });
+        let fed = run_federation(&env, &registry, &endpoints, &sites, &invocations, &hcfg);
+        // Observing the run must not change it.
+        assert_eq!(fed.fabric, plain.fabric);
+        assert_eq!(fed.takeovers, plain.takeovers);
+        let h = fed.health.as_ref().expect("health requested");
+        assert_eq!(h.observed, fed.fabric.completed);
+        assert!(h.anomalies.iter().any(|a| a.kind == "takeover"));
+        assert_eq!(h.incident.as_ref().unwrap().at_ns, mid.0 + 500_000_000);
+        assert!(!h.frames.is_empty(), "flight recorder sampled frames");
+        assert!(
+            h.frames
+                .iter()
+                .any(|f| f.gauges.iter().any(|(k, _)| k.ends_with(".warm_hit_rate"))),
+            "frames carry per-site warm-pool gauges"
+        );
+        // Deterministic: the same run yields the same timeline.
+        let again = run_federation(&env, &registry, &endpoints, &sites, &invocations, &hcfg);
+        assert_eq!(again.health, fed.health);
     }
 
     #[test]

@@ -33,9 +33,13 @@
 //! own worker thread; the buffers are plain data afterwards, so per-cell
 //! results merge deterministically.
 
+pub mod health;
 pub mod metrics;
 pub mod trace;
 
+pub use health::{
+    Anomaly, BurnWindow, FlightRecorder, Frame, HealthPlane, HealthReport, HealthSpec, Incident,
+};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use trace::{Phase, TraceEvent, Tracer};
 

@@ -52,6 +52,21 @@ pub enum Phase {
         /// Correlation id shared with the matching begin.
         id: u64,
     },
+    /// `s` — flow start (arrow tail, correlated by `id`).
+    FlowStart {
+        /// Correlation id shared by every event on the flow.
+        id: u64,
+    },
+    /// `t` — flow step (intermediate arrow waypoint).
+    FlowStep {
+        /// Correlation id shared by every event on the flow.
+        id: u64,
+    },
+    /// `f` — flow end (arrow head).
+    FlowEnd {
+        /// Correlation id shared by every event on the flow.
+        id: u64,
+    },
     /// `M` — metadata (process/thread naming); sorts before real events.
     Metadata,
 }
@@ -66,6 +81,9 @@ impl Phase {
             Phase::Counter { .. } => "C",
             Phase::AsyncBegin { .. } => "b",
             Phase::AsyncEnd { .. } => "e",
+            Phase::FlowStart { .. } => "s",
+            Phase::FlowStep { .. } => "t",
+            Phase::FlowEnd { .. } => "f",
             Phase::Metadata => "M",
         }
     }
@@ -111,6 +129,15 @@ impl TraceEvent {
             }
             Phase::AsyncBegin { id } | Phase::AsyncEnd { id } => {
                 fields.push(("id".to_string(), Value::Str(format!("{id:#x}"))));
+            }
+            Phase::FlowStart { id } | Phase::FlowStep { id } => {
+                fields.push(("id".to_string(), Value::Str(format!("{id:#x}"))));
+            }
+            Phase::FlowEnd { id } => {
+                fields.push(("id".to_string(), Value::Str(format!("{id:#x}"))));
+                // Bind the arrow head to the *enclosing* slice so the
+                // arrow lands on the receiving span, not the next one.
+                fields.push(("bp".to_string(), Value::Str("e".to_string())));
             }
             _ => {}
         }
@@ -300,6 +327,72 @@ impl Tracer {
         });
     }
 
+    /// Start a flow arrow correlated by `id` at `(pid, tid)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn flow_start(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        ts_ns: u64,
+        pid: u32,
+        tid: u32,
+        id: u64,
+    ) {
+        self.push(TraceEvent {
+            name: name.into(),
+            cat,
+            ph: Phase::FlowStart { id },
+            ts_ns,
+            pid,
+            tid,
+            args: Vec::new(),
+        });
+    }
+
+    /// An intermediate waypoint on flow `id` (multi-hop arrows).
+    #[allow(clippy::too_many_arguments)]
+    pub fn flow_step(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        ts_ns: u64,
+        pid: u32,
+        tid: u32,
+        id: u64,
+    ) {
+        self.push(TraceEvent {
+            name: name.into(),
+            cat,
+            ph: Phase::FlowStep { id },
+            ts_ns,
+            pid,
+            tid,
+            args: Vec::new(),
+        });
+    }
+
+    /// Terminate flow `id` at `(pid, tid)` — the arrow head.
+    #[allow(clippy::too_many_arguments)]
+    pub fn flow_end(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        ts_ns: u64,
+        pid: u32,
+        tid: u32,
+        id: u64,
+    ) {
+        self.push(TraceEvent {
+            name: name.into(),
+            cat,
+            ph: Phase::FlowEnd { id },
+            ts_ns,
+            pid,
+            tid,
+            args: Vec::new(),
+        });
+    }
+
     /// Name a process track.
     pub fn process_name(&self, pid: u32, name: impl Into<String>) {
         self.metadata("process_name", pid, 0, name.into());
@@ -413,6 +506,29 @@ mod tests {
         // The document parses back as valid JSON.
         let text = t.export_string();
         serde_json::parse(&text).expect("export must be valid JSON");
+    }
+
+    #[test]
+    fn flow_events_share_ids_and_bind_enclosing() {
+        let t = Tracer::new();
+        t.flow_start("hop", "xfer", 10, 1, 2, 0xCAFE);
+        t.flow_step("hop", "xfer", 15, 2, 2, 0xCAFE);
+        t.flow_end("hop", "xfer", 20, 3, 2, 0xCAFE);
+        let doc = t.export();
+        let events = match doc.get("traceEvents") {
+            Some(Value::Array(evs)) => evs.clone(),
+            other => panic!("expected traceEvents array, got {other:?}"),
+        };
+        let phs: Vec<_> = events
+            .iter()
+            .map(|e| e.get("ph").and_then(Value::as_str).unwrap().to_string())
+            .collect();
+        assert_eq!(phs, ["s", "t", "f"]);
+        for e in &events {
+            assert_eq!(e.get("id").and_then(Value::as_str), Some("0xcafe"));
+        }
+        assert_eq!(events[2].get("bp").and_then(Value::as_str), Some("e"));
+        assert!(events[0].get("bp").is_none());
     }
 
     #[test]

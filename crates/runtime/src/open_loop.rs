@@ -23,7 +23,9 @@ use crate::shard::{
 use crate::simrun::{ExecCore, FaultPlane, FaultSpec, StreamRequest};
 use continuum_model::{CostMeter, EnergyMeter};
 use continuum_net::RegionPartition;
-use continuum_obs::{Histogram, MetricsRegistry, MetricsSnapshot, Telemetry};
+use continuum_obs::{
+    HealthPlane, HealthReport, HealthSpec, Histogram, MetricsRegistry, MetricsSnapshot, Telemetry,
+};
 use continuum_placement::Env;
 use continuum_sim::{ConservativeDriver, Lookahead, SimTime};
 use std::collections::HashMap;
@@ -41,6 +43,11 @@ pub struct OpenLoopOpts<'a> {
     /// Timed device/link fault plane, as in
     /// [`crate::simulate_stream_chaos`].
     pub plane: Option<&'a FaultPlane>,
+    /// Attach an SLO health plane: burn-rate windows fed by the run's
+    /// completion stream, sampled into a flight recorder on sim-time
+    /// ticks. `None` (the default) keeps the run bit-identical to one
+    /// that never heard of health accounting.
+    pub health: Option<&'a HealthSpec>,
 }
 
 impl Default for OpenLoopOpts<'_> {
@@ -49,6 +56,7 @@ impl Default for OpenLoopOpts<'_> {
             max_live: usize::MAX,
             faults: None,
             plane: None,
+            health: None,
         }
     }
 }
@@ -102,6 +110,9 @@ pub struct OpenLoopReport {
     pub energy_j: f64,
     /// Occupancy + egress cost of the run.
     pub cost_usd: f64,
+    /// SLO burn-rate summary and flight-recorder timeline; present iff
+    /// [`OpenLoopOpts::health`] was set.
+    pub health: Option<HealthReport>,
 }
 
 impl OpenLoopReport {
@@ -166,9 +177,14 @@ pub fn simulate_open_loop(
         false,
     );
     core.enable_streaming();
+    let mut health = opts.health.map(HealthPlane::new);
+    if health.is_some() {
+        core.log_completions();
+    }
     let mut offered = 0u64;
     let mut admitted = 0u64;
     let mut rejected = 0u64;
+    let mut saturated = false;
     let mut last = SimTime::ZERO;
     for r in arrivals {
         assert!(
@@ -177,16 +193,45 @@ pub fn simulate_open_loop(
         );
         last = r.arrival;
         core.pump(Some(r.arrival));
+        if let Some(h) = health.as_mut() {
+            for (fin, lat) in core.take_completions() {
+                h.observe(fin.0, lat);
+            }
+            if h.due(r.arrival.0) {
+                h.sample(
+                    r.arrival.0,
+                    vec![
+                        ("live".to_string(), core.live_requests() as f64),
+                        ("admitted".to_string(), admitted as f64),
+                        ("rejected".to_string(), rejected as f64),
+                    ],
+                );
+            }
+        }
         let gid = offered as usize;
         offered += 1;
         if core.live_requests() >= opts.max_live {
             rejected += 1;
+            if let Some(h) = health.as_mut() {
+                // Edge-detect: one anomaly per saturation episode, not
+                // one per bounced arrival.
+                if !saturated {
+                    h.anomaly(r.arrival.0, "saturation");
+                }
+            }
+            saturated = true;
         } else {
             admitted += 1;
+            saturated = false;
             core.inject_request(gid, r);
         }
     }
     core.pump(None);
+    if let Some(h) = health.as_mut() {
+        for (fin, lat) in core.take_completions() {
+            h.observe(fin.0, lat);
+        }
+    }
     let parts = core.finish_open();
     let completed = parts.latency.count;
     assert_eq!(
@@ -217,6 +262,7 @@ pub fn simulate_open_loop(
         tasks_by_device: parts.tasks_by_device,
         energy_j: parts.energy.used_devices_joules(&env.fleet, makespan),
         cost_usd: parts.cost.total_usd(),
+        health: health.map(|h| h.finish(parts.end_time.0)),
     };
     if let Some(t) = tele {
         publish_slo_metrics(&t, &report, parts.snap.into_iter().collect());
@@ -242,6 +288,9 @@ fn publish_slo_metrics(t: &Telemetry, report: &OpenLoopReport, core_snaps: Vec<M
         "executor.peak_record_buffer",
         report.peak_record_buffer as f64,
     );
+    if let Some(h) = &report.health {
+        h.publish(&reg);
+    }
     let mut snap = reg.snapshot();
     snap.merge_histogram("slo.request_latency", &report.latency);
     snap.merge_histogram("executor.task_duration", &report.task_duration);
@@ -266,6 +315,11 @@ struct Gate {
     completed: u64,
     end_time: SimTime,
     latency: Histogram,
+    /// Burn-rate plane fed at settle time. Shards retire in shard
+    /// order, not time order, but [`continuum_obs::BurnWindow`] is
+    /// order-independent, so the health report stays bit-identical
+    /// across shard counts.
+    health: Option<HealthPlane>,
 }
 
 impl Gate {
@@ -290,6 +344,9 @@ impl Gate {
                 if e.0 == 0 {
                     let (_, arrival, finish) = self.outstanding.remove(&gid).expect("present");
                     self.latency.observe(finish.since(arrival).0);
+                    if let Some(h) = self.health.as_mut() {
+                        h.observe(finish.0, finish.since(arrival).0);
+                    }
                     self.end_time = self.end_time.max(finish);
                     self.completed += 1;
                     self.live -= 1;
@@ -340,10 +397,14 @@ pub fn simulate_open_loop_sharded(
         Lookahead::PerShard(pinned_lookaheads(env, partition, n))
     };
     let mut driver = ConservativeDriver::new(cores, la, shard_opts.parallel);
-    let mut gate = Gate::default();
+    let mut gate = Gate {
+        health: opts.health.map(HealthPlane::new),
+        ..Gate::default()
+    };
     let mut offered = 0u64;
     let mut admitted = 0u64;
     let mut rejected = 0u64;
+    let mut saturated = false;
     let mut last = SimTime::ZERO;
     for r in arrivals {
         assert!(
@@ -353,12 +414,32 @@ pub fn simulate_open_loop_sharded(
         last = r.arrival;
         driver.advance_until(r.arrival);
         gate.drain(driver.shards_mut());
+        let live = gate.live;
+        if let Some(h) = gate.health.as_mut() {
+            if h.due(r.arrival.0) {
+                h.sample(
+                    r.arrival.0,
+                    vec![
+                        ("live".to_string(), live as f64),
+                        ("admitted".to_string(), admitted as f64),
+                        ("rejected".to_string(), rejected as f64),
+                    ],
+                );
+            }
+        }
         let gid = offered as usize;
         offered += 1;
         if gate.live >= opts.max_live {
             rejected += 1;
+            if let Some(h) = gate.health.as_mut() {
+                if !saturated {
+                    h.anomaly(r.arrival.0, "saturation");
+                }
+            }
+            saturated = true;
         } else {
             admitted += 1;
+            saturated = false;
             let participants = pinned_participants(env, &r, partition, n);
             gate.admit(gid, participants.len() as u32, r.arrival);
             for &s in &participants {
@@ -414,6 +495,7 @@ pub fn simulate_open_loop_sharded(
         peak_record_buffer = peak_record_buffer.max(p.peak_record_buf);
     }
     let makespan = gate.end_time.since(SimTime::ZERO);
+    let health = gate.health.take().map(|h| h.finish(gate.end_time.0));
     let report = OpenLoopReport {
         offered,
         admitted,
@@ -436,6 +518,7 @@ pub fn simulate_open_loop_sharded(
         tasks_by_device,
         energy_j: energy.used_devices_joules(&env.fleet, makespan),
         cost_usd: cost.total_usd(),
+        health,
     };
     if let Some(t) = tele {
         let reg = MetricsRegistry::new();
@@ -443,6 +526,12 @@ pub fn simulate_open_loop_sharded(
         reg.record("shard.count", n as u64);
         reg.record("shard.windows", wstats.windows);
         reg.inc("shard.messages", wstats.messages);
+        let largest = parts.iter().map(|p| p.tasks_executed).max().unwrap_or(0);
+        if tasks_executed > 0 {
+            let mean = tasks_executed as f64 / parts.len() as f64;
+            reg.set_gauge("shard.util.mean_events", mean);
+            reg.set_gauge("shard.util.imbalance", largest as f64 / mean);
+        }
         t.metrics.absorb(&reg.snapshot());
         publish_slo_metrics(
             &t,
@@ -740,6 +829,90 @@ mod tests {
         assert!(a.rejected > 0, "expected backpressure at this rate");
         assert!(a.peak_live <= 4);
         assert!(a.goodput_hz() > 0.0);
+    }
+
+    #[test]
+    fn health_plane_observes_completions_and_flags_saturation() {
+        let (env, e, _c) = two_node(1e9);
+        // ~50 ms per task on the 12 Gflop/s gateway: slow enough to pin
+        // the gate, fast enough that completions land while arrivals
+        // are still flowing (burn detection samples on arrival ticks).
+        let arrivals = (0..300usize).map(move |i| {
+            let mut g = Dag::new(format!("r{i}"));
+            let input = g.add_input("in", 100, e);
+            let out = g.add_item("out", 1);
+            g.add_task("t", 6e8, vec![input], vec![out]);
+            StreamRequest {
+                arrival: SimTime::from_secs_f64(i as f64 * 1e-3),
+                dag: g,
+                placement: Placement {
+                    assignment: vec![DeviceId(0)],
+                },
+            }
+        });
+        let spec = HealthSpec {
+            objective_ns: 1_000_000, // 1 ms: these tasks run far longer
+            sample_every_ns: 10_000_000,
+            ..HealthSpec::default()
+        };
+        let opts = OpenLoopOpts {
+            max_live: 8,
+            health: Some(&spec),
+            ..Default::default()
+        };
+        let report = simulate_open_loop(&env, arrivals, &opts);
+        let h = report.health.as_ref().expect("health requested");
+        assert_eq!(h.observed, report.completed);
+        assert_eq!(h.violations, report.completed, "every task misses 1 ms");
+        assert!(h.burn_short_peak > spec.burn_threshold);
+        assert!(h.anomalies.iter().any(|a| a.kind == "saturation"));
+        assert!(h.anomalies.iter().any(|a| a.kind == "slo-burn"));
+        assert!(!h.frames.is_empty(), "flight recorder sampled frames");
+        let inc = h.incident.as_ref().expect("anomaly snapshots the ring");
+        assert!(inc.at_ns <= report.end_time.0);
+    }
+
+    #[test]
+    fn sharded_health_identical_across_shard_counts() {
+        let (env, regions) = continuum_world();
+        let partition = RegionPartition::new(&env.topology, regions.clone(), 0);
+        let arrivals = spanning_arrivals(&env, &regions, 80, 400);
+        let spec = HealthSpec {
+            objective_ns: 20_000_000, // 20 ms: spanning DAGs blow through it
+            sample_every_ns: 5_000_000,
+            ..HealthSpec::default()
+        };
+        let opts = OpenLoopOpts {
+            max_live: 6,
+            health: Some(&spec),
+            ..Default::default()
+        };
+        let strip = |mut r: OpenLoopReport| {
+            r.peak_record_buffer = 0;
+            r
+        };
+        let reference = strip(simulate_open_loop_sharded(
+            &env,
+            arrivals.iter().cloned(),
+            &partition,
+            &opts,
+            &ShardOpts::pinned(1),
+        ));
+        let h = reference.health.as_ref().expect("health requested");
+        assert_eq!(h.observed, reference.completed);
+        assert!(h.observed > 0);
+        for n in [2, 4] {
+            let sharded = strip(simulate_open_loop_sharded(
+                &env,
+                arrivals.iter().cloned(),
+                &partition,
+                &opts,
+                &ShardOpts::pinned(n),
+            ));
+            // PartialEq on the report covers the full health report:
+            // burn rates, frames, anomalies, incident.
+            assert_eq!(sharded, reference, "health diverged at n={n}");
+        }
     }
 
     #[test]

@@ -50,7 +50,7 @@
 //! `crate::simrun`'s partition machinery.
 
 use crate::simrun::{
-    assemble, ExecCore, FaultPlane, FaultSpec, SimOutcome, StreamRequest, TransferMsg,
+    assemble, ExecCore, FaultPlane, FaultSpec, ShardLayout, SimOutcome, StreamRequest, TransferMsg,
 };
 use continuum_net::RegionPartition;
 use continuum_obs::{MetricsRegistry, Telemetry};
@@ -483,6 +483,12 @@ fn publish_shard_metrics(
             "shard.largest_fraction",
             largest as f64 / total_events as f64,
         );
+        // Utilization view of the same counts: mean events per shard and
+        // imbalance = max/mean (1.0 = perfectly level). The health plane
+        // and CI smoke key off `shard.util.*`.
+        let mean = total_events as f64 / events.len() as f64;
+        reg.set_gauge("shard.util.mean_events", mean);
+        reg.set_gauge("shard.util.imbalance", largest as f64 / mean);
     }
     if let Some(w) = wstats {
         reg.record("shard.windows", w.windows);
@@ -613,10 +619,22 @@ fn simulate_confined(
         let events: Vec<u64> = shards.iter().map(|s| s.core.scheduled_events()).collect();
         publish_shard_metrics(t, &plan.groups, &events, wstats.as_ref());
     }
+    let layout = trace_on.then(|| {
+        // Regions of untouched components default to shard 0; no device
+        // slice ever references them.
+        let mut shard_of_region: Vec<u32> = vec![0; partition.len()];
+        for (s, regions) in plan.region_sets.iter().enumerate() {
+            for &r in regions {
+                shard_of_region[r] = s as u32;
+            }
+        }
+        ShardLayout::new(env, partition, shard_of_region)
+    });
     assemble(
         env,
         requests,
         plane,
+        layout.as_ref(),
         shards.into_iter().map(|s| s.core.finish()).collect(),
     )
 }
@@ -658,10 +676,16 @@ fn simulate_pinned(
         let events: Vec<u64> = shards.iter().map(|s| s.core.scheduled_events()).collect();
         publish_shard_metrics(t, &groups, &events, wstats.as_ref());
     }
+    let layout = trace_on.then(|| {
+        let n = shards.len();
+        let shard_of_region: Vec<u32> = (0..partition.len()).map(|r| (r % n) as u32).collect();
+        ShardLayout::new(env, partition, shard_of_region)
+    });
     assemble(
         env,
         requests,
         None,
+        layout.as_ref(),
         shards.into_iter().map(|s| s.core.finish()).collect(),
     )
 }

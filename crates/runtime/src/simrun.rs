@@ -24,7 +24,7 @@ use continuum_net::{
     shortest_path_avoiding, FlowId, FlowNetwork, LinkId, NodeId, Path, RegionPartition, RouteCache,
     RouteSeg,
 };
-use continuum_obs::{Histogram, MetricsRegistry, MetricsSnapshot, Telemetry};
+use continuum_obs::{Histogram, MetricsRegistry, MetricsSnapshot, Telemetry, Tracer};
 use continuum_placement::{Env, Metrics, OnlinePlacer, Placement};
 use continuum_sim::{EventId, EventQueue, FaultKind, FaultSchedule, SimDuration, SimTime};
 use continuum_workflow::{Dag, DataId, TaskId};
@@ -521,6 +521,24 @@ enum ObsMark {
         req: usize,
         task: TaskId,
     },
+    /// A partition-mode transfer stage left this core for another
+    /// shard's region: the tail of a cross-shard flow arrow.
+    FlowOut {
+        gid: usize,
+        item: DataId,
+        hop: u32,
+        from_region: u32,
+        to_region: u32,
+    },
+    /// A handed-over transfer stage entered this core: the arrow head.
+    /// `(gid, item, hop)` matches the sender's [`ObsMark::FlowOut`], so
+    /// the synthesizer can stitch the two sides with one flow id.
+    FlowIn {
+        gid: usize,
+        item: DataId,
+        hop: u32,
+        at_region: u32,
+    },
 }
 
 impl ExecObs {
@@ -548,6 +566,56 @@ impl ExecObs {
             self.marks.push((now, ObsMark::Park { req, task }));
         }
     }
+
+    fn flow_out(
+        &mut self,
+        now: SimTime,
+        gid: usize,
+        item: DataId,
+        hop: u32,
+        from_region: u32,
+        to_region: u32,
+    ) {
+        if self.trace_on {
+            self.marks.push((
+                now,
+                ObsMark::FlowOut {
+                    gid,
+                    item,
+                    hop,
+                    from_region,
+                    to_region,
+                },
+            ));
+        }
+    }
+
+    fn flow_in(&mut self, at: SimTime, gid: usize, item: DataId, hop: u32, at_region: u32) {
+        if self.trace_on {
+            self.marks.push((
+                at,
+                ObsMark::FlowIn {
+                    gid,
+                    item,
+                    hop,
+                    at_region,
+                },
+            ));
+        }
+    }
+}
+
+/// Deterministic correlation id for one cross-shard transfer hop —
+/// computable identically on the sending and receiving core from the
+/// envelope contents alone (splitmix64 over the packed triple).
+pub(crate) fn flow_hop_id(gid: usize, item: DataId, hop: u32) -> u64 {
+    let mut z = (gid as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(item.0) << 32)
+        .wrapping_add(u64::from(hop));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// [`simulate_stream_with_faults`] with an optional infrastructure
@@ -569,7 +637,7 @@ pub fn simulate_stream_chaos(
     let gids: Vec<usize> = (0..requests.len()).collect();
     let mut core = ExecCore::new(env, refs, gids, faults, plane, None, collect, trace_on);
     core.pump(None);
-    assemble(env, requests, plane, vec![core.finish()])
+    assemble(env, requests, plane, None, vec![core.finish()])
 }
 
 /// Counter-based fault draw: a pure function of `(seed, request, task,
@@ -624,6 +692,10 @@ pub(crate) struct StreamSink {
     peak_record_buf: usize,
     /// Latest request finish seen — the open-loop end of run.
     last_finish: SimTime,
+    /// `(finish, latency_ns)` of each retirement since the last drain,
+    /// kept only when the driver asked for a completion feed (health
+    /// plane); `None` costs nothing per retire.
+    completions: Option<Vec<(SimTime, u64)>>,
 }
 
 impl StreamSink {
@@ -635,6 +707,7 @@ impl StreamSink {
             records_folded: 0,
             peak_record_buf: 0,
             last_finish: SimTime::ZERO,
+            completions: None,
         }
     }
 }
@@ -1741,6 +1814,9 @@ impl<'a> ExecCore<'a> {
             };
             self.queue.schedule_keyed_at(at, key, ev);
         } else {
+            let from_region = msg.segs[(msg.next - 1) as usize].region;
+            self.obs
+                .flow_out(now, msg.gid, msg.item, msg.next, from_region, target);
             self.part
                 .as_mut()
                 .expect("partition mode")
@@ -1753,6 +1829,18 @@ impl<'a> ExecCore<'a> {
     /// time is past the sender's window horizon, so it sorts safely into
     /// this core's calendar).
     pub(crate) fn receive_part(&mut self, at: SimTime, msg: TransferMsg) {
+        if self.obs.trace_on {
+            let at_region = if (msg.next as usize) < msg.segs.len() {
+                msg.segs[msg.next as usize].region
+            } else {
+                self.part
+                    .as_ref()
+                    .expect("partition mode")
+                    .partition
+                    .region_of(msg.dst) as u32
+            };
+            self.obs.flow_in(at, msg.gid, msg.item, msg.next, at_region);
+        }
         let (key, ev) = if (msg.next as usize) < msg.segs.len() {
             (seg_key(&msg), Ev::PartSeg(Box::new(msg)))
         } else {
@@ -2017,6 +2105,25 @@ impl<'a> ExecCore<'a> {
         });
     }
 
+    /// Ask a streaming core to log `(finish, latency)` per retirement,
+    /// drained with [`Self::take_completions`]. Feeds the health plane;
+    /// off by default so plain runs never pay the pushes.
+    pub(crate) fn log_completions(&mut self) {
+        self.sink
+            .as_mut()
+            .expect("completion log requires streaming")
+            .completions = Some(Vec::new());
+    }
+
+    /// Drain completions logged since the last call.
+    pub(crate) fn take_completions(&mut self) -> Vec<(SimTime, u64)> {
+        self.sink
+            .as_mut()
+            .and_then(|s| s.completions.as_mut())
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
     /// Requests injected/registered and not yet retired.
     pub(crate) fn live_requests(&self) -> usize {
         self.live
@@ -2168,7 +2275,11 @@ impl<'a> ExecCore<'a> {
             // driver: the true finish is the max across participating
             // cores, which no single core can see.
             if self.part.is_none() {
-                sink.latency.observe(finish.since(arrival).0);
+                let lat = finish.since(arrival).0;
+                sink.latency.observe(lat);
+                if let Some(log) = sink.completions.as_mut() {
+                    log.push((finish, lat));
+                }
             }
             sink.last_finish = sink.last_finish.max(finish);
             self.live_gids.remove(&gid);
@@ -2304,6 +2415,38 @@ impl<'a> ExecCore<'a> {
     }
 }
 
+/// Static shard geometry for the Perfetto synthesizer: which shard owns
+/// each device and region. Built by the sharded executors (trace-on runs
+/// only) so the exported timeline can put each shard on its own process
+/// track and stitch cross-shard hops with flow arrows; `None` keeps the
+/// single-process layout of the unsharded executor.
+pub(crate) struct ShardLayout {
+    /// Device id -> owning shard.
+    pub(crate) shard_of_device: Vec<u32>,
+    /// Region index -> owning shard.
+    pub(crate) shard_of_region: Vec<u32>,
+}
+
+impl ShardLayout {
+    /// Derive the device ownership map from region ownership.
+    pub(crate) fn new(
+        env: &Env,
+        partition: &RegionPartition,
+        shard_of_region: Vec<u32>,
+    ) -> ShardLayout {
+        let shard_of_device = (0..env.fleet.len())
+            .map(|d| {
+                let node = env.node_of(DeviceId(d as u32));
+                shard_of_region[partition.region_of(node)]
+            })
+            .collect();
+        ShardLayout {
+            shard_of_device,
+            shard_of_region,
+        }
+    }
+}
+
 /// Everything one [`ExecCore`] produced, ready to be merged into a
 /// [`SimOutcome`] by [`assemble`].
 pub(crate) struct CoreParts {
@@ -2381,6 +2524,7 @@ pub(crate) fn assemble(
     env: &Env,
     requests: &[StreamRequest],
     plane: Option<&FaultPlane>,
+    layout: Option<&ShardLayout>,
     parts: Vec<CoreParts>,
 ) -> SimOutcome {
     assert!(!parts.is_empty(), "assemble needs at least one core");
@@ -2452,7 +2596,7 @@ pub(crate) fn assemble(
         }
         t.metrics.absorb(&snap);
         if t.trace_enabled() {
-            synthesize_trace(&t, env, plane, &trace, &marks);
+            synthesize_trace(&t, env, plane, layout, &trace, &marks);
         }
         Box::new(snap)
     });
@@ -2519,13 +2663,20 @@ fn harvest_core_metrics(
 ///
 /// - one `B`/`E` span per request on its own thread track (pairs nest
 ///   trivially: exactly one span per track);
-/// - one `X` slice per task attempt on its device's track;
+/// - one `X` slice per task attempt on its device's track — on the
+///   owning *shard's* process track when a [`ShardLayout`] is given, so
+///   a sharded run opens in Perfetto as one process per shard;
+/// - `s`/`f` flow arrows stitching each cross-shard envelope hop from
+///   the sending shard's transfer track to the receiving shard's, with
+///   one deterministic id per `(request, item, hop)`;
 /// - instants for fault-plane events (tid 0) and for the stall /
-///   re-placement / park marks recorded in-loop (request tracks).
+///   re-placement / park marks recorded in-loop (request tracks);
+/// - `M` metadata naming every process and thread track.
 fn synthesize_trace(
     tele: &Telemetry,
     env: &Env,
     plane: Option<&FaultPlane>,
+    layout: Option<&ShardLayout>,
     trace: &ExecutionTrace,
     marks: &[(SimTime, ObsMark)],
 ) {
@@ -2533,6 +2684,24 @@ fn synthesize_trace(
     let tr = &tele.tracer;
     const REQ_TID_BASE: u32 = 100;
     const DEV_TID_BASE: u32 = 10_000;
+    const XFER_TID: u32 = 1;
+    // Shard s renders as its own process so its device and transfer
+    // tracks group together; the base pid keeps the run-level tracks
+    // (requests, faults). Cell pids are small (one per experiment cell),
+    // so the multiplication cannot collide across cells.
+    let shard_pid = |s: u32| pid * 1_000 + 1 + s;
+    let mut named_shards: Vec<bool> = Vec::new();
+    let mut name_shard = |tr: &Tracer, s: u32| {
+        let si = s as usize;
+        if si >= named_shards.len() {
+            named_shards.resize(si + 1, false);
+        }
+        if !named_shards[si] {
+            named_shards[si] = true;
+            tr.process_name(shard_pid(s), format!("shard {s}"));
+            tr.thread_name(shard_pid(s), XFER_TID, "xfer");
+        }
+    };
     tr.process_name(pid, "continuum executor");
     tr.thread_name(pid, 0, "faults");
     for (i, (&arr, &fin)) in trace
@@ -2550,16 +2719,24 @@ fn synthesize_trace(
     for rec in &trace.records {
         let di = rec.device.0 as usize;
         let tid = DEV_TID_BASE + rec.device.0;
+        let dev_pid = match layout {
+            Some(l) => {
+                let s = l.shard_of_device[di];
+                name_shard(tr, s);
+                shard_pid(s)
+            }
+            None => pid,
+        };
         if !named_devs[di] {
             named_devs[di] = true;
-            tr.thread_name(pid, tid, format!("dev {di}"));
+            tr.thread_name(dev_pid, tid, format!("dev {di}"));
         }
         tr.complete(
             format!("r{}:t{}", rec.request, rec.task.0),
             "task",
             rec.start.0,
             rec.finish.since(rec.start).0,
-            pid,
+            dev_pid,
             tid,
             vec![("cores", serde::Value::U64(u64::from(rec.cores)))],
         );
@@ -2583,6 +2760,62 @@ fn synthesize_trace(
                 (format!("replace r{req}:t{} -> dev {}", task.0, dev.0), *req)
             }
             ObsMark::Park { req, task } => (format!("park r{req}:t{}", task.0), *req),
+            ObsMark::FlowOut {
+                gid,
+                item,
+                hop,
+                from_region,
+                to_region,
+            } => {
+                let Some(l) = layout else { continue };
+                let s = l.shard_of_region[*from_region as usize];
+                name_shard(tr, s);
+                name_shard(tr, l.shard_of_region[*to_region as usize]);
+                tr.flow_start(
+                    format!("r{gid}:d{} hop {hop}", item.0),
+                    "xfer",
+                    at.0,
+                    shard_pid(s),
+                    XFER_TID,
+                    flow_hop_id(*gid, *item, *hop),
+                );
+                // Anchor instants give the arrow endpoints a slice to
+                // attach to on the otherwise-empty transfer tracks.
+                tr.instant(
+                    format!("send r{gid}:d{}", item.0),
+                    "xfer",
+                    at.0,
+                    shard_pid(s),
+                    XFER_TID,
+                );
+                continue;
+            }
+            ObsMark::FlowIn {
+                gid,
+                item,
+                hop,
+                at_region,
+            } => {
+                let Some(l) = layout else { continue };
+                let s = l.shard_of_region[*at_region as usize];
+                name_shard(tr, s);
+                tr.flow_end(
+                    format!("r{gid}:d{} hop {hop}", item.0),
+                    "xfer",
+                    at.0,
+                    shard_pid(s),
+                    XFER_TID,
+                    flow_hop_id(*gid, *item, *hop),
+                );
+                tr.instant(
+                    format!("recv r{gid}:d{}", item.0),
+                    "xfer",
+                    at.0,
+                    shard_pid(s),
+                    XFER_TID,
+                );
+                continue;
+            }
         };
         tr.instant(name, "chaos", at.0, pid, REQ_TID_BASE + req as u32);
     }

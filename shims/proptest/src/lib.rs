@@ -75,6 +75,102 @@ impl TestRng {
 pub trait Strategy {
     type Value;
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f` (proptest's `prop_map`).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase into a [`BoxedStrategy`], enabling heterogeneous
+    /// composition (e.g. the arms of [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy (proptest's `BoxedStrategy<T>`).
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Strategy produced by [`prop_oneof!`]: each case picks one arm
+/// uniformly at random, then draws from it.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from type-erased arms; `arms` must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Uniform choice over strategies with a common value type
+/// (proptest's unweighted `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Sampling strategies (`proptest::sample::select`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy drawing one element of a fixed pool per case.
+    pub struct Select<T> {
+        pool: Vec<T>,
+    }
+
+    /// Uniform choice from `pool`; the pool must be non-empty.
+    pub fn select<T: Clone>(pool: &[T]) -> Select<T> {
+        assert!(!pool.is_empty(), "select over an empty pool");
+        Select {
+            pool: pool.to_vec(),
+        }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.pool[rng.below(self.pool.len() as u64) as usize].clone()
+        }
+    }
 }
 
 /// Types with a canonical full-range strategy (`any::<T>()`).
@@ -213,7 +309,8 @@ pub mod collection {
 /// Everything a test file needs: `use proptest::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy,
+        ProptestConfig, Strategy,
     };
 }
 

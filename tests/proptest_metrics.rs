@@ -1,0 +1,143 @@
+//! Metrics-merge property tests.
+//!
+//! Shard cores, federation sites, and the health plane all build private
+//! [`MetricsSnapshot`]s and fold them together at the end of a run. The
+//! final numbers must not depend on *how* those snapshots were grouped
+//! or ordered on the way in, or sharded runs would report different
+//! telemetry than single-queue runs for the same execution. Three
+//! algebraic properties pin that down:
+//!
+//! 1. **Associativity** — `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)` over counters,
+//!    labeled counters, histograms, *and* gauges (last-write-wins is
+//!    associative: the rightmost writer survives either way).
+//! 2. **Commutativity** — `a ⊕ b == b ⊕ a` over counters, labeled
+//!    counters, and histograms. Gauges are deliberately excluded: they
+//!    are last-write-wins by contract, so order matters and callers are
+//!    required to merge in a deterministic order.
+//! 3. **Homomorphism** — applying two op streams back-to-back on one
+//!    snapshot equals applying them to separate snapshots and merging.
+//!
+//! Observed durations are capped well below `u64::MAX` so `sum_ns`'s
+//! saturating add never engages — saturation is the one regime where
+//! histogram merge is legitimately non-associative.
+
+use continuum_obs::MetricsSnapshot;
+use proptest::prelude::*;
+
+fn metrics_cases() -> u32 {
+    std::env::var("CONTINUUM_METRICS_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// One mutation against a snapshot, mirroring the four recording APIs.
+#[derive(Debug, Clone)]
+enum Op {
+    Count {
+        name: &'static str,
+        by: u64,
+    },
+    Labeled {
+        name: &'static str,
+        label: u32,
+        by: u64,
+    },
+    Observe {
+        name: &'static str,
+        ns: u64,
+    },
+    Gauge {
+        name: &'static str,
+        value: f64,
+    },
+}
+
+/// A small shared name pool so independently generated op streams
+/// collide on keys — merges over disjoint key sets would prove nothing.
+const NAMES: [&str; 4] = ["req.latency", "xfer.bytes", "queue.depth", "slo.burn"];
+
+fn name() -> impl Strategy<Value = &'static str> {
+    proptest::sample::select(&NAMES[..])
+}
+
+fn op(with_gauges: bool) -> impl Strategy<Value = Op> {
+    let base = prop_oneof![
+        (name(), 0u64..1 << 32).prop_map(|(name, by)| Op::Count { name, by }),
+        (name(), 0u32..4, 0u64..1 << 32).prop_map(|(name, label, by)| Op::Labeled {
+            name,
+            label,
+            by
+        }),
+        // Bounded so a few hundred merged observations stay far from
+        // `sum_ns` saturation.
+        (name(), 0u64..1 << 40).prop_map(|(name, ns)| Op::Observe { name, ns }),
+    ];
+    if with_gauges {
+        prop_oneof![
+            base,
+            (name(), -1e12f64..1e12).prop_map(|(name, value)| Op::Gauge { name, value }),
+        ]
+        .boxed()
+    } else {
+        base.boxed()
+    }
+}
+
+fn ops(with_gauges: bool) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(op(with_gauges), 0..24)
+}
+
+fn apply_onto(snap: &mut MetricsSnapshot, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::Count { name, by } => snap.record(name, by),
+            Op::Labeled { name, label, by } => snap.inc_labeled(name, label, by),
+            Op::Observe { name, ns } => snap.observe_ns(name, ns),
+            Op::Gauge { name, value } => snap.set_gauge(name, value),
+        }
+    }
+}
+
+fn build(ops: &[Op]) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::new();
+    apply_onto(&mut snap, ops);
+    snap
+}
+
+fn merged(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: metrics_cases(), ..ProptestConfig::default() })]
+
+    /// `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`, gauges included.
+    #[test]
+    fn merge_is_associative(a in ops(true), b in ops(true), c in ops(true)) {
+        let (a, b, c) = (build(&a), build(&b), build(&c));
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// `a ⊕ b == b ⊕ a` over counters, labeled counters, and histograms.
+    /// Gauge-free by construction — gauges are last-write-wins.
+    #[test]
+    fn merge_is_commutative_without_gauges(a in ops(false), b in ops(false)) {
+        let (a, b) = (build(&a), build(&b));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    /// Recording two op streams into one snapshot equals recording them
+    /// into separate snapshots and merging — the property that lets
+    /// shards record locally and fold at the barrier.
+    #[test]
+    fn merge_is_a_homomorphism(a in ops(true), b in ops(true)) {
+        let mut sequential = build(&a);
+        apply_onto(&mut sequential, &b);
+        prop_assert_eq!(sequential, merged(&build(&a), &build(&b)));
+    }
+}
